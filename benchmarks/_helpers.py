@@ -1,0 +1,23 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_figure_result
+
+__all__ = ["run_once", "report"]
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The figure sweeps are deterministic and expensive (dozens of CTMC
+    solutions), so repeating them for statistical timing would only slow the
+    suite down without adding information.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(result) -> None:
+    """Print the regenerated figure data (visible with ``pytest -s`` and in CI logs)."""
+    print()
+    print(format_figure_result(result))

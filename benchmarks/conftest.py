@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the *scaled*
+experiment preset (see :class:`repro.experiments.scale.ExperimentScale`), checks
+the qualitative shape the paper reports, and prints the regenerated series so
+the run output doubles as the reproduction record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.experiments.scale import ExperimentScale
+
+# Make the sibling _helpers module importable regardless of how pytest was invoked.
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Scaled-down configuration used by all analytical-figure benchmarks."""
+    return ExperimentScale.default()
+
+
+@pytest.fixture(scope="session")
+def validation_scale() -> ExperimentScale:
+    """Smaller configuration for the two figures that also run the simulator."""
+    return ExperimentScale.default().replace(
+        arrival_rates=(0.2, 0.6, 1.0),
+        simulation_time_s=1500.0,
+        simulation_warmup_s=150.0,
+        simulation_batches=4,
+        simulation_cells=5,
+    )

@@ -1,0 +1,72 @@
+"""Ablation benches for admission-control extensions (guard channels, finite sources).
+
+Beyond-the-paper experiments: handover prioritisation through guard channels
+and the finite-population (Engset) correction of the Erlang-loss model the
+paper uses for both user classes.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.extensions import guard_channel_tradeoff
+from repro.queueing.engset import EngsetSystem
+from repro.queueing.erlang import ErlangLossSystem
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def test_ablation_guard_channels(benchmark, bench_scale):
+    """Guard channels trade new-call blocking for handover protection."""
+    parameters = GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3,
+        total_call_arrival_rate=0.5,
+        buffer_size=bench_scale.effective_buffer_size(100),
+        max_gprs_sessions=bench_scale.effective_max_sessions(20),
+    )
+
+    def run():
+        return guard_channel_tradeoff(parameters, (0, 1, 2, 3, 4))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nguard channels: (new-call blocking, handover failure)")
+    for row in rows:
+        print(f"  g={row.guard_channels}: blocking {row.new_call_blocking:.5f}, "
+              f"handover failure {row.handover_failure:.6f}")
+    failures = [row.handover_failure for row in rows]
+    blockings = [row.new_call_blocking for row in rows]
+    assert failures == sorted(failures, reverse=True)
+    assert blockings == sorted(blockings)
+    # Four guard channels cut the handover failure probability substantially.
+    assert failures[-1] < 0.5 * failures[0]
+
+
+def test_ablation_finite_population(benchmark):
+    """The Poisson (Erlang) assumption overestimates blocking for small populations."""
+
+    def run():
+        servers = 10
+        service_rate = 1.0 / 120.0
+        per_source_rate = 0.001
+        results = []
+        for sources in (12, 20, 50, 200, 1000):
+            engset = EngsetSystem(
+                sources=sources,
+                request_rate=per_source_rate,
+                service_rate=service_rate,
+                servers=servers,
+            )
+            erlang = ErlangLossSystem(
+                arrival_rate=sources * per_source_rate,
+                service_rate=service_rate,
+                servers=servers,
+            )
+            results.append((sources, engset.call_congestion(), erlang.blocking_probability()))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nfinite population vs Poisson blocking (10 channels):")
+    for sources, engset_blocking, erlang_blocking in results:
+        print(f"  N={sources:5d}: Engset {engset_blocking:.6f}  Erlang-B {erlang_blocking:.6f}")
+    # The finite-source model always blocks less, and converges to Erlang-B.
+    assert all(engset <= erlang + 1e-12 for _, engset, erlang in results)
+    largest = results[-1]
+    assert abs(largest[1] - largest[2]) / max(largest[2], 1e-12) < 0.1

@@ -1,0 +1,90 @@
+"""Ablation benches for model-level design choices.
+
+Two ablations called out in DESIGN.md:
+
+* **MMPP aggregation** -- representing ``m`` identical on-off sources by one
+  ``(m+1)``-state birth-death source instead of the ``2^m`` product chain is
+  what makes the state space tractable; the bench quantifies the reduction and
+  checks the statistics match.
+* **TCP threshold** -- the threshold approximation (eta = 0.7) versus no flow
+  control (eta = 1.0): the bench times both and reports the loss-probability
+  gap that figure 5 visualises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.markov.mmpp import aggregate_identical_ipps, product_form_ipps
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def test_ablation_mmpp_aggregation(benchmark):
+    """(m+1)-state aggregation vs 2^m product form for m = 10 sources."""
+    source = TRAFFIC_MODEL_3.session.to_ipp()
+    count = 10
+
+    def build_both():
+        aggregated = aggregate_identical_ipps(source, count)
+        product = product_form_ipps(source, count)
+        return aggregated, product
+
+    aggregated, product = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    assert aggregated.number_of_states == count + 1
+    assert product.number_of_states == 2**count
+    assert aggregated.mean_arrival_rate() == pytest.approx(
+        product.mean_arrival_rate(), rel=1e-9
+    )
+
+
+def _loss_probability(eta: float) -> float:
+    params = GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3,
+        total_call_arrival_rate=1.0,
+        buffer_size=20,
+        max_gprs_sessions=10,
+        tcp_threshold=eta,
+    )
+    return GprsMarkovModel(params).measures().packet_loss_probability
+
+
+def test_ablation_tcp_threshold(benchmark):
+    def run_both():
+        return _loss_probability(0.7), _loss_probability(1.0)
+
+    calibrated, uncontrolled = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\npacket loss probability: eta=0.7 -> {calibrated:.4f}, "
+          f"eta=1.0 (no flow control) -> {uncontrolled:.4f}")
+    assert uncontrolled > calibrated
+    assert uncontrolled > 0.25
+
+
+def test_ablation_handover_balancing(benchmark):
+    """Balanced handover flows versus ignoring mobility entirely.
+
+    The paper's model explicitly represents mobility; this ablation quantifies
+    how much the balanced handover flow raises the carried voice traffic
+    compared to a model with no incoming handovers.
+    """
+    params = GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, total_call_arrival_rate=0.7, buffer_size=15, max_gprs_sessions=8
+    )
+
+    def carried_voice_with_balance():
+        return GprsMarkovModel(params).measures().carried_voice_traffic
+
+    balanced = benchmark.pedantic(carried_voice_with_balance, rounds=1, iterations=1)
+
+    from repro.queueing.erlang import ErlangLossSystem
+
+    without_mobility = ErlangLossSystem(
+        arrival_rate=params.gsm_arrival_rate,
+        service_rate=params.gsm_completion_rate + params.gsm_handover_departure_rate,
+        servers=params.gsm_channels,
+    ).carried_traffic()
+    print(f"\ncarried voice traffic: balanced handovers -> {balanced:.3f}, "
+          f"no incoming handovers -> {without_mobility:.3f}")
+    assert balanced > without_mobility

@@ -1,0 +1,61 @@
+"""Ablation benches for the link-level extension (ARQ goodput, link adaptation).
+
+Beyond-the-paper experiments (the paper's stated future work): the throughput
+cost of RLC retransmissions and the gain of adaptive coding-scheme selection
+over the fixed CS-2 the paper assumes.  Both are recorded in EXPERIMENTS.md
+under "extension experiments".
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.extensions import arq_impact, link_adaptation_gain
+from repro.traffic.presets import TRAFFIC_MODEL_3
+from repro.validation.shapes import is_monotone
+
+
+def _parameters(scale) -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3,
+        total_call_arrival_rate=0.7,
+        buffer_size=scale.effective_buffer_size(100),
+        max_gprs_sessions=scale.effective_max_sessions(20),
+        reserved_pdch=2,
+    )
+
+
+def test_ablation_arq_block_errors(benchmark, bench_scale):
+    """Per-user throughput degrades and loss grows as the RLC block error rate rises."""
+    parameters = _parameters(bench_scale)
+
+    def run():
+        return arq_impact(parameters, (0.0, 0.1, 0.2, 0.4))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    throughput = result.series("throughput_per_user_kbit_s")
+    loss = result.series("packet_loss_probability")
+    print("\nBLER sweep (0.0, 0.1, 0.2, 0.4):")
+    print("  throughput/user [kbit/s]: " + ", ".join(f"{value:.3f}" for value in throughput))
+    print("  packet loss probability:  " + ", ".join(f"{value:.5f}" for value in loss))
+    assert is_monotone(throughput, increasing=False, tolerance=1e-9)
+    assert is_monotone(loss, tolerance=1e-9)
+    # A 40% block error rate costs a substantial share of the goodput.
+    assert throughput[-1] < 0.8 * throughput[0]
+
+
+def test_ablation_link_adaptation(benchmark):
+    """Adaptive coding never loses to fixed CS-2 and wins clearly at the extremes."""
+
+    def run():
+        return link_adaptation_gain((2.0, 5.0, 8.0, 11.0, 14.0, 18.0, 24.0, 30.0))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nlink adaptation vs fixed CS-2:")
+    for point in points:
+        print(f"  C/I {point.ci_db:5.1f} dB: CS-2 {point.fixed_cs2_goodput_kbit_s:6.2f} kbit/s, "
+              f"adapted ({point.adapted_scheme}) {point.adapted_goodput_kbit_s:6.2f} kbit/s "
+              f"({point.gain:+.0%})")
+    assert all(p.adapted_goodput_kbit_s >= p.fixed_cs2_goodput_kbit_s - 1e-9 for p in points)
+    assert points[0].adapted_scheme == "CS-1"
+    assert points[-1].adapted_scheme == "CS-4"
+    assert points[-1].gain > 0.3  # CS-4 is >21 kbit/s vs 13.4 kbit/s on a clean link

@@ -1,0 +1,67 @@
+"""Ablation bench: steady-state solver choice for the GPRS chain.
+
+DESIGN.md calls out the solver choice as a design decision: the generic sparse
+direct factorisation suffers heavy fill-in on the lattice-like GPRS chain,
+while the structure-exploiting fibre/phase iteration scales to the full
+paper-size state spaces.  This bench times both on the same medium-size chain
+and verifies they agree, and additionally times one full paper-size solve with
+the structured method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def medium_parameters() -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, total_call_arrival_rate=0.6, buffer_size=15, max_gprs_sessions=8
+    )
+
+
+def solve_with(method: str) -> np.ndarray:
+    model = GprsMarkovModel(medium_parameters(), solver_method=method)
+    return model.stationary_distribution()
+
+
+@pytest.fixture(scope="module")
+def reference_distribution() -> np.ndarray:
+    return solve_with("direct")
+
+
+def test_ablation_solver_structured(benchmark, reference_distribution):
+    distribution = benchmark.pedantic(solve_with, args=("structured",), rounds=1,
+                                      iterations=1)
+    assert distribution == pytest.approx(reference_distribution, abs=1e-6)
+
+
+def test_ablation_solver_direct(benchmark):
+    distribution = benchmark.pedantic(solve_with, args=("direct",), rounds=1, iterations=1)
+    assert distribution.sum() == pytest.approx(1.0)
+
+
+def test_ablation_solver_power(benchmark, reference_distribution):
+    distribution = benchmark.pedantic(solve_with, args=("power",), rounds=1, iterations=1)
+    # Power iteration on this stiff chain converges slowly; it must still land
+    # in the neighbourhood of the exact solution.
+    assert distribution == pytest.approx(reference_distribution, abs=5e-3)
+
+
+def test_structured_solver_handles_full_paper_size(benchmark):
+    """Solve the full Table 2 / traffic model 3 chain (466,620 states) once."""
+    params = GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, total_call_arrival_rate=0.5
+    )
+    assert params.state_space_size == 466_620
+
+    def solve():
+        return GprsMarkovModel(params, solver_method="structured").measures()
+
+    measures = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert 0.0 <= measures.packet_loss_probability <= 1.0
+    assert 0.0 < measures.carried_data_traffic < 20.0

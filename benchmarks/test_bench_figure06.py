@@ -1,0 +1,43 @@
+"""Figure 6: validation of the Markov model against the detailed simulator.
+
+Paper shape to reproduce: for every GPRS user share the carried data traffic
+rises and then falls with increasing load (GSM priority squeezes the
+on-demand PDCHs) and the throughput per user decreases monotonically; the
+Markov-model curves track the simulation within (a small multiple of) its
+confidence intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure6
+
+
+def test_figure6_model_vs_simulator(benchmark, validation_scale):
+    result = run_once(
+        benchmark,
+        figure6,
+        validation_scale,
+        gprs_fractions=(0.05, 0.10),
+        include_simulation=True,
+    )
+    report(result)
+
+    for fraction in ("5%", "10%"):
+        model = result.get(f"Markov model, {fraction} GPRS users")
+        simulation = result.get(f"simulation, {fraction} GPRS users")
+        model_atu = np.array(model.metric("throughput_per_user_kbit_s"))
+        sim_atu = np.array(simulation.metric("throughput_per_user_kbit_s"))
+        # Throughput per user degrades with load in both model and simulation.
+        assert model_atu[-1] < model_atu[0]
+        assert sim_atu[-1] < sim_atu[0]
+        # Model and simulation agree on the order of magnitude at every point.
+        ratio = model_atu / np.maximum(sim_atu, 1e-9)
+        assert np.all(ratio > 0.4) and np.all(ratio < 2.5)
+
+    # More GPRS users carry more data overall (at low load).
+    cdt_5 = result.get("Markov model, 5% GPRS users").metric("carried_data_traffic")
+    cdt_10 = result.get("Markov model, 10% GPRS users").metric("carried_data_traffic")
+    assert cdt_10[0] > cdt_5[0]

@@ -1,0 +1,37 @@
+"""Figure 7: carried data traffic for traffic models 1 and 2, 1/2/4 reserved PDCHs.
+
+Paper shape to reproduce: the carried data traffic is nearly independent of
+the number of reserved PDCHs (the load is low enough to be carried either
+way), and the 32 kbit/s model does not carry more traffic than four PDCHs can
+ever provide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure7
+
+
+def test_figure7_carried_data_traffic(benchmark, bench_scale):
+    result = run_once(benchmark, figure7, bench_scale)
+    report(result)
+
+    for model_number in (1, 2):
+        curves = [
+            np.array(result.get(
+                f"traffic model {model_number}, {pdch} reserved PDCH"
+            ).metric("carried_data_traffic"))
+            for pdch in (1, 2, 4)
+        ]
+        # CDT is almost insensitive to the number of reserved PDCHs: the
+        # largest pointwise spread between the three curves stays small
+        # relative to the traffic carried.
+        stacked = np.vstack(curves)
+        spread = stacked.max(axis=0) - stacked.min(axis=0)
+        assert np.all(spread <= 0.25 * np.maximum(stacked.max(axis=0), 0.2))
+        # Carried data traffic increases with the offered load for these
+        # low-load traffic models.
+        for curve in curves:
+            assert curve[-1] >= curve[0]

@@ -1,0 +1,31 @@
+"""Figure 8: packet loss probability for traffic models 1 and 2, 1/2/4 reserved PDCHs.
+
+Paper shape to reproduce: reserving more PDCHs lowers the loss probability,
+and the burstier 32 kbit/s model (traffic model 2) suffers higher loss than
+the 8 kbit/s model at the same reservation level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure8
+
+
+def test_figure8_packet_loss_probability(benchmark, bench_scale):
+    result = run_once(benchmark, figure8, bench_scale)
+    report(result)
+
+    def loss(model_number: int, pdch: int) -> np.ndarray:
+        label = f"traffic model {model_number}, {pdch} reserved PDCH"
+        return np.array(result.get(label).metric("packet_loss_probability"))
+
+    for model_number in (1, 2):
+        # More reserved PDCHs never increase the loss probability.
+        assert np.all(loss(model_number, 4) <= loss(model_number, 1) + 1e-9)
+        assert np.all(loss(model_number, 2) <= loss(model_number, 1) + 1e-9)
+
+    # The burstier traffic model 2 loses more packets than model 1 with one
+    # reserved PDCH (compare the high-load end of the curves).
+    assert loss(2, 1)[-1] >= loss(1, 1)[-1]

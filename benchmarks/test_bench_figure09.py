@@ -1,0 +1,30 @@
+"""Figure 9: queueing delay for traffic models 1 and 2, 1/2/4 reserved PDCHs.
+
+Paper shape to reproduce: reserving more PDCHs shortens the queueing delay,
+and the burstier 32 kbit/s model sees longer delays than the 8 kbit/s model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure9
+
+
+def test_figure9_queueing_delay(benchmark, bench_scale):
+    result = run_once(benchmark, figure9, bench_scale)
+    report(result)
+
+    def delay(model_number: int, pdch: int) -> np.ndarray:
+        label = f"traffic model {model_number}, {pdch} reserved PDCH"
+        return np.array(result.get(label).metric("queueing_delay"))
+
+    for model_number in (1, 2):
+        assert np.all(delay(model_number, 4) <= delay(model_number, 1) + 1e-9)
+        assert np.all(delay(model_number, 2) <= delay(model_number, 1) + 1e-9)
+        # Delays are positive and bounded by a few seconds at these loads.
+        assert np.all(delay(model_number, 1) >= 0.0)
+
+    # Traffic model 2 (burstier) waits at least as long as model 1.
+    assert delay(2, 1)[-1] >= delay(1, 1)[-1]

@@ -1,0 +1,41 @@
+"""Figure 11: CDT and throughput per user for 2% GPRS users, 0/1/2/4 reserved PDCHs.
+
+Paper shape to reproduce: with increasing load the carried data traffic first
+rises and then falls (GSM has priority on the on-demand channels); the decline
+is weaker the more PDCHs are reserved; the per-user throughput degrades with
+load and degrades least with four reserved PDCHs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure11
+
+
+def test_figure11_two_percent_gprs_users(benchmark, bench_scale):
+    result = run_once(benchmark, figure11, bench_scale)
+    report(result)
+
+    throughput = {
+        label: np.array(result.get(label).metric("throughput_per_user_kbit_s"))
+        for label in result.labels()
+    }
+    carried = {
+        label: np.array(result.get(label).metric("carried_data_traffic"))
+        for label in result.labels()
+    }
+
+    # Per-user throughput decreases with load for every reservation level.
+    for series in throughput.values():
+        assert series[-1] <= series[0] + 1e-9
+    # At the highest load, more reserved PDCHs give higher per-user throughput.
+    assert throughput["4 reserved PDCH"][-1] >= throughput["1 reserved PDCH"][-1]
+    assert throughput["1 reserved PDCH"][-1] >= throughput["0 reserved PDCH"][-1]
+    # Without any reserved PDCH the carried data traffic collapses under load
+    # while with four reserved PDCHs it keeps growing or stays high.
+    zero = carried["0 reserved PDCH"]
+    four = carried["4 reserved PDCH"]
+    assert zero[-1] < zero.max()
+    assert four[-1] >= zero[-1]

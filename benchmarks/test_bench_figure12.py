@@ -1,0 +1,48 @@
+"""Figure 12: CDT and throughput per user for 5% GPRS users, 0/1/2/4 reserved PDCHs.
+
+Paper shape to reproduce: same qualitative behaviour as figure 11 but with
+more data traffic overall; the 50%-degradation QoS profile is lost at a lower
+call arrival rate than with 2% GPRS users (the crossover moves left).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure11, figure12
+
+
+def _supported_rate(series, rates, degradation=0.5):
+    """Largest rate at which the per-user throughput is above (1-degradation) of no-load."""
+    reference = series[0]
+    supported = rates[0]
+    for rate, value in zip(rates, series):
+        if value >= (1 - degradation) * reference:
+            supported = rate
+        else:
+            break
+    return supported
+
+
+def test_figure12_five_percent_gprs_users(benchmark, bench_scale):
+    result = run_once(benchmark, figure12, bench_scale)
+    report(result)
+    rates = bench_scale.arrival_rates
+
+    throughput = {
+        label: np.array(result.get(label).metric("throughput_per_user_kbit_s"))
+        for label in result.labels()
+    }
+    # Ordering by reservation level at the highest load.
+    assert throughput["4 reserved PDCH"][-1] >= throughput["2 reserved PDCH"][-1] - 1e-9
+    assert throughput["2 reserved PDCH"][-1] >= throughput["0 reserved PDCH"][-1] - 1e-9
+
+    # The paper's QoS observation: with 5% GPRS users the 50%-degradation
+    # profile is lost at a lower arrival rate than with 2% GPRS users
+    # (for the same four reserved PDCHs).
+    result_2pct = figure11(bench_scale)
+    atu_2pct = np.array(result_2pct.get("4 reserved PDCH").metric(
+        "throughput_per_user_kbit_s"))
+    atu_5pct = throughput["4 reserved PDCH"]
+    assert _supported_rate(atu_5pct, rates) <= _supported_rate(atu_2pct, rates) + 1e-9

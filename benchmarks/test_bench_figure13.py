@@ -1,0 +1,41 @@
+"""Figure 13: CDT and throughput per user for 10% GPRS users, 0/1/2/4 reserved PDCHs.
+
+Paper shape to reproduce: the heaviest GPRS share carries the most data at low
+load, the per-user throughput degrades fastest, and with no reserved PDCH the
+throughput approaches zero under load while four reserved PDCHs keep it clearly
+above zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure12, figure13
+
+
+def test_figure13_ten_percent_gprs_users(benchmark, bench_scale):
+    result = run_once(benchmark, figure13, bench_scale)
+    report(result)
+
+    throughput = {
+        label: np.array(result.get(label).metric("throughput_per_user_kbit_s"))
+        for label in result.labels()
+    }
+    carried = {
+        label: np.array(result.get(label).metric("carried_data_traffic"))
+        for label in result.labels()
+    }
+
+    # With no reserved PDCH the per-user throughput collapses under load ...
+    zero = throughput["0 reserved PDCH"]
+    four = throughput["4 reserved PDCH"]
+    assert zero[-1] < 0.35 * zero[0]
+    # ... while four reserved PDCHs retain a clearly higher share of it.
+    assert four[-1] > 2.0 * zero[-1]
+
+    # 10% GPRS users carry more data at low load than 5% GPRS users.
+    five_percent = figure12(bench_scale)
+    cdt_5 = np.array(five_percent.get("1 reserved PDCH").metric("carried_data_traffic"))
+    cdt_10 = carried["1 reserved PDCH"]
+    assert cdt_10[0] > cdt_5[0]

@@ -1,0 +1,41 @@
+"""Figure 14: influence of GPRS on the GSM voice service (95% GSM calls).
+
+Paper shape to reproduce: reserving PDCHs reduces the carried voice traffic and
+raises the voice blocking probability only marginally -- the penalty grows with
+the number of reserved channels but stays small compared to the GPRS benefit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure14
+
+
+def test_figure14_voice_service_impact(benchmark, bench_scale):
+    result = run_once(benchmark, figure14, bench_scale)
+    report(result)
+
+    blocking = {
+        label: np.array(result.get(label).metric("voice_blocking_probability"))
+        for label in result.labels()
+    }
+    voice = {
+        label: np.array(result.get(label).metric("carried_voice_traffic"))
+        for label in result.labels()
+    }
+
+    # Reserving more PDCHs cannot decrease voice blocking and cannot increase
+    # the carried voice traffic (fewer channels remain for voice).
+    assert np.all(blocking["4 reserved PDCH"] >= blocking["0 reserved PDCH"] - 1e-12)
+    assert np.all(blocking["2 reserved PDCH"] >= blocking["1 reserved PDCH"] - 1e-12)
+    assert np.all(voice["4 reserved PDCH"] <= voice["0 reserved PDCH"] + 1e-9)
+
+    # The penalty is modest: at the highest load the blocking increase from
+    # reserving four PDCHs stays within a factor of ~2.5 of the unreserved case
+    # (the paper calls it negligible compared to the GPRS benefit).
+    reference = max(blocking["0 reserved PDCH"][-1], 1e-6)
+    assert blocking["4 reserved PDCH"][-1] <= 3.5 * reference
+    # Voice traffic itself keeps growing with the call arrival rate.
+    assert voice["1 reserved PDCH"][-1] > voice["1 reserved PDCH"][0]

@@ -1,0 +1,48 @@
+"""Figure 15: average number of GPRS users in the cell and GPRS blocking probability.
+
+Paper shape to reproduce: with 2% GPRS users the session cap M is never
+reached and the blocking probability stays negligible; with 10% GPRS users the
+average number of sessions approaches the cap under load and the blocking
+probability becomes clearly visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import report, run_once
+from repro.experiments.figures import figure15
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def test_figure15_gprs_population_and_blocking(benchmark, bench_scale):
+    result = run_once(benchmark, figure15, bench_scale)
+    report(result)
+
+    sessions = {
+        label: np.array(result.get(label).metric("average_gprs_sessions"))
+        for label in result.labels()
+    }
+    blocking = {
+        label: np.array(result.get(label).metric("gprs_blocking_probability"))
+        for label in result.labels()
+    }
+    cap = bench_scale.effective_max_sessions(TRAFFIC_MODEL_3.max_active_sessions)
+
+    # More GPRS users -> more active sessions and more blocking, at every load.
+    assert np.all(sessions["10% GPRS users"] >= sessions["2% GPRS users"] - 1e-12)
+    assert np.all(blocking["10% GPRS users"] >= blocking["2% GPRS users"] - 1e-15)
+    # The 2% curve never comes close to the cap; its blocking stays negligible
+    # up to 0.7 calls/s and at least an order of magnitude below the 10% curve
+    # at every load point (the paper's full-size M = 20 keeps it below 1e-5).
+    assert sessions["2% GPRS users"][-1] < 0.6 * cap
+    assert np.all(np.array(blocking["2% GPRS users"][:-1]) < 1e-2)
+    assert np.all(
+        np.array(blocking["10% GPRS users"])
+        >= 10.0 * np.array(blocking["2% GPRS users"])
+    )
+    # The 10% curve approaches the session cap under load with visible blocking.
+    assert sessions["10% GPRS users"][-1] > 0.6 * cap
+    assert blocking["10% GPRS users"][-1] > blocking["10% GPRS users"][0]
+    # Average population grows with the call arrival rate.
+    assert np.all(np.diff(sessions["5% GPRS users"]) >= -1e-9)

@@ -1,0 +1,71 @@
+"""Sensitivity benches: how robust are the paper's conclusions to its fixed parameters.
+
+These regenerate the sensitivity sweeps of :mod:`repro.experiments.sensitivity`
+at the scaled preset and assert the qualitative direction of every effect.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.sensitivity import (
+    sweep_buffer_size,
+    sweep_coding_scheme,
+    sweep_tcp_threshold,
+)
+from repro.traffic.presets import TRAFFIC_MODEL_3
+from repro.validation.shapes import is_monotone
+
+
+def _parameters(scale) -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3,
+        total_call_arrival_rate=0.8,
+        buffer_size=scale.effective_buffer_size(100),
+        max_gprs_sessions=scale.effective_max_sessions(20),
+    )
+
+
+def test_sensitivity_tcp_threshold(benchmark, bench_scale):
+    """Loss probability grows as the flow-control threshold is relaxed towards eta = 1."""
+    parameters = _parameters(bench_scale)
+
+    def run():
+        return sweep_tcp_threshold(parameters, (0.3, 0.5, 0.7, 0.9, 1.0))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    losses = result.series("packet_loss_probability")
+    print("\npacket loss vs eta (0.3..1.0): " + ", ".join(f"{value:.4f}" for value in losses))
+    assert losses[-1] == max(losses)
+    assert losses[-1] > losses[0]
+
+
+def test_sensitivity_buffer_size(benchmark, bench_scale):
+    """A larger BSC buffer trades packet loss for queueing delay."""
+    parameters = _parameters(bench_scale)
+
+    def run():
+        return sweep_buffer_size(parameters, (5, 10, 20, 40))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    losses = result.series("packet_loss_probability")
+    delays = result.series("queueing_delay")
+    print("\nbuffer size (5, 10, 20, 40):")
+    print("  loss:  " + ", ".join(f"{value:.4f}" for value in losses))
+    print("  delay: " + ", ".join(f"{value:.3f}" for value in delays))
+    assert is_monotone(losses, increasing=False, tolerance=1e-9)
+    assert is_monotone(delays, tolerance=1e-9)
+
+
+def test_sensitivity_coding_scheme(benchmark, bench_scale):
+    """Faster coding schemes raise the per-user throughput on an error-free link."""
+    parameters = _parameters(bench_scale)
+
+    def run():
+        return sweep_coding_scheme(parameters, ("CS-1", "CS-2", "CS-3", "CS-4"))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    throughput = result.series("throughput_per_user_kbit_s")
+    print("\nthroughput/user by coding scheme (CS-1..CS-4): "
+          + ", ".join(f"{value:.3f}" for value in throughput))
+    assert is_monotone(throughput, tolerance=1e-9)
+    assert throughput[-1] > throughput[0]

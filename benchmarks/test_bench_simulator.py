@@ -1,0 +1,44 @@
+"""Benchmark of the discrete-event simulator itself.
+
+Not a paper figure, but the cost driver behind the validation experiments: the
+bench measures the event throughput of the seven-cell simulation at the base
+load and asserts the run produces statistically meaningful output (every
+metric has a finite confidence interval).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import GprsModelParameters
+from repro.simulator.config import SimulationConfig
+from repro.simulator.simulation import GprsNetworkSimulator
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def test_simulator_event_throughput(benchmark):
+    params = GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3,
+        total_call_arrival_rate=0.5,
+        buffer_size=20,
+        max_gprs_sessions=10,
+    )
+    config = SimulationConfig(
+        cell_parameters=params,
+        number_of_cells=7,
+        simulation_time_s=2000.0,
+        warmup_time_s=200.0,
+        batches=5,
+        seed=20020527,
+    )
+
+    def run():
+        return GprsNetworkSimulator(config).run()
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nevents processed: {results.events_processed}")
+    assert results.events_processed > 10_000
+    for metric in results.available_metrics():
+        interval = results.interval(metric)
+        assert math.isfinite(interval.mean)
+        assert math.isfinite(interval.half_width)

@@ -1,0 +1,53 @@
+"""Benchmarks for Tables 2 and 3: regenerate the parameter tables and check them.
+
+These are cheap, but they pin the configuration every other benchmark builds
+on: if a hard-wired constant drifts from the paper, the assertions here fail
+before any expensive sweep runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import run_once
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table2, table3
+
+
+def test_table2_base_parameters(benchmark):
+    rows = run_once(benchmark, table2)
+    print()
+    print(format_table("Table 2: base parameter setting", rows))
+    assert rows["Number of physical channels, N"] == 20
+    assert rows["Number of fixed PDCHs, N_GPRS"] == 1
+    assert rows["BSC buffer size, K [data packets]"] == 100
+    assert rows["Transfer rate for one PDCH (CS-2) [kbit/s]"] == pytest.approx(13.4)
+    assert rows["Average GSM voice call duration, 1/mu_GSM [s]"] == 120
+    assert rows["Average GSM voice call dwell time, 1/mu_h,GSM [s]"] == 60
+    assert rows["Average GPRS session dwell time, 1/mu_h,GPRS [s]"] == 120
+    assert rows["Percentage of GSM users"] == 95
+    assert rows["Percentage of GPRS users"] == 5
+
+
+def test_table3_traffic_models(benchmark):
+    rows = run_once(benchmark, table3)
+    for name, table_rows in rows.items():
+        print()
+        print(format_table(f"Table 3: {name}", table_rows))
+    assert rows["traffic model 1"]["Average GPRS session duration, 1/mu_GPRS [s]"] == (
+        pytest.approx(2122.5)
+    )
+    assert rows["traffic model 2"]["Average GPRS session duration, 1/mu_GPRS [s]"] == (
+        pytest.approx(2075.6, abs=0.05)
+    )
+    assert rows["traffic model 3"]["Average GPRS session duration, 1/mu_GPRS [s]"] == (
+        pytest.approx(312.5)
+    )
+    assert rows["traffic model 1"]["Average arrival rate of data packets [kbit/s]"] == (
+        pytest.approx(7.68)
+    )
+    assert rows["traffic model 2"]["Average arrival rate of data packets [kbit/s]"] == (
+        pytest.approx(30.72)
+    )
+    assert rows["traffic model 1"]["Maximum number of active GPRS sessions, M"] == 50
+    assert rows["traffic model 3"]["Maximum number of active GPRS sessions, M"] == 20

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Link quality, ARQ retransmissions and link adaptation.
+
+The paper fixes the coding scheme to CS-2 and assumes an error-free radio
+link; the cost of RLC retransmissions is explicitly deferred to future work.
+This example exercises that future work (the :mod:`repro.radio` package):
+
+1. it prints, for a range of carrier-to-interference ratios, the block error
+   rate of every coding scheme, the goodput that selective-repeat ARQ leaves,
+   and which coding scheme link adaptation would pick;
+2. it then feeds the CS-2 block error rate into the analytical GPRS model and
+   shows how carried data traffic, per-user throughput and packet loss react
+   as the radio link degrades.
+
+Run it with::
+
+    python examples/link_quality_and_arq.py [arrival_rate]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GprsModelParameters, traffic_model
+from repro.experiments.sensitivity import sweep_block_error_rate
+from repro.radio import best_coding_scheme, block_error_rate, effective_pdch_rate_kbit_s
+from repro.radio.link_adaptation import switching_thresholds
+
+CODING_SCHEMES = ("CS-1", "CS-2", "CS-3", "CS-4")
+
+
+def print_link_level_table() -> None:
+    print("Link level: BLER, ARQ goodput (kbit/s per PDCH) and the adaptive choice")
+    print("-" * 78)
+    header = f"{'C/I [dB]':>9}"
+    for scheme in CODING_SCHEMES:
+        header += f"  {scheme + ' BLER':>10} {scheme + ' good':>10}"
+    header += f"  {'adapted':>8}"
+    print(header)
+    for ci in (3.0, 6.0, 9.0, 12.0, 15.0, 20.0, 25.0):
+        row = f"{ci:>9.1f}"
+        for scheme in CODING_SCHEMES:
+            bler = block_error_rate(scheme, ci)
+            goodput = effective_pdch_rate_kbit_s(scheme, bler)
+            row += f"  {bler:>10.3f} {goodput:>10.2f}"
+        row += f"  {best_coding_scheme(ci):>8}"
+        print(row)
+    print()
+    print("Coding-scheme switching thresholds (goodput crossovers):")
+    for (below, above), ci in sorted(switching_thresholds().items(), key=lambda item: item[1]):
+        print(f"  switch {below} -> {above} at C/I = {ci:5.2f} dB")
+    print()
+
+
+def print_model_level_table(arrival_rate: float) -> None:
+    parameters = GprsModelParameters.from_traffic_model(
+        traffic_model(3),
+        total_call_arrival_rate=arrival_rate,
+        gprs_fraction=0.05,
+        reserved_pdch=2,
+        buffer_size=20,
+        max_gprs_sessions=10,
+    )
+    sweep = sweep_block_error_rate(parameters, (0.0, 0.05, 0.1, 0.2, 0.4))
+    print(f"GPRS cell performance vs. block error rate "
+          f"(traffic model 3, {arrival_rate} calls/s, 2 reserved PDCHs)")
+    print("-" * 78)
+    print(f"{'BLER':>6} {'CDT [PDCH]':>12} {'throughput/user [kbit/s]':>26} "
+          f"{'packet loss':>12} {'delay [s]':>10}")
+    for value, measures in zip(sweep.values, sweep.measures):
+        print(
+            f"{value:>6.2f} {measures.carried_data_traffic:>12.3f} "
+            f"{measures.throughput_per_user_kbit_s:>26.3f} "
+            f"{measures.packet_loss_probability:>12.5f} {measures.queueing_delay:>10.3f}"
+        )
+
+
+def main() -> None:
+    arrival_rate = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    print_link_level_table()
+    print_model_level_table(arrival_rate)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Validation: compare the Markov model against the network-level simulator.
+
+This example repeats, for a single operating point, the validation experiment
+of Section 5.2: the cell is evaluated once with the analytical model (single
+cell, balanced handover flows, threshold approximation of TCP) and once with
+the detailed discrete-event simulator (seven-cell cluster, explicit handovers,
+per-packet radio transmission, full TCP Reno dynamics).  For every performance
+measure the script reports the simulation mean, its 95% confidence half-width
+and whether the analytical value falls inside the interval -- the validation
+criterion used by the paper.
+
+Run it with::
+
+    python examples/model_vs_simulation.py [arrival_rate]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GprsMarkovModel, GprsModelParameters, traffic_model
+from repro.simulator import GprsNetworkSimulator, SimulationConfig
+
+
+def main() -> None:
+    arrival_rate = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+
+    parameters = GprsModelParameters.from_traffic_model(
+        traffic_model(3),
+        total_call_arrival_rate=arrival_rate,
+        gprs_fraction=0.05,
+        reserved_pdch=1,
+        buffer_size=30,
+        max_gprs_sessions=12,
+    )
+
+    print("Solving the Markov model ...")
+    analytical = GprsMarkovModel(parameters).solve().measures
+
+    print("Running the seven-cell simulator (this takes a minute) ...")
+    config = SimulationConfig(
+        cell_parameters=parameters,
+        number_of_cells=7,
+        simulation_time_s=8000.0,
+        warmup_time_s=800.0,
+        batches=8,
+        seed=42,
+    )
+    simulation = GprsNetworkSimulator(config).run()
+
+    comparison = simulation.compare_with(analytical)
+    print()
+    print(f"{'measure':<28} {'simulation':>14} {'+/-':>9} {'model':>12}  inside CI?")
+    print("-" * 80)
+    agreements = 0
+    for metric, entry in comparison.items():
+        inside = bool(entry["analytical_inside_interval"])
+        agreements += inside
+        print(
+            f"{metric:<28} {entry['simulation_mean']:>14.5g} "
+            f"{entry['confidence_half_width']:>9.2g} {entry['analytical']:>12.5g}  "
+            f"{'yes' if inside else 'NO'}"
+        )
+    print("-" * 80)
+    print(f"{agreements} of {len(comparison)} analytical values lie inside the 95% "
+          "confidence interval of the simulation.")
+
+
+if __name__ == "__main__":
+    main()

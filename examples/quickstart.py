@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: solve the GPRS Markov model for one configuration.
+
+This example evaluates the analytical model of the paper for the base
+parameter setting (Table 2) with traffic model 3 and a GSM/GPRS call arrival
+rate of 0.5 calls per second, then prints every performance measure the paper
+reports: carried data traffic, packet loss probability, queueing delay,
+throughput per user, carried voice traffic and the blocking probabilities.
+
+Run it with::
+
+    python examples/quickstart.py [arrival_rate]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GprsMarkovModel, GprsModelParameters, traffic_model
+
+
+def main() -> None:
+    arrival_rate = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+
+    # Build the Table 2 base configuration with traffic model 3 (the
+    # heavier-load WWW browsing model used for most experiments).  The buffer
+    # size is reduced from the paper's 100 packets so the example finishes in
+    # a few seconds; pass buffer_size=100 for the full-size chain.
+    parameters = GprsModelParameters.from_traffic_model(
+        traffic_model(3),
+        total_call_arrival_rate=arrival_rate,
+        gprs_fraction=0.05,
+        reserved_pdch=1,
+        buffer_size=40,
+    )
+
+    model = GprsMarkovModel(parameters)
+    print(f"state space: {model.number_of_states} states")
+
+    solution = model.solve()
+    measures = solution.measures
+
+    print(f"solver: {solution.steady_state.method} "
+          f"({solution.steady_state.iterations} iterations)")
+    print(f"balanced GSM handover rate:  {solution.handover.gsm_handover_arrival_rate:.4f} /s")
+    print(f"balanced GPRS handover rate: {solution.handover.gprs_handover_arrival_rate:.4f} /s")
+    print()
+    print("Performance measures")
+    print("-" * 50)
+    print(f"carried data traffic (PDCHs in use)    {measures.carried_data_traffic:8.3f}")
+    print(f"packet loss probability                {measures.packet_loss_probability:8.5f}")
+    print(f"queueing delay [s]                     {measures.queueing_delay:8.3f}")
+    print(f"throughput per user [kbit/s]           {measures.throughput_per_user_kbit_s:8.3f}")
+    print(f"carried voice traffic (channels)       {measures.carried_voice_traffic:8.3f}")
+    print(f"voice blocking probability             {measures.voice_blocking_probability:8.5f}")
+    print(f"average GPRS sessions in cell          {measures.average_gprs_sessions:8.3f}")
+    print(f"GPRS session blocking probability      {measures.gprs_blocking_probability:8.2e}")
+
+
+if __name__ == "__main__":
+    main()

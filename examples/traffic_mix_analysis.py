@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Application mixes, synthetic traces and fitting the 3GPP model back to them.
+
+The paper evaluates homogeneous WWW-browsing populations.  This example uses
+the traffic extensions of the library to go one step further:
+
+1. build a mixed population (WWW browsing, FTP downloads, e-mail) and show the
+   per-session statistics of the mix next to the pure Table 3 models;
+2. evaluate the GPRS cell under the mix by plugging the mix's equivalent
+   session model into the analytical model;
+3. generate a synthetic packet trace from the 3GPP sampler, measure its
+   burstiness (interarrival variability, index of dispersion) and fit the
+   session model back from the raw timestamps -- the round trip a
+   practitioner would perform with measured traces.
+
+Run it with::
+
+    python examples/traffic_mix_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GprsMarkovModel, GprsModelParameters, traffic_model
+from repro.traffic.applications import ApplicationMix
+from repro.traffic.sampling import SessionSampler
+from repro.traffic.statistics import compute_trace_statistics, fit_session_model
+
+
+def describe_session(label: str, session) -> None:
+    print(f"  {label:<34} duration {session.mean_session_duration_s:8.1f} s   "
+          f"mean rate {session.mean_bit_rate_kbit_s:6.2f} kbit/s   "
+          f"activity {session.activity_factor:5.1%}")
+
+
+def main() -> None:
+    print("1. Application mix")
+    print("-" * 78)
+    mix = ApplicationMix.from_shares({"www-32k": 0.6, "ftp": 0.1, "email": 0.3})
+    for weight, component in zip(mix.normalised_weights(), mix.components):
+        describe_session(f"{component.session.name} ({weight:.0%})", component.session)
+    equivalent = mix.equivalent_session_model("mixed population")
+    describe_session("equivalent single model", equivalent)
+    print()
+
+    print("2. Cell performance under the mix (0.5 calls/s, 10% GPRS users)")
+    print("-" * 78)
+    for label, session in (
+        ("pure WWW 32 kbit/s (traffic model 2)", traffic_model(2).session),
+        ("application mix", equivalent),
+    ):
+        parameters = GprsModelParameters(
+            total_call_arrival_rate=0.5,
+            gprs_fraction=0.10,
+            traffic=session,
+            reserved_pdch=2,
+            buffer_size=20,
+            max_gprs_sessions=10,
+        )
+        measures = GprsMarkovModel(parameters).measures()
+        print(f"  {label:<38} CDT {measures.carried_data_traffic:6.3f} PDCH   "
+              f"loss {measures.packet_loss_probability:8.5f}   "
+              f"throughput/user {measures.throughput_per_user_kbit_s:6.2f} kbit/s")
+    print()
+
+    print("3. Synthetic trace, burstiness statistics and model fitting")
+    print("-" * 78)
+    model = traffic_model(3).session
+    sampler = SessionSampler(model, np.random.default_rng(42))
+    times = []
+    offset = 0.0
+    for _ in range(150):
+        trace = sampler.sample_session(start_time=offset)
+        times.extend(trace.all_packet_times())
+        offset = trace.duration + sampler.sample_reading_time()
+    times = np.array(times)
+    stats = compute_trace_statistics(times, window_s=5.0)
+    print(f"  trace: {stats.number_of_packets} packets over {stats.duration_s:,.0f} s "
+          f"({stats.mean_rate:.2f} packets/s)")
+    print(f"  interarrival SCV        {stats.interarrival_scv:6.2f}  (Poisson = 1)")
+    print(f"  index of dispersion     {stats.index_of_dispersion:6.2f}  (Poisson = 1)")
+    print(f"  peak-to-mean ratio      {stats.peak_to_mean_ratio:6.2f}")
+    fitted = fit_session_model(times, idle_threshold_s=1.0,
+                               packet_calls_per_session=model.packet_calls_per_session)
+    print("  fitted 3GPP parameters vs. the generating traffic model 3:")
+    print(f"    packet interarrival D_d   {fitted.packet_interarrival_s:7.3f} s "
+          f"(true {model.packet_interarrival_s})")
+    print(f"    packets per call N_d      {fitted.packets_per_packet_call:7.2f}   "
+          f"(true {model.packets_per_packet_call})")
+    print(f"    reading time D_pc         {fitted.reading_time_s:7.2f} s "
+          f"(true {model.reading_time_s})")
+
+
+if __name__ == "__main__":
+    main()

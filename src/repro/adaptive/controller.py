@@ -1,0 +1,215 @@
+"""The adaptive allocation controller and its evaluation harness.
+
+:class:`AdaptiveAllocationController` feeds a :class:`~repro.adaptive.supervision.LoadSupervisor`
+into an allocation policy and keeps track of the resulting reservation and of
+how often it changes (reallocation churn is not free: every change triggers
+signalling towards the mobile stations).
+
+:func:`evaluate_policy` replays a deterministic load trajectory through a
+policy and scores each epoch with the analytical model -- the quasi-stationary
+evaluation that makes different policies directly comparable (the paper's
+future-work question: does adapting the reservation beat any fixed one?).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.adaptive.policies import AllocationPolicy
+from repro.adaptive.supervision import LoadObservation, LoadSupervisor
+from repro.core.measures import GprsPerformanceMeasures
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+
+__all__ = [
+    "AdaptiveAllocationController",
+    "ControllerDecision",
+    "EpochOutcome",
+    "PolicyEvaluation",
+    "evaluate_policy",
+]
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One decision taken by the adaptive controller."""
+
+    observation: LoadObservation
+    reserved_pdch: int
+    changed: bool
+
+
+class AdaptiveAllocationController:
+    """Couples load supervision with an allocation policy.
+
+    Parameters
+    ----------
+    supervisor:
+        The load supervisor receiving raw observations.
+    policy:
+        The allocation policy consulted at every decision epoch.
+    initial_reserved:
+        Reservation in force before the first decision.
+    decision_interval_s:
+        Minimum time between two consecutive decisions; estimates arriving
+        earlier only update the supervisor.
+    """
+
+    def __init__(
+        self,
+        supervisor: LoadSupervisor,
+        policy: AllocationPolicy,
+        *,
+        initial_reserved: int = 1,
+        decision_interval_s: float = 60.0,
+    ) -> None:
+        if initial_reserved < 0:
+            raise ValueError("initial_reserved must be non-negative")
+        if decision_interval_s <= 0:
+            raise ValueError("decision_interval_s must be positive")
+        self.supervisor = supervisor
+        self.policy = policy
+        self._reserved = initial_reserved
+        self._interval = decision_interval_s
+        self._last_decision_time: float | None = None
+        self._decisions: list[ControllerDecision] = []
+
+    @property
+    def current_reserved_pdch(self) -> int:
+        return self._reserved
+
+    @property
+    def decisions(self) -> list[ControllerDecision]:
+        return list(self._decisions)
+
+    @property
+    def reallocation_count(self) -> int:
+        """Number of decisions that actually changed the reservation."""
+        return sum(1 for decision in self._decisions if decision.changed)
+
+    # ------------------------------------------------------------------ #
+    # Feeding events
+    # ------------------------------------------------------------------ #
+    def on_call_arrival(self, time_s: float) -> ControllerDecision | None:
+        """Record a call arrival; possibly take a decision."""
+        self.supervisor.record_call_arrival(time_s)
+        return self._maybe_decide(time_s)
+
+    def on_utilization_sample(self, time_s: float, utilization: float) -> (
+        ControllerDecision | None
+    ):
+        """Record a PDCH-utilisation sample; possibly take a decision."""
+        self.supervisor.record_pdch_utilization(time_s, utilization)
+        return self._maybe_decide(time_s)
+
+    def _maybe_decide(self, time_s: float) -> ControllerDecision | None:
+        if (
+            self._last_decision_time is not None
+            and time_s - self._last_decision_time < self._interval
+        ):
+            return None
+        return self.decide_now(time_s)
+
+    def decide_now(self, time_s: float) -> ControllerDecision:
+        """Force a decision at ``time_s`` regardless of the decision interval."""
+        observation = self.supervisor.estimate(time_s)
+        reserved = self.policy.decide(observation, self._reserved)
+        if reserved < 0:
+            raise ValueError("the policy returned a negative reservation")
+        changed = reserved != self._reserved
+        self._reserved = reserved
+        self._last_decision_time = time_s
+        decision = ControllerDecision(
+            observation=observation, reserved_pdch=reserved, changed=changed
+        )
+        self._decisions.append(decision)
+        return decision
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """Model-predicted performance of one epoch of a replayed load trajectory."""
+
+    arrival_rate: float
+    reserved_pdch: int
+    measures: GprsPerformanceMeasures
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Outcome of replaying a load trajectory through an allocation policy."""
+
+    epochs: tuple[EpochOutcome, ...]
+    reallocations: int
+
+    def mean_throughput_per_user_kbit_s(self) -> float:
+        return sum(epoch.measures.throughput_per_user_kbit_s for epoch in self.epochs) / len(
+            self.epochs
+        )
+
+    def worst_packet_loss(self) -> float:
+        return max(epoch.measures.packet_loss_probability for epoch in self.epochs)
+
+    def worst_voice_blocking(self) -> float:
+        return max(epoch.measures.voice_blocking_probability for epoch in self.epochs)
+
+    def mean_reserved_pdch(self) -> float:
+        return sum(epoch.reserved_pdch for epoch in self.epochs) / len(self.epochs)
+
+
+def evaluate_policy(
+    base_parameters: GprsModelParameters,
+    policy: AllocationPolicy,
+    arrival_rate_trajectory: Sequence[float],
+    *,
+    initial_reserved: int | None = None,
+    solver: str = "auto",
+) -> PolicyEvaluation:
+    """Replay a load trajectory through a policy and score it with the CTMC.
+
+    Each entry of ``arrival_rate_trajectory`` is one epoch (e.g. a busy-hour
+    profile sampled every 15 minutes).  For every epoch the policy sees a
+    perfect arrival-rate estimate (the evaluation isolates the *allocation*
+    question from the estimation question) together with the PDCH utilisation
+    the model predicted for the *previous* epoch -- the information a real
+    load supervisor would have at the decision instant.  The chosen
+    reservation is applied and the stationary measures of the resulting
+    configuration are recorded.
+    """
+    rates = [float(rate) for rate in arrival_rate_trajectory]
+    if not rates:
+        raise ValueError("the trajectory must contain at least one arrival rate")
+    reserved = (
+        base_parameters.reserved_pdch if initial_reserved is None else int(initial_reserved)
+    )
+    epochs: list[EpochOutcome] = []
+    reallocations = 0
+    previous_measures: GprsPerformanceMeasures | None = None
+    for index, rate in enumerate(rates):
+        if previous_measures is None:
+            utilization = 0.0
+        else:
+            utilization = min(
+                1.0, previous_measures.carried_data_traffic / max(reserved, 1)
+            )
+        observation = LoadObservation(
+            time_s=float(index),
+            call_arrival_rate=rate,
+            pdch_utilization=utilization,
+            samples=0,
+        )
+        decision = policy.decide(observation, reserved)
+        decision = min(max(decision, 0), base_parameters.number_of_channels - 1)
+        if decision != reserved and index > 0:
+            reallocations += 1
+        reserved = decision
+        configuration = base_parameters.replace(
+            reserved_pdch=reserved, total_call_arrival_rate=max(rate, 1e-6)
+        )
+        measures = GprsMarkovModel(configuration, solver_method=solver).measures()
+        previous_measures = measures
+        epochs.append(
+            EpochOutcome(arrival_rate=rate, reserved_pdch=reserved, measures=measures)
+        )
+    return PolicyEvaluation(epochs=tuple(epochs), reallocations=reallocations)

@@ -1,0 +1,146 @@
+"""Allocation policies: mapping supervised load to a PDCH reservation.
+
+Three policies cover the design space the paper's conclusions sketch:
+
+* :class:`StaticAllocationPolicy` -- the baseline every figure of the paper
+  evaluates: a fixed number of reserved PDCHs regardless of load;
+* :class:`UtilizationThresholdPolicy` -- the mechanism operators actually
+  deploy: add a PDCH when the allocated ones are persistently busy, release
+  one when they are persistently idle, with hysteresis between the two
+  thresholds;
+* :class:`ModelDrivenPolicy` -- the paper's proposal: use the analytical model
+  itself to pick the smallest reservation that satisfies a QoS profile at the
+  currently estimated load.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.adaptive.supervision import LoadObservation
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.dimensioning import QosProfile, recommend_reserved_pdch
+
+__all__ = [
+    "AllocationPolicy",
+    "StaticAllocationPolicy",
+    "UtilizationThresholdPolicy",
+    "ModelDrivenPolicy",
+]
+
+
+class AllocationPolicy(Protocol):
+    """Protocol of an allocation policy used by the adaptive controller."""
+
+    def decide(self, observation: LoadObservation, current_reserved: int) -> int:
+        """Return the PDCH reservation to use given the latest load estimate."""
+        ...  # pragma: no cover - protocol definition
+
+
+class StaticAllocationPolicy:
+    """Always keep the same number of reserved PDCHs (the paper's baseline)."""
+
+    def __init__(self, reserved_pdch: int) -> None:
+        if reserved_pdch < 0:
+            raise ValueError("reserved_pdch must be non-negative")
+        self._reserved = reserved_pdch
+
+    def decide(self, observation: LoadObservation, current_reserved: int) -> int:
+        return self._reserved
+
+
+class UtilizationThresholdPolicy:
+    """Hysteresis rule on the supervised PDCH utilisation.
+
+    Parameters
+    ----------
+    upgrade_threshold:
+        Utilisation above which one more PDCH is reserved.
+    release_threshold:
+        Utilisation below which one reserved PDCH is released; must be lower
+        than ``upgrade_threshold`` (the gap is the hysteresis band).
+    minimum_reserved, maximum_reserved:
+        Bounds of the reservation the policy may choose.
+    """
+
+    def __init__(
+        self,
+        *,
+        upgrade_threshold: float = 0.8,
+        release_threshold: float = 0.3,
+        minimum_reserved: int = 0,
+        maximum_reserved: int = 8,
+    ) -> None:
+        if not 0.0 < upgrade_threshold <= 1.0:
+            raise ValueError("upgrade_threshold must be in (0, 1]")
+        if not 0.0 <= release_threshold < upgrade_threshold:
+            raise ValueError("release_threshold must be below upgrade_threshold")
+        if minimum_reserved < 0 or maximum_reserved < minimum_reserved:
+            raise ValueError("invalid reservation bounds")
+        self.upgrade_threshold = upgrade_threshold
+        self.release_threshold = release_threshold
+        self.minimum_reserved = minimum_reserved
+        self.maximum_reserved = maximum_reserved
+
+    def decide(self, observation: LoadObservation, current_reserved: int) -> int:
+        reserved = min(max(current_reserved, self.minimum_reserved), self.maximum_reserved)
+        if observation.pdch_utilization > self.upgrade_threshold:
+            reserved = min(reserved + 1, self.maximum_reserved)
+        elif observation.pdch_utilization < self.release_threshold:
+            reserved = max(reserved - 1, self.minimum_reserved)
+        return reserved
+
+
+class ModelDrivenPolicy:
+    """Pick the smallest reservation whose model-predicted QoS meets a profile.
+
+    Parameters
+    ----------
+    base_parameters:
+        Cell configuration; the policy varies its arrival rate and reservation.
+    profile:
+        The QoS profile to enforce.
+    candidate_reservations:
+        Reservation levels the policy may choose from.
+    fallback_reserved:
+        Reservation used when no candidate satisfies the profile (best effort).
+    solver:
+        Steady-state solver passed to the analytical model.
+    """
+
+    def __init__(
+        self,
+        base_parameters: GprsModelParameters,
+        profile: QosProfile,
+        *,
+        candidate_reservations: tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8),
+        fallback_reserved: int | None = None,
+        solver: str = "auto",
+    ) -> None:
+        self._parameters = base_parameters
+        self._profile = profile
+        self._candidates = tuple(sorted(set(candidate_reservations)))
+        if not self._candidates:
+            raise ValueError("at least one candidate reservation is required")
+        valid = [c for c in self._candidates if c < base_parameters.number_of_channels]
+        if not valid:
+            raise ValueError("no candidate leaves room for voice channels")
+        self._fallback = fallback_reserved if fallback_reserved is not None else max(valid)
+        self._solver = solver
+        self._cache: dict[float, int] = {}
+
+    def decide(self, observation: LoadObservation, current_reserved: int) -> int:
+        rate = max(observation.call_arrival_rate, 1e-6)
+        cache_key = round(rate, 4)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        recommended = recommend_reserved_pdch(
+            self._parameters,
+            self._profile,
+            rate,
+            candidate_reservations=self._candidates,
+            solver=self._solver,
+        )
+        decision = self._fallback if recommended is None else recommended
+        self._cache[cache_key] = decision
+        return decision

@@ -1,0 +1,140 @@
+"""Load supervision: estimating offered load and PDCH utilisation online.
+
+GPRS base station controllers run a *load supervision procedure* (Section 2 of
+the paper) that watches the packet data channels and decides when capacity
+should be added or released.  The supervisor implemented here consumes raw
+observations -- call arrivals and PDCH-utilisation samples stamped with a
+time -- and produces smoothed estimates over a sliding window, which the
+allocation policies of :mod:`repro.adaptive.policies` consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["LoadObservation", "LoadSupervisor"]
+
+
+@dataclass(frozen=True)
+class LoadObservation:
+    """Smoothed load estimate produced by the supervisor at one point in time.
+
+    Attributes
+    ----------
+    time_s:
+        Time of the estimate.
+    call_arrival_rate:
+        Estimated combined GSM/GPRS call arrival rate (calls per second).
+    pdch_utilization:
+        Estimated fraction of the currently allocated PDCHs that are busy
+        (0 when no utilisation samples have been recorded yet).
+    samples:
+        Number of arrival events inside the window that produced the estimate.
+    """
+
+    time_s: float
+    call_arrival_rate: float
+    pdch_utilization: float
+    samples: int
+
+
+class LoadSupervisor:
+    """Sliding-window estimator of call arrival rate and PDCH utilisation.
+
+    Parameters
+    ----------
+    window_s:
+        Length of the sliding window in seconds.  Longer windows smooth more
+        but react later -- the classic supervision trade-off.
+    minimum_samples:
+        Arrival events required inside the window before the supervisor
+        reports a rate; below it the estimate falls back to ``fallback_rate``.
+    fallback_rate:
+        Rate reported while too few samples are available (e.g. the planned
+        load the cell was dimensioned for).
+    """
+
+    def __init__(
+        self,
+        window_s: float = 600.0,
+        *,
+        minimum_samples: int = 5,
+        fallback_rate: float = 0.0,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if minimum_samples < 1:
+            raise ValueError("minimum_samples must be at least 1")
+        if fallback_rate < 0:
+            raise ValueError("fallback_rate must be non-negative")
+        self._window_s = window_s
+        self._minimum_samples = minimum_samples
+        self._fallback_rate = fallback_rate
+        self._arrivals: deque[float] = deque()
+        self._utilization_samples: deque[tuple[float, float]] = deque()
+
+    @property
+    def window_s(self) -> float:
+        return self._window_s
+
+    # ------------------------------------------------------------------ #
+    # Feeding observations
+    # ------------------------------------------------------------------ #
+    def record_call_arrival(self, time_s: float) -> None:
+        """Record one GSM call or GPRS session request at ``time_s``."""
+        self._check_time(time_s, self._arrivals)
+        self._arrivals.append(float(time_s))
+        self._evict(time_s)
+
+    def record_pdch_utilization(self, time_s: float, utilization: float) -> None:
+        """Record one sample of the fraction of allocated PDCHs in use."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        self._check_time(time_s, (sample[0] for sample in self._utilization_samples))
+        self._utilization_samples.append((float(time_s), float(utilization)))
+        self._evict(time_s)
+
+    def _check_time(self, time_s: float, recorded) -> None:
+        if time_s < 0:
+            raise ValueError("observation times must be non-negative")
+        last = None
+        for value in recorded:
+            last = value
+        if last is not None and time_s < last:
+            raise ValueError("observations must be recorded in non-decreasing time order")
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self._window_s
+        while self._arrivals and self._arrivals[0] < horizon:
+            self._arrivals.popleft()
+        while self._utilization_samples and self._utilization_samples[0][0] < horizon:
+            self._utilization_samples.popleft()
+
+    # ------------------------------------------------------------------ #
+    # Estimates
+    # ------------------------------------------------------------------ #
+    def estimate(self, time_s: float) -> LoadObservation:
+        """Return the smoothed load estimate at ``time_s``."""
+        if time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        self._evict(time_s)
+        samples = len(self._arrivals)
+        if samples >= self._minimum_samples:
+            # Before one full window has elapsed the effective window is shorter.
+            effective_window = self._window_s if time_s >= self._window_s else max(time_s, 1e-9)
+            rate = samples / effective_window
+        else:
+            rate = self._fallback_rate
+        if self._utilization_samples:
+            utilization = sum(value for _, value in self._utilization_samples) / len(
+                self._utilization_samples
+            )
+        else:
+            utilization = 0.0
+        return LoadObservation(
+            time_s=float(time_s),
+            call_arrival_rate=rate,
+            pdch_utilization=utilization,
+            samples=samples,
+        )

@@ -1,0 +1,171 @@
+"""Command-line interface of the GPRS reproduction.
+
+Usage (installed as ``gprs-repro`` or via ``python -m repro``)::
+
+    gprs-repro list                      # list all regenerable tables/figures
+    gprs-repro run figure12              # regenerate figure 12 (scaled preset)
+    gprs-repro run figure7 --preset paper
+    gprs-repro solve --arrival-rate 0.5 --gprs-fraction 0.05 --reserved-pdch 2
+    gprs-repro simulate --arrival-rate 0.5 --time 5000
+
+``run`` reproduces a table or figure of the paper, ``solve`` evaluates the
+analytical model for a single configuration and ``simulate`` runs the
+network-level simulator for one configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.scale import ExperimentScale
+from repro.simulator.config import SimulationConfig, TcpConfig
+from repro.simulator.simulation import GprsNetworkSimulator
+from repro.traffic.presets import traffic_model
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``gprs-repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="gprs-repro",
+        description="Reproduction of 'Performance Analysis of the General Packet "
+        "Radio Service' (Lindemann & Thuemmler).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all regenerable tables and figures")
+
+    run_parser = subparsers.add_parser("run", help="regenerate a table or figure")
+    run_parser.add_argument("experiment", help="experiment name, e.g. figure12 or table2")
+    run_parser.add_argument(
+        "--preset",
+        choices=("smoke", "default", "paper"),
+        default="default",
+        help="experiment scale (paper = full Table 2/3 sizes)",
+    )
+
+    solve_parser = subparsers.add_parser(
+        "solve", help="solve the analytical model for one configuration"
+    )
+    _add_model_arguments(solve_parser)
+    solve_parser.add_argument(
+        "--solver", default="auto", help="steady-state solver (auto, structured, direct, ...)"
+    )
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run the network-level simulator for one configuration"
+    )
+    _add_model_arguments(simulate_parser)
+    simulate_parser.add_argument("--time", type=float, default=5000.0,
+                                 help="measured simulation time in seconds")
+    simulate_parser.add_argument("--warmup", type=float, default=500.0,
+                                 help="warm-up time in seconds")
+    simulate_parser.add_argument("--cells", type=int, default=7, help="cells in the cluster")
+    simulate_parser.add_argument("--batches", type=int, default=5,
+                                 help="batches for confidence intervals")
+    simulate_parser.add_argument("--seed", type=int, default=20020527, help="random seed")
+    simulate_parser.add_argument("--no-tcp", action="store_true",
+                                 help="disable TCP flow control")
+    return parser
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arrival-rate", type=float, required=True,
+                        help="total GSM/GPRS call arrival rate in calls per second")
+    parser.add_argument("--traffic-model", type=int, choices=(1, 2, 3), default=3,
+                        help="traffic model of Table 3")
+    parser.add_argument("--gprs-fraction", type=float, default=0.05,
+                        help="fraction of arriving calls that are GPRS sessions")
+    parser.add_argument("--reserved-pdch", type=int, default=1,
+                        help="number of PDCHs permanently reserved for GPRS")
+    parser.add_argument("--buffer-size", type=int, default=None,
+                        help="BSC buffer size K (defaults to the paper value of 100)")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="admission cap M (defaults to the traffic model value)")
+    parser.add_argument("--eta", type=float, default=0.7, help="TCP threshold eta")
+
+
+def _parameters_from_args(args: argparse.Namespace) -> GprsModelParameters:
+    overrides = {
+        "gprs_fraction": args.gprs_fraction,
+        "reserved_pdch": args.reserved_pdch,
+        "tcp_threshold": args.eta,
+    }
+    if args.buffer_size is not None:
+        overrides["buffer_size"] = args.buffer_size
+    if args.max_sessions is not None:
+        overrides["max_gprs_sessions"] = args.max_sessions
+    return GprsModelParameters.from_traffic_model(
+        traffic_model(args.traffic_model), args.arrival_rate, **overrides
+    )
+
+
+def _scale_from_name(name: str) -> ExperimentScale:
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "smoke":
+        return ExperimentScale.smoke()
+    return ExperimentScale.default()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``gprs-repro`` command; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.command == "run":
+        try:
+            report = run_experiment(args.experiment, _scale_from_name(args.preset))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(report)
+        return 0
+
+    if args.command == "solve":
+        params = _parameters_from_args(args)
+        solution = GprsMarkovModel(params, solver_method=args.solver).solve()
+        rows = solution.measures.as_dict()
+        rows["states"] = solution.parameters.state_space_size
+        rows["solver"] = solution.steady_state.method
+        print(format_table("Analytical model solution", rows))
+        return 0
+
+    if args.command == "simulate":
+        params = _parameters_from_args(args)
+        config = SimulationConfig(
+            cell_parameters=params,
+            number_of_cells=args.cells,
+            simulation_time_s=args.time,
+            warmup_time_s=args.warmup,
+            batches=args.batches,
+            seed=args.seed,
+            tcp=TcpConfig(enabled=not args.no_tcp),
+        )
+        results = GprsNetworkSimulator(config).run()
+        rows: dict[str, float | str] = {}
+        for metric in results.available_metrics():
+            interval = results.interval(metric)
+            rows[metric] = f"{interval.mean:.6g} +/- {interval.half_width:.2g}"
+        rows["events processed"] = results.events_processed
+        print(format_table("Simulation results (mid cell, 95% confidence)", rows))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

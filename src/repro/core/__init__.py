@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the CTMC model of the GPRS radio interface.
+
+The model represents a single cell of an integrated GSM/GPRS network in which
+``N`` physical channels are shared between circuit-switched GSM voice calls
+and packet-switched GPRS sessions.  ``N_GPRS`` channels are permanently
+reserved as packet data channels (PDCH); the remaining ``N_GSM = N - N_GPRS``
+channels are used by GSM calls with priority and as on-demand PDCHs otherwise.
+
+A state is the tuple ``(n, k, m, r)``:
+
+* ``n`` -- active GSM calls (0 .. N_GSM),
+* ``k`` -- data packets queued in the BSC buffer (0 .. K),
+* ``m`` -- active GPRS sessions (0 .. M),
+* ``r`` -- sessions whose on--off traffic source is currently *off* (0 .. m).
+
+Transition rates follow Table 1 of the paper; user mobility enters through the
+handover-balancing fixed point (Eqs. (4)-(5)) and TCP flow control through the
+buffer threshold ``eta`` that caps the packet arrival rate once the buffer is
+more than ``eta * K`` full.  Performance measures (Eqs. (6)-(11)) are computed
+from the stationary distribution.
+
+Public entry point: :class:`~repro.core.model.GprsMarkovModel`.
+"""
+
+from repro.core.handover import HandoverBalance, balance_handover_rates
+from repro.core.measures import GprsPerformanceMeasures, compute_measures
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.core.state_space import GprsStateSpace
+from repro.core.transitions import TransitionBatch, enumerate_transitions
+
+__all__ = [
+    "GprsMarkovModel",
+    "GprsModelParameters",
+    "GprsPerformanceMeasures",
+    "GprsStateSpace",
+    "HandoverBalance",
+    "TransitionBatch",
+    "balance_handover_rates",
+    "compute_measures",
+    "enumerate_transitions",
+]

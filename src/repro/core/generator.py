@@ -1,0 +1,111 @@
+"""Assembly of the sparse infinitesimal generator matrix of the GPRS chain.
+
+The generator ``Q`` is built from the vectorised transition batches of
+:mod:`repro.core.transitions`: all (source, target, rate) triples are collected
+into one sparse COO matrix, duplicate entries are summed, and the diagonal is
+set to the negative row sum so that each row of ``Q`` sums to zero.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.parameters import GprsModelParameters
+from repro.core.state_space import GprsStateSpace
+from repro.core.transitions import TransitionBatch, enumerate_transitions
+
+__all__ = ["assemble_generator", "build_generator", "transition_rate_summary"]
+
+
+def assemble_generator(
+    batches: Iterable[TransitionBatch], number_of_states: int
+) -> sp.csr_matrix:
+    """Assemble a CTMC generator from transition batches.
+
+    Parameters
+    ----------
+    batches:
+        Iterable of :class:`~repro.core.transitions.TransitionBatch`.
+    number_of_states:
+        Dimension of the (square) generator.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        The generator ``Q`` with zero row sums.
+    """
+    sources = []
+    targets = []
+    rates = []
+    for batch in batches:
+        if len(batch) == 0:
+            continue
+        if np.any(batch.source == batch.target):
+            raise ValueError(f"batch {batch.event!r} contains self-loop transitions")
+        sources.append(batch.source)
+        targets.append(batch.target)
+        rates.append(batch.rate)
+
+    if sources:
+        row = np.concatenate(sources)
+        col = np.concatenate(targets)
+        data = np.concatenate(rates)
+    else:
+        row = np.empty(0, dtype=np.int64)
+        col = np.empty(0, dtype=np.int64)
+        data = np.empty(0, dtype=float)
+
+    off_diagonal = sp.coo_matrix(
+        (data, (row, col)), shape=(number_of_states, number_of_states)
+    ).tocsr()
+    off_diagonal.sum_duplicates()
+    exit_rates = np.asarray(off_diagonal.sum(axis=1)).ravel()
+    return (off_diagonal - sp.diags(exit_rates)).tocsr()
+
+
+def build_generator(
+    params: GprsModelParameters,
+    space: GprsStateSpace | None = None,
+    *,
+    gsm_handover_arrival_rate: float,
+    gprs_handover_arrival_rate: float,
+) -> tuple[sp.csr_matrix, GprsStateSpace]:
+    """Build the generator matrix of the GPRS model for the given parameters.
+
+    Returns the sparse generator and the state space used to index it.
+    """
+    if space is None:
+        space = GprsStateSpace(
+            gsm_channels=params.gsm_channels,
+            buffer_size=params.buffer_size,
+            max_sessions=params.max_gprs_sessions,
+        )
+    batches = enumerate_transitions(
+        params,
+        space,
+        gsm_handover_arrival_rate=gsm_handover_arrival_rate,
+        gprs_handover_arrival_rate=gprs_handover_arrival_rate,
+    )
+    return assemble_generator(batches, space.size), space
+
+
+def transition_rate_summary(batches: Iterable[TransitionBatch]) -> dict[str, dict[str, float]]:
+    """Return per-event-class statistics of a transition-batch collection.
+
+    Useful for debugging and for the ablation benchmarks: reports, for every
+    event class, the number of transitions and the minimum / maximum rate.
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for batch in batches:
+        if len(batch) == 0:
+            summary[batch.event] = {"count": 0, "min_rate": 0.0, "max_rate": 0.0}
+            continue
+        summary[batch.event] = {
+            "count": float(len(batch)),
+            "min_rate": float(batch.rate.min()),
+            "max_rate": float(batch.rate.max()),
+        }
+    return summary

@@ -1,0 +1,122 @@
+"""Handover-flow balancing (Eqs. (4)-(5) of the paper).
+
+The model considers a single cell, so the rate of handovers *into* the cell is
+unknown a priori: it depends on how many users the neighbouring cells hold,
+which in a homogeneous cluster equals the number of users in the modelled cell
+itself.  The paper balances the flows with the fixed-point iteration of
+Marsan et al.: assume an incoming handover rate, solve the Erlang-loss model
+for the number of active users, compute the resulting *outgoing* handover rate
+``mu_h * E[N]``, and feed it back as the new incoming rate until both agree.
+
+GSM calls and GPRS sessions are balanced independently because they occupy
+disjoint Erlang-loss systems (GSM has preemptive priority over the shared
+channels, and GPRS admission is limited by the session cap ``M`` rather than by
+channel availability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import GprsModelParameters
+from repro.queueing.erlang import ErlangLossSystem
+from repro.queueing.fixed_point import fixed_point_iteration
+
+__all__ = ["HandoverBalance", "balance_handover_rates"]
+
+
+@dataclass(frozen=True)
+class HandoverBalance:
+    """Result of the handover balancing iteration.
+
+    Attributes
+    ----------
+    gsm_handover_arrival_rate:
+        Balanced incoming handover rate of GSM calls, ``lambda_h,GSM``.
+    gprs_handover_arrival_rate:
+        Balanced incoming handover rate of GPRS sessions, ``lambda_h,GPRS``.
+    gsm_iterations / gprs_iterations:
+        Number of fixed-point iterations used for each class.
+    converged:
+        Whether both iterations met the tolerance.
+    """
+
+    gsm_handover_arrival_rate: float
+    gprs_handover_arrival_rate: float
+    gsm_iterations: int
+    gprs_iterations: int
+    converged: bool
+
+
+def _balance_single_class(
+    new_arrival_rate: float,
+    completion_rate: float,
+    handover_departure_rate: float,
+    servers: int,
+    *,
+    tol: float,
+    max_iterations: int,
+) -> tuple[float, int, bool]:
+    """Balance the handover flow of one traffic class (GSM or GPRS).
+
+    The fixed point maps an assumed incoming handover rate ``x`` to the
+    outgoing handover rate ``mu_h * E[N(x)]`` where ``E[N(x)]`` is the mean
+    number of busy servers of the Erlang-loss system with total arrival rate
+    ``lambda + x`` and total departure rate ``mu + mu_h``.
+    """
+    if new_arrival_rate == 0.0:
+        return 0.0, 0, True
+
+    def outgoing_handover_rate(incoming: np.ndarray) -> float:
+        system = ErlangLossSystem(
+            arrival_rate=new_arrival_rate + float(incoming[0]),
+            service_rate=completion_rate + handover_departure_rate,
+            servers=servers,
+        )
+        return handover_departure_rate * system.mean_number_in_system()
+
+    result = fixed_point_iteration(
+        outgoing_handover_rate,
+        initial=new_arrival_rate,
+        tol=tol,
+        max_iterations=max_iterations,
+    )
+    return float(result.value[0]), result.iterations, result.converged
+
+
+def balance_handover_rates(
+    params: GprsModelParameters,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 500,
+) -> HandoverBalance:
+    """Balance incoming and outgoing handover flows for GSM calls and GPRS sessions.
+
+    The iteration is initialised with ``lambda_h = lambda`` as in the paper and
+    uses the closed-form Erlang-loss solution (Eqs. (2)-(3)) at every step.
+    """
+    gsm_rate, gsm_iterations, gsm_converged = _balance_single_class(
+        params.gsm_arrival_rate,
+        params.gsm_completion_rate,
+        params.gsm_handover_departure_rate,
+        params.gsm_channels if params.gsm_channels >= 1 else 1,
+        tol=tol,
+        max_iterations=max_iterations,
+    )
+    gprs_rate, gprs_iterations, gprs_converged = _balance_single_class(
+        params.gprs_arrival_rate,
+        params.gprs_completion_rate,
+        params.gprs_handover_departure_rate,
+        params.max_gprs_sessions,
+        tol=tol,
+        max_iterations=max_iterations,
+    )
+    return HandoverBalance(
+        gsm_handover_arrival_rate=gsm_rate,
+        gprs_handover_arrival_rate=gprs_rate,
+        gsm_iterations=gsm_iterations,
+        gprs_iterations=gprs_iterations,
+        converged=gsm_converged and gprs_converged,
+    )

@@ -1,0 +1,231 @@
+"""Performance measures of the GPRS model (Eqs. (6)-(11) of the paper).
+
+Two families of measures are computed:
+
+* **Erlang-loss measures** that only depend on the closed-form M/M/c/c
+  solutions: carried voice traffic (CVT), GSM voice blocking probability,
+  average number of GPRS sessions (AGS) and GPRS session blocking probability.
+* **CTMC measures** that require the stationary distribution of the full
+  ``(n, k, m, r)`` chain: carried data traffic (CDT, the mean number of PDCHs
+  in use), mean queue length (MQL), packet loss probability (PLP), queueing
+  delay (QD) and average throughput per user (ATU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.handover import HandoverBalance
+from repro.core.parameters import GprsModelParameters
+from repro.core.state_space import GprsStateSpace
+from repro.core.transitions import offered_packet_rate, pdch_in_use
+from repro.queueing.erlang import ErlangLossSystem
+from repro.queueing.littles_law import mean_waiting_time
+from repro.traffic.units import packets_per_s_to_kbit_per_s
+
+__all__ = ["GprsPerformanceMeasures", "compute_measures", "erlang_measures"]
+
+
+@dataclass(frozen=True)
+class GprsPerformanceMeasures:
+    """All performance measures reported by the paper for one configuration.
+
+    Rates are expressed in packets per second unless the attribute name says
+    otherwise; conversions to kbit/s use the 480-byte packet size of the
+    traffic model.
+    """
+
+    #: Total GSM/GPRS call arrival rate of the configuration (calls per second).
+    total_call_arrival_rate: float
+    #: Carried data traffic: mean number of PDCHs in use (Eq. (8)).
+    carried_data_traffic: float
+    #: Mean number of packets in the BSC buffer.
+    mean_queue_length: float
+    #: Mean packet arrival rate offered by the TCP-controlled sources (packets/s).
+    offered_packet_rate: float
+    #: Carried packet throughput ``CDT * mu_service`` (packets/s).
+    packet_throughput: float
+    #: Packet loss probability (Eq. (9)).
+    packet_loss_probability: float
+    #: Mean queueing delay of data packets in the BSC buffer (Eq. (10), seconds).
+    queueing_delay: float
+    #: Average throughput per GPRS user (Eq. (11), packets/s).
+    throughput_per_user: float
+    #: Average throughput per GPRS user in kbit/s.
+    throughput_per_user_kbit_s: float
+    #: Carried voice traffic: mean number of busy GSM channels (Eq. (6)).
+    carried_voice_traffic: float
+    #: GSM voice call blocking probability.
+    voice_blocking_probability: float
+    #: Average number of active GPRS sessions in the cell (Eq. (7)).
+    average_gprs_sessions: float
+    #: GPRS session blocking probability (admission cap ``M`` reached).
+    gprs_blocking_probability: float
+    #: Balanced incoming handover rate of GSM calls.
+    gsm_handover_arrival_rate: float
+    #: Balanced incoming handover rate of GPRS sessions.
+    gprs_handover_arrival_rate: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the measures as a plain dictionary (for tables and CSV export)."""
+        return {
+            "total_call_arrival_rate": self.total_call_arrival_rate,
+            "carried_data_traffic": self.carried_data_traffic,
+            "mean_queue_length": self.mean_queue_length,
+            "offered_packet_rate": self.offered_packet_rate,
+            "packet_throughput": self.packet_throughput,
+            "packet_loss_probability": self.packet_loss_probability,
+            "queueing_delay": self.queueing_delay,
+            "throughput_per_user": self.throughput_per_user,
+            "throughput_per_user_kbit_s": self.throughput_per_user_kbit_s,
+            "carried_voice_traffic": self.carried_voice_traffic,
+            "voice_blocking_probability": self.voice_blocking_probability,
+            "average_gprs_sessions": self.average_gprs_sessions,
+            "gprs_blocking_probability": self.gprs_blocking_probability,
+            "gsm_handover_arrival_rate": self.gsm_handover_arrival_rate,
+            "gprs_handover_arrival_rate": self.gprs_handover_arrival_rate,
+        }
+
+
+def erlang_measures(
+    params: GprsModelParameters, handover: HandoverBalance
+) -> tuple[float, float, float, float]:
+    """Return (CVT, voice blocking, AGS, GPRS blocking) from the Erlang-loss systems.
+
+    GSM calls occupy an M/M/c/c system with ``c = N_GSM`` servers; GPRS
+    sessions one with ``c = M`` servers.  Arrival rates include the balanced
+    handover flows and service rates include the handover departure rates.
+    """
+    carried_voice = 0.0
+    voice_blocking = 0.0
+    if params.gsm_arrival_rate + handover.gsm_handover_arrival_rate > 0:
+        gsm_system = ErlangLossSystem(
+            arrival_rate=params.gsm_arrival_rate + handover.gsm_handover_arrival_rate,
+            service_rate=params.gsm_completion_rate + params.gsm_handover_departure_rate,
+            servers=max(params.gsm_channels, 1),
+        )
+        carried_voice = gsm_system.carried_traffic()
+        voice_blocking = gsm_system.blocking_probability()
+
+    average_sessions = 0.0
+    gprs_blocking = 0.0
+    if params.gprs_arrival_rate + handover.gprs_handover_arrival_rate > 0:
+        gprs_system = ErlangLossSystem(
+            arrival_rate=params.gprs_arrival_rate + handover.gprs_handover_arrival_rate,
+            service_rate=params.gprs_completion_rate + params.gprs_handover_departure_rate,
+            servers=params.max_gprs_sessions,
+        )
+        average_sessions = gprs_system.mean_number_in_system()
+        gprs_blocking = gprs_system.blocking_probability()
+
+    return carried_voice, voice_blocking, average_sessions, gprs_blocking
+
+
+def compute_measures(
+    params: GprsModelParameters,
+    space: GprsStateSpace,
+    distribution: np.ndarray,
+    handover: HandoverBalance,
+) -> GprsPerformanceMeasures:
+    """Compute every performance measure from the stationary distribution.
+
+    Parameters
+    ----------
+    params:
+        Model parameters.
+    space:
+        State space used to build the generator.
+    distribution:
+        Stationary probability vector of the chain (length ``space.size``).
+    handover:
+        Balanced handover rates (needed for the Erlang-loss measures).
+    """
+    pi = np.asarray(distribution, dtype=float)
+    if pi.shape[0] != space.size:
+        raise ValueError(
+            f"distribution has {pi.shape[0]} entries but the state space has {space.size}"
+        )
+
+    states = space.all_states()
+    channels_in_use = pdch_in_use(params, states.gsm_calls, states.buffered_packets)
+    carried_data_traffic = float(np.dot(pi, channels_in_use))
+    mean_queue_length = float(np.dot(pi, states.buffered_packets))
+    offered_rate = float(
+        np.dot(
+            pi,
+            offered_packet_rate(
+                params,
+                states.gsm_calls,
+                states.buffered_packets,
+                states.gprs_sessions,
+                states.sessions_off,
+            ),
+        )
+    )
+    throughput = carried_data_traffic * params.pdch_service_rate
+    if offered_rate > 0:
+        loss_probability = max(0.0, 1.0 - throughput / offered_rate)
+    else:
+        loss_probability = 0.0
+    delay = mean_waiting_time(mean_queue_length, throughput)
+
+    carried_voice, voice_blocking, average_sessions, gprs_blocking = erlang_measures(
+        params, handover
+    )
+    if average_sessions > 0:
+        throughput_per_user = throughput / average_sessions
+    else:
+        throughput_per_user = 0.0
+
+    return GprsPerformanceMeasures(
+        total_call_arrival_rate=params.total_call_arrival_rate,
+        carried_data_traffic=carried_data_traffic,
+        mean_queue_length=mean_queue_length,
+        offered_packet_rate=offered_rate,
+        packet_throughput=throughput,
+        packet_loss_probability=loss_probability,
+        queueing_delay=delay,
+        throughput_per_user=throughput_per_user,
+        throughput_per_user_kbit_s=packets_per_s_to_kbit_per_s(
+            throughput_per_user, params.traffic.packet_size_bytes
+        ),
+        carried_voice_traffic=carried_voice,
+        voice_blocking_probability=voice_blocking,
+        average_gprs_sessions=average_sessions,
+        gprs_blocking_probability=gprs_blocking,
+        gsm_handover_arrival_rate=handover.gsm_handover_arrival_rate,
+        gprs_handover_arrival_rate=handover.gprs_handover_arrival_rate,
+    )
+
+
+def buffer_occupancy_distribution(
+    space: GprsStateSpace, distribution: np.ndarray
+) -> np.ndarray:
+    """Return the marginal distribution of the BSC buffer occupancy ``k``."""
+    pi = np.asarray(distribution, dtype=float)
+    states = space.all_states()
+    marginal = np.zeros(space.buffer_size + 1)
+    np.add.at(marginal, states.buffered_packets, pi)
+    return marginal
+
+
+def session_count_distribution(
+    space: GprsStateSpace, distribution: np.ndarray
+) -> np.ndarray:
+    """Return the marginal distribution of the number of active GPRS sessions ``m``."""
+    pi = np.asarray(distribution, dtype=float)
+    states = space.all_states()
+    marginal = np.zeros(space.max_sessions + 1)
+    np.add.at(marginal, states.gprs_sessions, pi)
+    return marginal
+
+
+def gsm_call_distribution(space: GprsStateSpace, distribution: np.ndarray) -> np.ndarray:
+    """Return the marginal distribution of the number of active GSM calls ``n``."""
+    pi = np.asarray(distribution, dtype=float)
+    states = space.all_states()
+    marginal = np.zeros(space.gsm_channels + 1)
+    np.add.at(marginal, states.gsm_calls, pi)
+    return marginal

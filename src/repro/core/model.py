@@ -1,0 +1,210 @@
+"""Facade tying the GPRS Markov model together.
+
+:class:`GprsMarkovModel` drives the complete analysis pipeline of the paper for
+one parameter configuration:
+
+1. balance the incoming handover flows with the Erlang-loss fixed point
+   (Eqs. (4)-(5)),
+2. assemble the sparse generator matrix from the transition rules of Table 1,
+3. solve ``pi Q = 0`` numerically,
+4. evaluate the performance measures of Eqs. (6)-(11).
+
+The intermediate artefacts (state space, generator, stationary distribution,
+handover rates) remain accessible for inspection, testing and the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.generator import build_generator
+from repro.core.handover import HandoverBalance, balance_handover_rates
+from repro.core.measures import GprsPerformanceMeasures, compute_measures
+from repro.core.parameters import GprsModelParameters
+from repro.core.state_space import GprsStateSpace
+from repro.markov.solvers import SolverError, SteadyStateResult, solve_steady_state
+
+__all__ = ["GprsMarkovModel", "GprsModelSolution"]
+
+
+@dataclass(frozen=True)
+class GprsModelSolution:
+    """Complete solution of the model for one parameter configuration.
+
+    Attributes
+    ----------
+    parameters:
+        The configuration that was solved.
+    measures:
+        All performance measures of Eqs. (6)-(11).
+    handover:
+        The balanced handover rates.
+    steady_state:
+        Metadata of the numerical solution (method, iterations, residual); the
+        stationary vector itself is ``steady_state.distribution``.
+    """
+
+    parameters: GprsModelParameters
+    measures: GprsPerformanceMeasures
+    handover: HandoverBalance
+    steady_state: SteadyStateResult
+
+
+class GprsMarkovModel:
+    """The continuous-time Markov chain model of one GPRS cell.
+
+    Parameters
+    ----------
+    parameters:
+        Full model configuration (see :class:`~repro.core.parameters.GprsModelParameters`).
+    solver_method:
+        Steady-state solver.  ``"structured"`` uses the fibre/phase iteration
+        of :mod:`repro.core.structured_solver` which exploits the GPRS chain
+        structure and scales to the full paper-size state spaces;
+        ``"gth"``, ``"direct"``, ``"power"`` and ``"gauss-seidel"`` use the
+        generic solvers of :mod:`repro.markov.solvers`.  ``"auto"`` picks the
+        generic direct solver for small chains and the structured solver for
+        large ones (falling back to the generic path if the structured
+        iteration fails to converge).
+    solver_tol:
+        Convergence tolerance of iterative solvers.
+
+    Example
+    -------
+    >>> from repro import GprsMarkovModel, GprsModelParameters, traffic_model
+    >>> params = GprsModelParameters.from_traffic_model(
+    ...     traffic_model(3), total_call_arrival_rate=0.5, buffer_size=20)
+    >>> solution = GprsMarkovModel(params).solve()
+    >>> 0.0 <= solution.measures.packet_loss_probability <= 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        parameters: GprsModelParameters,
+        *,
+        solver_method: str = "auto",
+        solver_tol: float = 1e-10,
+    ) -> None:
+        self._parameters = parameters
+        self._solver_method = solver_method
+        self._solver_tol = solver_tol
+        self._space: GprsStateSpace | None = None
+        self._handover: HandoverBalance | None = None
+        self._generator: sp.csr_matrix | None = None
+        self._steady_state: SteadyStateResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # Accessors for intermediate artefacts
+    # ------------------------------------------------------------------ #
+    @property
+    def parameters(self) -> GprsModelParameters:
+        return self._parameters
+
+    @property
+    def state_space(self) -> GprsStateSpace:
+        """The enumerated state space (built on first access)."""
+        if self._space is None:
+            self._space = GprsStateSpace(
+                gsm_channels=self._parameters.gsm_channels,
+                buffer_size=self._parameters.buffer_size,
+                max_sessions=self._parameters.max_gprs_sessions,
+            )
+        return self._space
+
+    @property
+    def handover_balance(self) -> HandoverBalance:
+        """The balanced handover rates (computed on first access)."""
+        if self._handover is None:
+            self._handover = balance_handover_rates(self._parameters)
+        return self._handover
+
+    @property
+    def generator(self) -> sp.csr_matrix:
+        """The sparse generator matrix ``Q`` (assembled on first access)."""
+        if self._generator is None:
+            handover = self.handover_balance
+            self._generator, self._space = build_generator(
+                self._parameters,
+                self.state_space,
+                gsm_handover_arrival_rate=handover.gsm_handover_arrival_rate,
+                gprs_handover_arrival_rate=handover.gprs_handover_arrival_rate,
+            )
+        return self._generator
+
+    @property
+    def number_of_states(self) -> int:
+        return self.state_space.size
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Return the stationary probability vector of the chain."""
+        return self._solve_steady_state().distribution
+
+    #: State-space size above which ``"auto"`` switches to the structured solver.
+    _STRUCTURED_THRESHOLD = 4000
+
+    def _solve_steady_state(self) -> SteadyStateResult:
+        if self._steady_state is not None:
+            return self._steady_state
+
+        method = self._solver_method
+        if method == "auto":
+            method = (
+                "structured"
+                if self.state_space.size > self._STRUCTURED_THRESHOLD
+                else "generic-auto"
+            )
+
+        if method == "structured":
+            try:
+                self._steady_state = self._solve_structured()
+            except SolverError:
+                if self._solver_method != "auto":
+                    raise
+                self._steady_state = solve_steady_state(
+                    self.generator, method="auto", tol=self._solver_tol
+                )
+        else:
+            self._steady_state = solve_steady_state(
+                self.generator,
+                method="auto" if method == "generic-auto" else method,
+                tol=self._solver_tol,
+            )
+        return self._steady_state
+
+    def _solve_structured(self) -> SteadyStateResult:
+        from repro.core.structured_solver import solve_structured
+
+        handover = self.handover_balance
+        return solve_structured(
+            self._parameters,
+            self.state_space,
+            self.generator,
+            gsm_handover_arrival_rate=handover.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=handover.gprs_handover_arrival_rate,
+            tol=max(self._solver_tol, 1e-10),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def solve(self) -> GprsModelSolution:
+        """Run the full analysis pipeline and return measures plus diagnostics."""
+        steady_state = self._solve_steady_state()
+        measures = compute_measures(
+            self._parameters, self.state_space, steady_state.distribution, self.handover_balance
+        )
+        return GprsModelSolution(
+            parameters=self._parameters,
+            measures=measures,
+            handover=self.handover_balance,
+            steady_state=steady_state,
+        )
+
+    def measures(self) -> GprsPerformanceMeasures:
+        """Convenience wrapper returning only the performance measures."""
+        return self.solve().measures

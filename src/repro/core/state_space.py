@@ -1,0 +1,193 @@
+"""State space of the aggregated GPRS Markov model.
+
+A state is the tuple ``(n, k, m, r)`` with
+
+* ``n`` in ``0 .. N_GSM``  -- active GSM calls,
+* ``k`` in ``0 .. K``      -- packets in the BSC buffer,
+* ``m`` in ``0 .. M``      -- active GPRS sessions,
+* ``r`` in ``0 .. m``      -- sessions whose on--off source is *off*.
+
+The constraint ``r <= m`` makes the ``(m, r)`` component triangular, so the
+states are enumerated through a flat *pair index* ``p(m, r) = m(m+1)/2 + r``
+with ``P = (M+1)(M+2)/2`` values.  The overall state index is
+
+    index(n, k, m, r) = (n * (K + 1) + k) * P + p(m, r)
+
+giving exactly the ``(M+1)(M+2)(N_GSM+1)(K+1)/2`` states quoted in the paper.
+All encode/decode operations are vectorised so the sparse generator for
+hundreds of thousands of states can be assembled without Python-level loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GprsStateSpace", "StateArrays"]
+
+
+@dataclass(frozen=True)
+class StateArrays:
+    """Vectorised view of every state in the chain (one entry per state index)."""
+
+    gsm_calls: np.ndarray  # n
+    buffered_packets: np.ndarray  # k
+    gprs_sessions: np.ndarray  # m
+    sessions_off: np.ndarray  # r
+
+    def __len__(self) -> int:
+        return self.gsm_calls.shape[0]
+
+    @property
+    def sessions_on(self) -> np.ndarray:
+        """Number of sessions currently in a packet call, ``m - r``."""
+        return self.gprs_sessions - self.sessions_off
+
+
+class GprsStateSpace:
+    """Enumeration of the ``(n, k, m, r)`` state space with vectorised indexing.
+
+    Parameters
+    ----------
+    gsm_channels:
+        ``N_GSM``, the number of channels GSM calls may occupy.
+    buffer_size:
+        ``K``, the BSC buffer capacity in packets.
+    max_sessions:
+        ``M``, the admission cap on concurrent GPRS sessions.
+    """
+
+    def __init__(self, gsm_channels: int, buffer_size: int, max_sessions: int) -> None:
+        if gsm_channels < 0:
+            raise ValueError("gsm_channels must be non-negative")
+        if buffer_size < 0:
+            raise ValueError("buffer_size must be non-negative")
+        if max_sessions < 0:
+            raise ValueError("max_sessions must be non-negative")
+        self._gsm_channels = gsm_channels
+        self._buffer_size = buffer_size
+        self._max_sessions = max_sessions
+
+        self._pair_count = (max_sessions + 1) * (max_sessions + 2) // 2
+        # Lookup tables pair index -> (m, r).
+        pair_m = np.empty(self._pair_count, dtype=np.int64)
+        pair_r = np.empty(self._pair_count, dtype=np.int64)
+        position = 0
+        for m in range(max_sessions + 1):
+            count = m + 1
+            pair_m[position : position + count] = m
+            pair_r[position : position + count] = np.arange(count)
+            position += count
+        self._pair_m = pair_m
+        self._pair_r = pair_r
+        # Base offset of each m block: offset[m] = m(m+1)/2.
+        self._pair_offset = (
+            np.arange(max_sessions + 1, dtype=np.int64)
+            * np.arange(1, max_sessions + 2, dtype=np.int64)
+            // 2
+        )
+        self._size = (gsm_channels + 1) * (buffer_size + 1) * self._pair_count
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def gsm_channels(self) -> int:
+        return self._gsm_channels
+
+    @property
+    def buffer_size(self) -> int:
+        return self._buffer_size
+
+    @property
+    def max_sessions(self) -> int:
+        return self._max_sessions
+
+    @property
+    def size(self) -> int:
+        """Total number of states."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"GprsStateSpace(N_GSM={self._gsm_channels}, K={self._buffer_size}, "
+            f"M={self._max_sessions}, states={self._size})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Encoding / decoding
+    # ------------------------------------------------------------------ #
+    def pair_index(self, sessions, sessions_off):
+        """Return the flat index of the ``(m, r)`` component (vectorised)."""
+        m = np.asarray(sessions, dtype=np.int64)
+        r = np.asarray(sessions_off, dtype=np.int64)
+        return self._pair_offset[m] + r
+
+    def index(self, gsm_calls, buffered_packets, sessions, sessions_off):
+        """Return the flat state index of ``(n, k, m, r)`` (vectorised).
+
+        All arguments may be scalars or numpy arrays of equal shape.  Inputs
+        are validated against the state-space bounds.
+        """
+        n = np.asarray(gsm_calls, dtype=np.int64)
+        k = np.asarray(buffered_packets, dtype=np.int64)
+        m = np.asarray(sessions, dtype=np.int64)
+        r = np.asarray(sessions_off, dtype=np.int64)
+        if np.any((n < 0) | (n > self._gsm_channels)):
+            raise ValueError("GSM call count out of range")
+        if np.any((k < 0) | (k > self._buffer_size)):
+            raise ValueError("buffer occupancy out of range")
+        if np.any((m < 0) | (m > self._max_sessions)):
+            raise ValueError("GPRS session count out of range")
+        if np.any((r < 0) | (r > m)):
+            raise ValueError("off-session count out of range (needs 0 <= r <= m)")
+        flat = (n * (self._buffer_size + 1) + k) * self._pair_count + self.pair_index(m, r)
+        if flat.ndim == 0:
+            return int(flat)
+        return flat
+
+    def decode(self, indices) -> StateArrays:
+        """Return the ``(n, k, m, r)`` components of flat state indices (vectorised)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if np.any((idx < 0) | (idx >= self._size)):
+            raise ValueError("state index out of range")
+        pair = idx % self._pair_count
+        rest = idx // self._pair_count
+        k = rest % (self._buffer_size + 1)
+        n = rest // (self._buffer_size + 1)
+        return StateArrays(
+            gsm_calls=n,
+            buffered_packets=k,
+            gprs_sessions=self._pair_m[pair],
+            sessions_off=self._pair_r[pair],
+        )
+
+    def all_states(self) -> StateArrays:
+        """Return the components of every state, indexed by flat state index."""
+        return self.decode(np.arange(self._size, dtype=np.int64))
+
+    def state_tuple(self, index: int) -> tuple[int, int, int, int]:
+        """Return a single state as a plain ``(n, k, m, r)`` tuple."""
+        arrays = self.decode(np.array([index]))
+        return (
+            int(arrays.gsm_calls[0]),
+            int(arrays.buffered_packets[0]),
+            int(arrays.gprs_sessions[0]),
+            int(arrays.sessions_off[0]),
+        )
+
+    def iter_states(self):
+        """Yield every state as ``(index, n, k, m, r)`` (intended for tests/small spaces)."""
+        arrays = self.all_states()
+        for index in range(self._size):
+            yield (
+                index,
+                int(arrays.gsm_calls[index]),
+                int(arrays.buffered_packets[index]),
+                int(arrays.gprs_sessions[index]),
+                int(arrays.sessions_off[index]),
+            )

@@ -1,0 +1,248 @@
+"""Transition rules of the GPRS Markov model (Table 1 of the paper).
+
+Every transition out of a generic state ``(n, k, m, r)`` belongs to one of the
+event classes below.  The functions in this module produce *transition batches*
+-- flat arrays of (source index, target index, rate) -- in a fully vectorised
+way so that the sparse generator of chains with hundreds of thousands of
+states can be assembled in a few numpy passes.
+
+Event classes (names follow the paper):
+
+``gsm_arrival``
+    A new GSM call or an incoming GSM handover is admitted when ``n < N_GSM``;
+    rate ``lambda_GSM + lambda_h,GSM``.
+``gprs_arrival_on`` / ``gprs_arrival_off``
+    A new GPRS session or incoming GPRS handover is admitted when ``m < M``;
+    the session starts in the on state with probability ``b/(a+b)`` and in the
+    off state with probability ``a/(a+b)``.
+``gsm_departure``
+    A GSM call completes or hands over out of the cell; rate
+    ``n (mu_GSM + mu_h,GSM)``.
+``gprs_departure_on`` / ``gprs_departure_off``
+    A GPRS session completes or hands over out of the cell; the leaving session
+    is in the off state with probability ``r / m`` (rate ``r (mu + mu_h)``) and
+    in the on state otherwise (rate ``(m - r)(mu + mu_h)``).
+``packet_arrival``
+    A data packet arrives at the BSC buffer.  Below the TCP threshold
+    (``k <= eta K``) the rate is ``(m - r) lambda_packet``; above the threshold
+    the TCP sources are throttled and the rate is capped by the current service
+    capacity ``min(N - n, 8k) mu_service``.  Arrivals into a full buffer are
+    lost and therefore generate no transition.
+``packet_service``
+    A data packet finishes transmission; rate ``min(N - n, 8k) mu_service``.
+``source_switches_off`` / ``source_switches_on``
+    The aggregated MMPP moves to a less / more bursty state; rates
+    ``(m - r) a`` and ``r b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import GprsModelParameters
+from repro.core.state_space import GprsStateSpace
+from repro.traffic.units import MAX_TIME_SLOTS_PER_STATION
+
+__all__ = ["TransitionBatch", "enumerate_transitions", "pdch_in_use", "offered_packet_rate"]
+
+
+@dataclass(frozen=True)
+class TransitionBatch:
+    """A batch of transitions of one event class.
+
+    Attributes
+    ----------
+    event:
+        Name of the event class (see module docstring).
+    source:
+        Flat indices of the source states.
+    target:
+        Flat indices of the target states.
+    rate:
+        Transition rates; strictly positive entries only.
+    """
+
+    event: str
+    source: np.ndarray
+    target: np.ndarray
+    rate: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.source.shape == self.target.shape == self.rate.shape):
+            raise ValueError("source, target and rate arrays must have identical shapes")
+
+    def __len__(self) -> int:
+        return self.source.shape[0]
+
+
+def pdch_in_use(
+    params: GprsModelParameters,
+    gsm_calls: np.ndarray,
+    buffered_packets: np.ndarray,
+) -> np.ndarray:
+    """Return the number of PDCHs carrying data in each state.
+
+    With ``k`` packets buffered at most ``8k`` channels can be used (multislot
+    limit of 8 time slots per mobile station) and at most ``N - n`` channels are
+    not occupied by GSM calls, so the utilisation is ``min(N - n, 8k)``.
+    """
+    free_channels = params.number_of_channels - np.asarray(gsm_calls)
+    multislot_limit = MAX_TIME_SLOTS_PER_STATION * np.asarray(buffered_packets)
+    return np.minimum(free_channels, multislot_limit)
+
+
+def offered_packet_rate(
+    params: GprsModelParameters,
+    gsm_calls: np.ndarray,
+    buffered_packets: np.ndarray,
+    sessions: np.ndarray,
+    sessions_off: np.ndarray,
+) -> np.ndarray:
+    """Return the packet arrival rate *offered* to the BSC buffer in each state.
+
+    Below the TCP threshold the offered rate is ``(m - r) lambda_packet``;
+    above it the TCP sources are throttled to the current service capacity.
+    The offered rate is defined for every state including ``k = K`` (where the
+    offered packets are lost); it is the denominator of the packet loss
+    probability, Eq. (9).
+    """
+    uncontrolled = (np.asarray(sessions) - np.asarray(sessions_off)) * params.packet_rate
+    capacity = pdch_in_use(params, gsm_calls, buffered_packets) * params.pdch_service_rate
+    throttled = np.minimum(uncontrolled, capacity)
+    above_threshold = np.asarray(buffered_packets) > params.tcp_threshold_packets
+    return np.where(above_threshold, throttled, uncontrolled)
+
+
+def _batch(
+    event: str,
+    mask: np.ndarray,
+    source: np.ndarray,
+    target: np.ndarray,
+    rate: np.ndarray,
+) -> TransitionBatch:
+    """Assemble a batch keeping only entries with a positive rate under ``mask``."""
+    keep = mask & (rate > 0)
+    return TransitionBatch(
+        event=event,
+        source=source[keep],
+        target=target[keep],
+        rate=np.asarray(rate, dtype=float)[keep],
+    )
+
+
+def enumerate_transitions(
+    params: GprsModelParameters,
+    space: GprsStateSpace,
+    *,
+    gsm_handover_arrival_rate: float,
+    gprs_handover_arrival_rate: float,
+) -> list[TransitionBatch]:
+    """Return every transition batch of the chain defined by Table 1.
+
+    Parameters
+    ----------
+    params:
+        Model parameters.
+    space:
+        The state space matching ``params`` (``N_GSM``, ``K``, ``M``).
+    gsm_handover_arrival_rate, gprs_handover_arrival_rate:
+        Balanced incoming handover rates ``lambda_h,GSM`` and ``lambda_h,GPRS``
+        produced by :func:`repro.core.handover.balance_handover_rates`.
+    """
+    if space.gsm_channels != params.gsm_channels:
+        raise ValueError("state space does not match the parameters (GSM channels differ)")
+    if space.buffer_size != params.buffer_size:
+        raise ValueError("state space does not match the parameters (buffer size differs)")
+    if space.max_sessions != params.max_gprs_sessions:
+        raise ValueError("state space does not match the parameters (session cap differs)")
+    if gsm_handover_arrival_rate < 0 or gprs_handover_arrival_rate < 0:
+        raise ValueError("handover arrival rates must be non-negative")
+
+    states = space.all_states()
+    index = np.arange(space.size, dtype=np.int64)
+    n = states.gsm_calls
+    k = states.buffered_packets
+    m = states.gprs_sessions
+    r = states.sessions_off
+
+    gsm_arrival_rate = params.gsm_arrival_rate + gsm_handover_arrival_rate
+    gprs_arrival_rate = params.gprs_arrival_rate + gprs_handover_arrival_rate
+    gsm_departure_rate = params.gsm_completion_rate + params.gsm_handover_departure_rate
+    gprs_departure_rate = params.gprs_completion_rate + params.gprs_handover_departure_rate
+    start_on = params.probability_session_starts_on
+    start_off = 1.0 - start_on
+
+    batches: list[TransitionBatch] = []
+
+    # --- GSM call arrivals (new calls + incoming handovers) ------------------
+    mask = n < space.gsm_channels
+    target = np.where(mask, space.index(np.minimum(n + 1, space.gsm_channels), k, m, r), 0)
+    rate = np.full(space.size, gsm_arrival_rate)
+    batches.append(_batch("gsm_arrival", mask, index, target, rate))
+
+    # --- GPRS session arrivals -----------------------------------------------
+    mask = m < space.max_sessions
+    m_next = np.minimum(m + 1, space.max_sessions)
+    # New session starts in the on state: r unchanged.
+    target = np.where(mask, space.index(n, k, m_next, np.minimum(r, m_next)), 0)
+    rate = np.full(space.size, start_on * gprs_arrival_rate)
+    batches.append(_batch("gprs_arrival_on", mask, index, target, rate))
+    # New session starts in the off state: r increases by one.
+    r_next = np.minimum(r + 1, m_next)
+    target = np.where(mask, space.index(n, k, m_next, r_next), 0)
+    rate = np.full(space.size, start_off * gprs_arrival_rate)
+    batches.append(_batch("gprs_arrival_off", mask, index, target, rate))
+
+    # --- GSM call departures (completion + outgoing handover) ----------------
+    mask = n > 0
+    target = np.where(mask, space.index(np.maximum(n - 1, 0), k, m, r), 0)
+    rate = n * gsm_departure_rate
+    batches.append(_batch("gsm_departure", mask, index, target, rate))
+
+    # --- GPRS session departures ---------------------------------------------
+    # The leaving session is in the off state with probability r / m:
+    # rate r * (mu_GPRS + mu_h,GPRS) towards (m - 1, r - 1).
+    mask = (m > 0) & (r > 0)
+    m_prev = np.maximum(m - 1, 0)
+    target = np.where(mask, space.index(n, k, m_prev, np.maximum(r - 1, 0)), 0)
+    rate = r * gprs_departure_rate
+    batches.append(_batch("gprs_departure_off", mask, index, target, rate))
+    # The leaving session is in the on state with probability (m - r) / m:
+    # rate (m - r) * (mu_GPRS + mu_h,GPRS) towards (m - 1, r).
+    mask = (m > 0) & (r < m)
+    target = np.where(mask, space.index(n, k, m_prev, np.minimum(r, m_prev)), 0)
+    rate = (m - r) * gprs_departure_rate
+    batches.append(_batch("gprs_departure_on", mask, index, target, rate))
+
+    # --- Packet arrivals -------------------------------------------------------
+    # Only states with free buffer space generate an arrival transition; the
+    # offered rate in full-buffer states contributes to the loss probability but
+    # not to the dynamics.
+    mask = k < space.buffer_size
+    k_next = np.minimum(k + 1, space.buffer_size)
+    target = np.where(mask, space.index(n, k_next, m, r), 0)
+    rate = offered_packet_rate(params, n, k, m, r)
+    batches.append(_batch("packet_arrival", mask, index, target, rate))
+
+    # --- Packet service --------------------------------------------------------
+    service_channels = pdch_in_use(params, n, k)
+    mask = service_channels > 0
+    target = np.where(mask, space.index(n, np.maximum(k - 1, 0), m, r), 0)
+    rate = service_channels * params.pdch_service_rate
+    batches.append(_batch("packet_service", mask, index, target, rate))
+
+    # --- Aggregated MMPP phase changes ----------------------------------------
+    # One of the (m - r) on sources switches off (less bursty).
+    mask = r < m
+    target = np.where(mask, space.index(n, k, m, np.minimum(r + 1, m)), 0)
+    rate = (m - r) * params.on_to_off_rate
+    batches.append(_batch("source_switches_off", mask, index, target, rate))
+    # One of the r off sources switches on (more bursty).
+    mask = r > 0
+    target = np.where(mask, space.index(n, k, m, np.maximum(r - 1, 0)), 0)
+    rate = r * params.off_to_on_rate
+    batches.append(_batch("source_switches_on", mask, index, target, rate))
+
+    return batches

@@ -1,0 +1,44 @@
+"""Process-oriented discrete-event simulation kernel.
+
+The validation simulator of the paper was written with the proprietary CSIM
+library; this subpackage is the from-scratch substitute.  It provides the same
+modelling primitives:
+
+* :class:`~repro.des.engine.SimulationEngine` -- event calendar and clock,
+* :class:`~repro.des.process.Process` -- generator-based simulation processes
+  that ``yield`` timeouts, events and resource requests,
+* :class:`~repro.des.resources.Resource` / :class:`~repro.des.resources.Buffer`
+  -- counting resources (channel pools) and finite FIFO buffers,
+* :mod:`~repro.des.random_variates` -- seeded random-variate streams
+  (exponential, geometric, uniform, deterministic, hyperexponential),
+* :mod:`~repro.des.statistics` -- tallies, time-weighted statistics and
+  counters,
+* :mod:`~repro.des.batch_means` -- confidence intervals via the batch-means
+  method used for the simulation curves in the paper.
+"""
+
+from repro.des.batch_means import BatchMeansEstimator, ConfidenceInterval
+from repro.des.engine import SimulationEngine, SimulationError, Event
+from repro.des.process import Process, ProcessInterrupt, Timeout, WaitEvent
+from repro.des.random_variates import RandomVariateStream
+from repro.des.resources import Buffer, BufferOverflow, Resource
+from repro.des.statistics import Counter, Tally, TimeWeightedStatistic
+
+__all__ = [
+    "BatchMeansEstimator",
+    "Buffer",
+    "BufferOverflow",
+    "ConfidenceInterval",
+    "Counter",
+    "Event",
+    "Process",
+    "ProcessInterrupt",
+    "RandomVariateStream",
+    "Resource",
+    "SimulationEngine",
+    "SimulationError",
+    "Tally",
+    "TimeWeightedStatistic",
+    "Timeout",
+    "WaitEvent",
+]

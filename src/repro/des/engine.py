@@ -1,0 +1,188 @@
+"""Event calendar and simulation clock.
+
+The engine keeps a binary heap of scheduled callbacks ordered by simulation
+time (ties broken by insertion order, so the execution order is deterministic)
+and exposes the primitives the rest of the kernel is built on:
+
+* :meth:`SimulationEngine.schedule` -- run a callback after a delay,
+* :class:`Event` -- a one-shot occurrence processes can wait for,
+* :meth:`SimulationEngine.run` -- advance the clock until a time limit or
+  until no events remain.
+
+Processes (generator-based coroutines) are layered on top in
+:mod:`repro.des.process`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+__all__ = ["Event", "SimulationEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class Event:
+    """A one-shot event that callbacks (and processes) can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` marks it triggered,
+    stores an optional value and schedules all registered callbacks to run at
+    the current simulation time.  Callbacks added after the event triggered are
+    scheduled immediately.
+    """
+
+    __slots__ = ("_engine", "_callbacks", "_triggered", "_value", "name")
+
+    def __init__(self, engine: "SimulationEngine", name: str | None = None) -> None:
+        self._engine = engine
+        self._callbacks: list[Callable[[object], None]] = []
+        self._triggered = False
+        self._value: object = None
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> object:
+        """The value passed to :meth:`succeed` (``None`` while pending)."""
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event, delivering ``value`` to all waiting callbacks."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name or id(self)} has already been triggered")
+        self._triggered = True
+        self._value = value
+        for callback in self._callbacks:
+            self._engine.schedule(0.0, callback, value)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, callback: Callable[[object], None]) -> None:
+        """Register ``callback(value)`` to run when the event triggers."""
+        if self._triggered:
+            self._engine.schedule(0.0, callback, self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "triggered" if self._triggered else "pending"
+        return f"Event({self.name or hex(id(self))}, {state})"
+
+
+class SimulationEngine:
+    """Discrete-event simulation clock and calendar.
+
+    Example
+    -------
+    >>> engine = SimulationEngine()
+    >>> times = []
+    >>> engine.schedule(2.0, lambda: times.append(engine.now))
+    >>> engine.schedule(1.0, lambda: times.append(engine.now))
+    >>> engine.run()
+    >>> times
+    [1.0, 2.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Callable, tuple]] = []
+        self._sequence = 0
+        self._processed_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Clock
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled callbacks not yet executed."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed since the engine was created."""
+        return self._processed_events
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, callback: Callable, *args) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback, args))
+
+    def schedule_at(self, time: float, callback: Callable, *args) -> None:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        self.schedule(time - self._now, callback, *args)
+
+    def event(self, name: str | None = None) -> Event:
+        """Create a new pending :class:`Event` bound to this engine."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: object = None) -> Event:
+        """Return an event that triggers automatically after ``delay`` time units."""
+        event = self.event(name=f"timeout({delay})")
+        self.schedule(delay, event.succeed, value)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next scheduled callback; return ``False`` if none remain."""
+        if not self._queue:
+            return False
+        time, _, callback, args = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event calendar corrupted: time went backwards")
+        self._now = time
+        self._processed_events += 1
+        callback(*args)
+        return True
+
+    def peek(self) -> float:
+        """Return the time of the next scheduled callback (``inf`` when idle)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the clock is then set to
+            exactly ``until``).  When omitted the simulation runs until the
+            calendar is empty.
+        max_events:
+            Optional safety limit on the number of callbacks executed.
+
+        Returns
+        -------
+        float
+            The simulation time when the run stopped.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return self._now
+            if max_events is not None and executed >= max_events:
+                return self._now
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now

@@ -1,0 +1,180 @@
+"""Generator-based simulation processes.
+
+A simulation *process* is an ordinary Python generator driven by the
+simulation engine.  The generator models the lifetime of an entity (a GSM
+call, a GPRS session, a packet transmission) and suspends itself by yielding
+one of:
+
+* :class:`Timeout` -- resume after a simulated delay,
+* an :class:`~repro.des.engine.Event` (or :class:`WaitEvent` wrapper) -- resume
+  when the event triggers; the event's value is returned by the ``yield``,
+* another :class:`Process` -- resume when that process finishes; its return
+  value is returned by the ``yield``.
+
+Processes may be interrupted (e.g. a GPRS transfer preempted by a voice call)
+with :meth:`Process.interrupt`, which raises :class:`ProcessInterrupt` inside
+the generator at its current suspension point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+
+from repro.des.engine import Event, SimulationEngine, SimulationError
+
+__all__ = ["Process", "ProcessInterrupt", "Timeout", "WaitEvent"]
+
+
+class ProcessInterrupt(Exception):
+    """Raised inside a process generator when the process is interrupted."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process to suspend itself for ``delay`` simulated time units."""
+
+    delay: float
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("timeout delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Explicit wrapper for waiting on an event (yielding the bare event also works)."""
+
+    event: Event
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine driving this process.
+    generator:
+        The generator function's generator object.
+    name:
+        Optional name used in error messages and debugging output.
+
+    The process starts at the current simulation time (scheduled with zero
+    delay).  Its completion is itself an event: other processes may ``yield``
+    a process to wait for it, and :attr:`completion` exposes the event
+    directly.  The generator's ``return`` value becomes the completion value.
+    """
+
+    def __init__(
+        self, engine: SimulationEngine, generator: Generator, name: str | None = None
+    ) -> None:
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                "Process requires a generator object; did you forget to call the "
+                "generator function?"
+            )
+        self._engine = engine
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._completion = engine.event(name=f"{self.name}.completion")
+        self._waiting_on: Event | None = None
+        self._interrupt_pending: ProcessInterrupt | None = None
+        engine.schedule(0.0, self._resume, None)
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def completion(self) -> Event:
+        """Event triggered when the process finishes (value = generator return value)."""
+        return self._completion
+
+    @property
+    def finished(self) -> bool:
+        return self._completion.triggered
+
+    @property
+    def result(self) -> object:
+        """Return value of the generator; only valid once :attr:`finished` is true."""
+        if not self.finished:
+            raise SimulationError(f"process {self.name} has not finished yet")
+        return self._completion.value
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name}, {state})"
+
+    # ------------------------------------------------------------------ #
+    # Control
+    # ------------------------------------------------------------------ #
+    def interrupt(self, cause: object = None) -> None:
+        """Interrupt the process at its current suspension point.
+
+        The interruption is delivered the next time the engine resumes the
+        process (scheduled with zero delay), raising :class:`ProcessInterrupt`
+        inside the generator.  Interrupting a finished process is a no-op.
+        """
+        if self.finished:
+            return
+        self._interrupt_pending = ProcessInterrupt(cause)
+        self._engine.schedule(0.0, self._deliver_interrupt)
+
+    def _deliver_interrupt(self) -> None:
+        if self.finished or self._interrupt_pending is None:
+            return
+        interrupt = self._interrupt_pending
+        self._interrupt_pending = None
+        # Detach from whatever the process was waiting on; the stale callback
+        # is ignored because _waiting_on no longer matches.
+        self._waiting_on = None
+        self._advance(interrupt, throw=True)
+
+    # ------------------------------------------------------------------ #
+    # Generator driving
+    # ------------------------------------------------------------------ #
+    def _resume(self, value: object, source: Event | None = None) -> None:
+        if self.finished:
+            return
+        if source is not None and source is not self._waiting_on:
+            # A stale wake-up (e.g. the process was interrupted while waiting).
+            return
+        self._waiting_on = None
+        self._advance(value, throw=False)
+
+    def _advance(self, value: object, *, throw: bool) -> None:
+        try:
+            if throw:
+                command = self._generator.throw(value)
+            else:
+                command = self._generator.send(value)
+        except StopIteration as stop:
+            self._completion.succeed(stop.value)
+            return
+        except ProcessInterrupt:
+            # The generator chose not to handle the interrupt: terminate quietly.
+            self._completion.succeed(None)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: object) -> None:
+        if isinstance(command, Timeout):
+            event = self._engine.timeout(command.delay, command.value)
+        elif isinstance(command, WaitEvent):
+            event = command.event
+        elif isinstance(command, Event):
+            event = command
+        elif isinstance(command, Process):
+            event = command.completion
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded an unsupported value: {command!r}; "
+                "yield a Timeout, Event, WaitEvent or Process"
+            )
+        self._waiting_on = event
+        event.add_callback(lambda value, source=event: self._resume(value, source))

@@ -1,0 +1,120 @@
+"""Seeded random-variate streams for discrete-event simulation.
+
+A :class:`RandomVariateStream` wraps a ``numpy.random.Generator`` and exposes
+the distributions the GPRS simulator needs (exponential holding times,
+geometric packet counts, uniform routing choices).  Streams can be *spawned*
+into statistically independent child streams so that, for example, the voice
+traffic of every cell uses its own stream and results stay reproducible when
+one part of the model changes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["RandomVariateStream"]
+
+
+class RandomVariateStream:
+    """Reproducible stream of random variates.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the underlying PCG64 generator, or an existing
+        ``numpy.random.SeedSequence`` / ``Generator``.
+    """
+
+    def __init__(self, seed: int | np.random.SeedSequence | np.random.Generator | None = None):
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+            self._seed_sequence = None
+        else:
+            self._seed_sequence = (
+                seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+            )
+            self._rng = np.random.default_rng(self._seed_sequence)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator (for distributions not wrapped here)."""
+        return self._rng
+
+    def spawn(self, count: int) -> list["RandomVariateStream"]:
+        """Return ``count`` statistically independent child streams."""
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if self._seed_sequence is None:
+            # Fall back to jumping the generator's bit stream.
+            return [RandomVariateStream(np.random.default_rng(self._rng.integers(2**63)))
+                    for _ in range(count)]
+        return [RandomVariateStream(child) for child in self._seed_sequence.spawn(count)]
+
+    # ------------------------------------------------------------------ #
+    # Distributions
+    # ------------------------------------------------------------------ #
+    def exponential(self, mean: float) -> float:
+        """Exponential variate with the given mean."""
+        if mean < 0:
+            raise ValueError("mean must be non-negative")
+        if mean == 0:
+            return 0.0
+        return float(self._rng.exponential(mean))
+
+    def exponential_rate(self, rate: float) -> float:
+        """Exponential variate with the given *rate* (mean ``1 / rate``)."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        return float(self._rng.exponential(1.0 / rate))
+
+    def geometric(self, mean: float) -> int:
+        """Geometric variate with support ``{1, 2, ...}`` and the given mean."""
+        if mean < 1:
+            raise ValueError("mean of a geometric variate on {1, 2, ...} must be >= 1")
+        if mean == 1:
+            return 1
+        return int(self._rng.geometric(1.0 / mean))
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform variate on ``[low, high)``."""
+        if high < low:
+            raise ValueError("high must be at least low")
+        return float(self._rng.uniform(low, high))
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer on ``[low, high]`` inclusive."""
+        if high < low:
+            raise ValueError("high must be at least low")
+        return int(self._rng.integers(low, high + 1))
+
+    def choice(self, options: Sequence):
+        """Return a uniformly chosen element of ``options``."""
+        if len(options) == 0:
+            raise ValueError("options must not be empty")
+        return options[int(self._rng.integers(len(options)))]
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return ``True`` with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be between 0 and 1")
+        return bool(self._rng.random() < probability)
+
+    def hyperexponential(self, means: Sequence[float], probabilities: Sequence[float]) -> float:
+        """Hyperexponential variate: exponential with mean chosen by a discrete mixture."""
+        if len(means) != len(probabilities) or not means:
+            raise ValueError("means and probabilities must be non-empty and equally long")
+        total = float(np.sum(probabilities))
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("probabilities must sum to one")
+        index = int(self._rng.choice(len(means), p=np.asarray(probabilities) / total))
+        return self.exponential(means[index])
+
+    def erlang(self, shape: int, mean: float) -> float:
+        """Erlang-``shape`` variate with the given overall mean."""
+        if shape < 1:
+            raise ValueError("shape must be at least 1")
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return float(self._rng.gamma(shape, mean / shape))

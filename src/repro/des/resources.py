@@ -1,0 +1,205 @@
+"""Resources shared by simulation processes: counting resources and finite buffers.
+
+Two primitives cover everything the GPRS simulator needs:
+
+* :class:`Resource` -- a pool of identical units (physical radio channels).
+  Processes request a unit and receive an event that triggers once one is
+  available; requests are served first-come first-served.  Requests can also
+  be made non-blocking (``try_acquire``) which is how on-demand PDCH
+  allocation and voice-call blocking are modelled.
+* :class:`Buffer` -- a finite FIFO buffer of items (the BSC packet queue).
+  ``put`` either stores the item or reports overflow (packet loss); ``get``
+  returns an event that delivers the next item once one is available.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.des.engine import Event, SimulationEngine, SimulationError
+
+__all__ = ["Resource", "Buffer", "BufferOverflow"]
+
+
+class BufferOverflow(Exception):
+    """Raised by :meth:`Buffer.put` when the buffer is full and ``raise_on_full`` is set."""
+
+
+class Resource:
+    """A pool of ``capacity`` identical resource units with FIFO queueing.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    capacity:
+        Number of units in the pool; must be positive.
+    name:
+        Optional name for debugging.
+    """
+
+    def __init__(self, engine: SimulationEngine, capacity: int, name: str | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._engine = engine
+        self._capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+        self.name = name or "resource"
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Number of units currently held by processes."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free units."""
+        return self._capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending (unsatisfied) requests."""
+        return len(self._waiting)
+
+    # ------------------------------------------------------------------ #
+    # Acquisition / release
+    # ------------------------------------------------------------------ #
+    def request(self) -> Event:
+        """Return an event that triggers once a unit has been allocated to the caller."""
+        event = self._engine.event(name=f"{self.name}.request")
+        if self._in_use < self._capacity and not self._waiting:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def try_acquire(self) -> bool:
+        """Immediately acquire a unit if one is free; return whether it succeeded."""
+        if self._in_use < self._capacity and not self._waiting:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return one unit to the pool, waking the oldest waiting request if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of {self.name} without a matching acquisition")
+        self._in_use -= 1
+        if self._waiting and self._in_use < self._capacity:
+            self._in_use += 1
+            self._waiting.popleft().succeed(self)
+
+    def resize(self, capacity: int) -> None:
+        """Change the pool size (used for on-demand channel reallocation).
+
+        Shrinking below the number of units in use is allowed: no unit is
+        revoked, but no new unit is granted until usage drops below the new
+        capacity.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._capacity = capacity
+        while self._waiting and self._in_use < self._capacity:
+            self._in_use += 1
+            self._waiting.popleft().succeed(self)
+
+
+class Buffer:
+    """A finite FIFO buffer of items with blocking ``get`` and lossy ``put``.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    capacity:
+        Maximum number of items stored; further ``put`` calls are rejected.
+    name:
+        Optional name for debugging.
+    """
+
+    def __init__(self, engine: SimulationEngine, capacity: int, name: str | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._engine = engine
+        self._capacity = capacity
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+        self._lost = 0
+        self._accepted = 0
+        self.name = name or "buffer"
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self._capacity
+
+    @property
+    def lost_items(self) -> int:
+        """Number of items rejected because the buffer was full."""
+        return self._lost
+
+    @property
+    def accepted_items(self) -> int:
+        """Number of items successfully stored since creation."""
+        return self._accepted
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def put(self, item, *, raise_on_full: bool = False) -> bool:
+        """Store ``item``; return ``True`` on success, ``False`` if it was lost.
+
+        When a process is already waiting in :meth:`get`, the item is handed
+        over directly without occupying buffer space.
+        """
+        if self._getters:
+            self._accepted += 1
+            self._getters.popleft().succeed(item)
+            return True
+        if len(self._items) >= self._capacity:
+            self._lost += 1
+            if raise_on_full:
+                raise BufferOverflow(f"{self.name} is full (capacity {self._capacity})")
+            return False
+        self._accepted += 1
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Return an event delivering the oldest item once one is available."""
+        event = self._engine.event(name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek(self):
+        """Return the oldest stored item without removing it (``None`` if empty)."""
+        return self._items[0] if self._items else None
+
+    def clear(self) -> int:
+        """Discard all stored items; return how many were discarded."""
+        discarded = len(self._items)
+        self._items.clear()
+        return discarded

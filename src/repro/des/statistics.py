@@ -1,0 +1,161 @@
+"""Statistics collectors for discrete-event simulations.
+
+Three collectors cover the measurements of the GPRS simulator:
+
+* :class:`Tally` -- sample statistics of observations (packet delays,
+  per-session throughput) using Welford's online algorithm.
+* :class:`TimeWeightedStatistic` -- time averages of piecewise-constant
+  signals (buffer occupancy, channels in use, active sessions).
+* :class:`Counter` -- plain event counters (generated / lost / served packets)
+  with rate helpers.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Tally", "TimeWeightedStatistic", "Counter"]
+
+
+class Tally:
+    """Online sample statistics (count, mean, variance, extrema) of observations."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or "tally"
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when no observations were recorded)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def standard_deviation(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._minimum
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._maximum
+
+    def reset(self) -> None:
+        """Discard all recorded observations."""
+        self.__init__(self.name)
+
+
+class TimeWeightedStatistic:
+    """Time average of a piecewise-constant signal.
+
+    The collector is updated whenever the signal changes value; between
+    updates the signal is assumed constant.  The time average over the
+    observation window ``[start, last update or query time]`` is exposed via
+    :meth:`time_average`.
+    """
+
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0,
+                 name: str | None = None) -> None:
+        self.name = name or "time-weighted"
+        self._value = float(initial_value)
+        self._start_time = float(start_time)
+        self._last_time = float(start_time)
+        self._weighted_sum = 0.0
+        self._maximum = float(initial_value)
+
+    @property
+    def current_value(self) -> float:
+        return self._value
+
+    @property
+    def maximum(self) -> float:
+        """Largest value the signal has taken so far."""
+        return self._maximum
+
+    def update(self, value: float, time: float) -> None:
+        """Record that the signal changed to ``value`` at simulation ``time``."""
+        if time < self._last_time:
+            raise ValueError(
+                f"updates must be non-decreasing in time ({time} < {self._last_time})"
+            )
+        self._weighted_sum += self._value * (time - self._last_time)
+        self._value = float(value)
+        self._last_time = time
+        self._maximum = max(self._maximum, self._value)
+
+    def time_average(self, time: float | None = None) -> float:
+        """Return the time average up to ``time`` (defaults to the last update time)."""
+        end = self._last_time if time is None else float(time)
+        if end < self._last_time:
+            raise ValueError("query time lies before the last recorded update")
+        window = end - self._start_time
+        if window <= 0:
+            return self._value
+        return (self._weighted_sum + self._value * (end - self._last_time)) / window
+
+    def reset(self, time: float, value: float | None = None) -> None:
+        """Restart the observation window at ``time`` (used to discard warm-up)."""
+        if value is not None:
+            self._value = float(value)
+        self._start_time = time
+        self._last_time = time
+        self._weighted_sum = 0.0
+        self._maximum = self._value
+
+
+class Counter:
+    """A named integer counter with a rate helper."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or "counter"
+        self._count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("cannot increment by a negative amount")
+        self._count += amount
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def rate(self, elapsed_time: float) -> float:
+        """Return the count divided by an elapsed time (0.0 for a zero window)."""
+        if elapsed_time < 0:
+            raise ValueError("elapsed time must be non-negative")
+        if elapsed_time == 0:
+            return 0.0
+        return self._count / elapsed_time
+
+    def reset(self) -> None:
+        self._count = 0

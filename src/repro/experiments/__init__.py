@@ -1,0 +1,110 @@
+"""Experiment harness: parameter sweeps and figure/table regeneration.
+
+Every table and figure of the paper's evaluation section has a corresponding
+function here:
+
+* :func:`~repro.experiments.tables.table2` and
+  :func:`~repro.experiments.tables.table3` -- the parameter tables,
+* :func:`~repro.experiments.figures.figure5` ...
+  :func:`~repro.experiments.figures.figure15` -- the performance curves.
+
+All figure functions sweep the GSM/GPRS call arrival rate with the analytical
+model (and optionally the network simulator for the validation figures 5 and
+6) and return a :class:`~repro.experiments.figures.FigureResult` containing
+one labelled series per curve of the original figure.  By default the sweeps
+run at a *scaled* configuration (smaller BSC buffer and session cap, fewer
+arrival-rate points) so that the complete benchmark suite finishes in CI time;
+pass ``scale=ExperimentScale.paper()`` for the full Table 2 / Table 3 sizes.
+"""
+
+from repro.experiments.dimensioning import (
+    AdaptivePdchController,
+    AllocationDecision,
+    QosAssessment,
+    QosProfile,
+    evaluate_configuration,
+    maximum_supported_arrival_rate,
+    recommend_reserved_pdch,
+)
+from repro.experiments.extensions import (
+    AdaptiveComparison,
+    GuardChannelTradeoff,
+    LinkAdaptationPoint,
+    adaptive_policy_comparison,
+    arq_impact,
+    guard_channel_tradeoff,
+    link_adaptation_gain,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    FigureSeries,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.reporting import format_figure_result, format_table
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.sensitivity import (
+    SensitivityResult,
+    sweep_block_error_rate,
+    sweep_buffer_size,
+    sweep_coding_scheme,
+    sweep_gprs_dwell_time,
+    sweep_tcp_threshold,
+)
+from repro.experiments.sweep import SweepResult, sweep_arrival_rates
+from repro.experiments.tables import table2, table3
+
+__all__ = [
+    "AdaptiveComparison",
+    "AdaptivePdchController",
+    "AllocationDecision",
+    "EXPERIMENTS",
+    "ExperimentScale",
+    "GuardChannelTradeoff",
+    "LinkAdaptationPoint",
+    "QosAssessment",
+    "QosProfile",
+    "FigureResult",
+    "FigureSeries",
+    "SensitivityResult",
+    "SweepResult",
+    "adaptive_policy_comparison",
+    "arq_impact",
+    "guard_channel_tradeoff",
+    "link_adaptation_gain",
+    "sweep_block_error_rate",
+    "sweep_buffer_size",
+    "sweep_coding_scheme",
+    "sweep_gprs_dwell_time",
+    "sweep_tcp_threshold",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "format_figure_result",
+    "format_table",
+    "evaluate_configuration",
+    "maximum_supported_arrival_rate",
+    "recommend_reserved_pdch",
+    "run_experiment",
+    "sweep_arrival_rates",
+    "table2",
+    "table3",
+]

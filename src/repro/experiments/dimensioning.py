@@ -1,0 +1,340 @@
+"""PDCH dimensioning and adaptive channel allocation.
+
+The conclusion of the paper states that the number of reserved PDCHs is a
+trade-off between GSM and GPRS performance, that the model's curves "give
+valuable hints for network designers on how many PDCHs should be allocated",
+and that *future work* will consider "the dynamic adjustment of the number of
+PDCHs with respect to the current GSM and GPRS traffic load and the desired
+performance requirements" (adaptive performance management).
+
+This module turns both of those into an API:
+
+* :class:`QosProfile` -- the operator's requirements (maximum per-user
+  throughput degradation, maximum voice blocking probability, optional packet
+  loss and delay limits);
+* :func:`evaluate_configuration` -- check a single configuration against a
+  profile;
+* :func:`maximum_supported_arrival_rate` -- the largest call arrival rate a
+  given reservation level can sustain (the numbers quoted in Section 5.3 and
+  the conclusions);
+* :func:`recommend_reserved_pdch` -- the smallest number of reserved PDCHs
+  that satisfies the profile at a target arrival rate;
+* :class:`AdaptivePdchController` -- the future-work feature: a controller
+  that, given observed GSM/GPRS load, re-dimensions the number of reserved
+  PDCHs on the fly using the analytical model as its decision engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.measures import GprsPerformanceMeasures
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+
+__all__ = [
+    "QosProfile",
+    "QosAssessment",
+    "evaluate_configuration",
+    "maximum_supported_arrival_rate",
+    "recommend_reserved_pdch",
+    "AdaptivePdchController",
+    "AllocationDecision",
+]
+
+
+@dataclass(frozen=True)
+class QosProfile:
+    """Quality-of-service requirements of the network operator.
+
+    Parameters
+    ----------
+    max_throughput_degradation:
+        Largest tolerated relative drop of the per-user throughput compared to
+        the unloaded cell (the paper's example uses 0.5, i.e. "at most 50%
+        degradation").
+    max_voice_blocking:
+        Largest tolerated GSM voice blocking probability.
+    max_packet_loss:
+        Optional limit on the packet loss probability (``None`` = don't care).
+    max_queueing_delay_s:
+        Optional limit on the mean queueing delay in seconds.
+    """
+
+    max_throughput_degradation: float = 0.5
+    max_voice_blocking: float = 0.02
+    max_packet_loss: float | None = None
+    max_queueing_delay_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_throughput_degradation < 1.0:
+            raise ValueError("max_throughput_degradation must be in [0, 1)")
+        if not 0.0 < self.max_voice_blocking <= 1.0:
+            raise ValueError("max_voice_blocking must be in (0, 1]")
+        if self.max_packet_loss is not None and not 0.0 <= self.max_packet_loss <= 1.0:
+            raise ValueError("max_packet_loss must be in [0, 1]")
+        if self.max_queueing_delay_s is not None and self.max_queueing_delay_s <= 0:
+            raise ValueError("max_queueing_delay_s must be positive")
+
+
+@dataclass(frozen=True)
+class QosAssessment:
+    """Result of checking one configuration against a :class:`QosProfile`."""
+
+    satisfied: bool
+    throughput_degradation: float
+    reference_throughput_kbit_s: float
+    measures: GprsPerformanceMeasures
+    violated_criteria: tuple[str, ...]
+
+
+def _reference_throughput(
+    parameters: GprsModelParameters, *, solver: str, reference_arrival_rate: float
+) -> float:
+    """Per-user throughput of an almost unloaded cell (the 100% reference)."""
+    unloaded = parameters.with_arrival_rate(reference_arrival_rate)
+    return GprsMarkovModel(unloaded, solver_method=solver).measures().throughput_per_user_kbit_s
+
+
+def evaluate_configuration(
+    parameters: GprsModelParameters,
+    profile: QosProfile,
+    *,
+    solver: str = "auto",
+    reference_arrival_rate: float = 0.01,
+    reference_throughput_kbit_s: float | None = None,
+) -> QosAssessment:
+    """Check whether a configuration satisfies a QoS profile.
+
+    Parameters
+    ----------
+    parameters:
+        The configuration to check (its arrival rate is the operating point).
+    profile:
+        The operator requirements.
+    solver:
+        Steady-state solver for the analytical model.
+    reference_arrival_rate:
+        Arrival rate used to define the "unloaded" per-user throughput against
+        which the degradation is measured.
+    reference_throughput_kbit_s:
+        Pre-computed reference throughput (skips one model solution when
+        sweeping many operating points for the same cell configuration).
+    """
+    if reference_throughput_kbit_s is None:
+        reference_throughput_kbit_s = _reference_throughput(
+            parameters, solver=solver, reference_arrival_rate=reference_arrival_rate
+        )
+    measures = GprsMarkovModel(parameters, solver_method=solver).measures()
+    if reference_throughput_kbit_s > 0:
+        degradation = 1.0 - measures.throughput_per_user_kbit_s / reference_throughput_kbit_s
+    else:
+        degradation = 0.0
+    degradation = max(0.0, degradation)
+
+    violations: list[str] = []
+    if degradation > profile.max_throughput_degradation:
+        violations.append("throughput degradation")
+    if measures.voice_blocking_probability > profile.max_voice_blocking:
+        violations.append("voice blocking")
+    if (
+        profile.max_packet_loss is not None
+        and measures.packet_loss_probability > profile.max_packet_loss
+    ):
+        violations.append("packet loss")
+    if (
+        profile.max_queueing_delay_s is not None
+        and measures.queueing_delay > profile.max_queueing_delay_s
+    ):
+        violations.append("queueing delay")
+
+    return QosAssessment(
+        satisfied=not violations,
+        throughput_degradation=degradation,
+        reference_throughput_kbit_s=reference_throughput_kbit_s,
+        measures=measures,
+        violated_criteria=tuple(violations),
+    )
+
+
+def maximum_supported_arrival_rate(
+    parameters: GprsModelParameters,
+    profile: QosProfile,
+    arrival_rates: Iterable[float],
+    *,
+    solver: str = "auto",
+) -> float:
+    """Return the largest swept arrival rate at which the profile still holds.
+
+    Returns 0.0 if even the smallest rate violates the profile.  The sweep is
+    assumed to be sorted in increasing order; evaluation stops at the first
+    violation (performance degrades monotonically with load in this model).
+    """
+    rates = sorted(float(rate) for rate in arrival_rates)
+    if not rates:
+        raise ValueError("at least one arrival rate is required")
+    reference = _reference_throughput(parameters, solver=solver, reference_arrival_rate=0.01)
+    supported = 0.0
+    for rate in rates:
+        assessment = evaluate_configuration(
+            parameters.with_arrival_rate(rate),
+            profile,
+            solver=solver,
+            reference_throughput_kbit_s=reference,
+        )
+        if assessment.satisfied:
+            supported = rate
+        else:
+            break
+    return supported
+
+
+def recommend_reserved_pdch(
+    parameters: GprsModelParameters,
+    profile: QosProfile,
+    target_arrival_rate: float,
+    *,
+    candidate_reservations: Sequence[int] = (0, 1, 2, 3, 4, 6, 8),
+    solver: str = "auto",
+) -> int | None:
+    """Return the smallest PDCH reservation satisfying the profile at the target load.
+
+    Returns ``None`` when no candidate satisfies the profile (the paper's
+    recommendation in that situation is to tighten call admission instead).
+    """
+    for reserved in sorted(set(candidate_reservations)):
+        if reserved >= parameters.number_of_channels:
+            continue
+        candidate = parameters.replace(
+            reserved_pdch=reserved, total_call_arrival_rate=target_arrival_rate
+        )
+        if evaluate_configuration(candidate, profile, solver=solver).satisfied:
+            return reserved
+    return None
+
+
+@dataclass(frozen=True)
+class AllocationDecision:
+    """One decision of the adaptive controller."""
+
+    observed_arrival_rate: float
+    reserved_pdch: int
+    satisfied: bool
+    assessment: QosAssessment
+
+
+class AdaptivePdchController:
+    """Adaptive adjustment of the number of reserved PDCHs (the paper's future work).
+
+    The controller watches the offered call arrival rate (e.g. estimated from
+    recent admissions) and uses the analytical model to pick, for every
+    observation, the smallest PDCH reservation that meets the QoS profile.  A
+    hysteresis margin avoids flapping between two adjacent reservations when
+    the load sits exactly at a boundary.
+
+    Parameters
+    ----------
+    base_parameters:
+        Cell configuration; its ``reserved_pdch`` field is the initial
+        allocation.
+    profile:
+        The QoS profile to enforce.
+    candidate_reservations:
+        Reservation levels the controller may choose from.
+    hysteresis:
+        Relative load change (e.g. 0.05 = 5%) below which the controller keeps
+        its previous decision instead of re-optimising.
+    """
+
+    def __init__(
+        self,
+        base_parameters: GprsModelParameters,
+        profile: QosProfile,
+        *,
+        candidate_reservations: Sequence[int] = (0, 1, 2, 3, 4, 6, 8),
+        hysteresis: float = 0.05,
+        solver: str = "auto",
+    ) -> None:
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self._parameters = base_parameters
+        self._profile = profile
+        self._candidates = tuple(sorted(set(candidate_reservations)))
+        self._hysteresis = hysteresis
+        self._solver = solver
+        self._current_reserved = base_parameters.reserved_pdch
+        self._last_rate: float | None = None
+        self._history: list[AllocationDecision] = []
+
+    @property
+    def current_reserved_pdch(self) -> int:
+        """The reservation currently in force."""
+        return self._current_reserved
+
+    @property
+    def history(self) -> list[AllocationDecision]:
+        """All decisions taken so far (most recent last)."""
+        return list(self._history)
+
+    def observe(self, arrival_rate: float) -> AllocationDecision:
+        """Feed one load observation and return the (possibly unchanged) decision."""
+        if arrival_rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+        if (
+            self._last_rate is not None
+            and self._last_rate > 0
+            and abs(arrival_rate - self._last_rate) <= self._hysteresis * self._last_rate
+            and self._history
+        ):
+            # Within the hysteresis band: keep the previous allocation.
+            previous = self._history[-1]
+            decision = AllocationDecision(
+                observed_arrival_rate=arrival_rate,
+                reserved_pdch=previous.reserved_pdch,
+                satisfied=previous.satisfied,
+                assessment=previous.assessment,
+            )
+            self._history.append(decision)
+            return decision
+
+        recommended = recommend_reserved_pdch(
+            self._parameters,
+            self._profile,
+            arrival_rate,
+            candidate_reservations=self._candidates,
+            solver=self._solver,
+        )
+        if recommended is None:
+            # No reservation satisfies the profile: fall back to the largest
+            # candidate (best effort) and report the violation.
+            reserved = max(
+                candidate
+                for candidate in self._candidates
+                if candidate < self._parameters.number_of_channels
+            )
+            satisfied = False
+        else:
+            reserved = recommended
+            satisfied = True
+        assessment = evaluate_configuration(
+            self._parameters.replace(
+                reserved_pdch=reserved, total_call_arrival_rate=max(arrival_rate, 1e-6)
+            ),
+            self._profile,
+            solver=self._solver,
+        )
+        decision = AllocationDecision(
+            observed_arrival_rate=arrival_rate,
+            reserved_pdch=reserved,
+            satisfied=satisfied,
+            assessment=assessment,
+        )
+        self._current_reserved = reserved
+        self._last_rate = arrival_rate
+        self._history.append(decision)
+        return decision
+
+    def run(self, arrival_rates: Iterable[float]) -> list[AllocationDecision]:
+        """Feed a whole sequence of load observations and return all decisions."""
+        return [self.observe(rate) for rate in arrival_rates]

@@ -1,0 +1,241 @@
+"""Extension experiments beyond the paper's evaluation section.
+
+These experiments exercise the subsystems that implement the paper's stated
+future work and the natural next questions of its analysis.  They are labelled
+"beyond the paper" in EXPERIMENTS.md and have their own ablation benchmarks:
+
+* :func:`arq_impact` -- the throughput cost of RLC retransmissions (the paper
+  assumes an error-free link and defers this to future work);
+* :func:`link_adaptation_gain` -- goodput of adaptive coding-scheme selection
+  versus the fixed CS-2 of the paper, across link qualities;
+* :func:`guard_channel_tradeoff` -- prioritising handover calls with guard
+  channels: handover failure versus new-call blocking;
+* :func:`adaptive_policy_comparison` -- the future-work question proper: a
+  model-driven adaptive PDCH reservation against the best and worst static
+  reservations over a daily load profile.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.dimensioning import QosProfile
+from repro.experiments.sensitivity import SensitivityResult, sweep_block_error_rate
+from repro.queueing.guard_channel import GuardChannelSystem
+from repro.radio.bler import block_error_rate
+from repro.radio.link_adaptation import best_coding_scheme, goodput_kbit_s
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.adaptive.controller import PolicyEvaluation
+
+# NOTE: repro.adaptive is imported lazily inside adaptive_policy_comparison().
+# The adaptive package itself consumes repro.experiments.dimensioning, so a
+# module-level import here would create an import cycle whenever repro.adaptive
+# is imported before repro.experiments.
+
+__all__ = [
+    "AdaptiveComparison",
+    "GuardChannelTradeoff",
+    "LinkAdaptationPoint",
+    "adaptive_policy_comparison",
+    "arq_impact",
+    "guard_channel_tradeoff",
+    "link_adaptation_gain",
+]
+
+
+# --------------------------------------------------------------------------- #
+# ARQ impact
+# --------------------------------------------------------------------------- #
+def arq_impact(
+    base_parameters: GprsModelParameters,
+    block_error_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+    *,
+    solver: str = "auto",
+) -> SensitivityResult:
+    """Return the model measures as the RLC block error rate grows.
+
+    A thin named wrapper around
+    :func:`repro.experiments.sensitivity.sweep_block_error_rate`, kept separate
+    because it is an experiment of its own in EXPERIMENTS.md.
+    """
+    return sweep_block_error_rate(base_parameters, block_error_rates, solver=solver)
+
+
+# --------------------------------------------------------------------------- #
+# Link adaptation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LinkAdaptationPoint:
+    """Goodput comparison at one carrier-to-interference ratio."""
+
+    ci_db: float
+    fixed_cs2_goodput_kbit_s: float
+    adapted_scheme: str
+    adapted_goodput_kbit_s: float
+
+    @property
+    def gain(self) -> float:
+        """Relative goodput gain of link adaptation over fixed CS-2."""
+        if self.fixed_cs2_goodput_kbit_s <= 0:
+            return float("inf") if self.adapted_goodput_kbit_s > 0 else 0.0
+        return self.adapted_goodput_kbit_s / self.fixed_cs2_goodput_kbit_s - 1.0
+
+
+def link_adaptation_gain(
+    ci_values_db: Sequence[float] = (2.0, 5.0, 8.0, 11.0, 14.0, 18.0, 24.0, 30.0),
+) -> list[LinkAdaptationPoint]:
+    """Compare adaptive coding-scheme selection against the paper's fixed CS-2."""
+    points = []
+    for ci in ci_values_db:
+        fixed = goodput_kbit_s("CS-2", ci)
+        scheme = best_coding_scheme(ci)
+        points.append(
+            LinkAdaptationPoint(
+                ci_db=float(ci),
+                fixed_cs2_goodput_kbit_s=fixed,
+                adapted_scheme=scheme,
+                adapted_goodput_kbit_s=goodput_kbit_s(scheme, ci),
+            )
+        )
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Guard channels
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GuardChannelTradeoff:
+    """Blocking/dropping trade-off for one guard-channel count."""
+
+    guard_channels: int
+    new_call_blocking: float
+    handover_failure: float
+    carried_traffic_erlangs: float
+
+
+def guard_channel_tradeoff(
+    base_parameters: GprsModelParameters,
+    guard_channel_counts: Sequence[int] = (0, 1, 2, 3, 4),
+    *,
+    handover_fraction: float = 0.4,
+) -> list[GuardChannelTradeoff]:
+    """Evaluate handover prioritisation on the voice channels of the cell.
+
+    The voice arrival stream of the base configuration is split into new calls
+    and incoming handovers (``handover_fraction`` of the total, matching the
+    1-2 handovers per call of the base setting), and the guard-channel loss
+    system of :mod:`repro.queueing.guard_channel` is solved for every requested
+    guard-channel count.
+    """
+    if not 0.0 <= handover_fraction < 1.0:
+        raise ValueError("handover_fraction must be in [0, 1)")
+    total_rate = base_parameters.gsm_arrival_rate / max(1.0 - handover_fraction, 1e-9)
+    handover_rate = total_rate * handover_fraction
+    service_rate = (
+        base_parameters.gsm_completion_rate + base_parameters.gsm_handover_departure_rate
+    )
+    results = []
+    for guard in guard_channel_counts:
+        if guard > base_parameters.gsm_channels:
+            continue
+        system = GuardChannelSystem(
+            new_call_rate=base_parameters.gsm_arrival_rate,
+            handover_rate=handover_rate,
+            service_rate=service_rate,
+            servers=base_parameters.gsm_channels,
+            guard_channels=int(guard),
+        )
+        results.append(
+            GuardChannelTradeoff(
+                guard_channels=int(guard),
+                new_call_blocking=system.new_call_blocking_probability(),
+                handover_failure=system.handover_failure_probability(),
+                carried_traffic_erlangs=system.carried_traffic(),
+            )
+        )
+    if not results:
+        raise ValueError("no guard-channel count fits the configured voice channels")
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Adaptive allocation vs. static reservations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AdaptiveComparison:
+    """Outcome of the adaptive-versus-static reservation experiment."""
+
+    trajectory: tuple[float, ...]
+    static_evaluations: dict[int, "PolicyEvaluation"]
+    adaptive_evaluation: "PolicyEvaluation"
+
+    def best_static_reservation(self) -> int:
+        """Static reservation with the highest mean per-user throughput."""
+        return max(
+            self.static_evaluations,
+            key=lambda reserved: self.static_evaluations[
+                reserved
+            ].mean_throughput_per_user_kbit_s(),
+        )
+
+    def adaptive_matches_best_static_throughput(self, tolerance: float = 0.05) -> bool:
+        """Whether the adaptive policy is within ``tolerance`` of the best static one."""
+        best = self.static_evaluations[
+            self.best_static_reservation()
+        ].mean_throughput_per_user_kbit_s()
+        if best <= 0:
+            return True
+        return self.adaptive_evaluation.mean_throughput_per_user_kbit_s() >= best * (
+            1.0 - tolerance
+        )
+
+
+def adaptive_policy_comparison(
+    base_parameters: GprsModelParameters,
+    load_trajectory: Sequence[float] = (0.1, 0.3, 0.6, 0.9, 0.6, 0.2),
+    *,
+    static_reservations: Sequence[int] = (1, 2, 4),
+    profile: QosProfile | None = None,
+    solver: str = "auto",
+) -> AdaptiveComparison:
+    """Compare a model-driven adaptive reservation with fixed reservations.
+
+    Every policy sees the same deterministic busy-hour load trajectory; static
+    policies keep their reservation throughout, while the adaptive policy asks
+    the analytical model for the smallest reservation meeting the QoS profile
+    at each epoch.
+    """
+    from repro.adaptive.controller import evaluate_policy
+    from repro.adaptive.policies import ModelDrivenPolicy, StaticAllocationPolicy
+
+    profile = profile or QosProfile(max_throughput_degradation=0.5)
+    trajectory = tuple(float(rate) for rate in load_trajectory)
+    static_evaluations = {
+        reserved: evaluate_policy(
+            base_parameters, StaticAllocationPolicy(reserved), trajectory, solver=solver
+        )
+        for reserved in static_reservations
+    }
+    adaptive_policy = ModelDrivenPolicy(
+        base_parameters,
+        profile,
+        candidate_reservations=tuple(sorted(set(static_reservations))),
+        solver=solver,
+    )
+    adaptive_evaluation = evaluate_policy(
+        base_parameters, adaptive_policy, trajectory, solver=solver
+    )
+    return AdaptiveComparison(
+        trajectory=trajectory,
+        static_evaluations=static_evaluations,
+        adaptive_evaluation=adaptive_evaluation,
+    )
+
+
+def expected_cs2_bler(ci_db: float) -> float:
+    """Convenience re-export: BLER of CS-2 at a given C/I (used by examples)."""
+    return block_error_rate("CS-2", ci_db)

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its results as figures; this repository regenerates them as
+data and prints them as aligned text tables (one row per arrival rate, one
+column per curve) plus optional CSV export, which is what the CLI and the
+benchmark harness display.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["format_table", "format_figure_result", "figure_result_to_csv"]
+
+
+def format_table(title: str, rows: Mapping[str, float | str], *, width: int = 58) -> str:
+    """Render a ``{label: value}`` mapping as an aligned two-column text table."""
+    lines = [title, "-" * max(len(title), 20)]
+    for label, value in rows.items():
+        if isinstance(value, float):
+            rendered = f"{value:.6g}"
+        else:
+            rendered = str(value)
+        lines.append(f"{label:<{width}} {rendered}")
+    return "\n".join(lines)
+
+
+def format_figure_result(result: FigureResult, *, precision: int = 5) -> str:
+    """Render a :class:`~repro.experiments.figures.FigureResult` as text tables.
+
+    One table is produced per metric; rows are arrival rates, columns are the
+    labelled curves of the figure.  Simulation series additionally show their
+    95% confidence half-width as ``value +/- half_width``.
+    """
+    blocks = [f"{result.figure}: {result.description}"]
+    for metric in result.metrics:
+        header = ["arrival rate"] + [series.label for series in result.series]
+        rates = result.series[0].arrival_rates
+        rows = []
+        for index, rate in enumerate(rates):
+            row = [f"{rate:.3g}"]
+            for series in result.series:
+                value = series.values[metric][index]
+                if metric in series.half_widths:
+                    half = series.half_widths[metric][index]
+                    row.append(f"{value:.{precision}g} +/- {half:.2g}")
+                else:
+                    row.append(f"{value:.{precision}g}")
+            rows.append(row)
+        widths = [
+            max(len(header[col]), *(len(row[col]) for row in rows))
+            for col in range(len(header))
+        ]
+        lines = [f"\n[{metric}]"]
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)
+
+
+def figure_result_to_csv(result: FigureResult) -> str:
+    """Return the figure data as CSV (long format: figure, metric, label, rate, value)."""
+    output = io.StringIO()
+    writer = csv.writer(output)
+    writer.writerow(["figure", "metric", "series", "arrival_rate", "value", "half_width"])
+    for metric in result.metrics:
+        for series in result.series:
+            half_widths = series.half_widths.get(metric)
+            for index, rate in enumerate(series.arrival_rates):
+                writer.writerow(
+                    [
+                        result.figure,
+                        metric,
+                        series.label,
+                        rate,
+                        series.values[metric][index],
+                        half_widths[index] if half_widths else "",
+                    ]
+                )
+    return output.getvalue()

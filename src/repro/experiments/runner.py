@@ -1,0 +1,73 @@
+"""Experiment registry and runner used by the command-line interface.
+
+Every regenerable artefact of the paper -- Tables 2 and 3 and Figures 5 to 15
+-- is registered here under its paper name so that ``gprs-repro run figure12``
+(or ``python -m repro run figure12``) reproduces it without writing any code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import figures, tables
+from repro.experiments.reporting import format_figure_result, format_table
+from repro.experiments.scale import ExperimentScale
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+
+def _run_table2(_: ExperimentScale) -> str:
+    return format_table("Table 2: base parameter setting of the Markov model", tables.table2())
+
+
+def _run_table3(_: ExperimentScale) -> str:
+    blocks = []
+    for name, rows in tables.table3().items():
+        blocks.append(format_table(f"Table 3: {name}", rows))
+    return "\n\n".join(blocks)
+
+
+def _figure_runner(function: Callable[..., figures.FigureResult]) -> Callable[
+    [ExperimentScale], str
+]:
+    def run(scale: ExperimentScale) -> str:
+        return format_figure_result(function(scale))
+
+    return run
+
+
+#: Mapping from experiment name to a callable that runs it and returns text.
+EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "figure5": _figure_runner(figures.figure5),
+    "figure6": _figure_runner(figures.figure6),
+    "figure7": _figure_runner(figures.figure7),
+    "figure8": _figure_runner(figures.figure8),
+    "figure9": _figure_runner(figures.figure9),
+    "figure10": _figure_runner(figures.figure10),
+    "figure11": _figure_runner(figures.figure11),
+    "figure12": _figure_runner(figures.figure12),
+    "figure13": _figure_runner(figures.figure13),
+    "figure14": _figure_runner(figures.figure14),
+    "figure15": _figure_runner(figures.figure15),
+}
+
+
+def run_experiment(name: str, scale: ExperimentScale | None = None) -> str:
+    """Run one registered experiment by name and return its textual report.
+
+    Parameters
+    ----------
+    name:
+        One of the keys of :data:`EXPERIMENTS` (``"table2"`` ... ``"figure15"``).
+    scale:
+        Experiment scale; defaults to the CI-friendly scaled preset.
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from exc
+    return runner(scale or ExperimentScale.default())

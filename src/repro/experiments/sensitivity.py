@@ -1,0 +1,145 @@
+"""Sensitivity analyses of the GPRS model's secondary parameters.
+
+The paper sweeps the call arrival rate and the number of reserved PDCHs; every
+other parameter of Table 2 is fixed.  The functions in this module vary those
+fixed parameters one at a time -- the TCP threshold ``eta``, the BSC buffer
+size ``K``, the GPRS dwell time, the channel coding scheme and the block error
+rate -- and report how the headline measures react, quantifying how robust the
+paper's conclusions are to its parameter choices.
+
+Every function returns a :class:`SensitivityResult`, a small table keyed by the
+varied parameter, so the reporting and benchmark code can treat all analyses
+uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.measures import GprsPerformanceMeasures
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+
+__all__ = [
+    "SensitivityResult",
+    "sweep_tcp_threshold",
+    "sweep_buffer_size",
+    "sweep_gprs_dwell_time",
+    "sweep_coding_scheme",
+    "sweep_block_error_rate",
+]
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Outcome of varying one parameter while keeping everything else fixed.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the varied parameter.
+    values:
+        The parameter values, in the order they were evaluated.
+    measures:
+        The model measures at each value.
+    """
+
+    parameter: str
+    values: tuple[float | str, ...]
+    measures: tuple[GprsPerformanceMeasures, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.measures):
+            raise ValueError("values and measures must have the same length")
+        if not self.values:
+            raise ValueError("a sensitivity sweep needs at least one value")
+
+    def series(self, metric: str) -> tuple[float, ...]:
+        """Return one metric across the sweep (attribute of the measures)."""
+        return tuple(getattr(measure, metric) for measure in self.measures)
+
+    def as_rows(self, metrics: Sequence[str]) -> list[dict[str, float | str]]:
+        """Return the sweep as a list of dictionaries, one per parameter value."""
+        rows = []
+        for value, measure in zip(self.values, self.measures):
+            row: dict[str, float | str] = {self.parameter: value}
+            for metric in metrics:
+                row[metric] = getattr(measure, metric)
+            rows.append(row)
+        return rows
+
+
+def _solve(parameters: GprsModelParameters, solver: str) -> GprsPerformanceMeasures:
+    return GprsMarkovModel(parameters, solver_method=solver).measures()
+
+
+def sweep_tcp_threshold(
+    base_parameters: GprsModelParameters,
+    thresholds: Sequence[float] = (0.3, 0.5, 0.7, 0.9, 1.0),
+    *,
+    solver: str = "auto",
+) -> SensitivityResult:
+    """Vary the TCP flow-control threshold ``eta`` (the calibration of Figure 5)."""
+    values = tuple(float(value) for value in thresholds)
+    measures = tuple(
+        _solve(base_parameters.replace(tcp_threshold=value), solver) for value in values
+    )
+    return SensitivityResult("tcp_threshold", values, measures)
+
+
+def sweep_buffer_size(
+    base_parameters: GprsModelParameters,
+    buffer_sizes: Sequence[int] = (10, 20, 50, 100),
+    *,
+    solver: str = "auto",
+) -> SensitivityResult:
+    """Vary the BSC buffer size ``K`` (loss/delay trade-off of the FIFO buffer)."""
+    values = tuple(int(value) for value in buffer_sizes)
+    measures = tuple(
+        _solve(base_parameters.replace(buffer_size=value), solver) for value in values
+    )
+    return SensitivityResult("buffer_size", values, measures)
+
+
+def sweep_gprs_dwell_time(
+    base_parameters: GprsModelParameters,
+    dwell_times_s: Sequence[float] = (30.0, 60.0, 120.0, 240.0),
+    *,
+    solver: str = "auto",
+) -> SensitivityResult:
+    """Vary the GPRS session dwell time (the mobility assumption of Section 5.1)."""
+    values = tuple(float(value) for value in dwell_times_s)
+    measures = tuple(
+        _solve(base_parameters.replace(mean_gprs_dwell_time_s=value), solver)
+        for value in values
+    )
+    return SensitivityResult("mean_gprs_dwell_time_s", values, measures)
+
+
+def sweep_coding_scheme(
+    base_parameters: GprsModelParameters,
+    coding_schemes: Sequence[str] = ("CS-1", "CS-2", "CS-3", "CS-4"),
+    *,
+    solver: str = "auto",
+) -> SensitivityResult:
+    """Vary the channel coding scheme (the paper fixes CS-2) on an error-free link."""
+    values = tuple(str(value) for value in coding_schemes)
+    measures = tuple(
+        _solve(base_parameters.replace(coding_scheme=value), solver) for value in values
+    )
+    return SensitivityResult("coding_scheme", values, measures)
+
+
+def sweep_block_error_rate(
+    base_parameters: GprsModelParameters,
+    block_error_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    *,
+    solver: str = "auto",
+) -> SensitivityResult:
+    """Vary the RLC block error rate (the ARQ goodput extension of repro.radio)."""
+    values = tuple(float(value) for value in block_error_rates)
+    measures = tuple(
+        _solve(base_parameters.replace(block_error_rate=value), solver) for value in values
+    )
+    return SensitivityResult("block_error_rate", values, measures)

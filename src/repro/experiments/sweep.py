@@ -1,0 +1,96 @@
+"""Parameter sweeps of the analytical GPRS model.
+
+Every figure of the paper plots one or more performance measures against the
+GSM/GPRS call arrival rate.  :func:`sweep_arrival_rates` solves the analytical
+model at each arrival rate of a sweep and returns the measures as columns, so
+the figure functions only have to select which columns to plot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.measures import GprsPerformanceMeasures
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+
+__all__ = ["SweepResult", "sweep_arrival_rates"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Result of sweeping the call arrival rate for one model configuration.
+
+    Attributes
+    ----------
+    base_parameters:
+        The configuration that was swept (arrival rate field is irrelevant).
+    arrival_rates:
+        The swept arrival rates (calls per second).
+    measures:
+        One :class:`~repro.core.measures.GprsPerformanceMeasures` per rate.
+    """
+
+    base_parameters: GprsModelParameters
+    arrival_rates: tuple[float, ...]
+    measures: tuple[GprsPerformanceMeasures, ...]
+
+    def __len__(self) -> int:
+        return len(self.arrival_rates)
+
+    def series(self, metric: str) -> tuple[float, ...]:
+        """Return one metric as a tuple aligned with ``arrival_rates``.
+
+        ``metric`` is any attribute of
+        :class:`~repro.core.measures.GprsPerformanceMeasures`, e.g.
+        ``"carried_data_traffic"`` or ``"packet_loss_probability"``.
+        """
+        return tuple(getattr(measure, metric) for measure in self.measures)
+
+    def as_table(self, metrics: Sequence[str]) -> list[dict[str, float]]:
+        """Return the sweep as a list of row dictionaries (one per arrival rate)."""
+        rows = []
+        for rate, measure in zip(self.arrival_rates, self.measures):
+            row = {"total_call_arrival_rate": rate}
+            for metric in metrics:
+                row[metric] = getattr(measure, metric)
+            rows.append(row)
+        return rows
+
+
+def sweep_arrival_rates(
+    base_parameters: GprsModelParameters,
+    arrival_rates: Iterable[float],
+    *,
+    solver: str = "auto",
+    solver_tol: float = 1e-9,
+) -> SweepResult:
+    """Solve the analytical model at every arrival rate of the sweep.
+
+    Parameters
+    ----------
+    base_parameters:
+        Model configuration; its own arrival rate is replaced by each swept
+        value in turn.
+    arrival_rates:
+        The call arrival rates (calls/s) to evaluate.
+    solver, solver_tol:
+        Passed to :class:`~repro.core.model.GprsMarkovModel`.
+    """
+    rates = tuple(float(rate) for rate in arrival_rates)
+    if not rates:
+        raise ValueError("at least one arrival rate is required")
+    measures = []
+    for rate in rates:
+        model = GprsMarkovModel(
+            base_parameters.with_arrival_rate(rate),
+            solver_method=solver,
+            solver_tol=solver_tol,
+        )
+        measures.append(model.solve().measures)
+    return SweepResult(
+        base_parameters=base_parameters,
+        arrival_rates=rates,
+        measures=tuple(measures),
+    )

@@ -1,0 +1,157 @@
+"""First-passage and absorption analysis of continuous-time Markov chains.
+
+The paper's mobility model raises questions of the form "how long until a
+busy mobile user leaves the cell" (it cites Markoulidakis et al. for exactly
+that quantity).  Such questions are absorption problems: make the states of
+interest absorbing and compute, for every starting state,
+
+* the probability of reaching each absorbing state first
+  (:func:`absorption_probabilities`), and
+* the expected time until absorption (:func:`expected_time_to_absorption`).
+
+Both reduce to linear systems in the transient-to-transient block of the
+generator.  :func:`first_passage_time_moments` generalises the expectation to
+higher moments, and :class:`AbsorbingCtmcAnalysis` packages the pieces for a
+given partition of the state space.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "AbsorbingCtmcAnalysis",
+    "absorption_probabilities",
+    "expected_time_to_absorption",
+    "first_passage_time_moments",
+]
+
+
+def _split_generator(
+    generator, transient: Sequence[int], absorbing: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the (transient, transient) and (transient, absorbing) blocks."""
+    if sp.issparse(generator):
+        dense = generator.toarray()
+    else:
+        dense = np.asarray(generator, dtype=float)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValueError("generator must be a square matrix")
+    transient = list(transient)
+    absorbing = list(absorbing)
+    if not transient:
+        raise ValueError("at least one transient state is required")
+    if not absorbing:
+        raise ValueError("at least one absorbing state is required")
+    overlap = set(transient) & set(absorbing)
+    if overlap:
+        raise ValueError(f"states cannot be both transient and absorbing: {sorted(overlap)}")
+    q_tt = dense[np.ix_(transient, transient)]
+    q_ta = dense[np.ix_(transient, absorbing)]
+    return q_tt, q_ta
+
+
+def expected_time_to_absorption(
+    generator, transient: Sequence[int], absorbing: Sequence[int]
+) -> np.ndarray:
+    """Return the expected time to hit any absorbing state, per transient state.
+
+    Solves ``Q_TT m = -1`` where ``Q_TT`` is the transient-to-transient block.
+    """
+    q_tt, _ = _split_generator(generator, transient, absorbing)
+    ones = np.ones(q_tt.shape[0])
+    return np.linalg.solve(q_tt, -ones)
+
+
+def absorption_probabilities(
+    generator, transient: Sequence[int], absorbing: Sequence[int]
+) -> np.ndarray:
+    """Return the probability of being absorbed in each absorbing state.
+
+    The result has one row per transient state and one column per absorbing
+    state; rows sum to one.  Solves ``Q_TT B = -Q_TA``.
+    """
+    q_tt, q_ta = _split_generator(generator, transient, absorbing)
+    return np.linalg.solve(q_tt, -q_ta)
+
+
+def first_passage_time_moments(
+    generator, transient: Sequence[int], absorbing: Sequence[int], order: int
+) -> np.ndarray:
+    """Return raw moments of the absorption time for every transient state.
+
+    Uses the recursion ``m_k = k (-Q_TT)^{-1} m_{k-1}`` with ``m_0 = 1``.
+    """
+    if order < 1:
+        raise ValueError("order must be at least 1")
+    q_tt, _ = _split_generator(generator, transient, absorbing)
+    inverse = np.linalg.inv(-q_tt)
+    moments = np.zeros((order, q_tt.shape[0]))
+    previous = np.ones(q_tt.shape[0])
+    for k in range(1, order + 1):
+        previous = k * (inverse @ previous)
+        moments[k - 1] = previous
+    return moments
+
+
+@dataclass(frozen=True)
+class AbsorbingCtmcAnalysis:
+    """Absorption analysis of one CTMC with a fixed transient/absorbing partition.
+
+    Parameters
+    ----------
+    generator:
+        Generator matrix of the full chain (the rows of absorbing states are
+        ignored, so they may contain anything).
+    transient_states, absorbing_states:
+        Index partition of the state space.
+    """
+
+    generator: np.ndarray
+    transient_states: tuple[int, ...]
+    absorbing_states: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        generator = (
+            self.generator.toarray()
+            if sp.issparse(self.generator)
+            else np.asarray(self.generator, dtype=float)
+        )
+        object.__setattr__(self, "generator", generator)
+        object.__setattr__(self, "transient_states", tuple(self.transient_states))
+        object.__setattr__(self, "absorbing_states", tuple(self.absorbing_states))
+        # Validate eagerly so malformed partitions fail at construction time.
+        _split_generator(generator, self.transient_states, self.absorbing_states)
+
+    def expected_absorption_times(self) -> dict[int, float]:
+        """Expected time to absorption keyed by transient state index."""
+        times = expected_time_to_absorption(
+            self.generator, self.transient_states, self.absorbing_states
+        )
+        return dict(zip(self.transient_states, times))
+
+    def absorption_probability_matrix(self) -> dict[int, dict[int, float]]:
+        """Absorption probabilities keyed by transient then absorbing state index."""
+        matrix = absorption_probabilities(
+            self.generator, self.transient_states, self.absorbing_states
+        )
+        return {
+            transient: dict(zip(self.absorbing_states, row))
+            for transient, row in zip(self.transient_states, matrix)
+        }
+
+    def absorption_time_std(self) -> dict[int, float]:
+        """Standard deviation of the absorption time per transient state."""
+        moments = first_passage_time_moments(
+            self.generator, self.transient_states, self.absorbing_states, 2
+        )
+        result = {}
+        for index, state in enumerate(self.transient_states):
+            variance = moments[1, index] - moments[0, index] ** 2
+            result[state] = math.sqrt(max(variance, 0.0))
+        return result

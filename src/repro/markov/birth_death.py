@@ -1,0 +1,132 @@
+"""Birth--death chains with closed-form stationary distributions.
+
+Birth--death chains appear throughout the GPRS model:
+
+* the M/M/c/c Erlang-loss chains describing the number of active GSM calls and
+  GPRS sessions (Section 4.2 of the paper),
+* the aggregated ``(m + 1)``-state modulating chain of ``m`` identical on--off
+  traffic sources,
+* the BSC buffer occupancy conditioned on a fixed phase.
+
+The closed form
+
+    pi_j proportional to prod_{i < j} birth_i / death_{i+1}
+
+is evaluated in log space so that chains with hundreds of states and widely
+varying rates do not overflow.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+
+__all__ = ["BirthDeathChain"]
+
+
+class BirthDeathChain:
+    """A finite birth--death chain on states ``0 .. n``.
+
+    Parameters
+    ----------
+    birth_rates:
+        ``birth_rates[i]`` is the rate of the transition ``i -> i + 1``;
+        length ``n``.
+    death_rates:
+        ``death_rates[i]`` is the rate of the transition ``i + 1 -> i``;
+        length ``n``.  All death rates must be positive (otherwise the chain
+        would not be irreducible).
+    """
+
+    def __init__(self, birth_rates: Sequence[float], death_rates: Sequence[float]) -> None:
+        births = np.asarray(birth_rates, dtype=float)
+        deaths = np.asarray(death_rates, dtype=float)
+        if births.ndim != 1 or deaths.ndim != 1:
+            raise ValueError("birth and death rates must be one-dimensional sequences")
+        if births.shape[0] != deaths.shape[0]:
+            raise ValueError("birth and death rate sequences must have equal length")
+        if np.any(births < 0) or np.any(deaths < 0):
+            raise ValueError("rates must be non-negative")
+        if np.any(deaths[births > 0] <= 0):
+            raise ValueError("every reachable state must have a positive death rate")
+        self._births = births
+        self._deaths = deaths
+
+    @property
+    def birth_rates(self) -> np.ndarray:
+        return self._births.copy()
+
+    @property
+    def death_rates(self) -> np.ndarray:
+        return self._deaths.copy()
+
+    @property
+    def number_of_states(self) -> int:
+        return self._births.shape[0] + 1
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Return the closed-form stationary distribution.
+
+        States that are unreachable because an earlier birth rate is zero get
+        probability zero.
+        """
+        n = self.number_of_states
+        log_weights = np.full(n, -np.inf)
+        log_weights[0] = 0.0
+        running = 0.0
+        for i in range(n - 1):
+            if self._births[i] <= 0:
+                break
+            running += np.log(self._births[i]) - np.log(self._deaths[i])
+            log_weights[i + 1] = running
+        shift = np.max(log_weights[np.isfinite(log_weights)])
+        weights = np.exp(log_weights - shift, where=np.isfinite(log_weights), out=np.zeros(n))
+        return weights / weights.sum()
+
+    def mean(self) -> float:
+        """Return the stationary mean state index."""
+        pi = self.stationary_distribution()
+        return float(np.dot(pi, np.arange(self.number_of_states)))
+
+    def blocking_probability(self) -> float:
+        """Return the stationary probability of the highest state (loss probability)."""
+        return float(self.stationary_distribution()[-1])
+
+    def to_ctmc(self) -> ContinuousTimeMarkovChain:
+        """Return the equivalent :class:`ContinuousTimeMarkovChain`."""
+        n = self.number_of_states
+        generator = np.zeros((n, n))
+        for i in range(n - 1):
+            generator[i, i + 1] = self._births[i]
+            generator[i + 1, i] = self._deaths[i]
+        generator -= np.diag(generator.sum(axis=1))
+        return ContinuousTimeMarkovChain(generator)
+
+    @classmethod
+    def erlang_loss(cls, arrival_rate: float, service_rate: float, servers: int) -> (
+        "BirthDeathChain"
+    ):
+        """Return the M/M/c/c chain with ``servers`` servers (Erlang loss system)."""
+        if servers < 1:
+            raise ValueError("servers must be at least 1")
+        if arrival_rate < 0 or service_rate <= 0:
+            raise ValueError("arrival rate must be non-negative and service rate positive")
+        births = np.full(servers, arrival_rate)
+        deaths = service_rate * np.arange(1, servers + 1)
+        return cls(births, deaths)
+
+    @classmethod
+    def mmck(
+        cls, arrival_rate: float, service_rate: float, servers: int, capacity: int
+    ) -> "BirthDeathChain":
+        """Return the M/M/c/K chain (``capacity`` >= ``servers`` total places)."""
+        if capacity < servers:
+            raise ValueError("capacity must be at least the number of servers")
+        births = np.full(capacity, arrival_rate)
+        deaths = np.array(
+            [service_rate * min(i + 1, servers) for i in range(capacity)], dtype=float
+        )
+        return cls(births, deaths)

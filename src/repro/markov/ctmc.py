@@ -1,0 +1,261 @@
+"""Continuous-time Markov chain abstraction.
+
+A :class:`ContinuousTimeMarkovChain` wraps an infinitesimal generator matrix
+``Q`` together with optional human-readable state labels and offers:
+
+* construction from explicit transition-rate dictionaries or sparse matrices,
+* validation (rows sum to zero, non-negative off-diagonal rates),
+* stationary distribution via the solvers in :mod:`repro.markov.solvers`,
+* transient distributions via uniformisation,
+* expectation of state reward functions,
+* embedded jump chain and holding-time statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.solvers import SteadyStateResult, solve_steady_state
+
+__all__ = ["ContinuousTimeMarkovChain"]
+
+
+class ContinuousTimeMarkovChain:
+    """A finite continuous-time Markov chain defined by its generator matrix.
+
+    Parameters
+    ----------
+    generator:
+        Square matrix (dense or scipy sparse) whose off-diagonal entries are
+        transition rates and whose rows sum to zero.  If the diagonal is not
+        supplied correctly it can be fixed automatically with
+        ``fix_diagonal=True``.
+    labels:
+        Optional sequence of hashable state labels.  When provided the chain
+        can be queried by label instead of index.
+    fix_diagonal:
+        If true, the diagonal is recomputed as the negative off-diagonal row
+        sum rather than validated.
+    """
+
+    def __init__(
+        self,
+        generator,
+        labels: Sequence[Hashable] | None = None,
+        *,
+        fix_diagonal: bool = False,
+        validate: bool = True,
+    ) -> None:
+        if sp.issparse(generator):
+            q = generator.tocsr().astype(float)
+        else:
+            q = sp.csr_matrix(np.asarray(generator, dtype=float))
+        if q.shape[0] != q.shape[1]:
+            raise ValueError(f"generator must be square, got shape {q.shape}")
+        if fix_diagonal:
+            q = _with_recomputed_diagonal(q)
+        self._generator = q
+        self._labels = list(labels) if labels is not None else None
+        if self._labels is not None and len(self._labels) != q.shape[0]:
+            raise ValueError(
+                f"number of labels ({len(self._labels)}) does not match "
+                f"number of states ({q.shape[0]})"
+            )
+        self._label_index: dict[Hashable, int] | None = (
+            {label: i for i, label in enumerate(self._labels)} if self._labels else None
+        )
+        if self._label_index is not None and len(self._label_index) != len(self._labels):
+            raise ValueError("state labels must be unique")
+        if validate:
+            self.validate()
+        self._steady_state: SteadyStateResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rates(
+        cls,
+        rates: Mapping[tuple[Hashable, Hashable], float],
+        states: Iterable[Hashable] | None = None,
+    ) -> "ContinuousTimeMarkovChain":
+        """Build a chain from a ``{(source, target): rate}`` mapping.
+
+        The state set is the union of all sources and targets (plus any extra
+        ``states``), ordered by first appearance, unless an explicit iterable
+        of states is supplied.
+        """
+        ordered: list[Hashable] = []
+        seen: set[Hashable] = set()
+
+        def _add(state: Hashable) -> None:
+            if state not in seen:
+                seen.add(state)
+                ordered.append(state)
+
+        if states is not None:
+            for state in states:
+                _add(state)
+        for source, target in rates:
+            _add(source)
+            _add(target)
+
+        index = {state: i for i, state in enumerate(ordered)}
+        n = len(ordered)
+        rows, cols, values = [], [], []
+        for (source, target), rate in rates.items():
+            if rate < 0:
+                raise ValueError(f"negative rate {rate} for transition {source}->{target}")
+            if source == target:
+                continue
+            rows.append(index[source])
+            cols.append(index[target])
+            values.append(float(rate))
+        q = sp.coo_matrix((values, (rows, cols)), shape=(n, n)).tocsr()
+        q = _with_recomputed_diagonal(q)
+        return cls(q, labels=ordered, validate=True)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def generator(self) -> sp.csr_matrix:
+        """The infinitesimal generator matrix ``Q`` (CSR sparse)."""
+        return self._generator
+
+    @property
+    def number_of_states(self) -> int:
+        return self._generator.shape[0]
+
+    @property
+    def labels(self) -> list[Hashable] | None:
+        return list(self._labels) if self._labels is not None else None
+
+    def __len__(self) -> int:
+        return self.number_of_states
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"{type(self).__name__}(states={self.number_of_states}, "
+            f"transitions={self._generator.nnz})"
+        )
+
+    def state_index(self, label: Hashable) -> int:
+        """Return the index of a labelled state."""
+        if self._label_index is None:
+            raise ValueError("this chain has no state labels")
+        try:
+            return self._label_index[label]
+        except KeyError as exc:
+            raise KeyError(f"unknown state label: {label!r}") from exc
+
+    def rate(self, source: Hashable | int, target: Hashable | int) -> float:
+        """Return the transition rate between two states (by label or index)."""
+        i = source if isinstance(source, (int, np.integer)) else self.state_index(source)
+        j = target if isinstance(target, (int, np.integer)) else self.state_index(target)
+        return float(self._generator[i, j])
+
+    def exit_rates(self) -> np.ndarray:
+        """Return the total exit rate ``-q_ii`` of every state."""
+        return -self._generator.diagonal()
+
+    def validate(self, tolerance: float = 1e-8) -> None:
+        """Check generator-matrix invariants; raise ``ValueError`` on violation."""
+        q = self._generator
+        off_diagonal = q.copy()
+        off_diagonal.setdiag(0.0)
+        if off_diagonal.nnz and off_diagonal.data.min() < -tolerance:
+            raise ValueError("generator has negative off-diagonal entries")
+        row_sums = np.asarray(q.sum(axis=1)).ravel()
+        worst = float(np.max(np.abs(row_sums))) if row_sums.size else 0.0
+        scale = max(1.0, float(np.max(np.abs(q.diagonal()))) if q.shape[0] else 1.0)
+        if worst > tolerance * scale:
+            raise ValueError(f"generator rows do not sum to zero (max |row sum| = {worst:g})")
+
+    # ------------------------------------------------------------------ #
+    # Solutions
+    # ------------------------------------------------------------------ #
+    def steady_state(
+        self, *, method: str = "auto", tol: float = 1e-10, refresh: bool = False
+    ) -> SteadyStateResult:
+        """Return (and cache) the stationary distribution of the chain."""
+        if self._steady_state is None or refresh:
+            self._steady_state = solve_steady_state(self._generator, method=method, tol=tol)
+        return self._steady_state
+
+    def stationary_distribution(self, *, method: str = "auto") -> np.ndarray:
+        """Return the stationary probability vector as a numpy array."""
+        return self.steady_state(method=method).distribution
+
+    def expected_reward(
+        self,
+        reward: Callable[[int], float] | Sequence[float] | np.ndarray,
+        *,
+        method: str = "auto",
+    ) -> float:
+        """Return the stationary expectation of a per-state reward.
+
+        ``reward`` may be a callable mapping a state index to a value or an
+        array of per-state rewards.
+        """
+        pi = self.stationary_distribution(method=method)
+        if callable(reward):
+            values = np.array([reward(i) for i in range(self.number_of_states)], dtype=float)
+        else:
+            values = np.asarray(reward, dtype=float)
+            if values.shape[0] != self.number_of_states:
+                raise ValueError("reward vector length does not match number of states")
+        return float(np.dot(pi, values))
+
+    def transient_distribution(
+        self, initial: np.ndarray | Sequence[float], time: float, *, tol: float = 1e-12
+    ) -> np.ndarray:
+        """Return the state distribution at ``time`` from ``initial`` (uniformisation)."""
+        from repro.markov.transient import transient_distribution
+
+        return transient_distribution(self._generator, initial, time, tol=tol)
+
+    # ------------------------------------------------------------------ #
+    # Derived chains
+    # ------------------------------------------------------------------ #
+    def embedded_jump_chain(self) -> sp.csr_matrix:
+        """Return the transition matrix of the embedded (jump) DTMC.
+
+        Absorbing states (zero exit rate) are given a self-loop probability
+        of one.
+        """
+        q = self._generator.tocoo()
+        exit_rates = self.exit_rates()
+        n = self.number_of_states
+        rows, cols, values = [], [], []
+        for i, j, rate in zip(q.row, q.col, q.data):
+            if i == j or rate <= 0:
+                continue
+            rows.append(i)
+            cols.append(j)
+            values.append(rate / exit_rates[i])
+        for i in range(n):
+            if exit_rates[i] <= 0:
+                rows.append(i)
+                cols.append(i)
+                values.append(1.0)
+        return sp.coo_matrix((values, (rows, cols)), shape=(n, n)).tocsr()
+
+    def mean_holding_times(self) -> np.ndarray:
+        """Return the mean holding time of every state (``inf`` for absorbing states)."""
+        exit_rates = self.exit_rates()
+        with np.errstate(divide="ignore"):
+            return np.where(exit_rates > 0, 1.0 / np.maximum(exit_rates, 1e-300), np.inf)
+
+
+def _with_recomputed_diagonal(q: sp.csr_matrix) -> sp.csr_matrix:
+    """Return ``q`` with the diagonal replaced by the negative off-diagonal row sum."""
+    q = q.tolil()
+    q.setdiag(0.0)
+    q = q.tocsr()
+    row_sums = np.asarray(q.sum(axis=1)).ravel()
+    q = q + sp.diags(-row_sums)
+    return q.tocsr()

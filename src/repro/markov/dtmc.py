@@ -1,0 +1,123 @@
+"""Discrete-time Markov chain abstraction.
+
+The DTMC class is used in two places in this repository:
+
+* as the embedded jump chain of a CTMC (see
+  :meth:`repro.markov.ctmc.ContinuousTimeMarkovChain.embedded_jump_chain`), and
+* as the uniformised chain underlying the power-iteration steady-state solver
+  and transient uniformisation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["DiscreteTimeMarkovChain"]
+
+
+class DiscreteTimeMarkovChain:
+    """A finite discrete-time Markov chain defined by a stochastic matrix.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Square row-stochastic matrix (dense or scipy sparse).
+    labels:
+        Optional sequence of hashable state labels.
+    """
+
+    def __init__(
+        self,
+        transition_matrix,
+        labels: Sequence[Hashable] | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        if sp.issparse(transition_matrix):
+            p = transition_matrix.tocsr().astype(float)
+        else:
+            p = sp.csr_matrix(np.asarray(transition_matrix, dtype=float))
+        if p.shape[0] != p.shape[1]:
+            raise ValueError(f"transition matrix must be square, got shape {p.shape}")
+        self._matrix = p
+        self._labels = list(labels) if labels is not None else None
+        if self._labels is not None and len(self._labels) != p.shape[0]:
+            raise ValueError("number of labels does not match number of states")
+        if validate:
+            self.validate()
+
+    @property
+    def transition_matrix(self) -> sp.csr_matrix:
+        return self._matrix
+
+    @property
+    def number_of_states(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def labels(self) -> list[Hashable] | None:
+        return list(self._labels) if self._labels is not None else None
+
+    def __len__(self) -> int:
+        return self.number_of_states
+
+    def validate(self, tolerance: float = 1e-8) -> None:
+        """Check that the matrix is row-stochastic with non-negative entries."""
+        p = self._matrix
+        if p.nnz and p.data.min() < -tolerance:
+            raise ValueError("transition matrix has negative entries")
+        row_sums = np.asarray(p.sum(axis=1)).ravel()
+        if row_sums.size and np.max(np.abs(row_sums - 1.0)) > tolerance:
+            raise ValueError("transition matrix rows do not sum to one")
+
+    def step(self, distribution: np.ndarray | Sequence[float], steps: int = 1) -> np.ndarray:
+        """Propagate a distribution forward by ``steps`` transitions."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        current = np.asarray(distribution, dtype=float)
+        if current.shape[0] != self.number_of_states:
+            raise ValueError("distribution length does not match number of states")
+        for _ in range(steps):
+            current = current @ self._matrix
+        return current
+
+    def stationary_distribution(
+        self, *, tol: float = 1e-12, max_iterations: int = 500_000
+    ) -> np.ndarray:
+        """Return the stationary distribution ``pi = pi P`` via power iteration."""
+        n = self.number_of_states
+        if n == 1:
+            return np.array([1.0])
+        pi = np.full(n, 1.0 / n)
+        for _ in range(max_iterations):
+            new_pi = pi @ self._matrix
+            total = new_pi.sum()
+            if total <= 0 or not np.isfinite(total):
+                raise RuntimeError("power iteration diverged")
+            new_pi /= total
+            if float(np.max(np.abs(new_pi - pi))) < tol:
+                return new_pi
+            pi = new_pi
+        return pi
+
+    def occupation_frequencies(
+        self, initial_state: int, steps: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Simulate a trajectory and return the empirical state-visit frequencies.
+
+        This is a convenience used by statistical tests that compare simulated
+        visit fractions against the stationary distribution.
+        """
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        dense = self._matrix.toarray()
+        counts = np.zeros(self.number_of_states, dtype=float)
+        state = initial_state
+        for _ in range(steps):
+            counts[state] += 1
+            state = int(rng.choice(self.number_of_states, p=dense[state]))
+        return counts / counts.sum()

@@ -1,0 +1,204 @@
+"""Markovian arrival processes (MAPs).
+
+A MAP generalises the MMPP used by the paper's traffic model: it is described
+by two matrices ``(D0, D1)`` where ``D0`` holds the phase transitions without
+an arrival and ``D1`` the transitions that are accompanied by an arrival;
+``D = D0 + D1`` is the generator of the phase process.  Every MMPP is a MAP
+with ``D1 = diag(rates)``, and superposition is again a Kronecker sum.
+
+The GPRS library uses MAPs for two things:
+
+* expressing the aggregate packet arrival process of ``m`` GPRS sessions in a
+  form that queueing tools (the MAP/M/c/K solver in :mod:`repro.queueing`)
+  understand, and
+* computing second-order traffic statistics (interarrival-time correlation,
+  index of dispersion) that quantify the burstiness the paper emphasises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.mmpp import MarkovModulatedPoissonProcess
+from repro.markov.solvers import solve_steady_state
+
+import scipy.sparse as sp
+
+__all__ = [
+    "MarkovianArrivalProcess",
+    "map_from_mmpp",
+    "superpose_maps",
+]
+
+
+@dataclass(frozen=True)
+class MarkovianArrivalProcess:
+    """A Markovian arrival process ``MAP(D0, D1)``.
+
+    Parameters
+    ----------
+    hidden_transitions:
+        Matrix ``D0``: phase transition rates without arrivals; diagonal
+        entries are negative and make the rows of ``D0 + D1`` sum to zero.
+    arrival_transitions:
+        Matrix ``D1``: phase transition rates that generate one arrival;
+        all entries are non-negative.
+    """
+
+    hidden_transitions: np.ndarray
+    arrival_transitions: np.ndarray
+
+    def __post_init__(self) -> None:
+        d0 = np.atleast_2d(np.asarray(self.hidden_transitions, dtype=float))
+        d1 = np.atleast_2d(np.asarray(self.arrival_transitions, dtype=float))
+        if d0.shape != d1.shape or d0.shape[0] != d0.shape[1]:
+            raise ValueError("D0 and D1 must be square matrices of the same size")
+        if np.any(d1 < -1e-12):
+            raise ValueError("D1 entries must be non-negative")
+        off_diagonal = d0 - np.diag(np.diag(d0))
+        if np.any(off_diagonal < -1e-12):
+            raise ValueError("off-diagonal entries of D0 must be non-negative")
+        row_sums = (d0 + d1).sum(axis=1)
+        if np.any(np.abs(row_sums) > 1e-8 * max(1.0, float(np.abs(d0).max()))):
+            raise ValueError("rows of D0 + D1 must sum to zero")
+        object.__setattr__(self, "hidden_transitions", d0)
+        object.__setattr__(self, "arrival_transitions", d1)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def number_of_phases(self) -> int:
+        return self.hidden_transitions.shape[0]
+
+    @property
+    def generator(self) -> np.ndarray:
+        """Generator ``D = D0 + D1`` of the phase process."""
+        return self.hidden_transitions + self.arrival_transitions
+
+    def stationary_phase_distribution(self) -> np.ndarray:
+        """Return the stationary distribution of the phase process."""
+        return solve_steady_state(sp.csr_matrix(self.generator), method="gth").distribution
+
+    def mean_arrival_rate(self) -> float:
+        """Return the long-run arrival rate ``pi D1 1``."""
+        pi = self.stationary_phase_distribution()
+        return float(pi @ self.arrival_transitions @ np.ones(self.number_of_phases))
+
+    # ------------------------------------------------------------------ #
+    # Interarrival-time statistics
+    # ------------------------------------------------------------------ #
+    def embedded_phase_distribution(self) -> np.ndarray:
+        """Stationary phase distribution seen just after an arrival."""
+        pi = self.stationary_phase_distribution()
+        weights = pi @ self.arrival_transitions
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("the MAP never generates arrivals")
+        return weights / total
+
+    def interarrival_moment(self, order: int) -> float:
+        """Return the raw moment of the stationary interarrival time.
+
+        The interarrival time starting from the post-arrival phase
+        distribution is phase-type with sub-generator ``D0``.
+        """
+        if order < 1:
+            raise ValueError("moment order must be at least 1")
+        import math
+
+        phi = self.embedded_phase_distribution()
+        inverse = np.linalg.inv(-self.hidden_transitions)
+        vector = np.ones(self.number_of_phases)
+        for _ in range(order):
+            vector = inverse @ vector
+        return float(math.factorial(order) * phi @ vector)
+
+    def mean_interarrival_time(self) -> float:
+        """Return the mean stationary interarrival time (``1 / rate``)."""
+        return self.interarrival_moment(1)
+
+    def interarrival_scv(self) -> float:
+        """Return the squared coefficient of variation of the interarrival time."""
+        mean = self.interarrival_moment(1)
+        second = self.interarrival_moment(2)
+        return (second - mean * mean) / (mean * mean)
+
+    def interarrival_lag1_correlation(self) -> float:
+        """Return the lag-1 autocorrelation of consecutive interarrival times.
+
+        Poisson and renewal processes have zero correlation; the positive
+        values produced by on--off sources quantify burstiness beyond the
+        marginal distribution.
+        """
+        phi = self.embedded_phase_distribution()
+        inverse = np.linalg.inv(-self.hidden_transitions)
+        ones = np.ones(self.number_of_phases)
+        # Transition kernel of the phase chain embedded at arrivals.
+        kernel = inverse @ self.arrival_transitions
+        mean = float(phi @ inverse @ ones)
+        second = 2.0 * float(phi @ inverse @ inverse @ ones)
+        variance = second - mean * mean
+        if variance <= 0:
+            return 0.0
+        joint = float(phi @ inverse @ kernel @ inverse @ ones)
+        return (joint - mean * mean) / variance
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample_interarrival_times(
+        self, count: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Simulate the MAP and return ``count`` consecutive interarrival times."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if rng is None:
+            rng = np.random.default_rng()
+        n = self.number_of_phases
+        phi = self.embedded_phase_distribution()
+        phase = rng.choice(n, p=phi)
+        d0 = self.hidden_transitions
+        d1 = self.arrival_transitions
+        exit_rates = -np.diag(d0)
+        times = np.zeros(count)
+        for k in range(count):
+            elapsed = 0.0
+            while True:
+                total_rate = exit_rates[phase] + 0.0
+                # Total rate out of the phase including arrival transitions is
+                # -D0[i, i]; hidden and arrival jumps compete.
+                elapsed += rng.exponential(1.0 / total_rate)
+                hidden = d0[phase].copy()
+                hidden[phase] = 0.0
+                arrival = d1[phase]
+                probabilities = np.concatenate([hidden, arrival]) / total_rate
+                choice = rng.choice(2 * n, p=probabilities)
+                if choice < n:
+                    phase = choice
+                    continue
+                phase = choice - n
+                times[k] = elapsed
+                break
+        return times
+
+
+def map_from_mmpp(process: MarkovModulatedPoissonProcess) -> MarkovianArrivalProcess:
+    """Return the MAP representation ``(Q - diag(rates), diag(rates))`` of an MMPP."""
+    rate_matrix = np.diag(process.rates)
+    return MarkovianArrivalProcess(process.generator - rate_matrix, rate_matrix)
+
+
+def superpose_maps(
+    first: MarkovianArrivalProcess, second: MarkovianArrivalProcess
+) -> MarkovianArrivalProcess:
+    """Return the superposition of two independent MAPs (Kronecker sums)."""
+    n1 = first.number_of_phases
+    n2 = second.number_of_phases
+    eye1 = np.eye(n1)
+    eye2 = np.eye(n2)
+    d0 = np.kron(first.hidden_transitions, eye2) + np.kron(eye1, second.hidden_transitions)
+    d1 = np.kron(first.arrival_transitions, eye2) + np.kron(eye1, second.arrival_transitions)
+    return MarkovianArrivalProcess(d0, d1)

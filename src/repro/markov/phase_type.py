@@ -1,0 +1,297 @@
+"""Continuous phase-type distributions.
+
+The Markov model of the paper assumes exponentially distributed call
+durations, dwell times, reading times and packet inter-arrival times.
+Phase-type (PH) distributions are the natural tool for checking how sensitive
+the results are to that assumption: they are dense in the set of positive
+distributions, closed under the operations used in the model, and any PH
+holding time keeps the overall process Markovian (at the cost of a larger
+state space).
+
+A PH distribution is the time to absorption of a CTMC with ``n`` transient
+phases, initial phase distribution ``alpha`` (row vector) and sub-generator
+``S`` (the transient-to-transient block of the generator); the absorption rate
+vector is ``s = -S @ 1``.
+
+This module provides the standard constructors (exponential, Erlang,
+hyperexponential, Coxian), density/distribution/moment evaluation, sampling,
+and the classic two-moment fit that picks an Erlang for squared coefficients
+of variation below one and a balanced hyperexponential above one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+__all__ = [
+    "PhaseTypeDistribution",
+    "exponential_ph",
+    "erlang_ph",
+    "hyperexponential_ph",
+    "coxian_ph",
+    "fit_two_moments",
+]
+
+
+@dataclass(frozen=True)
+class PhaseTypeDistribution:
+    """A continuous phase-type distribution ``PH(alpha, S)``.
+
+    Parameters
+    ----------
+    initial_distribution:
+        Row vector ``alpha`` of initial phase probabilities; its sum may be
+        less than one, the remainder being an atom at zero.
+    sub_generator:
+        Square matrix ``S`` of transition rates among the transient phases;
+        off-diagonal entries are non-negative and every row sum is
+        non-positive (the deficit is the absorption rate of the phase).
+    """
+
+    initial_distribution: np.ndarray
+    sub_generator: np.ndarray
+
+    def __post_init__(self) -> None:
+        alpha = np.atleast_1d(np.asarray(self.initial_distribution, dtype=float))
+        s = np.atleast_2d(np.asarray(self.sub_generator, dtype=float))
+        if s.shape[0] != s.shape[1]:
+            raise ValueError("sub_generator must be square")
+        if alpha.shape[0] != s.shape[0]:
+            raise ValueError("initial_distribution length must match the number of phases")
+        if np.any(alpha < -1e-12) or alpha.sum() > 1.0 + 1e-9:
+            raise ValueError("initial_distribution must be a (sub-)probability vector")
+        off_diagonal = s - np.diag(np.diag(s))
+        if np.any(off_diagonal < -1e-12):
+            raise ValueError("sub_generator off-diagonal entries must be non-negative")
+        exit_rates = -s.sum(axis=1)
+        if np.any(exit_rates < -1e-9):
+            raise ValueError("sub_generator row sums must be non-positive")
+        if np.any(np.diag(s) >= 0):
+            raise ValueError("sub_generator diagonal entries must be negative")
+        object.__setattr__(self, "initial_distribution", alpha)
+        object.__setattr__(self, "sub_generator", s)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def number_of_phases(self) -> int:
+        return self.sub_generator.shape[0]
+
+    @property
+    def exit_rate_vector(self) -> np.ndarray:
+        """Absorption rate of every phase, ``s = -S @ 1``."""
+        return -self.sub_generator.sum(axis=1)
+
+    def moment(self, order: int) -> float:
+        """Return the raw moment ``E[X^k] = k! * alpha (-S)^{-k} 1``."""
+        if order < 1:
+            raise ValueError("moment order must be at least 1")
+        ones = np.ones(self.number_of_phases)
+        inverse = np.linalg.inv(-self.sub_generator)
+        vector = ones
+        for _ in range(order):
+            vector = inverse @ vector
+        return float(math.factorial(order) * self.initial_distribution @ vector)
+
+    def mean(self) -> float:
+        """Return the expectation of the distribution."""
+        return self.moment(1)
+
+    def variance(self) -> float:
+        """Return the variance of the distribution."""
+        first = self.moment(1)
+        return self.moment(2) - first * first
+
+    def squared_coefficient_of_variation(self) -> float:
+        """Return ``Var[X] / E[X]^2`` (1 for the exponential distribution)."""
+        mean = self.mean()
+        if mean == 0:
+            raise ZeroDivisionError("the distribution has zero mean")
+        return self.variance() / (mean * mean)
+
+    # ------------------------------------------------------------------ #
+    # Density, distribution and hazard
+    # ------------------------------------------------------------------ #
+    def cdf(self, time: float) -> float:
+        """Return ``P(X <= time)``."""
+        if time < 0:
+            return 0.0
+        transient_mass = self.initial_distribution @ scipy.linalg.expm(
+            self.sub_generator * time
+        )
+        return float(1.0 - transient_mass.sum())
+
+    def survival(self, time: float) -> float:
+        """Return ``P(X > time)``."""
+        return 1.0 - self.cdf(time)
+
+    def pdf(self, time: float) -> float:
+        """Return the probability density at ``time``."""
+        if time < 0:
+            return 0.0
+        transient_mass = self.initial_distribution @ scipy.linalg.expm(
+            self.sub_generator * time
+        )
+        return float(transient_mass @ self.exit_rate_vector)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, size: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``size`` independent samples by simulating the absorbing chain."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if rng is None:
+            rng = np.random.default_rng()
+        n = self.number_of_phases
+        alpha = self.initial_distribution
+        atom_at_zero = 1.0 - alpha.sum()
+        exit_rates = self.exit_rate_vector
+        total_rates = -np.diag(self.sub_generator)
+        # Per-phase jump distribution over (other phases ..., absorption).
+        jump_probabilities = np.zeros((n, n + 1))
+        for i in range(n):
+            jump_probabilities[i, :n] = self.sub_generator[i] / total_rates[i]
+            jump_probabilities[i, i] = 0.0
+            jump_probabilities[i, n] = exit_rates[i] / total_rates[i]
+        samples = np.zeros(size)
+        for k in range(size):
+            if atom_at_zero > 0 and rng.random() < atom_at_zero:
+                samples[k] = 0.0
+                continue
+            phase = rng.choice(n, p=alpha / alpha.sum())
+            elapsed = 0.0
+            while True:
+                elapsed += rng.exponential(1.0 / total_rates[phase])
+                nxt = rng.choice(n + 1, p=jump_probabilities[phase])
+                if nxt == n:
+                    break
+                phase = nxt
+            samples[k] = elapsed
+        return samples
+
+
+# --------------------------------------------------------------------------- #
+# Constructors
+# --------------------------------------------------------------------------- #
+def exponential_ph(rate: float) -> PhaseTypeDistribution:
+    """Return the exponential distribution with the given rate as a one-phase PH."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return PhaseTypeDistribution(np.array([1.0]), np.array([[-rate]]))
+
+
+def erlang_ph(stages: int, rate: float) -> PhaseTypeDistribution:
+    """Return an Erlang-``k`` distribution (``k`` exponential stages in series).
+
+    The mean is ``stages / rate`` and the squared coefficient of variation is
+    ``1 / stages``.
+    """
+    if stages < 1:
+        raise ValueError("stages must be at least 1")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    s = np.zeros((stages, stages))
+    for i in range(stages):
+        s[i, i] = -rate
+        if i + 1 < stages:
+            s[i, i + 1] = rate
+    alpha = np.zeros(stages)
+    alpha[0] = 1.0
+    return PhaseTypeDistribution(alpha, s)
+
+
+def hyperexponential_ph(
+    probabilities: np.ndarray | list[float], rates: np.ndarray | list[float]
+) -> PhaseTypeDistribution:
+    """Return a hyperexponential distribution (probabilistic mixture of exponentials)."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    rates = np.asarray(rates, dtype=float)
+    if probabilities.shape != rates.shape or probabilities.ndim != 1:
+        raise ValueError("probabilities and rates must be vectors of the same length")
+    if np.any(probabilities < 0) or not math.isclose(probabilities.sum(), 1.0, rel_tol=1e-9):
+        raise ValueError("probabilities must be non-negative and sum to one")
+    if np.any(rates <= 0):
+        raise ValueError("all rates must be positive")
+    return PhaseTypeDistribution(probabilities, np.diag(-rates))
+
+
+def coxian_ph(rates: np.ndarray | list[float], continuation: np.ndarray | list[float]) -> (
+    PhaseTypeDistribution
+):
+    """Return a Coxian distribution: stages in series with early-exit probabilities.
+
+    Parameters
+    ----------
+    rates:
+        Per-stage exponential rates (length ``k``).
+    continuation:
+        Probability of continuing to the next stage after each of the first
+        ``k - 1`` stages (the last stage always absorbs).
+    """
+    rates = np.asarray(rates, dtype=float)
+    continuation = np.asarray(continuation, dtype=float)
+    if rates.ndim != 1 or rates.size < 1:
+        raise ValueError("rates must be a non-empty vector")
+    if continuation.shape != (rates.size - 1,):
+        raise ValueError("continuation must have one entry fewer than rates")
+    if np.any(rates <= 0):
+        raise ValueError("all rates must be positive")
+    if np.any(continuation < 0) or np.any(continuation > 1):
+        raise ValueError("continuation probabilities must be in [0, 1]")
+    k = rates.size
+    s = np.diag(-rates)
+    for i in range(k - 1):
+        s[i, i + 1] = rates[i] * continuation[i]
+    alpha = np.zeros(k)
+    alpha[0] = 1.0
+    return PhaseTypeDistribution(alpha, s)
+
+
+def fit_two_moments(mean: float, scv: float) -> PhaseTypeDistribution:
+    """Fit a phase-type distribution to a mean and squared coefficient of variation.
+
+    The classic recipe:
+
+    * ``scv == 1``   -- exponential;
+    * ``scv < 1``    -- Erlang-``k`` with ``k = ceil(1 / scv)``, adjusted with a
+      Coxian-style first stage so both moments match exactly;
+    * ``scv > 1``    -- balanced-means two-phase hyperexponential.
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if scv <= 0:
+        raise ValueError("the squared coefficient of variation must be positive")
+    if math.isclose(scv, 1.0, rel_tol=1e-9):
+        return exponential_ph(1.0 / mean)
+    if scv > 1.0:
+        # Balanced-means hyperexponential (Whitt's recipe).
+        p = 0.5 * (1.0 + math.sqrt((scv - 1.0) / (scv + 1.0)))
+        rate1 = 2.0 * p / mean
+        rate2 = 2.0 * (1.0 - p) / mean
+        return hyperexponential_ph([p, 1.0 - p], [rate1, rate2])
+    # scv < 1: mixture of Erlang-(k-1) and Erlang-k with common rate.
+    k = math.ceil(1.0 / scv)
+    if k < 2:
+        k = 2
+    # Probability of using k - 1 stages (standard two-moment Erlang mixture).
+    p = (k * scv - math.sqrt(k * (1.0 + scv) - k * k * scv)) / (1.0 + scv)
+    p = min(max(p, 0.0), 1.0)
+    rate = (k - p) / mean
+    stages = k
+    s = np.zeros((stages, stages))
+    for i in range(stages):
+        s[i, i] = -rate
+        if i + 1 < stages:
+            s[i, i + 1] = rate
+    # With probability p the process starts in stage 2 (skipping one stage),
+    # producing an Erlang-(k-1); otherwise it runs through all k stages.
+    alpha = np.zeros(stages)
+    alpha[0] = 1.0 - p
+    alpha[1] = p
+    return PhaseTypeDistribution(alpha, s)

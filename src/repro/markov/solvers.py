@@ -1,0 +1,376 @@
+"""Numerical steady-state solvers for continuous-time Markov chains.
+
+All solvers compute the stationary probability vector ``pi`` satisfying
+
+    pi @ Q = 0,     sum(pi) = 1
+
+for an irreducible CTMC with infinitesimal generator matrix ``Q``.
+
+The module offers several algorithms because the GPRS model is used at very
+different scales: the handover-balance fixed point works on tiny Erlang-loss
+chains (tens of states) where exact GTH elimination is ideal, while the full
+``(n, k, m, r)`` chain of the paper has hundreds of thousands of states and
+needs sparse iterative methods.
+
+Solvers
+-------
+``steady_state_gth``
+    Grassmann--Taksar--Heyman elimination.  Numerically the most robust (no
+    subtractions), dense ``O(n^3)``; use for chains up to a few thousand states.
+``steady_state_direct``
+    Replace one balance equation by the normalisation condition and solve the
+    sparse linear system with ``scipy.sparse.linalg.spsolve``.
+``steady_state_power``
+    Power iteration on the uniformised DTMC ``P = I + Q / Lambda``.
+``steady_state_gauss_seidel``
+    Gauss--Seidel / SOR sweeps on ``pi Q = 0`` using a sparse triangular solve
+    per sweep.
+``solve_steady_state``
+    Adaptive front end choosing a method from the state-space size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = [
+    "SolverError",
+    "SteadyStateResult",
+    "solve_steady_state",
+    "steady_state_direct",
+    "steady_state_gauss_seidel",
+    "steady_state_gth",
+    "steady_state_power",
+    "residual_norm",
+]
+
+
+class SolverError(RuntimeError):
+    """Raised when a steady-state solver fails to produce a valid distribution."""
+
+
+@dataclass(frozen=True)
+class SteadyStateResult:
+    """Outcome of a steady-state computation.
+
+    Attributes
+    ----------
+    distribution:
+        The stationary probability vector ``pi`` (1-D numpy array, sums to 1).
+    method:
+        Name of the algorithm that produced the result.
+    iterations:
+        Number of iterations used (0 for direct methods).
+    residual:
+        Infinity norm of ``pi @ Q`` measured after normalisation.
+    """
+
+    distribution: np.ndarray
+    method: str
+    iterations: int
+    residual: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "distribution", np.asarray(self.distribution, dtype=float))
+
+    def __len__(self) -> int:
+        return self.distribution.shape[0]
+
+
+def _as_dense(generator) -> np.ndarray:
+    if sp.issparse(generator):
+        return generator.toarray()
+    return np.asarray(generator, dtype=float)
+
+
+def _as_csr(generator) -> sp.csr_matrix:
+    if sp.issparse(generator):
+        return generator.tocsr()
+    return sp.csr_matrix(np.asarray(generator, dtype=float))
+
+
+def _validate_generator(generator) -> int:
+    shape = generator.shape
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise ValueError(f"generator must be square, got shape {shape}")
+    return shape[0]
+
+
+def residual_norm(generator, pi: np.ndarray) -> float:
+    """Return ``||pi Q||_inf``, the steady-state balance residual."""
+    q = _as_csr(generator)
+    return float(np.max(np.abs(pi @ q))) if q.shape[0] else 0.0
+
+
+def _normalise(pi: np.ndarray) -> np.ndarray:
+    pi = np.asarray(pi, dtype=float)
+    pi = np.where(np.abs(pi) < 1e-300, 0.0, pi)
+    pi = np.maximum(pi, 0.0)
+    total = pi.sum()
+    if total <= 0.0 or not np.isfinite(total):
+        raise SolverError("steady-state vector could not be normalised")
+    return pi / total
+
+
+def steady_state_gth(generator) -> SteadyStateResult:
+    """Solve ``pi Q = 0`` with Grassmann--Taksar--Heyman (GTH) elimination.
+
+    GTH is a variant of Gaussian elimination that only uses additions,
+    multiplications and divisions of non-negative quantities, which makes it
+    numerically stable even for stiff chains (rates differing by many orders of
+    magnitude).  Complexity is ``O(n^3)`` time and ``O(n^2)`` memory, so it is
+    intended for chains with at most a few thousand states.
+    """
+    q = _as_dense(generator).copy()
+    n = _validate_generator(q)
+    if n == 0:
+        raise ValueError("generator must have at least one state")
+    if n == 1:
+        return SteadyStateResult(np.array([1.0]), "gth", 0, 0.0)
+
+    a = q.copy()
+    # Forward elimination: fold state j into states 0..j-1.
+    for j in range(n - 1, 0, -1):
+        scale = a[j, :j].sum()
+        if scale <= 0.0:
+            raise SolverError(
+                f"GTH elimination failed: state {j} has no transitions to lower states; "
+                "the chain may be reducible"
+            )
+        a[:j, j] /= scale
+        # Rank-one update of the upper-left block.
+        a[:j, :j] += np.outer(a[:j, j], a[j, :j])
+
+    pi = np.zeros(n, dtype=float)
+    pi[0] = 1.0
+    for j in range(1, n):
+        pi[j] = np.dot(pi[:j], a[:j, j])
+    pi = _normalise(pi)
+    return SteadyStateResult(pi, "gth", 0, residual_norm(generator, pi))
+
+
+def steady_state_direct(generator) -> SteadyStateResult:
+    """Solve ``pi Q = 0`` by sparse LU factorisation.
+
+    The singular balance equations are made non-singular by fixing the
+    probability of the last state to one and solving the remaining
+    ``(n-1) x (n-1)`` system ("remove one equation" approach); the result is
+    normalised afterwards.  Because generator matrices are (column) diagonally
+    dominant M-matrices with a structurally symmetric pattern, the
+    factorisation uses SuperLU's symmetric-mode ordering and diagonal
+    pivoting, which keeps fill-in far lower than the default options.
+    """
+    q = _as_csr(generator)
+    n = _validate_generator(q)
+    if n == 1:
+        return SteadyStateResult(np.array([1.0]), "direct", 0, 0.0)
+
+    transposed = q.transpose().tocsr()
+    submatrix = transposed[: n - 1, : n - 1].tocsc()
+    rhs = -np.asarray(transposed[: n - 1, n - 1].todense()).ravel()
+    try:
+        lu = spla.splu(
+            submatrix,
+            permc_spec="MMD_AT_PLUS_A",
+            options={"SymmetricMode": True, "DiagPivotThresh": 0.001},
+        )
+        head = lu.solve(rhs)
+    except Exception as exc:  # pragma: no cover - scipy failure path
+        raise SolverError(f"sparse direct solve failed: {exc}") from exc
+    if not np.all(np.isfinite(head)):
+        raise SolverError("sparse direct solve produced non-finite values")
+    pi = np.concatenate([head, [1.0]])
+    pi = _normalise(pi)
+    residual = residual_norm(generator, pi)
+    scale = max(1.0, float(np.max(np.abs(q.diagonal()))))
+    if residual > 1e-6 * scale:
+        # Fixing the last state fails when that state is transient (reducible
+        # chain); report the failure so callers can fall back to an iterative
+        # solver that handles reducibility gracefully.
+        raise SolverError(
+            f"sparse direct solve produced an inaccurate solution "
+            f"(residual {residual:.2e}); the chain may be reducible"
+        )
+    return SteadyStateResult(pi, "direct", 0, residual)
+
+
+def uniformization_rate(generator) -> float:
+    """Return a uniformisation rate ``Lambda >= max_i |q_ii|`` for the generator."""
+    q = _as_csr(generator)
+    diag = np.abs(q.diagonal())
+    max_rate = float(diag.max()) if diag.size else 0.0
+    return max_rate * 1.02 + 1e-12
+
+
+def steady_state_power(
+    generator,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 200_000,
+    initial: np.ndarray | None = None,
+    check_every: int = 25,
+) -> SteadyStateResult:
+    """Power iteration on the uniformised chain ``P = I + Q / Lambda``.
+
+    Each iteration is a single sparse vector-matrix product, so the method
+    scales to chains with millions of states; convergence is geometric with
+    ratio given by the subdominant eigenvalue of ``P``.
+    """
+    q = _as_csr(generator)
+    n = _validate_generator(q)
+    if n == 1:
+        return SteadyStateResult(np.array([1.0]), "power", 0, 0.0)
+
+    lam = uniformization_rate(q)
+    p = sp.eye(n, format="csr") + q.multiply(1.0 / lam)
+    p = p.tocsr()
+
+    if initial is None:
+        pi = np.full(n, 1.0 / n)
+    else:
+        pi = _normalise(np.asarray(initial, dtype=float))
+
+    iterations = 0
+    for iteration in range(1, max_iterations + 1):
+        new_pi = pi @ p
+        total = new_pi.sum()
+        if total <= 0 or not np.isfinite(total):
+            raise SolverError("power iteration diverged")
+        new_pi /= total
+        iterations = iteration
+        if iteration % check_every == 0 or iteration == max_iterations:
+            delta = float(np.max(np.abs(new_pi - pi)))
+            pi = new_pi
+            if delta < tol:
+                break
+        else:
+            pi = new_pi
+    pi = _normalise(pi)
+    return SteadyStateResult(pi, "power", iterations, residual_norm(q, pi))
+
+
+def steady_state_gauss_seidel(
+    generator,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 20_000,
+    relaxation: float = 1.0,
+    initial: np.ndarray | None = None,
+) -> SteadyStateResult:
+    """Gauss--Seidel / SOR iteration for ``pi Q = 0``.
+
+    The system is transposed to ``Q^T x = 0`` and split into
+    ``(D + L) x = -U x`` where ``D + L`` is the lower triangle of ``Q^T``;
+    each sweep performs one sparse triangular solve.  With ``relaxation`` other
+    than 1.0 the update becomes successive over-relaxation (SOR).
+    """
+    q = _as_csr(generator)
+    n = _validate_generator(q)
+    if n == 1:
+        return SteadyStateResult(np.array([1.0]), "gauss-seidel", 0, 0.0)
+    if not 0.0 < relaxation < 2.0:
+        raise ValueError(f"relaxation must be in (0, 2), got {relaxation}")
+
+    qt = q.transpose().tocsr()
+    lower = sp.tril(qt, k=0, format="csc")
+    upper = sp.triu(qt, k=1, format="csr")
+
+    if initial is None:
+        x = np.full(n, 1.0 / n)
+    else:
+        x = _normalise(np.asarray(initial, dtype=float))
+
+    iterations = 0
+    for iteration in range(1, max_iterations + 1):
+        rhs = -(upper @ x)
+        try:
+            new_x = spla.spsolve_triangular(lower, rhs, lower=True)
+        except Exception as exc:  # pragma: no cover - singular triangle
+            raise SolverError(f"Gauss-Seidel sweep failed: {exc}") from exc
+        if relaxation != 1.0:
+            new_x = relaxation * new_x + (1.0 - relaxation) * x
+        total = new_x.sum()
+        if total == 0 or not np.isfinite(total):
+            raise SolverError("Gauss-Seidel iteration diverged")
+        new_x = new_x / total
+        iterations = iteration
+        delta = float(np.max(np.abs(new_x - x)))
+        x = new_x
+        if delta < tol:
+            break
+    pi = _normalise(x)
+    return SteadyStateResult(pi, "gauss-seidel", iterations, residual_norm(q, pi))
+
+
+# State-count thresholds used by the adaptive front end.
+_GTH_LIMIT = 600
+_DIRECT_LIMIT = 120_000
+
+
+def solve_steady_state(
+    generator,
+    *,
+    method: str = "auto",
+    tol: float = 1e-10,
+    max_iterations: int = 200_000,
+    initial: np.ndarray | None = None,
+) -> SteadyStateResult:
+    """Compute the stationary distribution of a CTMC generator matrix.
+
+    Parameters
+    ----------
+    generator:
+        Square infinitesimal generator matrix (dense array or scipy sparse).
+    method:
+        One of ``"auto"``, ``"gth"``, ``"direct"``, ``"power"``,
+        ``"gauss-seidel"``.  ``"auto"`` picks GTH for small chains, the sparse
+        direct solver for medium chains, and power iteration (warm-started by
+        a few Gauss--Seidel sweeps when possible) for very large chains.
+    tol, max_iterations, initial:
+        Passed to the iterative solvers.
+
+    Returns
+    -------
+    SteadyStateResult
+    """
+    n = _validate_generator(generator)
+    chosen = method
+    if method == "auto":
+        if n <= _GTH_LIMIT:
+            chosen = "gth"
+        elif n <= _DIRECT_LIMIT:
+            chosen = "direct"
+        else:
+            chosen = "power"
+
+    if chosen == "gth":
+        try:
+            return steady_state_gth(generator)
+        except SolverError:
+            if method == "auto":
+                return steady_state_power(
+                    generator, tol=tol, max_iterations=max_iterations, initial=initial
+                )
+            raise
+    if chosen == "direct":
+        try:
+            return steady_state_direct(generator)
+        except SolverError:
+            if method == "auto":
+                return steady_state_power(
+                    generator, tol=tol, max_iterations=max_iterations, initial=initial
+                )
+            raise
+    if chosen == "power":
+        return steady_state_power(
+            generator, tol=tol, max_iterations=max_iterations, initial=initial
+        )
+    if chosen in {"gauss-seidel", "gauss_seidel", "sor"}:
+        return steady_state_gauss_seidel(
+            generator, tol=tol, max_iterations=max_iterations, initial=initial
+        )
+    raise ValueError(f"unknown steady-state method: {method!r}")

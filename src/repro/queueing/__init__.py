@@ -1,0 +1,59 @@
+"""Analytic queueing-theory building blocks.
+
+The GPRS Markov model of the paper embeds two Erlang-loss (M/M/c/c) systems:
+one for the number of active GSM voice calls and one for the number of active
+GPRS sessions (Section 4.2, Eqs. (1)-(7)).  Their closed-form solutions are
+used both to balance the handover flows entering and leaving the cell
+(Eqs. (4)-(5)) and to compute carried voice traffic, blocking probabilities and
+the average number of GPRS sessions.
+
+This subpackage provides those closed forms plus the generic fixed-point
+iteration framework used for the handover balance, and a set of companion
+models that extend the paper's admission and sharing assumptions:
+
+* :class:`~repro.queueing.guard_channel.GuardChannelSystem` -- cutoff-priority
+  admission that reserves guard channels for handover calls;
+* :class:`~repro.queueing.engset.EngsetSystem` -- the finite-population
+  correction of the Erlang-loss model;
+* :class:`~repro.queueing.priority.PreemptivePrioritySharing` -- the
+  voice-over-data priority rule analysed by time-scale decomposition;
+* :class:`~repro.queueing.map_queue.MapMcKQueue` -- the BSC buffer as a
+  MAP/M/c/K queue, solved exactly through the block-tridiagonal machinery.
+"""
+
+from repro.queueing.engset import EngsetSystem
+from repro.queueing.erlang import (
+    ErlangLossSystem,
+    erlang_b,
+    erlang_b_recursive,
+    erlang_c,
+    offered_load,
+)
+from repro.queueing.fixed_point import FixedPointResult, fixed_point_iteration
+from repro.queueing.guard_channel import GuardChannelSystem
+from repro.queueing.littles_law import (
+    mean_queue_length_from_delay,
+    mean_waiting_time,
+    utilization,
+)
+from repro.queueing.map_queue import MapMcKQueue
+from repro.queueing.mmck import MMcKQueue
+from repro.queueing.priority import PreemptivePrioritySharing
+
+__all__ = [
+    "EngsetSystem",
+    "ErlangLossSystem",
+    "FixedPointResult",
+    "GuardChannelSystem",
+    "MMcKQueue",
+    "MapMcKQueue",
+    "PreemptivePrioritySharing",
+    "erlang_b",
+    "erlang_b_recursive",
+    "erlang_c",
+    "fixed_point_iteration",
+    "mean_queue_length_from_delay",
+    "mean_waiting_time",
+    "offered_load",
+    "utilization",
+]

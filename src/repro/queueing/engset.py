@@ -1,0 +1,122 @@
+"""Engset loss model: a finite user population offered to ``c`` channels.
+
+The Erlang-loss model of the paper assumes a Poisson stream of call attempts,
+i.e. an effectively infinite subscriber population.  A GPRS cell, however,
+admits at most ``M`` concurrent sessions drawn from a *finite* population of
+subscribers camping in the cell; when the population is not much larger than
+``M`` the Poisson assumption overestimates blocking.  The Engset model is the
+standard finite-source correction: each of ``N`` idle sources generates
+requests at rate ``alpha``, holds a channel for an exponential time, and
+arrivals finding all ``c`` channels busy are lost.
+
+The module provides the state distribution, the *time* congestion (fraction of
+time all channels are busy) and the *call* congestion (fraction of attempts
+blocked -- the quantity comparable to Erlang-B), which for finite sources are
+no longer equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EngsetSystem"]
+
+
+@dataclass(frozen=True)
+class EngsetSystem:
+    """Engset loss system: ``sources`` on/off users sharing ``servers`` channels.
+
+    Parameters
+    ----------
+    sources:
+        Size ``N`` of the user population.
+    request_rate:
+        Rate ``alpha`` at which each *idle* source generates a request.
+    service_rate:
+        Per-call departure rate ``mu``.
+    servers:
+        Number of channels ``c`` (``c <= N``; with ``c = N`` nothing is ever
+        blocked).
+    """
+
+    sources: int
+    request_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        if self.sources < 1:
+            raise ValueError("sources must be at least 1")
+        if self.servers < 1:
+            raise ValueError("servers must be at least 1")
+        if self.servers > self.sources:
+            raise ValueError("more servers than sources is not a meaningful Engset system")
+        if self.request_rate < 0:
+            raise ValueError("request_rate must be non-negative")
+        if self.service_rate <= 0:
+            raise ValueError("service_rate must be positive")
+
+    @property
+    def offered_load_per_idle_source(self) -> float:
+        """Return ``alpha / mu``, the load one idle source would carry."""
+        return self.request_rate / self.service_rate
+
+    def state_distribution(self) -> np.ndarray:
+        """Return the stationary distribution of the number of busy channels.
+
+        The birth rate in state ``n`` is ``(N - n) * alpha`` and the death rate
+        ``n * mu``; evaluated in log space for numerical robustness.
+        """
+        c = self.servers
+        a = self.offered_load_per_idle_source
+        log_weights = np.zeros(c + 1)
+        running = 0.0
+        for n in range(1, c + 1):
+            if a == 0:
+                running = -np.inf
+            else:
+                running += np.log(self.sources - n + 1) + np.log(a) - np.log(n)
+            log_weights[n] = running
+        finite = np.isfinite(log_weights)
+        shift = np.max(log_weights[finite])
+        weights = np.where(finite, np.exp(log_weights - shift), 0.0)
+        return weights / weights.sum()
+
+    def time_congestion(self) -> float:
+        """Return the fraction of time all channels are busy."""
+        return float(self.state_distribution()[-1])
+
+    def call_congestion(self) -> float:
+        """Return the fraction of call attempts that are blocked.
+
+        Blocked attempts are generated only by the ``N - c`` sources still idle
+        when every channel is busy, so the call congestion equals the time
+        congestion of a system with one source fewer (the arriving customer
+        does not see its own load -- the finite-source PASTA correction).
+        """
+        if self.sources == self.servers:
+            return 0.0
+        reduced = EngsetSystem(
+            sources=self.sources - 1,
+            request_rate=self.request_rate,
+            service_rate=self.service_rate,
+            servers=self.servers,
+        )
+        return reduced.time_congestion()
+
+    def mean_busy_channels(self) -> float:
+        """Return the mean number of busy channels (carried traffic)."""
+        pi = self.state_distribution()
+        return float(np.dot(pi, np.arange(self.servers + 1)))
+
+    def carried_traffic(self) -> float:
+        """Alias of :meth:`mean_busy_channels`."""
+        return self.mean_busy_channels()
+
+    def attempt_rate(self) -> float:
+        """Return the long-run rate of call attempts (idle sources times alpha)."""
+        pi = self.state_distribution()
+        idle = self.sources - np.arange(self.servers + 1)
+        return float(self.request_rate * np.dot(pi, idle))

@@ -1,0 +1,152 @@
+"""Erlang-loss (M/M/c/c) and Erlang-C formulas.
+
+The paper models the population of active GSM calls in a cell as an M/M/c/c
+queue with ``c = N_GSM`` servers, arrival rate
+``lambda_GSM + lambda_h,GSM`` and service rate ``mu_GSM + mu_h,GSM`` (calls
+leave either by completing or by handing over to a neighbouring cell); GPRS
+sessions are modelled identically with ``c = M``.  This module provides the
+corresponding closed-form state distribution (Eqs. (2)-(3)), the carried
+traffic (Eq. (6)), the mean number of customers (Eq. (7)) and the classical
+Erlang-B / Erlang-C blocking formulas used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "offered_load",
+    "erlang_b",
+    "erlang_b_recursive",
+    "erlang_c",
+    "ErlangLossSystem",
+]
+
+
+def offered_load(arrival_rate: float, service_rate: float) -> float:
+    """Return the offered load ``rho = arrival_rate / service_rate`` in Erlangs."""
+    if service_rate <= 0:
+        raise ValueError("service rate must be positive")
+    if arrival_rate < 0:
+        raise ValueError("arrival rate must be non-negative")
+    return arrival_rate / service_rate
+
+
+def erlang_b_recursive(load: float, servers: int) -> float:
+    """Return the Erlang-B blocking probability via the stable recurrence.
+
+    ``B(0) = 1`` and ``B(c) = load * B(c-1) / (c + load * B(c-1))``.  The
+    recurrence is numerically stable for any load and server count, unlike the
+    direct factorial formula.
+    """
+    if servers < 0:
+        raise ValueError("servers must be non-negative")
+    if load < 0:
+        raise ValueError("load must be non-negative")
+    blocking = 1.0
+    for c in range(1, servers + 1):
+        blocking = load * blocking / (c + load * blocking)
+    return blocking
+
+
+def erlang_b(load: float, servers: int) -> float:
+    """Return the Erlang-B blocking probability (alias of the recursive form)."""
+    return erlang_b_recursive(load, servers)
+
+
+def erlang_c(load: float, servers: int) -> float:
+    """Return the Erlang-C probability of waiting for an M/M/c queue.
+
+    Only defined for ``load < servers`` (a stable queue); raises otherwise.
+    """
+    if servers <= 0:
+        raise ValueError("servers must be positive")
+    if load < 0:
+        raise ValueError("load must be non-negative")
+    if load >= servers:
+        raise ValueError("Erlang C requires load < servers (stable queue)")
+    blocking_b = erlang_b_recursive(load, servers)
+    return servers * blocking_b / (servers - load * (1.0 - blocking_b))
+
+
+@dataclass(frozen=True)
+class ErlangLossSystem:
+    """An M/M/c/c loss system with closed-form stationary behaviour.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Total Poisson arrival rate (new arrivals plus incoming handovers in the
+        paper's usage).
+    service_rate:
+        Per-customer departure rate (call completion plus outgoing handover).
+    servers:
+        Number of servers ``c``; arrivals finding all servers busy are lost.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError("servers must be at least 1")
+        if self.service_rate <= 0:
+            raise ValueError("service rate must be positive")
+        if self.arrival_rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+
+    @property
+    def load(self) -> float:
+        """Offered load ``rho`` in Erlangs (Eq. (1) of the paper)."""
+        return offered_load(self.arrival_rate, self.service_rate)
+
+    def state_distribution(self) -> np.ndarray:
+        """Return the truncated-Poisson stationary distribution (Eqs. (2)-(3)).
+
+        Evaluated in log space so large server counts and loads do not
+        overflow the factorials.
+        """
+        n = np.arange(self.servers + 1)
+        if self.load == 0:
+            distribution = np.zeros(self.servers + 1)
+            distribution[0] = 1.0
+            return distribution
+        log_terms = n * np.log(self.load) - np.array(
+            [float(np.sum(np.log(np.arange(1, k + 1)))) if k else 0.0 for k in n]
+        )
+        log_terms -= np.max(log_terms)
+        terms = np.exp(log_terms)
+        return terms / terms.sum()
+
+    def blocking_probability(self) -> float:
+        """Return the probability an arrival is lost (Erlang-B)."""
+        return float(self.state_distribution()[-1])
+
+    def mean_number_in_system(self) -> float:
+        """Return the mean number of busy servers (Eq. (7): average sessions)."""
+        pi = self.state_distribution()
+        return float(np.dot(pi, np.arange(self.servers + 1)))
+
+    def carried_traffic(self) -> float:
+        """Return the carried traffic in Erlangs (Eq. (6): carried voice traffic).
+
+        Equals the mean number of busy servers, and also
+        ``load * (1 - blocking)``.
+        """
+        return self.mean_number_in_system()
+
+    def departure_rate(self) -> float:
+        """Return the total stationary departure rate ``service_rate * E[N]``.
+
+        With the service rate split into completion and handover components,
+        multiplying the handover component by ``E[N]`` gives the outgoing
+        handover flow used by the balancing iteration (Eqs. (4)-(5)).
+        """
+        return self.service_rate * self.mean_number_in_system()
+
+    def utilization(self) -> float:
+        """Return the fraction of server capacity in use."""
+        return self.mean_number_in_system() / self.servers

@@ -1,0 +1,115 @@
+"""Generic damped fixed-point iteration.
+
+The handover-flow balancing procedure of the paper (Eqs. (4)-(5)) is a
+fixed-point problem: the incoming handover rate at iteration ``i + 1`` is set
+to the outgoing handover rate computed from the Erlang-loss solution at
+iteration ``i``, until the two agree.  The same machinery is reusable for other
+fixed points (e.g. coupling several cells), so it lives here as a small,
+well-tested utility rather than inside the GPRS model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointResult", "fixed_point_iteration"]
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a fixed-point iteration.
+
+    Attributes
+    ----------
+    value:
+        The converged vector (numpy array).
+    iterations:
+        Number of iterations performed.
+    converged:
+        Whether the convergence criterion was met before ``max_iterations``.
+    residual:
+        Infinity norm of the last update step.
+    history:
+        The iterates visited, including the initial guess (list of arrays).
+    """
+
+    value: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+    history: tuple[np.ndarray, ...]
+
+
+def fixed_point_iteration(
+    mapping: Callable[[np.ndarray], np.ndarray | Sequence[float] | float],
+    initial: np.ndarray | Sequence[float] | float,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 1000,
+    damping: float = 1.0,
+    record_history: bool = False,
+) -> FixedPointResult:
+    """Iterate ``x <- (1 - damping) x + damping * mapping(x)`` until convergence.
+
+    Parameters
+    ----------
+    mapping:
+        Function whose fixed point is sought.  Scalar and vector valued
+        mappings are both supported; scalars are promoted to length-1 arrays.
+    initial:
+        Starting point.
+    tol:
+        Convergence threshold on the infinity norm of the update, relative to
+        ``max(1, |x|)``.
+    max_iterations:
+        Iteration budget.
+    damping:
+        Damping factor in ``(0, 1]``; values below one stabilise oscillating
+        iterations.
+    record_history:
+        When true every iterate is stored in the result's ``history``.
+
+    Returns
+    -------
+    FixedPointResult
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must be in (0, 1], got {damping}")
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be at least 1")
+
+    current = np.atleast_1d(np.asarray(initial, dtype=float)).copy()
+    history: list[np.ndarray] = [current.copy()] if record_history else []
+
+    converged = False
+    residual = np.inf
+    iterations = 0
+    for iteration in range(1, max_iterations + 1):
+        raw = np.atleast_1d(np.asarray(mapping(current), dtype=float))
+        if raw.shape != current.shape:
+            raise ValueError(
+                f"mapping changed the shape of the iterate from {current.shape} to {raw.shape}"
+            )
+        if not np.all(np.isfinite(raw)):
+            raise ValueError("mapping produced non-finite values")
+        update = (1.0 - damping) * current + damping * raw
+        residual = float(np.max(np.abs(update - current)))
+        scale = max(1.0, float(np.max(np.abs(current))))
+        current = update
+        iterations = iteration
+        if record_history:
+            history.append(current.copy())
+        if residual <= tol * scale:
+            converged = True
+            break
+
+    return FixedPointResult(
+        value=current,
+        iterations=iterations,
+        converged=converged,
+        residual=residual,
+        history=tuple(history),
+    )

@@ -1,0 +1,48 @@
+"""Little's law helpers.
+
+The paper computes the queueing delay of GPRS data packets as the mean queue
+length divided by the carried packet throughput (Eq. (10)), which is exactly
+Little's law applied to the waiting room of the BSC buffer.  These helpers keep
+that arithmetic in one place and guard the degenerate zero-throughput case.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mean_waiting_time", "mean_queue_length_from_delay", "utilization"]
+
+
+def mean_waiting_time(mean_queue_length: float, throughput: float) -> float:
+    """Return the mean waiting time ``W = L / X`` (zero when throughput is zero).
+
+    Parameters
+    ----------
+    mean_queue_length:
+        Time-average number of customers waiting.
+    throughput:
+        Rate at which customers leave the waiting room (served per unit time).
+    """
+    if mean_queue_length < 0:
+        raise ValueError("mean queue length must be non-negative")
+    if throughput < 0:
+        raise ValueError("throughput must be non-negative")
+    if throughput == 0:
+        return 0.0
+    return mean_queue_length / throughput
+
+
+def mean_queue_length_from_delay(mean_delay: float, throughput: float) -> float:
+    """Return the mean queue length ``L = X * W`` (inverse of Little's law)."""
+    if mean_delay < 0:
+        raise ValueError("mean delay must be non-negative")
+    if throughput < 0:
+        raise ValueError("throughput must be non-negative")
+    return mean_delay * throughput
+
+
+def utilization(throughput: float, servers: float, service_rate: float) -> float:
+    """Return the server utilisation ``X / (c * mu)`` clipped to ``[0, 1]``."""
+    if servers <= 0 or service_rate <= 0:
+        raise ValueError("servers and service rate must be positive")
+    if throughput < 0:
+        raise ValueError("throughput must be non-negative")
+    return min(1.0, throughput / (servers * service_rate))

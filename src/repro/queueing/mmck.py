@@ -1,0 +1,108 @@
+"""M/M/c/K queue with closed-form stationary measures.
+
+Used as an analytic cross-check for the packet buffer at the BSC: when the
+GPRS traffic process is replaced by a plain Poisson stream with the same mean
+rate, the buffer behaves as an M/M/c/K queue whose loss probability and mean
+queue length bound (from below) the bursty-traffic values produced by the full
+GPRS model.  Several tests exploit this ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MMcKQueue"]
+
+
+@dataclass(frozen=True)
+class MMcKQueue:
+    """An M/M/c/K queue (``c`` servers, at most ``K`` customers in the system).
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate.
+    service_rate:
+        Per-server service rate.
+    servers:
+        Number of parallel servers ``c``.
+    capacity:
+        Maximum number of customers in the system ``K`` (including those in
+        service); must satisfy ``capacity >= servers``.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError("servers must be at least 1")
+        if self.capacity < self.servers:
+            raise ValueError("capacity must be at least the number of servers")
+        if self.service_rate <= 0:
+            raise ValueError("service rate must be positive")
+        if self.arrival_rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+
+    def state_distribution(self) -> np.ndarray:
+        """Return the stationary distribution of the number in system (0..K)."""
+        c = self.servers
+        k = self.capacity
+        lam = self.arrival_rate
+        mu = self.service_rate
+        log_weights = np.zeros(k + 1)
+        running = 0.0
+        for n in range(1, k + 1):
+            death = mu * min(n, c)
+            if lam == 0:
+                running = -np.inf
+            else:
+                running += np.log(lam) - np.log(death)
+            log_weights[n] = running
+        finite = np.isfinite(log_weights)
+        shift = np.max(log_weights[finite])
+        weights = np.where(finite, np.exp(log_weights - shift), 0.0)
+        return weights / weights.sum()
+
+    def blocking_probability(self) -> float:
+        """Return the probability an arriving customer is lost (system full)."""
+        return float(self.state_distribution()[-1])
+
+    def mean_number_in_system(self) -> float:
+        """Return the mean number of customers in the system."""
+        pi = self.state_distribution()
+        return float(np.dot(pi, np.arange(self.capacity + 1)))
+
+    def mean_queue_length(self) -> float:
+        """Return the mean number of customers waiting (not in service)."""
+        pi = self.state_distribution()
+        waiting = np.maximum(np.arange(self.capacity + 1) - self.servers, 0)
+        return float(np.dot(pi, waiting))
+
+    def mean_busy_servers(self) -> float:
+        """Return the mean number of busy servers (carried traffic)."""
+        pi = self.state_distribution()
+        busy = np.minimum(np.arange(self.capacity + 1), self.servers)
+        return float(np.dot(pi, busy))
+
+    def throughput(self) -> float:
+        """Return the rate of served customers (accepted arrival rate)."""
+        return self.arrival_rate * (1.0 - self.blocking_probability())
+
+    def mean_waiting_time(self) -> float:
+        """Return the mean waiting time (queueing delay) via Little's law."""
+        throughput = self.throughput()
+        if throughput == 0:
+            return 0.0
+        return self.mean_queue_length() / throughput
+
+    def mean_sojourn_time(self) -> float:
+        """Return the mean time in system via Little's law."""
+        throughput = self.throughput()
+        if throughput == 0:
+            return 0.0
+        return self.mean_number_in_system() / throughput

@@ -1,0 +1,167 @@
+"""Gilbert--Elliott burst-error channel for the GPRS radio link.
+
+Block errors on a mobile radio channel are not independent: fading dips wipe
+out several consecutive RLC blocks.  The classic two-state Gilbert--Elliott
+model captures this with a *good* and a *bad* channel state, each with its own
+block error probability, and exponential sojourn times in both states.  The
+model is a two-state CTMC, so it reuses the Markov library of this package and
+can be composed with the rest of the analytical machinery.
+
+The channel is used in two ways:
+
+* analytically -- the stationary block error rate and the burst-length
+  statistics parameterise the ARQ analysis of :mod:`repro.radio.arq`;
+* in Monte-Carlo form -- :meth:`GilbertElliottChannel.sample_block_errors`
+  draws correlated error sequences for the link-level examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+
+__all__ = ["GilbertElliottChannel"]
+
+
+@dataclass(frozen=True)
+class GilbertElliottChannel:
+    """Two-state burst-error channel.
+
+    Parameters
+    ----------
+    good_block_error_rate:
+        Block error probability while the channel is in the good state.
+    bad_block_error_rate:
+        Block error probability while the channel is in the bad state (a
+        fading dip); must not be smaller than the good-state probability.
+    mean_good_duration_s:
+        Mean sojourn time in the good state in seconds.
+    mean_bad_duration_s:
+        Mean sojourn time in the bad state in seconds.
+    block_period_s:
+        Duration of one RLC radio block (20 ms for GPRS); used to convert the
+        continuous-time state process into per-block error probabilities.
+    """
+
+    good_block_error_rate: float = 0.02
+    bad_block_error_rate: float = 0.5
+    mean_good_duration_s: float = 2.0
+    mean_bad_duration_s: float = 0.2
+    block_period_s: float = 0.020
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.good_block_error_rate < 1.0:
+            raise ValueError("good_block_error_rate must be in [0, 1)")
+        if not 0.0 <= self.bad_block_error_rate <= 1.0:
+            raise ValueError("bad_block_error_rate must be in [0, 1]")
+        if self.bad_block_error_rate < self.good_block_error_rate:
+            raise ValueError("the bad state cannot be better than the good state")
+        if self.mean_good_duration_s <= 0 or self.mean_bad_duration_s <= 0:
+            raise ValueError("state sojourn times must be positive")
+        if self.block_period_s <= 0:
+            raise ValueError("block_period_s must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Analytical properties
+    # ------------------------------------------------------------------ #
+    @property
+    def good_to_bad_rate(self) -> float:
+        """Transition rate from the good state into a fading dip (per second)."""
+        return 1.0 / self.mean_good_duration_s
+
+    @property
+    def bad_to_good_rate(self) -> float:
+        """Transition rate out of a fading dip (per second)."""
+        return 1.0 / self.mean_bad_duration_s
+
+    @property
+    def probability_good(self) -> float:
+        """Stationary probability of the good state."""
+        return self.mean_good_duration_s / (
+            self.mean_good_duration_s + self.mean_bad_duration_s
+        )
+
+    @property
+    def probability_bad(self) -> float:
+        """Stationary probability of the bad state."""
+        return 1.0 - self.probability_good
+
+    def stationary_block_error_rate(self) -> float:
+        """Return the long-run average block error probability."""
+        return (
+            self.probability_good * self.good_block_error_rate
+            + self.probability_bad * self.bad_block_error_rate
+        )
+
+    def mean_error_burst_length_blocks(self) -> float:
+        """Return the mean number of consecutive blocks spanned by one bad period."""
+        return max(self.mean_bad_duration_s / self.block_period_s, 1.0)
+
+    def to_ctmc(self) -> ContinuousTimeMarkovChain:
+        """Return the two-state modulating CTMC (state 0 = good, 1 = bad)."""
+        generator = np.array(
+            [
+                [-self.good_to_bad_rate, self.good_to_bad_rate],
+                [self.bad_to_good_rate, -self.bad_to_good_rate],
+            ]
+        )
+        return ContinuousTimeMarkovChain(generator, labels=["good", "bad"])
+
+    # ------------------------------------------------------------------ #
+    # Monte Carlo
+    # ------------------------------------------------------------------ #
+    def sample_block_errors(
+        self, number_of_blocks: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Draw a correlated sequence of per-block error indicators.
+
+        The channel state evolves in discrete steps of one block period using
+        the exact exponential sojourn dynamics; each block is then lost with
+        the error probability of the state it was transmitted in.
+
+        Parameters
+        ----------
+        number_of_blocks:
+            Length of the sampled sequence.
+        rng:
+            Optional numpy random generator (a fresh default generator is used
+            when omitted, which makes the call non-deterministic).
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean array of length ``number_of_blocks``; ``True`` marks a
+            block that must be retransmitted.
+        """
+        if number_of_blocks < 0:
+            raise ValueError("number_of_blocks must be non-negative")
+        if rng is None:
+            rng = np.random.default_rng()
+        # Per-block transition probabilities of the discretised two-state chain.
+        p_good_to_bad = 1.0 - np.exp(-self.good_to_bad_rate * self.block_period_s)
+        p_bad_to_good = 1.0 - np.exp(-self.bad_to_good_rate * self.block_period_s)
+        errors = np.zeros(number_of_blocks, dtype=bool)
+        in_bad_state = rng.random() < self.probability_bad
+        for i in range(number_of_blocks):
+            error_probability = (
+                self.bad_block_error_rate if in_bad_state else self.good_block_error_rate
+            )
+            errors[i] = rng.random() < error_probability
+            if in_bad_state:
+                if rng.random() < p_bad_to_good:
+                    in_bad_state = False
+            else:
+                if rng.random() < p_good_to_bad:
+                    in_bad_state = True
+        return errors
+
+    def empirical_block_error_rate(
+        self, number_of_blocks: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Return the error fraction of one sampled sequence (Monte-Carlo check)."""
+        if number_of_blocks <= 0:
+            raise ValueError("number_of_blocks must be positive")
+        return float(np.mean(self.sample_block_errors(number_of_blocks, rng)))

@@ -1,0 +1,173 @@
+"""Link adaptation: choosing the coding scheme that maximises goodput.
+
+GPRS can switch the channel coding scheme per mobile station according to the
+measured link quality ("link adaptation").  The trade-off is the classic one:
+CS-1 delivers only 9.05 kbit/s but survives poor C/I, CS-4 delivers 21.4
+kbit/s but collapses as soon as blocks start failing.  The best scheme at a
+given C/I is the one with the largest ARQ goodput
+
+    goodput(CS, C/I) = nominal_rate(CS) * (1 - BLER(CS, C/I)).
+
+This module computes that choice, the C/I thresholds at which the optimal
+scheme changes, and a simple hysteresis policy that avoids oscillating between
+two schemes when the measured C/I sits near a threshold.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.radio.arq import effective_pdch_rate_kbit_s
+from repro.radio.bler import block_error_rate
+from repro.traffic.units import CODING_SCHEME_RATES_KBIT_S
+
+__all__ = ["LinkAdaptationPolicy", "best_coding_scheme", "switching_thresholds"]
+
+#: Coding schemes ordered from the most robust to the fastest.
+_SCHEMES: tuple[str, ...] = ("CS-1", "CS-2", "CS-3", "CS-4")
+
+
+def goodput_kbit_s(coding_scheme: str, ci_db: float) -> float:
+    """Return the ARQ goodput of one PDCH for a coding scheme at a given C/I."""
+    bler = block_error_rate(coding_scheme, ci_db)
+    return effective_pdch_rate_kbit_s(coding_scheme, bler)
+
+
+def best_coding_scheme(ci_db: float) -> str:
+    """Return the coding scheme with the highest goodput at the given C/I.
+
+    Ties (which can only occur at exact crossover points) are resolved in
+    favour of the more robust scheme.
+    """
+    best = _SCHEMES[0]
+    best_rate = goodput_kbit_s(best, ci_db)
+    for scheme in _SCHEMES[1:]:
+        rate = goodput_kbit_s(scheme, ci_db)
+        if rate > best_rate:
+            best, best_rate = scheme, rate
+    return best
+
+
+def switching_thresholds(
+    *, low_ci_db: float = -10.0, high_ci_db: float = 40.0, resolution_db: float = 0.01
+) -> dict[tuple[str, str], float]:
+    """Return the C/I values at which the optimal coding scheme changes.
+
+    The result maps ``(scheme_below, scheme_above)`` pairs to the crossover
+    C/I, found by bisection of the goodput difference on a dB grid.  Only
+    transitions that actually occur within the scanned range are reported.
+    """
+    if high_ci_db <= low_ci_db:
+        raise ValueError("high_ci_db must exceed low_ci_db")
+    if resolution_db <= 0:
+        raise ValueError("resolution_db must be positive")
+    thresholds: dict[tuple[str, str], float] = {}
+    previous_scheme = best_coding_scheme(low_ci_db)
+    ci = low_ci_db
+    while ci < high_ci_db:
+        ci_next = min(ci + 0.25, high_ci_db)
+        scheme = best_coding_scheme(ci_next)
+        if scheme != previous_scheme:
+            # Bisect the crossover between ci and ci_next.
+            low, high = ci, ci_next
+            while high - low > resolution_db:
+                mid = 0.5 * (low + high)
+                if best_coding_scheme(mid) == previous_scheme:
+                    low = mid
+                else:
+                    high = mid
+            thresholds[(previous_scheme, scheme)] = 0.5 * (low + high)
+            previous_scheme = scheme
+        ci = ci_next
+    return thresholds
+
+
+@dataclass
+class LinkAdaptationPolicy:
+    """Threshold-based link adaptation with hysteresis.
+
+    The policy upgrades to a faster coding scheme once the measured C/I exceeds
+    the crossover threshold by ``hysteresis_db`` and downgrades once it falls
+    ``hysteresis_db`` below it, so a C/I hovering exactly at a threshold does
+    not cause the scheme to flap on every measurement.
+
+    Parameters
+    ----------
+    hysteresis_db:
+        Width of the hysteresis band around every switching threshold.
+    initial_scheme:
+        Coding scheme assumed before the first measurement.
+    """
+
+    hysteresis_db: float = 1.0
+    initial_scheme: str = "CS-2"
+    _thresholds: list[tuple[float, str]] = field(init=False, repr=False)
+    _current: str = field(init=False, repr=False)
+    _history: list[str] = field(init=False, default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_db < 0:
+            raise ValueError("hysteresis_db must be non-negative")
+        if self.initial_scheme not in CODING_SCHEME_RATES_KBIT_S:
+            raise ValueError(f"unknown coding scheme {self.initial_scheme!r}")
+        crossovers = switching_thresholds()
+        # Sorted (threshold, scheme_above) list for bisection.
+        self._thresholds = sorted(
+            (ci, above) for (_, above), ci in crossovers.items()
+        )
+        self._current = self.initial_scheme
+        self._history = []
+
+    @property
+    def current_scheme(self) -> str:
+        """The coding scheme currently selected."""
+        return self._current
+
+    @property
+    def history(self) -> list[str]:
+        """Schemes selected after each observation (most recent last)."""
+        return list(self._history)
+
+    def _unhysteretic_choice(self, ci_db: float) -> str:
+        """Return the scheme the thresholds select with no hysteresis applied."""
+        position = bisect_right([ci for ci, _ in self._thresholds], ci_db)
+        if position == 0:
+            return _SCHEMES[0]
+        return self._thresholds[position - 1][1]
+
+    def observe(self, ci_db: float) -> str:
+        """Feed one C/I measurement and return the (possibly unchanged) scheme."""
+        target = self._unhysteretic_choice(ci_db)
+        if target != self._current:
+            current_index = _SCHEMES.index(self._current)
+            target_index = _SCHEMES.index(target)
+            if target_index > current_index:
+                # Upgrade only if the C/I clears the threshold by the hysteresis.
+                threshold = self._threshold_between(current_index, upgrade=True)
+                if threshold is None or ci_db >= threshold + self.hysteresis_db:
+                    self._current = _SCHEMES[current_index + 1]
+            else:
+                threshold = self._threshold_between(current_index, upgrade=False)
+                if threshold is None or ci_db <= threshold - self.hysteresis_db:
+                    self._current = _SCHEMES[current_index - 1]
+        self._history.append(self._current)
+        return self._current
+
+    def _threshold_between(self, current_index: int, *, upgrade: bool) -> float | None:
+        """Return the crossover C/I adjacent to the current scheme, if any."""
+        if upgrade:
+            if current_index + 1 >= len(_SCHEMES):
+                return None
+            above = _SCHEMES[current_index + 1]
+            for ci, scheme in self._thresholds:
+                if scheme == above:
+                    return ci
+            return None
+        if current_index == 0:
+            return None
+        above = _SCHEMES[current_index]
+        for ci, scheme in self._thresholds:
+            if scheme == above:
+                return ci
+        return None

@@ -1,0 +1,84 @@
+"""Hexagonal cell cluster topology.
+
+The paper validates the single-cell Markov model against a simulator of a
+cluster of seven hexagonal cells: one mid cell surrounded by a ring of six
+neighbours.  Handovers move users to a uniformly chosen neighbouring cell;
+users leaving the outer ring re-enter the cluster on the opposite side
+(wrap-around), which keeps the load of every cell statistically identical --
+the property the handover-balancing argument of the model relies on.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["HexagonalCluster"]
+
+
+class HexagonalCluster:
+    """Topology of a cluster of hexagonal cells.
+
+    Parameters
+    ----------
+    number_of_cells:
+        Cluster size.  The canonical configuration is seven (one mid cell and
+        one ring); any positive number is supported -- cells are arranged on a
+        ring around cell 0 and the neighbourhood relation wraps around.
+    """
+
+    MID_CELL = 0
+
+    def __init__(self, number_of_cells: int = 7) -> None:
+        if number_of_cells < 1:
+            raise ValueError("the cluster needs at least one cell")
+        self._number_of_cells = number_of_cells
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(number_of_cells))
+        if number_of_cells > 1:
+            ring = list(range(1, number_of_cells))
+            for position, cell in enumerate(ring):
+                # Mid cell is adjacent to every ring cell.
+                self._graph.add_edge(self.MID_CELL, cell)
+                # Ring cells are adjacent to their ring neighbours.
+                if len(ring) > 1:
+                    self._graph.add_edge(cell, ring[(position + 1) % len(ring)])
+
+    @property
+    def number_of_cells(self) -> int:
+        return self._number_of_cells
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The neighbourhood graph (networkx, cells as integer nodes)."""
+        return self._graph
+
+    def neighbours(self, cell: int) -> list[int]:
+        """Return the neighbouring cells of ``cell`` (sorted for determinism)."""
+        self._validate(cell)
+        if self._number_of_cells == 1:
+            return [cell]
+        return sorted(self._graph.neighbors(cell))
+
+    def handover_target(self, cell: int, stream) -> int:
+        """Return a uniformly chosen neighbouring cell for a handover.
+
+        Parameters
+        ----------
+        cell:
+            The cell the user currently resides in.
+        stream:
+            A :class:`~repro.des.random_variates.RandomVariateStream` used for
+            the uniform choice.
+        """
+        candidates = self.neighbours(cell)
+        return int(stream.choice(candidates))
+
+    def is_mid_cell(self, cell: int) -> bool:
+        """Whether ``cell`` is the measured mid cell."""
+        self._validate(cell)
+        return cell == self.MID_CELL
+
+    def _validate(self, cell: int) -> None:
+        if not 0 <= cell < self._number_of_cells:
+            raise ValueError(f"cell index {cell} out of range (cluster has "
+                             f"{self._number_of_cells} cells)")

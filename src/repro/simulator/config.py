@@ -1,0 +1,146 @@
+"""Configuration of the network-level GSM/GPRS simulator.
+
+The simulator shares the cell-level parameters with the analytical model
+(:class:`~repro.core.parameters.GprsModelParameters`) and adds the knobs that
+only exist at the network level: the number of cells in the cluster, the TCP
+behaviour, the run length, warm-up period and the number of batches for the
+batch-means confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.parameters import GprsModelParameters
+
+__all__ = ["TcpConfig", "SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Parameters of the simplified TCP Reno flow control used per GPRS session.
+
+    Parameters
+    ----------
+    enabled:
+        When false, packets are released into the BSC buffer as soon as the
+        traffic model generates them (no flow control at all).
+    initial_window:
+        Initial congestion window in packets (slow start begins here).
+    max_window:
+        Upper bound on the congestion window (receiver window) in packets.
+    initial_ssthresh:
+        Initial slow-start threshold in packets.
+    duplicate_ack_threshold:
+        Number of duplicate ACKs that triggers a fast retransmit.
+    retransmission_timeout_s:
+        Initial retransmission timeout.  With ``adaptive_rto`` enabled this is
+        only the starting value; the sender then tracks the measured round-trip
+        time with Jacobson's estimator.
+    wired_round_trip_s:
+        Fixed round-trip latency of the wired path (Internet + GPRS core)
+        added to the radio delay for every ACK.
+    adaptive_rto:
+        When true the retransmission timeout follows Jacobson's SRTT/RTTVAR
+        estimation with Karn's rule (no samples from retransmitted segments),
+        as in every deployed TCP.  When false the timeout stays fixed at
+        ``retransmission_timeout_s`` (apart from the exponential backoff).
+    min_retransmission_timeout_s, max_retransmission_timeout_s:
+        Clamping bounds of the adaptive timeout.
+    rto_backoff_factor:
+        Multiplicative backoff applied to the timeout after every expiry
+        (classic exponential backoff); reset as soon as new data is
+        acknowledged.  Set to 1.0 to disable backoff.
+    """
+
+    enabled: bool = True
+    initial_window: int = 1
+    max_window: int = 32
+    initial_ssthresh: int = 16
+    duplicate_ack_threshold: int = 3
+    retransmission_timeout_s: float = 3.0
+    wired_round_trip_s: float = 0.1
+    adaptive_rto: bool = True
+    min_retransmission_timeout_s: float = 1.0
+    max_retransmission_timeout_s: float = 64.0
+    rto_backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.initial_window < 1:
+            raise ValueError("initial_window must be at least 1")
+        if self.max_window < self.initial_window:
+            raise ValueError("max_window must be at least initial_window")
+        if self.initial_ssthresh < 1:
+            raise ValueError("initial_ssthresh must be at least 1")
+        if self.duplicate_ack_threshold < 1:
+            raise ValueError("duplicate_ack_threshold must be at least 1")
+        if self.retransmission_timeout_s <= 0:
+            raise ValueError("retransmission_timeout_s must be positive")
+        if self.wired_round_trip_s < 0:
+            raise ValueError("wired_round_trip_s must be non-negative")
+        if self.min_retransmission_timeout_s <= 0:
+            raise ValueError("min_retransmission_timeout_s must be positive")
+        if self.max_retransmission_timeout_s < self.min_retransmission_timeout_s:
+            raise ValueError(
+                "max_retransmission_timeout_s must be at least min_retransmission_timeout_s"
+            )
+        if self.rto_backoff_factor < 1.0:
+            raise ValueError("rto_backoff_factor must be at least 1.0")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete configuration of one simulation run.
+
+    Parameters
+    ----------
+    cell_parameters:
+        The per-cell configuration shared with the analytical model.  The
+        call arrival rates are interpreted per cell.
+    number_of_cells:
+        Cells in the cluster; the paper uses a cluster of seven hexagonal
+        cells with measurements taken in the mid cell (index 0).
+    simulation_time_s:
+        Measured simulation time (after warm-up) in seconds.
+    warmup_time_s:
+        Warm-up period discarded before measurements start.
+    batches:
+        Number of batches for the batch-means confidence intervals.
+    seed:
+        Master random seed; every cell and traffic class receives an
+        independent child stream.
+    tcp:
+        TCP flow-control configuration.
+    """
+
+    cell_parameters: GprsModelParameters
+    number_of_cells: int = 7
+    simulation_time_s: float = 20_000.0
+    warmup_time_s: float = 2_000.0
+    batches: int = 10
+    seed: int = 20020527
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+
+    def __post_init__(self) -> None:
+        if self.number_of_cells < 1:
+            raise ValueError("the cluster needs at least one cell")
+        if self.simulation_time_s <= 0:
+            raise ValueError("simulation_time_s must be positive")
+        if self.warmup_time_s < 0:
+            raise ValueError("warmup_time_s must be non-negative")
+        if self.batches < 2:
+            raise ValueError("at least two batches are required for confidence intervals")
+
+    @property
+    def batch_duration_s(self) -> float:
+        """Duration of one measurement batch."""
+        return self.simulation_time_s / self.batches
+
+    @property
+    def total_time_s(self) -> float:
+        """Warm-up plus measured time."""
+        return self.warmup_time_s + self.simulation_time_s
+
+    def replace(self, **overrides) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,190 @@
+"""GPRS session processes: admission, mobility, 3GPP traffic generation and TCP.
+
+A GPRS session request arrives as a Poisson event at a cell.  If fewer than
+``M`` sessions are active there, the session is admitted and two concurrent
+activities start:
+
+* the *traffic process* runs the 3GPP packet-session model (packet calls of
+  geometrically many packets separated by exponential reading times) and hands
+  every generated packet to the session's TCP connection, which in turn feeds
+  the BSC buffer of the session's current cell;
+* the *mobility process* samples exponential dwell times and performs
+  handovers to neighbouring cells; if the target cell already has ``M`` active
+  sessions the handover fails and the session terminates.
+
+The session stays "active" in its current cell (occupying one of the ``M``
+admission slots) until the traffic process has generated its last packet call,
+matching the model's session duration ``N_pc (D_pc + N_d D_d)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.des.engine import SimulationEngine
+from repro.des.process import Process, Timeout
+from repro.des.random_variates import RandomVariateStream
+from repro.simulator.cell import Cell
+from repro.simulator.cluster import HexagonalCluster
+from repro.simulator.config import TcpConfig
+from repro.simulator.tcp import TcpConnection
+from repro.traffic.sampling import SessionSampler
+
+__all__ = ["GprsSession", "GprsSessionFactory"]
+
+
+class GprsSession:
+    """One admitted GPRS session with its TCP connection and mobility state."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        factory: "GprsSessionFactory",
+        cell: Cell,
+    ) -> None:
+        self._engine = engine
+        self._factory = factory
+        self._cell = cell
+        self._active = True
+        GprsSession._next_id += 1
+        self.identifier = GprsSession._next_id
+        self.tcp = TcpConnection(
+            engine,
+            cell_provider=lambda: self._cell,
+            config=factory.tcp_config,
+            packet_size_bytes=cell.params.traffic.packet_size_bytes,
+        )
+
+    @property
+    def current_cell(self) -> Cell:
+        return self._cell
+
+    @property
+    def active(self) -> bool:
+        """Whether the session still occupies an admission slot somewhere."""
+        return self._active
+
+    # ------------------------------------------------------------------ #
+    # Processes
+    # ------------------------------------------------------------------ #
+    def traffic_process(self, sampler: SessionSampler, stream: RandomVariateStream):
+        """Generate the packet calls of the 3GPP session model and feed TCP."""
+        number_of_calls = sampler.sample_number_of_packet_calls()
+        for call_index in range(number_of_calls):
+            if not self._active:
+                break
+            if call_index > 0:
+                yield Timeout(stream.exponential(sampler.model.reading_time_s))
+                if not self._active:
+                    break
+            packets = sampler.sample_number_of_packets()
+            for _ in range(packets):
+                yield Timeout(stream.exponential(sampler.model.packet_interarrival_s))
+                if not self._active:
+                    break
+                self.tcp.send_application_packet()
+        self._finish()
+
+    def mobility_process(self, cluster: HexagonalCluster, cells: Sequence[Cell],
+                         stream: RandomVariateStream):
+        """Perform handovers until the session ends or a handover is blocked."""
+        while self._active:
+            dwell = stream.exponential(self._cell.params.mean_gprs_dwell_time_s)
+            yield Timeout(dwell)
+            if not self._active:
+                return
+            target_index = cluster.handover_target(self._cell.index, stream)
+            target = cells[target_index]
+            if target is self._cell:
+                continue
+            self._cell.remove_gprs_session()
+            if target.try_admit_gprs_session():
+                self._cell = target
+            else:
+                # Handover failure: the session is forced to terminate.
+                self._factory.sessions_dropped_on_handover += 1
+                self._active = False
+                return
+
+    def _finish(self) -> None:
+        """Release the admission slot when the traffic generation completes."""
+        if self._active:
+            self._active = False
+            self._cell.remove_gprs_session()
+            self._factory.sessions_completed += 1
+
+
+class GprsSessionFactory:
+    """Generates GPRS session requests in every cell of the cluster.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    cluster, cells:
+        Topology and cell objects.
+    stream:
+        Parent random stream; independent child streams are spawned for
+        arrivals, traffic sampling and mobility.
+    tcp_config:
+        TCP flow-control parameters shared by all sessions.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cluster: HexagonalCluster,
+        cells: Sequence[Cell],
+        stream: RandomVariateStream,
+        tcp_config: TcpConfig,
+    ) -> None:
+        if len(cells) != cluster.number_of_cells:
+            raise ValueError("number of cell objects does not match the cluster size")
+        self._engine = engine
+        self._cluster = cluster
+        self._cells = list(cells)
+        self._arrival_stream, self._traffic_stream, self._mobility_stream = stream.spawn(3)
+        self.tcp_config = tcp_config
+        self.sessions_started = 0
+        self.sessions_completed = 0
+        self.sessions_dropped_on_handover = 0
+        self.sessions_blocked = 0
+
+    def start(self) -> list[Process]:
+        """Start one Poisson session-request process per cell; return the processes."""
+        processes = []
+        for cell in self._cells:
+            processes.append(
+                Process(
+                    self._engine,
+                    self._arrival_process(cell),
+                    name=f"gprs-arrivals-cell{cell.index}",
+                )
+            )
+        return processes
+
+    def _arrival_process(self, cell: Cell):
+        rate = cell.params.gprs_arrival_rate
+        if rate <= 0:
+            return
+            yield  # pragma: no cover - makes this function a generator
+        sampler = SessionSampler(cell.params.traffic, self._traffic_stream.generator)
+        while True:
+            yield Timeout(self._arrival_stream.exponential_rate(rate))
+            if not cell.try_admit_gprs_session():
+                self.sessions_blocked += 1
+                continue
+            self.sessions_started += 1
+            session = GprsSession(self._engine, self, cell)
+            Process(
+                self._engine,
+                session.traffic_process(sampler, self._traffic_stream),
+                name=f"gprs-traffic-{session.identifier}",
+            )
+            Process(
+                self._engine,
+                session.mobility_process(self._cluster, self._cells, self._mobility_stream),
+                name=f"gprs-mobility-{session.identifier}",
+            )

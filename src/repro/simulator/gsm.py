@@ -1,0 +1,121 @@
+"""GSM voice-call traffic processes.
+
+New voice calls arrive at every cell as a Poisson process with rate
+``lambda_GSM``; each call has an exponential duration (mean 120 s) and an
+exponential dwell time per cell (mean 60 s).  If the call is still active when
+the dwell time expires, the mobile station hands over to a uniformly chosen
+neighbouring cell; a handover into a cell without a free non-reserved channel
+fails and the call is dropped (as in the Markov model, where blocked handover
+arrivals are simply lost).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.des.engine import SimulationEngine
+from repro.des.process import Process, Timeout
+from repro.des.random_variates import RandomVariateStream
+from repro.simulator.cell import Cell
+from repro.simulator.cluster import HexagonalCluster
+
+__all__ = ["VoiceCallFactory"]
+
+
+class VoiceCallFactory:
+    """Generates and manages GSM voice calls in every cell of the cluster.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    cluster:
+        The cell topology (handover targets).
+    cells:
+        The cell objects, indexed consistently with ``cluster``.
+    stream:
+        Random-variate stream used for arrivals, durations, dwell times and
+        handover target selection.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cluster: HexagonalCluster,
+        cells: Sequence[Cell],
+        stream: RandomVariateStream,
+    ) -> None:
+        if len(cells) != cluster.number_of_cells:
+            raise ValueError("number of cell objects does not match the cluster size")
+        self._engine = engine
+        self._cluster = cluster
+        self._cells = list(cells)
+        self._stream = stream
+        self.calls_started = 0
+        self.calls_completed = 0
+        self.calls_dropped_on_handover = 0
+
+    def start(self) -> list[Process]:
+        """Start one Poisson arrival process per cell; return the processes."""
+        processes = []
+        for cell in self._cells:
+            processes.append(
+                Process(
+                    self._engine,
+                    self._arrival_process(cell),
+                    name=f"gsm-arrivals-cell{cell.index}",
+                )
+            )
+        return processes
+
+    # ------------------------------------------------------------------ #
+    # Processes
+    # ------------------------------------------------------------------ #
+    def _arrival_process(self, cell: Cell):
+        """Poisson stream of new voice calls for one cell."""
+        rate = cell.params.gsm_arrival_rate
+        if rate <= 0:
+            return
+            yield  # pragma: no cover - makes this function a generator
+        while True:
+            yield Timeout(self._stream.exponential_rate(rate))
+            if cell.try_admit_gsm_call():
+                self.calls_started += 1
+                Process(
+                    self._engine,
+                    self._call_process(cell),
+                    name=f"gsm-call-cell{cell.index}",
+                )
+
+    def _call_process(self, starting_cell: Cell):
+        """Lifetime of one admitted voice call, including handovers between cells."""
+        cell = starting_cell
+        remaining_duration = self._stream.exponential(
+            cell.params.mean_gsm_call_duration_s
+        )
+        while True:
+            dwell_time = self._stream.exponential(cell.params.mean_gsm_dwell_time_s)
+            if remaining_duration <= dwell_time:
+                # The call completes inside the current cell.
+                yield Timeout(remaining_duration)
+                cell.release_gsm_call()
+                self.calls_completed += 1
+                return
+            # The mobile station leaves the cell before the call ends.
+            yield Timeout(dwell_time)
+            remaining_duration -= dwell_time
+            target_index = self._cluster.handover_target(cell.index, self._stream)
+            target = self._cells[target_index]
+            cell.release_gsm_call()
+            if target is cell:
+                # Single-cell cluster: the "handover" stays in place.
+                if not cell.try_admit_gsm_call():
+                    self.calls_dropped_on_handover += 1
+                    return
+                continue
+            if target.try_admit_gsm_call():
+                cell = target
+            else:
+                # Handover failure: the call is forced to terminate.
+                self.calls_dropped_on_handover += 1
+                return

@@ -1,0 +1,105 @@
+"""Downlink radio-interface arithmetic: TDMA frames, RLC blocks, multislot transfer.
+
+GPRS transmits link-layer RLC blocks, one per allocated time slot per TDMA
+frame.  With coding scheme CS-2 each block carries 268 payload bits; a TDMA
+frame lasts about 4.615 ms, so a single PDCH carries 268 bit / 4.615 ms which
+is the 13.4 kbit/s quoted by the paper.  A 480-byte network-layer packet is
+segmented into ``ceil(3840 / 268) = 15`` blocks; when ``c`` time slots are
+allocated to the mobile station (multislot operation, at most 8) the blocks are
+spread over the slots and the transfer takes ``ceil(blocks / c)`` frames.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.traffic.units import (
+    CODING_SCHEME_RATES_KBIT_S,
+    DATA_PACKET_SIZE_BYTES,
+    MAX_TIME_SLOTS_PER_STATION,
+    TDMA_FRAME_DURATION_S,
+)
+
+__all__ = [
+    "RLC_BLOCK_PAYLOAD_BITS",
+    "rlc_blocks_per_packet",
+    "transmission_time",
+    "effective_rate_kbit_s",
+]
+
+#: Payload bits carried by one RLC block for each coding scheme.  The values
+#: are chosen so that one block per TDMA frame reproduces the per-PDCH rates
+#: of Table 2 (e.g. CS-2: 268 bit / 4.615 ms = 13.4 kbit/s  -> 61.8 ~ 62 bits? no,
+#: 13.4 kbit/s * 4.615 ms = 61.8 bits would be a naive derivation; GPRS RLC
+#: blocks are interleaved over four bursts, i.e. one radio block every 4 TDMA
+#: frames, carrying 268 bits under CS-2).  We therefore model a *radio block
+#: period* of four TDMA frames per block.
+RLC_BLOCK_PAYLOAD_BITS: dict[str, int] = {
+    "CS-1": 181,
+    "CS-2": 268,
+    "CS-3": 312,
+    "CS-4": 428,
+}
+
+#: One RLC radio block occupies the same time slot in four consecutive TDMA
+#: frames; including the idle/control frames of the 52-multiframe this yields
+#: one radio block every 20 ms per PDCH (12 blocks per 240 ms multiframe),
+#: which reproduces the per-PDCH rates of Table 2 exactly
+#: (e.g. CS-2: 268 bit / 20 ms = 13.4 kbit/s).
+RADIO_BLOCK_PERIOD_S = 0.020
+
+#: Four consecutive TDMA frames carry one radio block (before idle frames).
+TDMA_FRAMES_PER_RADIO_BLOCK = 4
+
+# Re-export for introspection: the raw four-frame duration (without idle
+# frames) is available for callers that want the finer-grained figure.
+RAW_RADIO_BLOCK_DURATION_S = TDMA_FRAMES_PER_RADIO_BLOCK * TDMA_FRAME_DURATION_S
+
+
+def rlc_blocks_per_packet(
+    packet_size_bytes: int = DATA_PACKET_SIZE_BYTES, coding_scheme: str = "CS-2"
+) -> int:
+    """Return the number of RLC blocks needed to carry one network-layer packet."""
+    if packet_size_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    payload = _payload_bits(coding_scheme)
+    return math.ceil(packet_size_bytes * 8 / payload)
+
+
+def transmission_time(
+    packet_size_bytes: int = DATA_PACKET_SIZE_BYTES,
+    channels: int = 1,
+    coding_scheme: str = "CS-2",
+) -> float:
+    """Return the downlink transfer time of one packet over ``channels`` PDCHs.
+
+    The packet's RLC blocks are spread over the allocated time slots; each slot
+    carries one block per radio-block period (20 ms).  The number of channels
+    is clipped to the multislot maximum of eight.
+    """
+    if channels < 1:
+        raise ValueError("at least one channel is required for a transfer")
+    channels = min(channels, MAX_TIME_SLOTS_PER_STATION)
+    blocks = rlc_blocks_per_packet(packet_size_bytes, coding_scheme)
+    block_rounds = math.ceil(blocks / channels)
+    return block_rounds * RADIO_BLOCK_PERIOD_S
+
+
+def effective_rate_kbit_s(channels: int, coding_scheme: str = "CS-2") -> float:
+    """Return the aggregate data rate of ``channels`` PDCHs in kbit/s."""
+    if channels < 0:
+        raise ValueError("channels must be non-negative")
+    return channels * CODING_SCHEME_RATES_KBIT_S[_validated(coding_scheme)]
+
+
+def _payload_bits(coding_scheme: str) -> int:
+    return RLC_BLOCK_PAYLOAD_BITS[_validated(coding_scheme)]
+
+
+def _validated(coding_scheme: str) -> str:
+    if coding_scheme not in RLC_BLOCK_PAYLOAD_BITS:
+        raise ValueError(
+            f"unknown coding scheme {coding_scheme!r}; expected one of "
+            f"{sorted(RLC_BLOCK_PAYLOAD_BITS)}"
+        )
+    return coding_scheme

@@ -1,0 +1,195 @@
+"""Measurement aggregation of the network-level simulator.
+
+At every batch boundary the raw per-cell collectors are read out into one
+:class:`BatchObservation`; at the end of the run the per-batch values are fed
+into :class:`~repro.des.batch_means.BatchMeansEstimator` instances, producing
+the 95% confidence intervals reported alongside the simulation curves of the
+paper.  The measures mirror those of the analytical model so the two can be
+compared directly (:meth:`SimulationResults.compare_with`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.des.batch_means import BatchMeansEstimator, ConfidenceInterval
+from repro.traffic.units import packets_per_s_to_kbit_per_s
+
+__all__ = ["BatchObservation", "CellMeasurements", "SimulationResults"]
+
+
+@dataclass(frozen=True)
+class BatchObservation:
+    """Measures of one cell over one measurement batch."""
+
+    duration_s: float
+    carried_data_traffic: float
+    mean_buffer_occupancy: float
+    mean_gsm_calls: float
+    mean_gprs_sessions: float
+    packets_offered: int
+    packets_lost: int
+    packets_served: int
+    mean_packet_delay_s: float
+    gsm_calls_offered: int
+    gsm_calls_blocked: int
+    gprs_sessions_offered: int
+    gprs_sessions_blocked: int
+
+    @property
+    def packet_loss_probability(self) -> float:
+        if self.packets_offered == 0:
+            return 0.0
+        return self.packets_lost / self.packets_offered
+
+    @property
+    def packet_throughput(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.packets_served / self.duration_s
+
+    @property
+    def throughput_per_user(self) -> float:
+        if self.mean_gprs_sessions <= 0:
+            return 0.0
+        return self.packet_throughput / self.mean_gprs_sessions
+
+    @property
+    def voice_blocking_probability(self) -> float:
+        if self.gsm_calls_offered == 0:
+            return 0.0
+        return self.gsm_calls_blocked / self.gsm_calls_offered
+
+    @property
+    def gprs_blocking_probability(self) -> float:
+        if self.gprs_sessions_offered == 0:
+            return 0.0
+        return self.gprs_sessions_blocked / self.gprs_sessions_offered
+
+
+_METRICS = (
+    "carried_data_traffic",
+    "packet_loss_probability",
+    "queueing_delay",
+    "throughput_per_user",
+    "throughput_per_user_kbit_s",
+    "carried_voice_traffic",
+    "voice_blocking_probability",
+    "average_gprs_sessions",
+    "gprs_blocking_probability",
+    "mean_queue_length",
+)
+
+
+@dataclass
+class CellMeasurements:
+    """Collects batch observations of one cell and turns them into intervals."""
+
+    confidence_level: float = 0.95
+    observations: list[BatchObservation] = field(default_factory=list)
+
+    def add(self, observation: BatchObservation) -> None:
+        self.observations.append(observation)
+
+    def _metric_value(self, observation: BatchObservation, metric: str) -> float:
+        if metric == "carried_data_traffic":
+            return observation.carried_data_traffic
+        if metric == "packet_loss_probability":
+            return observation.packet_loss_probability
+        if metric == "queueing_delay":
+            return observation.mean_packet_delay_s
+        if metric == "throughput_per_user":
+            return observation.throughput_per_user
+        if metric == "throughput_per_user_kbit_s":
+            return packets_per_s_to_kbit_per_s(observation.throughput_per_user)
+        if metric == "carried_voice_traffic":
+            return observation.mean_gsm_calls
+        if metric == "voice_blocking_probability":
+            return observation.voice_blocking_probability
+        if metric == "average_gprs_sessions":
+            return observation.mean_gprs_sessions
+        if metric == "gprs_blocking_probability":
+            return observation.gprs_blocking_probability
+        if metric == "mean_queue_length":
+            return observation.mean_buffer_occupancy
+        raise KeyError(f"unknown metric {metric!r}")
+
+    def interval(self, metric: str) -> ConfidenceInterval:
+        """Return the batch-means confidence interval of a metric."""
+        if not self.observations:
+            raise ValueError("no batch observations recorded")
+        estimator = BatchMeansEstimator(self.confidence_level)
+        for observation in self.observations:
+            estimator.add_batch_mean(self._metric_value(observation, metric))
+        return estimator.confidence_interval()
+
+    def mean(self, metric: str) -> float:
+        """Return the grand mean of a metric over all batches."""
+        return self.interval(metric).mean
+
+    def available_metrics(self) -> tuple[str, ...]:
+        return _METRICS
+
+
+@dataclass(frozen=True)
+class SimulationResults:
+    """Results of one simulation run (measurements of the mid cell).
+
+    Attributes
+    ----------
+    mid_cell:
+        Batch measurements of the measured mid cell.
+    total_simulated_time_s:
+        Simulated time including warm-up.
+    events_processed:
+        Number of simulation events executed (a cost indicator).
+    """
+
+    mid_cell: CellMeasurements
+    total_simulated_time_s: float
+    events_processed: int
+
+    def interval(self, metric: str) -> ConfidenceInterval:
+        """Confidence interval of a mid-cell metric (see ``available_metrics``)."""
+        return self.mid_cell.interval(metric)
+
+    def mean(self, metric: str) -> float:
+        """Grand mean of a mid-cell metric."""
+        return self.mid_cell.mean(metric)
+
+    def available_metrics(self) -> tuple[str, ...]:
+        return self.mid_cell.available_metrics()
+
+    def as_dict(self) -> dict[str, float]:
+        """Return all mid-cell metric means as a dictionary."""
+        return {metric: self.mean(metric) for metric in self.available_metrics()}
+
+    def compare_with(self, analytical_measures) -> dict[str, dict[str, float]]:
+        """Compare against :class:`~repro.core.measures.GprsPerformanceMeasures`.
+
+        Returns, for every metric present in both, the simulation interval and
+        the analytical value together with a flag telling whether the
+        analytical value lies inside the simulation confidence interval (the
+        validation criterion used in Section 5.2 of the paper).
+        """
+        mapping = {
+            "carried_data_traffic": analytical_measures.carried_data_traffic,
+            "packet_loss_probability": analytical_measures.packet_loss_probability,
+            "queueing_delay": analytical_measures.queueing_delay,
+            "throughput_per_user": analytical_measures.throughput_per_user,
+            "carried_voice_traffic": analytical_measures.carried_voice_traffic,
+            "voice_blocking_probability": analytical_measures.voice_blocking_probability,
+            "average_gprs_sessions": analytical_measures.average_gprs_sessions,
+            "gprs_blocking_probability": analytical_measures.gprs_blocking_probability,
+            "mean_queue_length": analytical_measures.mean_queue_length,
+        }
+        comparison: dict[str, dict[str, float]] = {}
+        for metric, analytical_value in mapping.items():
+            interval = self.interval(metric)
+            comparison[metric] = {
+                "simulation_mean": interval.mean,
+                "confidence_half_width": interval.half_width,
+                "analytical": analytical_value,
+                "analytical_inside_interval": float(interval.contains(analytical_value)),
+            }
+        return comparison

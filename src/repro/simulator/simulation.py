@@ -1,0 +1,143 @@
+"""Top-level driver of the network-level GSM/GPRS simulation.
+
+:class:`GprsNetworkSimulator` wires the pieces together: it builds the cell
+cluster, starts the per-cell radio schedulers, the GSM voice traffic and the
+GPRS session factories, runs the warm-up period, then runs the configured
+number of measurement batches, reading the mid-cell statistics at every batch
+boundary.  The result is a :class:`~repro.simulator.results.SimulationResults`
+with batch-means confidence intervals for every measure the analytical model
+reports.
+"""
+
+from __future__ import annotations
+
+from repro.des.engine import SimulationEngine
+from repro.des.random_variates import RandomVariateStream
+from repro.simulator.cell import Cell
+from repro.simulator.cluster import HexagonalCluster
+from repro.simulator.config import SimulationConfig
+from repro.simulator.gprs import GprsSessionFactory
+from repro.simulator.gsm import VoiceCallFactory
+from repro.simulator.results import BatchObservation, CellMeasurements, SimulationResults
+
+__all__ = ["GprsNetworkSimulator"]
+
+
+class GprsNetworkSimulator:
+    """Discrete-event simulator of a cluster of GSM/GPRS cells.
+
+    Parameters
+    ----------
+    config:
+        Complete simulation configuration (cell parameters, cluster size, run
+        length, warm-up, batches, TCP behaviour, random seed).
+
+    Example
+    -------
+    >>> from repro import GprsModelParameters, traffic_model
+    >>> from repro.simulator import GprsNetworkSimulator, SimulationConfig
+    >>> params = GprsModelParameters.from_traffic_model(
+    ...     traffic_model(3), total_call_arrival_rate=0.3, buffer_size=20)
+    >>> config = SimulationConfig(cell_parameters=params, number_of_cells=3,
+    ...                           simulation_time_s=500.0, warmup_time_s=50.0,
+    ...                           batches=5)
+    >>> results = GprsNetworkSimulator(config).run()
+    >>> 0.0 <= results.mean("packet_loss_probability") <= 1.0
+    True
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._config = config
+        self._engine = SimulationEngine()
+        self._cluster = HexagonalCluster(config.number_of_cells)
+        master_stream = RandomVariateStream(config.seed)
+        self._voice_stream, self._data_stream = master_stream.spawn(2)
+        self._cells = [
+            Cell(self._engine, index, config.cell_parameters)
+            for index in range(config.number_of_cells)
+        ]
+        self._voice_factory = VoiceCallFactory(
+            self._engine, self._cluster, self._cells, self._voice_stream
+        )
+        self._data_factory = GprsSessionFactory(
+            self._engine, self._cluster, self._cells, self._data_stream, config.tcp
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    @property
+    def engine(self) -> SimulationEngine:
+        return self._engine
+
+    @property
+    def cells(self) -> list[Cell]:
+        return list(self._cells)
+
+    @property
+    def mid_cell(self) -> Cell:
+        return self._cells[HexagonalCluster.MID_CELL]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _start_processes(self) -> None:
+        if self._started:
+            return
+        for cell in self._cells:
+            cell.start_scheduler()
+        self._voice_factory.start()
+        self._data_factory.start()
+        self._started = True
+
+    def _read_batch(self, cell: Cell, batch_start: float, batch_end: float) -> BatchObservation:
+        statistics = cell.statistics
+        duration = batch_end - batch_start
+        return BatchObservation(
+            duration_s=duration,
+            carried_data_traffic=statistics.pdch_in_use.time_average(batch_end),
+            mean_buffer_occupancy=statistics.buffer_occupancy.time_average(batch_end),
+            mean_gsm_calls=statistics.gsm_calls_active.time_average(batch_end),
+            mean_gprs_sessions=statistics.gprs_sessions_active.time_average(batch_end),
+            packets_offered=statistics.packets_offered.count,
+            packets_lost=statistics.packets_lost.count,
+            packets_served=statistics.packets_served.count,
+            mean_packet_delay_s=statistics.packet_delay.mean,
+            gsm_calls_offered=statistics.gsm_calls_offered.count,
+            gsm_calls_blocked=statistics.gsm_calls_blocked.count,
+            gprs_sessions_offered=statistics.gprs_sessions_offered.count,
+            gprs_sessions_blocked=statistics.gprs_sessions_blocked.count,
+        )
+
+    def run(self) -> SimulationResults:
+        """Run warm-up plus all measurement batches and return the mid-cell results."""
+        config = self._config
+        self._start_processes()
+
+        # Warm-up: run and then discard all statistics.
+        if config.warmup_time_s > 0:
+            self._engine.run(until=config.warmup_time_s)
+        for cell in self._cells:
+            cell.statistics.reset(self._engine.now)
+
+        measurements = CellMeasurements()
+        batch_start = self._engine.now
+        for batch_index in range(config.batches):
+            batch_end = config.warmup_time_s + (batch_index + 1) * config.batch_duration_s
+            self._engine.run(until=batch_end)
+            observation = self._read_batch(self.mid_cell, batch_start, self._engine.now)
+            measurements.add(observation)
+            for cell in self._cells:
+                cell.statistics.reset(self._engine.now)
+            batch_start = self._engine.now
+
+        return SimulationResults(
+            mid_cell=measurements,
+            total_simulated_time_s=self._engine.now,
+            events_processed=self._engine.processed_events,
+        )

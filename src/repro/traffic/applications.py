@@ -1,0 +1,241 @@
+"""Application-level traffic presets and traffic mixes.
+
+The paper evaluates pure WWW-browsing populations (Table 3).  The 3GPP
+selection procedure it takes its traffic model from (TR 101 112) describes the
+same on--off session structure for other packet services as well; this module
+provides representative presets for them and a :class:`ApplicationMix` that
+combines several applications into one population, so the cell can be studied
+under a realistic service mix instead of a single homogeneous workload.
+
+The numeric values of the non-WWW presets are *synthetic but conventional*
+(documented in DESIGN.md): an FTP download is a single long packet call, email
+is a short bursty exchange, and WAP browsing is a low-rate variant of WWW
+browsing.  They exercise exactly the same code paths as the Table 3 models --
+only the parameters differ -- and every consumer receives the mix through the
+standard :class:`~repro.traffic.session.PacketSessionModel` interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.markov.mmpp import MarkovModulatedPoissonProcess, superpose_mmpps
+from repro.traffic.session import PacketSessionModel
+
+__all__ = [
+    "APPLICATION_PRESETS",
+    "ApplicationMix",
+    "MixComponent",
+    "application",
+    "EMAIL",
+    "FTP_DOWNLOAD",
+    "WAP_BROWSING",
+    "WWW_BROWSING_8K",
+    "WWW_BROWSING_32K",
+]
+
+
+#: 8 kbit/s WWW browsing -- identical to traffic model 1 of the paper.
+WWW_BROWSING_8K = PacketSessionModel(
+    packet_calls_per_session=5,
+    reading_time_s=412.0,
+    packets_per_packet_call=25,
+    packet_interarrival_s=0.5,
+    name="WWW browsing (8 kbit/s)",
+)
+
+#: 32 kbit/s WWW browsing -- identical to traffic model 2 of the paper.
+WWW_BROWSING_32K = PacketSessionModel(
+    packet_calls_per_session=5,
+    reading_time_s=412.0,
+    packets_per_packet_call=25,
+    packet_interarrival_s=0.125,
+    name="WWW browsing (32 kbit/s)",
+)
+
+#: A file download: one long packet call and essentially no reading time
+#: afterwards (the session ends with the transfer).
+FTP_DOWNLOAD = PacketSessionModel(
+    packet_calls_per_session=1,
+    reading_time_s=1.0,
+    packets_per_packet_call=400,
+    packet_interarrival_s=0.125,
+    name="FTP download",
+)
+
+#: A mail check: a couple of short transfers separated by long idle periods.
+EMAIL = PacketSessionModel(
+    packet_calls_per_session=3,
+    reading_time_s=120.0,
+    packets_per_packet_call=8,
+    packet_interarrival_s=0.25,
+    name="e-mail",
+)
+
+#: WAP browsing: small pages at a low rate with short reading times.
+WAP_BROWSING = PacketSessionModel(
+    packet_calls_per_session=8,
+    reading_time_s=30.0,
+    packets_per_packet_call=4,
+    packet_interarrival_s=0.5,
+    name="WAP browsing",
+)
+
+APPLICATION_PRESETS: dict[str, PacketSessionModel] = {
+    "www-8k": WWW_BROWSING_8K,
+    "www-32k": WWW_BROWSING_32K,
+    "ftp": FTP_DOWNLOAD,
+    "email": EMAIL,
+    "wap": WAP_BROWSING,
+}
+
+
+def application(name: str) -> PacketSessionModel:
+    """Return a named application preset (``"www-8k"``, ``"www-32k"``, ``"ftp"``, ...)."""
+    try:
+        return APPLICATION_PRESETS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown application {name!r}; expected one of {sorted(APPLICATION_PRESETS)}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One application inside a mix: the session model plus its share of sessions."""
+
+    session: PacketSessionModel
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("mix weights must be non-negative")
+
+
+@dataclass(frozen=True)
+class ApplicationMix:
+    """A weighted mixture of packet-service applications.
+
+    Parameters
+    ----------
+    components:
+        The applications in the mix with their relative weights (interpreted
+        as the fraction of newly arriving GPRS sessions running each
+        application; weights are normalised automatically).
+    """
+
+    components: tuple[MixComponent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("an application mix needs at least one component")
+        total = sum(component.weight for component in self.components)
+        if total <= 0:
+            raise ValueError("at least one component must have positive weight")
+        object.__setattr__(self, "components", tuple(self.components))
+
+    @classmethod
+    def from_shares(cls, shares: dict[str | PacketSessionModel, float]) -> "ApplicationMix":
+        """Build a mix from ``{application name or session model: weight}``."""
+        components = []
+        for key, weight in shares.items():
+            session = application(key) if isinstance(key, str) else key
+            components.append(MixComponent(session=session, weight=float(weight)))
+        return cls(tuple(components))
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics
+    # ------------------------------------------------------------------ #
+    def normalised_weights(self) -> tuple[float, ...]:
+        """Return the component weights normalised to sum to one."""
+        total = sum(component.weight for component in self.components)
+        return tuple(component.weight / total for component in self.components)
+
+    def mean_session_duration_s(self) -> float:
+        """Return the session duration averaged over the mix."""
+        return sum(
+            weight * component.session.mean_session_duration_s
+            for weight, component in zip(self.normalised_weights(), self.components)
+        )
+
+    def session_departure_rate(self) -> float:
+        """Return the effective ``mu_GPRS`` of the mix (reciprocal mean duration)."""
+        return 1.0 / self.mean_session_duration_s()
+
+    def mean_bit_rate_kbit_s(self) -> float:
+        """Return the long-run bit rate of one session drawn from the mix."""
+        return sum(
+            weight * component.session.mean_bit_rate_kbit_s
+            for weight, component in zip(self.normalised_weights(), self.components)
+        )
+
+    def mean_packet_rate(self) -> float:
+        """Return the long-run packet rate (packets/s) of one session from the mix."""
+        return sum(
+            weight * component.session.packet_rate * component.session.activity_factor
+            for weight, component in zip(self.normalised_weights(), self.components)
+        )
+
+    def equivalent_session_model(self, name: str = "application mix") -> PacketSessionModel:
+        """Return a single session model matching the mix's first-order statistics.
+
+        The equivalent model preserves the mean packet-call duration, the mean
+        reading time, the mean number of packet calls and the mean packet rate
+        during a call (all weighted by the session shares), which is sufficient
+        for the CTMC whose traffic description only uses those means.  Higher
+        moments of the mix are *not* preserved -- use the per-application
+        populations of the simulator when those matter.
+        """
+        weights = self.normalised_weights()
+        packet_calls = sum(
+            w * c.session.packet_calls_per_session for w, c in zip(weights, self.components)
+        )
+        reading = sum(w * c.session.reading_time_s for w, c in zip(weights, self.components))
+        packets = sum(
+            w * c.session.packets_per_packet_call for w, c in zip(weights, self.components)
+        )
+        interarrival = sum(
+            w * c.session.packet_interarrival_s for w, c in zip(weights, self.components)
+        )
+        packet_size = self.components[0].session.packet_size_bytes
+        return PacketSessionModel(
+            packet_calls_per_session=packet_calls,
+            reading_time_s=reading,
+            packets_per_packet_call=packets,
+            packet_interarrival_s=interarrival,
+            packet_size_bytes=packet_size,
+            name=name,
+        )
+
+    def aggregate_mmpp(self, active_sessions_per_component: dict[str, int] | None = None,
+                       sessions_per_component: int = 1) -> MarkovModulatedPoissonProcess:
+        """Return the MMPP of a fixed population drawn from this mix.
+
+        Parameters
+        ----------
+        active_sessions_per_component:
+            Optional explicit mapping from component session name to the number
+            of concurrently active sessions of that application.
+        sessions_per_component:
+            Used when the explicit mapping is omitted: every component
+            contributes this many active sessions.
+        """
+        from repro.markov.mmpp import aggregate_identical_ipps
+
+        aggregate: MarkovModulatedPoissonProcess | None = None
+        for component in self.components:
+            if active_sessions_per_component is not None:
+                count = active_sessions_per_component.get(component.session.name, 0)
+            else:
+                count = sessions_per_component
+            if count <= 0:
+                continue
+            component_mmpp = aggregate_identical_ipps(component.session.to_ipp(), count)
+            aggregate = (
+                component_mmpp
+                if aggregate is None
+                else superpose_mmpps(aggregate, component_mmpp)
+            )
+        if aggregate is None:
+            raise ValueError("the requested population contains no active sessions")
+        return aggregate

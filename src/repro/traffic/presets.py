@@ -1,0 +1,117 @@
+"""The three traffic models of Table 3 of the paper.
+
+* **Traffic model 1** -- 8 kbit/s WWW browsing: packet inter-arrival time
+  ``D_d = 0.5 s`` during a packet call, 5 packet calls per session, 25 packets
+  per call, 412 s reading time; mean session duration 2122.5 s; at most
+  ``M = 50`` concurrent sessions.
+* **Traffic model 2** -- 32 kbit/s WWW browsing: as model 1 but
+  ``D_d = 0.125 s``; mean session duration 2075.6 s; ``M = 50``.
+* **Traffic model 3** -- the heavier-load model used for validation and for the
+  on-demand-PDCH experiments: derived from model 2 by setting the reading time
+  equal to the packet-call duration (3.125 s) and using 50 packet calls per
+  session; mean session duration 312.5 s; ``M = 20``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traffic.session import PacketSessionModel
+
+__all__ = [
+    "TrafficModelPreset",
+    "TRAFFIC_MODEL_1",
+    "TRAFFIC_MODEL_2",
+    "TRAFFIC_MODEL_3",
+    "TRAFFIC_MODELS",
+    "traffic_model",
+]
+
+
+@dataclass(frozen=True)
+class TrafficModelPreset:
+    """A named traffic model: session parameters plus the admission cap ``M``.
+
+    Attributes
+    ----------
+    number:
+        Traffic model number as used in the paper (1, 2 or 3).
+    session:
+        The 3GPP packet-session parameters.
+    max_active_sessions:
+        The admission-control limit ``M`` on concurrently active GPRS sessions
+        listed for this model in Table 3.
+    """
+
+    number: int
+    session: PacketSessionModel
+    max_active_sessions: int
+
+    @property
+    def name(self) -> str:
+        return self.session.name
+
+    def describe(self) -> dict[str, float]:
+        """Return the Table 3 row for this traffic model as a dictionary."""
+        session = self.session
+        return {
+            "traffic model": float(self.number),
+            "max active GPRS sessions M": float(self.max_active_sessions),
+            "average GPRS session duration 1/mu_GPRS [s]": session.mean_session_duration_s,
+            "average arrival rate of data packets [kbit/s]": session.peak_bit_rate_kbit_s,
+            "average duration of a packet call 1/a [s]": session.mean_packet_call_duration_s,
+            "average reading time between packet calls 1/b [s]": session.reading_time_s,
+        }
+
+
+TRAFFIC_MODEL_1 = TrafficModelPreset(
+    number=1,
+    session=PacketSessionModel(
+        packet_calls_per_session=5,
+        reading_time_s=412.0,
+        packets_per_packet_call=25,
+        packet_interarrival_s=0.5,
+        name="traffic model 1 (8 kbit/s WWW browsing)",
+    ),
+    max_active_sessions=50,
+)
+
+TRAFFIC_MODEL_2 = TrafficModelPreset(
+    number=2,
+    session=PacketSessionModel(
+        packet_calls_per_session=5,
+        reading_time_s=412.0,
+        packets_per_packet_call=25,
+        packet_interarrival_s=0.125,
+        name="traffic model 2 (32 kbit/s WWW browsing)",
+    ),
+    max_active_sessions=50,
+)
+
+TRAFFIC_MODEL_3 = TrafficModelPreset(
+    number=3,
+    session=PacketSessionModel(
+        packet_calls_per_session=50,
+        reading_time_s=3.125,
+        packets_per_packet_call=25,
+        packet_interarrival_s=0.125,
+        name="traffic model 3 (32 kbit/s, reading time equal to packet-call duration)",
+    ),
+    max_active_sessions=20,
+)
+
+TRAFFIC_MODELS: dict[int, TrafficModelPreset] = {
+    1: TRAFFIC_MODEL_1,
+    2: TRAFFIC_MODEL_2,
+    3: TRAFFIC_MODEL_3,
+}
+
+
+def traffic_model(number: int) -> TrafficModelPreset:
+    """Return the traffic model preset with the given Table 3 number (1, 2 or 3)."""
+    try:
+        return TRAFFIC_MODELS[number]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown traffic model {number!r}; the paper defines models 1, 2 and 3"
+        ) from exc

@@ -1,0 +1,152 @@
+"""Random sampling of 3GPP packet-service sessions.
+
+The network-level simulator and some examples need concrete realisations of
+the 3GPP session model: how many packet calls a session has, how many packets
+each call carries, and when each packet is generated.  The
+:class:`SessionSampler` draws those realisations from a
+:class:`~repro.traffic.session.PacketSessionModel` using a dedicated numpy
+random generator so simulations are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traffic.session import PacketSessionModel
+
+__all__ = ["PacketCallTrace", "SessionTrace", "SessionSampler"]
+
+
+@dataclass(frozen=True)
+class PacketCallTrace:
+    """One sampled packet call: absolute packet generation times (seconds)."""
+
+    start_time: float
+    packet_times: tuple[float, ...]
+
+    @property
+    def number_of_packets(self) -> int:
+        return len(self.packet_times)
+
+    @property
+    def end_time(self) -> float:
+        return self.packet_times[-1] if self.packet_times else self.start_time
+
+
+@dataclass(frozen=True)
+class SessionTrace:
+    """One sampled packet-service session (a sequence of packet calls)."""
+
+    packet_calls: tuple[PacketCallTrace, ...] = field(default_factory=tuple)
+
+    @property
+    def number_of_packet_calls(self) -> int:
+        return len(self.packet_calls)
+
+    @property
+    def number_of_packets(self) -> int:
+        return sum(call.number_of_packets for call in self.packet_calls)
+
+    @property
+    def duration(self) -> float:
+        """Time from session start until the last packet of the last call."""
+        return self.packet_calls[-1].end_time if self.packet_calls else 0.0
+
+    def all_packet_times(self) -> np.ndarray:
+        """Return all packet generation times as a sorted numpy array."""
+        times = [t for call in self.packet_calls for t in call.packet_times]
+        return np.array(times, dtype=float)
+
+
+class SessionSampler:
+    """Draws random realisations of a 3GPP packet-service session.
+
+    Parameters
+    ----------
+    model:
+        The session parameters (``N_pc``, ``D_pc``, ``N_d``, ``D_d``).
+    rng:
+        Optional numpy random generator; a fresh default generator is created
+        when omitted.
+
+    Geometric quantities are sampled with support starting at one (a session
+    has at least one packet call, a packet call at least one packet), matching
+    the paper's statement that a session "contains only one packet call" in the
+    FTP case.
+    """
+
+    def __init__(self, model: PacketSessionModel, rng: np.random.Generator | None = None):
+        self._model = model
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def model(self) -> PacketSessionModel:
+        return self._model
+
+    def _geometric(self, mean: float) -> int:
+        """Sample a geometric variate with the given mean and support {1, 2, ...}."""
+        if mean <= 1.0:
+            return 1
+        # For support {1, 2, ...}: mean = 1 / p  =>  p = 1 / mean.
+        return int(self._rng.geometric(1.0 / mean))
+
+    def sample_number_of_packet_calls(self) -> int:
+        return self._geometric(self._model.packet_calls_per_session)
+
+    def sample_number_of_packets(self) -> int:
+        return self._geometric(self._model.packets_per_packet_call)
+
+    def sample_reading_time(self) -> float:
+        return float(self._rng.exponential(self._model.reading_time_s))
+
+    def sample_packet_interarrival(self) -> float:
+        return float(self._rng.exponential(self._model.packet_interarrival_s))
+
+    def sample_packet_call(self, start_time: float) -> PacketCallTrace:
+        """Sample one packet call beginning at ``start_time``."""
+        count = self.sample_number_of_packets()
+        times = []
+        current = start_time
+        for _ in range(count):
+            current += self.sample_packet_interarrival()
+            times.append(current)
+        return PacketCallTrace(start_time=start_time, packet_times=tuple(times))
+
+    def sample_session(self, start_time: float = 0.0) -> SessionTrace:
+        """Sample a whole session beginning at ``start_time``.
+
+        The first packet call starts immediately; subsequent packet calls are
+        separated from the end of the previous call by a reading time.
+        """
+        calls = []
+        number_of_calls = self.sample_number_of_packet_calls()
+        current = start_time
+        for index in range(number_of_calls):
+            if index > 0:
+                current += self.sample_reading_time()
+            call = self.sample_packet_call(current)
+            calls.append(call)
+            current = call.end_time
+        return SessionTrace(packet_calls=tuple(calls))
+
+    def empirical_mean_rate(self, sessions: int = 200) -> float:
+        """Estimate the long-run packet rate (packets/s) from sampled sessions.
+
+        Used by statistical tests comparing the sampler against the analytic
+        mean rate of the IPP representation.
+        """
+        if sessions <= 0:
+            raise ValueError("sessions must be positive")
+        total_packets = 0
+        total_time = 0.0
+        for _ in range(sessions):
+            trace = self.sample_session()
+            total_packets += trace.number_of_packets
+            # Account for the trailing reading time that ends the session so the
+            # time base matches the renewal structure of the IPP.
+            total_time += trace.duration + self.sample_reading_time()
+        if total_time == 0:
+            return 0.0
+        return total_packets / total_time

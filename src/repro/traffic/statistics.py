@@ -1,0 +1,195 @@
+"""Empirical traffic statistics and IPP fitting from packet traces.
+
+The paper stresses that "the burstiness during a packet call is a
+characteristic feature of packet transmissions that must be taken into account
+in an accurate traffic model".  This module quantifies that burstiness on
+concrete packet-timestamp traces (synthetic ones from
+:class:`~repro.traffic.sampling.SessionSampler`, or any externally supplied
+array of arrival times) and fits the paper's IPP/3GPP session model back to a
+trace, closing the loop between trace data and model parameters:
+
+* :class:`TraceStatistics` -- mean rate, interarrival squared coefficient of
+  variation, peak-to-mean ratio, index of dispersion for counts;
+* :func:`detect_packet_calls` -- split a trace into packet calls using an idle
+  threshold (the standard "think time" heuristic);
+* :func:`fit_session_model` -- estimate ``N_pc``, ``D_pc``, ``N_d`` and
+  ``D_d`` of the 3GPP model from detected packet calls;
+* :func:`fit_ipp` -- the corresponding two-state IPP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.mmpp import InterruptedPoissonProcess
+from repro.traffic.session import PacketSessionModel
+
+__all__ = [
+    "TraceStatistics",
+    "compute_trace_statistics",
+    "detect_packet_calls",
+    "fit_session_model",
+    "fit_ipp",
+]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """First- and second-order statistics of one packet-arrival trace.
+
+    Attributes
+    ----------
+    number_of_packets:
+        Packets in the trace.
+    duration_s:
+        Time spanned by the trace (first to last arrival).
+    mean_rate:
+        Packets per second over the trace duration.
+    interarrival_scv:
+        Squared coefficient of variation of the interarrival times
+        (1 for a Poisson stream, larger for bursty traffic).
+    peak_to_mean_ratio:
+        Ratio of the largest windowed rate to the mean rate.
+    index_of_dispersion:
+        Variance-to-mean ratio of per-window packet counts (1 for Poisson).
+    """
+
+    number_of_packets: int
+    duration_s: float
+    mean_rate: float
+    interarrival_scv: float
+    peak_to_mean_ratio: float
+    index_of_dispersion: float
+
+
+def _validated_times(packet_times) -> np.ndarray:
+    times = np.sort(np.asarray(packet_times, dtype=float))
+    if times.ndim != 1:
+        raise ValueError("packet_times must be a one-dimensional array of timestamps")
+    if times.size < 2:
+        raise ValueError("at least two packet arrivals are required")
+    if np.any(times < 0):
+        raise ValueError("packet timestamps must be non-negative")
+    return times
+
+
+def compute_trace_statistics(packet_times, *, window_s: float | None = None) -> TraceStatistics:
+    """Return the summary statistics of a packet-timestamp trace.
+
+    Parameters
+    ----------
+    packet_times:
+        Arrival timestamps in seconds (any order; sorted internally).
+    window_s:
+        Window length for the counting statistics (peak rate and index of
+        dispersion).  Defaults to one tenth of the trace duration, floored at
+        one second.
+    """
+    times = _validated_times(packet_times)
+    duration = float(times[-1] - times[0])
+    if duration <= 0:
+        raise ValueError("the trace must span a positive duration")
+    interarrivals = np.diff(times)
+    mean_interarrival = float(interarrivals.mean())
+    scv = float(interarrivals.var() / mean_interarrival**2) if mean_interarrival > 0 else 0.0
+    if window_s is None:
+        window_s = max(duration / 10.0, 1.0)
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    edges = np.arange(times[0], times[-1] + window_s, window_s)
+    counts, _ = np.histogram(times, bins=edges)
+    mean_rate = times.size / duration
+    if counts.size and counts.mean() > 0:
+        peak_to_mean = float(counts.max() / (mean_rate * window_s))
+        dispersion = float(counts.var() / counts.mean())
+    else:  # pragma: no cover - degenerate window configuration
+        peak_to_mean = 1.0
+        dispersion = 1.0
+    return TraceStatistics(
+        number_of_packets=int(times.size),
+        duration_s=duration,
+        mean_rate=mean_rate,
+        interarrival_scv=scv,
+        peak_to_mean_ratio=peak_to_mean,
+        index_of_dispersion=dispersion,
+    )
+
+
+def detect_packet_calls(packet_times, idle_threshold_s: float) -> list[np.ndarray]:
+    """Split a packet trace into packet calls at idle gaps above a threshold.
+
+    Any interarrival gap larger than ``idle_threshold_s`` is interpreted as a
+    reading time separating two packet calls, mirroring how WWW transactions
+    are identified in measured traces.
+    """
+    if idle_threshold_s <= 0:
+        raise ValueError("idle_threshold_s must be positive")
+    times = _validated_times(packet_times)
+    gaps = np.diff(times)
+    boundaries = np.where(gaps > idle_threshold_s)[0]
+    calls = []
+    start = 0
+    for boundary in boundaries:
+        calls.append(times[start:boundary + 1])
+        start = boundary + 1
+    calls.append(times[start:])
+    return calls
+
+
+def fit_session_model(
+    packet_times,
+    idle_threshold_s: float,
+    *,
+    packet_calls_per_session: float | None = None,
+    packet_size_bytes: int | None = None,
+    name: str = "fitted session model",
+) -> PacketSessionModel:
+    """Fit the 3GPP packet-session parameters to a packet trace.
+
+    The trace is split into packet calls at idle gaps above
+    ``idle_threshold_s``; the mean number of packets per call and the mean
+    in-call interarrival time are estimated directly, and the mean reading time
+    is the mean of the gaps that exceeded the threshold.  The number of packet
+    calls per *session* is not identifiable from a single concatenated trace,
+    so it is taken from ``packet_calls_per_session`` (default: the number of
+    detected calls, i.e. the trace is treated as exactly one session).
+    """
+    calls = detect_packet_calls(packet_times, idle_threshold_s)
+    times = _validated_times(packet_times)
+    gaps = np.diff(times)
+    reading_gaps = gaps[gaps > idle_threshold_s]
+    if reading_gaps.size == 0:
+        raise ValueError(
+            "no reading times detected; lower idle_threshold_s or supply a longer trace"
+        )
+    in_call_interarrivals = np.concatenate(
+        [np.diff(call) for call in calls if call.size >= 2]
+    )
+    if in_call_interarrivals.size == 0:
+        raise ValueError("no in-call interarrival times detected; the threshold is too small")
+    packets_per_call = float(np.mean([call.size for call in calls]))
+    mean_interarrival = float(in_call_interarrivals.mean())
+    mean_reading = float(reading_gaps.mean())
+    calls_per_session = (
+        float(packet_calls_per_session)
+        if packet_calls_per_session is not None
+        else float(len(calls))
+    )
+    kwargs = {}
+    if packet_size_bytes is not None:
+        kwargs["packet_size_bytes"] = packet_size_bytes
+    return PacketSessionModel(
+        packet_calls_per_session=max(calls_per_session, 1.0),
+        reading_time_s=mean_reading,
+        packets_per_packet_call=max(packets_per_call, 1.0),
+        packet_interarrival_s=mean_interarrival,
+        name=name,
+        **kwargs,
+    )
+
+
+def fit_ipp(packet_times, idle_threshold_s: float) -> InterruptedPoissonProcess:
+    """Fit a two-state IPP to a packet trace (via the 3GPP session fit)."""
+    return fit_session_model(packet_times, idle_threshold_s).to_ipp()

@@ -1,0 +1,94 @@
+"""Unit conversions and GPRS radio constants.
+
+The paper models the arrival stream of data packets at the network layer with
+a fixed packet size of 480 byte (ETSI TR 101 112) and a per-PDCH transfer rate
+determined by the channel coding scheme; the base configuration uses CS-2 at
+13.4 kbit/s.  All conversions between packets/s and kbit/s go through the
+functions in this module so the packet size is defined exactly once.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DATA_PACKET_SIZE_BYTES",
+    "CODING_SCHEME_RATES_KBIT_S",
+    "bits_per_packet",
+    "kbit_per_s_to_packets_per_s",
+    "packets_per_s_to_kbit_per_s",
+    "pdch_service_rate",
+    "TIME_SLOTS_PER_TDMA_FRAME",
+    "TDMA_FRAME_DURATION_S",
+    "MAX_TIME_SLOTS_PER_STATION",
+    "MAX_STATIONS_PER_TIME_SLOT",
+]
+
+#: Network-layer data packet size assumed by the paper (ETSI TR 101 112).
+DATA_PACKET_SIZE_BYTES = 480
+
+#: Per-PDCH data rates of the four GPRS channel coding schemes in kbit/s.
+#: CS-1 uses rate-1/2 convolutional coding (robust, slow); CS-4 is uncoded.
+CODING_SCHEME_RATES_KBIT_S: dict[str, float] = {
+    "CS-1": 9.05,
+    "CS-2": 13.4,
+    "CS-3": 15.6,
+    "CS-4": 21.4,
+}
+
+#: A GSM TDMA frame consists of eight time slots ...
+TIME_SLOTS_PER_TDMA_FRAME = 8
+#: ... each lasting 0.577 ms, so a frame takes about 4.615 ms.
+TDMA_FRAME_DURATION_S = 8 * 0.577e-3
+#: GPRS multislot operation: a mobile station may use up to 8 time slots ...
+MAX_TIME_SLOTS_PER_STATION = 8
+#: ... and up to 8 mobile stations may share one time slot.
+MAX_STATIONS_PER_TIME_SLOT = 8
+
+
+def bits_per_packet(packet_size_bytes: int = DATA_PACKET_SIZE_BYTES) -> int:
+    """Return the number of bits in one network-layer data packet."""
+    if packet_size_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    return packet_size_bytes * 8
+
+
+def kbit_per_s_to_packets_per_s(
+    rate_kbit_s: float, packet_size_bytes: int = DATA_PACKET_SIZE_BYTES
+) -> float:
+    """Convert a bit rate in kbit/s to packets per second."""
+    if rate_kbit_s < 0:
+        raise ValueError("rate must be non-negative")
+    return rate_kbit_s * 1000.0 / bits_per_packet(packet_size_bytes)
+
+
+def packets_per_s_to_kbit_per_s(
+    rate_packets_s: float, packet_size_bytes: int = DATA_PACKET_SIZE_BYTES
+) -> float:
+    """Convert a packet rate in packets/s to kbit per second."""
+    if rate_packets_s < 0:
+        raise ValueError("rate must be non-negative")
+    return rate_packets_s * bits_per_packet(packet_size_bytes) / 1000.0
+
+
+def pdch_service_rate(
+    coding_scheme: str = "CS-2", packet_size_bytes: int = DATA_PACKET_SIZE_BYTES
+) -> float:
+    """Return the packet service rate (packets/s) of a single PDCH.
+
+    Parameters
+    ----------
+    coding_scheme:
+        One of ``"CS-1"`` .. ``"CS-4"``.
+    packet_size_bytes:
+        Network-layer packet size; 480 byte by default.
+
+    With CS-2 and 480-byte packets the rate is ``13.4 kbit/s / 3840 bit``,
+    i.e. roughly 3.49 packets per second per channel.
+    """
+    try:
+        rate_kbit_s = CODING_SCHEME_RATES_KBIT_S[coding_scheme]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown coding scheme {coding_scheme!r}; expected one of "
+            f"{sorted(CODING_SCHEME_RATES_KBIT_S)}"
+        ) from exc
+    return kbit_per_s_to_packets_per_s(rate_kbit_s, packet_size_bytes)

@@ -1,0 +1,45 @@
+"""Validation utilities: comparing model, simulation and paper claims.
+
+Section 5.2 of the paper validates the Markov model by checking that "almost
+all performance curves derived from the Markov model lie in the confidence
+intervals of the corresponding curve of the simulator".  This package turns
+that criterion -- and the qualitative claims made about every figure -- into
+reusable, testable checks:
+
+* :mod:`repro.validation.comparison` -- point-wise and curve-wise comparison
+  of analytical values against simulation confidence intervals (coverage
+  fraction, relative errors, summary report);
+* :mod:`repro.validation.shapes` -- assertions about curve *shapes*:
+  monotonicity, dominance/ordering of curves, crossover points, saturation --
+  the properties EXPERIMENTS.md records for every reproduced figure.
+"""
+
+from repro.validation.comparison import (
+    CurveComparison,
+    PointComparison,
+    ValidationReport,
+    compare_model_with_simulation,
+    compare_series,
+)
+from repro.validation.shapes import (
+    crossover_points,
+    curves_are_ordered,
+    find_threshold_crossing,
+    fraction_within_tolerance,
+    is_monotone,
+    relative_spread,
+)
+
+__all__ = [
+    "CurveComparison",
+    "PointComparison",
+    "ValidationReport",
+    "compare_model_with_simulation",
+    "compare_series",
+    "crossover_points",
+    "curves_are_ordered",
+    "find_threshold_crossing",
+    "fraction_within_tolerance",
+    "is_monotone",
+    "relative_spread",
+]

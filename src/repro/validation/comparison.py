@@ -1,0 +1,199 @@
+"""Point-wise and curve-wise comparison of analytical and simulated results.
+
+The validation criterion of the paper is coverage: an analytical point is
+"validated" when it lies inside the 95% batch-means confidence interval of the
+corresponding simulation estimate.  These helpers compute that coverage for
+whole curves, together with relative errors, and render a compact textual
+report used by the examples and by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "PointComparison",
+    "CurveComparison",
+    "ValidationReport",
+    "compare_series",
+    "compare_model_with_simulation",
+]
+
+
+@dataclass(frozen=True)
+class PointComparison:
+    """Comparison of one analytical value against one simulation interval."""
+
+    x: float
+    analytical: float
+    simulation_mean: float
+    confidence_half_width: float
+
+    @property
+    def inside_interval(self) -> bool:
+        """Whether the analytical value lies inside the simulation interval."""
+        return (
+            self.simulation_mean - self.confidence_half_width - 1e-15
+            <= self.analytical
+            <= self.simulation_mean + self.confidence_half_width + 1e-15
+        )
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.analytical - self.simulation_mean)
+
+    @property
+    def relative_error(self) -> float:
+        """Relative error against the simulation mean (0 when both are zero)."""
+        if self.simulation_mean == 0.0:
+            return 0.0 if self.analytical == 0.0 else float("inf")
+        return self.absolute_error / abs(self.simulation_mean)
+
+
+@dataclass(frozen=True)
+class CurveComparison:
+    """Comparison of one metric curve (analytical vs. simulated)."""
+
+    metric: str
+    points: tuple[PointComparison, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a curve comparison needs at least one point")
+        object.__setattr__(self, "points", tuple(self.points))
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of points whose analytical value lies inside the interval."""
+        inside = sum(1 for point in self.points if point.inside_interval)
+        return inside / len(self.points)
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(point.relative_error for point in self.points)
+
+    @property
+    def mean_relative_error(self) -> float:
+        finite = [p.relative_error for p in self.points if p.relative_error != float("inf")]
+        if not finite:
+            return float("inf")
+        return sum(finite) / len(finite)
+
+    def passes(self, *, min_coverage: float = 0.8, max_mean_relative_error: float = 0.5) -> bool:
+        """Return whether the curve meets the validation thresholds.
+
+        The defaults encode the paper's "almost all curves lie in the
+        confidence intervals" with a tolerance for the scaled configurations
+        used in CI.
+        """
+        return (
+            self.coverage >= min_coverage
+            or self.mean_relative_error <= max_mean_relative_error
+        )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Comparison of several metric curves for one experiment."""
+
+    experiment: str
+    curves: tuple[CurveComparison, ...]
+
+    def curve(self, metric: str) -> CurveComparison:
+        for curve in self.curves:
+            if curve.metric == metric:
+                return curve
+        raise KeyError(f"no comparison recorded for metric {metric!r}")
+
+    def overall_coverage(self) -> float:
+        """Return the coverage over all points of all curves."""
+        points = [point for curve in self.curves for point in curve.points]
+        inside = sum(1 for point in points if point.inside_interval)
+        return inside / len(points) if points else 1.0
+
+    def to_text(self) -> str:
+        """Render a compact, monospace-friendly summary table."""
+        lines = [f"validation report: {self.experiment}"]
+        header = f"{'metric':<32} {'coverage':>9} {'mean rel err':>13} {'max rel err':>12}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for curve in self.curves:
+            lines.append(
+                f"{curve.metric:<32} {curve.coverage:>8.0%} "
+                f"{curve.mean_relative_error:>13.3f} {curve.max_relative_error:>12.3f}"
+            )
+        lines.append(f"overall coverage: {self.overall_coverage():.0%}")
+        return "\n".join(lines)
+
+
+def compare_series(
+    metric: str,
+    x_values: Sequence[float],
+    analytical: Sequence[float],
+    simulation_means: Sequence[float],
+    confidence_half_widths: Sequence[float] | None = None,
+) -> CurveComparison:
+    """Build a :class:`CurveComparison` from aligned sequences.
+
+    ``confidence_half_widths`` defaults to zero (pure relative-error
+    comparison) when the simulation did not report intervals.
+    """
+    n = len(x_values)
+    if not (len(analytical) == len(simulation_means) == n):
+        raise ValueError("all series must have the same length")
+    if confidence_half_widths is None:
+        confidence_half_widths = [0.0] * n
+    if len(confidence_half_widths) != n:
+        raise ValueError("confidence_half_widths must match the series length")
+    points = tuple(
+        PointComparison(
+            x=float(x),
+            analytical=float(a),
+            simulation_mean=float(s),
+            confidence_half_width=float(h),
+        )
+        for x, a, s, h in zip(x_values, analytical, simulation_means, confidence_half_widths)
+    )
+    return CurveComparison(metric=metric, points=points)
+
+
+def compare_model_with_simulation(
+    experiment: str,
+    analytical_measures,
+    simulation_results,
+    metrics: Sequence[str],
+) -> ValidationReport:
+    """Compare one analytical solution against one simulation run.
+
+    Parameters
+    ----------
+    experiment:
+        Name used in the report header.
+    analytical_measures:
+        A :class:`~repro.core.measures.GprsPerformanceMeasures` instance (or
+        anything exposing the requested metrics as attributes).
+    simulation_results:
+        A :class:`~repro.simulator.results.SimulationResults` instance (or
+        anything exposing ``interval(metric)`` with ``mean`` / ``half_width``).
+    metrics:
+        Metric names present on both sides.
+    """
+    curves = []
+    for metric in metrics:
+        analytical_value = float(getattr(analytical_measures, metric))
+        interval = simulation_results.interval(metric)
+        curves.append(
+            CurveComparison(
+                metric=metric,
+                points=(
+                    PointComparison(
+                        x=0.0,
+                        analytical=analytical_value,
+                        simulation_mean=float(interval.mean),
+                        confidence_half_width=float(interval.half_width),
+                    ),
+                ),
+            )
+        )
+    return ValidationReport(experiment=experiment, curves=tuple(curves))

@@ -1,0 +1,179 @@
+"""Curve-shape checks: monotonicity, ordering, crossovers, thresholds.
+
+The reproduction brief for this library is explicit that absolute numbers need
+not match the paper's 2002 testbed, but the *shapes* must: who wins, by what
+factor, and where crossovers fall.  The helpers in this module express those
+shape claims as plain functions over numeric series so that benchmarks, tests
+and EXPERIMENTS.md all rely on the same definitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = [
+    "is_monotone",
+    "curves_are_ordered",
+    "crossover_points",
+    "find_threshold_crossing",
+    "relative_spread",
+    "fraction_within_tolerance",
+]
+
+
+def is_monotone(
+    values: Sequence[float], *, increasing: bool = True, tolerance: float = 0.0
+) -> bool:
+    """Return whether a series is monotone up to an absolute tolerance.
+
+    Parameters
+    ----------
+    values:
+        The series to check.
+    increasing:
+        Check for a non-decreasing (default) or non-increasing series.
+    tolerance:
+        Allowed violation per step (useful for noisy simulation output).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if len(values) < 2:
+        return True
+    for earlier, later in zip(values, values[1:]):
+        if increasing and later < earlier - tolerance:
+            return False
+        if not increasing and later > earlier + tolerance:
+            return False
+    return True
+
+
+def curves_are_ordered(
+    curves: Sequence[Sequence[float]], *, tolerance: float = 0.0
+) -> bool:
+    """Return whether ``curves[0] <= curves[1] <= ...`` point-wise.
+
+    Used for claims like "reserving more PDCHs lowers the loss probability at
+    every arrival rate" (Figure 8): pass the curves from the lowest expected
+    one upwards.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if len(curves) < 2:
+        return True
+    length = len(curves[0])
+    if any(len(curve) != length for curve in curves):
+        raise ValueError("all curves must have the same length")
+    for lower, upper in zip(curves, curves[1:]):
+        for a, b in zip(lower, upper):
+            if b < a - tolerance:
+                return False
+    return True
+
+
+def crossover_points(
+    x_values: Sequence[float], first: Sequence[float], second: Sequence[float]
+) -> list[float]:
+    """Return the x positions where two curves cross (linear interpolation).
+
+    A touching point (equality) is reported once; parallel identical segments
+    are not reported.
+    """
+    if not (len(x_values) == len(first) == len(second)):
+        raise ValueError("all series must have the same length")
+    crossings: list[float] = []
+    for i in range(len(x_values) - 1):
+        difference_left = first[i] - second[i]
+        difference_right = first[i + 1] - second[i + 1]
+        if difference_left == 0.0:
+            if not crossings or crossings[-1] != x_values[i]:
+                crossings.append(float(x_values[i]))
+            continue
+        if difference_left * difference_right < 0:
+            # Linear interpolation of the sign change.
+            fraction = abs(difference_left) / (abs(difference_left) + abs(difference_right))
+            crossings.append(
+                float(x_values[i] + fraction * (x_values[i + 1] - x_values[i]))
+            )
+    if len(x_values) >= 1 and first[-1] == second[-1]:
+        if not crossings or crossings[-1] != x_values[-1]:
+            crossings.append(float(x_values[-1]))
+    return crossings
+
+
+def find_threshold_crossing(
+    x_values: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    *,
+    from_above: bool = True,
+) -> float | None:
+    """Return the first x at which a curve crosses a threshold.
+
+    Parameters
+    ----------
+    from_above:
+        ``True`` finds the first point where the curve drops *below* the
+        threshold (e.g. "the arrival rate at which the per-user throughput
+        falls below 50% of its unloaded value"); ``False`` finds the first
+        point where it rises above it (e.g. "the load at which the blocking
+        probability exceeds 1%").
+
+    Returns ``None`` when the curve never crosses.  Linear interpolation is
+    used between grid points.
+    """
+    if len(x_values) != len(values):
+        raise ValueError("x_values and values must have the same length")
+    for i, value in enumerate(values):
+        crossed = value < threshold if from_above else value > threshold
+        if crossed:
+            if i == 0:
+                return float(x_values[0])
+            x0, x1 = x_values[i - 1], x_values[i]
+            y0, y1 = values[i - 1], values[i]
+            if y1 == y0:
+                return float(x1)
+            fraction = (threshold - y0) / (y1 - y0)
+            fraction = min(max(fraction, 0.0), 1.0)
+            return float(x0 + fraction * (x1 - x0))
+    return None
+
+
+def relative_spread(curves: Sequence[Sequence[float]]) -> float:
+    """Return the largest point-wise relative spread between several curves.
+
+    Used for claims like "the carried data traffic is nearly the same whether
+    1, 2 or 4 PDCHs are reserved" (Figure 7): the spread is
+    ``(max - min) / max`` evaluated at every x and the largest value is
+    returned (0 means the curves coincide).
+    """
+    if len(curves) < 2:
+        return 0.0
+    length = len(curves[0])
+    if any(len(curve) != length for curve in curves):
+        raise ValueError("all curves must have the same length")
+    worst = 0.0
+    for i in range(length):
+        column = [curve[i] for curve in curves]
+        largest = max(column)
+        smallest = min(column)
+        if largest > 0:
+            worst = max(worst, (largest - smallest) / largest)
+    return worst
+
+
+def fraction_within_tolerance(
+    first: Sequence[float], second: Sequence[float], *, relative_tolerance: float
+) -> float:
+    """Return the fraction of points where two curves agree within a relative tolerance."""
+    if len(first) != len(second):
+        raise ValueError("both curves must have the same length")
+    if relative_tolerance < 0:
+        raise ValueError("relative_tolerance must be non-negative")
+    if not first:
+        return 1.0
+    within = 0
+    for a, b in zip(first, second):
+        scale = max(abs(a), abs(b))
+        if scale == 0.0 or abs(a - b) <= relative_tolerance * scale:
+            within += 1
+    return within / len(first)

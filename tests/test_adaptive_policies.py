@@ -1,0 +1,177 @@
+"""Tests of the allocation policies and the adaptive controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.controller import AdaptiveAllocationController, evaluate_policy
+from repro.adaptive.policies import (
+    ModelDrivenPolicy,
+    StaticAllocationPolicy,
+    UtilizationThresholdPolicy,
+)
+from repro.adaptive.supervision import LoadObservation, LoadSupervisor
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.dimensioning import QosProfile
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def observation(rate: float = 0.3, utilization: float = 0.5) -> LoadObservation:
+    return LoadObservation(time_s=0.0, call_arrival_rate=rate,
+                           pdch_utilization=utilization, samples=10)
+
+
+def small_parameters(**overrides) -> GprsModelParameters:
+    values = dict(buffer_size=10, max_gprs_sessions=5)
+    values.update(overrides)
+    return GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, 0.2, **values)
+
+
+class TestStaticPolicy:
+    def test_always_returns_the_same_reservation(self):
+        policy = StaticAllocationPolicy(3)
+        assert policy.decide(observation(0.1, 0.0), current_reserved=1) == 3
+        assert policy.decide(observation(2.0, 1.0), current_reserved=7) == 3
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            StaticAllocationPolicy(-1)
+
+
+class TestThresholdPolicy:
+    def test_upgrades_on_high_utilization(self):
+        policy = UtilizationThresholdPolicy(upgrade_threshold=0.8, release_threshold=0.3)
+        assert policy.decide(observation(utilization=0.95), current_reserved=2) == 3
+
+    def test_releases_on_low_utilization(self):
+        policy = UtilizationThresholdPolicy(upgrade_threshold=0.8, release_threshold=0.3)
+        assert policy.decide(observation(utilization=0.1), current_reserved=2) == 1
+
+    def test_hysteresis_band_keeps_the_reservation(self):
+        policy = UtilizationThresholdPolicy(upgrade_threshold=0.8, release_threshold=0.3)
+        assert policy.decide(observation(utilization=0.5), current_reserved=2) == 2
+
+    def test_bounds_are_respected(self):
+        policy = UtilizationThresholdPolicy(minimum_reserved=1, maximum_reserved=4)
+        assert policy.decide(observation(utilization=0.99), current_reserved=4) == 4
+        assert policy.decide(observation(utilization=0.0), current_reserved=1) == 1
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationThresholdPolicy(upgrade_threshold=0.0)
+        with pytest.raises(ValueError):
+            UtilizationThresholdPolicy(upgrade_threshold=0.5, release_threshold=0.6)
+        with pytest.raises(ValueError):
+            UtilizationThresholdPolicy(minimum_reserved=5, maximum_reserved=2)
+
+
+class TestModelDrivenPolicy:
+    def test_higher_load_needs_at_least_as_many_pdchs(self):
+        policy = ModelDrivenPolicy(
+            small_parameters(),
+            QosProfile(max_throughput_degradation=0.5),
+            candidate_reservations=(0, 1, 2, 4),
+        )
+        low = policy.decide(observation(rate=0.05), current_reserved=1)
+        high = policy.decide(observation(rate=0.9), current_reserved=1)
+        assert high >= low
+
+    def test_decisions_are_cached_per_rate(self):
+        policy = ModelDrivenPolicy(
+            small_parameters(), QosProfile(), candidate_reservations=(0, 1, 2)
+        )
+        first = policy.decide(observation(rate=0.3), current_reserved=1)
+        second = policy.decide(observation(rate=0.3), current_reserved=2)
+        assert first == second
+
+    def test_invalid_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            ModelDrivenPolicy(small_parameters(), QosProfile(), candidate_reservations=())
+        with pytest.raises(ValueError):
+            ModelDrivenPolicy(
+                small_parameters(), QosProfile(), candidate_reservations=(25,)
+            )
+
+
+class TestController:
+    def test_decisions_respect_the_decision_interval(self):
+        controller = AdaptiveAllocationController(
+            LoadSupervisor(window_s=300.0, minimum_samples=1),
+            StaticAllocationPolicy(2),
+            initial_reserved=1,
+            decision_interval_s=100.0,
+        )
+        first = controller.on_call_arrival(10.0)
+        assert first is not None and first.reserved_pdch == 2
+        # Too soon for another decision.
+        assert controller.on_call_arrival(20.0) is None
+        assert controller.on_call_arrival(150.0) is not None
+
+    def test_reallocation_count_tracks_changes(self):
+        controller = AdaptiveAllocationController(
+            LoadSupervisor(window_s=100.0, minimum_samples=1),
+            UtilizationThresholdPolicy(upgrade_threshold=0.8, release_threshold=0.2),
+            initial_reserved=2,
+            decision_interval_s=1.0,
+        )
+        controller.on_utilization_sample(0.0, 0.9)   # upgrade -> 3
+        controller.on_utilization_sample(10.0, 0.9)  # upgrade -> 4
+        controller.on_utilization_sample(20.0, 0.5)  # hold
+        assert controller.current_reserved_pdch == 4
+        assert controller.reallocation_count == 2
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveAllocationController(
+                LoadSupervisor(), StaticAllocationPolicy(1), initial_reserved=-1
+            )
+        with pytest.raises(ValueError):
+            AdaptiveAllocationController(
+                LoadSupervisor(), StaticAllocationPolicy(1), decision_interval_s=0.0
+            )
+
+
+class TestPolicyEvaluation:
+    def test_static_policies_never_reallocate(self):
+        evaluation = evaluate_policy(
+            small_parameters(), StaticAllocationPolicy(2), [0.1, 0.4, 0.8]
+        )
+        assert evaluation.reallocations == 0
+        assert all(epoch.reserved_pdch == 2 for epoch in evaluation.epochs)
+        assert len(evaluation.epochs) == 3
+
+    def test_model_driven_policy_beats_the_minimal_static_reservation(self):
+        """Adapting the reservation yields at least the throughput of always-one-PDCH."""
+        parameters = small_parameters()
+        trajectory = [0.05, 0.2, 0.5, 0.9]
+        static = evaluate_policy(parameters, StaticAllocationPolicy(1), trajectory)
+        adaptive = evaluate_policy(
+            parameters,
+            ModelDrivenPolicy(
+                parameters,
+                QosProfile(max_throughput_degradation=0.5),
+                candidate_reservations=(1, 2, 4),
+            ),
+            trajectory,
+        )
+        assert adaptive.mean_throughput_per_user_kbit_s() >= (
+            static.mean_throughput_per_user_kbit_s() - 1e-9
+        )
+        assert adaptive.mean_reserved_pdch() >= 1.0
+
+    def test_threshold_policy_reacts_to_model_predicted_utilization(self):
+        parameters = small_parameters()
+        evaluation = evaluate_policy(
+            parameters,
+            UtilizationThresholdPolicy(upgrade_threshold=0.6, release_threshold=0.1,
+                                       minimum_reserved=1, maximum_reserved=4),
+            [0.05, 0.6, 0.9, 0.9],
+            initial_reserved=1,
+        )
+        assert len(evaluation.epochs) == 4
+        assert evaluation.worst_packet_loss() <= 1.0
+        assert evaluation.worst_voice_blocking() <= 1.0
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_policy(small_parameters(), StaticAllocationPolicy(1), [])

@@ -1,0 +1,83 @@
+"""Tests of the load supervision procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.supervision import LoadSupervisor
+
+
+class TestValidation:
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            LoadSupervisor(window_s=0.0)
+        with pytest.raises(ValueError):
+            LoadSupervisor(minimum_samples=0)
+        with pytest.raises(ValueError):
+            LoadSupervisor(fallback_rate=-0.1)
+
+    def test_invalid_observations_rejected(self):
+        supervisor = LoadSupervisor()
+        with pytest.raises(ValueError):
+            supervisor.record_call_arrival(-1.0)
+        with pytest.raises(ValueError):
+            supervisor.record_pdch_utilization(0.0, 1.5)
+        with pytest.raises(ValueError):
+            supervisor.estimate(-1.0)
+
+    def test_out_of_order_observations_rejected(self):
+        supervisor = LoadSupervisor()
+        supervisor.record_call_arrival(100.0)
+        with pytest.raises(ValueError):
+            supervisor.record_call_arrival(50.0)
+
+
+class TestRateEstimation:
+    def test_constant_rate_is_recovered(self):
+        supervisor = LoadSupervisor(window_s=100.0, minimum_samples=5)
+        # One arrival every 2 s -> 0.5 calls/s.
+        for i in range(1, 201):
+            supervisor.record_call_arrival(i * 2.0)
+        estimate = supervisor.estimate(400.0)
+        assert estimate.call_arrival_rate == pytest.approx(0.5, rel=0.1)
+        # Only the last window counts (the arrival exactly on the window edge stays in).
+        assert estimate.samples in (50, 51)
+
+    def test_old_arrivals_are_evicted(self):
+        supervisor = LoadSupervisor(window_s=10.0, minimum_samples=1)
+        for t in (0.0, 1.0, 2.0):
+            supervisor.record_call_arrival(t)
+        late = supervisor.estimate(100.0)
+        assert late.samples == 0
+
+    def test_fallback_rate_before_enough_samples(self):
+        supervisor = LoadSupervisor(window_s=100.0, minimum_samples=10, fallback_rate=0.7)
+        supervisor.record_call_arrival(1.0)
+        assert supervisor.estimate(2.0).call_arrival_rate == pytest.approx(0.7)
+
+    def test_short_observation_period_uses_the_elapsed_time(self):
+        supervisor = LoadSupervisor(window_s=1000.0, minimum_samples=2)
+        supervisor.record_call_arrival(1.0)
+        supervisor.record_call_arrival(2.0)
+        supervisor.record_call_arrival(3.0)
+        supervisor.record_call_arrival(4.0)
+        estimate = supervisor.estimate(4.0)
+        assert estimate.call_arrival_rate == pytest.approx(1.0, rel=0.1)
+
+
+class TestUtilizationEstimation:
+    def test_mean_of_window_samples(self):
+        supervisor = LoadSupervisor(window_s=60.0)
+        supervisor.record_pdch_utilization(0.0, 0.2)
+        supervisor.record_pdch_utilization(10.0, 0.4)
+        supervisor.record_pdch_utilization(20.0, 0.9)
+        assert supervisor.estimate(30.0).pdch_utilization == pytest.approx(0.5)
+
+    def test_no_samples_gives_zero(self):
+        assert LoadSupervisor().estimate(10.0).pdch_utilization == 0.0
+
+    def test_old_samples_are_forgotten(self):
+        supervisor = LoadSupervisor(window_s=30.0)
+        supervisor.record_pdch_utilization(0.0, 1.0)
+        supervisor.record_pdch_utilization(100.0, 0.2)
+        assert supervisor.estimate(100.0).pdch_utilization == pytest.approx(0.2)

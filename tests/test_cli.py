@@ -1,0 +1,67 @@
+"""Tests of the gprs-repro command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_command_arguments(self):
+        args = build_parser().parse_args(["run", "figure12", "--preset", "smoke"])
+        assert args.command == "run"
+        assert args.experiment == "figure12"
+        assert args.preset == "smoke"
+
+    def test_solve_command_requires_arrival_rate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve"])
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table2" in output
+        assert "figure15" in output
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "physical channels" in output
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_figure_with_smoke_preset(self, capsys):
+        assert main(["run", "figure14", "--preset", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "voice_blocking_probability" in output
+
+    def test_solve_small_configuration(self, capsys):
+        exit_code = main([
+            "solve", "--arrival-rate", "0.4", "--buffer-size", "5",
+            "--max-sessions", "3", "--reserved-pdch", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "carried_data_traffic" in output
+        assert "packet_loss_probability" in output
+
+    def test_simulate_small_configuration(self, capsys):
+        exit_code = main([
+            "simulate", "--arrival-rate", "0.4", "--buffer-size", "8",
+            "--max-sessions", "3", "--time", "300", "--warmup", "30",
+            "--cells", "3", "--batches", "2", "--no-tcp",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Simulation results" in output
+        assert "carried_data_traffic" in output

@@ -1,0 +1,129 @@
+"""Tests of the sparse generator assembly and its graph properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.core.generator import assemble_generator, build_generator, transition_rate_summary
+from repro.core.parameters import GprsModelParameters
+from repro.core.transitions import TransitionBatch, enumerate_transitions
+from repro.core.state_space import GprsStateSpace
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+@pytest.fixture
+def params() -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, total_call_arrival_rate=0.4, buffer_size=4, max_gprs_sessions=3
+    )
+
+
+@pytest.fixture
+def generator_and_space(params):
+    return build_generator(
+        params, gsm_handover_arrival_rate=0.05, gprs_handover_arrival_rate=0.01
+    )
+
+
+class TestGeneratorProperties:
+    def test_rows_sum_to_zero(self, generator_and_space):
+        q, _ = generator_and_space
+        rows = np.asarray(q.sum(axis=1)).ravel()
+        assert np.max(np.abs(rows)) < 1e-9
+
+    def test_off_diagonal_non_negative(self, generator_and_space):
+        q, _ = generator_and_space
+        off = q.copy()
+        off.setdiag(0.0)
+        assert off.nnz == 0 or off.data.min() >= 0
+
+    def test_diagonal_non_positive(self, generator_and_space):
+        q, _ = generator_and_space
+        assert np.all(q.diagonal() <= 0)
+
+    def test_dimension_matches_state_space(self, generator_and_space, params):
+        q, space = generator_and_space
+        assert q.shape == (space.size, space.size)
+        assert space.size == params.state_space_size
+
+    def test_chain_is_irreducible(self, generator_and_space):
+        """The transition graph must be strongly connected (single recurrent class)."""
+        q, _ = generator_and_space
+        adjacency = (q > 0).astype(np.int8)
+        components, _ = csgraph.connected_components(adjacency, directed=True,
+                                                     connection="strong")
+        assert components == 1
+
+    def test_generator_nonzero_count_is_moderate(self, generator_and_space):
+        """Each state has a bounded number of outgoing transitions (Table 1 has ~11 rows)."""
+        q, space = generator_and_space
+        assert q.nnz <= 13 * space.size
+
+
+class TestAssembly:
+    def test_duplicate_transitions_are_summed(self):
+        batch_a = TransitionBatch(
+            event="a", source=np.array([0]), target=np.array([1]), rate=np.array([2.0])
+        )
+        batch_b = TransitionBatch(
+            event="b", source=np.array([0]), target=np.array([1]), rate=np.array([3.0])
+        )
+        q = assemble_generator([batch_a, batch_b], number_of_states=2)
+        assert q[0, 1] == pytest.approx(5.0)
+        assert q[0, 0] == pytest.approx(-5.0)
+
+    def test_self_loop_rejected(self):
+        batch = TransitionBatch(
+            event="loop", source=np.array([1]), target=np.array([1]), rate=np.array([1.0])
+        )
+        with pytest.raises(ValueError, match="self-loop"):
+            assemble_generator([batch], number_of_states=2)
+
+    def test_empty_batches_give_zero_generator(self):
+        q = assemble_generator([], number_of_states=3)
+        assert q.shape == (3, 3)
+        assert q.nnz == 0
+
+    def test_mismatched_batch_arrays_rejected(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            TransitionBatch(
+                event="bad",
+                source=np.array([0, 1]),
+                target=np.array([1]),
+                rate=np.array([1.0]),
+            )
+
+
+class TestSummary:
+    def test_transition_rate_summary(self, params):
+        space = GprsStateSpace(params.gsm_channels, params.buffer_size,
+                               params.max_gprs_sessions)
+        batches = enumerate_transitions(
+            params, space, gsm_handover_arrival_rate=0.0, gprs_handover_arrival_rate=0.0
+        )
+        summary = transition_rate_summary(batches)
+        assert "gsm_arrival" in summary
+        assert summary["gsm_arrival"]["count"] > 0
+        assert summary["gsm_arrival"]["max_rate"] >= summary["gsm_arrival"]["min_rate"] > 0
+
+
+class TestHigherLoadGenerators:
+    @pytest.mark.parametrize("reserved", [0, 2, 4])
+    def test_reserved_pdch_variants_build_valid_generators(self, reserved):
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3,
+            total_call_arrival_rate=0.8,
+            buffer_size=3,
+            max_gprs_sessions=2,
+            reserved_pdch=reserved,
+        )
+        q, space = build_generator(
+            params, gsm_handover_arrival_rate=0.2, gprs_handover_arrival_rate=0.03
+        )
+        rows = np.asarray(q.sum(axis=1)).ravel()
+        assert np.max(np.abs(rows)) < 1e-9
+        assert sp.issparse(q)
+        assert space.gsm_channels == 20 - reserved

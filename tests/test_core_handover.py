@@ -1,0 +1,85 @@
+"""Tests of the handover-flow balancing iteration (Eqs. (4)-(5))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.handover import balance_handover_rates
+from repro.core.parameters import GprsModelParameters
+from repro.queueing.erlang import ErlangLossSystem
+from repro.traffic.presets import TRAFFIC_MODEL_1, TRAFFIC_MODEL_3
+
+
+class TestBalance:
+    def test_converges_for_base_setting(self):
+        params = GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, 0.5)
+        balance = balance_handover_rates(params)
+        assert balance.converged
+        assert balance.gsm_handover_arrival_rate > 0
+        assert balance.gprs_handover_arrival_rate > 0
+
+    def test_fixed_point_property_gsm(self):
+        """At the fixed point the incoming rate equals mu_h * E[N] of the loss system."""
+        params = GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, 0.7)
+        balance = balance_handover_rates(params, tol=1e-12)
+        system = ErlangLossSystem(
+            arrival_rate=params.gsm_arrival_rate + balance.gsm_handover_arrival_rate,
+            service_rate=params.gsm_completion_rate + params.gsm_handover_departure_rate,
+            servers=params.gsm_channels,
+        )
+        outgoing = params.gsm_handover_departure_rate * system.mean_number_in_system()
+        assert balance.gsm_handover_arrival_rate == pytest.approx(outgoing, rel=1e-8)
+
+    def test_fixed_point_property_gprs(self):
+        params = GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_1, 0.6)
+        balance = balance_handover_rates(params, tol=1e-12)
+        system = ErlangLossSystem(
+            arrival_rate=params.gprs_arrival_rate + balance.gprs_handover_arrival_rate,
+            service_rate=params.gprs_completion_rate + params.gprs_handover_departure_rate,
+            servers=params.max_gprs_sessions,
+        )
+        outgoing = params.gprs_handover_departure_rate * system.mean_number_in_system()
+        assert balance.gprs_handover_arrival_rate == pytest.approx(outgoing, rel=1e-8)
+
+    def test_zero_arrivals_give_zero_handover(self):
+        params = GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, 0.0)
+        balance = balance_handover_rates(params)
+        assert balance.gsm_handover_arrival_rate == 0.0
+        assert balance.gprs_handover_arrival_rate == 0.0
+        assert balance.converged
+
+    def test_pure_voice_traffic(self):
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3, 0.5, gprs_fraction=0.0
+        )
+        balance = balance_handover_rates(params)
+        assert balance.gprs_handover_arrival_rate == 0.0
+        assert balance.gsm_handover_arrival_rate > 0.0
+
+    def test_handover_rate_increases_with_load(self):
+        low = balance_handover_rates(
+            GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, 0.2)
+        )
+        high = balance_handover_rates(
+            GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, 0.8)
+        )
+        assert high.gsm_handover_arrival_rate > low.gsm_handover_arrival_rate
+        assert high.gprs_handover_arrival_rate > low.gprs_handover_arrival_rate
+
+    def test_handover_rate_bounded_by_population_limit(self):
+        """Outgoing handover flow cannot exceed mu_h times the number of servers."""
+        params = GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, 5.0)
+        balance = balance_handover_rates(params)
+        assert balance.gsm_handover_arrival_rate <= (
+            params.gsm_handover_departure_rate * params.gsm_channels + 1e-9
+        )
+        assert balance.gprs_handover_arrival_rate <= (
+            params.gprs_handover_departure_rate * params.max_gprs_sessions + 1e-9
+        )
+
+    def test_gprs_handover_rate_is_high_for_long_sessions(self):
+        """Traffic model 1 sessions last ~2100 s with a 120 s dwell time, so the
+        handover flow is several times the fresh session request rate."""
+        params = GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_1, 1.0)
+        balance = balance_handover_rates(params)
+        assert balance.gprs_handover_arrival_rate > 2 * params.gprs_arrival_rate

@@ -1,0 +1,226 @@
+"""End-to-end tests of the GprsMarkovModel facade and its performance measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.measures import (
+    buffer_occupancy_distribution,
+    gsm_call_distribution,
+    session_count_distribution,
+)
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.queueing.erlang import ErlangLossSystem
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+class TestSolvePipeline:
+    def test_solution_contains_all_parts(self, small_parameters):
+        solution = GprsMarkovModel(small_parameters).solve()
+        assert solution.parameters is small_parameters
+        assert solution.steady_state.distribution.shape[0] == (
+            small_parameters.state_space_size
+        )
+        assert solution.handover.converged
+
+    def test_stationary_distribution_is_valid(self, small_parameters):
+        model = GprsMarkovModel(small_parameters)
+        pi = model.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0)
+
+    def test_balance_residual_is_small(self, small_parameters):
+        model = GprsMarkovModel(small_parameters)
+        pi = model.stationary_distribution()
+        residual = np.max(np.abs(pi @ model.generator))
+        assert residual < 1e-6
+
+    def test_results_are_cached(self, small_parameters):
+        model = GprsMarkovModel(small_parameters)
+        first = model.solve()
+        second = model.solve()
+        assert first.steady_state is second.steady_state
+
+    def test_measures_shortcut(self, small_parameters):
+        measures = GprsMarkovModel(small_parameters).measures()
+        assert measures.total_call_arrival_rate == pytest.approx(
+            small_parameters.total_call_arrival_rate
+        )
+
+
+class TestSolverMethods:
+    @pytest.mark.parametrize("method", ["direct", "structured", "power"])
+    def test_solvers_agree_on_measures(self, small_parameters, method):
+        reference = GprsMarkovModel(small_parameters, solver_method="gth").measures()
+        other = GprsMarkovModel(small_parameters, solver_method=method).measures()
+        assert other.carried_data_traffic == pytest.approx(
+            reference.carried_data_traffic, rel=1e-4
+        )
+        assert other.packet_loss_probability == pytest.approx(
+            reference.packet_loss_probability, abs=1e-4
+        )
+        assert other.queueing_delay == pytest.approx(reference.queueing_delay, rel=1e-3)
+
+    def test_auto_uses_structured_for_large_chains(self, medium_parameters):
+        model = GprsMarkovModel(medium_parameters)
+        assert model.number_of_states > GprsMarkovModel._STRUCTURED_THRESHOLD
+        solution = model.solve()
+        assert solution.steady_state.method == "structured"
+
+
+class TestMeasureSanity:
+    def test_measures_are_in_valid_ranges(self, small_parameters):
+        measures = GprsMarkovModel(small_parameters).measures()
+        params = small_parameters
+        assert 0.0 <= measures.packet_loss_probability <= 1.0
+        assert 0.0 <= measures.voice_blocking_probability <= 1.0
+        assert 0.0 <= measures.gprs_blocking_probability <= 1.0
+        assert 0.0 <= measures.carried_data_traffic <= params.number_of_channels
+        assert 0.0 <= measures.carried_voice_traffic <= params.gsm_channels
+        assert 0.0 <= measures.average_gprs_sessions <= params.max_gprs_sessions
+        assert measures.queueing_delay >= 0.0
+        assert measures.mean_queue_length <= params.buffer_size
+
+    def test_throughput_identity(self, small_parameters):
+        measures = GprsMarkovModel(small_parameters).measures()
+        assert measures.packet_throughput == pytest.approx(
+            measures.carried_data_traffic * small_parameters.pdch_service_rate
+        )
+
+    def test_throughput_below_offered_rate(self, small_parameters):
+        measures = GprsMarkovModel(small_parameters).measures()
+        assert measures.packet_throughput <= measures.offered_packet_rate + 1e-9
+
+    def test_loss_probability_consistent_with_flow_balance(self, small_parameters):
+        measures = GprsMarkovModel(small_parameters).measures()
+        assert measures.packet_loss_probability == pytest.approx(
+            1.0 - measures.packet_throughput / measures.offered_packet_rate, abs=1e-9
+        )
+
+    def test_queueing_delay_littles_law(self, small_parameters):
+        measures = GprsMarkovModel(small_parameters).measures()
+        assert measures.queueing_delay == pytest.approx(
+            measures.mean_queue_length / measures.packet_throughput
+        )
+
+    def test_erlang_measures_match_closed_form(self, small_parameters):
+        solution = GprsMarkovModel(small_parameters).solve()
+        measures = solution.measures
+        gsm_system = ErlangLossSystem(
+            arrival_rate=small_parameters.gsm_arrival_rate
+            + solution.handover.gsm_handover_arrival_rate,
+            service_rate=small_parameters.gsm_completion_rate
+            + small_parameters.gsm_handover_departure_rate,
+            servers=small_parameters.gsm_channels,
+        )
+        assert measures.carried_voice_traffic == pytest.approx(gsm_system.carried_traffic())
+        assert measures.voice_blocking_probability == pytest.approx(
+            gsm_system.blocking_probability()
+        )
+
+    def test_as_dict_round_trips_all_fields(self, small_parameters):
+        measures = GprsMarkovModel(small_parameters).measures()
+        exported = measures.as_dict()
+        assert exported["carried_data_traffic"] == measures.carried_data_traffic
+        assert len(exported) >= 14
+
+
+class TestMarginalDistributions:
+    def test_marginals_sum_to_one(self, small_parameters):
+        model = GprsMarkovModel(small_parameters)
+        pi = model.stationary_distribution()
+        space = model.state_space
+        for marginal in (
+            buffer_occupancy_distribution(space, pi),
+            session_count_distribution(space, pi),
+            gsm_call_distribution(space, pi),
+        ):
+            assert marginal.sum() == pytest.approx(1.0)
+            assert np.all(marginal >= 0)
+
+    def test_gsm_marginal_matches_erlang_loss(self, small_parameters):
+        """The number of active GSM calls is an autonomous M/M/c/c queue."""
+        model = GprsMarkovModel(small_parameters)
+        solution = model.solve()
+        marginal = gsm_call_distribution(model.state_space,
+                                         solution.steady_state.distribution)
+        system = ErlangLossSystem(
+            arrival_rate=small_parameters.gsm_arrival_rate
+            + solution.handover.gsm_handover_arrival_rate,
+            service_rate=small_parameters.gsm_completion_rate
+            + small_parameters.gsm_handover_departure_rate,
+            servers=small_parameters.gsm_channels,
+        )
+        assert marginal == pytest.approx(system.state_distribution(), abs=1e-5)
+
+    def test_session_marginal_matches_erlang_loss(self, small_parameters):
+        """The number of active GPRS sessions is an autonomous M/M/c/c queue."""
+        model = GprsMarkovModel(small_parameters)
+        solution = model.solve()
+        marginal = session_count_distribution(model.state_space,
+                                              solution.steady_state.distribution)
+        system = ErlangLossSystem(
+            arrival_rate=small_parameters.gprs_arrival_rate
+            + solution.handover.gprs_handover_arrival_rate,
+            service_rate=small_parameters.gprs_completion_rate
+            + small_parameters.gprs_handover_departure_rate,
+            servers=small_parameters.max_gprs_sessions,
+        )
+        assert marginal == pytest.approx(system.state_distribution(), abs=1e-5)
+
+
+class TestQualitativeBehaviour:
+    """Qualitative properties the paper relies on, at small scale."""
+
+    def test_loss_increases_with_load(self):
+        def loss_at(rate: float) -> float:
+            params = GprsModelParameters.from_traffic_model(
+                TRAFFIC_MODEL_3, rate, buffer_size=4, max_gprs_sessions=3
+            )
+            return GprsMarkovModel(params).measures().packet_loss_probability
+
+        assert loss_at(1.0) > loss_at(0.1)
+
+    def test_reserving_pdchs_reduces_loss_and_delay(self):
+        def measures_with_reserved(pdch: int):
+            params = GprsModelParameters.from_traffic_model(
+                TRAFFIC_MODEL_3, 0.9, buffer_size=4, max_gprs_sessions=3,
+                reserved_pdch=pdch,
+            )
+            return GprsMarkovModel(params).measures()
+
+        one = measures_with_reserved(1)
+        four = measures_with_reserved(4)
+        assert four.packet_loss_probability <= one.packet_loss_probability + 1e-9
+        assert four.queueing_delay <= one.queueing_delay + 1e-9
+
+    def test_no_flow_control_increases_loss(self):
+        def loss_with_eta(eta: float) -> float:
+            params = GprsModelParameters.from_traffic_model(
+                TRAFFIC_MODEL_3, 0.9, buffer_size=5, max_gprs_sessions=3,
+                tcp_threshold=eta,
+            )
+            return GprsMarkovModel(params).measures().packet_loss_probability
+
+        assert loss_with_eta(1.0) > loss_with_eta(0.6)
+
+    def test_voice_blocking_grows_with_reserved_pdchs(self):
+        def blocking(pdch: int) -> float:
+            params = GprsModelParameters.from_traffic_model(
+                TRAFFIC_MODEL_3, 0.9, buffer_size=3, max_gprs_sessions=2,
+                reserved_pdch=pdch,
+            )
+            return GprsMarkovModel(params).measures().voice_blocking_probability
+
+        assert blocking(4) >= blocking(1)
+
+    def test_zero_gprs_traffic_has_no_data_activity(self):
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3, 0.5, buffer_size=3, max_gprs_sessions=2, gprs_fraction=0.0
+        )
+        measures = GprsMarkovModel(params).measures()
+        assert measures.carried_data_traffic == pytest.approx(0.0, abs=1e-9)
+        assert measures.average_gprs_sessions == pytest.approx(0.0)
+        assert measures.packet_loss_probability == pytest.approx(0.0)

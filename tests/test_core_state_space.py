@@ -1,0 +1,109 @@
+"""Tests of the (n, k, m, r) state-space enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state_space import GprsStateSpace
+
+
+class TestSize:
+    @pytest.mark.parametrize(
+        "gsm,buffer,sessions",
+        [(19, 100, 20), (19, 100, 50), (16, 100, 50), (5, 10, 4), (0, 0, 0)],
+    )
+    def test_size_formula(self, gsm, buffer, sessions):
+        space = GprsStateSpace(gsm, buffer, sessions)
+        expected = (sessions + 1) * (sessions + 2) // 2 * (gsm + 1) * (buffer + 1)
+        assert space.size == expected
+        assert len(space) == expected
+
+    def test_paper_state_count(self):
+        """Traffic model 3 base setting: 1/2 * 21 * 22 * 20 * 101 states."""
+        space = GprsStateSpace(gsm_channels=19, buffer_size=100, max_sessions=20)
+        assert space.size == 466_620
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            GprsStateSpace(-1, 5, 5)
+        with pytest.raises(ValueError):
+            GprsStateSpace(5, -1, 5)
+        with pytest.raises(ValueError):
+            GprsStateSpace(5, 5, -1)
+
+
+class TestEncodingDecoding:
+    @pytest.fixture
+    def space(self) -> GprsStateSpace:
+        return GprsStateSpace(gsm_channels=4, buffer_size=6, max_sessions=3)
+
+    def test_roundtrip_every_state(self, space):
+        indices = np.arange(space.size)
+        states = space.decode(indices)
+        recovered = space.index(
+            states.gsm_calls, states.buffered_packets, states.gprs_sessions,
+            states.sessions_off,
+        )
+        assert np.array_equal(recovered, indices)
+
+    def test_indices_are_unique_and_dense(self, space):
+        seen = set()
+        for index, n, k, m, r in space.iter_states():
+            assert 0 <= index < space.size
+            assert (n, k, m, r) not in seen
+            seen.add((n, k, m, r))
+            assert 0 <= r <= m
+        assert len(seen) == space.size
+
+    def test_scalar_index_returns_int(self, space):
+        index = space.index(1, 2, 3, 1)
+        assert isinstance(index, int)
+        assert space.state_tuple(index) == (1, 2, 3, 1)
+
+    def test_sessions_on_helper(self, space):
+        states = space.all_states()
+        assert np.array_equal(
+            states.sessions_on, states.gprs_sessions - states.sessions_off
+        )
+
+    def test_out_of_range_encoding_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.index(5, 0, 0, 0)
+        with pytest.raises(ValueError):
+            space.index(0, 7, 0, 0)
+        with pytest.raises(ValueError):
+            space.index(0, 0, 4, 0)
+        with pytest.raises(ValueError):
+            space.index(0, 0, 2, 3)  # r > m
+        with pytest.raises(ValueError):
+            space.index(-1, 0, 0, 0)
+
+    def test_out_of_range_decoding_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.decode(np.array([space.size]))
+        with pytest.raises(ValueError):
+            space.decode(np.array([-1]))
+
+    @given(
+        gsm=st.integers(min_value=0, max_value=10),
+        buffer=st.integers(min_value=0, max_value=12),
+        sessions=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_random_states(self, gsm, buffer, sessions, seed):
+        space = GprsStateSpace(gsm, buffer, sessions)
+        rng = np.random.default_rng(seed)
+        n = rng.integers(0, gsm + 1, size=20)
+        k = rng.integers(0, buffer + 1, size=20)
+        m = rng.integers(0, sessions + 1, size=20)
+        r = np.array([rng.integers(0, mi + 1) for mi in m])
+        indices = space.index(n, k, m, r)
+        decoded = space.decode(indices)
+        assert np.array_equal(decoded.gsm_calls, n)
+        assert np.array_equal(decoded.buffered_packets, k)
+        assert np.array_equal(decoded.gprs_sessions, m)
+        assert np.array_equal(decoded.sessions_off, r)

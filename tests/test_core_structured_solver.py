@@ -1,0 +1,147 @@
+"""Tests of the structure-exploiting steady-state solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import build_generator
+from repro.core.handover import balance_handover_rates
+from repro.core.parameters import GprsModelParameters
+from repro.core.state_space import GprsStateSpace
+from repro.core.structured_solver import build_phase_generator, solve_structured
+from repro.markov.solvers import solve_steady_state
+from repro.queueing.erlang import ErlangLossSystem
+from repro.traffic.presets import TRAFFIC_MODEL_1, TRAFFIC_MODEL_3
+
+
+def _setup(params):
+    balance = balance_handover_rates(params)
+    space = GprsStateSpace(params.gsm_channels, params.buffer_size, params.max_gprs_sessions)
+    generator, _ = build_generator(
+        params,
+        space,
+        gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+        gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+    )
+    return balance, space, generator
+
+
+class TestPhaseGenerator:
+    def test_phase_generator_rows_sum_to_zero(self, small_parameters):
+        balance, space, _ = _setup(small_parameters)
+        phase_generator = build_phase_generator(
+            small_parameters,
+            space,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        pair_count = (space.max_sessions + 1) * (space.max_sessions + 2) // 2
+        assert phase_generator.shape[0] == (space.gsm_channels + 1) * pair_count
+        rows = np.asarray(phase_generator.sum(axis=1)).ravel()
+        assert np.max(np.abs(rows)) < 1e-10
+
+    def test_phase_marginal_n_is_erlang_loss(self, small_parameters):
+        """Marginalising the phase chain over (m, r) gives the GSM Erlang-loss solution."""
+        balance, space, _ = _setup(small_parameters)
+        phase_generator = build_phase_generator(
+            small_parameters,
+            space,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        pi = solve_steady_state(phase_generator).distribution
+        pair_count = (space.max_sessions + 1) * (space.max_sessions + 2) // 2
+        marginal_n = pi.reshape(space.gsm_channels + 1, pair_count).sum(axis=1)
+        system = ErlangLossSystem(
+            arrival_rate=small_parameters.gsm_arrival_rate
+            + balance.gsm_handover_arrival_rate,
+            service_rate=small_parameters.gsm_completion_rate
+            + small_parameters.gsm_handover_departure_rate,
+            servers=small_parameters.gsm_channels,
+        )
+        assert marginal_n == pytest.approx(system.state_distribution(), abs=1e-9)
+
+
+class TestStructuredSolution:
+    def test_matches_generic_solver_small(self, small_parameters):
+        balance, space, generator = _setup(small_parameters)
+        structured = solve_structured(
+            small_parameters,
+            space,
+            generator,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        reference = solve_steady_state(generator, method="gth")
+        assert structured.distribution == pytest.approx(reference.distribution, abs=1e-6)
+        assert structured.method == "structured"
+
+    def test_matches_generic_solver_medium(self, medium_parameters):
+        balance, space, generator = _setup(medium_parameters)
+        structured = solve_structured(
+            medium_parameters,
+            space,
+            generator,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        reference = solve_steady_state(generator, method="direct")
+        assert structured.distribution == pytest.approx(reference.distribution, abs=1e-6)
+
+    def test_distribution_is_valid(self, light_traffic_parameters):
+        balance, space, generator = _setup(light_traffic_parameters)
+        result = solve_structured(
+            light_traffic_parameters,
+            space,
+            generator,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        assert result.distribution.sum() == pytest.approx(1.0)
+        assert np.all(result.distribution >= 0)
+        assert result.iterations > 0
+
+    def test_residual_is_small(self, medium_parameters):
+        balance, space, generator = _setup(medium_parameters)
+        result = solve_structured(
+            medium_parameters,
+            space,
+            generator,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        scale = np.max(np.abs(generator.diagonal()))
+        assert result.residual / scale < 1e-6
+
+    def test_works_without_flow_control(self):
+        """eta = 1 (no TCP throttling) exercises the uncapped arrival branch."""
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3, 0.8, buffer_size=5, max_gprs_sessions=3, tcp_threshold=1.0
+        )
+        balance, space, generator = _setup(params)
+        structured = solve_structured(
+            params,
+            space,
+            generator,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        reference = solve_steady_state(generator, method="direct")
+        assert structured.distribution == pytest.approx(reference.distribution, abs=1e-6)
+
+    def test_works_for_light_long_sessions(self):
+        """Traffic model 1 (very long sessions, tiny packet rate) is the stiffest case."""
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_1, 0.6, buffer_size=4, max_gprs_sessions=3
+        )
+        balance, space, generator = _setup(params)
+        structured = solve_structured(
+            params,
+            space,
+            generator,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        reference = solve_steady_state(generator, method="direct")
+        assert structured.distribution == pytest.approx(reference.distribution, abs=1e-6)

@@ -1,0 +1,210 @@
+"""Tests of the transition rules of Table 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import GprsModelParameters
+from repro.core.state_space import GprsStateSpace
+from repro.core.transitions import (
+    enumerate_transitions,
+    offered_packet_rate,
+    pdch_in_use,
+)
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+@pytest.fixture
+def params() -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3,
+        total_call_arrival_rate=0.5,
+        buffer_size=5,
+        max_gprs_sessions=3,
+    )
+
+
+@pytest.fixture
+def space(params) -> GprsStateSpace:
+    return GprsStateSpace(params.gsm_channels, params.buffer_size, params.max_gprs_sessions)
+
+
+@pytest.fixture
+def batches(params, space):
+    return enumerate_transitions(
+        params, space, gsm_handover_arrival_rate=0.1, gprs_handover_arrival_rate=0.02
+    )
+
+
+def batch_by_event(batches, event):
+    for batch in batches:
+        if batch.event == event:
+            return batch
+    raise AssertionError(f"no batch for event {event}")
+
+
+def transitions_as_dict(batches):
+    """Return {(source, target): total rate} over all batches."""
+    rates: dict[tuple[int, int], float] = {}
+    for batch in batches:
+        for source, target, rate in zip(batch.source, batch.target, batch.rate):
+            key = (int(source), int(target))
+            rates[key] = rates.get(key, 0.0) + float(rate)
+    return rates
+
+
+class TestChannelAndRateHelpers:
+    def test_pdch_in_use_is_min_of_free_channels_and_multislot(self, params):
+        assert pdch_in_use(params, gsm_calls=np.array([0]), buffered_packets=np.array([1])) == 8
+        assert pdch_in_use(params, np.array([0]), np.array([5])) == 20
+        assert pdch_in_use(params, np.array([19]), np.array([5])) == 1
+        assert pdch_in_use(params, np.array([10]), np.array([0])) == 0
+
+    def test_offered_rate_below_threshold_is_uncontrolled(self, params):
+        rate = offered_packet_rate(
+            params, np.array([0]), np.array([0]), np.array([3]), np.array([1])
+        )
+        assert rate[0] == pytest.approx(2 * params.packet_rate)
+
+    def test_offered_rate_above_threshold_is_capped(self, params):
+        # Buffer size 5, threshold 0.7 -> throttling above k = 3.
+        k = params.tcp_threshold_packets + 1
+        rate = offered_packet_rate(
+            params, np.array([19]), np.array([k]), np.array([3]), np.array([0])
+        )
+        capacity = min(params.number_of_channels - 19, 8 * k) * params.pdch_service_rate
+        assert rate[0] == pytest.approx(min(3 * params.packet_rate, capacity))
+
+
+class TestTransitionStructure:
+    def test_event_classes_present(self, batches):
+        events = {batch.event for batch in batches}
+        assert events == {
+            "gsm_arrival",
+            "gprs_arrival_on",
+            "gprs_arrival_off",
+            "gsm_departure",
+            "gprs_departure_off",
+            "gprs_departure_on",
+            "packet_arrival",
+            "packet_service",
+            "source_switches_off",
+            "source_switches_on",
+        }
+
+    def test_no_self_loops_and_positive_rates(self, batches):
+        for batch in batches:
+            assert np.all(batch.source != batch.target), batch.event
+            assert np.all(batch.rate > 0), batch.event
+
+    def test_gsm_arrival_count_and_rate(self, params, space, batches):
+        batch = batch_by_event(batches, "gsm_arrival")
+        states = space.all_states()
+        eligible = int(np.sum(states.gsm_calls < space.gsm_channels))
+        assert len(batch) == eligible
+        assert np.all(
+            batch.rate == pytest.approx(params.gsm_arrival_rate + 0.1)
+        )
+
+    def test_packet_arrival_blocked_at_full_buffer(self, space, batches):
+        batch = batch_by_event(batches, "packet_arrival")
+        sources = space.decode(batch.source)
+        assert np.all(sources.buffered_packets < space.buffer_size)
+        targets = space.decode(batch.target)
+        assert np.array_equal(targets.buffered_packets, sources.buffered_packets + 1)
+
+    def test_packet_service_needs_packets_and_channels(self, space, batches, params):
+        batch = batch_by_event(batches, "packet_service")
+        sources = space.decode(batch.source)
+        assert np.all(sources.buffered_packets > 0)
+        expected = (
+            pdch_in_use(params, sources.gsm_calls, sources.buffered_packets)
+            * params.pdch_service_rate
+        )
+        assert batch.rate == pytest.approx(expected)
+
+    def test_mmpp_switch_rates(self, space, batches, params):
+        less_bursty = batch_by_event(batches, "source_switches_off")
+        sources = space.decode(less_bursty.source)
+        expected = (sources.gprs_sessions - sources.sessions_off) * params.on_to_off_rate
+        assert less_bursty.rate == pytest.approx(expected)
+
+        more_bursty = batch_by_event(batches, "source_switches_on")
+        sources = space.decode(more_bursty.source)
+        assert more_bursty.rate == pytest.approx(sources.sessions_off * params.off_to_on_rate)
+
+    def test_gprs_departure_splits_by_phase(self, space, batches, params):
+        """Rates r*(mu+mu_h) towards (m-1, r-1) and (m-r)*(mu+mu_h) towards (m-1, r)."""
+        departure_rate = params.gprs_completion_rate + params.gprs_handover_departure_rate
+        off_batch = batch_by_event(batches, "gprs_departure_off")
+        sources = space.decode(off_batch.source)
+        assert off_batch.rate == pytest.approx(sources.sessions_off * departure_rate)
+        on_batch = batch_by_event(batches, "gprs_departure_on")
+        sources = space.decode(on_batch.source)
+        assert on_batch.rate == pytest.approx(
+            (sources.gprs_sessions - sources.sessions_off) * departure_rate
+        )
+
+    def test_total_gprs_departure_rate_matches_table1(self, params, space, batches):
+        """Summed over both phases the departure rate is m * (mu_GPRS + mu_h,GPRS)."""
+        departure_rate = params.gprs_completion_rate + params.gprs_handover_departure_rate
+        totals: dict[int, float] = {}
+        for event in ("gprs_departure_off", "gprs_departure_on"):
+            batch = batch_by_event(batches, event)
+            for source, rate in zip(batch.source, batch.rate):
+                totals[int(source)] = totals.get(int(source), 0.0) + float(rate)
+        states = space.all_states()
+        for source, total in totals.items():
+            m = states.gprs_sessions[source]
+            assert total == pytest.approx(m * departure_rate)
+
+    def test_gprs_arrival_phase_split(self, params, space, batches):
+        """New sessions start on with probability b/(a+b) and off otherwise."""
+        arrival_rate = params.gprs_arrival_rate + 0.02
+        on_batch = batch_by_event(batches, "gprs_arrival_on")
+        off_batch = batch_by_event(batches, "gprs_arrival_off")
+        p_on = params.probability_session_starts_on
+        assert np.all(on_batch.rate == pytest.approx(p_on * arrival_rate))
+        assert np.all(off_batch.rate == pytest.approx((1 - p_on) * arrival_rate))
+        # Targets: on keeps r, off increments r.
+        on_sources = space.decode(on_batch.source)
+        on_targets = space.decode(on_batch.target)
+        assert np.array_equal(on_targets.sessions_off, on_sources.sessions_off)
+        assert np.array_equal(on_targets.gprs_sessions, on_sources.gprs_sessions + 1)
+        off_sources = space.decode(off_batch.source)
+        off_targets = space.decode(off_batch.target)
+        assert np.array_equal(off_targets.sessions_off, off_sources.sessions_off + 1)
+
+    def test_transitions_conserve_user_counts(self, space, batches):
+        """Packet events never change (n, m, r); user events never change k."""
+        for event in ("packet_arrival", "packet_service"):
+            batch = batch_by_event(batches, event)
+            sources = space.decode(batch.source)
+            targets = space.decode(batch.target)
+            assert np.array_equal(sources.gsm_calls, targets.gsm_calls)
+            assert np.array_equal(sources.gprs_sessions, targets.gprs_sessions)
+            assert np.array_equal(sources.sessions_off, targets.sessions_off)
+        for event in ("gsm_arrival", "gsm_departure", "gprs_arrival_on",
+                      "gprs_departure_on", "source_switches_on"):
+            batch = batch_by_event(batches, event)
+            sources = space.decode(batch.source)
+            targets = space.decode(batch.target)
+            assert np.array_equal(sources.buffered_packets, targets.buffered_packets)
+
+
+class TestParameterMismatch:
+    def test_space_mismatch_rejected(self, params):
+        wrong_space = GprsStateSpace(10, params.buffer_size, params.max_gprs_sessions)
+        with pytest.raises(ValueError, match="GSM channels"):
+            enumerate_transitions(
+                params, wrong_space,
+                gsm_handover_arrival_rate=0.0, gprs_handover_arrival_rate=0.0,
+            )
+
+    def test_negative_handover_rates_rejected(self, params, space):
+        with pytest.raises(ValueError, match="non-negative"):
+            enumerate_transitions(
+                params, space,
+                gsm_handover_arrival_rate=-0.1, gprs_handover_arrival_rate=0.0,
+            )

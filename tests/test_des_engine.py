@@ -1,0 +1,140 @@
+"""Tests of the DES event calendar, clock and events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("late"))
+        engine.schedule(1.0, lambda: order.append("early"))
+        engine.schedule(2.0, lambda: order.append("middle"))
+        engine.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_run_in_insertion_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("first"))
+        engine.schedule(1.0, lambda: order.append("second"))
+        engine.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_times(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [2.5]
+        assert engine.now == 2.5
+
+    def test_schedule_at_absolute_time(self):
+        engine = SimulationEngine(start_time=10.0)
+        seen = []
+        engine.schedule_at(12.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [12.0]
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_callbacks_can_schedule_more_work(self):
+        engine = SimulationEngine()
+        times = []
+
+        def chain(count):
+            times.append(engine.now)
+            if count > 0:
+                engine.schedule(1.0, chain, count - 1)
+
+        engine.schedule(0.0, chain, 3)
+        engine.run()
+        assert times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_processed_and_pending_counters(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+        assert engine.processed_events == 2
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(5.0, lambda: seen.append(5))
+        engine.run(until=3.0)
+        assert seen == [1]
+        assert engine.now == 3.0
+        engine.run(until=10.0)
+        assert seen == [1, 5]
+
+    def test_run_until_advances_clock_when_idle(self):
+        engine = SimulationEngine()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        for _ in range(10):
+            engine.schedule(1.0, lambda: None)
+        engine.run(max_events=4)
+        assert engine.processed_events == 4
+
+    def test_peek_returns_next_event_time(self):
+        engine = SimulationEngine()
+        assert engine.peek() == float("inf")
+        engine.schedule(4.0, lambda: None)
+        assert engine.peek() == 4.0
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+
+class TestEvents:
+    def test_timeout_event_delivers_value(self):
+        engine = SimulationEngine()
+        received = []
+        event = engine.timeout(2.0, value="done")
+        event.add_callback(received.append)
+        engine.run()
+        assert received == ["done"]
+        assert event.triggered
+        assert event.value == "done"
+
+    def test_callback_added_after_trigger_still_fires(self):
+        engine = SimulationEngine()
+        event = engine.event()
+        event.succeed(41)
+        received = []
+        event.add_callback(received.append)
+        engine.run()
+        assert received == [41]
+
+    def test_event_cannot_trigger_twice(self):
+        engine = SimulationEngine()
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_multiple_callbacks_all_fire(self):
+        engine = SimulationEngine()
+        event = engine.event()
+        results = []
+        event.add_callback(lambda v: results.append(("a", v)))
+        event.add_callback(lambda v: results.append(("b", v)))
+        engine.schedule(1.0, event.succeed, 7)
+        engine.run()
+        assert results == [("a", 7), ("b", 7)]

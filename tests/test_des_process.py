@@ -1,0 +1,201 @@
+"""Tests of generator-based simulation processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.engine import SimulationEngine, SimulationError
+from repro.des.process import Process, ProcessInterrupt, Timeout, WaitEvent
+
+
+class TestBasicProcesses:
+    def test_timeouts_advance_the_clock(self):
+        engine = SimulationEngine()
+        trace = []
+
+        def worker():
+            trace.append(engine.now)
+            yield Timeout(2.0)
+            trace.append(engine.now)
+            yield Timeout(3.0)
+            trace.append(engine.now)
+
+        Process(engine, worker())
+        engine.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_timeout_value_is_delivered(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def worker():
+            value = yield Timeout(1.0, value="tick")
+            seen.append(value)
+
+        Process(engine, worker())
+        engine.run()
+        assert seen == ["tick"]
+
+    def test_return_value_becomes_result(self):
+        engine = SimulationEngine()
+
+        def worker():
+            yield Timeout(1.0)
+            return 42
+
+        process = Process(engine, worker())
+        engine.run()
+        assert process.finished
+        assert process.result == 42
+
+    def test_result_before_completion_raises(self):
+        engine = SimulationEngine()
+
+        def worker():
+            yield Timeout(1.0)
+
+        process = Process(engine, worker())
+        with pytest.raises(SimulationError):
+            _ = process.result
+
+    def test_requires_generator(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError, match="generator"):
+            Process(engine, lambda: None)
+
+    def test_unsupported_yield_raises(self):
+        engine = SimulationEngine()
+
+        def worker():
+            yield 42
+
+        Process(engine, worker())
+        with pytest.raises(SimulationError, match="unsupported"):
+            engine.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+
+class TestWaitingOnEvents:
+    def test_process_waits_for_event_value(self):
+        engine = SimulationEngine()
+        results = []
+
+        def waiter(event):
+            value = yield event
+            results.append((engine.now, value))
+
+        event = engine.event()
+        Process(engine, waiter(event))
+        engine.schedule(4.0, event.succeed, "ready")
+        engine.run()
+        assert results == [(4.0, "ready")]
+
+    def test_wait_event_wrapper(self):
+        engine = SimulationEngine()
+        results = []
+
+        def waiter(event):
+            value = yield WaitEvent(event)
+            results.append(value)
+
+        event = engine.event()
+        Process(engine, waiter(event))
+        engine.schedule(1.0, event.succeed, 5)
+        engine.run()
+        assert results == [5]
+
+    def test_process_waits_for_another_process(self):
+        engine = SimulationEngine()
+        order = []
+
+        def child():
+            yield Timeout(3.0)
+            order.append("child done")
+            return "payload"
+
+        def parent():
+            value = yield Process(engine, child(), name="child")
+            order.append(f"parent got {value}")
+
+        Process(engine, parent(), name="parent")
+        engine.run()
+        assert order == ["child done", "parent got payload"]
+
+    def test_many_concurrent_processes(self):
+        engine = SimulationEngine()
+        finish_times = []
+
+        def worker(delay):
+            yield Timeout(delay)
+            finish_times.append(engine.now)
+
+        for delay in (5.0, 1.0, 3.0):
+            Process(engine, worker(delay))
+        engine.run()
+        assert finish_times == [1.0, 3.0, 5.0]
+
+
+class TestInterrupts:
+    def test_interrupt_is_raised_inside_generator(self):
+        engine = SimulationEngine()
+        outcome = []
+
+        def worker():
+            try:
+                yield Timeout(10.0)
+                outcome.append("finished")
+            except ProcessInterrupt as interrupt:
+                outcome.append(f"interrupted by {interrupt.cause}")
+
+        process = Process(engine, worker())
+        engine.schedule(2.0, process.interrupt, "voice call")
+        engine.run()
+        assert outcome == ["interrupted by voice call"]
+        assert process.finished
+
+    def test_unhandled_interrupt_terminates_quietly(self):
+        engine = SimulationEngine()
+
+        def worker():
+            yield Timeout(10.0)
+
+        process = Process(engine, worker())
+        engine.schedule(1.0, process.interrupt)
+        engine.run()
+        assert process.finished
+        assert process.result is None
+
+    def test_interrupting_finished_process_is_noop(self):
+        engine = SimulationEngine()
+
+        def worker():
+            yield Timeout(1.0)
+            return "done"
+
+        process = Process(engine, worker())
+        engine.run()
+        process.interrupt("late")
+        engine.run()
+        assert process.result == "done"
+
+    def test_stale_wakeup_after_interrupt_is_ignored(self):
+        """The original timeout firing after an interrupt must not resume the process."""
+        engine = SimulationEngine()
+        resumed = []
+
+        def worker():
+            try:
+                yield Timeout(5.0)
+                resumed.append("timeout fired")
+            except ProcessInterrupt:
+                yield Timeout(10.0)
+                resumed.append("post-interrupt sleep done")
+
+        process = Process(engine, worker())
+        engine.schedule(1.0, process.interrupt)
+        engine.run()
+        assert resumed == ["post-interrupt sleep done"]
+        assert engine.now == pytest.approx(11.0)

@@ -1,0 +1,126 @@
+"""Tests of the seeded random-variate streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.random_variates import RandomVariateStream
+
+
+class TestReproducibility:
+    def test_same_seed_same_sequence(self):
+        first = RandomVariateStream(123)
+        second = RandomVariateStream(123)
+        assert [first.exponential(2.0) for _ in range(5)] == (
+            [second.exponential(2.0) for _ in range(5)]
+        )
+
+    def test_different_seeds_differ(self):
+        first = RandomVariateStream(1)
+        second = RandomVariateStream(2)
+        assert first.exponential(1.0) != second.exponential(1.0)
+
+    def test_spawned_streams_are_reproducible_and_distinct(self):
+        children_a = RandomVariateStream(99).spawn(3)
+        children_b = RandomVariateStream(99).spawn(3)
+        values_a = [child.uniform() for child in children_a]
+        values_b = [child.uniform() for child in children_b]
+        assert values_a == values_b
+        assert len(set(values_a)) == 3
+
+    def test_spawn_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            RandomVariateStream(1).spawn(0)
+
+    def test_spawn_from_generator_backed_stream(self):
+        stream = RandomVariateStream(np.random.default_rng(5))
+        children = stream.spawn(2)
+        assert len(children) == 2
+        assert children[0].uniform() != children[1].uniform()
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        stream = RandomVariateStream(7)
+        samples = [stream.exponential(4.0) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(4.0, rel=0.05)
+
+    def test_exponential_rate_form(self):
+        stream = RandomVariateStream(8)
+        samples = [stream.exponential_rate(0.5) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_exponential_zero_mean(self):
+        assert RandomVariateStream(1).exponential(0.0) == 0.0
+
+    def test_geometric_mean_and_support(self):
+        stream = RandomVariateStream(9)
+        samples = [stream.geometric(5.0) for _ in range(20000)]
+        assert min(samples) >= 1
+        assert np.mean(samples) == pytest.approx(5.0, rel=0.05)
+
+    def test_geometric_mean_one_is_deterministic(self):
+        stream = RandomVariateStream(10)
+        assert all(stream.geometric(1.0) == 1 for _ in range(10))
+
+    def test_uniform_bounds(self):
+        stream = RandomVariateStream(11)
+        samples = [stream.uniform(2.0, 3.0) for _ in range(1000)]
+        assert all(2.0 <= value < 3.0 for value in samples)
+
+    def test_integer_bounds_inclusive(self):
+        stream = RandomVariateStream(12)
+        samples = {stream.integer(1, 3) for _ in range(200)}
+        assert samples == {1, 2, 3}
+
+    def test_choice(self):
+        stream = RandomVariateStream(13)
+        options = ["a", "b", "c"]
+        assert all(stream.choice(options) in options for _ in range(50))
+
+    def test_bernoulli_probability(self):
+        stream = RandomVariateStream(14)
+        samples = [stream.bernoulli(0.3) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(0.3, abs=0.02)
+
+    def test_hyperexponential_mean(self):
+        stream = RandomVariateStream(15)
+        samples = [
+            stream.hyperexponential([1.0, 10.0], [0.5, 0.5]) for _ in range(20000)
+        ]
+        assert np.mean(samples) == pytest.approx(5.5, rel=0.07)
+
+    def test_erlang_mean_and_lower_variance(self):
+        stream = RandomVariateStream(16)
+        erlangs = [stream.erlang(4, 2.0) for _ in range(20000)]
+        exponentials = [stream.exponential(2.0) for _ in range(20000)]
+        assert np.mean(erlangs) == pytest.approx(2.0, rel=0.05)
+        assert np.var(erlangs) < np.var(exponentials)
+
+
+class TestValidation:
+    def test_invalid_arguments_rejected(self):
+        stream = RandomVariateStream(0)
+        with pytest.raises(ValueError):
+            stream.exponential(-1.0)
+        with pytest.raises(ValueError):
+            stream.exponential_rate(0.0)
+        with pytest.raises(ValueError):
+            stream.geometric(0.5)
+        with pytest.raises(ValueError):
+            stream.uniform(3.0, 2.0)
+        with pytest.raises(ValueError):
+            stream.integer(5, 4)
+        with pytest.raises(ValueError):
+            stream.choice([])
+        with pytest.raises(ValueError):
+            stream.bernoulli(1.5)
+        with pytest.raises(ValueError):
+            stream.hyperexponential([1.0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            stream.hyperexponential([1.0, 2.0], [0.6, 0.6])
+        with pytest.raises(ValueError):
+            stream.erlang(0, 1.0)
+        with pytest.raises(ValueError):
+            stream.erlang(2, 0.0)

@@ -1,0 +1,153 @@
+"""Tests of DES resources (channel pools) and finite buffers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.engine import SimulationEngine, SimulationError
+from repro.des.process import Process, Timeout
+from repro.des.resources import Buffer, BufferOverflow, Resource
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            Resource(engine, capacity=0)
+
+    def test_immediate_grant_when_free(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=2)
+        request = resource.request()
+        assert request.triggered
+        assert resource.in_use == 1
+        assert resource.available == 1
+
+    def test_try_acquire(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=1)
+        assert resource.try_acquire() is True
+        assert resource.try_acquire() is False
+        resource.release()
+        assert resource.try_acquire() is True
+
+    def test_fifo_queueing(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=1)
+        grants = []
+
+        def worker(name, hold):
+            yield resource.request()
+            grants.append((name, engine.now))
+            yield Timeout(hold)
+            resource.release()
+
+        Process(engine, worker("first", 2.0))
+        Process(engine, worker("second", 1.0))
+        Process(engine, worker("third", 1.0))
+        engine.run()
+        assert grants == [("first", 0.0), ("second", 2.0), ("third", 3.0)]
+
+    def test_release_without_acquire_raises(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_queue_length(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=1)
+        resource.request()
+        resource.request()
+        resource.request()
+        assert resource.queue_length == 2
+
+    def test_resize_grants_waiting_requests(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert first.triggered and not second.triggered
+        resource.resize(2)
+        assert second.triggered
+        assert resource.capacity == 2
+
+    def test_resize_below_usage_is_allowed(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=3)
+        for _ in range(3):
+            assert resource.try_acquire()
+        resource.resize(1)
+        assert resource.in_use == 3
+        assert resource.available == -2 or resource.available <= 0
+        assert not resource.try_acquire()
+
+
+class TestBuffer:
+    def test_capacity_validation(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            Buffer(engine, capacity=0)
+
+    def test_put_and_get_fifo_order(self):
+        engine = SimulationEngine()
+        buffer = Buffer(engine, capacity=5)
+        buffer.put("a")
+        buffer.put("b")
+        first = buffer.get()
+        second = buffer.get()
+        assert first.value == "a"
+        assert second.value == "b"
+
+    def test_overflow_counts_losses(self):
+        engine = SimulationEngine()
+        buffer = Buffer(engine, capacity=2)
+        assert buffer.put(1) and buffer.put(2)
+        assert buffer.put(3) is False
+        assert buffer.lost_items == 1
+        assert buffer.accepted_items == 2
+        assert buffer.is_full
+
+    def test_overflow_can_raise(self):
+        engine = SimulationEngine()
+        buffer = Buffer(engine, capacity=1)
+        buffer.put("x")
+        with pytest.raises(BufferOverflow):
+            buffer.put("y", raise_on_full=True)
+
+    def test_get_blocks_until_item_arrives(self):
+        engine = SimulationEngine()
+        buffer = Buffer(engine, capacity=3)
+        received = []
+
+        def consumer():
+            item = yield buffer.get()
+            received.append((engine.now, item))
+
+        def producer():
+            yield Timeout(4.0)
+            buffer.put("payload")
+
+        Process(engine, consumer())
+        Process(engine, producer())
+        engine.run()
+        assert received == [(4.0, "payload")]
+
+    def test_direct_handover_does_not_occupy_space(self):
+        engine = SimulationEngine()
+        buffer = Buffer(engine, capacity=1)
+        waiting = buffer.get()
+        assert not waiting.triggered
+        buffer.put("direct")
+        assert waiting.triggered
+        assert buffer.level == 0
+
+    def test_peek_and_clear(self):
+        engine = SimulationEngine()
+        buffer = Buffer(engine, capacity=3)
+        assert buffer.peek() is None
+        buffer.put(10)
+        buffer.put(20)
+        assert buffer.peek() == 10
+        assert buffer.clear() == 2
+        assert buffer.level == 0

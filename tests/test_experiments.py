@@ -1,0 +1,220 @@
+"""Tests of the experiment harness: scale presets, sweeps, tables and figures."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.figures import (
+    figure5,
+    figure6,
+    figure10,
+    figure11,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.reporting import (
+    figure_result_to_csv,
+    format_figure_result,
+    format_table,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.sweep import sweep_arrival_rates
+from repro.experiments.tables import table2, table3
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+SMOKE = ExperimentScale.smoke()
+
+
+class TestExperimentScale:
+    def test_presets_exist(self):
+        assert ExperimentScale.paper().buffer_size is None
+        assert ExperimentScale.default().buffer_size == 20
+        assert ExperimentScale.smoke().buffer_size == 8
+
+    def test_effective_values_respect_cap(self):
+        scale = ExperimentScale.default()
+        assert scale.effective_buffer_size(100) == 20
+        assert scale.effective_max_sessions(50) == 10
+        paper = ExperimentScale.paper()
+        assert paper.effective_buffer_size(100) == 100
+        assert paper.effective_max_sessions(50) == 50
+
+    def test_scaled_session_limit_is_proportional(self):
+        scale = ExperimentScale.default()
+        assert scale.scaled_session_limit(50, paper_reference=50) == 10
+        assert scale.scaled_session_limit(100, paper_reference=50) == 20
+        assert scale.scaled_session_limit(150, paper_reference=50) == 30
+        assert ExperimentScale.paper().scaled_session_limit(150, 50) == 150
+
+    def test_replace(self):
+        scale = ExperimentScale.default().replace(arrival_rates=(0.1,))
+        assert scale.arrival_rates == (0.1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale.default().replace(arrival_rates=())
+        with pytest.raises(ValueError):
+            ExperimentScale.default().replace(arrival_rates=(-0.1,))
+        with pytest.raises(ValueError):
+            ExperimentScale.default().replace(buffer_size=1)
+
+
+class TestSweep:
+    def test_sweep_produces_one_measure_per_rate(self):
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3, 0.1, buffer_size=5, max_gprs_sessions=3
+        )
+        sweep = sweep_arrival_rates(params, (0.2, 0.5, 0.8))
+        assert len(sweep) == 3
+        assert sweep.arrival_rates == (0.2, 0.5, 0.8)
+        series = sweep.series("carried_voice_traffic")
+        assert len(series) == 3
+        # Voice traffic grows with the call arrival rate.
+        assert series[0] < series[-1]
+
+    def test_sweep_as_table(self):
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3, 0.1, buffer_size=4, max_gprs_sessions=2
+        )
+        rows = sweep_arrival_rates(params, (0.3, 0.6)).as_table(
+            ["packet_loss_probability"]
+        )
+        assert len(rows) == 2
+        assert set(rows[0]) == {"total_call_arrival_rate", "packet_loss_probability"}
+
+    def test_empty_sweep_rejected(self):
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3, 0.1, buffer_size=4, max_gprs_sessions=2
+        )
+        with pytest.raises(ValueError):
+            sweep_arrival_rates(params, ())
+
+
+class TestTables:
+    def test_table2_matches_paper_values(self):
+        rows = table2()
+        assert rows["Number of physical channels, N"] == 20
+        assert rows["Number of fixed PDCHs, N_GPRS"] == 1
+        assert rows["BSC buffer size, K [data packets]"] == 100
+        assert rows["Transfer rate for one PDCH (CS-2) [kbit/s]"] == pytest.approx(13.4)
+        assert rows["Average GSM voice call duration, 1/mu_GSM [s]"] == 120
+        assert rows["Average GSM voice call dwell time, 1/mu_h,GSM [s]"] == 60
+        assert rows["Average GPRS session dwell time, 1/mu_h,GPRS [s]"] == 120
+        assert rows["Percentage of GSM users"] == 95
+        assert rows["Percentage of GPRS users"] == 5
+
+    def test_table3_matches_paper_values(self):
+        rows = table3()
+        model1 = rows["traffic model 1"]
+        model3 = rows["traffic model 3"]
+        assert model1["Maximum number of active GPRS sessions, M"] == 50
+        assert model1["Average GPRS session duration, 1/mu_GPRS [s]"] == pytest.approx(2122.5)
+        assert model3["Maximum number of active GPRS sessions, M"] == 20
+        assert model3["Average GPRS session duration, 1/mu_GPRS [s]"] == pytest.approx(312.5)
+        assert model3["Average reading time between packet calls, 1/b [s]"] == (
+            pytest.approx(3.125)
+        )
+
+
+class TestFigures:
+    def test_figure5_eta_ordering(self):
+        result = figure5(SMOKE, thresholds=(0.6, 1.0))
+        assert result.metrics == ("packet_loss_probability",)
+        throttled = result.get("Markov model, eta = 0.6")
+        uncontrolled = result.get("Markov model, eta = 1")
+        # Without flow control the loss probability is higher at every load.
+        for low, high in zip(throttled.metric("packet_loss_probability"),
+                             uncontrolled.metric("packet_loss_probability")):
+            assert high >= low - 1e-12
+
+    def test_figure6_has_model_and_optional_simulation_series(self):
+        without_sim = figure6(SMOKE, gprs_fractions=(0.05,))
+        assert len(without_sim.series) == 1
+        with_sim = figure6(SMOKE, gprs_fractions=(0.05,), include_simulation=True)
+        assert len(with_sim.series) == 2
+        simulation = with_sim.series[-1]
+        assert simulation.half_widths  # confidence intervals attached
+
+    def test_figure10_blocking_drops_with_larger_session_limit(self):
+        result = figure10(SMOKE, session_limits=(50, 150))
+        small_limit = result.series[0]
+        large_limit = result.series[1]
+        blocking_small = small_limit.metric("gprs_blocking_probability")
+        blocking_large = large_limit.metric("gprs_blocking_probability")
+        assert blocking_large[-1] <= blocking_small[-1] + 1e-12
+
+    def test_figure11_13_more_pdchs_help_throughput_under_load(self):
+        for figure in (figure11, figure13):
+            result = figure(SMOKE)
+            none_reserved = result.get("0 reserved PDCH")
+            four_reserved = result.get("4 reserved PDCH")
+            high_load_index = len(SMOKE.arrival_rates) - 1
+            assert (
+                four_reserved.metric("throughput_per_user_kbit_s")[high_load_index]
+                >= none_reserved.metric("throughput_per_user_kbit_s")[high_load_index]
+            )
+
+    def test_figure14_voice_blocking_increases_with_reserved_pdchs(self):
+        result = figure14(SMOKE, reserved=(0, 4))
+        no_reservation = result.get("0 reserved PDCH")
+        four_reserved = result.get("4 reserved PDCH")
+        assert (
+            four_reserved.metric("voice_blocking_probability")[-1]
+            >= no_reservation.metric("voice_blocking_probability")[-1]
+        )
+
+    def test_figure15_more_gprs_users_mean_more_sessions(self):
+        result = figure15(SMOKE, gprs_fractions=(0.02, 0.10))
+        few = result.get("2% GPRS users")
+        many = result.get("10% GPRS users")
+        assert (
+            many.metric("average_gprs_sessions")[-1]
+            > few.metric("average_gprs_sessions")[-1]
+        )
+
+    def test_figure_result_accessors(self):
+        result = figure14(SMOKE, reserved=(0, 1))
+        assert result.labels() == ("0 reserved PDCH", "1 reserved PDCH")
+        with pytest.raises(KeyError):
+            result.get("missing series")
+
+
+class TestReportingAndRunner:
+    def test_format_table_renders_all_rows(self):
+        text = format_table("Example", {"alpha": 1.5, "beta": "two"})
+        assert "Example" in text and "alpha" in text and "two" in text
+
+    def test_format_figure_result_mentions_labels_and_metric(self):
+        result = figure14(SMOKE, reserved=(0, 1))
+        text = format_figure_result(result)
+        assert "figure14" in text
+        assert "voice_blocking_probability" in text
+        assert "0 reserved PDCH" in text
+
+    def test_csv_export_is_parseable(self):
+        result = figure14(SMOKE, reserved=(0, 1))
+        content = figure_result_to_csv(result)
+        rows = list(csv.reader(io.StringIO(content)))
+        header, data = rows[0], rows[1:]
+        assert header[:4] == ["figure", "metric", "series", "arrival_rate"]
+        expected = len(result.metrics) * len(result.series) * len(SMOKE.arrival_rates)
+        assert len(data) == expected
+
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {"table2", "table3"} | {f"figure{i}" for i in range(5, 16)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_experiment_by_name(self):
+        report = run_experiment("table2")
+        assert "physical channels" in report
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("figure99")

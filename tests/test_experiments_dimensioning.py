@@ -1,0 +1,172 @@
+"""Tests of the QoS dimensioning API and the adaptive PDCH controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.dimensioning import (
+    AdaptivePdchController,
+    QosProfile,
+    evaluate_configuration,
+    maximum_supported_arrival_rate,
+    recommend_reserved_pdch,
+)
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def cell_parameters(**overrides) -> GprsModelParameters:
+    values = dict(
+        total_call_arrival_rate=0.3,
+        buffer_size=8,
+        max_gprs_sessions=4,
+        gprs_fraction=0.05,
+    )
+    values.update(overrides)
+    return GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, **values)
+
+
+class TestQosProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QosProfile(max_throughput_degradation=1.0)
+        with pytest.raises(ValueError):
+            QosProfile(max_voice_blocking=0.0)
+        with pytest.raises(ValueError):
+            QosProfile(max_packet_loss=1.5)
+        with pytest.raises(ValueError):
+            QosProfile(max_queueing_delay_s=0.0)
+
+    def test_defaults_follow_the_paper_example(self):
+        profile = QosProfile()
+        assert profile.max_throughput_degradation == pytest.approx(0.5)
+
+
+class TestEvaluateConfiguration:
+    def test_light_load_satisfies_default_profile(self):
+        assessment = evaluate_configuration(
+            cell_parameters(total_call_arrival_rate=0.05), QosProfile()
+        )
+        assert assessment.satisfied
+        assert assessment.violated_criteria == ()
+        assert assessment.throughput_degradation < 0.5
+
+    def test_heavy_load_without_reservation_violates_profile(self):
+        assessment = evaluate_configuration(
+            cell_parameters(total_call_arrival_rate=1.5, reserved_pdch=0),
+            QosProfile(max_throughput_degradation=0.3, max_voice_blocking=1.0),
+        )
+        assert not assessment.satisfied
+        assert "throughput degradation" in assessment.violated_criteria
+
+    def test_optional_criteria_are_enforced(self):
+        profile = QosProfile(
+            max_throughput_degradation=0.99,
+            max_voice_blocking=1.0,
+            max_packet_loss=1e-9,
+        )
+        assessment = evaluate_configuration(
+            cell_parameters(total_call_arrival_rate=1.0), profile
+        )
+        assert not assessment.satisfied
+        assert "packet loss" in assessment.violated_criteria
+
+    def test_precomputed_reference_is_respected(self):
+        params = cell_parameters()
+        assessment = evaluate_configuration(
+            params, QosProfile(), reference_throughput_kbit_s=100.0
+        )
+        # Against an absurdly high reference everything looks degraded.
+        assert assessment.throughput_degradation > 0.5
+
+
+class TestDimensioningQueries:
+    def test_maximum_supported_rate_decreases_with_fewer_pdchs(self):
+        profile = QosProfile(max_throughput_degradation=0.4, max_voice_blocking=1.0)
+        rates = (0.1, 0.3, 0.6, 0.9, 1.2)
+        with_reservation = maximum_supported_arrival_rate(
+            cell_parameters(reserved_pdch=4), profile, rates
+        )
+        without_reservation = maximum_supported_arrival_rate(
+            cell_parameters(reserved_pdch=0), profile, rates
+        )
+        assert with_reservation >= without_reservation
+
+    def test_empty_rate_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            maximum_supported_arrival_rate(cell_parameters(), QosProfile(), ())
+
+    def test_recommendation_is_minimal(self):
+        profile = QosProfile(max_throughput_degradation=0.6, max_voice_blocking=1.0)
+        recommended = recommend_reserved_pdch(
+            cell_parameters(), profile, target_arrival_rate=0.6,
+            candidate_reservations=(0, 1, 2, 4),
+        )
+        assert recommended is not None
+        if recommended > 0:
+            weaker = cell_parameters(
+                reserved_pdch=recommended - 1 if recommended - 1 in (0, 1, 2, 4) else 0,
+                total_call_arrival_rate=0.6,
+            )
+            assert not evaluate_configuration(weaker, profile).satisfied
+
+    def test_impossible_profile_returns_none(self):
+        impossible = QosProfile(
+            max_throughput_degradation=0.01, max_voice_blocking=1.0
+        )
+        assert recommend_reserved_pdch(
+            cell_parameters(), impossible, target_arrival_rate=2.5,
+            candidate_reservations=(0, 1, 2),
+        ) is None
+
+
+class TestAdaptiveController:
+    def test_reservation_grows_with_load(self):
+        profile = QosProfile(max_throughput_degradation=0.5, max_voice_blocking=1.0)
+        controller = AdaptivePdchController(
+            cell_parameters(), profile, candidate_reservations=(0, 1, 2, 4),
+        )
+        low = controller.observe(0.1)
+        high = controller.observe(1.2)
+        assert high.reserved_pdch >= low.reserved_pdch
+        assert controller.current_reserved_pdch == high.reserved_pdch
+        assert len(controller.history) == 2
+
+    def test_hysteresis_keeps_previous_decision(self):
+        profile = QosProfile(max_throughput_degradation=0.5, max_voice_blocking=1.0)
+        controller = AdaptivePdchController(
+            cell_parameters(), profile, hysteresis=0.2,
+            candidate_reservations=(0, 1, 2, 4),
+        )
+        first = controller.observe(0.5)
+        nudged = controller.observe(0.55)  # within 20% of the previous load
+        assert nudged.reserved_pdch == first.reserved_pdch
+
+    def test_run_processes_a_whole_trace(self):
+        profile = QosProfile(max_throughput_degradation=0.5, max_voice_blocking=1.0)
+        controller = AdaptivePdchController(
+            cell_parameters(), profile, candidate_reservations=(0, 1, 2, 4),
+        )
+        decisions = controller.run([0.1, 0.4, 0.9])
+        assert len(decisions) == 3
+        assert all(decision.reserved_pdch in (0, 1, 2, 4) for decision in decisions)
+
+    def test_unsatisfiable_load_reports_best_effort(self):
+        impossible = QosProfile(max_throughput_degradation=0.01, max_voice_blocking=1.0)
+        controller = AdaptivePdchController(
+            cell_parameters(), impossible, candidate_reservations=(0, 1, 2),
+        )
+        decision = controller.observe(2.0)
+        assert not decision.satisfied
+        assert decision.reserved_pdch == 2
+
+    def test_negative_load_rejected(self):
+        controller = AdaptivePdchController(
+            cell_parameters(), QosProfile(), candidate_reservations=(0, 1),
+        )
+        with pytest.raises(ValueError):
+            controller.observe(-0.1)
+
+    def test_invalid_hysteresis_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptivePdchController(cell_parameters(), QosProfile(), hysteresis=-0.1)

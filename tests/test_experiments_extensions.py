@@ -1,0 +1,94 @@
+"""Tests of the beyond-the-paper extension experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.extensions import (
+    adaptive_policy_comparison,
+    arq_impact,
+    guard_channel_tradeoff,
+    link_adaptation_gain,
+)
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+@pytest.fixture(scope="module")
+def base_parameters() -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3,
+        total_call_arrival_rate=0.6,
+        buffer_size=10,
+        max_gprs_sessions=5,
+        gprs_fraction=0.1,
+    )
+
+
+class TestArqImpact:
+    def test_throughput_decreases_with_bler(self, base_parameters):
+        result = arq_impact(base_parameters, (0.0, 0.2, 0.4))
+        throughputs = result.series("throughput_per_user_kbit_s")
+        assert throughputs[0] >= throughputs[1] >= throughputs[2]
+        assert result.parameter == "block_error_rate"
+
+
+class TestLinkAdaptationGain:
+    def test_adaptation_never_loses_to_fixed_cs2(self):
+        for point in link_adaptation_gain():
+            assert point.adapted_goodput_kbit_s >= point.fixed_cs2_goodput_kbit_s - 1e-9
+            assert point.gain >= -1e-9
+
+    def test_poor_links_prefer_robust_schemes_and_clean_links_fast_ones(self):
+        points = link_adaptation_gain((2.0, 30.0))
+        assert points[0].adapted_scheme == "CS-1"
+        assert points[-1].adapted_scheme == "CS-4"
+
+    def test_gain_is_largest_at_the_extremes(self):
+        points = {point.ci_db: point.gain for point in link_adaptation_gain((2.0, 11.0, 30.0))}
+        assert points[2.0] > points[11.0] - 1e-9
+        assert points[30.0] > points[11.0] - 1e-9
+
+
+class TestGuardChannelTradeoff:
+    def test_guard_channels_trade_blocking_for_dropping(self, base_parameters):
+        rows = guard_channel_tradeoff(base_parameters, (0, 1, 2, 4))
+        failures = [row.handover_failure for row in rows]
+        blockings = [row.new_call_blocking for row in rows]
+        assert failures == sorted(failures, reverse=True)
+        assert blockings == sorted(blockings)
+        assert all(row.carried_traffic_erlangs >= 0 for row in rows)
+
+    def test_oversized_guard_counts_are_skipped(self, base_parameters):
+        rows = guard_channel_tradeoff(base_parameters, (0, 500))
+        assert [row.guard_channels for row in rows] == [0]
+
+    def test_invalid_handover_fraction_rejected(self, base_parameters):
+        with pytest.raises(ValueError):
+            guard_channel_tradeoff(base_parameters, (0,), handover_fraction=1.0)
+
+
+class TestAdaptivePolicyComparison:
+    def test_adaptive_policy_tracks_the_best_static_one(self, base_parameters):
+        comparison = adaptive_policy_comparison(
+            base_parameters,
+            load_trajectory=(0.1, 0.5, 0.9),
+            static_reservations=(1, 4),
+        )
+        assert set(comparison.static_evaluations) == {1, 4}
+        assert comparison.adaptive_matches_best_static_throughput(tolerance=0.10)
+        # The adaptive policy reserves less than the largest static policy on
+        # average (it only reserves what the QoS profile needs).
+        assert comparison.adaptive_evaluation.mean_reserved_pdch() <= 4.0
+
+    def test_best_static_reservation_identified(self, base_parameters):
+        comparison = adaptive_policy_comparison(
+            base_parameters,
+            load_trajectory=(0.2, 0.8),
+            static_reservations=(1, 2),
+        )
+        best = comparison.best_static_reservation()
+        assert best in (1, 2)
+        best_throughput = comparison.static_evaluations[best].mean_throughput_per_user_kbit_s()
+        for evaluation in comparison.static_evaluations.values():
+            assert best_throughput >= evaluation.mean_throughput_per_user_kbit_s() - 1e-12

@@ -1,0 +1,102 @@
+"""Tests of the sensitivity analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.measures import GprsPerformanceMeasures
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.sensitivity import (
+    SensitivityResult,
+    sweep_block_error_rate,
+    sweep_buffer_size,
+    sweep_coding_scheme,
+    sweep_gprs_dwell_time,
+    sweep_tcp_threshold,
+)
+from repro.traffic.presets import TRAFFIC_MODEL_3
+from repro.validation.shapes import is_monotone
+
+
+@pytest.fixture(scope="module")
+def base_parameters() -> GprsModelParameters:
+    """A deliberately small configuration so every sweep solves quickly."""
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3,
+        total_call_arrival_rate=0.7,
+        buffer_size=12,
+        max_gprs_sessions=6,
+        gprs_fraction=0.1,
+    )
+
+
+class TestResultContainer:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SensitivityResult("x", (1.0, 2.0), ())
+        with pytest.raises(ValueError):
+            SensitivityResult("x", (), ())
+
+    def test_series_and_rows(self, base_parameters):
+        result = sweep_tcp_threshold(base_parameters, (0.5, 1.0))
+        series = result.series("packet_loss_probability")
+        assert len(series) == 2
+        rows = result.as_rows(["packet_loss_probability", "carried_data_traffic"])
+        assert rows[0]["tcp_threshold"] == 0.5
+        assert set(rows[0]) == {"tcp_threshold", "packet_loss_probability",
+                                "carried_data_traffic"}
+
+
+class TestTcpThresholdSweep:
+    def test_disabling_flow_control_maximises_loss(self, base_parameters):
+        result = sweep_tcp_threshold(base_parameters, (0.5, 0.7, 1.0))
+        losses = result.series("packet_loss_probability")
+        assert losses[-1] == max(losses)
+
+    def test_all_measures_are_valid(self, base_parameters):
+        result = sweep_tcp_threshold(base_parameters, (0.3, 1.0))
+        for measure in result.measures:
+            assert isinstance(measure, GprsPerformanceMeasures)
+            assert 0.0 <= measure.packet_loss_probability <= 1.0
+
+
+class TestBufferSizeSweep:
+    def test_larger_buffers_lose_less_and_delay_more(self, base_parameters):
+        result = sweep_buffer_size(base_parameters, (5, 10, 20))
+        assert is_monotone(result.series("packet_loss_probability"), increasing=False,
+                           tolerance=1e-9)
+        assert is_monotone(result.series("queueing_delay"), tolerance=1e-9)
+
+
+class TestDwellTimeSweep:
+    def test_runs_and_keeps_measures_sane(self, base_parameters):
+        result = sweep_gprs_dwell_time(base_parameters, (60.0, 120.0))
+        assert len(result.measures) == 2
+        for measure in result.measures:
+            assert measure.carried_data_traffic >= 0.0
+
+
+class TestCodingSchemeSweep:
+    def test_faster_coding_schemes_reduce_loss_on_a_clean_link(self, base_parameters):
+        result = sweep_coding_scheme(base_parameters, ("CS-1", "CS-2", "CS-4"))
+        losses = result.series("packet_loss_probability")
+        assert is_monotone(losses, increasing=False, tolerance=1e-9)
+        throughputs = result.series("throughput_per_user_kbit_s")
+        assert throughputs[-1] >= throughputs[0]
+
+
+class TestBlockErrorRateSweep:
+    def test_bler_degrades_throughput_and_raises_loss(self, base_parameters):
+        result = sweep_block_error_rate(base_parameters, (0.0, 0.2, 0.4))
+        assert is_monotone(result.series("throughput_per_user_kbit_s"), increasing=False,
+                           tolerance=1e-9)
+        assert is_monotone(result.series("packet_loss_probability"), tolerance=1e-9)
+
+    def test_zero_bler_matches_the_unmodified_model(self, base_parameters):
+        from repro.core.model import GprsMarkovModel
+
+        result = sweep_block_error_rate(base_parameters, (0.0,))
+        reference = GprsMarkovModel(base_parameters).measures()
+        assert result.measures[0].carried_data_traffic == pytest.approx(
+            reference.carried_data_traffic, rel=1e-9
+        )

@@ -1,0 +1,197 @@
+"""Cross-module integration tests.
+
+These tests exercise the whole stack at once: the analytical model against the
+discrete-event simulator, the analytical model against textbook queueing
+formulas in limiting regimes, and the figure harness against both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.queueing.mmck import MMcKQueue
+from repro.simulator.config import SimulationConfig, TcpConfig
+from repro.simulator.simulation import GprsNetworkSimulator
+from repro.traffic.presets import TRAFFIC_MODEL_3
+from repro.traffic.session import PacketSessionModel
+
+
+class TestModelAgainstSimulator:
+    """The validation experiment of Section 5.2 at reduced scale."""
+
+    @pytest.fixture(scope="class")
+    def configuration(self) -> GprsModelParameters:
+        return GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3,
+            total_call_arrival_rate=0.3,
+            buffer_size=15,
+            max_gprs_sessions=6,
+            reserved_pdch=1,
+        )
+
+    @pytest.fixture(scope="class")
+    def analytical(self, configuration):
+        return GprsMarkovModel(configuration).measures()
+
+    @pytest.fixture(scope="class")
+    def simulated(self, configuration):
+        config = SimulationConfig(
+            cell_parameters=configuration,
+            number_of_cells=7,
+            simulation_time_s=6000.0,
+            warmup_time_s=600.0,
+            batches=6,
+            seed=2002,
+        )
+        return GprsNetworkSimulator(config).run()
+
+    def test_carried_voice_traffic_agrees(self, analytical, simulated):
+        assert simulated.mean("carried_voice_traffic") == pytest.approx(
+            analytical.carried_voice_traffic, rel=0.15
+        )
+
+    def test_average_gprs_sessions_agree(self, analytical, simulated):
+        assert simulated.mean("average_gprs_sessions") == pytest.approx(
+            analytical.average_gprs_sessions, rel=0.3
+        )
+
+    def test_carried_data_traffic_agrees(self, analytical, simulated):
+        assert simulated.mean("carried_data_traffic") == pytest.approx(
+            analytical.carried_data_traffic, rel=0.4
+        )
+
+    def test_throughput_per_user_same_order(self, analytical, simulated):
+        simulated_value = simulated.mean("throughput_per_user")
+        assert simulated_value > 0
+        assert simulated_value == pytest.approx(analytical.throughput_per_user, rel=0.5)
+
+    def test_loss_probabilities_are_both_moderate(self, analytical, simulated):
+        """At this moderate load neither approach predicts a collapsing buffer.
+
+        The two loss metrics are not directly comparable: the Markov model
+        reports losses of the TCP-throttled offered stream, while the simulator
+        counts every enqueue attempt including TCP retransmissions of packets
+        that were already dropped (a single unlucky packet can be counted
+        several times).  The model value must stay moderate and the simulator
+        value must stay clearly away from total overload.
+        """
+        assert analytical.packet_loss_probability < 0.5
+        assert simulated.mean("packet_loss_probability") < 0.9
+
+
+class TestModelAgainstQueueingTheory:
+    def test_always_on_sources_behave_like_mmck(self):
+        """With reading time -> 0 the traffic is Poisson and the buffer is an M/M/c/K queue.
+
+        The comparison uses a configuration where GSM occupancy is negligible
+        (no voice traffic), so the number of PDCHs is effectively constant and
+        the M/M/c/K closed form applies with c limited by the multislot rule.
+        """
+        always_on = PacketSessionModel(
+            packet_calls_per_session=1000,
+            reading_time_s=1e-6,
+            packets_per_packet_call=1000,
+            packet_interarrival_s=1.0,
+            name="always on",
+        )
+        params = GprsModelParameters(
+            total_call_arrival_rate=0.001,
+            gprs_fraction=1.0,
+            traffic=always_on,
+            buffer_size=20,
+            max_gprs_sessions=2,
+            reserved_pdch=10,
+            number_of_channels=20,
+            tcp_threshold=1.0,
+        )
+        model = GprsMarkovModel(params)
+        solution = model.solve()
+        # Condition on exactly one active session (sessions are rarely more).
+        from repro.core.measures import session_count_distribution
+
+        session_marginal = session_count_distribution(
+            model.state_space, solution.steady_state.distribution
+        )
+        assert session_marginal[1] > 0.01
+        # The conditional buffer behaviour is close to M/M/c/K with c = 8
+        # (multislot limit of one station) and arrival rate 1 packet/s.
+        queue = MMcKQueue(
+            arrival_rate=1.0,
+            service_rate=params.pdch_service_rate,
+            servers=8,
+            capacity=20,
+        )
+        # With service far faster than arrivals both systems are almost empty.
+        assert solution.measures.mean_queue_length < 1.0
+        assert queue.mean_number_in_system() < 1.0
+        assert solution.measures.packet_loss_probability == pytest.approx(
+            queue.blocking_probability(), abs=1e-3
+        )
+
+    def test_light_load_has_negligible_loss_and_delay(self):
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3, 0.05, buffer_size=10, max_gprs_sessions=4
+        )
+        measures = GprsMarkovModel(params).measures()
+        assert measures.packet_loss_probability < 0.05
+        assert measures.queueing_delay < 2.0
+        assert measures.voice_blocking_probability < 0.01
+
+
+class TestSimulatorTcpEffect:
+    def test_tcp_flow_control_throttles_a_congested_bottleneck(self):
+        """TCP flow control reduces the pressure on the BSC buffer (Figure 5's premise).
+
+        Without flow control every generated packet is pushed into the buffer
+        immediately, so at overload packets are discarded at nearly the full
+        excess of the generation rate over the service rate.  With TCP the
+        congestion windows collapse after losses and the exponential
+        retransmission backoff paces the sources, so the *rate* of packets
+        dropped at the bottleneck (drops per simulated second) and the loss
+        probability both fall sharply, while the served rate stays the same
+        (the radio link remains the bottleneck either way).
+        """
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3,
+            total_call_arrival_rate=0.8,
+            buffer_size=10,
+            max_gprs_sessions=8,
+            gprs_fraction=0.2,
+        )
+
+        def run(tcp_enabled: bool):
+            config = SimulationConfig(
+                cell_parameters=params,
+                number_of_cells=3,
+                simulation_time_s=3000.0,
+                warmup_time_s=300.0,
+                batches=3,
+                seed=99,
+                tcp=TcpConfig(enabled=tcp_enabled),
+            )
+            return GprsNetworkSimulator(config).run()
+
+        def loss_rate_per_second(results) -> float:
+            observations = results.mid_cell.observations
+            lost = sum(o.packets_lost for o in observations)
+            duration = sum(o.duration_s for o in observations)
+            return lost / duration
+
+        without_tcp = run(False)
+        with_tcp = run(True)
+        # Both runs actually exercised the buffer and observed some loss.
+        assert without_tcp.mean("packet_loss_probability") > 0.0
+        assert with_tcp.mean("packet_loss_probability") > 0.0
+        # The uncontrolled sources discard packets at several times the rate of
+        # the TCP-controlled ones, and their loss probability is clearly higher.
+        assert loss_rate_per_second(without_tcp) > 2.0 * loss_rate_per_second(with_tcp)
+        assert (
+            without_tcp.mean("packet_loss_probability")
+            > with_tcp.mean("packet_loss_probability")
+        )
+        # The delivered throughput is unchanged: the radio link is the bottleneck.
+        served_without = sum(o.packets_served for o in without_tcp.mid_cell.observations)
+        served_with = sum(o.packets_served for o in with_tcp.mid_cell.observations)
+        assert served_without == pytest.approx(served_with, rel=0.2)

@@ -1,0 +1,121 @@
+"""Tests of first-passage / absorption analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.absorption import (
+    AbsorbingCtmcAnalysis,
+    absorption_probabilities,
+    expected_time_to_absorption,
+    first_passage_time_moments,
+)
+
+
+def busy_mobile_generator(completion_rate: float, handover_rate: float) -> np.ndarray:
+    """Three-state chain: 0 = busy in cell, 1 = call completed, 2 = handed over.
+
+    This is the paper's mobility question in miniature: a busy mobile leaves
+    the cell either because its call completes or because it hands over.
+    """
+    total = completion_rate + handover_rate
+    return np.array(
+        [
+            [-total, completion_rate, handover_rate],
+            [0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0],
+        ]
+    )
+
+
+class TestExpectedAbsorptionTime:
+    def test_exponential_race(self):
+        """Busy mobile: time to leave is exponential with the combined rate."""
+        generator = busy_mobile_generator(1.0 / 120.0, 1.0 / 60.0)
+        times = expected_time_to_absorption(generator, transient=[0], absorbing=[1, 2])
+        assert times[0] == pytest.approx(1.0 / (1.0 / 120.0 + 1.0 / 60.0), rel=1e-9)
+
+    def test_tandem_stages_add_up(self):
+        """Two exponential stages in series absorb after the sum of their means."""
+        generator = np.array(
+            [
+                [-2.0, 2.0, 0.0],
+                [0.0, -5.0, 5.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        times = expected_time_to_absorption(generator, transient=[0, 1], absorbing=[2])
+        assert times[1] == pytest.approx(0.2, rel=1e-9)
+        assert times[0] == pytest.approx(0.5 + 0.2, rel=1e-9)
+
+    def test_partition_validation(self):
+        generator = busy_mobile_generator(0.1, 0.1)
+        with pytest.raises(ValueError):
+            expected_time_to_absorption(generator, transient=[0, 1], absorbing=[1, 2])
+        with pytest.raises(ValueError):
+            expected_time_to_absorption(generator, transient=[], absorbing=[1])
+        with pytest.raises(ValueError):
+            expected_time_to_absorption(generator, transient=[0], absorbing=[])
+
+
+class TestAbsorptionProbabilities:
+    def test_competing_risks_split(self):
+        """P(handover before completion) = handover rate / total rate."""
+        completion, handover = 1.0 / 120.0, 1.0 / 60.0
+        generator = busy_mobile_generator(completion, handover)
+        matrix = absorption_probabilities(generator, transient=[0], absorbing=[1, 2])
+        assert matrix[0, 0] == pytest.approx(completion / (completion + handover), rel=1e-9)
+        assert matrix[0, 1] == pytest.approx(handover / (completion + handover), rel=1e-9)
+
+    def test_rows_sum_to_one(self):
+        generator = np.array(
+            [
+                [-3.0, 1.0, 1.0, 1.0],
+                [0.5, -2.5, 1.0, 1.0],
+                [0.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 0.0],
+            ]
+        )
+        matrix = absorption_probabilities(generator, transient=[0, 1], absorbing=[2, 3])
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+
+class TestMoments:
+    def test_first_moment_matches_expected_time(self):
+        generator = busy_mobile_generator(0.01, 0.02)
+        times = expected_time_to_absorption(generator, [0], [1, 2])
+        moments = first_passage_time_moments(generator, [0], [1, 2], order=2)
+        assert moments[0, 0] == pytest.approx(times[0], rel=1e-12)
+
+    def test_exponential_second_moment(self):
+        generator = busy_mobile_generator(0.05, 0.05)
+        moments = first_passage_time_moments(generator, [0], [1, 2], order=2)
+        mean = moments[0, 0]
+        assert moments[1, 0] == pytest.approx(2.0 * mean * mean, rel=1e-9)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            first_passage_time_moments(busy_mobile_generator(0.1, 0.1), [0], [1, 2], order=0)
+
+
+class TestAnalysisWrapper:
+    def test_dictionaries_are_keyed_by_state_index(self):
+        generator = busy_mobile_generator(1.0 / 120.0, 1.0 / 60.0)
+        analysis = AbsorbingCtmcAnalysis(generator, transient_states=(0,), absorbing_states=(1, 2))
+        times = analysis.expected_absorption_times()
+        probabilities = analysis.absorption_probability_matrix()
+        assert set(times) == {0}
+        assert set(probabilities[0]) == {1, 2}
+        assert sum(probabilities[0].values()) == pytest.approx(1.0)
+
+    def test_standard_deviation_of_exponential_equals_mean(self):
+        generator = busy_mobile_generator(0.02, 0.03)
+        analysis = AbsorbingCtmcAnalysis(generator, (0,), (1, 2))
+        times = analysis.expected_absorption_times()
+        stds = analysis.absorption_time_std()
+        assert stds[0] == pytest.approx(times[0], rel=1e-9)
+
+    def test_overlapping_partition_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            AbsorbingCtmcAnalysis(busy_mobile_generator(0.1, 0.1), (0, 1), (1, 2))

@@ -1,0 +1,127 @@
+"""Tests of the birth-death chain closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.birth_death import BirthDeathChain
+from repro.queueing.erlang import ErlangLossSystem, erlang_b
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            BirthDeathChain([1.0, 2.0], [1.0])
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BirthDeathChain([-1.0], [1.0])
+
+    def test_zero_death_rate_for_reachable_state_rejected(self):
+        with pytest.raises(ValueError, match="positive death rate"):
+            BirthDeathChain([1.0], [0.0])
+
+    def test_multidimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            BirthDeathChain([[1.0]], [[1.0]])
+
+
+class TestClosedForm:
+    def test_two_state_chain(self):
+        chain = BirthDeathChain([2.0], [3.0])
+        assert chain.stationary_distribution() == pytest.approx([0.6, 0.4])
+
+    def test_mm1k_geometric_solution(self):
+        rho = 0.5
+        chain = BirthDeathChain([rho] * 6, [1.0] * 6)
+        expected = np.array([rho**k for k in range(7)])
+        expected /= expected.sum()
+        assert chain.stationary_distribution() == pytest.approx(expected)
+
+    def test_unreachable_states_get_zero_probability(self):
+        chain = BirthDeathChain([1.0, 0.0, 0.0], [1.0, 1.0, 1.0])
+        pi = chain.stationary_distribution()
+        assert pi[2] == 0.0
+        assert pi[3] == 0.0
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_mean_matches_distribution(self):
+        chain = BirthDeathChain([1.0, 1.0], [2.0, 4.0])
+        pi = chain.stationary_distribution()
+        assert chain.mean() == pytest.approx(np.dot(pi, np.arange(3)))
+
+    def test_large_chain_does_not_overflow(self):
+        """200-state chain with strongly increasing load stays finite (log-space)."""
+        births = np.full(200, 50.0)
+        deaths = np.full(200, 0.5)
+        chain = BirthDeathChain(births, deaths)
+        pi = chain.stationary_distribution()
+        assert np.all(np.isfinite(pi))
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestAgreementWithCtmc:
+    def test_matches_generic_ctmc_solution(self):
+        births = [1.5, 1.0, 0.5]
+        deaths = [1.0, 2.0, 3.0]
+        chain = BirthDeathChain(births, deaths)
+        ctmc_pi = chain.to_ctmc().stationary_distribution()
+        assert chain.stationary_distribution() == pytest.approx(ctmc_pi, abs=1e-10)
+
+
+class TestQueueFactories:
+    def test_erlang_loss_blocking_matches_erlang_b(self):
+        chain = BirthDeathChain.erlang_loss(arrival_rate=3.0, service_rate=1.0, servers=5)
+        assert chain.blocking_probability() == pytest.approx(erlang_b(3.0, 5), rel=1e-10)
+
+    def test_erlang_loss_matches_erlang_system(self):
+        system = ErlangLossSystem(arrival_rate=2.0, service_rate=0.5, servers=6)
+        chain = BirthDeathChain.erlang_loss(2.0, 0.5, 6)
+        assert chain.stationary_distribution() == pytest.approx(
+            system.state_distribution(), abs=1e-12
+        )
+
+    def test_mmck_reduces_to_erlang_loss_when_capacity_equals_servers(self):
+        loss = BirthDeathChain.erlang_loss(2.0, 1.0, 4)
+        mmck = BirthDeathChain.mmck(2.0, 1.0, servers=4, capacity=4)
+        assert mmck.stationary_distribution() == pytest.approx(
+            loss.stationary_distribution()
+        )
+
+    def test_mmck_capacity_below_servers_rejected(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain.mmck(1.0, 1.0, servers=4, capacity=3)
+
+    def test_erlang_loss_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain.erlang_loss(1.0, 1.0, servers=0)
+        with pytest.raises(ValueError):
+            BirthDeathChain.erlang_loss(1.0, 0.0, servers=2)
+
+
+class TestPropertyBased:
+    @given(
+        loads=st.lists(st.floats(min_value=0.01, max_value=20.0), min_size=1, max_size=20),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distribution_is_always_valid(self, loads, seed):
+        rng = np.random.default_rng(seed)
+        births = np.array(loads)
+        deaths = rng.uniform(0.1, 10.0, size=len(loads))
+        chain = BirthDeathChain(births, deaths)
+        pi = chain.stationary_distribution()
+        assert pi.shape == (len(loads) + 1,)
+        assert np.all(pi >= 0)
+        assert pi.sum() == pytest.approx(1.0)
+
+    @given(load=st.floats(min_value=0.05, max_value=30.0),
+           servers=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_erlang_loss_blocking_decreases_with_servers(self, load, servers):
+        smaller = BirthDeathChain.erlang_loss(load, 1.0, servers).blocking_probability()
+        larger = BirthDeathChain.erlang_loss(load, 1.0, servers + 1).blocking_probability()
+        assert larger <= smaller + 1e-12

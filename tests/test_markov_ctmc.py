@@ -1,0 +1,145 @@
+"""Tests of the ContinuousTimeMarkovChain class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+
+
+@pytest.fixture
+def three_state_chain() -> ContinuousTimeMarkovChain:
+    rates = {
+        ("idle", "busy"): 2.0,
+        ("busy", "idle"): 1.0,
+        ("busy", "down"): 0.5,
+        ("down", "idle"): 4.0,
+    }
+    return ContinuousTimeMarkovChain.from_rates(rates)
+
+
+class TestConstruction:
+    def test_from_rates_builds_expected_states(self, three_state_chain):
+        assert three_state_chain.number_of_states == 3
+        assert three_state_chain.labels == ["idle", "busy", "down"]
+
+    def test_from_rates_with_explicit_state_order(self):
+        chain = ContinuousTimeMarkovChain.from_rates(
+            {("a", "b"): 1.0, ("b", "a"): 2.0}, states=["b", "a"]
+        )
+        assert chain.labels == ["b", "a"]
+
+    def test_rate_lookup_by_label_and_index(self, three_state_chain):
+        assert three_state_chain.rate("idle", "busy") == pytest.approx(2.0)
+        assert three_state_chain.rate(0, 1) == pytest.approx(2.0)
+        assert three_state_chain.rate("idle", "down") == pytest.approx(0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="negative rate"):
+            ContinuousTimeMarkovChain.from_rates({("a", "b"): -1.0, ("b", "a"): 1.0})
+
+    def test_non_square_generator_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            ContinuousTimeMarkovChain(np.zeros((2, 3)))
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            ContinuousTimeMarkovChain(np.array([[-1.0, 1.0], [1.0, -1.0]]), labels=["x"])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ContinuousTimeMarkovChain(
+                np.array([[-1.0, 1.0], [1.0, -1.0]]), labels=["x", "x"]
+            )
+
+    def test_fix_diagonal_recomputes_row_sums(self):
+        raw = np.array([[0.0, 2.0], [3.0, 0.0]])
+        chain = ContinuousTimeMarkovChain(raw, fix_diagonal=True)
+        rows = np.asarray(chain.generator.sum(axis=1)).ravel()
+        assert rows == pytest.approx([0.0, 0.0], abs=1e-12)
+
+    def test_validation_rejects_bad_row_sums(self):
+        bad = np.array([[-1.0, 2.0], [1.0, -1.0]])
+        with pytest.raises(ValueError, match="sum to zero"):
+            ContinuousTimeMarkovChain(bad)
+
+    def test_validation_rejects_negative_off_diagonal(self):
+        bad = np.array([[1.0, -1.0], [1.0, -1.0]])
+        with pytest.raises(ValueError, match="negative off-diagonal"):
+            ContinuousTimeMarkovChain(bad)
+
+
+class TestSolutions:
+    def test_stationary_distribution_sums_to_one(self, three_state_chain):
+        pi = three_state_chain.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi > 0)
+
+    def test_stationary_distribution_is_cached(self, three_state_chain):
+        first = three_state_chain.steady_state()
+        second = three_state_chain.steady_state()
+        assert first is second
+        refreshed = three_state_chain.steady_state(refresh=True)
+        assert refreshed is not first
+
+    def test_expected_reward_with_callable_and_vector(self, three_state_chain):
+        pi = three_state_chain.stationary_distribution()
+        by_vector = three_state_chain.expected_reward([0.0, 1.0, 5.0])
+        by_callable = three_state_chain.expected_reward(lambda i: [0.0, 1.0, 5.0][i])
+        assert by_vector == pytest.approx(pi[1] + 5 * pi[2])
+        assert by_callable == pytest.approx(by_vector)
+
+    def test_expected_reward_rejects_wrong_length(self, three_state_chain):
+        with pytest.raises(ValueError, match="length"):
+            three_state_chain.expected_reward([1.0, 2.0])
+
+    def test_transient_distribution_converges_to_stationary(self, three_state_chain):
+        initial = np.array([1.0, 0.0, 0.0])
+        late = three_state_chain.transient_distribution(initial, time=200.0)
+        assert late == pytest.approx(three_state_chain.stationary_distribution(), abs=1e-6)
+
+    def test_balance_holds_per_state(self, three_state_chain):
+        pi = three_state_chain.stationary_distribution()
+        residual = pi @ three_state_chain.generator.toarray()
+        assert np.max(np.abs(residual)) < 1e-10
+
+
+class TestDerivedChains:
+    def test_embedded_jump_chain_is_stochastic(self, three_state_chain):
+        p = three_state_chain.embedded_jump_chain()
+        rows = np.asarray(p.sum(axis=1)).ravel()
+        assert rows == pytest.approx(np.ones(3))
+
+    def test_embedded_jump_chain_probabilities(self, three_state_chain):
+        p = three_state_chain.embedded_jump_chain().toarray()
+        busy = three_state_chain.state_index("busy")
+        idle = three_state_chain.state_index("idle")
+        down = three_state_chain.state_index("down")
+        assert p[busy, idle] == pytest.approx(1.0 / 1.5)
+        assert p[busy, down] == pytest.approx(0.5 / 1.5)
+
+    def test_absorbing_state_gets_self_loop(self):
+        generator = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        chain = ContinuousTimeMarkovChain(generator, validate=False)
+        p = chain.embedded_jump_chain().toarray()
+        assert p[1, 1] == pytest.approx(1.0)
+
+    def test_mean_holding_times(self, three_state_chain):
+        holding = three_state_chain.mean_holding_times()
+        assert holding[three_state_chain.state_index("idle")] == pytest.approx(0.5)
+        assert holding[three_state_chain.state_index("busy")] == pytest.approx(1 / 1.5)
+
+    def test_exit_rates(self, three_state_chain):
+        exit_rates = three_state_chain.exit_rates()
+        assert exit_rates[three_state_chain.state_index("busy")] == pytest.approx(1.5)
+
+    def test_unknown_label_raises(self, three_state_chain):
+        with pytest.raises(KeyError):
+            three_state_chain.state_index("missing")
+
+    def test_sparse_generator_accepted(self):
+        generator = sp.csr_matrix(np.array([[-1.0, 1.0], [2.0, -2.0]]))
+        chain = ContinuousTimeMarkovChain(generator)
+        assert chain.stationary_distribution() == pytest.approx([2 / 3, 1 / 3])

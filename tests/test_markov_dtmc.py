@@ -1,0 +1,85 @@
+"""Tests of the DiscreteTimeMarkovChain class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+from repro.markov.dtmc import DiscreteTimeMarkovChain
+
+
+@pytest.fixture
+def weather_chain() -> DiscreteTimeMarkovChain:
+    matrix = np.array([[0.8, 0.2], [0.4, 0.6]])
+    return DiscreteTimeMarkovChain(matrix, labels=["sunny", "rainy"])
+
+
+class TestValidation:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to one"):
+            DiscreteTimeMarkovChain(np.array([[0.5, 0.4], [0.3, 0.7]]))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            DiscreteTimeMarkovChain(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            DiscreteTimeMarkovChain(np.ones((2, 3)) / 3)
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError, match="labels"):
+            DiscreteTimeMarkovChain(np.eye(2), labels=["only-one"])
+
+
+class TestBehaviour:
+    def test_step_propagates_distribution(self, weather_chain):
+        start = np.array([1.0, 0.0])
+        one_step = weather_chain.step(start)
+        assert one_step == pytest.approx([0.8, 0.2])
+        two_steps = weather_chain.step(start, steps=2)
+        assert two_steps == pytest.approx(one_step @ weather_chain.transition_matrix.toarray())
+
+    def test_step_zero_returns_same_distribution(self, weather_chain):
+        start = np.array([0.3, 0.7])
+        assert weather_chain.step(start, steps=0) == pytest.approx(start)
+
+    def test_step_rejects_negative_count(self, weather_chain):
+        with pytest.raises(ValueError):
+            weather_chain.step(np.array([1.0, 0.0]), steps=-1)
+
+    def test_step_rejects_wrong_length(self, weather_chain):
+        with pytest.raises(ValueError, match="length"):
+            weather_chain.step(np.array([1.0, 0.0, 0.0]))
+
+    def test_stationary_distribution_closed_form(self, weather_chain):
+        # For the 2-state chain: pi = (q, p) / (p + q) with p = P[0,1], q = P[1,0].
+        pi = weather_chain.stationary_distribution()
+        assert pi == pytest.approx([2 / 3, 1 / 3])
+
+    def test_stationary_distribution_of_identity_like_chain(self):
+        chain = DiscreteTimeMarkovChain(np.array([[1.0]]))
+        assert chain.stationary_distribution() == pytest.approx([1.0])
+
+    def test_occupation_frequencies_approach_stationary(self, weather_chain, rng):
+        frequencies = weather_chain.occupation_frequencies(0, steps=20000, rng=rng)
+        assert frequencies == pytest.approx([2 / 3, 1 / 3], abs=0.03)
+
+    def test_occupation_frequencies_need_positive_steps(self, weather_chain):
+        with pytest.raises(ValueError):
+            weather_chain.occupation_frequencies(0, steps=0)
+
+
+class TestConsistencyWithCtmc:
+    def test_embedded_chain_stationary_matches_weighted_ctmc(self):
+        """pi_CTMC is proportional to pi_embedded / exit_rate (standard identity)."""
+        generator = np.array(
+            [[-2.0, 1.5, 0.5], [1.0, -1.0, 0.0], [3.0, 1.0, -4.0]]
+        )
+        ctmc = ContinuousTimeMarkovChain(generator)
+        embedded = DiscreteTimeMarkovChain(ctmc.embedded_jump_chain())
+        pi_embedded = embedded.stationary_distribution()
+        weighted = pi_embedded / ctmc.exit_rates()
+        weighted /= weighted.sum()
+        assert weighted == pytest.approx(ctmc.stationary_distribution(), abs=1e-8)

@@ -1,0 +1,121 @@
+"""Tests of the Markovian arrival process (MAP) module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.map_process import MarkovianArrivalProcess, map_from_mmpp, superpose_maps
+from repro.markov.mmpp import InterruptedPoissonProcess, aggregate_identical_ipps
+
+
+def poisson_map(rate: float) -> MarkovianArrivalProcess:
+    """A Poisson process written as a one-phase MAP."""
+    return MarkovianArrivalProcess(np.array([[-rate]]), np.array([[rate]]))
+
+
+def ipp_map(packet_rate=2.0, a=0.5, b=0.25) -> MarkovianArrivalProcess:
+    return map_from_mmpp(InterruptedPoissonProcess(packet_rate, a, b))
+
+
+class TestValidation:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovianArrivalProcess(np.eye(2) * -1, np.zeros((3, 3)))
+
+    def test_negative_d1_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovianArrivalProcess(np.array([[-1.0]]), np.array([[-0.5]]))
+
+    def test_rows_must_sum_to_zero(self):
+        with pytest.raises(ValueError):
+            MarkovianArrivalProcess(np.array([[-2.0]]), np.array([[1.0]]))
+
+    def test_negative_off_diagonal_d0_rejected(self):
+        d0 = np.array([[-1.0, -0.5], [0.5, -1.0]])
+        d1 = np.array([[1.5, 0.0], [0.0, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovianArrivalProcess(d0, d1)
+
+
+class TestPoissonSpecialCase:
+    def test_rate_and_interarrival_moments(self):
+        process = poisson_map(3.0)
+        assert process.mean_arrival_rate() == pytest.approx(3.0)
+        assert process.mean_interarrival_time() == pytest.approx(1.0 / 3.0)
+        assert process.interarrival_scv() == pytest.approx(1.0)
+
+    def test_no_interarrival_correlation(self):
+        assert poisson_map(1.7).interarrival_lag1_correlation() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestIppMap:
+    def test_mean_rate_matches_the_mmpp(self):
+        ipp = InterruptedPoissonProcess(2.0, 0.5, 0.25)
+        process = map_from_mmpp(ipp)
+        assert process.mean_arrival_rate() == pytest.approx(ipp.mean_arrival_rate(), rel=1e-9)
+
+    def test_interarrival_time_mean_is_reciprocal_rate(self):
+        process = ipp_map()
+        assert process.mean_interarrival_time() == pytest.approx(
+            1.0 / process.mean_arrival_rate(), rel=1e-9
+        )
+
+    def test_on_off_source_is_bursty_but_renewal(self):
+        """An IPP has SCV > 1 yet *uncorrelated* interarrival times.
+
+        The single interrupted Poisson process is the classic example of a
+        bursty renewal process: its interarrival times are i.i.d.
+        two-phase hyperexponential, so the lag-1 correlation vanishes even
+        though the marginal variability is far above Poisson.
+        """
+        process = ipp_map(packet_rate=8.0, a=0.32, b=1.0 / 412.0)
+        assert process.interarrival_scv() > 1.0
+        assert process.interarrival_lag1_correlation() == pytest.approx(0.0, abs=1e-9)
+
+    def test_aggregated_sessions_are_bursty_and_correlated(self):
+        """Superposing several on--off sources produces genuine interarrival correlation."""
+        source = InterruptedPoissonProcess(2.0, 0.5, 0.1)
+        aggregate = map_from_mmpp(aggregate_identical_ipps(source, 5))
+        assert aggregate.mean_arrival_rate() == pytest.approx(
+            5 * source.mean_arrival_rate(), rel=1e-9
+        )
+        assert aggregate.interarrival_scv() > 1.0
+        assert aggregate.interarrival_lag1_correlation() > 0.0
+
+
+class TestSuperposition:
+    def test_superposed_rate_is_the_sum(self):
+        first = ipp_map(2.0, 0.5, 0.25)
+        second = poisson_map(1.0)
+        combined = superpose_maps(first, second)
+        assert combined.mean_arrival_rate() == pytest.approx(
+            first.mean_arrival_rate() + second.mean_arrival_rate(), rel=1e-9
+        )
+        assert combined.number_of_phases == first.number_of_phases * second.number_of_phases
+
+    def test_superposing_poisson_streams_gives_poisson(self):
+        combined = superpose_maps(poisson_map(1.0), poisson_map(2.0))
+        assert combined.interarrival_scv() == pytest.approx(1.0, rel=1e-9)
+        assert combined.interarrival_lag1_correlation() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSampling:
+    def test_sampled_interarrival_mean_matches_analytic(self):
+        process = ipp_map(packet_rate=4.0, a=1.0, b=0.5)
+        rng = np.random.default_rng(3)
+        times = process.sample_interarrival_times(20_000, rng)
+        assert times.mean() == pytest.approx(process.mean_interarrival_time(), rel=0.05)
+
+    def test_sample_count_and_positivity(self):
+        times = ipp_map().sample_interarrival_times(100, np.random.default_rng(0))
+        assert times.shape == (100,)
+        assert np.all(times > 0)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            ipp_map().sample_interarrival_times(-1)
+
+    def test_invalid_moment_order_rejected(self):
+        with pytest.raises(ValueError):
+            ipp_map().interarrival_moment(0)

@@ -1,0 +1,190 @@
+"""Tests of MMPP / IPP processes and the aggregation used by the GPRS model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.mmpp import (
+    InterruptedPoissonProcess,
+    MarkovModulatedPoissonProcess,
+    aggregate_identical_ipps,
+    product_form_ipps,
+    stationary_phase_distribution,
+    superpose_mmpps,
+)
+
+
+@pytest.fixture
+def web_browsing_ipp() -> InterruptedPoissonProcess:
+    """IPP of traffic model 2: 8 packets/s while on, a = 0.32, b = 1/412."""
+    return InterruptedPoissonProcess(
+        packet_rate=8.0, on_to_off_rate=1 / 3.125, off_to_on_rate=1 / 412.0
+    )
+
+
+class TestInterruptedPoissonProcess:
+    def test_on_off_probabilities(self, web_browsing_ipp):
+        a = web_browsing_ipp.on_to_off_rate
+        b = web_browsing_ipp.off_to_on_rate
+        assert web_browsing_ipp.probability_on() == pytest.approx(b / (a + b))
+        assert web_browsing_ipp.probability_on() + web_browsing_ipp.probability_off() == (
+            pytest.approx(1.0)
+        )
+
+    def test_mean_durations(self, web_browsing_ipp):
+        assert web_browsing_ipp.mean_on_duration() == pytest.approx(3.125)
+        assert web_browsing_ipp.mean_off_duration() == pytest.approx(412.0)
+
+    def test_mean_arrival_rate(self, web_browsing_ipp):
+        expected = 8.0 * web_browsing_ipp.probability_on()
+        assert web_browsing_ipp.mean_arrival_rate() == pytest.approx(expected)
+
+    def test_peak_rate(self, web_browsing_ipp):
+        assert web_browsing_ipp.peak_arrival_rate() == pytest.approx(8.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            InterruptedPoissonProcess(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            InterruptedPoissonProcess(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            InterruptedPoissonProcess(1.0, 1.0, -2.0)
+
+    def test_burstiness_exceeds_poisson(self, web_browsing_ipp):
+        """An on-off source is burstier than Poisson: IDC > 1."""
+        assert web_browsing_ipp.index_of_dispersion() > 1.0
+
+
+class TestMmppValidation:
+    def test_rates_must_match_generator_dimension(self):
+        with pytest.raises(ValueError, match="vector matching"):
+            MarkovModulatedPoissonProcess(np.zeros((2, 2)), np.array([1.0]))
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MarkovModulatedPoissonProcess(np.zeros((1, 1)), np.array([-1.0]))
+
+    def test_generator_must_be_square(self):
+        with pytest.raises(ValueError, match="square"):
+            MarkovModulatedPoissonProcess(np.zeros((2, 3)), np.array([1.0, 2.0]))
+
+    def test_constant_rate_mmpp_is_poisson(self):
+        process = MarkovModulatedPoissonProcess(
+            np.array([[-1.0, 1.0], [1.0, -1.0]]), np.array([5.0, 5.0])
+        )
+        assert process.mean_arrival_rate() == pytest.approx(5.0)
+        assert process.index_of_dispersion() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestAggregation:
+    """m identical IPPs aggregate into an (m+1)-state birth-death MMPP."""
+
+    def test_zero_sources(self, web_browsing_ipp):
+        aggregated = aggregate_identical_ipps(web_browsing_ipp, 0)
+        assert aggregated.number_of_states == 1
+        assert aggregated.mean_arrival_rate() == pytest.approx(0.0)
+
+    def test_single_source_matches_ipp(self, web_browsing_ipp):
+        aggregated = aggregate_identical_ipps(web_browsing_ipp, 1)
+        assert aggregated.number_of_states == 2
+        assert aggregated.mean_arrival_rate() == pytest.approx(
+            web_browsing_ipp.mean_arrival_rate()
+        )
+
+    @pytest.mark.parametrize("count", [2, 3, 5])
+    def test_mean_rate_scales_linearly(self, web_browsing_ipp, count):
+        aggregated = aggregate_identical_ipps(web_browsing_ipp, count)
+        assert aggregated.mean_arrival_rate() == pytest.approx(
+            count * web_browsing_ipp.mean_arrival_rate(), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("count", [2, 3, 4])
+    def test_aggregation_matches_product_form(self, count):
+        """The (m+1)-state aggregation has the same rate statistics as the 2^m product."""
+        source = InterruptedPoissonProcess(4.0, 0.5, 0.25)
+        aggregated = aggregate_identical_ipps(source, count)
+        product = product_form_ipps(source, count)
+        assert aggregated.mean_arrival_rate() == pytest.approx(
+            product.mean_arrival_rate(), rel=1e-10
+        )
+        # Second moment of the stationary arrival rate matches as well.
+        agg_pi = aggregated.stationary_distribution()
+        prod_pi = product.stationary_distribution()
+        agg_second = float(np.dot(agg_pi, aggregated.rates**2))
+        prod_second = float(np.dot(prod_pi, product.rates**2))
+        assert agg_second == pytest.approx(prod_second, rel=1e-10)
+
+    def test_aggregated_phase_distribution_is_binomial(self, web_browsing_ipp):
+        """The number of off sources is Binomial(m, p_off) in steady state."""
+        count = 6
+        aggregated = aggregate_identical_ipps(web_browsing_ipp, count)
+        pi = aggregated.stationary_distribution()
+        p_off = web_browsing_ipp.probability_off()
+        from scipy.stats import binom
+
+        expected = binom.pmf(np.arange(count + 1), count, p_off)
+        assert pi == pytest.approx(expected, abs=1e-9)
+
+    def test_negative_count_rejected(self, web_browsing_ipp):
+        with pytest.raises(ValueError):
+            aggregate_identical_ipps(web_browsing_ipp, -1)
+
+    def test_product_form_limited_to_small_counts(self, web_browsing_ipp):
+        with pytest.raises(ValueError, match="limited"):
+            product_form_ipps(web_browsing_ipp, 20)
+
+
+class TestSuperposition:
+    def test_superposition_mean_rate_is_additive(self):
+        first = InterruptedPoissonProcess(3.0, 1.0, 1.0)
+        second = InterruptedPoissonProcess(5.0, 0.2, 0.6)
+        combined = superpose_mmpps(first, second)
+        assert combined.number_of_states == 4
+        assert combined.mean_arrival_rate() == pytest.approx(
+            first.mean_arrival_rate() + second.mean_arrival_rate(), rel=1e-9
+        )
+
+    def test_superposition_generator_rows_sum_to_zero(self):
+        first = InterruptedPoissonProcess(3.0, 1.0, 1.0)
+        second = InterruptedPoissonProcess(5.0, 0.2, 0.6)
+        combined = superpose_mmpps(first, second)
+        assert np.allclose(combined.generator.sum(axis=1), 0.0)
+
+
+class TestCompositeGenerator:
+    def test_mmpp_m1k_generator_is_valid(self, web_browsing_ipp):
+        generator = web_browsing_ipp.composite_generator(buffer_levels=5)
+        assert generator.shape == (12, 12)
+        assert np.allclose(np.asarray(generator.sum(axis=1)).ravel(), 0.0, atol=1e-12)
+
+    def test_buffer_levels_must_be_positive(self, web_browsing_ipp):
+        with pytest.raises(ValueError):
+            web_browsing_ipp.composite_generator(0)
+
+    def test_stationary_phase_distribution_helper(self, web_browsing_ipp):
+        pi = stationary_phase_distribution(web_browsing_ipp)
+        assert pi == pytest.approx(
+            [web_browsing_ipp.probability_on(), web_browsing_ipp.probability_off()]
+        )
+
+
+class TestPropertyBased:
+    @given(
+        packet_rate=st.floats(min_value=0.1, max_value=50.0),
+        on_rate=st.floats(min_value=0.01, max_value=10.0),
+        off_rate=st.floats(min_value=0.01, max_value=10.0),
+        count=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_aggregated_rate_always_scales(self, packet_rate, on_rate, off_rate, count):
+        source = InterruptedPoissonProcess(packet_rate, on_rate, off_rate)
+        aggregated = aggregate_identical_ipps(source, count)
+        assert aggregated.mean_arrival_rate() == pytest.approx(
+            count * source.mean_arrival_rate(), rel=1e-8
+        )
+        pi = aggregated.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= -1e-12)

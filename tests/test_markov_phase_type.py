@@ -1,0 +1,169 @@
+"""Tests of the phase-type distribution library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.phase_type import (
+    PhaseTypeDistribution,
+    coxian_ph,
+    erlang_ph,
+    exponential_ph,
+    fit_two_moments,
+    hyperexponential_ph,
+)
+
+
+class TestConstruction:
+    def test_exponential_moments(self):
+        ph = exponential_ph(0.25)
+        assert ph.mean() == pytest.approx(4.0)
+        assert ph.variance() == pytest.approx(16.0)
+        assert ph.squared_coefficient_of_variation() == pytest.approx(1.0)
+
+    def test_erlang_moments(self):
+        ph = erlang_ph(4, 2.0)
+        assert ph.mean() == pytest.approx(2.0)
+        assert ph.squared_coefficient_of_variation() == pytest.approx(0.25)
+
+    def test_hyperexponential_moments(self):
+        ph = hyperexponential_ph([0.3, 0.7], [1.0, 5.0])
+        expected_mean = 0.3 / 1.0 + 0.7 / 5.0
+        assert ph.mean() == pytest.approx(expected_mean)
+        assert ph.squared_coefficient_of_variation() > 1.0
+
+    def test_coxian_reduces_to_erlang_when_always_continuing(self):
+        cox = coxian_ph([3.0, 3.0, 3.0], [1.0, 1.0])
+        erl = erlang_ph(3, 3.0)
+        assert cox.mean() == pytest.approx(erl.mean())
+        assert cox.variance() == pytest.approx(erl.variance())
+
+    def test_coxian_with_early_exit_is_shorter(self):
+        cox = coxian_ph([3.0, 3.0, 3.0], [0.5, 0.5])
+        erl = erlang_ph(3, 3.0)
+        assert cox.mean() < erl.mean()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_ph(0.0)
+        with pytest.raises(ValueError):
+            erlang_ph(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_ph(3, -1.0)
+        with pytest.raises(ValueError):
+            hyperexponential_ph([0.5, 0.6], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            hyperexponential_ph([0.5, 0.5], [1.0, 0.0])
+        with pytest.raises(ValueError):
+            coxian_ph([1.0, 2.0], [1.5])
+        with pytest.raises(ValueError):
+            coxian_ph([1.0, 2.0], [0.4, 0.6])
+
+    def test_malformed_matrices_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTypeDistribution(np.array([1.0, 0.0]), np.array([[-1.0]]))
+        with pytest.raises(ValueError):
+            PhaseTypeDistribution(np.array([1.0]), np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            PhaseTypeDistribution(np.array([1.5]), np.array([[-1.0]]))
+
+
+class TestDistributionFunctions:
+    def test_exponential_cdf_matches_closed_form(self):
+        ph = exponential_ph(2.0)
+        for t in (0.1, 0.5, 1.0, 3.0):
+            assert ph.cdf(t) == pytest.approx(1.0 - np.exp(-2.0 * t), rel=1e-9)
+            assert ph.pdf(t) == pytest.approx(2.0 * np.exp(-2.0 * t), rel=1e-9)
+
+    def test_cdf_is_zero_at_negative_times(self):
+        ph = erlang_ph(2, 1.0)
+        assert ph.cdf(-1.0) == 0.0
+        assert ph.pdf(-1.0) == 0.0
+
+    def test_cdf_is_monotone_and_reaches_one(self):
+        ph = hyperexponential_ph([0.4, 0.6], [0.5, 4.0])
+        values = [ph.cdf(t) for t in np.linspace(0.0, 50.0, 40)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_survival_complements_cdf(self):
+        ph = erlang_ph(3, 2.0)
+        assert ph.survival(1.3) == pytest.approx(1.0 - ph.cdf(1.3))
+
+
+class TestSampling:
+    def test_sample_mean_matches_analytic_mean(self):
+        ph = erlang_ph(3, 1.5)
+        rng = np.random.default_rng(42)
+        samples = ph.sample(20_000, rng)
+        assert samples.mean() == pytest.approx(ph.mean(), rel=0.05)
+
+    def test_sample_size_and_nonnegativity(self):
+        ph = hyperexponential_ph([0.2, 0.8], [0.1, 2.0])
+        samples = ph.sample(500, np.random.default_rng(1))
+        assert samples.shape == (500,)
+        assert np.all(samples >= 0)
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_ph(1.0).sample(-1)
+
+
+class TestTwoMomentFit:
+    def test_exponential_when_scv_is_one(self):
+        ph = fit_two_moments(3.0, 1.0)
+        assert ph.number_of_phases == 1
+        assert ph.mean() == pytest.approx(3.0)
+
+    def test_hyperexponential_branch_matches_both_moments(self):
+        ph = fit_two_moments(2.0, 4.0)
+        assert ph.mean() == pytest.approx(2.0, rel=1e-9)
+        assert ph.squared_coefficient_of_variation() == pytest.approx(4.0, rel=1e-6)
+
+    def test_erlang_mixture_branch_matches_both_moments(self):
+        ph = fit_two_moments(5.0, 0.4)
+        assert ph.mean() == pytest.approx(5.0, rel=1e-6)
+        assert ph.squared_coefficient_of_variation() == pytest.approx(0.4, rel=1e-3)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fit_two_moments(0.0, 1.0)
+        with pytest.raises(ValueError):
+            fit_two_moments(1.0, 0.0)
+
+    @given(
+        mean=st.floats(min_value=0.1, max_value=100.0),
+        scv=st.floats(min_value=0.15, max_value=10.0),
+    )
+    @settings(max_examples=60)
+    def test_fit_reproduces_the_mean_for_any_target(self, mean, scv):
+        ph = fit_two_moments(mean, scv)
+        assert ph.mean() == pytest.approx(mean, rel=1e-5)
+
+    @given(
+        mean=st.floats(min_value=0.1, max_value=100.0),
+        scv=st.floats(min_value=1.0, max_value=20.0),
+    )
+    @settings(max_examples=40)
+    def test_hyperexponential_fit_reproduces_the_scv(self, mean, scv):
+        ph = fit_two_moments(mean, scv)
+        assert ph.squared_coefficient_of_variation() == pytest.approx(scv, rel=1e-4)
+
+
+class TestMomentProperties:
+    @given(stages=st.integers(min_value=1, max_value=15), rate=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50)
+    def test_erlang_scv_is_one_over_stages(self, stages, rate):
+        ph = erlang_ph(stages, rate)
+        assert ph.squared_coefficient_of_variation() == pytest.approx(1.0 / stages, rel=1e-9)
+
+    @given(rate=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=50)
+    def test_exponential_mean_is_reciprocal_rate(self, rate):
+        assert exponential_ph(rate).mean() == pytest.approx(1.0 / rate, rel=1e-9)
+
+    def test_invalid_moment_order_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_ph(1.0).moment(0)

@@ -1,0 +1,157 @@
+"""Tests of the QBD / block-tridiagonal solution techniques."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.mmpp import InterruptedPoissonProcess
+from repro.markov.qbd import QuasiBirthDeathProcess, solve_finite_level_chain
+from repro.markov.solvers import solve_steady_state
+from repro.queueing.mmck import MMcKQueue
+
+
+def mm1k_blocks(arrival: float, service: float, capacity: int):
+    """Block description of an M/M/1/K queue with one phase per level."""
+    local = []
+    for level in range(capacity + 1):
+        diagonal = 0.0
+        if level < capacity:
+            diagonal -= arrival
+        if level > 0:
+            diagonal -= service
+        local.append(np.array([[diagonal]]))
+    up = [np.array([[arrival]]) for _ in range(capacity)]
+    down = [np.array([[service]]) for _ in range(capacity)]
+    return local, up, down
+
+
+class TestFiniteLevelChain:
+    def test_mm1k_matches_the_closed_form(self):
+        arrival, service, capacity = 2.0, 3.0, 10
+        local, up, down = mm1k_blocks(arrival, service, capacity)
+        levels = solve_finite_level_chain(local, up, down)
+        rho = arrival / service
+        normalisation = sum(rho**k for k in range(capacity + 1))
+        for k, level in enumerate(levels):
+            assert float(level.sum()) == pytest.approx(rho**k / normalisation, rel=1e-9)
+
+    def test_mmck_blocking_matches_queueing_library(self):
+        """Block elimination on an M/M/c/K chain agrees with the closed form."""
+        arrival, service, servers, capacity = 3.0, 1.0, 4, 12
+        local, up, down = [], [], []
+        for level in range(capacity + 1):
+            departures = min(level, servers) * service
+            diagonal = -departures
+            if level < capacity:
+                diagonal -= arrival
+            local.append(np.array([[diagonal]]))
+            if level < capacity:
+                up.append(np.array([[arrival]]))
+            if level > 0:
+                down.append(np.array([[min(level, servers) * service]]))
+        levels = solve_finite_level_chain(local, up, down)
+        queue = MMcKQueue(arrival_rate=arrival, service_rate=service, servers=servers,
+                          capacity=capacity)
+        assert float(levels[-1].sum()) == pytest.approx(queue.blocking_probability(), rel=1e-8)
+
+    def test_ipp_m_1_k_matches_the_generic_sparse_solver(self):
+        """A phase-modulated buffer solved by block elimination equals the flat solve."""
+        ipp = InterruptedPoissonProcess(packet_rate=3.0, on_to_off_rate=0.4, off_to_on_rate=0.2)
+        capacity = 8
+        service = 1.0
+        generator = ipp.composite_generator(capacity)  # service rate one
+        flat = solve_steady_state(generator, method="gth").distribution
+        # Build the same chain as blocks over the buffer level.
+        phase_generator = ipp.generator
+        rates = ipp.rates
+        local, up, down = [], [], []
+        for level in range(capacity + 1):
+            block = phase_generator.copy().astype(float)
+            np.fill_diagonal(block, np.diag(phase_generator))
+            diagonal_adjust = np.zeros(2)
+            if level < capacity:
+                diagonal_adjust -= rates
+            if level > 0:
+                diagonal_adjust -= service
+            local.append(block + np.diag(diagonal_adjust))
+            if level < capacity:
+                up.append(np.diag(rates))
+            if level > 0:
+                down.append(np.eye(2) * service)
+        levels = solve_finite_level_chain(local, up, down)
+        stacked = np.concatenate(levels)
+        assert np.allclose(stacked, flat, atol=1e-9)
+
+    def test_block_count_mismatch_rejected(self):
+        local, up, down = mm1k_blocks(1.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            solve_finite_level_chain(local, up[:-1], down)
+        with pytest.raises(ValueError):
+            solve_finite_level_chain([], [], [])
+
+
+class TestQuasiBirthDeath:
+    def make_mm1_qbd(self, arrival: float, service: float) -> QuasiBirthDeathProcess:
+        return QuasiBirthDeathProcess(
+            boundary_block=np.array([[-arrival]]),
+            up_block=np.array([[arrival]]),
+            local_block=np.array([[-(arrival + service)]]),
+            down_block=np.array([[service]]),
+        )
+
+    def test_mm1_rate_matrix_is_rho(self):
+        qbd = self.make_mm1_qbd(1.0, 2.0)
+        assert qbd.rate_matrix()[0, 0] == pytest.approx(0.5, rel=1e-9)
+        assert qbd.spectral_radius() == pytest.approx(0.5, rel=1e-9)
+
+    def test_mm1_stationary_distribution_is_geometric(self):
+        qbd = self.make_mm1_qbd(1.0, 2.0)
+        levels = qbd.stationary_distribution(6)
+        for k, level in enumerate(levels):
+            assert float(level.sum()) == pytest.approx(0.5 * 0.5**k, rel=1e-8)
+
+    def test_mm1_mean_level_matches_rho_over_one_minus_rho(self):
+        qbd = self.make_mm1_qbd(1.5, 2.0)
+        rho = 0.75
+        assert qbd.mean_level() == pytest.approx(rho / (1.0 - rho), rel=1e-6)
+
+    def test_stability_detection(self):
+        assert self.make_mm1_qbd(1.0, 2.0).is_stable()
+        assert not self.make_mm1_qbd(3.0, 2.0).is_stable()
+
+    def test_unstable_qbd_refuses_to_produce_a_distribution(self):
+        with pytest.raises(ValueError):
+            self.make_mm1_qbd(3.0, 2.0).stationary_distribution(3)
+
+    def test_phase_modulated_qbd_total_probability_decreases_geometrically(self):
+        """An IPP/M/1 queue: per-level mass decays and the prefix nearly sums to one."""
+        ipp = InterruptedPoissonProcess(packet_rate=1.2, on_to_off_rate=0.5, off_to_on_rate=0.5)
+        arrival_matrix = np.diag(ipp.rates)
+        service = 2.0
+        phase = ipp.generator
+        qbd = QuasiBirthDeathProcess(
+            boundary_block=phase - arrival_matrix,
+            up_block=arrival_matrix,
+            local_block=phase - arrival_matrix - service * np.eye(2),
+            down_block=service * np.eye(2),
+            boundary_down_block=service * np.eye(2),
+        )
+        assert qbd.is_stable()
+        levels = qbd.stationary_distribution(60)
+        masses = [float(level.sum()) for level in levels]
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(masses[5:], masses[6:]))
+        assert sum(masses) == pytest.approx(1.0, abs=1e-6)
+
+    def test_mismatched_block_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            QuasiBirthDeathProcess(
+                boundary_block=np.zeros((2, 2)),
+                up_block=np.zeros((1, 1)),
+                local_block=-np.eye(1),
+                down_block=np.zeros((1, 1)),
+            )
+
+    def test_invalid_level_count_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_mm1_qbd(1.0, 2.0).stationary_distribution(0)

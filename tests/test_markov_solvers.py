@@ -1,0 +1,194 @@
+"""Tests of the generic CTMC steady-state solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.solvers import (
+    SolverError,
+    residual_norm,
+    solve_steady_state,
+    steady_state_direct,
+    steady_state_gauss_seidel,
+    steady_state_gth,
+    steady_state_power,
+    uniformization_rate,
+)
+
+ALL_SOLVERS = [
+    steady_state_gth,
+    steady_state_direct,
+    steady_state_power,
+    steady_state_gauss_seidel,
+]
+
+
+def two_state_generator(up: float, down: float) -> np.ndarray:
+    return np.array([[-up, up], [down, -down]])
+
+
+def random_generator(rng: np.random.Generator, size: int, density: float = 0.4) -> np.ndarray:
+    """Random irreducible generator: dense-ish random rates plus a cycle."""
+    rates = rng.uniform(0.0, 5.0, size=(size, size)) * (
+        rng.uniform(size=(size, size)) < density
+    )
+    np.fill_diagonal(rates, 0.0)
+    # Guarantee irreducibility with a cycle of positive rates.
+    for i in range(size):
+        rates[i, (i + 1) % size] += rng.uniform(0.1, 1.0)
+    generator = rates - np.diag(rates.sum(axis=1))
+    return generator
+
+
+class TestTwoStateChain:
+    """Every solver must reproduce the closed form of the two-state chain."""
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+    def test_two_state_closed_form(self, solver):
+        up, down = 2.0, 3.0
+        result = solver(two_state_generator(up, down))
+        expected = np.array([down, up]) / (up + down)
+        assert result.distribution == pytest.approx(expected, rel=1e-6)
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+    def test_distribution_sums_to_one(self, solver):
+        result = solver(two_state_generator(0.7, 0.1))
+        assert result.distribution.sum() == pytest.approx(1.0)
+
+    def test_single_state_chain(self):
+        result = solve_steady_state(np.zeros((1, 1)))
+        assert result.distribution == pytest.approx([1.0])
+
+
+class TestSolverAgreement:
+    """All solvers agree on random irreducible chains (within tolerance)."""
+
+    @pytest.mark.parametrize("size", [3, 7, 15, 40])
+    def test_solvers_agree(self, rng, size):
+        generator = random_generator(rng, size)
+        reference = steady_state_gth(generator)
+        for solver in (steady_state_direct, steady_state_power, steady_state_gauss_seidel):
+            result = solver(generator)
+            assert result.distribution == pytest.approx(
+                reference.distribution, abs=1e-6
+            ), solver.__name__
+
+    @pytest.mark.parametrize("size", [5, 25])
+    def test_residuals_are_small(self, rng, size):
+        generator = random_generator(rng, size)
+        for solver in ALL_SOLVERS:
+            result = solver(generator)
+            assert result.residual < 1e-6
+
+    def test_sparse_input_matches_dense(self, rng):
+        generator = random_generator(rng, 12)
+        dense = steady_state_gth(generator)
+        sparse = steady_state_gth(sp.csr_matrix(generator))
+        assert sparse.distribution == pytest.approx(dense.distribution, abs=1e-10)
+
+
+class TestBirthDeathAgainstClosedForm:
+    """Solvers reproduce the truncated-geometric solution of an M/M/1/K queue."""
+
+    @pytest.mark.parametrize("rho", [0.3, 0.9, 1.5])
+    def test_mm1k_distribution(self, rho):
+        capacity = 8
+        arrival, service = rho, 1.0
+        size = capacity + 1
+        generator = np.zeros((size, size))
+        for level in range(capacity):
+            generator[level, level + 1] = arrival
+            generator[level + 1, level] = service
+        generator -= np.diag(generator.sum(axis=1))
+        expected = np.array([rho**k for k in range(size)])
+        expected /= expected.sum()
+        result = solve_steady_state(generator, method="gth")
+        assert result.distribution == pytest.approx(expected, rel=1e-9)
+
+
+class TestAutoSelection:
+    def test_auto_uses_gth_for_small_chains(self, rng):
+        result = solve_steady_state(random_generator(rng, 10), method="auto")
+        assert result.method == "gth"
+
+    def test_explicit_method_names(self, rng):
+        generator = random_generator(rng, 6)
+        for name in ("gth", "direct", "power", "gauss-seidel"):
+            assert solve_steady_state(generator, method=name).method == name
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown steady-state method"):
+            solve_steady_state(random_generator(rng, 4), method="voodoo")
+
+
+class TestValidationAndErrors:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            solve_steady_state(np.zeros((2, 3)))
+
+    def test_gth_rejects_empty_generator(self):
+        with pytest.raises(ValueError):
+            steady_state_gth(np.zeros((0, 0)))
+
+    def test_gth_detects_reducible_chain(self):
+        # State 1 is absorbing: no transitions back to state 0.
+        generator = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(SolverError):
+            steady_state_gth(generator)
+
+    def test_gauss_seidel_rejects_bad_relaxation(self):
+        generator = two_state_generator(1.0, 1.0)
+        with pytest.raises(ValueError, match="relaxation"):
+            steady_state_gauss_seidel(generator, relaxation=2.5)
+
+    def test_uniformization_rate_covers_exit_rates(self, rng):
+        generator = random_generator(rng, 9)
+        rate = uniformization_rate(sp.csr_matrix(generator))
+        assert rate >= np.max(np.abs(np.diag(generator)))
+
+    def test_residual_norm_zero_for_exact_solution(self):
+        generator = two_state_generator(1.0, 4.0)
+        pi = np.array([0.8, 0.2])
+        assert residual_norm(generator, pi) < 1e-12
+
+
+class TestPropertyBased:
+    """Property-based checks over randomly generated irreducible chains."""
+
+    @given(
+        size=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gth_produces_valid_distribution(self, size, seed):
+        generator = random_generator(np.random.default_rng(seed), size)
+        result = steady_state_gth(generator)
+        assert np.all(result.distribution >= 0)
+        assert result.distribution.sum() == pytest.approx(1.0)
+        assert residual_norm(generator, result.distribution) < 1e-8
+
+    @given(
+        size=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_direct_matches_gth(self, size, seed):
+        generator = random_generator(np.random.default_rng(seed), size)
+        gth = steady_state_gth(generator)
+        direct = steady_state_direct(generator)
+        assert direct.distribution == pytest.approx(gth.distribution, abs=1e-8)
+
+    @given(
+        up=st.floats(min_value=0.01, max_value=100.0),
+        down=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_two_state_detailed_balance(self, up, down):
+        result = steady_state_gth(two_state_generator(up, down))
+        pi = result.distribution
+        # Detailed balance of a reversible two-state chain: pi_0 * up = pi_1 * down.
+        assert pi[0] * up == pytest.approx(pi[1] * down, rel=1e-9)

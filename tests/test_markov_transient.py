@@ -1,0 +1,95 @@
+"""Tests of transient analysis via uniformisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.markov.transient import (
+    poisson_truncation_point,
+    transient_distribution,
+    uniformize,
+)
+
+
+def three_state_generator() -> np.ndarray:
+    generator = np.array(
+        [[-3.0, 2.0, 1.0], [0.5, -1.5, 1.0], [2.0, 2.0, -4.0]]
+    )
+    return generator
+
+
+class TestUniformize:
+    def test_uniformized_matrix_is_stochastic(self):
+        p, rate = uniformize(three_state_generator())
+        rows = np.asarray(p.sum(axis=1)).ravel()
+        assert rows == pytest.approx(np.ones(3))
+        assert rate >= 4.0
+
+    def test_explicit_rate_must_cover_exit_rates(self):
+        with pytest.raises(ValueError, match="smaller than the maximum exit rate"):
+            uniformize(three_state_generator(), rate=1.0)
+
+    def test_zero_generator_yields_identity(self):
+        p, rate = uniformize(np.zeros((3, 3)))
+        assert np.allclose(p.toarray(), np.eye(3))
+        assert rate > 0
+
+
+class TestPoissonTruncation:
+    def test_zero_mean(self):
+        assert poisson_truncation_point(0.0, 1e-10) == 0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_truncation_point(-1.0, 1e-10)
+
+    @pytest.mark.parametrize("mean", [0.5, 5.0, 50.0])
+    def test_truncation_covers_requested_mass(self, mean):
+        from scipy.stats import poisson
+
+        point = poisson_truncation_point(mean, 1e-9)
+        assert poisson.cdf(point, mean) >= 1 - 1e-9
+
+    def test_truncation_grows_with_mean(self):
+        assert poisson_truncation_point(100.0, 1e-9) > poisson_truncation_point(1.0, 1e-9)
+
+
+class TestTransientDistribution:
+    def test_matches_matrix_exponential(self):
+        generator = three_state_generator()
+        initial = np.array([1.0, 0.0, 0.0])
+        for time in (0.1, 0.7, 2.5):
+            expected = initial @ expm(generator * time)
+            actual = transient_distribution(generator, initial, time)
+            assert actual == pytest.approx(expected, abs=1e-9)
+
+    def test_time_zero_returns_initial(self):
+        initial = np.array([0.2, 0.3, 0.5])
+        result = transient_distribution(three_state_generator(), initial, 0.0)
+        assert result == pytest.approx(initial)
+
+    def test_long_horizon_reaches_stationarity(self):
+        from repro.markov.solvers import steady_state_gth
+
+        generator = three_state_generator()
+        stationary = steady_state_gth(generator).distribution
+        late = transient_distribution(generator, [1.0, 0.0, 0.0], 500.0)
+        assert late == pytest.approx(stationary, abs=1e-8)
+
+    def test_initial_distribution_is_normalised(self):
+        result = transient_distribution(three_state_generator(), [2.0, 0.0, 0.0], 0.5)
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            transient_distribution(three_state_generator(), [1.0, 0.0, 0.0], -1.0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            transient_distribution(three_state_generator(), [1.0, 0.0], 1.0)
+
+    def test_zero_mass_initial_rejected(self):
+        with pytest.raises(ValueError, match="positive finite mass"):
+            transient_distribution(three_state_generator(), [0.0, 0.0, 0.0], 1.0)

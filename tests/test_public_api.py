@@ -1,0 +1,60 @@
+"""Tests of the package-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.des as des
+import repro.experiments as experiments
+import repro.markov as markov
+import repro.queueing as queueing
+import repro.simulator as simulator
+import repro.traffic as traffic
+
+
+class TestTopLevelExports:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_objects_are_importable(self):
+        assert repro.GprsMarkovModel is not None
+        assert repro.GprsModelParameters is not None
+        assert repro.traffic_model(3).number == 3
+
+
+@pytest.mark.parametrize(
+    "module",
+    [markov, queueing, traffic, des, simulator, experiments],
+    ids=lambda module: module.__name__,
+)
+class TestSubpackageExports:
+    def test_all_names_resolve(self, module):
+        assert module.__all__, f"{module.__name__} exports nothing"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_docstring_present(self, module):
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+class TestDocstrings:
+    def test_public_classes_have_docstrings(self):
+        objects = [
+            repro.GprsMarkovModel,
+            repro.GprsModelParameters,
+            repro.GprsStateSpace,
+            repro.PacketSessionModel,
+            simulator.GprsNetworkSimulator,
+            simulator.SimulationConfig,
+            des.SimulationEngine,
+            des.Process,
+            markov.ContinuousTimeMarkovChain,
+            queueing.ErlangLossSystem,
+        ]
+        for obj in objects:
+            assert obj.__doc__ and len(obj.__doc__.strip()) > 30, obj

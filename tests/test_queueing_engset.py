@@ -1,0 +1,111 @@
+"""Tests of the Engset finite-source loss model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.engset import EngsetSystem
+from repro.queueing.erlang import ErlangLossSystem
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EngsetSystem(sources=0, request_rate=0.1, service_rate=1.0, servers=1)
+        with pytest.raises(ValueError):
+            EngsetSystem(sources=5, request_rate=0.1, service_rate=1.0, servers=0)
+        with pytest.raises(ValueError):
+            EngsetSystem(sources=5, request_rate=0.1, service_rate=1.0, servers=6)
+        with pytest.raises(ValueError):
+            EngsetSystem(sources=5, request_rate=-0.1, service_rate=1.0, servers=2)
+        with pytest.raises(ValueError):
+            EngsetSystem(sources=5, request_rate=0.1, service_rate=0.0, servers=2)
+
+
+class TestDistribution:
+    def test_distribution_sums_to_one(self):
+        system = EngsetSystem(sources=30, request_rate=0.02, service_rate=1.0 / 100.0, servers=10)
+        pi = system.state_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+        assert pi.shape == (11,)
+
+    def test_zero_request_rate_keeps_the_system_empty(self):
+        system = EngsetSystem(sources=10, request_rate=0.0, service_rate=1.0, servers=5)
+        pi = system.state_distribution()
+        assert pi[0] == pytest.approx(1.0)
+        assert system.time_congestion() == pytest.approx(0.0)
+        assert system.carried_traffic() == pytest.approx(0.0)
+
+
+class TestCongestion:
+    def test_call_congestion_below_time_congestion(self):
+        """For finite sources the arriving-customer view sees a less loaded system."""
+        system = EngsetSystem(sources=12, request_rate=0.05, service_rate=1.0 / 60.0, servers=6)
+        assert system.call_congestion() < system.time_congestion()
+
+    def test_full_coverage_never_blocks(self):
+        system = EngsetSystem(sources=8, request_rate=0.5, service_rate=1.0, servers=8)
+        assert system.call_congestion() == 0.0
+
+    def test_large_population_approaches_erlang_b(self):
+        """With many sources of small individual rate the Engset model tends to Erlang."""
+        servers = 10
+        total_offered_rate = 0.08  # arrivals per second in the Poisson limit
+        service_rate = 1.0 / 100.0
+        sources = 5000
+        system = EngsetSystem(
+            sources=sources,
+            request_rate=total_offered_rate / sources,
+            service_rate=service_rate,
+            servers=servers,
+        )
+        erlang = ErlangLossSystem(
+            arrival_rate=total_offered_rate, service_rate=service_rate, servers=servers
+        )
+        assert system.call_congestion() == pytest.approx(
+            erlang.blocking_probability(), rel=0.05
+        )
+
+    def test_finite_population_blocks_less_than_poisson(self):
+        """The finite-source model is optimistic compared to Erlang-B at equal load."""
+        servers = 5
+        service_rate = 1.0 / 120.0
+        sources = 8
+        request_rate = 0.01
+        engset = EngsetSystem(sources, request_rate, service_rate, servers)
+        erlang = ErlangLossSystem(
+            arrival_rate=sources * request_rate, service_rate=service_rate, servers=servers
+        )
+        assert engset.call_congestion() < erlang.blocking_probability()
+
+
+class TestCarriedTraffic:
+    def test_attempt_rate_balances_carried_traffic(self):
+        """Accepted attempts per second equal carried traffic times the service rate."""
+        system = EngsetSystem(sources=20, request_rate=0.03, service_rate=1.0 / 80.0, servers=7)
+        accepted_rate = system.attempt_rate() * (1.0 - system.call_congestion())
+        assert accepted_rate == pytest.approx(
+            system.carried_traffic() * system.service_rate, rel=1e-6
+        )
+
+    def test_carried_traffic_bounded_by_servers(self):
+        system = EngsetSystem(sources=50, request_rate=10.0, service_rate=0.1, servers=9)
+        assert system.carried_traffic() <= 9.0 + 1e-9
+
+
+class TestEngsetProperties:
+    @given(
+        sources=st.integers(min_value=2, max_value=60),
+        servers=st.integers(min_value=1, max_value=60),
+        request_rate=st.floats(min_value=1e-4, max_value=5.0),
+        service_rate=st.floats(min_value=1e-3, max_value=5.0),
+    )
+    @settings(max_examples=60)
+    def test_congestions_are_probabilities(self, sources, servers, request_rate, service_rate):
+        servers = min(servers, sources)
+        system = EngsetSystem(sources, request_rate, service_rate, servers)
+        assert 0.0 <= system.time_congestion() <= 1.0
+        assert 0.0 <= system.call_congestion() <= 1.0
+        assert system.call_congestion() <= system.time_congestion() + 1e-12

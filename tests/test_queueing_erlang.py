@@ -1,0 +1,164 @@
+"""Tests of the Erlang-loss formulas used by the handover balance and Eq. (6)-(7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.erlang import (
+    ErlangLossSystem,
+    erlang_b,
+    erlang_b_recursive,
+    erlang_c,
+    offered_load,
+)
+
+
+def erlang_b_direct(load: float, servers: int) -> float:
+    """Direct factorial evaluation of Erlang B (only stable for small inputs)."""
+    numerator = load**servers / math.factorial(servers)
+    denominator = sum(load**k / math.factorial(k) for k in range(servers + 1))
+    return numerator / denominator
+
+
+class TestErlangB:
+    @pytest.mark.parametrize("load,servers", [(1.0, 1), (2.5, 4), (10.0, 12), (0.1, 3)])
+    def test_recursive_matches_direct_formula(self, load, servers):
+        assert erlang_b_recursive(load, servers) == pytest.approx(
+            erlang_b_direct(load, servers), rel=1e-12
+        )
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(5.0, 0) == pytest.approx(1.0)
+
+    def test_zero_load_never_blocks(self):
+        assert erlang_b(0.0, 3) == pytest.approx(0.0)
+
+    def test_known_textbook_value(self):
+        # Classic example: 10 Erlang offered to 10 trunks -> about 21.5% blocking.
+        assert erlang_b(10.0, 10) == pytest.approx(0.2146, abs=1e-4)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1.0, 3)
+        with pytest.raises(ValueError):
+            erlang_b(1.0, -3)
+
+    @given(load=st.floats(min_value=0.0, max_value=200.0),
+           servers=st.integers(min_value=0, max_value=150))
+    @settings(max_examples=60, deadline=None)
+    def test_blocking_probability_is_valid(self, load, servers):
+        blocking = erlang_b(load, servers)
+        assert 0.0 <= blocking <= 1.0
+
+    @given(load=st.floats(min_value=0.1, max_value=50.0),
+           servers=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_blocking_monotone_in_servers(self, load, servers):
+        assert erlang_b(load, servers + 1) <= erlang_b(load, servers) + 1e-12
+
+
+class TestErlangC:
+    def test_requires_stable_queue(self):
+        with pytest.raises(ValueError, match="stable"):
+            erlang_c(5.0, 5)
+
+    def test_known_value(self):
+        # 2 Erlang offered to 3 servers: P(wait) ~ 0.4444.
+        assert erlang_c(2.0, 3) == pytest.approx(0.4444, abs=1e-3)
+
+    def test_waiting_probability_exceeds_loss_probability(self):
+        # For the same load/servers, Erlang C >= Erlang B.
+        assert erlang_c(3.0, 5) >= erlang_b(3.0, 5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            erlang_c(1.0, 0)
+        with pytest.raises(ValueError):
+            erlang_c(-1.0, 2)
+
+
+class TestOfferedLoad:
+    def test_basic_ratio(self):
+        assert offered_load(3.0, 1.5) == pytest.approx(2.0)
+
+    def test_zero_service_rate_rejected(self):
+        with pytest.raises(ValueError):
+            offered_load(1.0, 0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            offered_load(-1.0, 1.0)
+
+
+class TestErlangLossSystem:
+    @pytest.fixture
+    def gsm_cell(self) -> ErlangLossSystem:
+        """The GSM voice system of the base configuration at 0.95 calls/s."""
+        return ErlangLossSystem(
+            arrival_rate=0.95 + 0.3, service_rate=1 / 120 + 1 / 60, servers=19
+        )
+
+    def test_state_distribution_sums_to_one(self, gsm_cell):
+        assert gsm_cell.state_distribution().sum() == pytest.approx(1.0)
+
+    def test_blocking_matches_erlang_b(self, gsm_cell):
+        assert gsm_cell.blocking_probability() == pytest.approx(
+            erlang_b(gsm_cell.load, gsm_cell.servers), rel=1e-10
+        )
+
+    def test_carried_traffic_identity(self, gsm_cell):
+        """Carried traffic = offered load * (1 - blocking)."""
+        expected = gsm_cell.load * (1.0 - gsm_cell.blocking_probability())
+        assert gsm_cell.carried_traffic() == pytest.approx(expected, rel=1e-10)
+
+    def test_mean_number_equals_carried_traffic(self, gsm_cell):
+        assert gsm_cell.mean_number_in_system() == pytest.approx(gsm_cell.carried_traffic())
+
+    def test_departure_rate_balances_accepted_arrivals(self, gsm_cell):
+        accepted = gsm_cell.arrival_rate * (1.0 - gsm_cell.blocking_probability())
+        assert gsm_cell.departure_rate() == pytest.approx(accepted, rel=1e-10)
+
+    def test_utilization_bounded(self, gsm_cell):
+        assert 0.0 < gsm_cell.utilization() < 1.0
+
+    def test_zero_load_system(self):
+        system = ErlangLossSystem(arrival_rate=0.0, service_rate=1.0, servers=3)
+        pi = system.state_distribution()
+        assert pi[0] == pytest.approx(1.0)
+        assert system.blocking_probability() == pytest.approx(0.0)
+        assert system.carried_traffic() == pytest.approx(0.0)
+
+    def test_large_system_is_numerically_stable(self):
+        system = ErlangLossSystem(arrival_rate=500.0, service_rate=1.0, servers=400)
+        pi = system.state_distribution()
+        assert np.all(np.isfinite(pi))
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ErlangLossSystem(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            ErlangLossSystem(1.0, 0.0, 2)
+        with pytest.raises(ValueError):
+            ErlangLossSystem(-1.0, 1.0, 2)
+
+    @given(
+        arrival=st.floats(min_value=0.01, max_value=30.0),
+        service=st.floats(min_value=0.01, max_value=5.0),
+        servers=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_truncated_poisson_shape(self, arrival, service, servers):
+        """The state distribution is the Poisson(load) distribution truncated at c."""
+        system = ErlangLossSystem(arrival, service, servers)
+        pi = system.state_distribution()
+        load = system.load
+        # Ratio test: pi[n] / pi[n-1] == load / n.
+        for n in range(1, servers + 1):
+            if pi[n - 1] > 1e-250:
+                assert pi[n] / pi[n - 1] == pytest.approx(load / n, rel=1e-6)

@@ -1,0 +1,107 @@
+"""Tests of the generic fixed-point iteration and Little's law helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing.fixed_point import fixed_point_iteration
+from repro.queueing.littles_law import (
+    mean_queue_length_from_delay,
+    mean_waiting_time,
+    utilization,
+)
+
+
+class TestFixedPointIteration:
+    def test_scalar_contraction_converges(self):
+        result = fixed_point_iteration(lambda x: 0.5 * x + 1.0, initial=0.0)
+        assert result.converged
+        assert result.value[0] == pytest.approx(2.0, abs=1e-8)
+
+    def test_vector_mapping_converges(self):
+        matrix = np.array([[0.2, 0.1], [0.0, 0.3]])
+        offset = np.array([1.0, 2.0])
+        result = fixed_point_iteration(lambda x: matrix @ x + offset, initial=[0.0, 0.0])
+        expected = np.linalg.solve(np.eye(2) - matrix, offset)
+        assert result.converged
+        assert result.value == pytest.approx(expected, abs=1e-8)
+
+    def test_damping_stabilises_oscillation(self):
+        """x -> 2 - x oscillates without damping but converges with it."""
+        undamped = fixed_point_iteration(lambda x: 2.0 - x, initial=0.0, max_iterations=50)
+        assert not undamped.converged
+        damped = fixed_point_iteration(
+            lambda x: 2.0 - x, initial=0.0, damping=0.5, max_iterations=50
+        )
+        assert damped.converged
+        assert damped.value[0] == pytest.approx(1.0, abs=1e-8)
+
+    def test_history_recording(self):
+        result = fixed_point_iteration(
+            lambda x: 0.5 * x, initial=8.0, record_history=True, tol=1e-12
+        )
+        assert len(result.history) == result.iterations + 1
+        assert result.history[0][0] == pytest.approx(8.0)
+        # History must be strictly decreasing for this contraction.
+        values = [entry[0] for entry in result.history]
+        assert all(later <= earlier for earlier, later in zip(values, values[1:]))
+
+    def test_history_not_recorded_by_default(self):
+        result = fixed_point_iteration(lambda x: 0.5 * x, initial=1.0)
+        assert result.history == ()
+
+    def test_iteration_budget_respected(self):
+        result = fixed_point_iteration(
+            lambda x: 0.999 * x + 1.0, initial=0.0, max_iterations=5, tol=1e-14
+        )
+        assert result.iterations == 5
+        assert not result.converged
+
+    def test_shape_change_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            fixed_point_iteration(lambda x: np.append(x, 1.0), initial=[1.0])
+
+    def test_non_finite_mapping_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            fixed_point_iteration(lambda x: x * np.inf, initial=[1.0])
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point_iteration(lambda x: x, initial=1.0, damping=0.0)
+        with pytest.raises(ValueError):
+            fixed_point_iteration(lambda x: x, initial=1.0, damping=1.5)
+
+    def test_invalid_iteration_budget_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point_iteration(lambda x: x, initial=1.0, max_iterations=0)
+
+
+class TestLittlesLaw:
+    def test_waiting_time_basic(self):
+        assert mean_waiting_time(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_zero_throughput_gives_zero_delay(self):
+        assert mean_waiting_time(3.0, 0.0) == 0.0
+
+    def test_inverse_relation(self):
+        delay = mean_waiting_time(12.0, 3.0)
+        assert mean_queue_length_from_delay(delay, 3.0) == pytest.approx(12.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mean_waiting_time(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            mean_waiting_time(1.0, -1.0)
+        with pytest.raises(ValueError):
+            mean_queue_length_from_delay(-1.0, 1.0)
+
+    def test_utilization_clipped_to_one(self):
+        assert utilization(100.0, 2, 1.0) == 1.0
+        assert utilization(1.0, 2, 1.0) == pytest.approx(0.5)
+
+    def test_utilization_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            utilization(1.0, 0, 1.0)
+        with pytest.raises(ValueError):
+            utilization(-1.0, 1, 1.0)

@@ -1,0 +1,139 @@
+"""Tests of the guard-channel (cutoff-priority) admission model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.erlang import ErlangLossSystem
+from repro.queueing.guard_channel import GuardChannelSystem
+
+
+def make_system(guard: int = 2) -> GuardChannelSystem:
+    return GuardChannelSystem(
+        new_call_rate=0.4,
+        handover_rate=0.2,
+        service_rate=1.0 / 90.0,
+        servers=19,
+        guard_channels=guard,
+    )
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GuardChannelSystem(-1.0, 0.1, 1.0, 10)
+        with pytest.raises(ValueError):
+            GuardChannelSystem(0.1, -1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            GuardChannelSystem(0.1, 0.1, 0.0, 10)
+        with pytest.raises(ValueError):
+            GuardChannelSystem(0.1, 0.1, 1.0, 0)
+        with pytest.raises(ValueError):
+            GuardChannelSystem(0.1, 0.1, 1.0, 10, guard_channels=11)
+        with pytest.raises(ValueError):
+            GuardChannelSystem(0.1, 0.1, 1.0, 10, guard_channels=-1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            make_system().grade_of_service(handover_weight=-1.0)
+
+
+class TestZeroGuardChannelsReducesToErlang:
+    def test_blocking_matches_erlang_b(self):
+        system = GuardChannelSystem(0.3, 0.1, 1.0 / 120.0, 15, guard_channels=0)
+        erlang = ErlangLossSystem(arrival_rate=0.4, service_rate=1.0 / 120.0, servers=15)
+        assert system.new_call_blocking_probability() == pytest.approx(
+            erlang.blocking_probability(), rel=1e-9
+        )
+        assert system.handover_failure_probability() == pytest.approx(
+            erlang.blocking_probability(), rel=1e-9
+        )
+        assert system.carried_traffic() == pytest.approx(erlang.carried_traffic(), rel=1e-9)
+
+
+class TestGuardChannelEffect:
+    def test_distribution_is_a_probability_vector(self):
+        pi = make_system().state_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_more_guard_channels_protect_handovers(self):
+        failures = [
+            make_system(guard).handover_failure_probability() for guard in range(0, 6)
+        ]
+        assert failures == sorted(failures, reverse=True)
+
+    def test_more_guard_channels_hurt_new_calls(self):
+        blockings = [
+            make_system(guard).new_call_blocking_probability() for guard in range(0, 6)
+        ]
+        assert blockings == sorted(blockings)
+
+    def test_handover_failure_never_exceeds_new_call_blocking(self):
+        for guard in range(0, 8):
+            system = make_system(guard)
+            assert (
+                system.handover_failure_probability()
+                <= system.new_call_blocking_probability() + 1e-12
+            )
+
+    def test_carried_traffic_decreases_with_guard_channels(self):
+        carried = [make_system(guard).carried_traffic() for guard in (0, 4, 8)]
+        assert carried == sorted(carried, reverse=True)
+
+    def test_with_guard_channels_returns_modified_copy(self):
+        base = make_system(0)
+        other = base.with_guard_channels(3)
+        assert other.guard_channels == 3
+        assert base.guard_channels == 0
+        assert other.new_call_rate == base.new_call_rate
+
+
+class TestDimensioning:
+    def test_dimensioning_meets_the_target(self):
+        rates = dict(new_call_rate=0.4, handover_rate=0.05, service_rate=1.0 / 90.0, servers=19)
+        guard = GuardChannelSystem.dimension_guard_channels(
+            **rates, max_handover_failure=0.001
+        )
+        assert guard is not None
+        assert GuardChannelSystem(**rates, guard_channels=guard).handover_failure_probability() <= 0.001
+        if guard > 0:
+            previous = GuardChannelSystem(**rates, guard_channels=guard - 1)
+            assert previous.handover_failure_probability() > 0.001
+
+    def test_unreachable_target_returns_none(self):
+        guard = GuardChannelSystem.dimension_guard_channels(
+            new_call_rate=50.0,
+            handover_rate=50.0,
+            service_rate=1.0 / 120.0,
+            servers=4,
+            max_handover_failure=1e-9,
+        )
+        assert guard is None
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            GuardChannelSystem.dimension_guard_channels(0.1, 0.1, 1.0, 10,
+                                                        max_handover_failure=0.0)
+
+
+class TestGuardChannelProperties:
+    @given(
+        new_rate=st.floats(min_value=0.01, max_value=2.0),
+        handover_rate=st.floats(min_value=0.01, max_value=2.0),
+        servers=st.integers(min_value=2, max_value=30),
+        guard=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=60)
+    def test_probabilities_are_probabilities(self, new_rate, handover_rate, servers, guard):
+        system = GuardChannelSystem(
+            new_call_rate=new_rate,
+            handover_rate=handover_rate,
+            service_rate=1.0 / 100.0,
+            servers=servers,
+            guard_channels=min(guard, servers),
+        )
+        assert 0.0 <= system.new_call_blocking_probability() <= 1.0
+        assert 0.0 <= system.handover_failure_probability() <= 1.0
+        assert 0.0 <= system.carried_traffic() <= servers

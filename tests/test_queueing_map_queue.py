@@ -1,0 +1,108 @@
+"""Tests of the MAP/M/c/K queue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.map_process import MarkovianArrivalProcess, map_from_mmpp
+from repro.markov.mmpp import InterruptedPoissonProcess, aggregate_identical_ipps
+from repro.queueing.map_queue import MapMcKQueue
+from repro.queueing.mmck import MMcKQueue
+
+
+def poisson_map(rate: float) -> MarkovianArrivalProcess:
+    return MarkovianArrivalProcess(np.array([[-rate]]), np.array([[rate]]))
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MapMcKQueue(poisson_map(1.0), service_rate=0.0, servers=1, capacity=5)
+        with pytest.raises(ValueError):
+            MapMcKQueue(poisson_map(1.0), service_rate=1.0, servers=0, capacity=5)
+        with pytest.raises(ValueError):
+            MapMcKQueue(poisson_map(1.0), service_rate=1.0, servers=4, capacity=3)
+
+
+class TestPoissonSpecialCase:
+    def test_matches_the_mmck_closed_form(self):
+        """With a Poisson MAP the queue must reproduce M/M/c/K exactly."""
+        arrival, service, servers, capacity = 2.3, 1.1, 3, 12
+        map_queue = MapMcKQueue(poisson_map(arrival), service, servers, capacity)
+        reference = MMcKQueue(arrival_rate=arrival, service_rate=service,
+                              servers=servers, capacity=capacity)
+        assert map_queue.blocking_probability() == pytest.approx(
+            reference.blocking_probability(), rel=1e-8
+        )
+        assert map_queue.mean_number_in_system() == pytest.approx(
+            reference.mean_number_in_system(), rel=1e-8
+        )
+        assert map_queue.mean_queue_length() == pytest.approx(
+            reference.mean_queue_length(), rel=1e-8
+        )
+        assert map_queue.throughput() == pytest.approx(reference.throughput(), rel=1e-8)
+
+    def test_queue_length_distribution_sums_to_one(self):
+        queue = MapMcKQueue(poisson_map(1.0), 2.0, 2, 8)
+        marginal = queue.queue_length_distribution()
+        assert marginal.sum() == pytest.approx(1.0)
+        assert (marginal >= -1e-15).all()
+
+
+class TestBurstyArrivals:
+    def make_ipp_queue(self, capacity=20, servers=2, service=1.0) -> MapMcKQueue:
+        ipp = InterruptedPoissonProcess(packet_rate=4.0, on_to_off_rate=0.5, off_to_on_rate=0.5)
+        return MapMcKQueue(map_from_mmpp(ipp), service, servers, capacity)
+
+    def test_bursty_traffic_loses_more_than_poisson_at_equal_mean_rate(self):
+        """Burstiness raises the loss probability -- the paper's central traffic point."""
+        ipp = InterruptedPoissonProcess(packet_rate=4.0, on_to_off_rate=0.5, off_to_on_rate=0.5)
+        mean_rate = ipp.mean_arrival_rate()
+        bursty = MapMcKQueue(map_from_mmpp(ipp), 1.0, 2, 20)
+        poisson = MapMcKQueue(poisson_map(mean_rate), 1.0, 2, 20)
+        assert bursty.blocking_probability() > poisson.blocking_probability()
+
+    def test_bursty_traffic_queues_longer_at_moderate_load(self):
+        """Below saturation the on-periods overload the servers and build queues."""
+        ipp = InterruptedPoissonProcess(packet_rate=4.0, on_to_off_rate=0.5, off_to_on_rate=0.5)
+        mean_rate = ipp.mean_arrival_rate()
+        bursty = MapMcKQueue(map_from_mmpp(ipp), 3.0, 1, 30)
+        poisson = MapMcKQueue(poisson_map(mean_rate), 3.0, 1, 30)
+        assert bursty.mean_queue_length() > poisson.mean_queue_length()
+        assert bursty.mean_waiting_time() > poisson.mean_waiting_time()
+
+    def test_throughput_is_bounded_by_capacity_and_demand(self):
+        queue = self.make_ipp_queue()
+        offered = queue.arrival_process.mean_arrival_rate()
+        assert queue.throughput() <= min(offered, queue.servers * queue.service_rate) + 1e-9
+
+    def test_loss_and_throughput_are_consistent(self):
+        """Accepted rate (1 - loss) * offered equals the served rate."""
+        queue = self.make_ipp_queue(capacity=15, servers=1)
+        offered = queue.arrival_process.mean_arrival_rate()
+        accepted = offered * (1.0 - queue.blocking_probability())
+        assert accepted == pytest.approx(queue.throughput(), rel=1e-6)
+
+    def test_bigger_buffer_reduces_loss(self):
+        small = self.make_ipp_queue(capacity=5)
+        large = self.make_ipp_queue(capacity=40)
+        assert large.blocking_probability() < small.blocking_probability()
+
+    def test_more_servers_reduce_delay(self):
+        slow = self.make_ipp_queue(servers=1)
+        fast = self.make_ipp_queue(servers=4)
+        assert fast.mean_waiting_time() <= slow.mean_waiting_time() + 1e-12
+
+
+class TestAggregatedGprsSessions:
+    def test_aggregate_of_sessions_feeding_the_bsc_buffer(self):
+        """The BSC buffer fed by m aggregated 3GPP sessions has sane measures."""
+        from repro.traffic.presets import TRAFFIC_MODEL_3
+
+        session_ipp = TRAFFIC_MODEL_3.session.to_ipp()
+        aggregate = map_from_mmpp(aggregate_identical_ipps(session_ipp, 4))
+        queue = MapMcKQueue(aggregate, service_rate=3.49, servers=3, capacity=20)
+        assert 0.0 <= queue.blocking_probability() <= 1.0
+        assert 0.0 <= queue.mean_busy_servers() <= 3.0
+        assert queue.mean_number_in_system() <= 20.0

@@ -1,0 +1,160 @@
+"""Tests of the preemptive-priority voice/data sharing approximation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queueing.erlang import ErlangLossSystem
+from repro.queueing.priority import PreemptivePrioritySharing
+
+
+def make_sharing(**overrides) -> PreemptivePrioritySharing:
+    values = dict(
+        voice_arrival_rate=0.4,
+        voice_service_rate=1.0 / 40.0,  # completion + handover of the base setting
+        data_arrival_rate=5.0,
+        data_service_rate=3.49,
+        channels=20,
+        reserved_data_channels=1,
+        buffer_size=20,
+    )
+    values.update(overrides)
+    return PreemptivePrioritySharing(**values)
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_sharing(channels=0)
+        with pytest.raises(ValueError):
+            make_sharing(reserved_data_channels=20)
+        with pytest.raises(ValueError):
+            make_sharing(reserved_data_channels=-1)
+        with pytest.raises(ValueError):
+            make_sharing(voice_arrival_rate=-0.1)
+        with pytest.raises(ValueError):
+            make_sharing(voice_service_rate=0.0)
+        with pytest.raises(ValueError):
+            make_sharing(data_service_rate=0.0)
+        with pytest.raises(ValueError):
+            make_sharing(buffer_size=0)
+        with pytest.raises(ValueError):
+            make_sharing(max_channels_per_packet=0)
+
+
+class TestVoiceClass:
+    def test_voice_is_plain_erlang_on_the_non_reserved_channels(self):
+        sharing = make_sharing()
+        erlang = ErlangLossSystem(arrival_rate=0.4, service_rate=1.0 / 40.0, servers=19)
+        assert sharing.voice_blocking_probability() == pytest.approx(
+            erlang.blocking_probability(), rel=1e-12
+        )
+        assert sharing.carried_voice_traffic() == pytest.approx(
+            erlang.carried_traffic(), rel=1e-12
+        )
+
+    def test_voice_is_unaffected_by_data_load(self):
+        light = make_sharing(data_arrival_rate=0.1)
+        heavy = make_sharing(data_arrival_rate=50.0)
+        assert light.voice_blocking_probability() == pytest.approx(
+            heavy.voice_blocking_probability(), rel=1e-12
+        )
+
+
+class TestChannelAvailability:
+    def test_channel_distribution_is_a_probability_vector(self):
+        distribution = make_sharing().data_channel_distribution()
+        assert distribution.sum() == pytest.approx(1.0)
+        assert (distribution >= 0).all()
+
+    def test_reserved_channels_are_always_available(self):
+        sharing = make_sharing()
+        distribution = sharing.data_channel_distribution()
+        # With 1 reserved PDCH and 19 voice channels, at least 1 channel is
+        # always available to data: probability of having 0 channels is zero.
+        assert distribution[0] == pytest.approx(0.0)
+
+    def test_no_voice_load_leaves_every_channel_to_data(self):
+        sharing = make_sharing(voice_arrival_rate=0.0)
+        distribution = sharing.data_channel_distribution()
+        assert distribution[sharing.channels] == pytest.approx(1.0)
+
+
+class TestDataClass:
+    def test_data_suffers_as_voice_load_grows(self):
+        low_voice = make_sharing(voice_arrival_rate=0.05)
+        high_voice = make_sharing(voice_arrival_rate=1.5)
+        assert high_voice.data_loss_probability() >= low_voice.data_loss_probability()
+        assert high_voice.carried_data_traffic() <= low_voice.carried_data_traffic() + 1e-9
+
+    def test_loss_probability_is_a_probability(self):
+        sharing = make_sharing(data_arrival_rate=100.0, voice_arrival_rate=2.0)
+        assert 0.0 <= sharing.data_loss_probability() <= 1.0
+
+    def test_light_data_load_sees_almost_no_loss(self):
+        sharing = make_sharing(data_arrival_rate=0.05, voice_arrival_rate=0.05)
+        assert sharing.data_loss_probability() < 1e-3
+        assert sharing.data_mean_queue_length() < 1.0
+
+    def test_throughput_consistent_with_carried_traffic(self):
+        sharing = make_sharing()
+        assert sharing.data_throughput() == pytest.approx(
+            sharing.carried_data_traffic() * sharing.data_service_rate, rel=1e-12
+        )
+
+    def test_more_reserved_channels_reduce_data_loss_under_heavy_voice(self):
+        few = make_sharing(voice_arrival_rate=1.0, reserved_data_channels=1,
+                           data_arrival_rate=12.0)
+        many = make_sharing(voice_arrival_rate=1.0, reserved_data_channels=4,
+                            data_arrival_rate=12.0)
+        assert many.data_loss_probability() <= few.data_loss_probability() + 1e-12
+
+
+class TestAgainstFullGprsModel:
+    def test_decomposition_tracks_the_ctmc_for_poisson_like_traffic(self):
+        """The quasi-stationary mixture approximates the exact CTMC at low burstiness.
+
+        With reading times that are negligible compared to packet calls the
+        GPRS traffic is almost Poisson, which is the regime where the
+        decomposition is expected to be accurate for carried data traffic.
+        """
+        from repro.core.model import GprsMarkovModel
+        from repro.core.parameters import GprsModelParameters
+        from repro.traffic.session import PacketSessionModel
+
+        almost_poisson = PacketSessionModel(
+            packet_calls_per_session=200,
+            reading_time_s=1e-3,
+            packets_per_packet_call=50,
+            packet_interarrival_s=0.8,
+            name="almost poisson",
+        )
+        params = GprsModelParameters(
+            total_call_arrival_rate=0.3,
+            gprs_fraction=0.1,
+            traffic=almost_poisson,
+            buffer_size=15,
+            max_gprs_sessions=4,
+            reserved_pdch=2,
+            tcp_threshold=1.0,
+        )
+        model = GprsMarkovModel(params)
+        solution = model.solve()
+        measures = solution.measures
+        # Mean packet arrival rate seen by the cell: sessions * per-session rate.
+        mean_sessions = measures.average_gprs_sessions
+        per_session_rate = almost_poisson.packet_rate * almost_poisson.activity_factor
+        sharing = PreemptivePrioritySharing(
+            voice_arrival_rate=(
+                params.gsm_arrival_rate + model.handover_balance.gsm_handover_arrival_rate
+            ),
+            voice_service_rate=params.gsm_completion_rate + params.gsm_handover_departure_rate,
+            data_arrival_rate=mean_sessions * per_session_rate,
+            data_service_rate=params.pdch_service_rate,
+            channels=params.number_of_channels,
+            reserved_data_channels=params.reserved_pdch,
+            buffer_size=params.buffer_size,
+        )
+        assert sharing.carried_data_traffic() == pytest.approx(
+            measures.carried_data_traffic, rel=0.35
+        )

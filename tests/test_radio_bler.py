@@ -1,0 +1,102 @@
+"""Tests of the coding-scheme block-error-rate curves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radio.bler import (
+    CODING_SCHEME_BLER_PARAMETERS,
+    BlerCurve,
+    block_error_rate,
+    nominal_rate_kbit_s,
+    required_ci_for_bler,
+)
+
+SCHEMES = ("CS-1", "CS-2", "CS-3", "CS-4")
+
+
+class TestBlerCurves:
+    def test_all_four_schemes_have_curves(self):
+        assert set(CODING_SCHEME_BLER_PARAMETERS) == set(SCHEMES)
+
+    def test_bler_is_a_probability(self):
+        for scheme in SCHEMES:
+            for ci in (-20.0, 0.0, 9.0, 30.0):
+                assert 0.0 <= block_error_rate(scheme, ci) <= 1.0
+
+    def test_stronger_coding_is_more_robust_at_any_ci(self):
+        """At every C/I the block error rate is ordered CS-1 <= ... <= CS-4."""
+        for ci in (-5.0, 0.0, 5.0, 9.0, 12.0, 20.0):
+            blers = [block_error_rate(scheme, ci) for scheme in SCHEMES]
+            assert blers == sorted(blers)
+
+    def test_bler_decreases_with_ci(self):
+        for scheme in SCHEMES:
+            values = [block_error_rate(scheme, ci) for ci in range(-10, 31, 2)]
+            assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_midpoint_gives_half(self):
+        for scheme, curve in CODING_SCHEME_BLER_PARAMETERS.items():
+            assert block_error_rate(scheme, curve.midpoint_db) == pytest.approx(0.5)
+
+    def test_extreme_ci_saturates_without_overflow(self):
+        assert block_error_rate("CS-2", 1e6) == pytest.approx(0.0, abs=1e-12)
+        assert block_error_rate("CS-2", -1e6) == pytest.approx(1.0, abs=1e-12)
+
+    def test_cs2_is_reasonable_at_the_usual_operating_point(self):
+        """Around 9 dB (a planned GSM network) CS-2 loses only a modest block fraction."""
+        assert block_error_rate("CS-2", 9.0) < 0.25
+        assert block_error_rate("CS-2", 15.0) < 0.01
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            block_error_rate("CS-5", 9.0)
+        with pytest.raises(ValueError):
+            required_ci_for_bler("CS-0", 0.1)
+        with pytest.raises(ValueError):
+            nominal_rate_kbit_s("CS-9")
+
+
+class TestRequiredCi:
+    def test_required_ci_inverts_the_curve(self):
+        for scheme in SCHEMES:
+            for target in (0.01, 0.1, 0.5, 0.9):
+                ci = required_ci_for_bler(scheme, target)
+                assert block_error_rate(scheme, ci) == pytest.approx(target, rel=1e-6)
+
+    def test_weaker_coding_needs_more_ci_for_the_same_bler(self):
+        required = [required_ci_for_bler(scheme, 0.1) for scheme in SCHEMES]
+        assert required == sorted(required)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            required_ci_for_bler("CS-2", 0.0)
+        with pytest.raises(ValueError):
+            required_ci_for_bler("CS-2", 1.0)
+
+    def test_invalid_slope_rejected(self):
+        with pytest.raises(ValueError):
+            BlerCurve("CS-2", midpoint_db=7.0, slope_per_db=0.0)
+
+
+class TestBlerProperties:
+    @given(
+        ci=st.floats(min_value=-50.0, max_value=50.0),
+        scheme=st.sampled_from(SCHEMES),
+    )
+    def test_bler_always_in_unit_interval(self, ci, scheme):
+        assert 0.0 <= block_error_rate(scheme, ci) <= 1.0
+
+    @given(
+        ci_low=st.floats(min_value=-30.0, max_value=30.0),
+        delta=st.floats(min_value=0.0, max_value=30.0),
+        scheme=st.sampled_from(SCHEMES),
+    )
+    def test_bler_monotone_in_ci(self, ci_low, delta, scheme):
+        assert block_error_rate(scheme, ci_low + delta) <= block_error_rate(scheme, ci_low) + 1e-12
+
+    @given(target=st.floats(min_value=1e-4, max_value=0.999))
+    def test_round_trip_through_required_ci(self, target):
+        ci = required_ci_for_bler("CS-3", target)
+        assert block_error_rate("CS-3", ci) == pytest.approx(target, rel=1e-6, abs=1e-9)

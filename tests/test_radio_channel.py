@@ -1,0 +1,116 @@
+"""Tests of the Gilbert--Elliott burst-error channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.channel import GilbertElliottChannel
+
+
+class TestChannelValidation:
+    def test_defaults_are_valid(self):
+        channel = GilbertElliottChannel()
+        assert 0.0 < channel.probability_good < 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(good_block_error_rate=1.0)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(bad_block_error_rate=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(good_block_error_rate=0.6, bad_block_error_rate=0.3)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(mean_good_duration_s=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(mean_bad_duration_s=-1.0)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(block_period_s=0.0)
+
+    def test_negative_sample_length_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel().sample_block_errors(-1)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel().empirical_block_error_rate(0)
+
+
+class TestStationaryBehaviour:
+    def test_state_probabilities_sum_to_one(self):
+        channel = GilbertElliottChannel(mean_good_duration_s=3.0, mean_bad_duration_s=1.0)
+        assert channel.probability_good + channel.probability_bad == pytest.approx(1.0)
+        assert channel.probability_good == pytest.approx(0.75)
+
+    def test_stationary_bler_is_between_the_state_blers(self):
+        channel = GilbertElliottChannel(
+            good_block_error_rate=0.01, bad_block_error_rate=0.4
+        )
+        stationary = channel.stationary_block_error_rate()
+        assert 0.01 <= stationary <= 0.4
+
+    def test_ctmc_stationary_distribution_matches_closed_form(self):
+        channel = GilbertElliottChannel(mean_good_duration_s=2.0, mean_bad_duration_s=0.5)
+        pi = channel.to_ctmc().stationary_distribution()
+        assert pi[0] == pytest.approx(channel.probability_good, rel=1e-9)
+        assert pi[1] == pytest.approx(channel.probability_bad, rel=1e-9)
+
+    def test_burst_length_at_least_one_block(self):
+        short_dips = GilbertElliottChannel(mean_bad_duration_s=0.001)
+        assert short_dips.mean_error_burst_length_blocks() == pytest.approx(1.0)
+        long_dips = GilbertElliottChannel(mean_bad_duration_s=0.2)
+        assert long_dips.mean_error_burst_length_blocks() == pytest.approx(10.0)
+
+
+class TestSampling:
+    def test_sampled_error_rate_close_to_stationary(self):
+        channel = GilbertElliottChannel(
+            good_block_error_rate=0.02,
+            bad_block_error_rate=0.5,
+            mean_good_duration_s=1.0,
+            mean_bad_duration_s=0.25,
+        )
+        rng = np.random.default_rng(7)
+        empirical = channel.empirical_block_error_rate(200_000, rng)
+        assert empirical == pytest.approx(channel.stationary_block_error_rate(), abs=0.01)
+
+    def test_errors_are_correlated_in_bursts(self):
+        """A bursty channel shows more adjacent error pairs than an i.i.d. one."""
+        channel = GilbertElliottChannel(
+            good_block_error_rate=0.0,
+            bad_block_error_rate=1.0,
+            mean_good_duration_s=1.0,
+            mean_bad_duration_s=0.2,
+        )
+        rng = np.random.default_rng(11)
+        errors = channel.sample_block_errors(100_000, rng)
+        rate = errors.mean()
+        adjacent_pairs = np.mean(errors[1:] & errors[:-1])
+        assert adjacent_pairs > 1.5 * rate * rate  # far above the independent value
+
+    def test_sample_length(self):
+        errors = GilbertElliottChannel().sample_block_errors(123, np.random.default_rng(0))
+        assert errors.shape == (123,)
+        assert errors.dtype == bool
+
+    def test_zero_length_sample(self):
+        assert GilbertElliottChannel().sample_block_errors(0).shape == (0,)
+
+
+class TestChannelProperties:
+    @given(
+        good=st.floats(min_value=0.0, max_value=0.3),
+        extra=st.floats(min_value=0.0, max_value=0.7),
+        good_duration=st.floats(min_value=0.01, max_value=100.0),
+        bad_duration=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=50)
+    def test_stationary_bler_bounds(self, good, extra, good_duration, bad_duration):
+        channel = GilbertElliottChannel(
+            good_block_error_rate=good,
+            bad_block_error_rate=min(good + extra, 1.0),
+            mean_good_duration_s=good_duration,
+            mean_bad_duration_s=bad_duration,
+        )
+        stationary = channel.stationary_block_error_rate()
+        assert channel.good_block_error_rate - 1e-12 <= stationary
+        assert stationary <= channel.bad_block_error_rate + 1e-12

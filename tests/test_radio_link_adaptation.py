@@ -1,0 +1,136 @@
+"""Tests of link adaptation (coding-scheme selection)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.bler import block_error_rate
+from repro.radio.link_adaptation import (
+    LinkAdaptationPolicy,
+    best_coding_scheme,
+    goodput_kbit_s,
+    switching_thresholds,
+)
+from repro.traffic.units import CODING_SCHEME_RATES_KBIT_S
+
+SCHEMES = ("CS-1", "CS-2", "CS-3", "CS-4")
+
+
+class TestBestCodingScheme:
+    def test_poor_link_uses_the_most_robust_scheme(self):
+        assert best_coding_scheme(-5.0) == "CS-1"
+
+    def test_clean_link_uses_the_fastest_scheme(self):
+        assert best_coding_scheme(40.0) == "CS-4"
+
+    def test_choice_maximises_goodput(self):
+        for ci in (-5.0, 2.0, 8.0, 12.0, 18.0, 30.0):
+            chosen = best_coding_scheme(ci)
+            chosen_rate = goodput_kbit_s(chosen, ci)
+            for scheme in SCHEMES:
+                assert chosen_rate >= goodput_kbit_s(scheme, ci) - 1e-9
+
+    def test_selected_scheme_is_monotone_in_ci(self):
+        """Better links never select a more robust (slower) scheme."""
+        order = {scheme: i for i, scheme in enumerate(SCHEMES)}
+        previous = -1
+        for ci in [x / 2.0 for x in range(-20, 81)]:
+            index = order[best_coding_scheme(ci)]
+            assert index >= previous
+            previous = index
+
+
+class TestSwitchingThresholds:
+    def test_every_adjacent_pair_has_a_threshold(self):
+        thresholds = switching_thresholds()
+        assert set(thresholds) == {("CS-1", "CS-2"), ("CS-2", "CS-3"), ("CS-3", "CS-4")}
+
+    def test_thresholds_are_increasing(self):
+        thresholds = switching_thresholds()
+        values = [
+            thresholds[("CS-1", "CS-2")],
+            thresholds[("CS-2", "CS-3")],
+            thresholds[("CS-3", "CS-4")],
+        ]
+        assert values == sorted(values)
+
+    def test_goodputs_cross_at_the_threshold(self):
+        thresholds = switching_thresholds(resolution_db=0.001)
+        for (below, above), ci in thresholds.items():
+            assert goodput_kbit_s(below, ci) == pytest.approx(
+                goodput_kbit_s(above, ci), rel=0.01
+            )
+
+    def test_invalid_scan_range_rejected(self):
+        with pytest.raises(ValueError):
+            switching_thresholds(low_ci_db=10.0, high_ci_db=0.0)
+        with pytest.raises(ValueError):
+            switching_thresholds(resolution_db=0.0)
+
+
+class TestLinkAdaptationPolicy:
+    def test_initial_scheme_is_reported_before_any_observation(self):
+        policy = LinkAdaptationPolicy(initial_scheme="CS-3")
+        assert policy.current_scheme == "CS-3"
+        assert policy.history == []
+
+    def test_policy_converges_to_the_optimal_scheme(self):
+        policy = LinkAdaptationPolicy(hysteresis_db=0.0, initial_scheme="CS-1")
+        for _ in range(6):
+            policy.observe(30.0)
+        assert policy.current_scheme == "CS-4"
+        policy_down = LinkAdaptationPolicy(hysteresis_db=0.0, initial_scheme="CS-4")
+        for _ in range(6):
+            policy_down.observe(-5.0)
+        assert policy_down.current_scheme == "CS-1"
+
+    def test_policy_moves_one_step_per_observation(self):
+        policy = LinkAdaptationPolicy(hysteresis_db=0.0, initial_scheme="CS-1")
+        policy.observe(40.0)
+        assert policy.current_scheme == "CS-2"
+        policy.observe(40.0)
+        assert policy.current_scheme == "CS-3"
+
+    def test_hysteresis_prevents_flapping_at_a_threshold(self):
+        thresholds = switching_thresholds()
+        boundary = thresholds[("CS-2", "CS-3")]
+        policy = LinkAdaptationPolicy(hysteresis_db=1.5, initial_scheme="CS-2")
+        # Measurements oscillating tightly around the boundary never flip the scheme.
+        for offset in (0.3, -0.3, 0.4, -0.4, 0.2, -0.2):
+            policy.observe(boundary + offset)
+        assert set(policy.history) == {"CS-2"}
+
+    def test_large_swings_do_change_the_scheme_despite_hysteresis(self):
+        policy = LinkAdaptationPolicy(hysteresis_db=1.5, initial_scheme="CS-2")
+        for _ in range(5):
+            policy.observe(35.0)
+        assert policy.current_scheme == "CS-4"
+
+    def test_history_records_every_observation(self):
+        policy = LinkAdaptationPolicy()
+        for ci in (5.0, 10.0, 15.0):
+            policy.observe(ci)
+        assert len(policy.history) == 3
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            LinkAdaptationPolicy(hysteresis_db=-1.0)
+        with pytest.raises(ValueError):
+            LinkAdaptationPolicy(initial_scheme="CS-9")
+
+
+class TestLinkAdaptationProperties:
+    @given(ci=st.floats(min_value=-30.0, max_value=60.0))
+    @settings(max_examples=60)
+    def test_best_scheme_goodput_dominates_all_schemes(self, ci):
+        chosen = best_coding_scheme(ci)
+        for scheme in SCHEMES:
+            assert goodput_kbit_s(chosen, ci) >= goodput_kbit_s(scheme, ci) - 1e-9
+
+    @given(ci=st.floats(min_value=-30.0, max_value=60.0))
+    @settings(max_examples=60)
+    def test_goodput_never_exceeds_nominal_rate(self, ci):
+        for scheme in SCHEMES:
+            nominal = CODING_SCHEME_RATES_KBIT_S[scheme]
+            assert goodput_kbit_s(scheme, ci) <= nominal * (1.0 - block_error_rate(scheme, ci)) + 1e-9

@@ -1,0 +1,133 @@
+"""Tests of the per-cell resource management and downlink scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import GprsModelParameters
+from repro.des.engine import SimulationEngine
+from repro.simulator.cell import Cell, Packet
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+@pytest.fixture
+def params() -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, total_call_arrival_rate=0.5, buffer_size=5,
+        max_gprs_sessions=3, reserved_pdch=2,
+    )
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    return SimulationEngine()
+
+
+@pytest.fixture
+def cell(engine, params) -> Cell:
+    return Cell(engine, index=0, params=params)
+
+
+class RecordingSession:
+    """Minimal session stub recording delivered packets."""
+
+    def __init__(self):
+        self.delivered = []
+
+    def on_packet_delivered(self, packet):
+        self.delivered.append(packet)
+
+
+class TestGsmAdmission:
+    def test_admission_up_to_gsm_channel_limit(self, cell, params):
+        admitted = sum(cell.try_admit_gsm_call() for _ in range(params.gsm_channels + 4))
+        assert admitted == params.gsm_channels
+        assert cell.gsm_calls_in_progress == params.gsm_channels
+        assert cell.statistics.gsm_calls_blocked.count == 4
+        assert cell.statistics.gsm_calls_offered.count == params.gsm_channels + 4
+
+    def test_release_frees_a_channel(self, cell):
+        cell.try_admit_gsm_call()
+        cell.release_gsm_call()
+        assert cell.gsm_calls_in_progress == 0
+
+    def test_release_without_call_raises(self, cell):
+        with pytest.raises(RuntimeError):
+            cell.release_gsm_call()
+
+
+class TestGprsAdmission:
+    def test_admission_up_to_session_cap(self, cell, params):
+        admitted = sum(cell.try_admit_gprs_session() for _ in range(params.max_gprs_sessions + 2))
+        assert admitted == params.max_gprs_sessions
+        assert cell.statistics.gprs_sessions_blocked.count == 2
+
+    def test_remove_without_session_raises(self, cell):
+        with pytest.raises(RuntimeError):
+            cell.remove_gprs_session()
+
+
+class TestBufferAndScheduler:
+    def test_packets_lost_when_buffer_full(self, cell, params):
+        # Without a running scheduler the buffer simply fills up.
+        session = RecordingSession()
+        accepted = 0
+        for sequence in range(params.buffer_size + 3):
+            packet = Packet(session=session, sequence_number=sequence, size_bytes=480)
+            accepted += cell.enqueue_packet(packet)
+        assert accepted == params.buffer_size
+        assert cell.statistics.packets_lost.count == 3
+        assert cell.buffer_level == params.buffer_size
+
+    def test_scheduler_transmits_and_notifies_session(self, engine, cell):
+        cell.start_scheduler()
+        session = RecordingSession()
+        for sequence in range(3):
+            cell.enqueue_packet(Packet(session=session, sequence_number=sequence,
+                                       size_bytes=480))
+        engine.run(until=10.0)
+        assert len(session.delivered) == 3
+        assert cell.statistics.packets_served.count == 3
+        assert cell.buffer_level == 0
+        assert cell.data_channels_in_use == 0
+
+    def test_packet_delay_includes_transmission_time(self, engine, cell):
+        cell.start_scheduler()
+        session = RecordingSession()
+        cell.enqueue_packet(Packet(session=session, sequence_number=0, size_bytes=480))
+        engine.run(until=10.0)
+        # A single packet with 18 free channels uses 8 PDCHs: 2 radio blocks = 40 ms.
+        assert cell.statistics.packet_delay.mean == pytest.approx(0.04, abs=1e-6)
+
+    def test_voice_calls_reduce_data_capacity(self, engine, params):
+        """With all GSM channels busy only the reserved PDCHs remain for data."""
+        cell = Cell(engine, 0, params)
+        cell.start_scheduler()
+        for _ in range(params.gsm_channels):
+            assert cell.try_admit_gsm_call()
+        session = RecordingSession()
+        cell.enqueue_packet(Packet(session=session, sequence_number=0, size_bytes=480))
+        engine.run(until=1.0)
+        # Only the 2 reserved PDCHs can carry the packet: ceil(15/2) = 8 blocks = 160 ms.
+        assert session.delivered
+        assert cell.statistics.packet_delay.mean == pytest.approx(0.16, abs=1e-6)
+
+    def test_scheduler_wakes_up_for_late_arrivals(self, engine, cell):
+        cell.start_scheduler()
+        session = RecordingSession()
+        engine.run(until=5.0)  # scheduler idles
+        cell.enqueue_packet(Packet(session=session, sequence_number=0, size_bytes=480))
+        engine.run(until=10.0)
+        assert len(session.delivered) == 1
+
+    def test_free_data_channels_accounting(self, cell, params):
+        assert cell.free_data_channels == params.number_of_channels
+        cell.try_admit_gsm_call()
+        assert cell.free_data_channels == params.number_of_channels - 1
+
+    def test_statistics_reset(self, engine, cell):
+        session = RecordingSession()
+        cell.enqueue_packet(Packet(session=session, sequence_number=0, size_bytes=480))
+        cell.statistics.reset(engine.now)
+        assert cell.statistics.packets_offered.count == 0
+        assert cell.statistics.packet_delay.count == 0

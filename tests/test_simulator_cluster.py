@@ -1,0 +1,68 @@
+"""Tests of the hexagonal cluster topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.random_variates import RandomVariateStream
+from repro.simulator.cluster import HexagonalCluster
+
+
+class TestTopology:
+    def test_seven_cell_cluster_structure(self):
+        cluster = HexagonalCluster(7)
+        assert cluster.number_of_cells == 7
+        # The mid cell touches every ring cell.
+        assert cluster.neighbours(0) == [1, 2, 3, 4, 5, 6]
+        # A ring cell touches the mid cell and its two ring neighbours.
+        for cell in range(1, 7):
+            neighbours = cluster.neighbours(cell)
+            assert 0 in neighbours
+            assert len(neighbours) == 3
+
+    def test_mid_cell_identification(self):
+        cluster = HexagonalCluster(7)
+        assert cluster.is_mid_cell(0)
+        assert not cluster.is_mid_cell(3)
+
+    def test_single_cell_cluster_is_self_neighbouring(self):
+        cluster = HexagonalCluster(1)
+        assert cluster.neighbours(0) == [0]
+        stream = RandomVariateStream(1)
+        assert cluster.handover_target(0, stream) == 0
+
+    def test_two_cell_cluster(self):
+        cluster = HexagonalCluster(2)
+        assert cluster.neighbours(0) == [1]
+        assert cluster.neighbours(1) == [0]
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            HexagonalCluster(0)
+
+    def test_invalid_cell_index(self):
+        cluster = HexagonalCluster(7)
+        with pytest.raises(ValueError):
+            cluster.neighbours(7)
+        with pytest.raises(ValueError):
+            cluster.is_mid_cell(-1)
+
+    def test_handover_target_is_always_a_neighbour(self):
+        cluster = HexagonalCluster(7)
+        stream = RandomVariateStream(3)
+        for cell in range(7):
+            neighbours = set(cluster.neighbours(cell))
+            for _ in range(25):
+                assert cluster.handover_target(cell, stream) in neighbours
+
+    def test_handover_targets_cover_all_neighbours(self):
+        cluster = HexagonalCluster(7)
+        stream = RandomVariateStream(4)
+        seen = {cluster.handover_target(0, stream) for _ in range(200)}
+        assert seen == set(cluster.neighbours(0))
+
+    def test_graph_is_connected(self):
+        import networkx as nx
+
+        cluster = HexagonalCluster(7)
+        assert nx.is_connected(cluster.graph)

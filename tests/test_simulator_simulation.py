@@ -1,0 +1,221 @@
+"""Tests of the traffic factories and the end-to-end network simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import GprsModelParameters
+from repro.des.engine import SimulationEngine
+from repro.des.random_variates import RandomVariateStream
+from repro.simulator.cell import Cell
+from repro.simulator.cluster import HexagonalCluster
+from repro.simulator.config import SimulationConfig, TcpConfig
+from repro.simulator.gprs import GprsSessionFactory
+from repro.simulator.gsm import VoiceCallFactory
+from repro.simulator.results import BatchObservation, CellMeasurements
+from repro.simulator.simulation import GprsNetworkSimulator
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def small_params(**overrides) -> GprsModelParameters:
+    values = dict(
+        total_call_arrival_rate=0.5, buffer_size=10, max_gprs_sessions=5,
+    )
+    values.update(overrides)
+    return GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, **values)
+
+
+def small_config(**overrides) -> SimulationConfig:
+    values = dict(
+        cell_parameters=small_params(),
+        number_of_cells=3,
+        simulation_time_s=600.0,
+        warmup_time_s=60.0,
+        batches=3,
+        seed=7,
+    )
+    values.update(overrides)
+    return SimulationConfig(**values)
+
+
+class TestVoiceCallFactory:
+    def test_voice_calls_are_generated_and_complete(self):
+        engine = SimulationEngine()
+        cluster = HexagonalCluster(3)
+        params = small_params(gprs_fraction=0.0)
+        cells = [Cell(engine, i, params) for i in range(3)]
+        factory = VoiceCallFactory(engine, cluster, cells, RandomVariateStream(1))
+        factory.start()
+        engine.run(until=2000.0)
+        assert factory.calls_started > 0
+        assert factory.calls_completed > 0
+        total_active = sum(cell.gsm_calls_in_progress for cell in cells)
+        assert total_active <= 3 * params.gsm_channels
+
+    def test_blocking_occurs_when_capacity_is_tiny(self):
+        engine = SimulationEngine()
+        cluster = HexagonalCluster(1)
+        params = small_params(number_of_channels=3, reserved_pdch=1,
+                              total_call_arrival_rate=2.0, gprs_fraction=0.0)
+        cells = [Cell(engine, 0, params)]
+        factory = VoiceCallFactory(engine, cluster, cells, RandomVariateStream(2))
+        factory.start()
+        engine.run(until=2000.0)
+        assert cells[0].statistics.gsm_calls_blocked.count > 0
+
+    def test_cell_count_mismatch_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            VoiceCallFactory(engine, HexagonalCluster(3),
+                             [Cell(engine, 0, small_params())], RandomVariateStream(1))
+
+
+class TestGprsSessionFactory:
+    def test_sessions_generate_packets_and_complete(self):
+        engine = SimulationEngine()
+        cluster = HexagonalCluster(2)
+        params = small_params(gprs_fraction=1.0, total_call_arrival_rate=0.05)
+        cells = [Cell(engine, i, params) for i in range(2)]
+        for cell in cells:
+            cell.start_scheduler()
+        factory = GprsSessionFactory(engine, cluster, cells, RandomVariateStream(3),
+                                     TcpConfig())
+        factory.start()
+        engine.run(until=3000.0)
+        assert factory.sessions_started > 0
+        served = sum(cell.statistics.packets_served.count for cell in cells)
+        assert served > 0
+        assert factory.sessions_completed > 0
+
+    def test_session_blocking_when_cap_is_one(self):
+        engine = SimulationEngine()
+        cluster = HexagonalCluster(1)
+        params = small_params(gprs_fraction=1.0, total_call_arrival_rate=0.5,
+                              max_gprs_sessions=1)
+        cells = [Cell(engine, 0, params)]
+        cells[0].start_scheduler()
+        factory = GprsSessionFactory(engine, cluster, cells, RandomVariateStream(4),
+                                     TcpConfig())
+        factory.start()
+        engine.run(until=2000.0)
+        assert factory.sessions_blocked > 0
+
+
+class TestSimulationResultsContainers:
+    def test_batch_observation_derived_metrics(self):
+        observation = BatchObservation(
+            duration_s=100.0, carried_data_traffic=2.0, mean_buffer_occupancy=5.0,
+            mean_gsm_calls=10.0, mean_gprs_sessions=4.0, packets_offered=200,
+            packets_lost=20, packets_served=180, mean_packet_delay_s=0.5,
+            gsm_calls_offered=50, gsm_calls_blocked=5, gprs_sessions_offered=10,
+            gprs_sessions_blocked=1,
+        )
+        assert observation.packet_loss_probability == pytest.approx(0.1)
+        assert observation.packet_throughput == pytest.approx(1.8)
+        assert observation.throughput_per_user == pytest.approx(0.45)
+        assert observation.voice_blocking_probability == pytest.approx(0.1)
+        assert observation.gprs_blocking_probability == pytest.approx(0.1)
+
+    def test_zero_denominators_are_safe(self):
+        observation = BatchObservation(
+            duration_s=0.0, carried_data_traffic=0.0, mean_buffer_occupancy=0.0,
+            mean_gsm_calls=0.0, mean_gprs_sessions=0.0, packets_offered=0,
+            packets_lost=0, packets_served=0, mean_packet_delay_s=0.0,
+            gsm_calls_offered=0, gsm_calls_blocked=0, gprs_sessions_offered=0,
+            gprs_sessions_blocked=0,
+        )
+        assert observation.packet_loss_probability == 0.0
+        assert observation.packet_throughput == 0.0
+        assert observation.throughput_per_user == 0.0
+        assert observation.voice_blocking_probability == 0.0
+
+    def test_cell_measurements_require_observations(self):
+        measurements = CellMeasurements()
+        with pytest.raises(ValueError):
+            measurements.interval("carried_data_traffic")
+
+    def test_unknown_metric_rejected(self):
+        measurements = CellMeasurements()
+        measurements.add(
+            BatchObservation(
+                duration_s=1.0, carried_data_traffic=1.0, mean_buffer_occupancy=0.0,
+                mean_gsm_calls=0.0, mean_gprs_sessions=0.0, packets_offered=0,
+                packets_lost=0, packets_served=0, mean_packet_delay_s=0.0,
+                gsm_calls_offered=0, gsm_calls_blocked=0, gprs_sessions_offered=0,
+                gprs_sessions_blocked=0,
+            )
+        )
+        with pytest.raises(KeyError):
+            measurements.interval("no_such_metric")
+
+
+class TestEndToEndSimulation:
+    def test_full_run_produces_sane_measures(self):
+        results = GprsNetworkSimulator(small_config()).run()
+        assert results.events_processed > 0
+        assert results.total_simulated_time_s == pytest.approx(660.0)
+        values = results.as_dict()
+        assert 0.0 <= values["packet_loss_probability"] <= 1.0
+        assert 0.0 <= values["voice_blocking_probability"] <= 1.0
+        assert 0.0 <= values["carried_data_traffic"] <= 20.0
+        assert values["carried_voice_traffic"] > 0.0
+        assert values["average_gprs_sessions"] >= 0.0
+        assert values["queueing_delay"] >= 0.0
+
+    def test_reproducible_with_same_seed(self):
+        first = GprsNetworkSimulator(small_config(seed=11)).run()
+        second = GprsNetworkSimulator(small_config(seed=11)).run()
+        assert first.mean("carried_data_traffic") == pytest.approx(
+            second.mean("carried_data_traffic")
+        )
+        assert first.events_processed == second.events_processed
+
+    def test_different_seeds_differ(self):
+        first = GprsNetworkSimulator(small_config(seed=11)).run()
+        second = GprsNetworkSimulator(small_config(seed=12)).run()
+        assert first.events_processed != second.events_processed
+
+    def test_confidence_intervals_have_expected_batch_count(self):
+        config = small_config(batches=4)
+        results = GprsNetworkSimulator(config).run()
+        interval = results.interval("carried_data_traffic")
+        assert interval.batches == 4
+        assert interval.half_width >= 0.0
+
+    def test_compare_with_analytical_measures(self):
+        from repro.core.model import GprsMarkovModel
+
+        params = small_params()
+        results = GprsNetworkSimulator(small_config()).run()
+        analytical = GprsMarkovModel(params).measures()
+        comparison = results.compare_with(analytical)
+        assert set(comparison) >= {"carried_data_traffic", "packet_loss_probability"}
+        for entry in comparison.values():
+            assert "simulation_mean" in entry and "analytical" in entry
+
+    def test_higher_load_carries_more_voice_traffic(self):
+        low = GprsNetworkSimulator(
+            small_config(cell_parameters=small_params(total_call_arrival_rate=0.1))
+        ).run()
+        high = GprsNetworkSimulator(
+            small_config(cell_parameters=small_params(total_call_arrival_rate=0.8))
+        ).run()
+        assert high.mean("carried_voice_traffic") > low.mean("carried_voice_traffic")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            small_config(number_of_cells=0)
+        with pytest.raises(ValueError):
+            small_config(simulation_time_s=0.0)
+        with pytest.raises(ValueError):
+            small_config(batches=1)
+        with pytest.raises(ValueError):
+            small_config(warmup_time_s=-1.0)
+
+    def test_config_helpers(self):
+        config = small_config(simulation_time_s=900.0, warmup_time_s=100.0, batches=3)
+        assert config.batch_duration_s == pytest.approx(300.0)
+        assert config.total_time_s == pytest.approx(1000.0)
+        replaced = config.replace(batches=5)
+        assert replaced.batches == 5
+        assert config.batches == 3

@@ -1,0 +1,311 @@
+"""Tests of the simplified TCP Reno flow control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.engine import SimulationEngine
+from repro.simulator.config import TcpConfig
+from repro.simulator.tcp import TcpConnection
+
+
+class FakeCell:
+    """Cell stub with a configurable buffer limit and manual delivery control."""
+
+    def __init__(self, engine, capacity=100):
+        self.engine = engine
+        self.capacity = capacity
+        self.queue = []
+        self.rejected = 0
+
+    def enqueue_packet(self, packet) -> bool:
+        if len(self.queue) >= self.capacity:
+            self.rejected += 1
+            return False
+        self.queue.append(packet)
+        return True
+
+    def deliver_next(self):
+        packet = self.queue.pop(0)
+        packet.session.on_packet_delivered(packet)
+
+    def deliver_all(self):
+        while self.queue:
+            self.deliver_next()
+
+
+def make_connection(engine, cell, **config_overrides):
+    config = TcpConfig(**config_overrides)
+    return TcpConnection(engine, cell_provider=lambda: cell, config=config,
+                         packet_size_bytes=480), config
+
+
+def settle(engine: SimulationEngine, horizon: float = 0.01) -> None:
+    """Process the pending zero-delay ACKs without waiting for retransmission timers.
+
+    An unbounded ``engine.run()`` would never return while packets are still
+    outstanding, because the retransmission timer keeps rescheduling itself.
+    """
+    engine.run(until=engine.now + horizon)
+
+
+class TestWindowBehaviour:
+    def test_initial_window_limits_packets_in_flight(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, _ = make_connection(engine, cell, initial_window=2)
+        for _ in range(10):
+            connection.send_application_packet()
+        assert connection.packets_in_flight == 2
+        assert len(cell.queue) == 2
+        assert connection.unsent_packets == 8
+
+    def test_slow_start_doubles_window_per_round_trip(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, _ = make_connection(engine, cell, initial_window=1,
+                                        initial_ssthresh=64, wired_round_trip_s=0.0)
+        for _ in range(40):
+            connection.send_application_packet()
+        # Round 1: 1 packet in flight; each delivery grows the window by one.
+        assert len(cell.queue) == 1
+        cell.deliver_all()
+        settle(engine)
+        assert connection.congestion_window == pytest.approx(2.0)
+        cell.deliver_all()
+        settle(engine)
+        assert connection.congestion_window == pytest.approx(4.0)
+        cell.deliver_all()
+        settle(engine)
+        assert connection.congestion_window == pytest.approx(8.0)
+
+    def test_congestion_avoidance_grows_slowly(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, _ = make_connection(engine, cell, initial_window=4,
+                                        initial_ssthresh=4, wired_round_trip_s=0.0)
+        for _ in range(8):
+            connection.send_application_packet()
+        cell.deliver_all()
+        settle(engine)
+        # Above ssthresh each ACK adds roughly 1/cwnd: one round adds about one segment.
+        assert 4.0 < connection.congestion_window <= 5.5
+
+    def test_window_capped_at_maximum(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, config = make_connection(engine, cell, initial_window=1,
+                                             initial_ssthresh=1000, max_window=8,
+                                             wired_round_trip_s=0.0)
+        for _ in range(100):
+            connection.send_application_packet()
+        for _ in range(6):
+            cell.deliver_all()
+            settle(engine)
+        assert connection.congestion_window <= config.max_window
+
+    def test_all_data_delivered_flag(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, _ = make_connection(engine, cell, wired_round_trip_s=0.0)
+        assert connection.all_data_delivered
+        connection.send_application_packet()
+        assert not connection.all_data_delivered
+        cell.deliver_all()
+        settle(engine)
+        assert connection.all_data_delivered
+
+
+class TestLossRecovery:
+    def test_fast_retransmit_after_duplicate_acks(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, _ = make_connection(engine, cell, initial_window=8,
+                                        initial_ssthresh=64, wired_round_trip_s=0.0,
+                                        duplicate_ack_threshold=3)
+        for _ in range(8):
+            connection.send_application_packet()
+        window_before = connection.congestion_window
+        # Drop the first packet, deliver the rest out of order -> duplicate ACKs.
+        cell.queue.pop(0)
+        cell.deliver_all()
+        settle(engine)
+        assert connection.fast_retransmits == 1
+        assert connection.packets_retransmitted >= 1
+        assert connection.congestion_window < window_before
+        # The retransmitted packet is back in the cell queue; deliver it.
+        cell.deliver_all()
+        settle(engine)
+        assert connection.all_data_delivered
+
+    def test_timeout_collapses_window_to_one(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, config = make_connection(engine, cell, initial_window=4,
+                                             retransmission_timeout_s=1.0,
+                                             wired_round_trip_s=0.0)
+        for _ in range(4):
+            connection.send_application_packet()
+        # Lose everything: nothing is ever delivered.
+        cell.queue.clear()
+        engine.run(until=1.5)
+        assert connection.timeouts >= 1
+        assert connection.congestion_window == pytest.approx(1.0)
+        assert connection.packets_retransmitted >= 1
+
+    def test_loss_at_full_buffer_is_counted(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine, capacity=2)
+        connection, _ = make_connection(engine, cell, initial_window=5)
+        for _ in range(5):
+            connection.send_application_packet()
+        assert connection.packets_lost_at_buffer == 3
+        assert cell.rejected == 3
+
+    def test_recovery_after_buffer_loss_eventually_delivers_everything(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine, capacity=3)
+        connection, _ = make_connection(engine, cell, initial_window=6,
+                                        retransmission_timeout_s=0.5,
+                                        wired_round_trip_s=0.0)
+        for _ in range(6):
+            connection.send_application_packet()
+        # Repeatedly deliver whatever made it into the buffer and let timers fire.
+        for _ in range(30):
+            cell.deliver_all()
+            engine.run(until=engine.now + 1.0)
+            if connection.all_data_delivered:
+                break
+        assert connection.all_data_delivered
+        assert connection.packets_acknowledged == 6
+
+
+class TestDisabledFlowControl:
+    def test_packets_go_straight_to_the_buffer(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, _ = make_connection(engine, cell, enabled=False)
+        for _ in range(20):
+            connection.send_application_packet()
+        assert len(cell.queue) == 20
+        assert connection.packets_in_flight == 0
+
+    def test_delivery_callbacks_are_ignored(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, _ = make_connection(engine, cell, enabled=False)
+        connection.send_application_packet()
+        cell.deliver_all()
+        settle(engine)
+        assert connection.congestion_window == 1.0
+
+
+class TestConfigValidation:
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError):
+            TcpConfig(initial_window=0)
+        with pytest.raises(ValueError):
+            TcpConfig(max_window=1, initial_window=4)
+        with pytest.raises(ValueError):
+            TcpConfig(initial_ssthresh=0)
+        with pytest.raises(ValueError):
+            TcpConfig(duplicate_ack_threshold=0)
+        with pytest.raises(ValueError):
+            TcpConfig(retransmission_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            TcpConfig(wired_round_trip_s=-1.0)
+
+
+class TestAdaptiveRetransmissionTimeout:
+    def test_rtt_samples_shrink_the_timeout(self):
+        """Acknowledged segments feed Jacobson's estimator and shrink a large initial RTO."""
+        engine = SimulationEngine()
+        cell = FakeCell(engine)
+        connection, config = make_connection(
+            engine, cell,
+            retransmission_timeout_s=30.0,
+            wired_round_trip_s=0.05,
+            min_retransmission_timeout_s=0.2,
+        )
+        initial_rto = connection.retransmission_timeout
+        for _ in range(8):
+            connection.send_application_packet()
+            settle(engine)
+            cell.deliver_all()
+            settle(engine, horizon=0.2)
+        assert connection.packets_acknowledged == 8
+        assert connection.retransmission_timeout < initial_rto
+        # With a measured RTT around 50 ms the adapted timeout sits at the floor.
+        assert connection.retransmission_timeout == pytest.approx(
+            config.min_retransmission_timeout_s, rel=0.5
+        )
+
+    def test_consecutive_timeouts_back_off_exponentially(self):
+        """Every expiry doubles the timer until new data is acknowledged."""
+        engine = SimulationEngine()
+        cell = FakeCell(engine, capacity=0)  # every send is dropped
+        connection, _ = make_connection(
+            engine, cell,
+            adaptive_rto=False,
+            retransmission_timeout_s=1.0,
+            rto_backoff_factor=2.0,
+            max_retransmission_timeout_s=64.0,
+        )
+        connection.send_application_packet()
+        assert connection.retransmission_timeout == pytest.approx(1.0)
+        engine.run(until=1.1)
+        assert connection.timeouts == 1
+        assert connection.retransmission_timeout == pytest.approx(2.0)
+        engine.run(until=3.3)
+        assert connection.timeouts == 2
+        assert connection.retransmission_timeout == pytest.approx(4.0)
+
+    def test_backoff_is_reset_by_new_data(self):
+        engine = SimulationEngine()
+        cell = FakeCell(engine, capacity=1)
+        connection, _ = make_connection(
+            engine, cell,
+            adaptive_rto=False,
+            retransmission_timeout_s=1.0,
+            wired_round_trip_s=0.0,
+            initial_window=1,
+        )
+        connection.send_application_packet()
+        # Let the timer expire once without delivering anything: backoff kicks in.
+        engine.run(until=1.5)
+        assert connection.timeouts >= 1
+        backed_off = connection.retransmission_timeout
+        assert backed_off > 1.0
+        # Deliver the retransmission: the cumulative ACK resets the backoff.
+        cell.deliver_all()
+        settle(engine)
+        assert connection.retransmission_timeout == pytest.approx(1.0)
+
+    def test_retransmitted_segments_do_not_produce_rtt_samples(self):
+        """Karn's rule: an ACK for a retransmitted segment must not update the RTO."""
+        engine = SimulationEngine()
+        cell = FakeCell(engine, capacity=0)
+        connection, _ = make_connection(
+            engine, cell,
+            retransmission_timeout_s=2.0,
+            min_retransmission_timeout_s=0.5,
+            wired_round_trip_s=0.0,
+        )
+        connection.send_application_packet()
+        # First transmission dropped; open the buffer and let the timeout resend it.
+        cell.capacity = 10
+        engine.run(until=2.5)
+        cell.deliver_all()
+        settle(engine)
+        assert connection.packets_acknowledged == 1
+        assert connection.packets_retransmitted >= 1
+        # No valid RTT sample was taken, so the (un-backed-off) RTO is unchanged.
+        assert connection.retransmission_timeout >= 2.0
+
+    def test_invalid_rto_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            TcpConfig(min_retransmission_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            TcpConfig(min_retransmission_timeout_s=2.0, max_retransmission_timeout_s=1.0)
+        with pytest.raises(ValueError):
+            TcpConfig(rto_backoff_factor=0.5)

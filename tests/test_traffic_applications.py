@@ -1,0 +1,134 @@
+"""Tests of the application presets and application mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic.applications import (
+    APPLICATION_PRESETS,
+    EMAIL,
+    FTP_DOWNLOAD,
+    WWW_BROWSING_8K,
+    WWW_BROWSING_32K,
+    ApplicationMix,
+    MixComponent,
+    application,
+)
+from repro.traffic.presets import TRAFFIC_MODEL_1, TRAFFIC_MODEL_2
+
+
+class TestPresets:
+    def test_lookup_by_name(self):
+        assert application("ftp") is FTP_DOWNLOAD
+        assert application("email") is EMAIL
+        with pytest.raises(ValueError):
+            application("telnet")
+
+    def test_www_presets_match_the_paper_traffic_models(self):
+        assert WWW_BROWSING_8K.packet_interarrival_s == (
+            TRAFFIC_MODEL_1.session.packet_interarrival_s
+        )
+        assert WWW_BROWSING_8K.peak_bit_rate_kbit_s == pytest.approx(
+            TRAFFIC_MODEL_1.session.peak_bit_rate_kbit_s
+        )
+        assert WWW_BROWSING_32K.peak_bit_rate_kbit_s == pytest.approx(
+            TRAFFIC_MODEL_2.session.peak_bit_rate_kbit_s
+        )
+
+    def test_ftp_is_a_single_packet_call(self):
+        """The paper: "In fact this is the case for a file transfer via FTP"."""
+        assert FTP_DOWNLOAD.packet_calls_per_session == 1
+
+    def test_every_preset_has_positive_rates(self):
+        for name, preset in APPLICATION_PRESETS.items():
+            assert preset.packet_rate > 0, name
+            assert preset.mean_session_duration_s > 0, name
+            assert 0.0 < preset.activity_factor <= 1.0, name
+
+
+class TestMixValidation:
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationMix(())
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationMix((MixComponent(EMAIL, 0.0),))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MixComponent(EMAIL, -0.5)
+
+
+class TestMixStatistics:
+    def make_mix(self) -> ApplicationMix:
+        return ApplicationMix.from_shares({"www-32k": 0.6, "ftp": 0.1, "email": 0.3})
+
+    def test_weights_are_normalised(self):
+        mix = ApplicationMix.from_shares({"www-8k": 2.0, "email": 2.0})
+        assert mix.normalised_weights() == (0.5, 0.5)
+
+    def test_single_component_mix_reduces_to_that_application(self):
+        mix = ApplicationMix.from_shares({"www-32k": 1.0})
+        assert mix.mean_session_duration_s() == pytest.approx(
+            WWW_BROWSING_32K.mean_session_duration_s
+        )
+        assert mix.mean_bit_rate_kbit_s() == pytest.approx(
+            WWW_BROWSING_32K.mean_bit_rate_kbit_s
+        )
+
+    def test_mix_statistics_are_convex_combinations(self):
+        mix = self.make_mix()
+        durations = [c.session.mean_session_duration_s for c in mix.components]
+        assert min(durations) <= mix.mean_session_duration_s() <= max(durations)
+        rates = [
+            c.session.packet_rate * c.session.activity_factor for c in mix.components
+        ]
+        assert min(rates) <= mix.mean_packet_rate() <= max(rates)
+
+    def test_departure_rate_is_reciprocal_duration(self):
+        mix = self.make_mix()
+        assert mix.session_departure_rate() == pytest.approx(
+            1.0 / mix.mean_session_duration_s()
+        )
+
+    def test_from_shares_accepts_session_models_directly(self):
+        mix = ApplicationMix.from_shares({EMAIL: 1.0, "ftp": 1.0})
+        assert len(mix.components) == 2
+
+
+class TestEquivalentModelAndAggregate:
+    def test_equivalent_model_is_usable_by_the_gprs_parameters(self):
+        from repro.core.parameters import GprsModelParameters
+
+        mix = ApplicationMix.from_shares({"www-32k": 0.7, "email": 0.3})
+        equivalent = mix.equivalent_session_model()
+        params = GprsModelParameters(
+            total_call_arrival_rate=0.2, traffic=equivalent, max_gprs_sessions=5,
+            buffer_size=10,
+        )
+        assert params.gprs_completion_rate == pytest.approx(
+            equivalent.session_departure_rate
+        )
+
+    def test_aggregate_mmpp_rate_adds_up(self):
+        mix = ApplicationMix.from_shares({"www-8k": 1.0, "email": 1.0})
+        aggregate = mix.aggregate_mmpp(sessions_per_component=2)
+        expected = 2 * (
+            WWW_BROWSING_8K.packet_rate * WWW_BROWSING_8K.activity_factor
+            + EMAIL.packet_rate * EMAIL.activity_factor
+        )
+        assert aggregate.mean_arrival_rate() == pytest.approx(expected, rel=1e-9)
+
+    def test_aggregate_with_explicit_population(self):
+        mix = ApplicationMix.from_shares({"www-8k": 1.0, "ftp": 1.0})
+        aggregate = mix.aggregate_mmpp(
+            active_sessions_per_component={WWW_BROWSING_8K.name: 3, FTP_DOWNLOAD.name: 0}
+        )
+        expected = 3 * WWW_BROWSING_8K.packet_rate * WWW_BROWSING_8K.activity_factor
+        assert aggregate.mean_arrival_rate() == pytest.approx(expected, rel=1e-9)
+
+    def test_empty_population_rejected(self):
+        mix = ApplicationMix.from_shares({"www-8k": 1.0})
+        with pytest.raises(ValueError):
+            mix.aggregate_mmpp(sessions_per_component=0)

@@ -1,0 +1,185 @@
+"""Tests of the 3GPP traffic model: units, session arithmetic and the Table 3 presets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.presets import (
+    TRAFFIC_MODEL_1,
+    TRAFFIC_MODEL_2,
+    TRAFFIC_MODEL_3,
+    traffic_model,
+)
+from repro.traffic.session import PacketSessionModel
+from repro.traffic.units import (
+    CODING_SCHEME_RATES_KBIT_S,
+    DATA_PACKET_SIZE_BYTES,
+    bits_per_packet,
+    kbit_per_s_to_packets_per_s,
+    packets_per_s_to_kbit_per_s,
+    pdch_service_rate,
+)
+
+
+class TestUnits:
+    def test_bits_per_packet_default(self):
+        assert bits_per_packet() == 480 * 8 == 3840
+
+    def test_conversion_roundtrip(self):
+        rate = 13.4
+        packets = kbit_per_s_to_packets_per_s(rate)
+        assert packets_per_s_to_kbit_per_s(packets) == pytest.approx(rate)
+
+    def test_cs2_service_rate_value(self):
+        """One PDCH under CS-2 serves 13.4 kbit/s = about 3.49 packets of 480 byte per second."""
+        assert pdch_service_rate("CS-2") == pytest.approx(13400.0 / 3840.0)
+
+    def test_coding_scheme_rates_ordering(self):
+        """More aggressive coding schemes carry more payload: CS-1 < CS-2 < CS-3 < CS-4."""
+        rates = [CODING_SCHEME_RATES_KBIT_S[f"CS-{i}"] for i in range(1, 5)]
+        assert rates == sorted(rates)
+        assert CODING_SCHEME_RATES_KBIT_S["CS-2"] == pytest.approx(13.4)
+
+    def test_unknown_coding_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown coding scheme"):
+            pdch_service_rate("CS-9")
+
+    def test_invalid_packet_size_rejected(self):
+        with pytest.raises(ValueError):
+            bits_per_packet(0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            kbit_per_s_to_packets_per_s(-1.0)
+        with pytest.raises(ValueError):
+            packets_per_s_to_kbit_per_s(-1.0)
+
+
+class TestPacketSessionModel:
+    def test_ipp_parameters_of_traffic_model_1(self):
+        session = TRAFFIC_MODEL_1.session
+        assert session.packet_rate == pytest.approx(2.0)  # 1 / 0.5 s
+        assert session.on_to_off_rate == pytest.approx(1.0 / 12.5)
+        assert session.off_to_on_rate == pytest.approx(1.0 / 412.0)
+
+    def test_session_duration_formula(self):
+        session = PacketSessionModel(
+            packet_calls_per_session=5,
+            reading_time_s=412.0,
+            packets_per_packet_call=25,
+            packet_interarrival_s=0.5,
+        )
+        assert session.mean_session_duration_s == pytest.approx(5 * (412 + 25 * 0.5))
+
+    def test_peak_bit_rates_match_labels(self):
+        """Traffic model 1 is the 8 kbit/s model, model 2 and 3 are the 32 kbit/s models."""
+        assert TRAFFIC_MODEL_1.session.peak_bit_rate_kbit_s == pytest.approx(7.68)
+        assert TRAFFIC_MODEL_2.session.peak_bit_rate_kbit_s == pytest.approx(30.72)
+        assert TRAFFIC_MODEL_3.session.peak_bit_rate_kbit_s == pytest.approx(30.72)
+
+    def test_activity_factor_and_mean_rate(self):
+        session = TRAFFIC_MODEL_3.session
+        assert session.activity_factor == pytest.approx(0.5)  # on time == reading time
+        assert session.mean_bit_rate_kbit_s == pytest.approx(
+            session.peak_bit_rate_kbit_s * 0.5
+        )
+
+    def test_to_ipp_preserves_rates(self):
+        session = TRAFFIC_MODEL_2.session
+        ipp = session.to_ipp()
+        assert ipp.packet_rate == pytest.approx(session.packet_rate)
+        assert ipp.on_to_off_rate == pytest.approx(session.on_to_off_rate)
+        assert ipp.off_to_on_rate == pytest.approx(session.off_to_on_rate)
+
+    def test_mean_packets_per_session(self):
+        assert TRAFFIC_MODEL_1.session.mean_packets_per_session == pytest.approx(125)
+        assert TRAFFIC_MODEL_3.session.mean_packets_per_session == pytest.approx(1250)
+
+    def test_with_name_copies_parameters(self):
+        renamed = TRAFFIC_MODEL_1.session.with_name("renamed")
+        assert renamed.name == "renamed"
+        assert renamed.packet_rate == TRAFFIC_MODEL_1.session.packet_rate
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            PacketSessionModel(0.5, 1.0, 25, 0.5)
+        with pytest.raises(ValueError):
+            PacketSessionModel(5, -1.0, 25, 0.5)
+        with pytest.raises(ValueError):
+            PacketSessionModel(5, 1.0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            PacketSessionModel(5, 1.0, 25, 0.0)
+        with pytest.raises(ValueError):
+            PacketSessionModel(5, 1.0, 25, 0.5, packet_size_bytes=0)
+
+    @given(
+        packet_calls=st.floats(min_value=1.0, max_value=100.0),
+        reading=st.floats(min_value=0.1, max_value=1000.0),
+        packets=st.floats(min_value=1.0, max_value=100.0),
+        interarrival=st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_session_rate_consistency(self, packet_calls, reading, packets, interarrival):
+        """Session completion rate times mean packets per session never exceeds the peak rate."""
+        session = PacketSessionModel(packet_calls, reading, packets, interarrival)
+        assert session.session_departure_rate == pytest.approx(
+            1.0 / session.mean_session_duration_s
+        )
+        mean_rate = session.mean_packets_per_session * session.session_departure_rate
+        assert mean_rate <= session.packet_rate * (1 + 1e-9)
+        assert 0.0 < session.activity_factor < 1.0
+
+
+class TestTable3Presets:
+    """The presets reproduce the Table 3 rows exactly."""
+
+    def test_traffic_model_lookup(self):
+        assert traffic_model(1) is TRAFFIC_MODEL_1
+        assert traffic_model(2) is TRAFFIC_MODEL_2
+        assert traffic_model(3) is TRAFFIC_MODEL_3
+        with pytest.raises(ValueError):
+            traffic_model(4)
+
+    def test_session_limits(self):
+        assert TRAFFIC_MODEL_1.max_active_sessions == 50
+        assert TRAFFIC_MODEL_2.max_active_sessions == 50
+        assert TRAFFIC_MODEL_3.max_active_sessions == 20
+
+    def test_session_durations_match_paper(self):
+        assert TRAFFIC_MODEL_1.session.mean_session_duration_s == pytest.approx(2122.5)
+        assert TRAFFIC_MODEL_2.session.mean_session_duration_s == pytest.approx(
+            2075.6, abs=0.05
+        )
+        assert TRAFFIC_MODEL_3.session.mean_session_duration_s == pytest.approx(312.5)
+
+    def test_packet_call_durations_match_paper(self):
+        assert TRAFFIC_MODEL_1.session.mean_packet_call_duration_s == pytest.approx(12.5)
+        assert TRAFFIC_MODEL_2.session.mean_packet_call_duration_s == pytest.approx(
+            3.1, abs=0.05
+        )
+        assert TRAFFIC_MODEL_3.session.mean_packet_call_duration_s == pytest.approx(
+            3.1, abs=0.05
+        )
+
+    def test_reading_times_match_paper(self):
+        assert TRAFFIC_MODEL_1.session.reading_time_s == pytest.approx(412.0)
+        assert TRAFFIC_MODEL_2.session.reading_time_s == pytest.approx(412.0)
+        assert TRAFFIC_MODEL_3.session.reading_time_s == pytest.approx(3.1, abs=0.05)
+
+    def test_model_3_on_off_symmetry(self):
+        """Traffic model 3 sets the reading time equal to the packet-call duration."""
+        session = TRAFFIC_MODEL_3.session
+        assert session.reading_time_s == pytest.approx(session.mean_packet_call_duration_s)
+
+    def test_describe_contains_table_rows(self):
+        row = TRAFFIC_MODEL_2.describe()
+        assert row["max active GPRS sessions M"] == 50
+        assert row["average GPRS session duration 1/mu_GPRS [s]"] == pytest.approx(
+            2075.6, abs=0.05
+        )
+
+    def test_packet_size_is_480_bytes(self):
+        for preset in (TRAFFIC_MODEL_1, TRAFFIC_MODEL_2, TRAFFIC_MODEL_3):
+            assert preset.session.packet_size_bytes == DATA_PACKET_SIZE_BYTES == 480

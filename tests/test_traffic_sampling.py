@@ -1,0 +1,93 @@
+"""Tests of the random sampling of 3GPP packet-service sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.presets import TRAFFIC_MODEL_3
+from repro.traffic.sampling import SessionSampler
+from repro.traffic.session import PacketSessionModel
+
+
+@pytest.fixture
+def sampler(rng) -> SessionSampler:
+    return SessionSampler(TRAFFIC_MODEL_3.session, rng)
+
+
+class TestSampling:
+    def test_session_has_at_least_one_packet_call(self, sampler):
+        for _ in range(50):
+            trace = sampler.sample_session()
+            assert trace.number_of_packet_calls >= 1
+            assert trace.number_of_packets >= 1
+
+    def test_packet_times_are_increasing(self, sampler):
+        trace = sampler.sample_session()
+        times = trace.all_packet_times()
+        assert np.all(np.diff(times) >= 0)
+
+    def test_session_starts_at_requested_time(self, sampler):
+        trace = sampler.sample_session(start_time=100.0)
+        assert trace.packet_calls[0].start_time == pytest.approx(100.0)
+        assert np.all(trace.all_packet_times() >= 100.0)
+
+    def test_geometric_means_match_model(self, rng):
+        model = TRAFFIC_MODEL_3.session
+        sampler = SessionSampler(model, rng)
+        calls = [sampler.sample_number_of_packet_calls() for _ in range(4000)]
+        packets = [sampler.sample_number_of_packets() for _ in range(4000)]
+        assert np.mean(calls) == pytest.approx(model.packet_calls_per_session, rel=0.1)
+        assert np.mean(packets) == pytest.approx(model.packets_per_packet_call, rel=0.1)
+
+    def test_exponential_means_match_model(self, rng):
+        model = TRAFFIC_MODEL_3.session
+        sampler = SessionSampler(model, rng)
+        readings = [sampler.sample_reading_time() for _ in range(4000)]
+        gaps = [sampler.sample_packet_interarrival() for _ in range(4000)]
+        assert np.mean(readings) == pytest.approx(model.reading_time_s, rel=0.1)
+        assert np.mean(gaps) == pytest.approx(model.packet_interarrival_s, rel=0.1)
+
+    def test_degenerate_single_packet_session(self, rng):
+        """An FTP-like model with one packet call still produces a valid trace."""
+        model = PacketSessionModel(
+            packet_calls_per_session=1,
+            reading_time_s=10.0,
+            packets_per_packet_call=1,
+            packet_interarrival_s=0.5,
+        )
+        sampler = SessionSampler(model, rng)
+        trace = sampler.sample_session()
+        assert trace.number_of_packet_calls == 1
+        assert trace.number_of_packets >= 1
+
+    def test_mean_session_packet_count(self, rng):
+        """Average packets per sampled session matches N_pc * N_d."""
+        model = TRAFFIC_MODEL_3.session
+        sampler = SessionSampler(model, rng)
+        counts = [sampler.sample_session().number_of_packets for _ in range(300)]
+        assert np.mean(counts) == pytest.approx(model.mean_packets_per_session, rel=0.2)
+
+    def test_reproducibility_with_same_seed(self):
+        first = SessionSampler(TRAFFIC_MODEL_3.session, np.random.default_rng(7))
+        second = SessionSampler(TRAFFIC_MODEL_3.session, np.random.default_rng(7))
+        trace_a = first.sample_session()
+        trace_b = second.sample_session()
+        assert trace_a.number_of_packets == trace_b.number_of_packets
+        assert trace_a.all_packet_times() == pytest.approx(trace_b.all_packet_times())
+
+    def test_empirical_rate_close_to_ipp_mean(self, rng):
+        """The long-run packet rate of sampled sessions matches the IPP mean rate."""
+        model = TRAFFIC_MODEL_3.session
+        sampler = SessionSampler(model, rng)
+        empirical = sampler.empirical_mean_rate(sessions=300)
+        analytical = model.to_ipp().mean_arrival_rate()
+        assert empirical == pytest.approx(analytical, rel=0.2)
+
+    def test_empirical_rate_requires_positive_sessions(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.empirical_mean_rate(sessions=0)
+
+    def test_trace_duration_property(self, sampler):
+        trace = sampler.sample_session()
+        assert trace.duration == pytest.approx(trace.packet_calls[-1].end_time)

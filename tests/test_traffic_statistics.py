@@ -1,0 +1,124 @@
+"""Tests of the trace statistics and IPP / session-model fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.presets import TRAFFIC_MODEL_3
+from repro.traffic.sampling import SessionSampler
+from repro.traffic.statistics import (
+    compute_trace_statistics,
+    detect_packet_calls,
+    fit_ipp,
+    fit_session_model,
+)
+
+
+def poisson_trace(rate: float, count: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate, size=count))
+
+
+def synthetic_session_trace(model, sessions: int, seed: int = 1) -> np.ndarray:
+    """Concatenate several sampled sessions into one long trace."""
+    sampler = SessionSampler(model, np.random.default_rng(seed))
+    times = []
+    offset = 0.0
+    for _ in range(sessions):
+        trace = sampler.sample_session(start_time=offset)
+        times.extend(trace.all_packet_times())
+        offset = trace.duration + sampler.sample_reading_time()
+    return np.array(times)
+
+
+class TestTraceStatistics:
+    def test_poisson_trace_statistics(self):
+        trace = poisson_trace(rate=5.0, count=20_000)
+        stats = compute_trace_statistics(trace)
+        assert stats.mean_rate == pytest.approx(5.0, rel=0.05)
+        assert stats.interarrival_scv == pytest.approx(1.0, rel=0.1)
+        assert stats.index_of_dispersion == pytest.approx(1.0, abs=0.2)
+        assert stats.number_of_packets == 20_000
+
+    def test_bursty_trace_has_higher_variability_than_poisson(self):
+        bursty = synthetic_session_trace(TRAFFIC_MODEL_3.session, sessions=40)
+        stats = compute_trace_statistics(bursty, window_s=5.0)
+        assert stats.interarrival_scv > 1.2
+        assert stats.index_of_dispersion > 1.2
+        assert stats.peak_to_mean_ratio > 1.2
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            compute_trace_statistics([1.0])
+        with pytest.raises(ValueError):
+            compute_trace_statistics([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(ValueError):
+            compute_trace_statistics([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            compute_trace_statistics([1.0, 1.0])
+        with pytest.raises(ValueError):
+            compute_trace_statistics([1.0, 2.0, 3.0], window_s=0.0)
+
+    def test_unsorted_input_is_accepted(self):
+        ordered = poisson_trace(2.0, 500, seed=3)
+        shuffled = ordered.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        assert compute_trace_statistics(shuffled).mean_rate == pytest.approx(
+            compute_trace_statistics(ordered).mean_rate
+        )
+
+
+class TestPacketCallDetection:
+    def test_single_burst_is_one_call(self):
+        trace = np.array([0.0, 0.1, 0.2, 0.3])
+        calls = detect_packet_calls(trace, idle_threshold_s=1.0)
+        assert len(calls) == 1
+        assert calls[0].size == 4
+
+    def test_gaps_split_the_trace(self):
+        trace = np.array([0.0, 0.1, 0.2, 10.0, 10.1, 25.0])
+        calls = detect_packet_calls(trace, idle_threshold_s=5.0)
+        assert [call.size for call in calls] == [3, 2, 1]
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            detect_packet_calls([0.0, 1.0], idle_threshold_s=0.0)
+
+
+class TestModelFitting:
+    def test_fit_recovers_the_generating_parameters(self):
+        """Fitting a long synthetic trace recovers the Table 3 parameters roughly."""
+        model = TRAFFIC_MODEL_3.session
+        trace = synthetic_session_trace(model, sessions=300, seed=7)
+        # Reading times are ~3.1 s and in-call gaps ~0.125 s; threshold between.
+        fitted = fit_session_model(trace, idle_threshold_s=1.0)
+        assert fitted.packet_interarrival_s == pytest.approx(
+            model.packet_interarrival_s, rel=0.25
+        )
+        assert fitted.packets_per_packet_call == pytest.approx(
+            model.packets_per_packet_call, rel=0.35
+        )
+        # Reading-time estimate also absorbs the inter-session idle gaps, which
+        # in traffic model 3 have the same scale as the reading times.
+        assert fitted.reading_time_s == pytest.approx(model.reading_time_s, rel=0.6)
+
+    def test_fit_ipp_mean_rate_matches_the_trace(self):
+        model = TRAFFIC_MODEL_3.session
+        trace = synthetic_session_trace(model, sessions=200, seed=11)
+        fitted = fit_ipp(trace, idle_threshold_s=1.0)
+        stats = compute_trace_statistics(trace)
+        assert fitted.mean_arrival_rate() == pytest.approx(stats.mean_rate, rel=0.35)
+
+    def test_explicit_packet_calls_per_session_is_honoured(self):
+        trace = synthetic_session_trace(TRAFFIC_MODEL_3.session, sessions=20, seed=5)
+        fitted = fit_session_model(trace, idle_threshold_s=1.0, packet_calls_per_session=50)
+        assert fitted.packet_calls_per_session == 50
+
+    def test_fit_requires_detectable_structure(self):
+        with pytest.raises(ValueError):
+            # A dense Poisson trace has no gaps above the threshold.
+            fit_session_model(poisson_trace(10.0, 1000), idle_threshold_s=50.0)
+        with pytest.raises(ValueError):
+            # Threshold below every gap: no in-call structure either.
+            fit_session_model(np.array([0.0, 10.0, 20.0, 30.0]), idle_threshold_s=0.1)

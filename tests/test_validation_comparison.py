@@ -1,0 +1,134 @@
+"""Tests of the model-vs-simulation comparison utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation.comparison import (
+    CurveComparison,
+    PointComparison,
+    ValidationReport,
+    compare_series,
+)
+
+
+class TestPointComparison:
+    def test_inside_interval(self):
+        point = PointComparison(x=0.5, analytical=1.0, simulation_mean=1.1,
+                                confidence_half_width=0.2)
+        assert point.inside_interval
+        assert point.absolute_error == pytest.approx(0.1)
+        assert point.relative_error == pytest.approx(0.1 / 1.1)
+
+    def test_outside_interval(self):
+        point = PointComparison(x=0.5, analytical=2.0, simulation_mean=1.0,
+                                confidence_half_width=0.5)
+        assert not point.inside_interval
+
+    def test_zero_simulation_mean(self):
+        exact = PointComparison(x=0.0, analytical=0.0, simulation_mean=0.0,
+                                confidence_half_width=0.0)
+        assert exact.relative_error == 0.0
+        off = PointComparison(x=0.0, analytical=0.5, simulation_mean=0.0,
+                              confidence_half_width=0.0)
+        assert off.relative_error == float("inf")
+
+
+class TestCurveComparison:
+    def make_curve(self) -> CurveComparison:
+        return compare_series(
+            "carried_data_traffic",
+            x_values=[0.1, 0.5, 1.0],
+            analytical=[0.5, 1.4, 2.2],
+            simulation_means=[0.55, 1.5, 3.0],
+            confidence_half_widths=[0.1, 0.2, 0.3],
+        )
+
+    def test_coverage_counts_points_inside_intervals(self):
+        curve = self.make_curve()
+        # Points 1 and 2 are inside, point 3 (2.2 vs 3.0 +- 0.3) is not.
+        assert curve.coverage == pytest.approx(2.0 / 3.0)
+
+    def test_relative_errors(self):
+        curve = self.make_curve()
+        assert curve.max_relative_error == pytest.approx(0.8 / 3.0)
+        assert curve.mean_relative_error > 0
+
+    def test_passes_via_coverage_or_error(self):
+        good = compare_series("m", [0.0], [1.0], [1.0], [0.5])
+        assert good.passes()
+        bad = compare_series("m", [0.0, 1.0], [1.0, 5.0], [3.0, 1.0], [0.1, 0.1])
+        assert not bad.passes(min_coverage=0.9, max_mean_relative_error=0.1)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            CurveComparison(metric="x", points=())
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            compare_series("m", [0.0, 1.0], [1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            compare_series("m", [0.0], [1.0], [1.0], [0.1, 0.2])
+
+    def test_default_half_widths_are_zero(self):
+        curve = compare_series("m", [0.0], [1.0], [1.0])
+        assert curve.points[0].confidence_half_width == 0.0
+        assert curve.points[0].inside_interval
+
+
+class TestValidationReport:
+    def make_report(self) -> ValidationReport:
+        curves = (
+            compare_series("carried_data_traffic", [0.1], [1.0], [1.05], [0.1]),
+            compare_series("packet_loss_probability", [0.1], [0.02], [0.2], [0.05]),
+        )
+        return ValidationReport(experiment="figure 6 (scaled)", curves=curves)
+
+    def test_lookup_by_metric(self):
+        report = self.make_report()
+        assert report.curve("carried_data_traffic").coverage == 1.0
+        with pytest.raises(KeyError):
+            report.curve("unknown")
+
+    def test_overall_coverage(self):
+        assert self.make_report().overall_coverage() == pytest.approx(0.5)
+
+    def test_text_rendering_mentions_every_metric(self):
+        text = self.make_report().to_text()
+        assert "figure 6 (scaled)" in text
+        assert "carried_data_traffic" in text
+        assert "packet_loss_probability" in text
+        assert "overall coverage" in text
+
+
+class TestAgainstRealModelAndSimulator:
+    def test_compare_model_with_simulation_smoke(self):
+        """End-to-end: tiny model vs. tiny simulation through the comparison API."""
+        from repro.core.model import GprsMarkovModel
+        from repro.core.parameters import GprsModelParameters
+        from repro.simulator.config import SimulationConfig
+        from repro.simulator.simulation import GprsNetworkSimulator
+        from repro.traffic.presets import TRAFFIC_MODEL_3
+        from repro.validation.comparison import compare_model_with_simulation
+
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_3, 0.2, buffer_size=8, max_gprs_sessions=3
+        )
+        measures = GprsMarkovModel(params).measures()
+        simulation = GprsNetworkSimulator(
+            SimulationConfig(
+                cell_parameters=params,
+                number_of_cells=3,
+                simulation_time_s=1500.0,
+                warmup_time_s=150.0,
+                batches=3,
+                seed=5,
+            )
+        ).run()
+        report = compare_model_with_simulation(
+            "smoke", measures, simulation,
+            metrics=("carried_voice_traffic", "carried_data_traffic"),
+        )
+        assert len(report.curves) == 2
+        assert 0.0 <= report.overall_coverage() <= 1.0
+        assert report.curve("carried_voice_traffic").points[0].relative_error < 1.0

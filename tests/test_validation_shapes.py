@@ -1,0 +1,161 @@
+"""Tests of the curve-shape validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.validation.shapes import (
+    crossover_points,
+    curves_are_ordered,
+    find_threshold_crossing,
+    fraction_within_tolerance,
+    is_monotone,
+    relative_spread,
+)
+
+
+class TestMonotonicity:
+    def test_increasing_series(self):
+        assert is_monotone([1.0, 2.0, 2.0, 3.0])
+        assert not is_monotone([1.0, 0.5, 2.0])
+
+    def test_decreasing_series(self):
+        assert is_monotone([3.0, 2.0, 2.0, 0.1], increasing=False)
+        assert not is_monotone([3.0, 3.5], increasing=False)
+
+    def test_tolerance_allows_simulation_noise(self):
+        noisy = [1.0, 0.99, 1.5, 1.49, 2.0]
+        assert not is_monotone(noisy)
+        assert is_monotone(noisy, tolerance=0.02)
+
+    def test_short_series_are_trivially_monotone(self):
+        assert is_monotone([])
+        assert is_monotone([1.0])
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            is_monotone([1.0, 2.0], tolerance=-0.1)
+
+
+class TestOrdering:
+    def test_ordered_curves(self):
+        low = [0.1, 0.2, 0.3]
+        mid = [0.15, 0.25, 0.35]
+        high = [0.2, 0.4, 0.5]
+        assert curves_are_ordered([low, mid, high])
+        assert not curves_are_ordered([high, mid, low])
+
+    def test_tolerance(self):
+        first = [0.1, 0.2]
+        second = [0.099, 0.3]
+        assert not curves_are_ordered([first, second])
+        assert curves_are_ordered([first, second], tolerance=0.01)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            curves_are_ordered([[1.0, 2.0], [1.0]])
+
+    def test_single_curve_is_trivially_ordered(self):
+        assert curves_are_ordered([[3.0, 1.0]])
+
+
+class TestCrossovers:
+    def test_single_crossing_is_interpolated(self):
+        x = [0.0, 1.0, 2.0]
+        first = [0.0, 1.0, 2.0]
+        second = [1.0, 1.0, 1.0]
+        crossings = crossover_points(x, first, second)
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(1.0)
+
+    def test_no_crossing(self):
+        assert crossover_points([0, 1], [0.0, 0.1], [1.0, 1.2]) == []
+
+    def test_touching_at_a_grid_point(self):
+        crossings = crossover_points([0, 1, 2], [0.0, 1.0, 0.0], [1.0, 1.0, 1.0])
+        assert crossings == [1.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            crossover_points([0, 1], [1.0], [0.0, 1.0])
+
+
+class TestThresholdCrossing:
+    def test_crossing_from_above(self):
+        """Throughput degrading below 50% of its unloaded value (the paper's QoS check)."""
+        rates = [0.1, 0.3, 0.5, 0.7, 1.0]
+        throughput = [1.0, 0.9, 0.7, 0.4, 0.2]
+        crossing = find_threshold_crossing(rates, throughput, 0.5, from_above=True)
+        assert 0.5 < crossing < 0.7
+
+    def test_crossing_from_below(self):
+        rates = [0.1, 0.5, 1.0]
+        blocking = [0.0, 0.005, 0.05]
+        # Looking for a drop below 0.01 finds the very first point already below it.
+        assert find_threshold_crossing(rates, blocking, 0.01) == pytest.approx(0.1)
+        crossing = find_threshold_crossing(rates, blocking, 0.01, from_above=False)
+        assert 0.5 < crossing <= 1.0
+
+    def test_never_crossing_returns_none(self):
+        assert find_threshold_crossing([0, 1], [1.0, 0.9], 0.5) is None
+
+    def test_crossing_at_the_first_point(self):
+        assert find_threshold_crossing([0.2, 0.4], [0.1, 0.05], 0.5) == pytest.approx(0.2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            find_threshold_crossing([0.0], [1.0, 2.0], 0.5)
+
+
+class TestSpreadAndTolerance:
+    def test_identical_curves_have_zero_spread(self):
+        assert relative_spread([[1.0, 2.0], [1.0, 2.0]]) == 0.0
+
+    def test_spread_value(self):
+        assert relative_spread([[1.0, 4.0], [1.0, 5.0]]) == pytest.approx(0.2)
+
+    def test_single_curve(self):
+        assert relative_spread([[1.0, 2.0]]) == 0.0
+
+    def test_fraction_within_tolerance(self):
+        first = [1.0, 2.0, 3.0]
+        second = [1.05, 2.5, 3.01]
+        assert fraction_within_tolerance(first, second, relative_tolerance=0.1) == (
+            pytest.approx(2.0 / 3.0)
+        )
+
+    def test_fraction_handles_zeros(self):
+        assert fraction_within_tolerance([0.0], [0.0], relative_tolerance=0.01) == 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_within_tolerance([1.0], [1.0, 2.0], relative_tolerance=0.1)
+        with pytest.raises(ValueError):
+            fraction_within_tolerance([1.0], [1.0], relative_tolerance=-0.1)
+        with pytest.raises(ValueError):
+            relative_spread([[1.0], [1.0, 2.0]])
+
+
+class TestShapeProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=30))
+    @settings(max_examples=60)
+    def test_sorted_series_is_monotone(self, values):
+        assert is_monotone(sorted(values))
+        assert is_monotone(sorted(values, reverse=True), increasing=False)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=20),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=60)
+    def test_shifted_curve_is_ordered_above_the_original(self, values, shift):
+        above = [value + shift for value in values]
+        assert curves_are_ordered([values, above])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_spread_is_between_zero_and_one(self, values):
+        other = [value * 1.3 for value in values]
+        spread = relative_spread([values, other])
+        assert 0.0 <= spread <= 1.0
