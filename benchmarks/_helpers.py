@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from repro.experiments.reporting import format_figure_result
+from repro.experiments.reporting import format_figure_result, format_scenario_result
+from repro.experiments.scale import ExperimentScale
+from repro.runtime import run_sweep, scenario
 
-__all__ = ["run_once", "report"]
+__all__ = ["run_once", "report", "run_scenario_once", "report_scenario"]
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -21,3 +23,27 @@ def report(result) -> None:
     """Print the regenerated figure data (visible with ``pytest -s`` and in CI logs)."""
     print()
     print(format_figure_result(result))
+
+
+def run_scenario_once(benchmark, name: str, scale: ExperimentScale | None = None,
+                      *, jobs: int = 1):
+    """Run one registered runtime scenario exactly once under benchmark timing.
+
+    The cache is disabled so the benchmark always measures real solver work;
+    cache behaviour itself is benchmarked separately (see
+    ``test_bench_runtime.py``).
+    """
+    spec = scenario(name)
+    return benchmark.pedantic(
+        run_sweep,
+        args=(spec,),
+        kwargs={"scale": scale, "jobs": jobs, "cache": None},
+        rounds=1,
+        iterations=1,
+    )
+
+
+def report_scenario(result) -> None:
+    """Print a scenario sweep result (visible with ``pytest -s`` and in CI logs)."""
+    print()
+    print(format_scenario_result(result))

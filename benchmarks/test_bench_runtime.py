@@ -1,0 +1,68 @@
+"""Benchmarks of the scenario runtime: extension scenarios, parallelism, cache.
+
+Two things are measured here that no figure benchmark covers:
+
+* the extension scenarios (workloads beyond the paper's evaluation) at the
+  scaled preset, through the same executor the CLI ``sweep`` command uses;
+* the runtime's own overheads -- a warm-cache run must be orders of magnitude
+  faster than a cold one because it performs zero solver calls.
+"""
+
+from __future__ import annotations
+
+from _helpers import report_scenario, run_scenario_once
+
+from repro.runtime import ResultCache, run_sweep, scenario
+
+
+class TestExtensionScenarios:
+    def test_heavy_gprs(self, benchmark, bench_scale):
+        result = run_scenario_once(benchmark, "heavy-gprs", bench_scale)
+        # A data-dominated cell keeps all four reserved PDCHs busy under load.
+        assert result.series("carried_data_traffic")[-1] > 3.0
+        report_scenario(result)
+
+    def test_degraded_radio(self, benchmark, bench_scale):
+        result = run_scenario_once(benchmark, "degraded-radio", bench_scale)
+        healthy = run_sweep(scenario("figure12"), bench_scale, cache=None)
+        # CS-1 with 10% BLER serves packets slower than CS-2 on a clean link.
+        assert (
+            result.series("throughput_per_user_kbit_s")[-1]
+            < healthy.series("throughput_per_user_kbit_s")[-1]
+        )
+        report_scenario(result)
+
+    def test_no_flow_control(self, benchmark, bench_scale):
+        result = run_scenario_once(benchmark, "no-flow-control", bench_scale)
+        controlled = run_sweep(scenario("figure12"), bench_scale, cache=None)
+        # Without the TCP threshold the buffer overflows far more often.
+        assert (
+            result.series("packet_loss_probability")[-1]
+            >= controlled.series("packet_loss_probability")[-1]
+        )
+        report_scenario(result)
+
+
+class TestRuntimeOverheads:
+    def test_parallel_sweep(self, benchmark, bench_scale):
+        """Two workers over the sweep points; results must match the serial run."""
+        result = run_scenario_once(benchmark, "large-buffer", bench_scale, jobs=2)
+        serial = run_sweep(scenario("large-buffer"), bench_scale, cache=None)
+        for metric in result.spec.metrics:
+            assert result.series(metric) == serial.series(metric)
+        report_scenario(result)
+
+    def test_warm_cache_skips_all_solves(self, benchmark, bench_scale, tmp_path):
+        cache = ResultCache(tmp_path / "bench-cache")
+        spec = scenario("bursty-sessions")
+        run_sweep(spec, bench_scale, cache=cache)  # cold run fills the cache
+        result = benchmark.pedantic(
+            run_sweep,
+            args=(spec,),
+            kwargs={"scale": bench_scale, "cache": cache},
+            rounds=1,
+            iterations=1,
+        )
+        assert result.cache_misses == 0
+        assert result.cache_hits == len(result.points)
+        report_scenario(result)

@@ -1,4 +1,67 @@
-"""Setup shim so that editable installs work in offline environments without the wheel package."""
-from setuptools import setup
+"""Package metadata for the GPRS performance-analysis reproduction.
 
-setup()
+Kept as a plain ``setup.py`` (no pyproject build isolation) so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package.
+"""
+
+import os
+import re
+
+from setuptools import find_packages, setup
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _readme() -> str:
+    try:
+        with open(os.path.join(_HERE, "README.md"), encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        return ""
+
+
+def _version() -> str:
+    """Read ``__version__`` from the package source (single source of truth)."""
+    with open(os.path.join(_HERE, "src", "repro", "__init__.py"), encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="gprs-repro",
+    version=_version(),
+    description=(
+        "Reproduction of Lindemann & Thuemmler, 'Performance Analysis of the "
+        "General Packet Radio Service' (ICDCS 2001): CTMC model, validation "
+        "simulator, and a parallel, cached scenario runtime"
+    ),
+    long_description=_readme(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+        "networkx>=2.6",
+    ],
+    extras_require={
+        "test": ["pytest>=7", "pytest-benchmark>=4"],
+    },
+    entry_points={
+        "console_scripts": [
+            "gprs-repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "License :: OSI Approved :: MIT License",
+        "Intended Audience :: Science/Research",
+        "Topic :: System :: Networking",
+    ],
+)

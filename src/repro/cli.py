@@ -2,28 +2,39 @@
 
 Usage (installed as ``gprs-repro`` or via ``python -m repro``)::
 
-    gprs-repro list                      # list all regenerable tables/figures
+    gprs-repro list                      # tables/figures and runtime scenarios
     gprs-repro run figure12              # regenerate figure 12 (scaled preset)
-    gprs-repro run figure7 --preset paper
+    gprs-repro run figure7 --preset paper --jobs 4
+    gprs-repro sweep heavy-gprs --jobs 4 # parallel scenario sweep (cached)
+    gprs-repro sweep figure12 --preset paper --json
     gprs-repro solve --arrival-rate 0.5 --gprs-fraction 0.05 --reserved-pdch 2
     gprs-repro simulate --arrival-rate 0.5 --time 5000
 
-``run`` reproduces a table or figure of the paper, ``solve`` evaluates the
-analytical model for a single configuration and ``simulate`` runs the
-network-level simulator for one configuration.
+``run`` reproduces a table or figure of the paper, ``sweep`` executes a
+registered runtime scenario through the parallel, cache-aware executor,
+``solve`` evaluates the analytical model for a single configuration and
+``simulate`` runs the network-level simulator for one configuration.
+
+``run`` and ``sweep`` consult a content-addressed result cache (default
+``~/.cache/gprs-repro``; override with ``--cache-dir`` or the
+``GPRS_REPRO_CACHE_DIR`` environment variable, disable with ``--no-cache``),
+so repeated and incremental runs skip already-solved sweep points.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.core.model import GprsMarkovModel
 from repro.core.parameters import GprsModelParameters
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_scenario_result, format_table
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.scale import ExperimentScale
+from repro.runtime import ResultCache, default_cache_dir, list_scenarios, run_sweep, scenario
 from repro.simulator.config import SimulationConfig, TcpConfig
 from repro.simulator.simulation import GprsNetworkSimulator
 from repro.traffic.presets import traffic_model
@@ -40,7 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list all regenerable tables and figures")
+    subparsers.add_parser(
+        "list", help="list all regenerable tables/figures and runtime scenarios"
+    )
 
     run_parser = subparsers.add_parser("run", help="regenerate a table or figure")
     run_parser.add_argument("experiment", help="experiment name, e.g. figure12 or table2")
@@ -50,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="default",
         help="experiment scale (paper = full Table 2/3 sizes)",
     )
+    _add_runtime_arguments(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a registered runtime scenario (parallel, cached)"
+    )
+    sweep_parser.add_argument(
+        "scenario", help="scenario name, e.g. figure12 or heavy-gprs (see 'list')"
+    )
+    sweep_parser.add_argument(
+        "--preset",
+        choices=("smoke", "default", "paper"),
+        default="default",
+        help="experiment scale applied to the scenario",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    _add_runtime_arguments(sweep_parser)
 
     solve_parser = subparsers.add_parser(
         "solve", help="solve the analytical model for one configuration"
@@ -74,6 +105,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--no-tcp", action="store_true",
                                  help="disable TCP flow control")
     return parser
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep points (1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache for this invocation")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="result cache directory (default: ~/.cache/gprs-repro "
+                        "or $GPRS_REPRO_CACHE_DIR)")
+
+
+def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir if args.cache_dir is not None else default_cache_dir())
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -107,31 +154,51 @@ def _parameters_from_args(args: argparse.Namespace) -> GprsModelParameters:
     )
 
 
-def _scale_from_name(name: str) -> ExperimentScale:
-    if name == "paper":
-        return ExperimentScale.paper()
-    if name == "smoke":
-        return ExperimentScale.smoke()
-    return ExperimentScale.default()
-
-
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``gprs-repro`` command; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        print("experiments (gprs-repro run <name>):")
         for name in sorted(EXPERIMENTS):
-            print(name)
+            print(f"  {name}")
+        print()
+        print("scenarios (gprs-repro sweep <name>):")
+        for spec in list_scenarios():
+            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"  {spec.name:<16} {spec.description}{tags}")
         return 0
 
     if args.command == "run":
         try:
-            report = run_experiment(args.experiment, _scale_from_name(args.preset))
+            report = run_experiment(
+                args.experiment,
+                ExperimentScale.from_name(args.preset),
+                jobs=args.jobs,
+                cache=_cache_from_args(args),
+            )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         print(report)
+        return 0
+
+    if args.command == "sweep":
+        try:
+            result = run_sweep(
+                scenario(args.scenario),
+                ExperimentScale.from_name(args.preset),
+                jobs=args.jobs,
+                cache=_cache_from_args(args),
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_scenario_result(result))
         return 0
 
     if args.command == "solve":

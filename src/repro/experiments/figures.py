@@ -10,6 +10,13 @@ half-widths to the result.
 The functions accept an :class:`~repro.experiments.scale.ExperimentScale` so
 that the same code serves three purposes: quick smoke tests, the CI benchmark
 harness (scaled sizes), and full-fidelity paper reproduction.
+
+The analytical sweeps run through the scenario runtime
+(:mod:`repro.runtime`): wrapping a figure call in
+:func:`repro.runtime.executor.execution_options` (as ``run_experiment`` and
+the CLI ``--jobs``/``--no-cache`` flags do) shards every curve's sweep across
+worker processes and serves previously solved points from the
+content-addressed result cache.
 """
 
 from __future__ import annotations
@@ -120,7 +127,12 @@ def _analytical_series(
     scale: ExperimentScale,
     metrics: tuple[str, ...],
 ) -> FigureSeries:
-    """Sweep the analytical model and package the requested metrics."""
+    """Sweep the analytical model and package the requested metrics.
+
+    The sweep inherits the ambient execution options (worker processes and
+    result cache) installed via
+    :func:`repro.runtime.executor.execution_options`.
+    """
     sweep = sweep_arrival_rates(params, scale.arrival_rates, solver=scale.solver)
     return FigureSeries(
         label=label,

@@ -11,10 +11,19 @@ from __future__ import annotations
 import csv
 import io
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 from repro.experiments.figures import FigureResult
 
-__all__ = ["format_table", "format_figure_result", "figure_result_to_csv"]
+if TYPE_CHECKING:
+    from repro.runtime.executor import ScenarioRunResult
+
+__all__ = [
+    "format_table",
+    "format_figure_result",
+    "format_scenario_result",
+    "figure_result_to_csv",
+]
 
 
 def format_table(title: str, rows: Mapping[str, float | str], *, width: int = 58) -> str:
@@ -62,6 +71,36 @@ def format_figure_result(result: FigureResult, *, precision: int = 5) -> str:
             lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
         blocks.append("\n".join(lines))
     return "\n".join(blocks)
+
+
+def format_scenario_result(result: "ScenarioRunResult", *, precision: int = 5) -> str:
+    """Render a scenario sweep as one aligned table (rows: rates, columns: metrics).
+
+    The header records the scenario, how it was executed and how many points
+    came from the result cache, so a pasted report is self-describing.
+    """
+    spec = result.spec
+    lines = [
+        f"{spec.name}: {spec.description}",
+        f"solver={spec.solver}  points={len(result.points)}  "
+        f"cache: {result.cache_hits} hit(s), {result.cache_misses} solved",
+    ]
+    header = ["arrival rate", *spec.metrics]
+    rows = []
+    for point in result.points:
+        rows.append(
+            [f"{point.arrival_rate:.3g}"]
+            + [f"{point.values[metric]:.{precision}g}" for metric in spec.metrics]
+        )
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        for col in range(len(header))
+    ]
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
 
 
 def figure_result_to_csv(result: FigureResult) -> str:

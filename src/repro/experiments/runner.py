@@ -3,6 +3,11 @@
 Every regenerable artefact of the paper -- Tables 2 and 3 and Figures 5 to 15
 -- is registered here under its paper name so that ``gprs-repro run figure12``
 (or ``python -m repro run figure12``) reproduces it without writing any code.
+
+``run_experiment`` accepts ``jobs`` and ``cache`` and installs them as the
+ambient execution options for the duration of the run, so every arrival-rate
+sweep inside the experiment is sharded across worker processes and served
+from the content-addressed result cache (see :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from collections.abc import Callable
 from repro.experiments import figures, tables
 from repro.experiments.reporting import format_figure_result, format_table
 from repro.experiments.scale import ExperimentScale
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import execution_options
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
@@ -54,7 +61,13 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
 }
 
 
-def run_experiment(name: str, scale: ExperimentScale | None = None) -> str:
+def run_experiment(
+    name: str,
+    scale: ExperimentScale | None = None,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> str:
     """Run one registered experiment by name and return its textual report.
 
     Parameters
@@ -63,6 +76,10 @@ def run_experiment(name: str, scale: ExperimentScale | None = None) -> str:
         One of the keys of :data:`EXPERIMENTS` (``"table2"`` ... ``"figure15"``).
     scale:
         Experiment scale; defaults to the CI-friendly scaled preset.
+    jobs:
+        Worker processes used for the arrival-rate sweeps (1 = serial).
+    cache:
+        Optional result cache consulted before, and filled after, each solve.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -70,4 +87,5 @@ def run_experiment(name: str, scale: ExperimentScale | None = None) -> str:
         raise ValueError(
             f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
         ) from exc
-    return runner(scale or ExperimentScale.default())
+    with execution_options(jobs=jobs, cache=cache):
+        return runner(scale or ExperimentScale.default())

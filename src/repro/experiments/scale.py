@@ -15,11 +15,23 @@ expensive for a CI benchmark run.
   used by the benchmark harness; EXPERIMENTS.md records which preset produced
   each reported number,
 * ``smoke()`` -- a minimal configuration for fast functional tests.
+
+Presets compose with the scenario runtime (:mod:`repro.runtime`): a
+:class:`~repro.runtime.spec.ScenarioSpec` stores *paper-scale* sizes and the
+active :class:`ExperimentScale` caps them at materialisation time
+(:meth:`effective_buffer_size` / :meth:`effective_max_sessions`), so one
+declarative scenario serves smoke tests, CI benchmarks and full-fidelity
+runs.  The content-addressed result cache keys on the *effective* (capped)
+parameters of each sweep point, which means every (scenario, preset)
+combination caches independently and switching presets can never serve
+results of the wrong size.  :meth:`from_name` resolves the preset names used
+by the CLI and by serialised run records; :meth:`to_dict`/:meth:`from_dict`
+round-trip a scale through plain dictionaries for those records.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 __all__ = ["ExperimentScale"]
 
@@ -94,6 +106,17 @@ class ExperimentScale:
         )
 
     @classmethod
+    def from_name(cls, name: str) -> "ExperimentScale":
+        """Return the preset called ``name`` (``"smoke"``, ``"default"`` or ``"paper"``)."""
+        presets = {"smoke": cls.smoke, "default": cls.default, "paper": cls.paper}
+        try:
+            return presets[name]()
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown scale preset {name!r}; available: {', '.join(sorted(presets))}"
+            ) from exc
+
+    @classmethod
     def smoke(cls) -> "ExperimentScale":
         """Minimal configuration for fast functional tests."""
         return cls(
@@ -135,3 +158,19 @@ class ExperimentScale:
     def replace(self, **overrides) -> "ExperimentScale":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (run records and worker processes)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Return the scale as a plain, JSON-serialisable dictionary."""
+        values = asdict(self)
+        values["arrival_rates"] = list(self.arrival_rates)
+        return values
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentScale":
+        """Rebuild a scale from :meth:`to_dict` output."""
+        values = dict(data)
+        values["arrival_rates"] = tuple(float(r) for r in values["arrival_rates"])
+        return cls(**values)

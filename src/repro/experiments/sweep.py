@@ -4,6 +4,12 @@ Every figure of the paper plots one or more performance measures against the
 GSM/GPRS call arrival rate.  :func:`sweep_arrival_rates` solves the analytical
 model at each arrival rate of a sweep and returns the measures as columns, so
 the figure functions only have to select which columns to plot.
+
+Execution is delegated to the scenario runtime
+(:mod:`repro.runtime.executor`) whenever worker processes or a result cache
+are requested -- either explicitly via the ``jobs``/``cache`` arguments or
+ambiently via :func:`repro.runtime.executor.execution_options`.  The default
+(serial, uncached) path is unchanged and allocation-free.
 """
 
 from __future__ import annotations
@@ -65,6 +71,8 @@ def sweep_arrival_rates(
     *,
     solver: str = "auto",
     solver_tol: float = 1e-9,
+    jobs: int | None = None,
+    cache="ambient",
 ) -> SweepResult:
     """Solve the analytical model at every arrival rate of the sweep.
 
@@ -77,18 +85,49 @@ def sweep_arrival_rates(
         The call arrival rates (calls/s) to evaluate.
     solver, solver_tol:
         Passed to :class:`~repro.core.model.GprsMarkovModel`.
+    jobs:
+        Worker processes for the sweep; ``None`` takes the ambient
+        :func:`repro.runtime.executor.execution_options` value (default 1).
+    cache:
+        A :class:`~repro.runtime.cache.ResultCache`, ``None`` to force an
+        uncached sweep, or the default sentinel ``"ambient"`` to take the
+        cache installed via ``execution_options`` (itself ``None`` unless
+        installed) -- the same convention as
+        :func:`repro.runtime.executor.run_sweep`.
     """
     rates = tuple(float(rate) for rate in arrival_rates)
     if not rates:
         raise ValueError("at least one arrival rate is required")
-    measures = []
-    for rate in rates:
-        model = GprsMarkovModel(
-            base_parameters.with_arrival_rate(rate),
-            solver_method=solver,
+
+    # Imported lazily: repro.runtime depends on repro.experiments.scale, so a
+    # module-level import here would tangle the package initialisation order.
+    from repro.runtime.executor import current_options, sweep_measure_dicts
+
+    options = current_options()
+    effective_jobs = options.jobs if jobs is None else jobs
+    effective_cache = options.cache if cache == "ambient" else cache
+
+    if effective_jobs <= 1 and effective_cache is None:
+        measures = []
+        for rate in rates:
+            model = GprsMarkovModel(
+                base_parameters.with_arrival_rate(rate),
+                solver_method=solver,
+                solver_tol=solver_tol,
+            )
+            measures.append(model.solve().measures)
+    else:
+        from repro.core.measures import GprsPerformanceMeasures
+
+        solved = sweep_measure_dicts(
+            base_parameters,
+            rates,
+            solver=solver,
             solver_tol=solver_tol,
+            jobs=effective_jobs,
+            cache=effective_cache,
         )
-        measures.append(model.solve().measures)
+        measures = [GprsPerformanceMeasures(**values) for values, _ in solved]
     return SweepResult(
         base_parameters=base_parameters,
         arrival_rates=rates,

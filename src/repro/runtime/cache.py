@@ -1,0 +1,178 @@
+"""Content-addressed result cache for sweep points.
+
+Every solved sweep point is stored as one small JSON file whose name is the
+SHA-256 hash of a canonical JSON rendering of *what produced it*: the
+effective model parameters (including the swept arrival rate), the solver
+settings, the kind of computation, and a code-version tag.  Consequences:
+
+* the cache is **content-addressed** -- two scenarios (or a scenario and a
+  figure run) that resolve to the same effective configuration share entries;
+* the key is **stable across processes and machines** -- it only hashes plain
+  dictionaries via ``json.dumps(sort_keys=True)``, never ``repr`` or ``hash()``;
+* the code-version tag in every key combines ``repro.__version__`` with a
+  digest of the package's own source files, so *any* local code edit -- not
+  just a release bump -- invalidates all entries at once and numerical fixes
+  never serve stale results.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers and
+interrupted runs can never leave a torn JSON file behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+
+__all__ = ["CODE_VERSION", "CacheStats", "ResultCache", "default_cache_dir", "result_key"]
+
+def _source_digest() -> str:
+    """Digest of every ``.py`` file of the installed ``repro`` package.
+
+    Computed once per process; makes the cache self-invalidating under local
+    code edits, which matters in a repository whose product is the numbers.
+    """
+    digest = hashlib.sha256()
+    try:
+        root = Path(repro.__file__).resolve().parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+    except OSError:
+        return "unhashable"
+    return digest.hexdigest()[:12]
+
+
+#: Tag mixed into every cache key: package version plus a source digest, so
+#: both release bumps and local code edits invalidate existing entries.
+CODE_VERSION: str = f"repro-{repro.__version__}-{_source_digest()}"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "GPRS_REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Return the default cache directory (env override or ``~/.cache/gprs-repro``)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "gprs-repro"
+
+
+def result_key(
+    params_dict: dict,
+    *,
+    solver: str,
+    solver_tol: float,
+    kind: str = "analytical",
+    seed: int | None = None,
+    code_version: str = CODE_VERSION,
+) -> str:
+    """Return the content hash of one sweep point.
+
+    Parameters
+    ----------
+    params_dict:
+        Effective model parameters (from
+        :func:`repro.runtime.spec.parameters_to_dict`) *including* the swept
+        arrival rate.
+    solver, solver_tol:
+        Steady-state solver settings.
+    kind:
+        Computation kind, ``"analytical"`` for CTMC solves; simulation-backed
+        runs use a different kind so the two never collide.
+    seed:
+        Per-point seed for stochastic kinds (``None`` for analytical solves).
+    code_version:
+        Version tag; defaults to :data:`CODE_VERSION`.
+    """
+    payload = {
+        "kind": kind,
+        "code_version": code_version,
+        "solver": solver,
+        "solver_tol": solver_tol,
+        "seed": seed,
+        "parameters": params_dict,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+@dataclass
+class ResultCache:
+    """JSON-file result cache under ``root`` (sharded by key prefix).
+
+    ``get``/``put`` speak plain dictionaries; callers decide what a payload
+    means.  A corrupt or unreadable entry counts as a miss and is ignored --
+    the worst a broken cache can do is recompute.
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, key: str) -> Path:
+        """Return the file path of ``key`` (two-character shard directories)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the cached payload for ``key`` or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{key[:8]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently stored (walks the shard directories)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,273 @@
+"""Parallel sweep execution with cache-aware scheduling.
+
+The executor turns a :class:`~repro.runtime.spec.ScenarioSpec` (or a bare
+parameter set, for the figure functions) into solved sweep points:
+
+1. every point's cache key is computed from its *effective* parameters;
+2. cached points are served immediately (and never touch a solver);
+3. the remaining misses are solved -- in-process when ``jobs <= 1`` or only
+   one point is missing, otherwise sharded across a
+   :class:`concurrent.futures.ProcessPoolExecutor`;
+4. results are reassembled **in sweep order** regardless of completion order
+   and written back to the cache.
+
+Workers receive plain dictionaries (never live objects), so the parallel path
+computes exactly what the serial path computes; a ``jobs=4`` run is
+bit-for-bit identical to ``jobs=1``.  Per-point seeds come from
+:meth:`ScenarioSpec.point_seed` and are deterministic in the point index.
+
+:func:`execution_options` provides an ambient (contextvar-based) way to switch
+existing call chains -- ``run_experiment`` down through ``sweep_arrival_rates``
+-- to parallel/cached execution without threading arguments through every
+figure function.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.measures import GprsPerformanceMeasures
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.runtime.cache import ResultCache, result_key
+from repro.runtime.spec import ScenarioSpec, parameters_from_dict, parameters_to_dict
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep runtime below experiments
+    from repro.experiments.scale import ExperimentScale
+
+__all__ = [
+    "ExecutionOptions",
+    "ScenarioRunResult",
+    "SweepPoint",
+    "current_options",
+    "execution_options",
+    "run_sweep",
+    "sweep_measure_dicts",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Ambient execution options
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Ambient defaults for sweep execution (worker count and cache)."""
+
+    jobs: int = 1
+    cache: ResultCache | None = None
+
+
+_OPTIONS: contextvars.ContextVar[ExecutionOptions] = contextvars.ContextVar(
+    "repro_runtime_execution_options", default=ExecutionOptions()
+)
+
+
+def current_options() -> ExecutionOptions:
+    """Return the execution options active in this context."""
+    return _OPTIONS.get()
+
+
+@contextlib.contextmanager
+def execution_options(jobs: int = 1, cache: ResultCache | None = None):
+    """Scope ambient execution options (used by ``run_experiment`` and the CLI)."""
+    token = _OPTIONS.set(ExecutionOptions(jobs=jobs, cache=cache))
+    try:
+        yield
+    finally:
+        _OPTIONS.reset(token)
+
+
+# ---------------------------------------------------------------------- #
+# Worker entry point (must stay a top-level function: it is pickled)
+# ---------------------------------------------------------------------- #
+def _solve_point_task(params_dict: dict, solver: str, solver_tol: float) -> dict:
+    """Solve one configuration and return the full measure set as a dict."""
+    params = parameters_from_dict(params_dict)
+    model = GprsMarkovModel(params, solver_method=solver, solver_tol=solver_tol)
+    return model.solve().measures.as_dict()
+
+
+def sweep_measure_dicts(
+    base_parameters: GprsModelParameters,
+    arrival_rates: tuple[float, ...],
+    *,
+    solver: str = "auto",
+    solver_tol: float = 1e-9,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[tuple[dict, bool]]:
+    """Solve every sweep point, cache-aware and optionally in parallel.
+
+    Returns one ``(measures_dict, from_cache)`` pair per arrival rate, in
+    sweep order.  This is the single execution path shared by the scenario
+    runtime and the figure sweeps, so both enjoy the same cache and the same
+    parallelism.
+    """
+    point_dicts = [
+        parameters_to_dict(base_parameters.with_arrival_rate(rate))
+        for rate in arrival_rates
+    ]
+    keys = [
+        result_key(point, solver=solver, solver_tol=solver_tol)
+        for point in point_dicts
+    ]
+
+    results: dict[int, dict] = {}
+    from_cache: dict[int, bool] = {}
+    misses: list[int] = []
+    for index, key in enumerate(keys):
+        payload = cache.get(key) if cache is not None else None
+        if payload is not None:
+            results[index] = payload
+            from_cache[index] = True
+        else:
+            misses.append(index)
+            from_cache[index] = False
+
+    workers = max(1, int(jobs))
+    if misses:
+        if workers > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+                futures = {
+                    index: pool.submit(
+                        _solve_point_task, point_dicts[index], solver, solver_tol
+                    )
+                    for index in misses
+                }
+                for index, future in futures.items():
+                    results[index] = future.result()
+        else:
+            for index in misses:
+                results[index] = _solve_point_task(point_dicts[index], solver, solver_tol)
+        if cache is not None:
+            for index in misses:
+                try:
+                    cache.put(keys[index], results[index])
+                except OSError:
+                    # An unwritable cache degrades to a cold one: the solved
+                    # results are still returned, nothing is persisted.
+                    break
+
+    return [(results[index], from_cache[index]) for index in range(len(arrival_rates))]
+
+
+# ---------------------------------------------------------------------- #
+# Scenario-level API
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepPoint:
+    """One solved point of a scenario sweep."""
+
+    index: int
+    arrival_rate: float
+    seed: int
+    values: dict[str, float]
+    from_cache: bool = False
+
+    def metric(self, name: str) -> float:
+        return self.values[name]
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """All points of one scenario run, in sweep order, plus cache accounting."""
+
+    spec: ScenarioSpec
+    scale: ExperimentScale
+    points: tuple[SweepPoint, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def arrival_rates(self) -> tuple[float, ...]:
+        return tuple(point.arrival_rate for point in self.points)
+
+    def series(self, metric: str) -> tuple[float, ...]:
+        """Return one metric across the sweep, aligned with ``arrival_rates``."""
+        return tuple(point.values[metric] for point in self.points)
+
+    def measures(self) -> tuple[GprsPerformanceMeasures, ...]:
+        """Return the full measure objects (one per point)."""
+        return tuple(GprsPerformanceMeasures(**point.values) for point in self.points)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable rendering (spec, per-point values, cache stats)."""
+        return {
+            "scenario": self.spec.to_dict(),
+            "scale": self.scale.to_dict(),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "points": [
+                {
+                    "index": point.index,
+                    "arrival_rate": point.arrival_rate,
+                    "seed": point.seed,
+                    "from_cache": point.from_cache,
+                    "values": dict(point.values),
+                }
+                for point in self.points
+            ],
+        }
+
+
+def run_sweep(
+    spec: ScenarioSpec,
+    scale: ExperimentScale | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None | str = "ambient",
+) -> ScenarioRunResult:
+    """Run one scenario sweep and return its ordered points.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run (typically from :data:`repro.runtime.SCENARIOS`).
+    scale:
+        Experiment scale preset; defaults to
+        :meth:`~repro.experiments.scale.ExperimentScale.default`.
+    jobs:
+        Worker processes; ``None`` takes the ambient
+        :func:`execution_options` value (default 1 = serial, in-process).
+    cache:
+        A :class:`~repro.runtime.cache.ResultCache`, ``None`` to disable
+        caching, or the sentinel ``"ambient"`` (default) to take the cache
+        from :func:`execution_options`.
+    """
+    from repro.experiments.scale import ExperimentScale
+
+    scale = scale or ExperimentScale.default()
+    options = current_options()
+    effective_jobs = options.jobs if jobs is None else jobs
+    effective_cache = options.cache if cache == "ambient" else cache
+
+    rates = spec.sweep_rates(scale)
+    params = spec.parameters(scale)
+    solved = sweep_measure_dicts(
+        params,
+        rates,
+        solver=spec.solver,
+        jobs=effective_jobs,
+        cache=effective_cache,
+    )
+    points = tuple(
+        SweepPoint(
+            index=index,
+            arrival_rate=rate,
+            seed=spec.point_seed(index),
+            values=values,
+            from_cache=hit,
+        )
+        for index, (rate, (values, hit)) in enumerate(zip(rates, solved))
+    )
+    hits = sum(1 for point in points if point.from_cache)
+    return ScenarioRunResult(
+        spec=spec,
+        scale=scale,
+        points=points,
+        cache_hits=hits,
+        cache_misses=len(points) - hits,
+    )

@@ -1,0 +1,263 @@
+"""Registry of runnable scenarios: the 11 paper figures plus extensions.
+
+Each entry is a :class:`~repro.runtime.spec.ScenarioSpec` describing one
+workload declaratively.  The paper scenarios (tag ``"paper"``) pin the *base*
+configuration behind Figures 5-15 -- one representative curve per figure, with
+the figure's own metrics -- so ``gprs-repro sweep figure12 --jobs 4`` replays
+the paper's workload through the parallel, cached runtime.  (The multi-curve
+renderings with every legend entry remain in
+:mod:`repro.experiments.figures`; run them via ``gprs-repro run``.)
+
+The extension scenarios (tag ``"extension"``) open workloads the paper never
+measured: heavily loaded GPRS cells, degraded radio links, bursty sources,
+buffer dimensioning, dense cells, voice-only protection and uncontrolled TCP.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.spec import ScenarioSpec
+
+__all__ = ["SCENARIOS", "list_scenarios", "register", "scenario"]
+
+#: All registered scenarios, keyed by :attr:`ScenarioSpec.name`.
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the registry (names must be unique)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """Return the registered scenario called ``name``."""
+    try:
+        return SCENARIOS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from exc
+
+
+def list_scenarios(tag: str | None = None) -> tuple[ScenarioSpec, ...]:
+    """Return all scenarios (optionally filtered by tag), sorted by name."""
+    specs = (
+        spec
+        for spec in SCENARIOS.values()
+        if tag is None or tag in spec.tags
+    )
+    return tuple(sorted(specs, key=lambda spec: spec.name))
+
+
+# ---------------------------------------------------------------------- #
+# Paper scenarios: the base configuration of each evaluation figure
+# ---------------------------------------------------------------------- #
+register(ScenarioSpec(
+    name="figure5",
+    description="TCP threshold calibration: packet loss at the calibrated eta = 0.7",
+    traffic_model=3,
+    tcp_threshold=0.7,
+    metrics=("packet_loss_probability",),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure6",
+    description="Validation workload: CDT and per-user throughput, 5% GPRS users",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=1,
+    metrics=("carried_data_traffic", "throughput_per_user_kbit_s"),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure7",
+    description="Carried data traffic, traffic model 1 with 2 reserved PDCHs",
+    traffic_model=1,
+    reserved_pdch=2,
+    metrics=("carried_data_traffic",),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure8",
+    description="Packet loss probability, traffic model 2 with 2 reserved PDCHs",
+    traffic_model=2,
+    reserved_pdch=2,
+    metrics=("packet_loss_probability",),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure9",
+    description="Queueing delay, traffic model 1 with 4 reserved PDCHs",
+    traffic_model=1,
+    reserved_pdch=4,
+    metrics=("queueing_delay",),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure10",
+    description="Session-limit study: CDT and GPRS blocking at M = 100 (paper scale)",
+    traffic_model=1,
+    reserved_pdch=2,
+    max_sessions=100,
+    metrics=("carried_data_traffic", "gprs_blocking_probability"),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure11",
+    description="CDT and per-user throughput, 2% GPRS users, 2 reserved PDCHs",
+    traffic_model=3,
+    gprs_fraction=0.02,
+    reserved_pdch=2,
+    metrics=("carried_data_traffic", "throughput_per_user_kbit_s"),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure12",
+    description="CDT and per-user throughput, 5% GPRS users, 2 reserved PDCHs",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=("carried_data_traffic", "throughput_per_user_kbit_s"),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure13",
+    description="CDT and per-user throughput, 10% GPRS users, 2 reserved PDCHs",
+    traffic_model=3,
+    gprs_fraction=0.10,
+    reserved_pdch=2,
+    metrics=("carried_data_traffic", "throughput_per_user_kbit_s"),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure14",
+    description="Voice-service impact: carried voice traffic and blocking, 2 reserved PDCHs",
+    traffic_model=3,
+    reserved_pdch=2,
+    metrics=("carried_voice_traffic", "voice_blocking_probability"),
+    tags=("paper",),
+))
+
+register(ScenarioSpec(
+    name="figure15",
+    description="Average GPRS sessions and session blocking, 5% GPRS users",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=1,
+    metrics=("average_gprs_sessions", "gprs_blocking_probability"),
+    tags=("paper",),
+))
+
+
+# ---------------------------------------------------------------------- #
+# Extension scenarios: workloads beyond the paper's evaluation
+# ---------------------------------------------------------------------- #
+register(ScenarioSpec(
+    name="heavy-gprs",
+    description="Data-dominated cell: 30% GPRS users on 4 reserved PDCHs",
+    traffic_model=3,
+    gprs_fraction=0.30,
+    reserved_pdch=4,
+    metrics=(
+        "carried_data_traffic",
+        "packet_loss_probability",
+        "throughput_per_user_kbit_s",
+    ),
+    tags=("extension",),
+))
+
+register(ScenarioSpec(
+    name="degraded-radio",
+    description="Poor radio link: CS-1 coding with 10% block error rate",
+    traffic_model=3,
+    coding_scheme="CS-1",
+    block_error_rate=0.10,
+    reserved_pdch=2,
+    metrics=(
+        "packet_loss_probability",
+        "queueing_delay",
+        "throughput_per_user_kbit_s",
+    ),
+    tags=("extension",),
+))
+
+register(ScenarioSpec(
+    name="bursty-sessions",
+    description="Burstier-than-3GPP sources: near-zero reading time, long packet calls",
+    traffic_model=3,
+    traffic_overrides={"reading_time_s": 0.5, "packets_per_packet_call": 50.0},
+    reserved_pdch=2,
+    metrics=(
+        "packet_loss_probability",
+        "mean_queue_length",
+        "queueing_delay",
+    ),
+    tags=("extension",),
+))
+
+register(ScenarioSpec(
+    name="large-buffer",
+    description="Buffer dimensioning: K = 400 packets trades loss for delay",
+    traffic_model=2,
+    buffer_size=400,
+    reserved_pdch=2,
+    metrics=(
+        "packet_loss_probability",
+        "queueing_delay",
+        "mean_queue_length",
+    ),
+    tags=("extension",),
+))
+
+register(ScenarioSpec(
+    name="dense-cell",
+    description="Double-capacity cell: 40 physical channels, 10% GPRS users",
+    traffic_model=3,
+    number_of_channels=40,
+    gprs_fraction=0.10,
+    reserved_pdch=4,
+    metrics=(
+        "carried_data_traffic",
+        "carried_voice_traffic",
+        "voice_blocking_probability",
+    ),
+    tags=("extension",),
+))
+
+register(ScenarioSpec(
+    name="voice-first",
+    description="No reserved PDCHs: GPRS rides purely on idle voice channels",
+    traffic_model=3,
+    reserved_pdch=0,
+    metrics=(
+        "carried_voice_traffic",
+        "voice_blocking_probability",
+        "packet_loss_probability",
+    ),
+    tags=("extension",),
+))
+
+register(ScenarioSpec(
+    name="no-flow-control",
+    description="Uncontrolled TCP (eta = 1): worst-case buffer overload",
+    traffic_model=3,
+    tcp_threshold=1.0,
+    reserved_pdch=2,
+    metrics=(
+        "packet_loss_probability",
+        "mean_queue_length",
+        "offered_packet_rate",
+    ),
+    tags=("extension",),
+))

@@ -1,0 +1,258 @@
+"""Declarative scenario specifications for the runtime subsystem.
+
+A :class:`ScenarioSpec` is a frozen, JSON-serialisable description of one
+complete workload: which Table 3 traffic model drives the GPRS users (plus
+optional per-field overrides of the packet-session parameters), the cell and
+radio configuration, the TCP threshold, the steady-state solver, the sweep
+axis and the metrics of interest.  Specs are *declarative*: they contain no
+behaviour beyond materialising :class:`~repro.core.parameters.GprsModelParameters`
+for a given :class:`~repro.experiments.scale.ExperimentScale`, so they can be
+stored, hashed, diffed and shipped to worker processes as plain dictionaries.
+
+The companion helpers :func:`parameters_to_dict` / :func:`parameters_from_dict`
+give the *effective* model parameters the same property; the result cache keys
+on that effective form, so two scenarios that resolve to the same physics share
+cache entries regardless of their names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING
+
+from repro.core.parameters import GprsModelParameters
+from repro.traffic.presets import traffic_model
+from repro.traffic.session import PacketSessionModel
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep runtime below experiments
+    from repro.experiments.scale import ExperimentScale
+
+__all__ = [
+    "DEFAULT_METRICS",
+    "ScenarioSpec",
+    "parameters_from_dict",
+    "parameters_to_dict",
+]
+
+#: Metrics reported when a scenario does not name its own.
+DEFAULT_METRICS: tuple[str, ...] = (
+    "carried_data_traffic",
+    "packet_loss_probability",
+    "throughput_per_user_kbit_s",
+)
+
+#: Packet-session fields that a scenario may override on its traffic model.
+_SESSION_OVERRIDE_FIELDS = frozenset(
+    {
+        "packet_calls_per_session",
+        "reading_time_s",
+        "packets_per_packet_call",
+        "packet_interarrival_s",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one sweep workload.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"figure12"`` or ``"heavy-gprs"``.
+    description:
+        One-line human-readable summary shown by ``gprs-repro list``.
+    traffic_model:
+        Table 3 traffic model number (1, 2 or 3) supplying the packet-session
+        parameters and the default admission cap ``M``.
+    traffic_overrides:
+        Optional overrides of individual packet-session fields (e.g. a shorter
+        ``reading_time_s`` for burstier sources); keys must be members of
+        ``packet_calls_per_session``, ``reading_time_s``,
+        ``packets_per_packet_call``, ``packet_interarrival_s``.
+    gprs_fraction, reserved_pdch, number_of_channels, tcp_threshold,
+    coding_scheme, block_error_rate:
+        Cell and radio configuration, as in
+        :class:`~repro.core.parameters.GprsModelParameters`.
+    buffer_size:
+        Paper-scale BSC buffer size ``K``; ``None`` means the Table 2 value of
+        100.  The active :class:`~repro.experiments.scale.ExperimentScale`
+        still caps it (see :meth:`parameters`).
+    max_sessions:
+        Paper-scale admission cap ``M``; ``None`` takes the traffic model's
+        Table 3 value.  Also capped by the scale preset.
+    solver:
+        Steady-state solver passed to the analytical model.
+    arrival_rates:
+        Explicit sweep axis in calls/s; ``None`` uses the scale preset's axis.
+    metrics:
+        Metrics highlighted by reports for this scenario (the cache always
+        stores the full measure set).
+    seed:
+        Base seed from which deterministic per-point seeds are derived (used
+        by simulation-backed runs; recorded for analytical runs so that cache
+        entries stay stable if a scenario later gains a simulation stage).
+    tags:
+        Free-form labels; the registry uses ``"paper"`` and ``"extension"``.
+    """
+
+    name: str
+    description: str
+    traffic_model: int = 3
+    traffic_overrides: dict[str, float] = field(default_factory=dict)
+    gprs_fraction: float = 0.05
+    reserved_pdch: int = 1
+    number_of_channels: int = 20
+    buffer_size: int | None = None
+    max_sessions: int | None = None
+    tcp_threshold: float = 0.7
+    coding_scheme: str = "CS-2"
+    block_error_rate: float = 0.0
+    solver: str = "auto"
+    arrival_rates: tuple[float, ...] | None = None
+    metrics: tuple[str, ...] = DEFAULT_METRICS
+    seed: int = 20020527
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        if self.traffic_model not in (1, 2, 3):
+            raise ValueError("traffic_model must be 1, 2 or 3 (Table 3)")
+        unknown = set(self.traffic_overrides) - _SESSION_OVERRIDE_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown traffic override(s) {sorted(unknown)}; allowed: "
+                f"{sorted(_SESSION_OVERRIDE_FIELDS)}"
+            )
+        if self.arrival_rates is not None and not self.arrival_rates:
+            raise ValueError("arrival_rates must be None or non-empty")
+        if not self.metrics:
+            raise ValueError("at least one metric is required")
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Return the spec as a plain, JSON-serialisable dictionary."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "traffic_model": self.traffic_model,
+            "traffic_overrides": dict(self.traffic_overrides),
+            "gprs_fraction": self.gprs_fraction,
+            "reserved_pdch": self.reserved_pdch,
+            "number_of_channels": self.number_of_channels,
+            "buffer_size": self.buffer_size,
+            "max_sessions": self.max_sessions,
+            "tcp_threshold": self.tcp_threshold,
+            "coding_scheme": self.coding_scheme,
+            "block_error_rate": self.block_error_rate,
+            "solver": self.solver,
+            "arrival_rates": (
+                None if self.arrival_rates is None else list(self.arrival_rates)
+            ),
+            "metrics": list(self.metrics),
+            "seed": self.seed,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (tuples restored)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario field(s) {sorted(unknown)}")
+        values = dict(data)
+        if values.get("arrival_rates") is not None:
+            values["arrival_rates"] = tuple(float(r) for r in values["arrival_rates"])
+        if "metrics" in values:
+            values["metrics"] = tuple(values["metrics"])
+        if "tags" in values:
+            values["tags"] = tuple(values["tags"])
+        if "traffic_overrides" in values:
+            values["traffic_overrides"] = dict(values["traffic_overrides"])
+        return cls(**values)
+
+    def replace(self, **overrides) -> "ScenarioSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def parameters(self, scale: ExperimentScale) -> GprsModelParameters:
+        """Materialise the effective model parameters under ``scale``.
+
+        The scale preset caps the paper-scale buffer and session limits the
+        same way the figure functions do, so ``smoke``/``default``/``paper``
+        runs of the same scenario stay comparable.
+        """
+        preset = traffic_model(self.traffic_model)
+        session: PacketSessionModel = preset.session
+        if self.traffic_overrides:
+            session = replace(session, **self.traffic_overrides)
+        paper_buffer = self.buffer_size if self.buffer_size is not None else 100
+        paper_sessions = (
+            self.max_sessions
+            if self.max_sessions is not None
+            else preset.max_active_sessions
+        )
+        return GprsModelParameters(
+            total_call_arrival_rate=self.sweep_rates(scale)[0],
+            gprs_fraction=self.gprs_fraction,
+            number_of_channels=self.number_of_channels,
+            reserved_pdch=self.reserved_pdch,
+            buffer_size=scale.effective_buffer_size(paper_buffer),
+            max_gprs_sessions=scale.effective_max_sessions(paper_sessions),
+            traffic=session,
+            coding_scheme=self.coding_scheme,
+            tcp_threshold=self.tcp_threshold,
+            block_error_rate=self.block_error_rate,
+        )
+
+    def sweep_rates(self, scale: ExperimentScale) -> tuple[float, ...]:
+        """Return the sweep axis: the spec's own rates or the scale preset's."""
+        return self.arrival_rates if self.arrival_rates is not None else scale.arrival_rates
+
+    def point_seed(self, index: int) -> int:
+        """Deterministic seed of sweep point ``index`` (stable across runs)."""
+        return (self.seed * 1_000_003 + index) % 2**31
+
+
+# ---------------------------------------------------------------------- #
+# Effective-parameter serialisation (cache keys and worker processes)
+# ---------------------------------------------------------------------- #
+def parameters_to_dict(params: GprsModelParameters) -> dict:
+    """Return model parameters as a plain dictionary (nested traffic model)."""
+    traffic = params.traffic
+    return {
+        "total_call_arrival_rate": params.total_call_arrival_rate,
+        "gprs_fraction": params.gprs_fraction,
+        "number_of_channels": params.number_of_channels,
+        "reserved_pdch": params.reserved_pdch,
+        "buffer_size": params.buffer_size,
+        "max_gprs_sessions": params.max_gprs_sessions,
+        "coding_scheme": params.coding_scheme,
+        "mean_gsm_call_duration_s": params.mean_gsm_call_duration_s,
+        "mean_gsm_dwell_time_s": params.mean_gsm_dwell_time_s,
+        "mean_gprs_dwell_time_s": params.mean_gprs_dwell_time_s,
+        "tcp_threshold": params.tcp_threshold,
+        "block_error_rate": params.block_error_rate,
+        "traffic": {
+            "packet_calls_per_session": traffic.packet_calls_per_session,
+            "reading_time_s": traffic.reading_time_s,
+            "packets_per_packet_call": traffic.packets_per_packet_call,
+            "packet_interarrival_s": traffic.packet_interarrival_s,
+            "packet_size_bytes": traffic.packet_size_bytes,
+            "name": traffic.name,
+        },
+    }
+
+
+def parameters_from_dict(data: dict) -> GprsModelParameters:
+    """Rebuild model parameters from :func:`parameters_to_dict` output."""
+    values = dict(data)
+    values["traffic"] = PacketSessionModel(**values["traffic"])
+    return GprsModelParameters(**values)

@@ -14,6 +14,16 @@ from repro.core.parameters import GprsModelParameters
 from repro.traffic.presets import TRAFFIC_MODEL_1, TRAFFIC_MODEL_3
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the default result cache at a per-test directory.
+
+    CLI commands cache under ``~/.cache/gprs-repro`` by default; tests must
+    neither pollute the real cache nor be served stale entries from it.
+    """
+    monkeypatch.setenv("GPRS_REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def small_parameters() -> GprsModelParameters:
     """A small but non-trivial configuration (about 1000 states)."""

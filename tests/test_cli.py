@@ -22,13 +22,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve"])
 
+    def test_sweep_command_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "heavy-gprs", "--preset", "smoke", "--jobs", "4", "--no-cache"]
+        )
+        assert args.command == "sweep"
+        assert args.scenario == "heavy-gprs"
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_run_command_accepts_runtime_flags(self):
+        args = build_parser().parse_args(["run", "figure12", "--jobs", "2", "--no-cache"])
+        assert args.jobs == 2
+        assert args.no_cache is True
+
 
 class TestCommands:
-    def test_list_prints_all_experiments(self, capsys):
+    def test_list_prints_all_experiments_and_scenarios(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "table2" in output
         assert "figure15" in output
+        assert "heavy-gprs" in output
+        assert "degraded-radio" in output
 
     def test_run_table2(self, capsys):
         assert main(["run", "table2"]) == 0
@@ -44,6 +60,39 @@ class TestCommands:
         assert main(["run", "figure14", "--preset", "smoke"]) == 0
         output = capsys.readouterr().out
         assert "voice_blocking_probability" in output
+
+    def test_sweep_scenario(self, capsys):
+        assert main(["sweep", "figure5", "--preset", "smoke", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "figure5" in output
+        assert "packet_loss_probability" in output
+
+    def test_sweep_parallel_json_output(self, capsys, tmp_path):
+        import json
+
+        exit_code = main([
+            "sweep", "voice-first", "--preset", "smoke", "--jobs", "2",
+            "--cache-dir", str(tmp_path), "--json",
+        ])
+        assert exit_code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"]["name"] == "voice-first"
+        assert len(data["points"]) == 2
+        assert all("voice_blocking_probability" in p["values"] for p in data["points"])
+
+    def test_sweep_unknown_scenario_fails(self, capsys):
+        assert main(["sweep", "no-such-scenario", "--no-cache"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_with_cache_dir_and_jobs(self, capsys, tmp_path):
+        argv = [
+            "run", "figure14", "--preset", "smoke", "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # warm-cache rerun
+        assert capsys.readouterr().out == first
 
     def test_solve_small_configuration(self, capsys):
         exit_code = main([

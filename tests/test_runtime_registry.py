@@ -1,0 +1,140 @@
+"""Tests of the scenario registry and spec serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS
+from repro.experiments.scale import ExperimentScale
+from repro.runtime import (
+    SCENARIOS,
+    ScenarioSpec,
+    list_scenarios,
+    register,
+    scenario,
+)
+
+SMOKE = ExperimentScale.smoke()
+
+PAPER_FIGURES = tuple(f"figure{i}" for i in range(5, 16))
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artefact_is_registered(self):
+        """Tables 2-3 and Figures 5-15 are all runnable via ``gprs-repro run``."""
+        assert set(EXPERIMENTS) == {"table2", "table3", *PAPER_FIGURES}
+
+
+class TestScenarioRegistry:
+    def test_every_paper_figure_has_a_scenario(self):
+        for name in PAPER_FIGURES:
+            assert name in SCENARIOS, f"paper figure {name} missing from SCENARIOS"
+            assert "paper" in SCENARIOS[name].tags
+
+    def test_at_least_six_extension_scenarios(self):
+        extensions = list_scenarios(tag="extension")
+        assert len(extensions) >= 6
+        assert not any("paper" in spec.tags for spec in extensions)
+
+    def test_names_match_registry_keys(self):
+        for name, spec in SCENARIOS.items():
+            assert spec.name == name
+
+    def test_every_scenario_materialises_under_every_preset(self):
+        for preset in (SMOKE, ExperimentScale.default(), ExperimentScale.paper()):
+            for spec in SCENARIOS.values():
+                params = spec.parameters(preset)
+                assert params.total_call_arrival_rate == spec.sweep_rates(preset)[0]
+
+    def test_every_scenario_metric_is_a_real_measure(self):
+        from repro.core.measures import GprsPerformanceMeasures
+
+        fields = set(GprsPerformanceMeasures.__dataclass_fields__)
+        for spec in SCENARIOS.values():
+            missing = set(spec.metrics) - fields
+            assert not missing, f"{spec.name} references unknown metrics {missing}"
+
+    def test_scenario_lookup(self):
+        assert scenario("figure12").gprs_fraction == 0.05
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(SCENARIOS["figure12"])
+
+    def test_list_scenarios_sorted_and_filtered(self):
+        names = [spec.name for spec in list_scenarios()]
+        assert names == sorted(names)
+        assert all("paper" in spec.tags for spec in list_scenarios(tag="paper"))
+
+
+class TestSpecRoundTrip:
+    def test_every_registered_scenario_round_trips(self):
+        """spec -> dict -> spec must be the identity for the whole registry."""
+        for spec in SCENARIOS.values():
+            data = spec.to_dict()
+            json.dumps(data)  # must be plain JSON
+            assert ScenarioSpec.from_dict(data) == spec
+
+    def test_round_trip_survives_json_encoding(self):
+        for spec in SCENARIOS.values():
+            data = json.loads(json.dumps(spec.to_dict()))
+            assert ScenarioSpec.from_dict(data) == spec
+
+    def test_round_trip_with_every_optional_field_set(self):
+        spec = ScenarioSpec(
+            name="custom",
+            description="fully specified",
+            traffic_model=2,
+            traffic_overrides={"reading_time_s": 1.5},
+            gprs_fraction=0.2,
+            reserved_pdch=3,
+            number_of_channels=24,
+            buffer_size=64,
+            max_sessions=12,
+            tcp_threshold=0.9,
+            coding_scheme="CS-3",
+            block_error_rate=0.05,
+            solver="direct",
+            arrival_rates=(0.25, 0.75),
+            metrics=("queueing_delay",),
+            seed=7,
+            tags=("custom", "extension"),
+        )
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = scenario("figure12").to_dict()
+        data["typo_field"] = 1
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            ScenarioSpec.from_dict(data)
+
+
+class TestSpecValidation:
+    def test_invalid_traffic_model(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", description="", traffic_model=4)
+
+    def test_invalid_traffic_override(self):
+        with pytest.raises(ValueError, match="unknown traffic override"):
+            ScenarioSpec(name="x", description="", traffic_overrides={"nope": 1.0})
+
+    def test_empty_axis_and_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", description="", arrival_rates=())
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", description="", metrics=())
+
+    def test_point_seed_is_deterministic(self):
+        spec = scenario("figure12")
+        assert spec.point_seed(3) == spec.point_seed(3)
+        assert spec.point_seed(0) != spec.point_seed(1)
+
+    def test_scale_caps_apply_to_materialised_parameters(self):
+        params = scenario("large-buffer").parameters(SMOKE)
+        assert params.buffer_size == SMOKE.effective_buffer_size(400)
+        paper = scenario("large-buffer").parameters(ExperimentScale.paper())
+        assert paper.buffer_size == 400
