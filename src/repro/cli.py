@@ -18,7 +18,10 @@ registered runtime scenario through the parallel, cache-aware executor,
 ``run`` and ``sweep`` consult a content-addressed result cache (default
 ``~/.cache/gprs-repro``; override with ``--cache-dir`` or the
 ``GPRS_REPRO_CACHE_DIR`` environment variable, disable with ``--no-cache``),
-so repeated and incremental runs skip already-solved sweep points.
+so repeated and incremental runs skip already-solved sweep points.  Sweeps
+are solved incrementally in chunks of adjacent arrival rates that share one
+generator template and warm-start each other (``--chunk-size`` sets the
+chunk length; ``--cold`` disables warm-starting for A/B timing).
 """
 
 from __future__ import annotations
@@ -115,6 +118,12 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="result cache directory (default: ~/.cache/gprs-repro "
                         "or $GPRS_REPRO_CACHE_DIR)")
+    parser.add_argument("--cold", action="store_true",
+                        help="disable sweep-aware warm-starting (generator templates "
+                        "and solver/handover continuation) for A/B timing")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="adjacent sweep points per warm-started chunk "
+                        "(also the parallel scheduling unit; default 8)")
 
 
 def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
@@ -177,6 +186,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ExperimentScale.from_name(args.preset),
                 jobs=args.jobs,
                 cache=_cache_from_args(args),
+                warm=not args.cold,
+                chunk_size=args.chunk_size,
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -191,6 +202,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ExperimentScale.from_name(args.preset),
                 jobs=args.jobs,
                 cache=_cache_from_args(args),
+                warm=not args.cold,
+                chunk_size=args.chunk_size,
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)

@@ -27,9 +27,11 @@ from repro.core.measures import GprsPerformanceMeasures, compute_measures
 from repro.core.model import GprsMarkovModel
 from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
+from repro.core.template import GeneratorTemplate
 from repro.core.transitions import TransitionBatch, enumerate_transitions
 
 __all__ = [
+    "GeneratorTemplate",
     "GprsMarkovModel",
     "GprsModelParameters",
     "GprsPerformanceMeasures",

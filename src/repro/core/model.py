@@ -26,6 +26,7 @@ from repro.core.handover import HandoverBalance, balance_handover_rates
 from repro.core.measures import GprsPerformanceMeasures, compute_measures
 from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
+from repro.core.template import GeneratorTemplate
 from repro.markov.solvers import SolverError, SteadyStateResult, solve_steady_state
 
 __all__ = ["GprsMarkovModel", "GprsModelSolution"]
@@ -72,6 +73,34 @@ class GprsMarkovModel:
         iteration fails to converge).
     solver_tol:
         Convergence tolerance of iterative solvers.
+    initial_distribution:
+        Optional warm-start guess for the stationary vector (flat state
+        ordering), typically the solution of an adjacent point of an
+        arrival-rate sweep, or a ``(j, n)`` stack of several previous
+        solutions (most recent last) from which the structured solver builds
+        a residual-minimising extrapolated seed.  Iterative solvers start
+        from it instead of the cold seed; if the warm solve fails to
+        converge the model automatically retries cold, so a stale guess can
+        cost time but never correctness.  Direct solvers ignore it.
+    initial_handover_rates:
+        Optional ``(gsm, gprs)`` seed for the handover-balance fixed point
+        (or a :class:`~repro.core.handover.HandoverBalance` to copy the rates
+        from); the balanced result is identical up to the fixed-point
+        tolerance but reached in fewer iterations.
+    generator_template:
+        Optional prebuilt :class:`~repro.core.template.GeneratorTemplate`
+        sharing this configuration's fixed part; the generator is then
+        produced by rewriting the template's ``data`` array instead of
+        re-enumerating and re-sorting all transitions.
+    state_space:
+        Optional pre-enumerated state space matching the configuration
+        (shared across the points of a sweep).
+    structured_context:
+        Optional
+        :class:`~repro.core.structured_solver.StructuredSolveContext` shared
+        across the points of a sweep; caches the arrival-rate-independent
+        scaffolding (rate grids, fibre couplings, phase-chain pattern) of the
+        structured solver.
 
     Example
     -------
@@ -89,14 +118,44 @@ class GprsMarkovModel:
         *,
         solver_method: str = "auto",
         solver_tol: float = 1e-10,
+        initial_distribution: np.ndarray | None = None,
+        initial_handover_rates: HandoverBalance | tuple[float, float] | None = None,
+        generator_template: GeneratorTemplate | None = None,
+        state_space: GprsStateSpace | None = None,
+        structured_context=None,
     ) -> None:
         self._parameters = parameters
         self._solver_method = solver_method
         self._solver_tol = solver_tol
-        self._space: GprsStateSpace | None = None
         self._handover: HandoverBalance | None = None
         self._generator: sp.csr_matrix | None = None
         self._steady_state: SteadyStateResult | None = None
+
+        self._initial_distribution = (
+            None
+            if initial_distribution is None
+            else np.asarray(initial_distribution, dtype=float)
+        )
+        if isinstance(initial_handover_rates, HandoverBalance):
+            initial_handover_rates = (
+                initial_handover_rates.gsm_handover_arrival_rate,
+                initial_handover_rates.gprs_handover_arrival_rate,
+            )
+        self._initial_handover_rates = initial_handover_rates
+
+        if state_space is not None and (
+            state_space.gsm_channels != parameters.gsm_channels
+            or state_space.buffer_size != parameters.buffer_size
+            or state_space.max_sessions != parameters.max_gprs_sessions
+        ):
+            raise ValueError("state_space does not match the parameters")
+        self._space = state_space
+        if generator_template is not None and not generator_template.matches(parameters):
+            raise ValueError("generator_template does not match the parameters")
+        self._template = generator_template
+        if self._space is None and generator_template is not None:
+            self._space = generator_template.space
+        self._structured_context = structured_context
 
     # ------------------------------------------------------------------ #
     # Accessors for intermediate artefacts
@@ -120,20 +179,40 @@ class GprsMarkovModel:
     def handover_balance(self) -> HandoverBalance:
         """The balanced handover rates (computed on first access)."""
         if self._handover is None:
-            self._handover = balance_handover_rates(self._parameters)
+            if self._initial_handover_rates is not None:
+                gsm_seed, gprs_seed = self._initial_handover_rates
+            else:
+                gsm_seed = gprs_seed = None
+            self._handover = balance_handover_rates(
+                self._parameters,
+                initial_gsm_handover_rate=gsm_seed,
+                initial_gprs_handover_rate=gprs_seed,
+            )
         return self._handover
 
     @property
     def generator(self) -> sp.csr_matrix:
-        """The sparse generator matrix ``Q`` (assembled on first access)."""
+        """The sparse generator matrix ``Q`` (assembled on first access).
+
+        With a :class:`~repro.core.template.GeneratorTemplate` attached the
+        matrix is produced by rewriting the template's frozen CSR layout;
+        otherwise the transitions are enumerated and assembled from scratch.
+        """
         if self._generator is None:
             handover = self.handover_balance
-            self._generator, self._space = build_generator(
-                self._parameters,
-                self.state_space,
-                gsm_handover_arrival_rate=handover.gsm_handover_arrival_rate,
-                gprs_handover_arrival_rate=handover.gprs_handover_arrival_rate,
-            )
+            if self._template is not None:
+                self._generator = self._template.generator(
+                    self._parameters,
+                    gsm_handover_arrival_rate=handover.gsm_handover_arrival_rate,
+                    gprs_handover_arrival_rate=handover.gprs_handover_arrival_rate,
+                )
+            else:
+                self._generator, self._space = build_generator(
+                    self._parameters,
+                    self.state_space,
+                    gsm_handover_arrival_rate=handover.gsm_handover_arrival_rate,
+                    gprs_handover_arrival_rate=handover.gprs_handover_arrival_rate,
+                )
         return self._generator
 
     @property
@@ -159,24 +238,45 @@ class GprsMarkovModel:
                 else "generic-auto"
             )
 
+        initial = self._initial_distribution
         if method == "structured":
             try:
-                self._steady_state = self._solve_structured()
+                self._steady_state = self._solve_structured(initial)
             except SolverError:
+                # A degraded warm start must never cost correctness: retry the
+                # same solver cold before considering the generic fallback.
+                if initial is not None:
+                    try:
+                        self._steady_state = self._solve_structured(None)
+                        return self._steady_state
+                    except SolverError:
+                        pass
                 if self._solver_method != "auto":
                     raise
                 self._steady_state = solve_steady_state(
                     self.generator, method="auto", tol=self._solver_tol
                 )
         else:
-            self._steady_state = solve_steady_state(
-                self.generator,
-                method="auto" if method == "generic-auto" else method,
-                tol=self._solver_tol,
-            )
+            resolved = "auto" if method == "generic-auto" else method
+            if initial is not None and initial.ndim == 2:
+                # Generic solvers take a single seed; use the newest solution.
+                initial = initial[-1]
+            try:
+                self._steady_state = solve_steady_state(
+                    self.generator,
+                    method=resolved,
+                    tol=self._solver_tol,
+                    initial=initial,
+                )
+            except SolverError:
+                if initial is None:
+                    raise
+                self._steady_state = solve_steady_state(
+                    self.generator, method=resolved, tol=self._solver_tol
+                )
         return self._steady_state
 
-    def _solve_structured(self) -> SteadyStateResult:
+    def _solve_structured(self, initial: np.ndarray | None) -> SteadyStateResult:
         from repro.core.structured_solver import solve_structured
 
         handover = self.handover_balance
@@ -186,7 +286,9 @@ class GprsMarkovModel:
             self.generator,
             gsm_handover_arrival_rate=handover.gsm_handover_arrival_rate,
             gprs_handover_arrival_rate=handover.gprs_handover_arrival_rate,
-            tol=max(self._solver_tol, 1e-10),
+            tol=max(self._solver_tol, 1e-14),
+            initial=initial,
+            context=self._structured_context,
         )
 
     # ------------------------------------------------------------------ #

@@ -88,6 +88,7 @@ class GprsStateSpace:
             // 2
         )
         self._size = (gsm_channels + 1) * (buffer_size + 1) * self._pair_count
+        self._all_states: StateArrays | None = None
 
     # ------------------------------------------------------------------ #
     # Sizes
@@ -167,8 +168,15 @@ class GprsStateSpace:
         )
 
     def all_states(self) -> StateArrays:
-        """Return the components of every state, indexed by flat state index."""
-        return self.decode(np.arange(self._size, dtype=np.int64))
+        """Return the components of every state, indexed by flat state index.
+
+        The arrays are computed once and cached: sweeps share one state space
+        across many solves, and every generator build and measure evaluation
+        starts from this decomposition.
+        """
+        if self._all_states is None:
+            self._all_states = self.decode(np.arange(self._size, dtype=np.int64))
+        return self._all_states
 
     def state_tuple(self, index: int) -> tuple[int, int, int, int]:
         """Return a single state as a plain ``(n, k, m, r)`` tuple."""

@@ -2,41 +2,70 @@
 
 Generic sparse LU factorisation suffers severe fill-in on the GPRS chain
 because its transition graph is a four-dimensional lattice.  This module
-implements a solver that exploits two structural properties of the model
+implements a solver that exploits three structural properties of the model
 instead:
 
 1. **The phase process is autonomous.**  The components ``(n, m, r)`` (GSM
    calls, GPRS sessions, sessions in the off state) evolve with rates that do
-   not depend on the buffer occupancy ``k``.  Their marginal stationary
-   distribution is therefore the stationary distribution of the much smaller
-   *phase chain* (at most a few thousand states), which is solved exactly
-   once.
+   not depend on the buffer occupancy ``k``, so their marginal stationary
+   distribution is the stationary distribution of the much smaller *phase
+   chain*.
 
-2. **For a fixed phase, the buffer occupancy is a birth--death fibre.**
+2. **The phase chain is a direct product.**  No transition couples the GSM
+   component ``n`` with the GPRS component ``(m, r)``, so the phase chain is
+   the Kronecker sum of a birth--death chain over ``n`` and a session chain
+   over ``(m, r)`` -- its stationary distribution is the Kronecker *product*
+   of two tiny marginals, each solved exactly with GTH elimination in
+   microseconds instead of a sparse LU solve of the full phase chain.
+
+3. **For a fixed phase, the buffer occupancy is a birth--death fibre.**
    Packet arrivals and services only move ``k`` by one and never change the
    phase, so conditioned on the cross-phase inflows the balance equations of
    one phase form a tridiagonal system of size ``K + 1`` that the Thomas
-   algorithm solves in ``O(K)``.
+   algorithm solves in ``O(K)``.  The elimination coefficients depend only on
+   the rates, not on the right-hand side, so they are factorised **once** per
+   configuration and every sweep performs only the two O(K) substitution
+   passes.
 
-The solver iterates block-Jacobi sweeps over all phase fibres (vectorised over
-phases, so one sweep costs a handful of numpy operations on ``(K+1, B)``
+The solver iterates block-Jacobi sweeps over all phase fibres (vectorised
+over phases, so one sweep costs a handful of numpy operations on ``(K+1, B)``
 arrays) and, after every sweep, rescales each fibre so that its mass matches
-the exact phase marginal (an aggregation/disaggregation step).  Convergence is
-measured by the residual of the full balance equations, so the result is the
-stationary distribution of the complete chain, not an approximation.
+the exact phase marginal (an aggregation/disaggregation step).  Every few
+sweeps a **reduced-rank extrapolation** (RRE) step combines the recent
+iterates into a minimal-residual linear combination, which typically removes
+the slowly-decaying error modes and cuts the sweep count roughly in half; the
+extrapolated iterate is only accepted when it measurably lowers the residual,
+so a failed extrapolation can never degrade the solution.  Convergence is
+measured by the residual of the full balance equations (evaluated per sweep
+directly on the ``(K+1, B)`` grid, where it costs a few vector operations),
+so the result is the stationary distribution of the complete chain, not an
+approximation.
+
+Arrival-rate sweeps can reuse a :class:`StructuredSolveContext` across
+points: it caches everything that does not depend on the swept arrival rate
+(the rate grids, the fibre couplings and the frozen sparsity pattern of the
+phase chain), mirroring what :class:`~repro.core.template.GeneratorTemplate`
+does for the full generator.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
-from repro.markov.solvers import SolverError, SteadyStateResult, solve_steady_state
+from repro.markov.solvers import (
+    SolverError,
+    SteadyStateResult,
+    solve_steady_state,
+    steady_state_gth,
+)
 from repro.traffic.units import MAX_TIME_SLOTS_PER_STATION
 
-__all__ = ["solve_structured", "build_phase_generator"]
+__all__ = ["StructuredSolveContext", "solve_structured", "build_phase_generator"]
 
 
 def _phase_arrays(params: GprsModelParameters, space: GprsStateSpace):
@@ -149,35 +178,304 @@ def _rate_grids(params: GprsModelParameters, space: GprsStateSpace):
     return arrival, service, offered
 
 
-def _thomas_solve_batched(sub, diag, sup, rhs):
-    """Solve independent tridiagonal systems ``T x = rhs`` batched over columns.
+def _gsm_phase_marginal(params: GprsModelParameters, gsm_arrival: float) -> np.ndarray:
+    """Exact stationary distribution of the GSM birth--death factor chain."""
+    servers = params.gsm_channels
+    departure = params.gsm_completion_rate + params.gsm_handover_departure_rate
+    n = np.arange(servers + 1)
+    generator = np.zeros((servers + 1, servers + 1))
+    if servers:
+        generator[n[:-1], n[:-1] + 1] = gsm_arrival
+        generator[n[1:], n[1:] - 1] = n[1:] * departure
+    np.fill_diagonal(generator, -generator.sum(axis=1))
+    return steady_state_gth(generator).distribution
 
-    All arguments have shape ``(K+1, B)``: ``sub[k]`` is the coefficient of
-    ``x[k-1]`` in equation ``k``, ``diag[k]`` of ``x[k]`` and ``sup[k]`` of
-    ``x[k+1]``.  The forward elimination runs over ``K+1`` levels with pure
-    numpy operations over the ``B`` fibres.
+
+def _pair_phase_marginal(
+    params: GprsModelParameters, space: GprsStateSpace, gprs_arrival: float
+) -> np.ndarray:
+    """Exact stationary distribution of the ``(m, r)`` session factor chain."""
+    max_sessions = space.max_sessions
+    pair_count = (max_sessions + 1) * (max_sessions + 2) // 2
+    departure = params.gprs_completion_rate + params.gprs_handover_departure_rate
+    start_on = params.probability_session_starts_on
+    offset = (
+        np.arange(max_sessions + 1, dtype=np.int64)
+        * np.arange(1, max_sessions + 2, dtype=np.int64)
+        // 2
+    )
+    m = np.repeat(np.arange(max_sessions + 1, dtype=np.int64), np.arange(1, max_sessions + 2))
+    r = np.arange(pair_count, dtype=np.int64) - offset[m]
+    index = np.arange(pair_count, dtype=np.int64)
+
+    rows, cols, values = [], [], []
+
+    def add(mask, target, rate):
+        rate = np.broadcast_to(np.asarray(rate, dtype=float), mask.shape)
+        keep = mask & (rate > 0)
+        rows.append(index[keep])
+        cols.append(target[keep])
+        values.append(rate[keep])
+
+    mask = m < max_sessions
+    m_next = np.minimum(m + 1, max_sessions)
+    add(mask, offset[m_next] + np.minimum(r, m_next), start_on * gprs_arrival)
+    add(mask, offset[m_next] + np.minimum(r + 1, m_next), (1.0 - start_on) * gprs_arrival)
+    m_prev = np.maximum(m - 1, 0)
+    mask = (m > 0) & (r > 0)
+    add(mask, offset[m_prev] + np.maximum(r - 1, 0), r * departure)
+    mask = (m > 0) & (r < m)
+    add(mask, offset[m_prev] + np.minimum(r, m_prev), (m - r) * departure)
+    mask = r < m
+    add(mask, offset[m] + np.minimum(r + 1, m), (m - r) * params.on_to_off_rate)
+    mask = r > 0
+    add(mask, offset[m] + np.maximum(r - 1, 0), r * params.off_to_on_rate)
+
+    off_diagonal = sp.coo_matrix(
+        (np.concatenate(values), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(pair_count, pair_count),
+    ).tocsr()
+    off_diagonal.sum_duplicates()
+    exit_rates = np.asarray(off_diagonal.sum(axis=1)).ravel()
+    generator = (off_diagonal - sp.diags(exit_rates)).tocsr()
+    return solve_steady_state(generator, method="auto").distribution
+
+
+# ---------------------------------------------------------------------- #
+# Reusable per-configuration context
+# ---------------------------------------------------------------------- #
+@dataclass
+class StructuredSolveContext:
+    """Arrival-rate-independent scaffolding of the structured solver.
+
+    Everything here depends only on the fixed part of the configuration
+    (state-space shape, service/packet/switch rates), so one context serves
+    every point of an arrival-rate sweep.  The phase-chain sparsity pattern
+    is frozen the same way :class:`~repro.core.template.GeneratorTemplate`
+    freezes the full generator: per sweep point only its ``data`` array is
+    rewritten.
+    """
+
+    space: GprsStateSpace
+    levels: int
+    phases: int
+    pair_count: int
+    arrival: np.ndarray = field(repr=False)
+    service: np.ndarray = field(repr=False)
+    sub: np.ndarray = field(repr=False)
+    sup: np.ndarray = field(repr=False)
+    fibre_exit: np.ndarray = field(repr=False)  # arrival + service per grid cell
+    # Frozen off-diagonal pattern of the phase chain.
+    phase_indptr: np.ndarray = field(repr=False)
+    phase_indices: np.ndarray = field(repr=False)
+    phase_base_data: np.ndarray = field(repr=False)
+    phase_gsm_slots: np.ndarray = field(repr=False)
+    phase_on_slots: np.ndarray = field(repr=False)
+    phase_off_slots: np.ndarray = field(repr=False)
+    #: Start-on/start-off weight of each arrival-dependent phase slot.
+    phase_weight: np.ndarray = field(repr=False)
+
+    @classmethod
+    def build(
+        cls, params: GprsModelParameters, space: GprsStateSpace
+    ) -> "StructuredSolveContext":
+        phases, pair_count, n, m, r = _phase_arrays(params, space)
+        levels = space.buffer_size + 1
+        arrival, service, _ = _rate_grids(params, space)
+        sub = np.zeros((levels, phases))
+        sup = np.zeros((levels, phases))
+        sub[1:, :] = arrival[:-1, :]
+        sup[:-1, :] = service[1:, :]
+
+        # Off-diagonal phase pattern with unit scales per event family:
+        # fixed rates are stored, arrival-dependent slots are marked.
+        gsm_departure = params.gsm_completion_rate + params.gsm_handover_departure_rate
+        gprs_departure = params.gprs_completion_rate + params.gprs_handover_departure_rate
+        sessions = np.arange(space.max_sessions + 1, dtype=np.int64)
+        pair_offset = sessions * (sessions + 1) // 2
+        index = np.arange(phases, dtype=np.int64)
+
+        def phase_index(n_new, m_new, r_new):
+            return n_new * pair_count + pair_offset[m_new] + r_new
+
+        rows, cols, values, classes = [], [], [], []
+
+        def add(mask, target, rate, code):
+            rate = np.broadcast_to(np.asarray(rate, dtype=float), mask.shape)
+            keep = mask & (rate > 0)
+            rows.append(index[keep])
+            cols.append(target[keep])
+            values.append(rate[keep])
+            classes.append(np.full(int(keep.sum()), code, dtype=np.int8))
+
+        # Unit scales freeze the pattern of the arrival classes (codes 1-3);
+        # fixed classes (code 0) store their true rates.
+        start_on = params.probability_session_starts_on
+        mask = n < space.gsm_channels
+        add(mask, phase_index(np.minimum(n + 1, space.gsm_channels), m, r), 1.0, 1)
+        mask = n > 0
+        add(mask, phase_index(np.maximum(n - 1, 0), m, r), n * gsm_departure, 0)
+        mask = m < space.max_sessions
+        m_next = np.minimum(m + 1, space.max_sessions)
+        add(mask, phase_index(n, m_next, np.minimum(r, m_next)), start_on, 2)
+        add(mask, phase_index(n, m_next, np.minimum(r + 1, m_next)), 1.0 - start_on, 3)
+        m_prev = np.maximum(m - 1, 0)
+        mask = (m > 0) & (r > 0)
+        add(mask, phase_index(n, m_prev, np.maximum(r - 1, 0)), r * gprs_departure, 0)
+        mask = (m > 0) & (r < m)
+        add(mask, phase_index(n, m_prev, np.minimum(r, m_prev)), (m - r) * gprs_departure, 0)
+        mask = r < m
+        add(mask, phase_index(n, m, np.minimum(r + 1, m)), (m - r) * params.on_to_off_rate, 0)
+        mask = r > 0
+        add(mask, phase_index(n, m, np.maximum(r - 1, 0)), r * params.off_to_on_rate, 0)
+
+        row = np.concatenate(rows)
+        col = np.concatenate(cols)
+        data = np.concatenate(values)
+        code = np.concatenate(classes)
+
+        order = sp.csr_matrix(
+            (np.arange(1, row.shape[0] + 1, dtype=np.float64), (row, col)),
+            shape=(phases, phases),
+        )
+        order.sum_duplicates()
+        order.sort_indices()
+        position = np.rint(order.data).astype(np.int64) - 1
+
+        slot_code = code[position]
+        base = np.where(slot_code == 0, data[position], 0.0)
+        weight = np.where(slot_code == 2, start_on, 1.0 - start_on)
+
+        return cls(
+            space=space,
+            levels=levels,
+            phases=phases,
+            pair_count=pair_count,
+            arrival=arrival,
+            service=service,
+            sub=sub,
+            sup=sup,
+            fibre_exit=arrival + service,
+            phase_indptr=order.indptr.copy(),
+            phase_indices=order.indices.copy(),
+            phase_base_data=base,
+            phase_gsm_slots=np.flatnonzero(slot_code == 1),
+            phase_on_slots=np.flatnonzero(slot_code == 2),
+            phase_off_slots=np.flatnonzero(slot_code == 3),
+            phase_weight=weight,
+        )
+
+    def phase_coupling(
+        self, gsm_arrival: float, gprs_arrival: float
+    ) -> tuple[sp.csr_matrix, np.ndarray]:
+        """Return the off-diagonal phase matrix and per-phase exit rates."""
+        data = self.phase_base_data.copy()
+        data[self.phase_gsm_slots] = gsm_arrival
+        weight = self.phase_weight
+        data[self.phase_on_slots] = weight[self.phase_on_slots] * gprs_arrival
+        data[self.phase_off_slots] = weight[self.phase_off_slots] * gprs_arrival
+        matrix = sp.csr_matrix(
+            (data, self.phase_indices, self.phase_indptr),
+            shape=(self.phases, self.phases),
+            copy=False,
+        )
+        matrix.has_sorted_indices = True
+        matrix.has_canonical_format = True
+        exit_rates = np.asarray(matrix.sum(axis=1)).ravel()
+        return matrix, exit_rates
+
+    # Grid <-> flat reordering (flat index = (n (K+1) + k) P + p).
+    def to_flat(self, grid: np.ndarray) -> np.ndarray:
+        cube = grid.reshape(self.levels, -1, self.pair_count)
+        return np.transpose(cube, (1, 0, 2)).reshape(-1)
+
+    def from_flat(self, flat: np.ndarray) -> np.ndarray:
+        cube = flat.reshape(-1, self.levels, self.pair_count)
+        return np.transpose(cube, (1, 0, 2)).reshape(self.levels, self.phases)
+
+
+def _thomas_factorise(sub: np.ndarray, diag: np.ndarray, sup: np.ndarray):
+    """Precompute the Thomas elimination coefficients of the fibre systems.
+
+    Returns ``(c_prime, inv_pivot, sub_scaled)`` such that the solve for any
+    right-hand side is two O(K) substitution passes.  Guards against exactly
+    singular pivots (isolated degenerate fibres).
     """
     levels = diag.shape[0]
-    c_prime = np.zeros_like(diag)
-    d_prime = np.zeros_like(diag)
-    # Guard against exactly singular pivots (isolated degenerate fibres).
+    tiny = 1e-300
+
     def _safe(x):
-        tiny = 1e-300
         return np.where(np.abs(x) < tiny, np.where(x < 0, -tiny, tiny), x)
 
+    c_prime = np.zeros_like(diag)
+    inv_pivot = np.zeros_like(diag)
     pivot = _safe(diag[0])
-    c_prime[0] = sup[0] / pivot
-    d_prime[0] = rhs[0] / pivot
+    inv_pivot[0] = 1.0 / pivot
+    c_prime[0] = sup[0] * inv_pivot[0]
     for k in range(1, levels):
         pivot = _safe(diag[k] - sub[k] * c_prime[k - 1])
+        inv_pivot[k] = 1.0 / pivot
         if k < levels - 1:
-            c_prime[k] = sup[k] / pivot
-        d_prime[k] = (rhs[k] - sub[k] * d_prime[k - 1]) / pivot
-    x = np.zeros_like(diag)
-    x[-1] = d_prime[-1]
+            c_prime[k] = sup[k] * inv_pivot[k]
+    return c_prime, inv_pivot, sub * inv_pivot
+
+
+def _thomas_solve(factors, rhs: np.ndarray, work: np.ndarray | None = None) -> np.ndarray:
+    """Solve the factorised tridiagonal systems for one right-hand side batch.
+
+    ``work`` is an optional scratch array of one row (``(B,)``); the forward
+    pass writes into ``rhs`` in place and the result reuses its storage-shape,
+    so a caller that owns ``rhs`` pays no allocations beyond the output.
+    """
+    c_prime, inv_pivot, sub_scaled = factors
+    levels = rhs.shape[0]
+    if work is None:
+        work = np.empty(rhs.shape[1])
+    d = rhs  # forward elimination in place
+    np.multiply(d[0], inv_pivot[0], out=d[0])
+    for k in range(1, levels):
+        np.multiply(sub_scaled[k], d[k - 1], out=work)
+        np.multiply(d[k], inv_pivot[k], out=d[k])
+        np.subtract(d[k], work, out=d[k])
+    x = d  # back substitution in place
     for k in range(levels - 2, -1, -1):
-        x[k] = d_prime[k] - c_prime[k] * x[k + 1]
+        np.multiply(c_prime[k], x[k + 1], out=work)
+        np.subtract(x[k], work, out=x[k])
     return x
+
+
+def _combine_seed_stack(stack: np.ndarray, generator: sp.csr_matrix) -> np.ndarray:
+    """Return the affine combination of previous solutions minimising ``||x Q||``.
+
+    The coefficients sum to one, so the combination stays (approximately) a
+    distribution; it is the cross-point analogue of the in-solve reduced-rank
+    extrapolation and is what makes adjacent sweep points start several
+    decades inside the cold iteration.  Falls back to the newest solution when
+    the least-squares system is degenerate or does not actually improve.
+    """
+    newest = stack[-1]
+    if stack.shape[0] == 1:
+        return newest
+    residuals = np.asarray([row @ generator for row in stack])
+    gram = residuals @ residuals.T
+    try:
+        solution = np.linalg.solve(gram, np.ones(stack.shape[0]))
+    except np.linalg.LinAlgError:
+        return newest
+    if not np.isfinite(solution).all() or solution.sum() == 0:
+        return newest
+    coefficients = solution / solution.sum()
+    candidate = coefficients @ stack
+    candidate_norm = float(np.max(np.abs(candidate @ generator)))
+    newest_norm = float(np.max(np.abs(residuals[-1])))
+    return candidate if candidate_norm < newest_norm else newest
+
+
+#: Number of sweeps combined by one reduced-rank extrapolation step.
+_RRE_WINDOW = 6
+#: State count above which the extrapolation window is shortened to bound
+#: the memory of the stored iterates.
+_RRE_LARGE_STATE_LIMIT = 1_000_000
 
 
 def solve_structured(
@@ -190,6 +488,8 @@ def solve_structured(
     tol: float = 1e-9,
     max_sweeps: int = 5000,
     damping: float = 1.0,
+    initial: np.ndarray | None = None,
+    context: StructuredSolveContext | None = None,
 ) -> SteadyStateResult:
     """Compute the stationary distribution with the fibre/phase iteration.
 
@@ -198,8 +498,8 @@ def solve_structured(
     params, space:
         Model parameters and the matching state space.
     generator:
-        The full generator matrix (used only to measure the residual, which is
-        the convergence criterion).
+        The full generator matrix (used to certify the final residual; the
+        per-sweep convergence test runs on the equivalent grid form).
     gsm_handover_arrival_rate, gprs_handover_arrival_rate:
         Balanced handover arrival rates (must match those used to build
         ``generator``).
@@ -213,90 +513,171 @@ def solve_structured(
         Relaxation factor in ``(0, 1]`` applied to each sweep; values below
         one suppress the oscillatory modes block-Jacobi iterations can exhibit
         on nearly bipartite transition graphs.
+    initial:
+        Optional warm-start guess: a stationary vector in the flat state
+        ordering of ``space`` (typically the solution of an adjacent sweep
+        point), or a ``(j, n)`` stack of several previous solutions (most
+        recent last).  Given a stack, the seed is the affine combination of
+        the rows that minimises the residual under *this* point's generator
+        -- a polynomial-extrapolation-quality seed that typically starts
+        several decades closer than the newest solution alone.  A usable
+        guess replaces the cold geometric seed and cuts the sweep count; an
+        unusable one (wrong length raises, non-normalisable mass falls back)
+        leaves the cold path untouched.
+    context:
+        Optional :class:`StructuredSolveContext` shared across the points of
+        an arrival-rate sweep; built on the fly when absent.
     """
-    levels = space.buffer_size + 1
-    phase_generator = build_phase_generator(
-        params,
-        space,
-        gsm_handover_arrival_rate=gsm_handover_arrival_rate,
-        gprs_handover_arrival_rate=gprs_handover_arrival_rate,
+    if context is None or context.space is not space:
+        context = StructuredSolveContext.build(params, space)
+    levels, phases = context.levels, context.phases
+
+    gsm_arrival = params.gsm_arrival_rate + gsm_handover_arrival_rate
+    gprs_arrival = params.gprs_arrival_rate + gprs_handover_arrival_rate
+    phase_off, phase_exit = context.phase_coupling(gsm_arrival, gprs_arrival)
+
+    # Exact phase marginal: the phase chain is a direct product of the GSM
+    # birth-death chain and the (m, r) session chain, so its stationary
+    # distribution is the Kronecker product of the two factor marginals.
+    phase_marginal = np.kron(
+        _gsm_phase_marginal(params, gsm_arrival),
+        _pair_phase_marginal(params, space, gprs_arrival),
     )
-    phases = phase_generator.shape[0]
-    phase_marginal = solve_steady_state(phase_generator, method="auto").distribution
 
-    arrival, service, _ = _rate_grids(params, space)
+    sub, sup = context.sub, context.sup
+    diag = -(context.fibre_exit + phase_exit[None, :])
+    factors = _thomas_factorise(sub, diag, sup)
 
-    # Off-diagonal phase coupling and total phase-exit rate per phase.
-    phase_off = phase_generator.copy()
-    phase_off.setdiag(0.0)
-    phase_off.eliminate_zeros()
-    phase_exit = -phase_generator.diagonal()
-
-    # Total exit rate of every state on the (K+1, B) grid.
-    exit_rate = arrival + service + phase_exit[None, :]
-
-    # Tridiagonal coefficients of the fibre systems: equation k couples
-    # x[k-1] (inflow via arrival at k-1), x[k] (outflow) and x[k+1] (inflow via
-    # service at k+1).
-    sub = np.zeros((levels, phases))
-    sup = np.zeros((levels, phases))
-    sub[1:, :] = arrival[:-1, :]
-    sup[:-1, :] = service[1:, :]
-    diag = -exit_rate
-
-    # Initial guess: phase marginal spread geometrically towards small k.
-    pi = np.tile(phase_marginal[None, :], (levels, 1))
-    weights = np.exp(-np.arange(levels, dtype=float))[:, None]
-    pi = pi * weights
-    pi /= pi.sum()
-
-    # Map the (k, phi) grid onto the flat state ordering of GprsStateSpace:
-    # flat index = (n * (K+1) + k) * P + p, i.e. axes (n, k, p).
-    pair_count = phases // (space.gsm_channels + 1)
-
-    def to_flat(grid: np.ndarray) -> np.ndarray:
-        cube = grid.reshape(levels, space.gsm_channels + 1, pair_count)
-        return np.transpose(cube, (1, 0, 2)).reshape(-1)
+    # Initial guess: a supplied warm start (adjacent sweep points), otherwise
+    # the phase marginal spread geometrically towards small k.
+    pi = None
+    if initial is not None:
+        guess = np.asarray(initial, dtype=float)
+        if guess.ndim == 2:
+            if guess.shape[1] != space.size or guess.shape[0] == 0:
+                raise ValueError(
+                    f"initial stack has shape {guess.shape}, expected (j, {space.size})"
+                )
+            guess = _combine_seed_stack(guess, generator)
+        if guess.shape != (space.size,):
+            raise ValueError(
+                f"initial guess has shape {guess.shape}, expected ({space.size},)"
+            )
+        guess = np.maximum(context.from_flat(guess), 0.0)
+        total = guess.sum()
+        if total > 0 and np.isfinite(total):
+            pi = guess / total
+    if pi is None:
+        pi = np.tile(phase_marginal[None, :], (levels, 1))
+        weights = np.exp(-np.arange(levels, dtype=float))[:, None]
+        pi = pi * weights
+        pi /= pi.sum()
 
     scale = float(np.max(np.abs(generator.diagonal()))) or 1.0
-    residual = np.inf
-    sweeps = 0
-    for sweep in range(1, max_sweeps + 1):
-        sweeps = sweep
-        # Cross-phase inflow (phase transitions do not change k).
-        inflow = pi @ phase_off  # (levels, phases)
-        updated = _thomas_solve_batched(sub, diag, sup, -inflow)
-        updated = np.maximum(updated, 0.0)
-        # Aggregation/disaggregation: match the exact phase marginal.
-        fibre_mass = updated.sum(axis=0)
+
+    def grid_residual(x: np.ndarray, inflow: np.ndarray) -> float:
+        """Scaled ``||x Q||_inf`` evaluated on the grid (a few vector ops)."""
+        balance = diag * x
+        balance[1:] += sub[1:] * x[:-1]
+        balance[:-1] += sup[:-1] * x[1:]
+        balance += inflow
+        return float(np.max(np.abs(balance))) / scale
+
+    def rescale(grid: np.ndarray) -> np.ndarray | None:
+        """Clip, match the exact phase marginal and normalise, all in place.
+
+        The caller owns ``grid`` (it comes out of the fibre solve), so the
+        sweep pays no further allocations here.  Returns ``None`` when the
+        iterate cannot be normalised.
+        """
+        np.maximum(grid, 0.0, out=grid)
+        fibre_mass = grid.sum(axis=0)
         safe_mass = np.where(fibre_mass > 0, fibre_mass, 1.0)
-        updated = updated * (phase_marginal / safe_mass)[None, :]
+        grid *= (phase_marginal / safe_mass)[None, :]
         empty = fibre_mass <= 0
         if np.any(empty):
-            updated[0, empty] = phase_marginal[empty]
-        total = updated.sum()
+            grid[0, empty] = phase_marginal[empty]
+        total = grid.sum()
         if total <= 0 or not np.isfinite(total):
+            return None
+        grid /= total
+        return grid
+
+    window = _RRE_WINDOW if space.size <= _RRE_LARGE_STATE_LIMIT else 4
+    inflow = pi @ phase_off
+    residual = grid_residual(pi, inflow)
+    best_pi, best_residual = pi, residual
+    sweeps = 0
+    # Ring storage for the extrapolation: the window's base iterate plus one
+    # difference vector per sweep, written in place (no per-sweep stacking).
+    differences = np.empty((window, space.size))
+    window_base = pi.ravel().copy()
+    previous_flat = window_base
+    filled = 0
+    # The residual is evaluated at extrapolation boundaries (where it gates
+    # acceptance anyway); in between each sweep is a handful of vector
+    # operations, so a converged iterate is recognised at most ``window``
+    # sweeps late.
+    while residual >= tol and sweeps < max_sweeps:
+        sweeps += 1
+        updated = rescale(_thomas_solve(factors, -inflow))
+        if updated is None:
             raise SolverError("structured solver diverged")
-        updated /= total
         if damping != 1.0:
             updated = damping * updated + (1.0 - damping) * pi
             updated /= updated.sum()
-
-        change = float(np.max(np.abs(updated - pi)))
         pi = updated
-        if change < tol / 10 or sweep % 10 == 0 or sweep == max_sweeps:
-            flat = to_flat(pi)
-            residual = float(np.max(np.abs(flat @ generator))) / scale
-            if residual < tol:
-                break
+        inflow = pi @ phase_off
 
-    flat = to_flat(pi)
-    flat = np.maximum(flat, 0.0)
+        current_flat = pi.ravel()
+        np.subtract(current_flat, previous_flat, out=differences[filled])
+        previous_flat = current_flat.copy()
+        filled += 1
+        if filled == window:
+            residual = grid_residual(pi, inflow)
+            # Reduced-rank extrapolation: the linear combination of the
+            # window's iterates (coefficients summing to one) that minimises
+            # the norm of the iterate differences.  Accepted only when it
+            # lowers the true residual.
+            gram = differences @ differences.T
+            try:
+                solution = np.linalg.solve(gram, np.ones(window))
+            except np.linalg.LinAlgError:
+                solution = None
+            if solution is not None and np.isfinite(solution).all() and solution.sum() != 0:
+                gamma = solution / solution.sum()
+                # x* = sum_i gamma_i x_i over the window's first `window`
+                # iterates; in difference form x* = x_base + D^T w with
+                # w_j = sum_{i >= j} gamma_i (the last difference only
+                # enters through the Gram matrix).
+                weights = np.cumsum(gamma[::-1])[::-1][1:]
+                candidate_flat = window_base + weights @ differences[:-1]
+                candidate = rescale(candidate_flat.reshape(levels, phases))
+                if candidate is not None:
+                    candidate_inflow = candidate @ phase_off
+                    candidate_residual = grid_residual(candidate, candidate_inflow)
+                    if candidate_residual < residual:
+                        pi = candidate
+                        inflow = candidate_inflow
+                        residual = candidate_residual
+            window_base = pi.ravel().copy()
+            previous_flat = window_base
+            filled = 0
+            if residual < best_residual:
+                best_pi, best_residual = pi, residual
+
+    if best_residual < residual:
+        pi, residual = best_pi, best_residual
+        inflow = pi @ phase_off
+
+    flat = np.maximum(context.to_flat(pi), 0.0)
     flat /= flat.sum()
-    residual = float(np.max(np.abs(flat @ generator))) / scale
-    if residual > max(tol * 50, 1e-6):
+    # Certify against the actual generator matrix (the grid residual is the
+    # same balance up to assembly rounding).
+    certified = float(np.max(np.abs(flat @ generator))) / scale
+    if certified > max(tol * 50, 1e-6):
         raise SolverError(
-            f"structured solver did not converge: scaled residual {residual:.2e} "
+            f"structured solver did not converge: scaled residual {certified:.2e} "
             f"after {sweeps} sweeps"
         )
-    return SteadyStateResult(flat, "structured", sweeps, residual * scale)
+    return SteadyStateResult(flat, "structured", sweeps, certified * scale)

@@ -67,6 +67,8 @@ def run_experiment(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    warm: bool = True,
+    chunk_size: int | None = None,
 ) -> str:
     """Run one registered experiment by name and return its textual report.
 
@@ -80,6 +82,11 @@ def run_experiment(
         Worker processes used for the arrival-rate sweeps (1 = serial).
     cache:
         Optional result cache consulted before, and filled after, each solve.
+    warm:
+        Enable sweep-aware incremental solving within chunks of adjacent
+        arrival rates (``False`` = independent per-point solves).
+    chunk_size:
+        Points per warm-started chunk; ``None`` keeps the executor default.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -87,5 +94,12 @@ def run_experiment(
         raise ValueError(
             f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
         ) from exc
-    with execution_options(jobs=jobs, cache=cache):
+    from repro.runtime.executor import DEFAULT_CHUNK_SIZE
+
+    with execution_options(
+        jobs=jobs,
+        cache=cache,
+        warm=warm,
+        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+    ):
         return runner(scale or ExperimentScale.default())

@@ -6,10 +6,10 @@ model at each arrival rate of a sweep and returns the measures as columns, so
 the figure functions only have to select which columns to plot.
 
 Execution is delegated to the scenario runtime
-(:mod:`repro.runtime.executor`) whenever worker processes or a result cache
-are requested -- either explicitly via the ``jobs``/``cache`` arguments or
-ambiently via :func:`repro.runtime.executor.execution_options`.  The default
-(serial, uncached) path is unchanged and allocation-free.
+(:mod:`repro.runtime.executor`): every sweep -- serial or parallel, cached or
+not -- runs through the same chunked executor, so adjacent points share one
+state space and generator template and warm-start each other's handover
+balance and steady-state solve (disable with ``warm=False`` for A/B timing).
 """
 
 from __future__ import annotations
@@ -18,7 +18,6 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.core.measures import GprsPerformanceMeasures
-from repro.core.model import GprsMarkovModel
 from repro.core.parameters import GprsModelParameters
 
 __all__ = ["SweepResult", "sweep_arrival_rates"]
@@ -73,6 +72,8 @@ def sweep_arrival_rates(
     solver_tol: float = 1e-9,
     jobs: int | None = None,
     cache="ambient",
+    warm: bool | None = None,
+    chunk_size: int | None = None,
 ) -> SweepResult:
     """Solve the analytical model at every arrival rate of the sweep.
 
@@ -94,6 +95,13 @@ def sweep_arrival_rates(
         cache installed via ``execution_options`` (itself ``None`` unless
         installed) -- the same convention as
         :func:`repro.runtime.executor.run_sweep`.
+    warm, chunk_size:
+        Sweep-aware incremental solving knobs (``None`` = ambient values):
+        with ``warm`` enabled, chunks of adjacent rates share one state space
+        and generator template, and each point warm-starts from its
+        predecessors' stationary vectors and handover rates.  ``warm=False``
+        solves every point independently, exactly as a single
+        :class:`~repro.core.model.GprsMarkovModel` run would.
     """
     rates = tuple(float(rate) for rate in arrival_rates)
     if not rates:
@@ -104,30 +112,17 @@ def sweep_arrival_rates(
     from repro.runtime.executor import current_options, sweep_measure_dicts
 
     options = current_options()
-    effective_jobs = options.jobs if jobs is None else jobs
-    effective_cache = options.cache if cache == "ambient" else cache
-
-    if effective_jobs <= 1 and effective_cache is None:
-        measures = []
-        for rate in rates:
-            model = GprsMarkovModel(
-                base_parameters.with_arrival_rate(rate),
-                solver_method=solver,
-                solver_tol=solver_tol,
-            )
-            measures.append(model.solve().measures)
-    else:
-        from repro.core.measures import GprsPerformanceMeasures
-
-        solved = sweep_measure_dicts(
-            base_parameters,
-            rates,
-            solver=solver,
-            solver_tol=solver_tol,
-            jobs=effective_jobs,
-            cache=effective_cache,
-        )
-        measures = [GprsPerformanceMeasures(**values) for values, _ in solved]
+    solved = sweep_measure_dicts(
+        base_parameters,
+        rates,
+        solver=solver,
+        solver_tol=solver_tol,
+        jobs=options.jobs if jobs is None else jobs,
+        cache=options.cache if cache == "ambient" else cache,
+        warm=options.warm if warm is None else warm,
+        chunk_size=options.chunk_size if chunk_size is None else chunk_size,
+    )
+    measures = [GprsPerformanceMeasures(**values) for values, _ in solved]
     return SweepResult(
         base_parameters=base_parameters,
         arrival_rates=rates,

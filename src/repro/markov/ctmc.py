@@ -225,23 +225,21 @@ class ContinuousTimeMarkovChain:
         """Return the transition matrix of the embedded (jump) DTMC.
 
         Absorbing states (zero exit rate) are given a self-loop probability
-        of one.
+        of one.  Fully vectorised: one mask over the COO entries plus one
+        divide, so chains with millions of transitions stay cheap.
         """
         q = self._generator.tocoo()
         exit_rates = self.exit_rates()
         n = self.number_of_states
-        rows, cols, values = [], [], []
-        for i, j, rate in zip(q.row, q.col, q.data):
-            if i == j or rate <= 0:
-                continue
-            rows.append(i)
-            cols.append(j)
-            values.append(rate / exit_rates[i])
-        for i in range(n):
-            if exit_rates[i] <= 0:
-                rows.append(i)
-                cols.append(i)
-                values.append(1.0)
+        keep = (q.row != q.col) & (q.data > 0)
+        rows = q.row[keep]
+        cols = q.col[keep]
+        values = q.data[keep] / exit_rates[rows]
+        absorbing = np.flatnonzero(exit_rates <= 0)
+        if absorbing.size:
+            rows = np.concatenate([rows, absorbing])
+            cols = np.concatenate([cols, absorbing])
+            values = np.concatenate([values, np.ones(absorbing.size)])
         return sp.coo_matrix((values, (rows, cols)), shape=(n, n)).tocsr()
 
     def mean_holding_times(self) -> np.ndarray:
@@ -252,10 +250,17 @@ class ContinuousTimeMarkovChain:
 
 
 def _with_recomputed_diagonal(q: sp.csr_matrix) -> sp.csr_matrix:
-    """Return ``q`` with the diagonal replaced by the negative off-diagonal row sum."""
-    q = q.tolil()
-    q.setdiag(0.0)
-    q = q.tocsr()
+    """Return ``q`` with the diagonal replaced by the negative off-diagonal row sum.
+
+    Works directly on the CSR arrays (zero existing diagonal entries, prune,
+    sum rows, subtract a fresh diagonal); the previous LIL round-trip hid an
+    O(n) Python loop that dominated construction for large chains.
+    """
+    q = q.tocsr().copy()
+    rows = np.repeat(
+        np.arange(q.shape[0], dtype=np.int64), np.diff(q.indptr).astype(np.int64)
+    )
+    q.data[rows == q.indices] = 0.0
+    q.eliminate_zeros()
     row_sums = np.asarray(q.sum(axis=1)).ravel()
-    q = q + sp.diags(-row_sums)
-    return q.tocsr()
+    return (q + sp.diags(-row_sums)).tocsr()

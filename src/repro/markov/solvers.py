@@ -171,7 +171,7 @@ def steady_state_direct(generator) -> SteadyStateResult:
 
     transposed = q.transpose().tocsr()
     submatrix = transposed[: n - 1, : n - 1].tocsc()
-    rhs = -np.asarray(transposed[: n - 1, n - 1].todense()).ravel()
+    rhs = -transposed[: n - 1, n - 1].toarray().ravel()
     try:
         lu = spla.splu(
             submatrix,
@@ -242,13 +242,12 @@ def steady_state_power(
             raise SolverError("power iteration diverged")
         new_pi /= total
         iterations = iteration
+        converged = False
         if iteration % check_every == 0 or iteration == max_iterations:
-            delta = float(np.max(np.abs(new_pi - pi)))
-            pi = new_pi
-            if delta < tol:
-                break
-        else:
-            pi = new_pi
+            converged = float(np.max(np.abs(new_pi - pi))) < tol
+        pi = new_pi
+        if converged:
+            break
     pi = _normalise(pi)
     return SteadyStateResult(pi, "power", iterations, residual_norm(q, pi))
 

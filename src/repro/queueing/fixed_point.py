@@ -51,6 +51,7 @@ def fixed_point_iteration(
     max_iterations: int = 1000,
     damping: float = 1.0,
     record_history: bool = False,
+    accelerate: bool = False,
 ) -> FixedPointResult:
     """Iterate ``x <- (1 - damping) x + damping * mapping(x)`` until convergence.
 
@@ -71,6 +72,18 @@ def fixed_point_iteration(
         iterations.
     record_history:
         When true every iterate is stored in the result's ``history``.
+    accelerate:
+        Apply Aitken/Steffensen extrapolation after every second mapping
+        evaluation.  For linearly converging iterations this upgrades the
+        convergence to (nearly) quadratic; the extrapolated point is only
+        kept when it is finite, so a degenerate denominator falls back to the
+        plain iteration.  The fixed point itself is unchanged.  Because an
+        extrapolation jump can land on a point whose *step* is tiny while its
+        *error* is not (the step criterion only bounds the error up to a
+        ``1/(1 - rho)`` factor), the accelerated mode additionally scales the
+        tolerance by the observed contraction margin ``1 - rho`` -- for stiff
+        maps (``rho`` close to 1) it therefore refuses to declare convergence
+        that the plain criterion would honour only spuriously.
 
     Returns
     -------
@@ -87,6 +100,9 @@ def fixed_point_iteration(
     converged = False
     residual = np.inf
     iterations = 0
+    previous_step: np.ndarray | None = None
+    previous_point: np.ndarray | None = None
+    contraction_margin = 1.0
     for iteration in range(1, max_iterations + 1):
         raw = np.atleast_1d(np.asarray(mapping(current), dtype=float))
         if raw.shape != current.shape:
@@ -96,13 +112,38 @@ def fixed_point_iteration(
         if not np.all(np.isfinite(raw)):
             raise ValueError("mapping produced non-finite values")
         update = (1.0 - damping) * current + damping * raw
-        residual = float(np.max(np.abs(update - current)))
+        step = update - current
+        residual = float(np.max(np.abs(step)))
         scale = max(1.0, float(np.max(np.abs(current))))
+        if accelerate and previous_step is not None:
+            # Two consecutive plain steps estimate the contraction rate; keep
+            # the estimate across extrapolation jumps (a post-jump step is
+            # small for the wrong reason and must not loosen the criterion).
+            previous_norm = float(np.max(np.abs(previous_step)))
+            if previous_norm > 0 and residual < previous_norm:
+                contraction_margin = max(1.0 - residual / previous_norm, 1e-12)
+            # Steffensen/Aitken: x* = x0 - s0^2 / (s1 - s0) componentwise,
+            # cancelling the dominant linear error mode.
+            denominator = step - previous_step
+            with np.errstate(divide="ignore", invalid="ignore"):
+                extrapolated = previous_point - previous_step**2 / denominator
+            usable = np.isfinite(extrapolated) & (np.abs(denominator) > 0)
+            update = np.where(usable, extrapolated, update)
+            previous_step = None
+            previous_point = None
+        else:
+            previous_step = step
+            previous_point = current
         current = update
         iterations = iteration
         if record_history:
             history.append(current.copy())
-        if residual <= tol * scale:
+        # In accelerated mode the tolerance is tightened by the contraction
+        # margin: |step| only bounds the error up to 1/(1 - rho), and the
+        # Aitken jumps make low-step/high-error points reachable within the
+        # iteration budget for stiff maps.
+        effective_tol = tol * (contraction_margin if accelerate else 1.0)
+        if residual <= effective_tol * scale:
             converged = True
             break
 

@@ -15,14 +15,19 @@ functions used to interleave:
   preset caps them at materialisation time, so the same spec serves smoke
   tests, CI benchmarks and full-fidelity reproduction, and each combination
   caches separately.
-* **How to execute it** -- :func:`~repro.runtime.executor.run_sweep` shards
-  the sweep points across worker processes (``jobs=N``) with deterministic
-  per-point seeds and reassembles results in sweep order, consulting a
-  content-addressed :class:`~repro.runtime.cache.ResultCache` first.  Cache
-  keys hash the *effective* parameters of each point plus a code-version tag
-  (package version and a digest of the package sources), so warm reruns --
-  and any other scenario resolving to the same physics -- skip the solver
-  entirely, while code edits invalidate everything at once.
+* **How to execute it** -- :func:`~repro.runtime.executor.run_sweep` groups
+  the sweep points into chunks of adjacent arrival rates, shards the chunks
+  across worker processes (``jobs=N``) with deterministic per-point seeds and
+  reassembles results in sweep order, consulting a content-addressed
+  :class:`~repro.runtime.cache.ResultCache` first.  Within a chunk each point
+  reuses the chunk's generator template and warm-starts from its
+  predecessors' solutions (disable with ``warm=False``); chunk boundaries
+  never depend on ``jobs``, so parallel runs stay bitwise identical to
+  serial ones.  Cache keys hash the *effective* parameters of each point
+  plus a code-version tag (package version and a digest of the package
+  sources), so warm reruns -- and any other scenario resolving to the same
+  physics -- skip the solver entirely, while code edits invalidate
+  everything at once.
 
 Quickstart::
 
@@ -41,6 +46,7 @@ from repro.runtime.cache import (
     result_key,
 )
 from repro.runtime.executor import (
+    DEFAULT_CHUNK_SIZE,
     ExecutionOptions,
     ScenarioRunResult,
     SweepPoint,
@@ -60,6 +66,7 @@ from repro.runtime.spec import (
 __all__ = [
     "CODE_VERSION",
     "CacheStats",
+    "DEFAULT_CHUNK_SIZE",
     "DEFAULT_METRICS",
     "ExecutionOptions",
     "ResultCache",

@@ -1,20 +1,39 @@
-"""Parallel sweep execution with cache-aware scheduling.
+"""Parallel sweep execution with cache-aware scheduling and warm-started chunks.
 
 The executor turns a :class:`~repro.runtime.spec.ScenarioSpec` (or a bare
 parameter set, for the figure functions) into solved sweep points:
 
 1. every point's cache key is computed from its *effective* parameters;
 2. cached points are served immediately (and never touch a solver);
-3. the remaining misses are solved -- in-process when ``jobs <= 1`` or only
-   one point is missing, otherwise sharded across a
-   :class:`concurrent.futures.ProcessPoolExecutor`;
+3. the remaining misses are grouped into **chunks of adjacent arrival rates**
+   and solved -- in-process when ``jobs <= 1``, otherwise one chunk per task
+   on a :class:`concurrent.futures.ProcessPoolExecutor`;
 4. results are reassembled **in sweep order** regardless of completion order
    and written back to the cache.
 
-Workers receive plain dictionaries (never live objects), so the parallel path
-computes exactly what the serial path computes; a ``jobs=4`` run is
-bit-for-bit identical to ``jobs=1``.  Per-point seeds come from
-:meth:`ScenarioSpec.point_seed` and are deterministic in the point index.
+Within one chunk the points are solved in sweep order through a shared
+:class:`~repro.core.template.GeneratorTemplate` /
+:class:`~repro.core.structured_solver.StructuredSolveContext`, and every
+point is warm-started from the previous points' stationary vectors and
+balanced handover rates (see :class:`~repro.core.model.GprsMarkovModel`) --
+this is what makes a sweep dramatically cheaper than independent solves.
+Chunk boundaries depend only on the sweep itself (never on ``jobs``), and the
+serial path executes the very same chunks in order, so a ``jobs=4`` run is
+bit-for-bit identical to ``jobs=1``.  ``warm=False`` restores the fully
+independent per-point behaviour (fresh enumeration, paper-seeded handover
+fixed point, cold solver start) -- the ``--cold`` CLI flag exposes it for A/B
+timing.  Per-point seeds come from :meth:`ScenarioSpec.point_seed` and are
+deterministic in the point index.
+
+Cache semantics: keys hash the effective parameters and solver settings,
+*not* the warm/chunk provenance.  Every value stored under a key is accurate
+to the key's ``solver_tol`` regardless of which chunk-mates seeded it, so
+warm, cold and partially-cached runs may differ from each other -- but only
+within solver tolerance (asserted down to 1e-8 at converged tolerances in
+``benchmarks/test_bench_sweep_warmstart.py``).  Bitwise reproducibility is
+therefore guaranteed *given the same cache state* (in particular
+``jobs=N`` vs. serial, which always read the same hits); for bitwise A/B
+comparisons between warm and cold runs, disable the cache.
 
 :func:`execution_options` provides an ambient (contextvar-based) way to switch
 existing call chains -- ``run_experiment`` down through ``sweep_arrival_rates``
@@ -30,6 +49,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.measures import GprsPerformanceMeasures
 from repro.core.model import GprsMarkovModel
 from repro.core.parameters import GprsModelParameters
@@ -40,6 +61,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep runtime below experiment
     from repro.experiments.scale import ExperimentScale
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "ExecutionOptions",
     "ScenarioRunResult",
     "SweepPoint",
@@ -49,16 +71,43 @@ __all__ = [
     "sweep_measure_dicts",
 ]
 
+#: Sweep points per warm-started chunk.  A chunk is the unit of parallel
+#: scheduling *and* of warm-start continuation, so the value trades parallel
+#: width against the fraction of points that benefit from a warm start; it is
+#: deliberately independent of ``jobs`` so that parallel runs stay bitwise
+#: identical to serial ones.
+DEFAULT_CHUNK_SIZE = 8
+
+#: How many previous stationary vectors each point's solver may extrapolate
+#: from (see ``initial_distribution`` of GprsMarkovModel).
+_WARM_HISTORY = 4
+
 
 # ---------------------------------------------------------------------- #
 # Ambient execution options
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class ExecutionOptions:
-    """Ambient defaults for sweep execution (worker count and cache)."""
+    """Ambient defaults for sweep execution.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes (1 = serial, in-process).
+    cache:
+        Content-addressed result cache, or ``None`` for uncached runs.
+    warm:
+        Enable sweep-aware incremental solving (generator templates plus
+        warm-started handover balancing and steady-state solves) within each
+        chunk of adjacent arrival rates.
+    chunk_size:
+        Points per warm-started chunk (also the parallel scheduling unit).
+    """
 
     jobs: int = 1
     cache: ResultCache | None = None
+    warm: bool = True
+    chunk_size: int = DEFAULT_CHUNK_SIZE
 
 
 _OPTIONS: contextvars.ContextVar[ExecutionOptions] = contextvars.ContextVar(
@@ -72,9 +121,16 @@ def current_options() -> ExecutionOptions:
 
 
 @contextlib.contextmanager
-def execution_options(jobs: int = 1, cache: ResultCache | None = None):
+def execution_options(
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    warm: bool = True,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+):
     """Scope ambient execution options (used by ``run_experiment`` and the CLI)."""
-    token = _OPTIONS.set(ExecutionOptions(jobs=jobs, cache=cache))
+    token = _OPTIONS.set(
+        ExecutionOptions(jobs=jobs, cache=cache, warm=warm, chunk_size=chunk_size)
+    )
     try:
         yield
     finally:
@@ -82,13 +138,100 @@ def execution_options(jobs: int = 1, cache: ResultCache | None = None):
 
 
 # ---------------------------------------------------------------------- #
-# Worker entry point (must stay a top-level function: it is pickled)
+# Chunk solving (the worker entry point must stay top-level: it is pickled)
 # ---------------------------------------------------------------------- #
-def _solve_point_task(params_dict: dict, solver: str, solver_tol: float) -> dict:
-    """Solve one configuration and return the full measure set as a dict."""
-    params = parameters_from_dict(params_dict)
-    model = GprsMarkovModel(params, solver_method=solver, solver_tol=solver_tol)
-    return model.solve().measures.as_dict()
+def _solve_chunk_points(
+    point_dicts: list[dict],
+    solver: str,
+    solver_tol: float,
+    warm: bool,
+    shared: tuple | None = None,
+) -> tuple[list[dict], tuple | None]:
+    """Solve adjacent sweep points in order, warm-starting each from the last.
+
+    Returns the measure dictionaries plus the reusable ``(space, template,
+    context)`` triple so the serial path can share them across chunks (the
+    warm-start *state* -- previous distributions and handover rates -- is
+    deliberately not shared: it resets at every chunk boundary, which is what
+    keeps chunked parallel runs bitwise identical to serial ones).
+    """
+    if not warm:
+        results = []
+        for point in point_dicts:
+            params = parameters_from_dict(point)
+            model = GprsMarkovModel(params, solver_method=solver, solver_tol=solver_tol)
+            results.append(model.solve().measures.as_dict())
+        return results, None
+
+    from repro.core.state_space import GprsStateSpace
+    from repro.core.structured_solver import StructuredSolveContext
+    from repro.core.template import GeneratorTemplate
+
+    space = template = context = None
+    if shared is not None:
+        space, template, context = shared
+
+    results = []
+    history: list[np.ndarray] = []
+    previous_handover = None
+    for point in point_dicts:
+        params = parameters_from_dict(point)
+        if space is None:
+            space = GprsStateSpace(
+                gsm_channels=params.gsm_channels,
+                buffer_size=params.buffer_size,
+                max_sessions=params.max_gprs_sessions,
+            )
+            template = GeneratorTemplate.build(params, space)
+            # The structured-solver scaffolding only pays off when the model
+            # will actually resolve to the structured solver; generic/direct
+            # solves would ignore it.
+            if solver == "structured" or (
+                solver == "auto"
+                and space.size > GprsMarkovModel._STRUCTURED_THRESHOLD
+            ):
+                context = StructuredSolveContext.build(params, space)
+        model = GprsMarkovModel(
+            params,
+            solver_method=solver,
+            solver_tol=solver_tol,
+            initial_distribution=np.stack(history, axis=0) if history else None,
+            initial_handover_rates=previous_handover,
+            generator_template=template,
+            state_space=space,
+            structured_context=context,
+        )
+        solution = model.solve()
+        previous_handover = solution.handover
+        history.append(solution.steady_state.distribution)
+        if len(history) > _WARM_HISTORY:
+            history.pop(0)
+        results.append(solution.measures.as_dict())
+    return results, (space, template, context)
+
+
+def _solve_chunk_task(
+    point_dicts: list[dict], solver: str, solver_tol: float, warm: bool
+) -> list[dict]:
+    """Worker entry point: solve one chunk in a fresh process."""
+    return _solve_chunk_points(point_dicts, solver, solver_tol, warm)[0]
+
+
+def _chunked(indices: list[int], count: int, chunk_size: int) -> list[list[int]]:
+    """Group ``indices`` by the fixed chunk grid over ``range(count)``.
+
+    The grid depends only on the sweep length and the chunk size -- never on
+    ``jobs`` or on which points were cache hits -- so for a given cache state
+    the scheduling (worker count, completion order) can never change
+    numerical results.  Cache hits do leave gaps inside a chunk, which
+    shortens the warm-start history of the remaining misses; that shifts
+    results only within solver tolerance (see the module docstring).
+    """
+    size = max(1, int(chunk_size))
+    members: dict[int, list[int]] = {}
+    for index in indices:
+        members.setdefault(index // size, []).append(index)
+    return [members[block] for block in sorted(members)]
 
 
 def sweep_measure_dicts(
@@ -99,28 +242,32 @@ def sweep_measure_dicts(
     solver_tol: float = 1e-9,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    warm: bool = True,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> list[tuple[dict, bool]]:
     """Solve every sweep point, cache-aware and optionally in parallel.
 
     Returns one ``(measures_dict, from_cache)`` pair per arrival rate, in
     sweep order.  This is the single execution path shared by the scenario
-    runtime and the figure sweeps, so both enjoy the same cache and the same
-    parallelism.
+    runtime and the figure sweeps, so both enjoy the same cache, the same
+    parallelism and the same warm-started chunking (``warm``/``chunk_size``,
+    see the module docstring).
     """
     point_dicts = [
         parameters_to_dict(base_parameters.with_arrival_rate(rate))
         for rate in arrival_rates
     ]
-    keys = [
-        result_key(point, solver=solver, solver_tol=solver_tol)
-        for point in point_dicts
-    ]
+    keys = (
+        [result_key(point, solver=solver, solver_tol=solver_tol) for point in point_dicts]
+        if cache is not None
+        else None
+    )
 
     results: dict[int, dict] = {}
     from_cache: dict[int, bool] = {}
     misses: list[int] = []
-    for index, key in enumerate(keys):
-        payload = cache.get(key) if cache is not None else None
+    for index in range(len(point_dicts)):
+        payload = cache.get(keys[index]) if cache is not None else None
         if payload is not None:
             results[index] = payload
             from_cache[index] = True
@@ -130,19 +277,37 @@ def sweep_measure_dicts(
 
     workers = max(1, int(jobs))
     if misses:
-        if workers > 1 and len(misses) > 1:
-            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
-                futures = {
-                    index: pool.submit(
-                        _solve_point_task, point_dicts[index], solver, solver_tol
+        chunks = _chunked(misses, len(point_dicts), chunk_size if warm else 1)
+        if workers > 1 and len(chunks) > 1:
+            with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+                futures = [
+                    (
+                        chunk,
+                        pool.submit(
+                            _solve_chunk_task,
+                            [point_dicts[index] for index in chunk],
+                            solver,
+                            solver_tol,
+                            warm,
+                        ),
                     )
-                    for index in misses
-                }
-                for index, future in futures.items():
-                    results[index] = future.result()
+                    for chunk in chunks
+                ]
+                for chunk, future in futures:
+                    for index, values in zip(chunk, future.result()):
+                        results[index] = values
         else:
-            for index in misses:
-                results[index] = _solve_point_task(point_dicts[index], solver, solver_tol)
+            shared = None
+            for chunk in chunks:
+                solved, shared = _solve_chunk_points(
+                    [point_dicts[index] for index in chunk],
+                    solver,
+                    solver_tol,
+                    warm,
+                    shared,
+                )
+                for index, values in zip(chunk, solved):
+                    results[index] = values
         if cache is not None:
             for index in misses:
                 try:
@@ -219,6 +384,8 @@ def run_sweep(
     *,
     jobs: int | None = None,
     cache: ResultCache | None | str = "ambient",
+    warm: bool | None = None,
+    chunk_size: int | None = None,
 ) -> ScenarioRunResult:
     """Run one scenario sweep and return its ordered points.
 
@@ -236,6 +403,9 @@ def run_sweep(
         A :class:`~repro.runtime.cache.ResultCache`, ``None`` to disable
         caching, or the sentinel ``"ambient"`` (default) to take the cache
         from :func:`execution_options`.
+    warm, chunk_size:
+        Sweep-aware incremental solving knobs (see :class:`ExecutionOptions`);
+        ``None`` takes the ambient values.
     """
     from repro.experiments.scale import ExperimentScale
 
@@ -243,6 +413,8 @@ def run_sweep(
     options = current_options()
     effective_jobs = options.jobs if jobs is None else jobs
     effective_cache = options.cache if cache == "ambient" else cache
+    effective_warm = options.warm if warm is None else warm
+    effective_chunk = options.chunk_size if chunk_size is None else chunk_size
 
     rates = spec.sweep_rates(scale)
     params = spec.parameters(scale)
@@ -252,6 +424,8 @@ def run_sweep(
         solver=spec.solver,
         jobs=effective_jobs,
         cache=effective_cache,
+        warm=effective_warm,
+        chunk_size=effective_chunk,
     )
     points = tuple(
         SweepPoint(

@@ -84,6 +84,17 @@ class TestCommands:
         assert main(["sweep", "no-such-scenario", "--no-cache"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_sweep_cold_flag_matches_warm_default(self, capsys):
+        """--cold (A/B knob) must produce the same report shape and values
+        within solver tolerance; at smoke scale the direct solver makes the
+        two runs identical."""
+        argv = ["sweep", "figure5", "--preset", "smoke", "--no-cache"]
+        assert main(argv + ["--cold"]) == 0
+        cold = capsys.readouterr().out
+        assert main(argv + ["--chunk-size", "2"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
     def test_run_with_cache_dir_and_jobs(self, capsys, tmp_path):
         argv = [
             "run", "figure14", "--preset", "smoke", "--jobs", "2",

@@ -9,7 +9,13 @@ from repro.core.generator import build_generator
 from repro.core.handover import balance_handover_rates
 from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
-from repro.core.structured_solver import build_phase_generator, solve_structured
+from repro.core.structured_solver import (
+    StructuredSolveContext,
+    _gsm_phase_marginal,
+    _pair_phase_marginal,
+    build_phase_generator,
+    solve_structured,
+)
 from repro.markov.solvers import solve_steady_state
 from repro.queueing.erlang import ErlangLossSystem
 from repro.traffic.presets import TRAFFIC_MODEL_1, TRAFFIC_MODEL_3
@@ -61,6 +67,57 @@ class TestPhaseGenerator:
             servers=small_parameters.gsm_channels,
         )
         assert marginal_n == pytest.approx(system.state_distribution(), abs=1e-9)
+
+
+class TestPhaseStencilConsistency:
+    """The phase transition stencil exists in three forms (the sparse phase
+    generator, the context's frozen pattern, and the Kronecker factor
+    chains); these tests pin them to each other so an edit to one copy
+    cannot silently desynchronise the solver."""
+
+    def test_context_coupling_matches_phase_generator(self, small_parameters):
+        balance, space, _ = _setup(small_parameters)
+        reference = build_phase_generator(
+            small_parameters,
+            space,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        context = StructuredSolveContext.build(small_parameters, space)
+        gsm_arrival = (
+            small_parameters.gsm_arrival_rate + balance.gsm_handover_arrival_rate
+        )
+        gprs_arrival = (
+            small_parameters.gprs_arrival_rate + balance.gprs_handover_arrival_rate
+        )
+        phase_off, phase_exit = context.phase_coupling(gsm_arrival, gprs_arrival)
+        off_reference = reference.copy()
+        off_reference.setdiag(0.0)
+        off_reference.eliminate_zeros()
+        difference = abs(phase_off - off_reference)
+        assert difference.max() < 1e-12 if difference.nnz else True
+        assert phase_exit == pytest.approx(-reference.diagonal(), abs=1e-12)
+
+    def test_kronecker_marginal_matches_full_phase_chain(self, small_parameters):
+        balance, space, _ = _setup(small_parameters)
+        reference = build_phase_generator(
+            small_parameters,
+            space,
+            gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+        )
+        solved = solve_steady_state(reference, method="auto").distribution
+        gsm_arrival = (
+            small_parameters.gsm_arrival_rate + balance.gsm_handover_arrival_rate
+        )
+        gprs_arrival = (
+            small_parameters.gprs_arrival_rate + balance.gprs_handover_arrival_rate
+        )
+        kronecker = np.kron(
+            _gsm_phase_marginal(small_parameters, gsm_arrival),
+            _pair_phase_marginal(small_parameters, space, gprs_arrival),
+        )
+        assert kronecker == pytest.approx(solved, abs=1e-12)
 
 
 class TestStructuredSolution:

@@ -1,0 +1,108 @@
+"""Tests of the frozen-sparsity generator template."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import build_generator
+from repro.core.handover import balance_handover_rates
+from repro.core.parameters import GprsModelParameters
+from repro.core.state_space import GprsStateSpace
+from repro.core.template import GeneratorTemplate
+from repro.traffic.presets import TRAFFIC_MODEL_1, TRAFFIC_MODEL_3
+
+
+def _params(rate: float = 0.4, **overrides) -> GprsModelParameters:
+    defaults = {"buffer_size": 6, "max_gprs_sessions": 3}
+    defaults.update(overrides)
+    return GprsModelParameters.from_traffic_model(TRAFFIC_MODEL_3, rate, **defaults)
+
+
+def _generators(params, template):
+    balance = balance_handover_rates(params)
+    kwargs = {
+        "gsm_handover_arrival_rate": balance.gsm_handover_arrival_rate,
+        "gprs_handover_arrival_rate": balance.gprs_handover_arrival_rate,
+    }
+    built, _ = build_generator(params, template.space, **kwargs)
+    templated = template.generator(params, **kwargs)
+    return built, templated
+
+
+class TestBitwiseEquality:
+    def test_matches_build_generator_bitwise_across_rates(self):
+        """The rewritten data array must equal a fresh assembly bit for bit."""
+        template = GeneratorTemplate.build(_params())
+        for rate in (0.05, 0.3, 0.8, 1.6):
+            built, templated = _generators(_params(rate), template)
+            assert np.array_equal(built.indptr, templated.indptr)
+            assert np.array_equal(built.indices, templated.indices)
+            assert np.array_equal(built.data, templated.data)
+
+    def test_matches_for_other_traffic_model(self):
+        params = GprsModelParameters.from_traffic_model(
+            TRAFFIC_MODEL_1, 0.5, buffer_size=5, max_gprs_sessions=2
+        )
+        template = GeneratorTemplate.build(params)
+        built, templated = _generators(params.with_arrival_rate(0.9), template)
+        assert np.array_equal(built.data, templated.data)
+
+    def test_zero_arrival_rate_is_numerically_equivalent(self):
+        """At rate 0 the template keeps explicit zero slots.
+
+        The stored pattern is then a strict superset, so the diagonal row
+        sums may differ at machine rounding -- but nothing more.
+        """
+        template = GeneratorTemplate.build(_params())
+        params = _params(0.0)
+        balance = balance_handover_rates(params)
+        kwargs = {
+            "gsm_handover_arrival_rate": balance.gsm_handover_arrival_rate,
+            "gprs_handover_arrival_rate": balance.gprs_handover_arrival_rate,
+        }
+        built, _ = build_generator(params, template.space, **kwargs)
+        templated = template.generator(params, **kwargs)
+        difference = built - templated
+        assert abs(difference).max() < 1e-12 if difference.nnz else True
+
+
+class TestValidation:
+    def test_matches_only_across_arrival_rates(self):
+        template = GeneratorTemplate.build(_params())
+        assert template.matches(_params(2.0))
+        assert not template.matches(_params(0.4, buffer_size=7))
+        assert not template.matches(_params(0.4).replace(gprs_fraction=0.2))
+
+    def test_mismatched_parameters_raise(self):
+        template = GeneratorTemplate.build(_params())
+        with pytest.raises(ValueError):
+            template.generator(
+                _params(0.4, buffer_size=7),
+                gsm_handover_arrival_rate=0.0,
+                gprs_handover_arrival_rate=0.0,
+            )
+
+    def test_negative_handover_rate_raises(self):
+        template = GeneratorTemplate.build(_params())
+        with pytest.raises(ValueError):
+            template.generator(
+                _params(),
+                gsm_handover_arrival_rate=-1.0,
+                gprs_handover_arrival_rate=0.0,
+            )
+
+    def test_shares_supplied_state_space(self):
+        params = _params()
+        space = GprsStateSpace(
+            params.gsm_channels, params.buffer_size, params.max_gprs_sessions
+        )
+        template = GeneratorTemplate.build(params, space)
+        assert template.space is space
+        assert template.number_of_states == space.size
+
+    def test_generator_rows_sum_to_zero(self):
+        template = GeneratorTemplate.build(_params())
+        _, templated = _generators(_params(1.2), template)
+        rows = np.asarray(templated.sum(axis=1)).ravel()
+        assert np.max(np.abs(rows)) < 1e-10

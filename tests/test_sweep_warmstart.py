@@ -1,0 +1,148 @@
+"""Tests of sweep-aware incremental solving: warm starts and chunked execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.handover import balance_handover_rates
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.sweep import sweep_arrival_rates
+from repro.runtime.executor import _chunked, execution_options, current_options
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+RATES = (0.2, 0.4, 0.6, 0.8)
+
+
+def _params(rate: float = 0.3) -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, rate, buffer_size=6, max_gprs_sessions=3
+    )
+
+
+class TestWarmAgainstCold:
+    def test_cold_sweep_equals_independent_solves_bitwise(self):
+        """warm=False is exactly the legacy per-point pipeline."""
+        base = _params()
+        swept = sweep_arrival_rates(base, RATES, warm=False)
+        for rate, measures in zip(RATES, swept.measures):
+            single = GprsMarkovModel(
+                base.with_arrival_rate(rate), solver_tol=1e-9
+            ).solve()
+            assert measures == single.measures
+
+    def test_warm_matches_cold_within_solver_tolerance(self):
+        """Fully converged warm and cold sweeps agree to ~1e-8 on every measure."""
+        base = _params()
+        cold = sweep_arrival_rates(
+            base, RATES, solver="structured", solver_tol=1e-14, warm=False
+        )
+        warm = sweep_arrival_rates(
+            base, RATES, solver="structured", solver_tol=1e-14, warm=True
+        )
+        for cold_measures, warm_measures in zip(cold.measures, warm.measures):
+            for key, value in cold_measures.as_dict().items():
+                assert warm_measures.as_dict()[key] == pytest.approx(value, abs=1e-8)
+
+    def test_first_point_of_a_chunk_is_bitwise_cold(self):
+        """Templates are bitwise-faithful, so an unseeded point matches exactly."""
+        base = _params()
+        cold = sweep_arrival_rates(base, (0.5,), warm=False)
+        warm = sweep_arrival_rates(base, (0.5,), warm=True)
+        assert cold.measures[0] == warm.measures[0]
+
+
+class TestWarmStartedModel:
+    def test_warm_start_reduces_solver_iterations(self):
+        base = _params()
+        previous = GprsMarkovModel(
+            base.with_arrival_rate(0.5), solver_method="structured"
+        ).solve()
+        cold = GprsMarkovModel(
+            base.with_arrival_rate(0.55), solver_method="structured"
+        ).solve()
+        warm = GprsMarkovModel(
+            base.with_arrival_rate(0.55),
+            solver_method="structured",
+            initial_distribution=previous.steady_state.distribution,
+            initial_handover_rates=previous.handover,
+        ).solve()
+        assert warm.steady_state.iterations < cold.steady_state.iterations
+        for key, value in cold.measures.as_dict().items():
+            assert warm.measures.as_dict()[key] == pytest.approx(value, abs=1e-6)
+
+    def test_bad_warm_start_falls_back_to_cold_seed(self):
+        """A non-normalisable guess must not corrupt the solution."""
+        base = _params(0.5)
+        cold = GprsMarkovModel(base, solver_method="structured").solve()
+        size = base.state_space_size
+        for guess in (np.zeros(size), np.full(size, np.nan)):
+            warm = GprsMarkovModel(
+                base, solver_method="structured", initial_distribution=guess
+            ).solve()
+            assert warm.measures.packet_loss_probability == pytest.approx(
+                cold.measures.packet_loss_probability, abs=1e-7
+            )
+
+    def test_wrong_length_warm_start_raises(self):
+        with pytest.raises(ValueError):
+            GprsMarkovModel(
+                _params(0.5),
+                solver_method="structured",
+                initial_distribution=np.ones(7),
+            ).solve()
+
+    def test_handover_seed_does_not_change_fixed_point(self):
+        base = _params(0.7)
+        reference = balance_handover_rates(base)
+        seeded = balance_handover_rates(
+            base,
+            initial_gsm_handover_rate=reference.gsm_handover_arrival_rate,
+            initial_gprs_handover_rate=reference.gprs_handover_arrival_rate,
+        )
+        assert seeded.converged
+        assert seeded.gsm_handover_arrival_rate == pytest.approx(
+            reference.gsm_handover_arrival_rate, abs=1e-9
+        )
+        assert seeded.gprs_handover_arrival_rate == pytest.approx(
+            reference.gprs_handover_arrival_rate, abs=1e-9
+        )
+        assert seeded.gsm_iterations <= reference.gsm_iterations
+
+
+class TestChunkedExecution:
+    def test_chunk_grid_is_independent_of_hits(self):
+        assert _chunked([0, 1, 2, 3, 4], 5, 2) == [[0, 1], [2, 3], [4]]
+        # Cached points leave gaps but never shift chunk boundaries.
+        assert _chunked([0, 3, 4], 5, 2) == [[0], [3], [4]]
+        assert _chunked([2], 5, 8) == [[2]]
+
+    def test_parallel_chunks_bitwise_identical_to_serial(self):
+        """Warm-started chunks must not break the jobs=N == serial guarantee.
+
+        The structured solver is forced so that the warm starts actually
+        change the iteration (the direct solver would ignore them).
+        """
+        base = _params()
+        serial = sweep_arrival_rates(
+            base, RATES, solver="structured", warm=True, chunk_size=2
+        )
+        parallel = sweep_arrival_rates(
+            base, RATES, solver="structured", warm=True, chunk_size=2, jobs=2
+        )
+        assert serial.measures == parallel.measures
+
+    def test_chunk_boundary_resets_continuation(self):
+        """chunk_size=1 warm degenerates to per-point cold solves."""
+        base = _params()
+        cold = sweep_arrival_rates(base, RATES, warm=False)
+        chunked = sweep_arrival_rates(base, RATES, warm=True, chunk_size=1)
+        assert cold.measures == chunked.measures
+
+    def test_ambient_warm_and_chunk_options(self):
+        with execution_options(warm=False, chunk_size=3):
+            options = current_options()
+            assert options.warm is False
+            assert options.chunk_size == 3
+        assert current_options().warm is True
