@@ -1,0 +1,105 @@
+"""Benchmarks of the multi-cell network layer (warm vs. cold outer iterations).
+
+The network fixed point re-solves every cell once per outer iteration with
+slowly drifting handover rates -- the ideal consumer of the warm-start
+machinery.  Three demonstrations on the homogeneous seven-cell cluster:
+
+* ``test_network_warm_outer_iterations_speedup`` -- at default-preset sizes
+  (26k states per cell) the warm solve must beat the cold-per-iteration solve
+  on wall clock and spend at most 75% of its inner solver iterations; the
+  solver-call count (cells x outer iterations) is identical by construction.
+* ``test_network_warm_matches_cold_when_converged`` -- warm and cold network
+  solves agree on every per-cell measure to 1e-8.
+* ``test_network_warm_smoke_fewer_iterations`` -- the CI smoke check: a
+  3-cell smoke-preset solve spends strictly fewer inner iterations warm than
+  cold and only its first outer iteration is cold.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.scale import ExperimentScale
+from repro.network import NetworkModel, hexagonal_cluster
+from repro.runtime import scenario
+
+
+def _network_params(scale: ExperimentScale, rate: float = 0.5):
+    return scenario("homogeneous-7").parameters(scale).with_arrival_rate(rate)
+
+
+def test_network_warm_outer_iterations_speedup():
+    """Warm outer iterations must beat cold-per-iteration solves.
+
+    Both variants are timed twice, interleaved, and compared on their best
+    runs so a load spike on a shared CI runner cannot fail the assertion by
+    hitting only one side.
+    """
+    params = _network_params(ExperimentScale.default())
+    topology = hexagonal_cluster(7)
+
+    cold_seconds, warm_seconds = [], []
+    cold = warm = None
+    for _ in range(2):
+        start = time.perf_counter()
+        cold = NetworkModel(topology, params, solver_method="structured", warm=False).solve()
+        cold_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        warm = NetworkModel(topology, params, solver_method="structured", warm=True).solve()
+        warm_seconds.append(time.perf_counter() - start)
+
+    speedup = min(cold_seconds) / min(warm_seconds)
+    print()
+    print(
+        f"7-cell network, {params.state_space_size} states/cell, "
+        f"{cold.outer_iterations} outer iteration(s), "
+        f"{cold.solver_calls} solver calls: cold {min(cold_seconds):.2f}s "
+        f"({cold.solver_iterations} inner iters), warm {min(warm_seconds):.2f}s "
+        f"({warm.solver_iterations} inner iters), speedup {speedup:.2f}x"
+    )
+    assert cold.converged and warm.converged
+    assert warm.solver_calls == cold.solver_calls
+    assert cold.cold_solves == cold.solver_calls  # every cold solve is cold
+    assert warm.cold_solves == 7  # only the first outer iteration
+    assert warm.solver_iterations <= 0.75 * cold.solver_iterations
+    assert speedup >= 1.3
+
+
+def test_network_warm_matches_cold_when_converged():
+    """Warm and cold network solves agree per cell to 1e-8."""
+    params = _network_params(ExperimentScale.default())
+    topology = hexagonal_cluster(7)
+    cold = NetworkModel(topology, params, warm=False).solve()
+    warm = NetworkModel(topology, params, warm=True).solve()
+    worst = max(
+        abs(cold_cell.measures.as_dict()[key] - warm_cell.measures.as_dict()[key])
+        for cold_cell, warm_cell in zip(cold.cells, warm.cells)
+        for key in cold_cell.measures.as_dict()
+    )
+    print()
+    print(f"7-cell network, converged warm vs cold: worst |delta| = {worst:.2e}")
+    assert worst < 1e-8
+
+
+def test_network_warm_smoke_fewer_iterations():
+    """CI smoke: a 3-cell smoke-preset solve benefits from warm outer iterations."""
+    params = _network_params(ExperimentScale.smoke(), rate=0.6)
+    topology = hexagonal_cluster(3)
+    cold = NetworkModel(topology, params, solver_method="structured", warm=False).solve()
+    warm = NetworkModel(topology, params, solver_method="structured", warm=True).solve()
+    print()
+    print(
+        f"3-cell smoke solve: cold {cold.solver_iterations} inner iters, "
+        f"warm {warm.solver_iterations} inner iters "
+        f"({warm.cold_solves}/{warm.solver_calls} cold solves)"
+    )
+    assert cold.converged and warm.converged
+    assert warm.cold_solves == 3
+    assert warm.warm_solves == warm.solver_calls - 3
+    assert warm.solver_iterations < cold.solver_iterations
+    for cold_cell, warm_cell in zip(cold.cells, warm.cells):
+        assert warm_cell.measures.packet_loss_probability == pytest.approx(
+            cold_cell.measures.packet_loss_probability, abs=1e-8
+        )

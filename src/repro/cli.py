@@ -3,17 +3,22 @@
 Usage (installed as ``gprs-repro`` or via ``python -m repro``)::
 
     gprs-repro list                      # tables/figures and runtime scenarios
+    gprs-repro list --kind network       # only the multi-cell scenarios
     gprs-repro run figure12              # regenerate figure 12 (scaled preset)
     gprs-repro run figure7 --preset paper --jobs 4
     gprs-repro sweep heavy-gprs --jobs 4 # parallel scenario sweep (cached)
     gprs-repro sweep figure12 --preset paper --json
+    gprs-repro network hotspot-cluster --jobs 4   # per-cell network sweep
     gprs-repro solve --arrival-rate 0.5 --gprs-fraction 0.05 --reserved-pdch 2
     gprs-repro simulate --arrival-rate 0.5 --time 5000
 
 ``run`` reproduces a table or figure of the paper, ``sweep`` executes a
-registered runtime scenario through the parallel, cache-aware executor,
-``solve`` evaluates the analytical model for a single configuration and
-``simulate`` runs the network-level simulator for one configuration.
+registered runtime scenario through the parallel, cache-aware executor
+(network scenarios report network-mean measures), ``network`` sweeps a
+multi-cell scenario with per-cell detail (the analytic handover-coupled
+network model of :mod:`repro.network`), ``solve`` evaluates the analytical
+model for a single configuration and ``simulate`` runs the discrete-event
+simulator for one configuration.
 
 ``run`` and ``sweep`` consult a content-addressed result cache (default
 ``~/.cache/gprs-repro``; override with ``--cache-dir`` or the
@@ -34,9 +39,14 @@ from pathlib import Path
 
 from repro.core.model import GprsMarkovModel
 from repro.core.parameters import GprsModelParameters
-from repro.experiments.reporting import format_scenario_result, format_table
+from repro.experiments.reporting import (
+    format_network_result,
+    format_scenario_result,
+    format_table,
+)
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.scale import ExperimentScale
+from repro.network.sweep import run_network_sweep
 from repro.runtime import ResultCache, default_cache_dir, list_scenarios, run_sweep, scenario
 from repro.simulator.config import SimulationConfig, TcpConfig
 from repro.simulator.simulation import GprsNetworkSimulator
@@ -54,8 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser(
+    list_parser = subparsers.add_parser(
         "list", help="list all regenerable tables/figures and runtime scenarios"
+    )
+    list_parser.add_argument(
+        "--kind",
+        choices=("figures", "scenarios", "network"),
+        default=None,
+        help="restrict the listing: paper tables/figures, single-cell "
+        "scenarios, or multi-cell network scenarios",
     )
 
     run_parser = subparsers.add_parser("run", help="regenerate a table or figure")
@@ -85,6 +102,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runtime_arguments(sweep_parser)
 
+    network_parser = subparsers.add_parser(
+        "network",
+        help="sweep a multi-cell network scenario (per-cell detail)",
+    )
+    network_parser.add_argument(
+        "scenario",
+        help="network scenario name, e.g. hotspot-cluster (see 'list --kind network')",
+    )
+    network_parser.add_argument(
+        "--preset",
+        choices=("smoke", "default", "paper"),
+        default="default",
+        help="experiment scale applied to the base cell",
+    )
+    network_parser.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    # Network sweeps have no point-chunking (cells parallelise within a
+    # point), so the --chunk-size knob would be a silent no-op here.
+    _add_runtime_arguments(network_parser, chunking=False)
+
     solve_parser = subparsers.add_parser(
         "solve", help="solve the analytical model for one configuration"
     )
@@ -110,20 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_runtime_arguments(
+    parser: argparse.ArgumentParser, *, chunking: bool = True
+) -> None:
     parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the sweep points (1 = serial)")
+                        help="worker processes (1 = serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache for this invocation")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="result cache directory (default: ~/.cache/gprs-repro "
                         "or $GPRS_REPRO_CACHE_DIR)")
     parser.add_argument("--cold", action="store_true",
-                        help="disable sweep-aware warm-starting (generator templates "
-                        "and solver/handover continuation) for A/B timing")
-    parser.add_argument("--chunk-size", type=int, default=None,
-                        help="adjacent sweep points per warm-started chunk "
-                        "(also the parallel scheduling unit; default 8)")
+                        help="disable sweep-aware warm-starting (solver and "
+                        "handover continuation) for A/B timing")
+    if chunking:
+        parser.add_argument("--chunk-size", type=int, default=None,
+                            help="adjacent sweep points per warm-started chunk "
+                            "(also the parallel scheduling unit; default 8)")
 
 
 def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
@@ -169,14 +210,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        print("experiments (gprs-repro run <name>):")
-        for name in sorted(EXPERIMENTS):
-            print(f"  {name}")
-        print()
-        print("scenarios (gprs-repro sweep <name>):")
-        for spec in list_scenarios():
-            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
-            print(f"  {spec.name:<16} {spec.description}{tags}")
+        sections = []
+        if args.kind in (None, "figures"):
+            sections.append(
+                "experiments (gprs-repro run <name>):\n"
+                + "\n".join(f"  {name}" for name in sorted(EXPERIMENTS))
+            )
+        if args.kind in (None, "scenarios"):
+            lines = ["scenarios (gprs-repro sweep <name>):"]
+            for spec in list_scenarios(kind="cell"):
+                tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+                lines.append(f"  {spec.name:<16} {spec.description}{tags}")
+            sections.append("\n".join(lines))
+        if args.kind in (None, "network"):
+            lines = ["network scenarios (gprs-repro network <name>):"]
+            for spec in list_scenarios(kind="network"):
+                cells = spec.network.number_of_cells
+                lines.append(
+                    f"  {spec.name:<16} {spec.description} "
+                    f"[{spec.network.name}, {cells} cells]"
+                )
+            sections.append("\n".join(lines))
+        print("\n\n".join(sections))
         return 0
 
     if args.command == "run":
@@ -212,6 +267,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         else:
             print(format_scenario_result(result))
+        return 0
+
+    if args.command == "network":
+        try:
+            spec = scenario(args.scenario)
+            if spec.network is None:
+                raise ValueError(
+                    f"scenario {args.scenario!r} is single-cell; pick one from "
+                    "'gprs-repro list --kind network' (or use 'sweep')"
+                )
+            result = run_network_sweep(
+                spec,
+                ExperimentScale.from_name(args.preset),
+                jobs=args.jobs,
+                cache=_cache_from_args(args),
+                warm=not args.cold,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_network_result(result))
         return 0
 
     if args.command == "solve":

@@ -24,7 +24,12 @@ from repro.core.parameters import GprsModelParameters
 from repro.queueing.erlang import ErlangLossSystem
 from repro.queueing.fixed_point import fixed_point_iteration
 
-__all__ = ["HandoverBalance", "balance_handover_rates"]
+__all__ = [
+    "HandoverBalance",
+    "balance_handover_rates",
+    "cell_outgoing_rates",
+    "class_outgoing_rate",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +53,79 @@ class HandoverBalance:
     gsm_iterations: int
     gprs_iterations: int
     converged: bool
+
+    @classmethod
+    def pinned(cls, gsm_rate: float, gprs_rate: float) -> "HandoverBalance":
+        """Return a balance representing externally imposed incoming rates.
+
+        The network layer (:mod:`repro.network`) computes each cell's incoming
+        handover rates from its neighbours' outgoing flows rather than from
+        the single-cell homogeneity assumption; the resulting rates are
+        injected into the per-cell model through this constructor (zero
+        iterations, converged by definition).
+        """
+        if gsm_rate < 0 or gprs_rate < 0:
+            raise ValueError("pinned handover rates must be non-negative")
+        return cls(
+            gsm_handover_arrival_rate=float(gsm_rate),
+            gprs_handover_arrival_rate=float(gprs_rate),
+            gsm_iterations=0,
+            gprs_iterations=0,
+            converged=True,
+        )
+
+
+def class_outgoing_rate(
+    new_arrival_rate: float,
+    completion_rate: float,
+    handover_departure_rate: float,
+    servers: int,
+    incoming_rate: float,
+) -> float:
+    """Outgoing handover rate of one traffic class given its incoming rate.
+
+    This is one application of the map whose fixed point Eqs. (4)-(5) seek:
+    ``mu_h * E[N]`` where ``E[N]`` is the mean occupancy of the Erlang-loss
+    system fed by ``new_arrival_rate + incoming_rate``.  The single-cell
+    balance iterates it against itself; the network layer evaluates it per
+    cell and routes the result to the neighbours.  Transient negative
+    incoming rates (e.g. an Aitken overshoot) are clamped to zero, which
+    leaves every non-negative fixed point unchanged.
+    """
+    system = ErlangLossSystem(
+        arrival_rate=new_arrival_rate + max(0.0, float(incoming_rate)),
+        service_rate=completion_rate + handover_departure_rate,
+        servers=servers,
+    )
+    return handover_departure_rate * system.mean_number_in_system()
+
+
+def cell_outgoing_rates(
+    params: GprsModelParameters,
+    gsm_incoming_rate: float,
+    gprs_incoming_rate: float,
+) -> tuple[float, float]:
+    """Return ``(gsm_out, gprs_out)`` of one cell given its incoming rates.
+
+    Uses the same Erlang-loss closed forms (and the same arithmetic) as
+    :func:`balance_handover_rates`, so in a homogeneous network the
+    network-wide fixed point coincides with the paper's single-cell one.
+    """
+    gsm_out = class_outgoing_rate(
+        params.gsm_arrival_rate,
+        params.gsm_completion_rate,
+        params.gsm_handover_departure_rate,
+        params.gsm_channels if params.gsm_channels >= 1 else 1,
+        gsm_incoming_rate,
+    )
+    gprs_out = class_outgoing_rate(
+        params.gprs_arrival_rate,
+        params.gprs_completion_rate,
+        params.gprs_handover_departure_rate,
+        params.max_gprs_sessions,
+        gprs_incoming_rate,
+    )
+    return gsm_out, gprs_out
 
 
 def _balance_single_class(
@@ -75,14 +153,13 @@ def _balance_single_class(
         return 0.0, 0, True
 
     def outgoing_handover_rate(incoming: np.ndarray) -> float:
-        # Clamp transient negative iterates (e.g. an Aitken overshoot); the
-        # fixed point itself is non-negative, so this changes nothing there.
-        system = ErlangLossSystem(
-            arrival_rate=new_arrival_rate + max(0.0, float(incoming[0])),
-            service_rate=completion_rate + handover_departure_rate,
-            servers=servers,
+        return class_outgoing_rate(
+            new_arrival_rate,
+            completion_rate,
+            handover_departure_rate,
+            servers,
+            float(incoming[0]),
         )
-        return handover_departure_rate * system.mean_number_in_system()
 
     seed = new_arrival_rate if initial is None or initial < 0 else initial
     result = fixed_point_iteration(

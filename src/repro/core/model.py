@@ -29,7 +29,7 @@ from repro.core.state_space import GprsStateSpace
 from repro.core.template import GeneratorTemplate
 from repro.markov.solvers import SolverError, SteadyStateResult, solve_steady_state
 
-__all__ = ["GprsMarkovModel", "GprsModelSolution"]
+__all__ = ["GprsMarkovModel", "GprsModelSolution", "build_solver_scaffold"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,38 @@ class GprsModelSolution:
     measures: GprsPerformanceMeasures
     handover: HandoverBalance
     steady_state: SteadyStateResult
+
+
+def build_solver_scaffold(
+    params: GprsModelParameters,
+    solver: str = "auto",
+    space: GprsStateSpace | None = None,
+) -> tuple[GprsStateSpace, GeneratorTemplate, object | None]:
+    """Build the reusable ``(space, template, context)`` triple of one shape.
+
+    This is the scaffolding that warm sweeps share across points (and the
+    network layer across cells and outer iterations): the enumerated state
+    space, the frozen generator template, and -- only when ``solver`` will
+    actually resolve to the structured solver -- the
+    :class:`~repro.core.structured_solver.StructuredSolveContext` (generic and
+    direct solves would ignore it).  Centralised here so the auto-threshold
+    rule can never diverge between consumers.
+    """
+    if space is None:
+        space = GprsStateSpace(
+            gsm_channels=params.gsm_channels,
+            buffer_size=params.buffer_size,
+            max_sessions=params.max_gprs_sessions,
+        )
+    template = GeneratorTemplate.build(params, space)
+    context = None
+    if solver == "structured" or (
+        solver == "auto" and space.size > GprsMarkovModel._STRUCTURED_THRESHOLD
+    ):
+        from repro.core.structured_solver import StructuredSolveContext
+
+        context = StructuredSolveContext.build(params, space)
+    return space, template, context
 
 
 class GprsMarkovModel:
@@ -101,6 +133,15 @@ class GprsMarkovModel:
         across the points of a sweep; caches the arrival-rate-independent
         scaffolding (rate grids, fibre couplings, phase-chain pattern) of the
         structured solver.
+    fixed_handover_balance:
+        Optional externally imposed handover rates (typically
+        :meth:`HandoverBalance.pinned`).  When given, the Erlang-loss
+        balancing of Eqs. (4)-(5) is skipped entirely and the supplied
+        incoming rates feed the generator and the measures directly -- this
+        is the seam through which :class:`~repro.network.NetworkModel`
+        couples cells by their actual neighbour flows instead of the
+        homogeneity assumption.  Mutually exclusive with
+        ``initial_handover_rates``.
 
     Example
     -------
@@ -123,13 +164,20 @@ class GprsMarkovModel:
         generator_template: GeneratorTemplate | None = None,
         state_space: GprsStateSpace | None = None,
         structured_context=None,
+        fixed_handover_balance: HandoverBalance | None = None,
     ) -> None:
         self._parameters = parameters
         self._solver_method = solver_method
         self._solver_tol = solver_tol
-        self._handover: HandoverBalance | None = None
+        if fixed_handover_balance is not None and initial_handover_rates is not None:
+            raise ValueError(
+                "fixed_handover_balance pins the rates; a balance seed "
+                "(initial_handover_rates) cannot apply at the same time"
+            )
+        self._handover: HandoverBalance | None = fixed_handover_balance
         self._generator: sp.csr_matrix | None = None
         self._steady_state: SteadyStateResult | None = None
+        self._warm_start_used = False
 
         self._initial_distribution = (
             None
@@ -242,6 +290,7 @@ class GprsMarkovModel:
         if method == "structured":
             try:
                 self._steady_state = self._solve_structured(initial)
+                self._warm_start_used = initial is not None
             except SolverError:
                 # A degraded warm start must never cost correctness: retry the
                 # same solver cold before considering the generic fallback.
@@ -268,6 +317,12 @@ class GprsMarkovModel:
                     tol=self._solver_tol,
                     initial=initial,
                 )
+                # GTH/direct elimination ignores seeds entirely -- such a
+                # solve is cold no matter what it was handed.
+                self._warm_start_used = (
+                    initial is not None
+                    and self._steady_state.method not in ("gth", "direct")
+                )
             except SolverError:
                 if initial is None:
                     raise
@@ -275,6 +330,18 @@ class GprsMarkovModel:
                     self.generator, method=resolved, tol=self._solver_tol
                 )
         return self._steady_state
+
+    @property
+    def warm_start_used(self) -> bool:
+        """Whether the result actually came from a warm-seeded solve.
+
+        ``False`` until :meth:`solve` runs, when a degraded warm start failed
+        and the automatic cold retry produced the result, and when the
+        resolved solver is a direct method (GTH / sparse LU) that ignores
+        seeds -- so warm-start accounting (e.g. the network layer's
+        ``cold_solves``) never counts a silently-cold solve as warm.
+        """
+        return self._warm_start_used
 
     def _solve_structured(self, initial: np.ndarray | None) -> SteadyStateResult:
         from repro.core.structured_solver import solve_structured

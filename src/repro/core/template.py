@@ -235,6 +235,16 @@ class GeneratorTemplate:
         """True when ``params`` differs from the template only in its arrival rate."""
         return _fixed_fingerprint(params) == self._fingerprint
 
+    @staticmethod
+    def fingerprint_of(params: GprsModelParameters) -> tuple:
+        """The hashable fixed-configuration key two templated sweeps share.
+
+        Two parameter sets with equal fingerprints can share one template
+        (and one structured-solver context); only their total call arrival
+        rate and handover rates may differ.
+        """
+        return _fixed_fingerprint(params)
+
     # ------------------------------------------------------------------ #
     # Per-point rewrite
     # ------------------------------------------------------------------ #

@@ -16,11 +16,13 @@ from typing import TYPE_CHECKING
 from repro.experiments.figures import FigureResult
 
 if TYPE_CHECKING:
+    from repro.network.sweep import NetworkSweepResult
     from repro.runtime.executor import ScenarioRunResult
 
 __all__ = [
     "format_table",
     "format_figure_result",
+    "format_network_result",
     "format_scenario_result",
     "figure_result_to_csv",
 ]
@@ -60,15 +62,8 @@ def format_figure_result(result: FigureResult, *, precision: int = 5) -> str:
                 else:
                     row.append(f"{value:.{precision}g}")
             rows.append(row)
-        widths = [
-            max(len(header[col]), *(len(row[col]) for row in rows))
-            for col in range(len(header))
-        ]
         lines = [f"\n[{metric}]"]
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
-        lines.append("  ".join("-" * width for width in widths))
-        for row in rows:
-            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        lines.extend(_format_aligned(header, rows))
         blocks.append("\n".join(lines))
     return "\n".join(blocks)
 
@@ -92,14 +87,71 @@ def format_scenario_result(result: "ScenarioRunResult", *, precision: int = 5) -
             [f"{point.arrival_rate:.3g}"]
             + [f"{point.values[metric]:.{precision}g}" for metric in spec.metrics]
         )
+    lines.extend(_format_aligned(header, rows))
+    return "\n".join(lines)
+
+
+def _format_aligned(header: list[str], rows: list[list[str]]) -> list[str]:
     widths = [
         max(len(header[col]), *(len(row[col]) for row in rows))
         for col in range(len(header))
     ]
-    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    lines = ["  ".join(cell.ljust(width) for cell, width in zip(header, widths))]
     lines.append("  ".join("-" * width for width in widths))
     for row in rows:
         lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return lines
+
+
+def format_network_result(result: "NetworkSweepResult", *, precision: int = 5) -> str:
+    """Render a network sweep: one per-cell table per arrival rate.
+
+    Every block shows the scenario's metrics plus the balanced incoming
+    handover rates for each cell, a ``mean`` row (the network aggregates) and
+    the convergence/warm-start accounting of the joint solve.
+    """
+    spec = result.spec
+    topology = spec.network
+    lines = [
+        f"{spec.name}: {spec.description}",
+        f"topology={topology.name}  cells={topology.number_of_cells}  "
+        f"solver={spec.solver}  points={len(result.points)}  "
+        f"cache: {result.cache_hits} hit(s), {result.cache_misses} solved",
+    ]
+    header = ["cell", *spec.metrics, "gsm handover in", "gprs handover in"]
+    for point in result.points:
+        payload = point.payload
+        status = "converged" if payload["converged"] else "NOT converged"
+        origin = "cache" if point.from_cache else (
+            f"{payload['solver_calls']} solver call(s), "
+            f"{payload['cold_solves']} cold / "
+            f"{payload['solver_calls'] - payload['cold_solves']} warm"
+        )
+        lines.append("")
+        lines.append(
+            f"[arrival rate {point.arrival_rate:.3g}]  "
+            f"outer iterations: {payload['outer_iterations']} ({status}), {origin}"
+        )
+        rows = []
+        for cell in payload["cells"]:
+            rows.append(
+                [str(cell["index"])]
+                + [f"{cell['values'][metric]:.{precision}g}" for metric in spec.metrics]
+                + [
+                    f"{cell['gsm_incoming_rate']:.{precision}g}",
+                    f"{cell['gprs_incoming_rate']:.{precision}g}",
+                ]
+            )
+        aggregates = payload["aggregates"]
+        rows.append(
+            ["mean"]
+            + [f"{aggregates[metric]:.{precision}g}" for metric in spec.metrics]
+            + [
+                f"{aggregates['gsm_handover_arrival_rate']:.{precision}g}",
+                f"{aggregates['gprs_handover_arrival_rate']:.{precision}g}",
+            ]
+        )
+        lines.extend(_format_aligned(header, rows))
     return "\n".join(lines)
 
 

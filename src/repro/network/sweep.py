@@ -1,0 +1,240 @@
+"""Arrival-rate sweeps over a whole topology, cached and warm-continued.
+
+A network sweep point is one :class:`~repro.network.model.NetworkModel` solve
+at one base arrival rate: the swept rate applies to every cell (hot cells
+scale it through their ``arrival_rate_multiplier`` override), so a sweep
+answers "how does the whole network degrade as load grows".  Points are
+solved in ascending rate order; with ``warm=True`` each point seeds the next
+one's Erlang pre-pass with its converged rates and warm-starts even the first
+CTMC outer iteration with the previous point's stationary vectors, while the
+cells *within* a point are solved in parallel (``jobs``).
+
+Each solved point is stored in the content-addressed result cache under a key
+that hashes the effective base-cell parameters *plus the topology digest*
+(routing matrix and per-cell overrides), with the computation kind set to
+``"network"`` -- two topologies never share entries, and a network point can
+never collide with a single-cell sweep point of the same parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.network.model import NetworkModel
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.runtime reaches into this package for
+    # its scenario registry, so module-level imports here would make the
+    # dependency bidirectional (repro.network stays importable standalone).
+    from repro.experiments.scale import ExperimentScale
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.spec import ScenarioSpec
+
+__all__ = [
+    "NetworkSweepPoint",
+    "NetworkSweepResult",
+    "network_sweep_payloads",
+    "run_network_sweep",
+]
+
+
+@dataclass(frozen=True)
+class NetworkSweepPoint:
+    """One solved (or cache-served) network sweep point."""
+
+    index: int
+    arrival_rate: float
+    payload: dict
+    from_cache: bool = False
+
+    @property
+    def aggregates(self) -> dict[str, float]:
+        return self.payload["aggregates"]
+
+    @property
+    def cells(self) -> list[dict]:
+        return self.payload["cells"]
+
+    def aggregate(self, metric: str) -> float:
+        return self.payload["aggregates"][metric]
+
+    def cell_series(self, metric: str) -> tuple[float, ...]:
+        """One measure across cells at this point, in cell order."""
+        return tuple(cell["values"][metric] for cell in self.payload["cells"])
+
+
+@dataclass(frozen=True)
+class NetworkSweepResult:
+    """All points of one network scenario sweep, in sweep order."""
+
+    spec: "ScenarioSpec"
+    scale: "ExperimentScale"
+    points: tuple[NetworkSweepPoint, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def arrival_rates(self) -> tuple[float, ...]:
+        return tuple(point.arrival_rate for point in self.points)
+
+    def series(self, metric: str) -> tuple[float, ...]:
+        """The network-mean of ``metric`` across the sweep."""
+        return tuple(point.aggregate(metric) for point in self.points)
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.spec.to_dict(),
+            "scale": self.scale.to_dict(),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "points": [
+                {
+                    "index": point.index,
+                    "arrival_rate": point.arrival_rate,
+                    "from_cache": point.from_cache,
+                    **point.payload,
+                }
+                for point in self.points
+            ],
+        }
+
+
+def network_sweep_payloads(
+    spec: "ScenarioSpec",
+    scale: "ExperimentScale",
+    *,
+    solver_tol: float = 1e-9,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+    warm: bool = True,
+) -> list[tuple[dict, bool]]:
+    """Solve every point of a network scenario sweep, cache-aware.
+
+    Returns one ``(payload, from_cache)`` pair per arrival rate, in sweep
+    order; payloads are :meth:`~repro.network.model.NetworkResult.as_dict`
+    renderings.  ``warm=False`` disables both the point-to-point continuation
+    and the within-point warm starts across outer iterations (the ``--cold``
+    A/B knob); values shift only within solver tolerance.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.runtime.cache import result_key
+    from repro.runtime.spec import parameters_to_dict
+
+    if spec.network is None:
+        raise ValueError(f"scenario {spec.name!r} has no network topology")
+    topology = spec.network
+    base = spec.parameters(scale)
+    rates = spec.sweep_rates(scale)
+    topology_dict = topology.to_dict()
+
+    # One pool serves every point of the sweep: the workers stay alive, so
+    # their per-process scaffold caches (templates, structured contexts)
+    # survive from point to point exactly like the serial path's do.
+    pool = (
+        ProcessPoolExecutor(max_workers=min(jobs, topology.number_of_cells))
+        if jobs > 1 and topology.number_of_cells > 1
+        else None
+    )
+    results: list[tuple[dict, bool]] = []
+    seed_rates = None
+    seed_distributions = None
+    writable = True
+    try:
+        for rate in rates:
+            params = base.with_arrival_rate(rate)
+            key = (
+                result_key(
+                    parameters_to_dict(params),
+                    solver=spec.solver,
+                    solver_tol=solver_tol,
+                    kind="network",
+                    network=topology_dict,
+                )
+                if cache is not None
+                else None
+            )
+            payload = cache.get(key) if cache is not None else None
+            if payload is not None:
+                # A cache hit carries no stationary vectors, so the warm
+                # continuation restarts at the next solved point.
+                seed_rates = None
+                seed_distributions = None
+                results.append((payload, True))
+                continue
+
+            result = NetworkModel(
+                topology,
+                params,
+                solver_method=spec.solver,
+                solver_tol=solver_tol,
+                jobs=jobs,
+                warm=warm,
+                pool=pool,
+                initial_rates=seed_rates if warm else None,
+                initial_distributions=seed_distributions if warm else None,
+            ).solve()
+            payload = result.as_dict()
+            if cache is not None and writable:
+                try:
+                    cache.put(key, payload)
+                except OSError:
+                    # An unwritable cache stops persisting but keeps serving
+                    # reads -- same degradation as the single-cell executor.
+                    writable = False
+            if warm:
+                seed_rates = result.incoming_rates()
+                seed_distributions = result.distributions
+            results.append((payload, False))
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return results
+
+
+def run_network_sweep(
+    spec: "ScenarioSpec",
+    scale: "ExperimentScale | None" = None,
+    *,
+    jobs: int | None = None,
+    cache: "ResultCache | None | str" = "ambient",
+    warm: bool | None = None,
+) -> NetworkSweepResult:
+    """Run one network scenario sweep and return its per-cell points.
+
+    The ``jobs`` / ``cache`` / ``warm`` arguments resolve against the ambient
+    :func:`~repro.runtime.executor.execution_options` exactly like
+    :func:`~repro.runtime.executor.run_sweep`; ``jobs`` parallelises the
+    cells within each point.
+    """
+    from repro.experiments.scale import ExperimentScale
+    from repro.runtime.executor import current_options
+
+    scale = scale or ExperimentScale.default()
+    options = current_options()
+    effective_jobs = options.jobs if jobs is None else jobs
+    effective_cache = options.cache if cache == "ambient" else cache
+    effective_warm = options.warm if warm is None else warm
+
+    solved = network_sweep_payloads(
+        spec,
+        scale,
+        jobs=effective_jobs,
+        cache=effective_cache,
+        warm=effective_warm,
+    )
+    rates = spec.sweep_rates(scale)
+    points = tuple(
+        NetworkSweepPoint(
+            index=index, arrival_rate=rate, payload=payload, from_cache=hit
+        )
+        for index, (rate, (payload, hit)) in enumerate(zip(rates, solved))
+    )
+    hits = sum(1 for point in points if point.from_cache)
+    return NetworkSweepResult(
+        spec=spec,
+        scale=scale,
+        points=points,
+        cache_hits=hits,
+        cache_misses=len(points) - hits,
+    )

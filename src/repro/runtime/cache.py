@@ -72,6 +72,7 @@ def result_key(
     solver_tol: float,
     kind: str = "analytical",
     seed: int | None = None,
+    network: dict | None = None,
     code_version: str = CODE_VERSION,
 ) -> str:
     """Return the content hash of one sweep point.
@@ -81,14 +82,22 @@ def result_key(
     params_dict:
         Effective model parameters (from
         :func:`repro.runtime.spec.parameters_to_dict`) *including* the swept
-        arrival rate.
+        arrival rate.  For network points these are the *base-cell*
+        parameters; per-cell deviations enter through ``network``.
     solver, solver_tol:
         Steady-state solver settings.
     kind:
-        Computation kind, ``"analytical"`` for CTMC solves; simulation-backed
-        runs use a different kind so the two never collide.
+        Computation kind, ``"analytical"`` for single-cell CTMC solves and
+        ``"network"`` for joint multi-cell solves; simulation-backed runs use
+        a different kind so no two ever collide.
     seed:
         Per-point seed for stochastic kinds (``None`` for analytical solves).
+    network:
+        Topology digest for network points: the full
+        :meth:`~repro.network.topology.CellTopology.to_dict` rendering
+        (routing matrix and per-cell overrides), so networks that differ in
+        any edge weight or override cache separately -- and never share
+        entries with single-cell runs (``None``).
     code_version:
         Version tag; defaults to :data:`CODE_VERSION`.
     """
@@ -98,6 +107,7 @@ def result_key(
         "solver": solver,
         "solver_tol": solver_tol,
         "seed": seed,
+        "network": network,
         "parameters": params_dict,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

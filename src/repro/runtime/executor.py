@@ -163,9 +163,7 @@ def _solve_chunk_points(
             results.append(model.solve().measures.as_dict())
         return results, None
 
-    from repro.core.state_space import GprsStateSpace
-    from repro.core.structured_solver import StructuredSolveContext
-    from repro.core.template import GeneratorTemplate
+    from repro.core.model import build_solver_scaffold
 
     space = template = context = None
     if shared is not None:
@@ -177,20 +175,7 @@ def _solve_chunk_points(
     for point in point_dicts:
         params = parameters_from_dict(point)
         if space is None:
-            space = GprsStateSpace(
-                gsm_channels=params.gsm_channels,
-                buffer_size=params.buffer_size,
-                max_sessions=params.max_gprs_sessions,
-            )
-            template = GeneratorTemplate.build(params, space)
-            # The structured-solver scaffolding only pays off when the model
-            # will actually resolve to the structured solver; generic/direct
-            # solves would ignore it.
-            if solver == "structured" or (
-                solver == "auto"
-                and space.size > GprsMarkovModel._STRUCTURED_THRESHOLD
-            ):
-                context = StructuredSolveContext.build(params, space)
+            space, template, context = build_solver_scaffold(params, solver)
         model = GprsMarkovModel(
             params,
             solver_method=solver,
@@ -406,6 +391,12 @@ def run_sweep(
     warm, chunk_size:
         Sweep-aware incremental solving knobs (see :class:`ExecutionOptions`);
         ``None`` takes the ambient values.
+
+    Network scenarios (a topology attached to the spec) run through
+    :func:`repro.network.sweep.network_sweep_payloads` instead: each point is
+    a joint multi-cell solve, ``jobs`` parallelises the cells within a point,
+    and the returned values are the network-mean measures (use
+    :func:`repro.network.sweep.run_network_sweep` for per-cell detail).
     """
     from repro.experiments.scale import ExperimentScale
 
@@ -417,16 +408,35 @@ def run_sweep(
     effective_chunk = options.chunk_size if chunk_size is None else chunk_size
 
     rates = spec.sweep_rates(scale)
-    params = spec.parameters(scale)
-    solved = sweep_measure_dicts(
-        params,
-        rates,
-        solver=spec.solver,
-        jobs=effective_jobs,
-        cache=effective_cache,
-        warm=effective_warm,
-        chunk_size=effective_chunk,
-    )
+    if spec.network is not None:
+        from repro.network.sweep import network_sweep_payloads
+
+        if chunk_size is not None:
+            # Network sweeps have no point-chunking (cells parallelise within
+            # a point); rejecting the knob beats silently ignoring it.
+            raise ValueError(
+                "chunk_size applies only to single-cell scenarios; network "
+                "sweeps parallelise across cells within each point"
+            )
+        payloads = network_sweep_payloads(
+            spec,
+            scale,
+            jobs=effective_jobs,
+            cache=effective_cache,
+            warm=effective_warm,
+        )
+        solved = [(payload["aggregates"], hit) for payload, hit in payloads]
+    else:
+        params = spec.parameters(scale)
+        solved = sweep_measure_dicts(
+            params,
+            rates,
+            solver=spec.solver,
+            jobs=effective_jobs,
+            cache=effective_cache,
+            warm=effective_warm,
+            chunk_size=effective_chunk,
+        )
     points = tuple(
         SweepPoint(
             index=index,

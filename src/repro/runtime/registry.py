@@ -11,10 +11,17 @@ renderings with every legend entry remain in
 The extension scenarios (tag ``"extension"``) open workloads the paper never
 measured: heavily loaded GPRS cells, degraded radio links, bursty sources,
 buffer dimensioning, dense cells, voice-only protection and uncontrolled TCP.
+
+The network scenarios (tag ``"network"``, a
+:class:`~repro.network.topology.CellTopology` attached to the spec) sweep a
+whole multi-cell topology through :class:`~repro.network.model.NetworkModel`:
+the homogeneous seven-cell validation anchor, a hotspot cluster, a cluster
+with degraded-radio cells and a sixteen-cell ring.
 """
 
 from __future__ import annotations
 
+from repro.network.topology import hexagonal_cluster, hotspot, ring
 from repro.runtime.spec import ScenarioSpec
 
 __all__ = ["SCENARIOS", "list_scenarios", "register", "scenario"]
@@ -41,12 +48,25 @@ def scenario(name: str) -> ScenarioSpec:
         ) from exc
 
 
-def list_scenarios(tag: str | None = None) -> tuple[ScenarioSpec, ...]:
-    """Return all scenarios (optionally filtered by tag), sorted by name."""
+def list_scenarios(
+    tag: str | None = None, *, kind: str | None = None
+) -> tuple[ScenarioSpec, ...]:
+    """Return all scenarios, sorted by name, optionally filtered.
+
+    ``tag`` keeps scenarios carrying that tag; ``kind`` distinguishes
+    single-cell workloads (``"cell"``) from multi-cell ones (``"network"``,
+    i.e. specs with a topology attached).
+    """
+    if kind not in (None, "cell", "network"):
+        raise ValueError(f"unknown scenario kind {kind!r}; use 'cell' or 'network'")
     specs = (
         spec
         for spec in SCENARIOS.values()
-        if tag is None or tag in spec.tags
+        if (tag is None or tag in spec.tags)
+        and (
+            kind is None
+            or (spec.network is not None) == (kind == "network")
+        )
     )
     return tuple(sorted(specs, key=lambda spec: spec.name))
 
@@ -260,4 +280,74 @@ register(ScenarioSpec(
         "offered_packet_rate",
     ),
     tags=("extension",),
+))
+
+
+# ---------------------------------------------------------------------- #
+# Network scenarios: whole topologies solved by the multi-cell fixed point
+# ---------------------------------------------------------------------- #
+register(ScenarioSpec(
+    name="homogeneous-7",
+    description="Validation anchor: uniform 7-cell wrap-around cluster "
+    "(must reproduce the single-cell fixed point)",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=(
+        "carried_data_traffic",
+        "voice_blocking_probability",
+        "throughput_per_user_kbit_s",
+    ),
+    tags=("network", "extension"),
+    network=hexagonal_cluster(7),
+))
+
+register(ScenarioSpec(
+    name="hotspot-cluster",
+    description="Hot mid cell at 2.5x arrivals: neighbours absorb the "
+    "handover overflow",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=(
+        "voice_blocking_probability",
+        "gprs_blocking_probability",
+        "packet_loss_probability",
+    ),
+    tags=("network", "extension"),
+    network=hotspot(7, hot_cell=0, arrival_multiplier=2.5),
+))
+
+register(ScenarioSpec(
+    name="heterogeneous-radio",
+    description="7-cell cluster with two CS-1 cells at 10% block errors "
+    "amid CS-2 neighbours",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=(
+        "packet_loss_probability",
+        "queueing_delay",
+        "throughput_per_user_kbit_s",
+    ),
+    tags=("network", "extension"),
+    network=hexagonal_cluster(7, overrides={
+        3: {"coding_scheme": "CS-1", "block_error_rate": 0.10},
+        4: {"coding_scheme": "CS-1", "block_error_rate": 0.10},
+    }),
+))
+
+register(ScenarioSpec(
+    name="ring-16",
+    description="16-cell ring: larger-scale homogeneous network sweep",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=(
+        "carried_data_traffic",
+        "voice_blocking_probability",
+        "throughput_per_user_kbit_s",
+    ),
+    tags=("network", "extension"),
+    network=ring(16),
 ))

@@ -26,6 +26,7 @@ from repro.traffic.session import PacketSessionModel
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep runtime below experiments
     from repro.experiments.scale import ExperimentScale
+    from repro.network.topology import CellTopology
 
 __all__ = [
     "DEFAULT_METRICS",
@@ -93,7 +94,14 @@ class ScenarioSpec:
         by simulation-backed runs; recorded for analytical runs so that cache
         entries stay stable if a scenario later gains a simulation stage).
     tags:
-        Free-form labels; the registry uses ``"paper"`` and ``"extension"``.
+        Free-form labels; the registry uses ``"paper"``, ``"extension"`` and
+        ``"network"``.
+    network:
+        Optional :class:`~repro.network.topology.CellTopology`.  When set the
+        scenario describes a whole multi-cell network: every sweep point is a
+        joint :class:`~repro.network.model.NetworkModel` solve (the scenario's
+        cell configuration becomes the *base* cell, per-cell overrides live
+        in the topology) instead of a single-cell solve.
     """
 
     name: str
@@ -113,6 +121,7 @@ class ScenarioSpec:
     metrics: tuple[str, ...] = DEFAULT_METRICS
     seed: int = 20020527
     tags: tuple[str, ...] = ()
+    network: "CellTopology | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -129,6 +138,11 @@ class ScenarioSpec:
             raise ValueError("arrival_rates must be None or non-empty")
         if not self.metrics:
             raise ValueError("at least one metric is required")
+        if self.network is not None:
+            from repro.network.topology import CellTopology
+
+            if not isinstance(self.network, CellTopology):
+                raise ValueError("network must be a CellTopology (or None)")
 
     # ------------------------------------------------------------------ #
     # Serialisation
@@ -155,6 +169,7 @@ class ScenarioSpec:
             "metrics": list(self.metrics),
             "seed": self.seed,
             "tags": list(self.tags),
+            "network": None if self.network is None else self.network.to_dict(),
         }
 
     @classmethod
@@ -173,6 +188,12 @@ class ScenarioSpec:
             values["tags"] = tuple(values["tags"])
         if "traffic_overrides" in values:
             values["traffic_overrides"] = dict(values["traffic_overrides"])
+        if values.get("network") is not None and not hasattr(
+            values["network"], "to_dict"
+        ):
+            from repro.network.topology import CellTopology
+
+            values["network"] = CellTopology.from_dict(values["network"])
         return cls(**values)
 
     def replace(self, **overrides) -> "ScenarioSpec":

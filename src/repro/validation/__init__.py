@@ -12,6 +12,9 @@ reusable, testable checks:
 * :mod:`repro.validation.shapes` -- assertions about curve *shapes*:
   monotonicity, dominance/ordering of curves, crossover points, saturation --
   the properties EXPERIMENTS.md records for every reproduced figure.
+* :mod:`repro.validation.network` -- the homogeneity anchor of the
+  multi-cell layer: a uniform wrap-around network must reproduce the paper's
+  single-cell fixed point in every cell.
 """
 
 from repro.validation.comparison import (
@@ -21,6 +24,7 @@ from repro.validation.comparison import (
     compare_model_with_simulation,
     compare_series,
 )
+from repro.validation.network import HomogeneityCheck, check_network_homogeneity
 from repro.validation.shapes import (
     crossover_points,
     curves_are_ordered,
@@ -32,6 +36,8 @@ from repro.validation.shapes import (
 
 __all__ = [
     "CurveComparison",
+    "HomogeneityCheck",
+    "check_network_homogeneity",
     "PointComparison",
     "ValidationReport",
     "compare_model_with_simulation",

@@ -1,0 +1,101 @@
+"""Network-level validation: the homogeneity anchor.
+
+The multi-cell model of :mod:`repro.network` must collapse onto the paper's
+single-cell model whenever its premises collapse onto the paper's: a uniform
+network (no per-cell overrides) on doubly stochastic routing satisfies the
+homogeneity assumption of Eqs. (4)-(5) in every cell, so every cell's
+balanced handover rates and performance measures must match a plain
+:class:`~repro.core.model.GprsMarkovModel` solve.  This check quantifies that
+agreement; the test suite and the network CI smoke job assert it to 1e-8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.network.model import NetworkModel
+from repro.network.topology import CellTopology, hexagonal_cluster
+
+__all__ = ["HomogeneityCheck", "check_network_homogeneity"]
+
+
+@dataclass(frozen=True)
+class HomogeneityCheck:
+    """Worst-case deviation of a uniform network from the single-cell model."""
+
+    cells: int
+    tolerance: float
+    worst_rate_error: float
+    worst_measure_error: float
+    worst_measure: str
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.worst_rate_error <= self.tolerance
+            and self.worst_measure_error <= self.tolerance
+        )
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"homogeneity anchor ({self.cells} cells): {status} -- "
+            f"worst handover-rate error {self.worst_rate_error:.2e}, worst "
+            f"measure error {self.worst_measure_error:.2e} "
+            f"({self.worst_measure}) vs. tolerance {self.tolerance:.0e}"
+        )
+
+
+def check_network_homogeneity(
+    params: GprsModelParameters,
+    *,
+    topology: CellTopology | None = None,
+    tolerance: float = 1e-8,
+    solver_method: str = "auto",
+    jobs: int = 1,
+) -> HomogeneityCheck:
+    """Compare a uniform network against the paper's single-cell fixed point.
+
+    ``topology`` defaults to the seven-cell wrap-around cluster; it must be
+    homogeneous (no overrides) and doubly stochastic, otherwise the anchor
+    premise does not hold and a ``ValueError`` is raised.
+    """
+    topology = topology if topology is not None else hexagonal_cluster(7)
+    if not topology.is_homogeneous():
+        raise ValueError("the homogeneity anchor needs a topology without overrides")
+    if not topology.is_doubly_stochastic():
+        raise ValueError(
+            "the homogeneity anchor needs doubly stochastic routing "
+            "(wrap-around cluster, ring or torus grid)"
+        )
+
+    single = GprsMarkovModel(params, solver_method=solver_method).solve()
+    network = NetworkModel(
+        topology, params, solver_method=solver_method, jobs=jobs
+    ).solve()
+
+    reference = single.measures.as_dict()
+    worst_rate = 0.0
+    worst_measure = 0.0
+    worst_key = "none"
+    for cell in network.cells:
+        worst_rate = max(
+            worst_rate,
+            abs(cell.gsm_incoming_rate - single.handover.gsm_handover_arrival_rate),
+            abs(cell.gprs_incoming_rate - single.handover.gprs_handover_arrival_rate),
+        )
+        values = cell.measures.as_dict()
+        for key, value in reference.items():
+            error = abs(values[key] - value)
+            if error > worst_measure:
+                worst_measure = error
+                worst_key = key
+    return HomogeneityCheck(
+        cells=topology.number_of_cells,
+        tolerance=tolerance,
+        worst_rate_error=worst_rate,
+        worst_measure_error=worst_measure,
+        worst_measure=worst_key,
+    )

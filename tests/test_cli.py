@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -35,6 +37,21 @@ class TestParser:
         args = build_parser().parse_args(["run", "figure12", "--jobs", "2", "--no-cache"])
         assert args.jobs == 2
         assert args.no_cache is True
+
+    def test_list_command_kind_filter(self):
+        args = build_parser().parse_args(["list", "--kind", "network"])
+        assert args.kind == "network"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "--kind", "bogus"])
+
+    def test_network_command_arguments(self):
+        args = build_parser().parse_args(
+            ["network", "hotspot-cluster", "--preset", "smoke", "--jobs", "3", "--json"]
+        )
+        assert args.command == "network"
+        assert args.scenario == "hotspot-cluster"
+        assert args.jobs == 3
+        assert args.json is True
 
 
 class TestCommands:
@@ -83,6 +100,51 @@ class TestCommands:
     def test_sweep_unknown_scenario_fails(self, capsys):
         assert main(["sweep", "no-such-scenario", "--no-cache"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_list_kind_network_prints_only_network_scenarios(self, capsys):
+        assert main(["list", "--kind", "network"]) == 0
+        output = capsys.readouterr().out
+        assert "hotspot-cluster" in output
+        assert "ring-16" in output
+        assert "table2" not in output
+        assert "heavy-gprs" not in output
+
+    def test_network_command_per_cell_report(self, capsys):
+        assert main(["network", "homogeneous-7", "--preset", "smoke", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "homogeneous-7" in output
+        assert "cells=7" in output
+        assert "outer iterations" in output
+        assert "mean" in output
+
+    def test_network_command_json_output(self, capsys, tmp_path):
+        exit_code = main([
+            "network", "hotspot-cluster", "--preset", "smoke", "--jobs", "2",
+            "--cache-dir", str(tmp_path), "--json",
+        ])
+        assert exit_code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"]["name"] == "hotspot-cluster"
+        assert len(data["points"][0]["cells"]) == 7
+        assert data["points"][0]["converged"] is True
+
+    def test_network_command_rejects_single_cell_scenarios(self, capsys):
+        assert main(["network", "figure12", "--no-cache"]) == 2
+        assert "single-cell" in capsys.readouterr().err
+
+    def test_sweep_rejects_chunk_size_for_network_scenarios(self, capsys):
+        exit_code = main([
+            "sweep", "homogeneous-7", "--preset", "smoke", "--no-cache",
+            "--chunk-size", "4",
+        ])
+        assert exit_code == 2
+        assert "single-cell" in capsys.readouterr().err
+
+    def test_sweep_accepts_network_scenarios(self, capsys):
+        assert main(["sweep", "homogeneous-7", "--preset", "smoke", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "homogeneous-7" in output
+        assert "voice_blocking_probability" in output
 
     def test_sweep_cold_flag_matches_warm_default(self, capsys):
         """--cold (A/B knob) must produce the same report shape and values

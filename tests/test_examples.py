@@ -62,6 +62,14 @@ def test_adaptive_allocation_example_exists():
     compile(source, "adaptive_allocation.py", "exec")
 
 
+def test_network_hotspot_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "network_hotspot.py", ["0.4", "2.0"])
+    assert "homogeneity anchor" in output
+    assert "PASS" in output
+    assert "hotspot cluster" in output
+    assert "overflow absorbed" in output
+
+
 def test_link_quality_and_arq_example(monkeypatch, capsys):
     output = run_example(monkeypatch, capsys, "link_quality_and_arq.py", ["0.4"])
     assert "Link level" in output

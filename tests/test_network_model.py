@@ -1,0 +1,243 @@
+"""Tests of the multi-cell network model: anchor, hotspot, warm starts."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.handover import HandoverBalance, balance_handover_rates
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.network import (
+    NetworkModel,
+    hexagonal_cluster,
+    hotspot,
+    network_erlang_rates,
+    ring,
+)
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def _params(rate: float = 0.5) -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, rate, buffer_size=6, max_gprs_sessions=3
+    )
+
+
+class TestHomogeneityAnchor:
+    """A uniform wrap-around network must reproduce the single-cell model."""
+
+    def test_erlang_prepass_matches_single_cell_balance(self):
+        params = _params(0.7)
+        reference = balance_handover_rates(params)
+        gsm_in, gprs_in, _, converged = network_erlang_rates(
+            hexagonal_cluster(7), [params] * 7
+        )
+        assert converged
+        assert np.all(np.abs(gsm_in - reference.gsm_handover_arrival_rate) <= 1e-8)
+        assert np.all(np.abs(gprs_in - reference.gprs_handover_arrival_rate) <= 1e-8)
+
+    @pytest.mark.parametrize("topology_factory", [hexagonal_cluster, ring])
+    def test_uniform_network_reproduces_single_cell_rates(self, topology_factory):
+        params = _params()
+        reference = balance_handover_rates(params)
+        result = NetworkModel(topology_factory(7), params).solve()
+        assert result.converged
+        for cell in result.cells:
+            assert cell.gsm_incoming_rate == pytest.approx(
+                reference.gsm_handover_arrival_rate, abs=1e-8
+            )
+            assert cell.gprs_incoming_rate == pytest.approx(
+                reference.gprs_handover_arrival_rate, abs=1e-8
+            )
+
+    def test_uniform_network_reproduces_single_cell_measures(self):
+        params = _params()
+        single = GprsMarkovModel(params).solve().measures.as_dict()
+        result = NetworkModel(hexagonal_cluster(7), params).solve()
+        for cell in result.cells:
+            values = cell.measures.as_dict()
+            for key, reference in single.items():
+                assert values[key] == pytest.approx(reference, abs=1e-8), key
+        # Aggregates of a uniform network equal the per-cell values.
+        for key, reference in single.items():
+            assert result.aggregates[key] == pytest.approx(reference, abs=1e-8)
+
+    def test_homogeneity_check_helper_passes_at_1e8(self):
+        from repro.validation.network import check_network_homogeneity
+
+        check = check_network_homogeneity(_params(), tolerance=1e-8)
+        assert check.passed, check.summary()
+        assert "PASS" in check.summary()
+
+    def test_homogeneity_check_rejects_heterogeneous_topologies(self):
+        from repro.network import grid, hotspot
+        from repro.validation.network import check_network_homogeneity
+
+        with pytest.raises(ValueError, match="without overrides"):
+            check_network_homogeneity(
+                _params(), topology=hotspot(3, arrival_multiplier=2.0)
+            )
+        with pytest.raises(ValueError, match="doubly stochastic"):
+            check_network_homogeneity(_params(), topology=grid(2, 3, wrap=False))
+
+    def test_single_cell_wraparound_topology_is_the_paper_model(self):
+        params = _params(0.3)
+        single = GprsMarkovModel(params).solve()
+        result = NetworkModel(hexagonal_cluster(1), params).solve()
+        assert result.cells[0].gsm_incoming_rate == pytest.approx(
+            single.handover.gsm_handover_arrival_rate, abs=1e-8
+        )
+
+
+class TestWarmStartAccounting:
+    """The counters track solves whose solver actually consumed a seed, so
+    the structured solver is forced (GTH/direct at these sizes would ignore
+    the seeds and honestly count every solve as cold)."""
+
+    def test_only_the_first_outer_iteration_is_cold(self):
+        result = NetworkModel(
+            hexagonal_cluster(5), _params(), solver_method="structured"
+        ).solve()
+        assert result.outer_iterations >= 2
+        assert result.solver_calls == 5 * result.outer_iterations
+        assert result.cold_solves == 5
+        assert result.warm_solves == result.solver_calls - 5
+        assert result.warm_solves >= 5
+
+    def test_seed_ignoring_direct_solver_counts_as_cold(self):
+        """At this scale 'auto' resolves to a direct solver: honest counters."""
+        result = NetworkModel(hexagonal_cluster(3), _params()).solve()
+        assert result.cold_solves == result.solver_calls
+
+    def test_initial_distributions_make_even_the_first_iteration_warm(self):
+        params = _params()
+        first = NetworkModel(
+            hexagonal_cluster(3), params, solver_method="structured"
+        ).solve()
+        second = NetworkModel(
+            hexagonal_cluster(3),
+            params.with_arrival_rate(0.55),
+            solver_method="structured",
+            initial_rates=first.incoming_rates(),
+            initial_distributions=first.distributions,
+        ).solve()
+        assert second.cold_solves == 0
+
+    def test_wrong_number_of_initial_distributions_raises(self):
+        with pytest.raises(ValueError, match="one vector per cell"):
+            NetworkModel(
+                hexagonal_cluster(3),
+                _params(),
+                initial_distributions=(np.ones(4),),
+            )
+
+
+class TestParallelExecution:
+    def test_parallel_cells_bitwise_identical_to_serial(self):
+        params = _params()
+        topology = hotspot(5, arrival_multiplier=2.0)
+        serial = NetworkModel(topology, params, jobs=1).solve()
+        parallel = NetworkModel(topology, params, jobs=3).solve()
+        assert serial.converged and parallel.converged
+        for left, right in zip(serial.cells, parallel.cells):
+            assert left.measures == right.measures
+            assert left.gsm_incoming_rate == right.gsm_incoming_rate
+            assert left.gprs_incoming_rate == right.gprs_incoming_rate
+        assert serial.convergence_trace == parallel.convergence_trace
+
+
+class TestHotspot:
+    def test_hot_cell_blocks_more_than_its_neighbours(self):
+        result = NetworkModel(
+            hotspot(7, arrival_multiplier=2.5), _params()
+        ).solve()
+        hot = result.cells[0].measures
+        for neighbour in result.cells[1:]:
+            assert (
+                hot.voice_blocking_probability
+                > neighbour.measures.voice_blocking_probability
+            )
+            assert (
+                hot.gprs_blocking_probability
+                > neighbour.measures.gprs_blocking_probability
+            )
+
+    def test_neighbours_absorb_overflow_monotonically(self):
+        """A hotter hot cell pushes monotonically more handover flow outward."""
+        params = _params()
+        neighbour_gsm_in = []
+        neighbour_blocking = []
+        for multiplier in (1.0, 1.5, 2.0, 2.5):
+            result = NetworkModel(
+                hotspot(7, arrival_multiplier=multiplier), params
+            ).solve()
+            neighbour_gsm_in.append(result.cells[1].gsm_incoming_rate)
+            neighbour_blocking.append(
+                result.cells[1].measures.voice_blocking_probability
+            )
+        assert all(
+            later > earlier
+            for earlier, later in zip(neighbour_gsm_in, neighbour_gsm_in[1:])
+        )
+        assert all(
+            later > earlier
+            for earlier, later in zip(neighbour_blocking, neighbour_blocking[1:])
+        )
+
+
+class TestHeterogeneousRadio:
+    def test_degraded_cells_lose_more_packets(self):
+        topology = hexagonal_cluster(
+            5, overrides={2: {"coding_scheme": "CS-1", "block_error_rate": 0.2}}
+        )
+        result = NetworkModel(topology, _params()).solve()
+        degraded = result.cells[2].measures
+        healthy = result.cells[0].measures
+        assert degraded.packet_loss_probability > healthy.packet_loss_probability
+        assert (
+            degraded.throughput_per_user_kbit_s < healthy.throughput_per_user_kbit_s
+        )
+
+
+class TestNetworkResult:
+    def test_as_dict_is_json_serialisable(self):
+        result = NetworkModel(ring(3), _params(0.3)).solve()
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert len(payload["cells"]) == 3
+        assert payload["outer_iterations"] == result.outer_iterations
+        assert payload["aggregates"]["carried_data_traffic"] == pytest.approx(
+            result.aggregate("carried_data_traffic")
+        )
+
+    def test_series_total_and_aggregate(self):
+        result = NetworkModel(ring(4), _params(0.3)).solve()
+        series = result.series("carried_data_traffic")
+        assert len(series) == 4
+        assert result.total("carried_data_traffic") == pytest.approx(sum(series))
+        assert result.aggregate("carried_data_traffic") == pytest.approx(
+            sum(series) / 4
+        )
+
+
+class TestPinnedHandover:
+    def test_pinned_balance_skips_the_fixed_point(self):
+        params = _params(0.4)
+        pinned = HandoverBalance.pinned(0.123, 0.045)
+        model = GprsMarkovModel(params, fixed_handover_balance=pinned)
+        assert model.handover_balance is pinned
+        assert model.handover_balance.gsm_iterations == 0
+
+    def test_pinned_rejects_negative_rates(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            HandoverBalance.pinned(-0.1, 0.0)
+
+    def test_pinned_and_seed_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="pins the rates"):
+            GprsMarkovModel(
+                _params(),
+                fixed_handover_balance=HandoverBalance.pinned(0.1, 0.1),
+                initial_handover_rates=(0.1, 0.1),
+            )

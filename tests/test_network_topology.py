@@ -1,0 +1,167 @@
+"""Tests of cell topologies: routing validity, constructors, serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import GprsModelParameters
+from repro.network import (
+    CellTopology,
+    grid,
+    hexagonal_cluster,
+    hotspot,
+    ring,
+)
+from repro.traffic.presets import TRAFFIC_MODEL_3
+
+
+def _base(rate: float = 0.4) -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, rate, buffer_size=5, max_gprs_sessions=3
+    )
+
+
+class TestValidation:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            CellTopology(name="bad", routing=((0.0, 0.4), (1.0, 0.0)))
+
+    def test_probabilities_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CellTopology(name="bad", routing=((0.0, 1.5, -0.5),) * 3)
+
+    def test_matrix_must_be_square(self):
+        with pytest.raises(ValueError, match="square"):
+            CellTopology(name="bad", routing=((0.5, 0.5),))
+
+    def test_self_loops_rejected_beyond_single_cell(self):
+        with pytest.raises(ValueError, match="self"):
+            CellTopology(name="bad", routing=((0.5, 0.5), (1.0, 0.0)))
+
+    def test_single_cell_self_loop_is_the_homogeneity_assumption(self):
+        topology = CellTopology(name="solo", routing=((1.0,),))
+        assert topology.number_of_cells == 1
+        assert topology.is_doubly_stochastic()
+
+    def test_unknown_override_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell override"):
+            hexagonal_cluster(3, overrides={0: {"no_such_field": 1.0}})
+
+    def test_override_cell_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            hexagonal_cluster(3, overrides={5: {"reserved_pdch": 2}})
+
+
+class TestConstructors:
+    def test_seven_cell_cluster_is_fully_wrapped(self):
+        """With wrap-around every cell of the 7-cell cluster borders the six others."""
+        topology = hexagonal_cluster(7)
+        for cell in range(7):
+            assert topology.neighbours(cell) == tuple(
+                c for c in range(7) if c != cell
+            )
+        assert topology.is_doubly_stochastic()
+        assert topology.is_homogeneous()
+
+    def test_ring_has_two_neighbours_each(self):
+        topology = ring(6)
+        assert topology.neighbours(0) == (1, 5)
+        assert topology.neighbours(3) == (2, 4)
+        assert topology.is_doubly_stochastic()
+
+    def test_wrapped_grid_is_doubly_stochastic(self):
+        topology = grid(3, 4, wrap=True)
+        assert topology.number_of_cells == 12
+        assert topology.is_doubly_stochastic()
+
+    def test_open_grid_is_not_doubly_stochastic(self):
+        topology = grid(2, 3, wrap=False)
+        assert not topology.is_doubly_stochastic()
+        # Rows still are stochastic -- flow stays inside the lattice.
+        assert np.allclose(topology.routing_matrix().sum(axis=1), 1.0)
+
+    def test_hotspot_sets_arrival_multiplier(self):
+        topology = hotspot(7, hot_cell=2, arrival_multiplier=3.0)
+        assert topology.overrides[2]["arrival_rate_multiplier"] == 3.0
+        assert not topology.is_homogeneous()
+
+    def test_hotspot_merges_extra_overrides(self):
+        topology = hotspot(
+            5,
+            hot_cell=0,
+            arrival_multiplier=2.0,
+            extra_overrides={0: {"reserved_pdch": 4}, 1: {"block_error_rate": 0.1}},
+        )
+        assert topology.overrides[0] == {
+            "reserved_pdch": 4,
+            "arrival_rate_multiplier": 2.0,
+        }
+        assert topology.overrides[1] == {"block_error_rate": 0.1}
+
+
+class TestCellParameters:
+    def test_overrides_replace_fields(self):
+        topology = hexagonal_cluster(
+            3, overrides={1: {"coding_scheme": "CS-1", "block_error_rate": 0.1}}
+        )
+        base = _base()
+        assert topology.cell_parameters(0, base) == base
+        degraded = topology.cell_parameters(1, base)
+        assert degraded.coding_scheme == "CS-1"
+        assert degraded.block_error_rate == 0.1
+        assert degraded.total_call_arrival_rate == base.total_call_arrival_rate
+
+    def test_arrival_multiplier_composes_with_the_sweep(self):
+        topology = hotspot(3, hot_cell=0, arrival_multiplier=2.5)
+        for rate in (0.2, 0.8):
+            hot = topology.cell_parameters(0, _base(rate))
+            assert hot.total_call_arrival_rate == pytest.approx(2.5 * rate)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        topology = hotspot(
+            7, hot_cell=1, arrival_multiplier=1.5,
+            extra_overrides={3: {"coding_scheme": "CS-3"}},
+        )
+        rebuilt = CellTopology.from_dict(topology.to_dict())
+        assert rebuilt == topology
+
+    def test_round_trip_through_json(self):
+        """JSON stringifies integer keys; from_dict must restore them."""
+        topology = hexagonal_cluster(4, overrides={2: {"reserved_pdch": 3}})
+        rebuilt = CellTopology.from_dict(json.loads(json.dumps(topology.to_dict())))
+        assert rebuilt == topology
+        assert rebuilt.overrides[2] == {"reserved_pdch": 3}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology field"):
+            CellTopology.from_dict({"name": "x", "routing": [[1.0]], "bogus": 1})
+
+    def test_overrides_are_read_only(self):
+        """Registered topologies are digest-addressed singletons: no mutation."""
+        topology = hotspot(7, hot_cell=0, arrival_multiplier=2.0)
+        with pytest.raises(TypeError):
+            topology.overrides[0]["arrival_rate_multiplier"] = 5.0
+        with pytest.raises(TypeError):
+            topology.overrides[1] = {"reserved_pdch": 3}
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        topology = hotspot(5, hot_cell=1, arrival_multiplier=1.5)
+        rebuilt = pickle.loads(pickle.dumps(topology))
+        assert rebuilt == topology
+        assert rebuilt.digest() == topology.digest()
+
+    def test_digest_tracks_content(self):
+        uniform = hexagonal_cluster(7)
+        assert uniform.digest() == hexagonal_cluster(7).digest()
+        assert uniform.digest() != ring(7).digest()
+        assert (
+            uniform.digest()
+            != hexagonal_cluster(7, overrides={0: {"reserved_pdch": 3}}).digest()
+        )
