@@ -1,0 +1,124 @@
+"""Benchmarks of the transient layer (template reuse vs. cold rebuilds).
+
+A schedule whose segments differ only in their arrival multipliers shares one
+:class:`~repro.core.template.GeneratorTemplate`: the chain is enumerated once
+and each segment only rewrites the three arrival scalars in the frozen CSR
+``data`` array.  ``share_templates=False`` re-enumerates per segment -- the
+cold A/B arm.  Because templates are bitwise-faithful, both arms produce the
+identical trajectory, so the comparison is pure construction cost.
+
+* ``test_transient_template_reuse_speedup`` -- at default-preset sizes
+  (26k states) a many-segment schedule must be measurably faster with a
+  shared template, and bitwise-identical to the cold arm.
+* ``test_transient_template_reuse_smoke`` -- the CI smoke check: template
+  accounting (one build, the rest rewrites), an early-stopped segment, and
+  bitwise equality of the two arms at smoke size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments.scale import ExperimentScale
+from repro.runtime import scenario
+from repro.transient import (
+    RateSchedule,
+    ScheduleSegment,
+    TransientModel,
+    WorkloadProfile,
+    flash_crowd,
+)
+
+
+def _many_segment_profile(segments: int) -> WorkloadProfile:
+    """A staircase of distinct multipliers with near-zero propagation cost.
+
+    Segment durations are tiny on purpose: the benchmark isolates generator
+    *construction* (enumeration vs. data rewrite), which is what the shared
+    template changes; propagation work is identical in both arms.
+    """
+    return WorkloadProfile(
+        schedule=RateSchedule(
+            name="staircase",
+            segments=tuple(
+                ScheduleSegment(
+                    duration_s=0.01,
+                    arrival_rate_multiplier=1.0 + 0.02 * index,
+                )
+                for index in range(segments)
+            ),
+        ),
+        times=(0.01 * segments,),
+        initial="empty",
+    )
+
+
+def test_transient_template_reuse_speedup():
+    """Shared templates must beat per-segment cold rebuilds on wall clock.
+
+    Both arms are timed twice, interleaved, and compared on their best runs
+    so a load spike on a shared CI runner cannot fail the assertion by
+    hitting only one side.
+    """
+    params = scenario("figure12").parameters(
+        ExperimentScale.default()
+    ).with_arrival_rate(0.5)
+    profile = _many_segment_profile(32)
+
+    cold_seconds, warm_seconds = [], []
+    cold = warm = None
+    for _ in range(2):
+        start = time.perf_counter()
+        cold = TransientModel(profile, params, share_templates=False).solve()
+        cold_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        warm = TransientModel(profile, params).solve()
+        warm_seconds.append(time.perf_counter() - start)
+
+    speedup = min(cold_seconds) / min(warm_seconds)
+    print()
+    print(
+        f"32-segment staircase, {params.state_space_size} states: "
+        f"cold rebuilds {min(cold_seconds):.2f}s ({cold.templates_built} "
+        f"enumerations), shared template {min(warm_seconds):.2f}s "
+        f"({warm.templates_built} enumeration), speedup {speedup:.2f}x"
+    )
+    assert warm.templates_built == 1
+    assert cold.templates_built == 32
+    assert warm.matvecs == cold.matvecs
+    assert np.array_equal(warm.final_distribution, cold.final_distribution)
+    for metric in ("packet_loss_probability", "carried_data_traffic"):
+        assert warm.series(metric) == cold.series(metric)
+    assert speedup >= 1.5
+
+
+def test_transient_template_reuse_smoke():
+    """CI smoke: template accounting and bitwise warm == cold at smoke size."""
+    params = scenario("flash-crowd").parameters(
+        ExperimentScale.smoke()
+    ).with_arrival_rate(0.4)
+    profile = flash_crowd(
+        spike_multiplier=2.5,
+        lead_duration_s=5.0,
+        spike_duration_s=5.0,
+        recovery_duration_s=10.0,
+        samples=4,
+    )
+    warm = TransientModel(profile, params).solve()
+    cold = TransientModel(profile, params, share_templates=False).solve()
+    print()
+    print(
+        f"smoke flash crowd ({params.state_space_size} states): shared "
+        f"{warm.templates_built} template for "
+        f"{profile.schedule.number_of_segments} segments vs "
+        f"{cold.templates_built} cold enumerations; {warm.matvecs} matvecs, "
+        f"{warm.early_stopped_segments} early stop(s)"
+    )
+    assert warm.templates_built == 1
+    assert cold.templates_built == profile.schedule.number_of_segments
+    assert warm.early_stopped_segments >= 1
+    assert np.array_equal(warm.final_distribution, cold.final_distribution)
+    for metric in warm.points[0].values:
+        assert warm.series(metric) == cold.series(metric)

@@ -9,18 +9,22 @@ Usage (installed as ``gprs-repro`` or via ``python -m repro``)::
     gprs-repro sweep heavy-gprs --jobs 4 # parallel scenario sweep (cached)
     gprs-repro sweep figure12 --preset paper --json
     gprs-repro network hotspot-cluster --jobs 4   # per-cell network sweep
+    gprs-repro transient busy-hour-ramp --rate 0.5  # QoS trajectory over time
     gprs-repro solve --arrival-rate 0.5 --gprs-fraction 0.05 --reserved-pdch 2
     gprs-repro simulate --arrival-rate 0.5 --time 5000
 
 ``run`` reproduces a table or figure of the paper, ``sweep`` executes a
 registered runtime scenario through the parallel, cache-aware executor
-(network scenarios report network-mean measures), ``network`` sweeps a
-multi-cell scenario with per-cell detail (the analytic handover-coupled
-network model of :mod:`repro.network`), ``solve`` evaluates the analytical
-model for a single configuration and ``simulate`` runs the discrete-event
-simulator for one configuration.
+(network scenarios report network-mean measures, transient scenarios their
+time-averaged measures), ``network`` sweeps a multi-cell scenario with
+per-cell detail (the analytic handover-coupled network model of
+:mod:`repro.network`), ``transient`` solves a non-stationary scenario's
+QoS trajectory over time (:mod:`repro.transient`), ``solve`` evaluates the
+analytical model for a single configuration and ``simulate`` runs the
+discrete-event simulator for one configuration.
 
-``run`` and ``sweep`` consult a content-addressed result cache (default
+``run``, ``sweep``, ``network`` and ``transient`` consult a
+content-addressed result cache (default
 ``~/.cache/gprs-repro``; override with ``--cache-dir`` or the
 ``GPRS_REPRO_CACHE_DIR`` environment variable, disable with ``--no-cache``),
 so repeated and incremental runs skip already-solved sweep points.  Sweeps
@@ -43,10 +47,12 @@ from repro.experiments.reporting import (
     format_network_result,
     format_scenario_result,
     format_table,
+    format_transient_result,
 )
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.scale import ExperimentScale
 from repro.network.sweep import run_network_sweep
+from repro.transient.sweep import run_transient_sweep
 from repro.runtime import ResultCache, default_cache_dir, list_scenarios, run_sweep, scenario
 from repro.simulator.config import SimulationConfig, TcpConfig
 from repro.simulator.simulation import GprsNetworkSimulator
@@ -69,10 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.add_argument(
         "--kind",
-        choices=("figures", "scenarios", "network"),
+        choices=("figures", "scenarios", "network", "transient"),
         default=None,
         help="restrict the listing: paper tables/figures, single-cell "
-        "scenarios, or multi-cell network scenarios",
+        "scenarios, multi-cell network scenarios, or non-stationary "
+        "transient scenarios",
     )
 
     run_parser = subparsers.add_parser("run", help="regenerate a table or figure")
@@ -122,6 +129,36 @@ def build_parser() -> argparse.ArgumentParser:
     # Network sweeps have no point-chunking (cells parallelise within a
     # point), so the --chunk-size knob would be a silent no-op here.
     _add_runtime_arguments(network_parser, chunking=False)
+
+    transient_parser = subparsers.add_parser(
+        "transient",
+        help="solve a non-stationary scenario's QoS trajectory over time",
+    )
+    transient_parser.add_argument(
+        "scenario",
+        help="transient scenario name, e.g. busy-hour-ramp "
+        "(see 'list --kind transient')",
+    )
+    transient_parser.add_argument(
+        "--preset",
+        choices=("smoke", "default", "paper"),
+        default="default",
+        help="experiment scale applied to the base cell",
+    )
+    transient_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="solve only this base arrival rate (calls/s) instead of the "
+        "preset's whole sweep axis",
+    )
+    transient_parser.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    # Transient sweeps have no point-chunking (whole trajectories
+    # parallelise); --cold maps to per-segment template rebuilds (a pure
+    # construction-cost A/B -- trajectories are bitwise identical).
+    _add_runtime_arguments(transient_parser, chunking=False)
 
     solve_parser = subparsers.add_parser(
         "solve", help="solve the analytical model for one configuration"
@@ -231,6 +268,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"[{spec.network.name}, {cells} cells]"
                 )
             sections.append("\n".join(lines))
+        if args.kind in (None, "transient"):
+            lines = ["transient scenarios (gprs-repro transient <name>):"]
+            for spec in list_scenarios(kind="transient"):
+                profile = spec.transient
+                lines.append(
+                    f"  {spec.name:<16} {spec.description} "
+                    f"[{profile.name}, {profile.schedule.number_of_segments} "
+                    f"segments, {profile.total_duration_s:g}s]"
+                )
+            sections.append("\n".join(lines))
         print("\n\n".join(sections))
         return 0
 
@@ -291,6 +338,31 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         else:
             print(format_network_result(result))
+        return 0
+
+    if args.command == "transient":
+        try:
+            spec = scenario(args.scenario)
+            if spec.transient is None:
+                raise ValueError(
+                    f"scenario {args.scenario!r} is stationary; pick one from "
+                    "'gprs-repro list --kind transient' (or use 'sweep')"
+                )
+            result = run_transient_sweep(
+                spec,
+                ExperimentScale.from_name(args.preset),
+                jobs=args.jobs,
+                cache=_cache_from_args(args),
+                warm=not args.cold,
+                rates=None if args.rate is None else (args.rate,),
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_transient_result(result))
         return 0
 
     if args.command == "solve":

@@ -18,12 +18,14 @@ from repro.experiments.figures import FigureResult
 if TYPE_CHECKING:
     from repro.network.sweep import NetworkSweepResult
     from repro.runtime.executor import ScenarioRunResult
+    from repro.transient.sweep import TransientSweepResult
 
 __all__ = [
     "format_table",
     "format_figure_result",
     "format_network_result",
     "format_scenario_result",
+    "format_transient_result",
     "figure_result_to_csv",
 ]
 
@@ -122,10 +124,12 @@ def format_network_result(result: "NetworkSweepResult", *, precision: int = 5) -
     for point in result.points:
         payload = point.payload
         status = "converged" if payload["converged"] else "NOT converged"
+        frozen = payload.get("frozen_solves", 0)
         origin = "cache" if point.from_cache else (
             f"{payload['solver_calls']} solver call(s), "
             f"{payload['cold_solves']} cold / "
             f"{payload['solver_calls'] - payload['cold_solves']} warm"
+            + (f", {frozen} frozen" if frozen else "")
         )
         lines.append("")
         lines.append(
@@ -150,6 +154,55 @@ def format_network_result(result: "NetworkSweepResult", *, precision: int = 5) -
                 f"{aggregates['gsm_handover_arrival_rate']:.{precision}g}",
                 f"{aggregates['gprs_handover_arrival_rate']:.{precision}g}",
             ]
+        )
+        lines.extend(_format_aligned(header, rows))
+    return "\n".join(lines)
+
+
+def format_transient_result(result: "TransientSweepResult", *, precision: int = 5) -> str:
+    """Render a transient sweep: one trajectory table per base arrival rate.
+
+    Every block shows the scenario's metrics over time (one row per sample,
+    with the active schedule segment and effective load), a closing
+    ``time avg`` row, and the solve accounting (matrix-vector products,
+    template reuse, early-stopped segments).
+    """
+    spec = result.spec
+    profile = spec.transient
+    lines = [
+        f"{spec.name}: {spec.description}",
+        f"profile={profile.name}  duration={profile.total_duration_s:g}s  "
+        f"segments={profile.schedule.number_of_segments}  "
+        f"initial={profile.initial}  solver={spec.solver}  "
+        f"cache: {result.cache_hits} hit(s), {result.cache_misses} solved",
+    ]
+    header = ["time [s]", "seg", "load", *spec.metrics]
+    for point in result.points:
+        payload = point.payload
+        origin = "cache" if point.from_cache else (
+            f"{payload['matvecs']} matvec(s), "
+            f"{payload['templates_built']} template(s) built, "
+            f"{payload['early_stopped_segments']} early stop(s)"
+        )
+        lines.append("")
+        lines.append(f"[base arrival rate {point.arrival_rate:.3g}]  {origin}")
+        rows = []
+        for sample in payload["points"]:
+            rows.append(
+                [
+                    f"{sample['time_s']:.4g}",
+                    str(sample["segment"]),
+                    f"{sample['arrival_rate']:.3g}",
+                ]
+                + [
+                    f"{sample['values'][metric]:.{precision}g}"
+                    for metric in spec.metrics
+                ]
+            )
+        averages = payload["time_averages"]
+        rows.append(
+            ["time avg", "", ""]
+            + [f"{averages[metric]:.{precision}g}" for metric in spec.metrics]
         )
         lines.extend(_format_aligned(header, rows))
     return "\n".join(lines)

@@ -247,6 +247,10 @@ class NetworkResult:
     solver_iterations:
         Inner solver iterations summed over every cell solve (the quantity
         the warm starts reduce; direct solves count as one iteration each).
+    frozen_solves:
+        Cell solves skipped by the outer-loop freezing (``freeze_tol``):
+        iterations in which a cell's incoming rates had not moved since its
+        last actual solve.  Always 0 when freezing is disabled.
     """
 
     topology: CellTopology
@@ -261,6 +265,7 @@ class NetworkResult:
     cold_solves: int
     solver_iterations: int
     distributions: tuple[np.ndarray, ...] = field(repr=False, compare=False)
+    frozen_solves: int = 0
 
     @property
     def number_of_cells(self) -> int:
@@ -318,6 +323,7 @@ class NetworkResult:
             "solver_calls": self.solver_calls,
             "cold_solves": self.cold_solves,
             "solver_iterations": self.solver_iterations,
+            "frozen_solves": self.frozen_solves,
         }
 
 
@@ -360,6 +366,18 @@ class NetworkModel:
         When ``False`` every cell solve of every outer iteration starts cold
         (no stationary-vector continuation) -- the A/B knob of the network
         benchmarks; results change only within solver tolerance.
+    freeze_tol:
+        Outer-loop freezing threshold (``None`` = disabled).  When set, an
+        outer iteration skips re-solving any cell whose incoming handover
+        rates have moved by at most this relative amount since that cell's
+        last actual solve, reusing its previous stationary distribution and
+        outgoing rates.  In heterogeneous networks the cells converge
+        unevenly, so the final iterations typically freeze all but the
+        slowest cell (the saved solves are counted in
+        :attr:`NetworkResult.frozen_solves`).  A frozen cell's reported
+        measures correspond to rates at most ``freeze_tol`` away from the
+        final ones, so choose it of the order of ``outer_tol``; freezing is
+        deterministic, which preserves the parallel == serial guarantee.
     initial_rates / initial_distributions:
         Optional continuation state from an adjacent sweep point: seed rates
         for the pre-pass and per-cell stationary vectors that warm-start even
@@ -379,6 +397,7 @@ class NetworkModel:
         erlang_tol: float = 1e-12,
         jobs: int = 1,
         warm: bool = True,
+        freeze_tol: float | None = None,
         pool: ProcessPoolExecutor | None = None,
         initial_rates: tuple[np.ndarray, np.ndarray] | None = None,
         initial_distributions: tuple[np.ndarray, ...] | None = None,
@@ -395,8 +414,11 @@ class NetworkModel:
         self._min_outer = min_outer_iterations
         self._max_outer = max_outer_iterations
         self._erlang_tol = erlang_tol
+        if freeze_tol is not None and freeze_tol < 0:
+            raise ValueError("freeze_tol must be non-negative (or None to disable)")
         self._jobs = max(1, int(jobs))
         self._warm = warm
+        self._freeze_tol = freeze_tol
         self._external_pool = pool
         self._initial_rates = initial_rates
         if initial_distributions is not None and len(initial_distributions) != (
@@ -438,9 +460,15 @@ class NetworkModel:
         solver_calls = 0
         cold_solves = 0
         solver_iterations = 0
+        frozen_solves = 0
         converged = False
         outer_iterations = 0
-        solves: list[_CellSolve] = []
+        solves: list[_CellSolve | None] = [None] * cells
+        # Incoming rates each cell's latest actual solve used; the freezing
+        # test compares against these, not the previous iteration's rates, so
+        # slow cumulative drift can never hide behind small per-step moves.
+        solved_gsm = np.full(cells, np.nan)
+        solved_gprs = np.full(cells, np.nan)
 
         own_pool = None
         pool = None
@@ -451,6 +479,24 @@ class NetworkModel:
                 pool = own_pool
         try:
             for outer in range(1, self._max_outer + 1):
+                if self._freeze_tol is None:
+                    active = list(range(cells))
+                else:
+                    freeze_scale = max(
+                        1.0,
+                        float(np.max(np.abs(gsm_in))),
+                        float(np.max(np.abs(gprs_in))),
+                    )
+                    active = [
+                        index
+                        for index in range(cells)
+                        if solves[index] is None
+                        or max(
+                            abs(float(gsm_in[index]) - solved_gsm[index]),
+                            abs(float(gprs_in[index]) - solved_gprs[index]),
+                        )
+                        > self._freeze_tol * freeze_scale
+                    ]
                 jobs = [
                     (
                         cell_params[index],
@@ -460,15 +506,20 @@ class NetworkModel:
                         float(gprs_in[index]),
                         distributions[index] if self._warm else None,
                     )
-                    for index in range(cells)
+                    for index in active
                 ]
-                if pool is not None:
-                    solves = list(pool.map(_solve_cell_task, jobs))
+                if pool is not None and len(jobs) > 1:
+                    new_solves = list(pool.map(_solve_cell_task, jobs))
                 else:
-                    solves = [_solve_cell_task(job) for job in jobs]
-                solver_calls += cells
-                cold_solves += sum(1 for solve in solves if not solve.warm)
-                solver_iterations += sum(solve.iterations for solve in solves)
+                    new_solves = [_solve_cell_task(job) for job in jobs]
+                for index, solve in zip(active, new_solves):
+                    solves[index] = solve
+                    solved_gsm[index] = float(gsm_in[index])
+                    solved_gprs[index] = float(gprs_in[index])
+                solver_calls += len(active)
+                frozen_solves += cells - len(active)
+                cold_solves += sum(1 for solve in new_solves if not solve.warm)
+                solver_iterations += sum(solve.iterations for solve in new_solves)
                 distributions = [solve.distribution for solve in solves]
                 outer_iterations = outer
 
@@ -529,4 +580,5 @@ class NetworkModel:
             cold_solves=cold_solves,
             solver_iterations=solver_iterations,
             distributions=tuple(distributions),
+            frozen_solves=frozen_solves,
         )

@@ -6,9 +6,12 @@ functions used to interleave:
 
 * **What to run** -- :class:`~repro.runtime.spec.ScenarioSpec`, a frozen,
   dict-serialisable description of one workload (traffic mix, radio and cell
-  configuration, solver, sweep axis, metrics).  The registry in
+  configuration, solver, sweep axis, metrics; optionally a multi-cell
+  topology or a time-varying workload profile).  The registry in
   :mod:`repro.runtime.registry` ships the 11 paper figures plus extension
-  workloads the paper never measured; ``gprs-repro list`` prints them.
+  workloads the paper never measured -- including multi-cell network
+  scenarios and non-stationary transient scenarios; ``gprs-repro list``
+  prints them.
 * **How big to run it** -- an
   :class:`~repro.experiments.scale.ExperimentScale` preset (``smoke`` /
   ``default`` / ``paper``).  A scenario stores *paper-scale* sizes; the scale

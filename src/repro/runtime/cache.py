@@ -73,6 +73,7 @@ def result_key(
     kind: str = "analytical",
     seed: int | None = None,
     network: dict | None = None,
+    transient: dict | None = None,
     code_version: str = CODE_VERSION,
 ) -> str:
     """Return the content hash of one sweep point.
@@ -83,13 +84,16 @@ def result_key(
         Effective model parameters (from
         :func:`repro.runtime.spec.parameters_to_dict`) *including* the swept
         arrival rate.  For network points these are the *base-cell*
-        parameters; per-cell deviations enter through ``network``.
+        parameters; per-cell deviations enter through ``network``.  For
+        transient points they are the unperturbed base parameters; per-segment
+        deviations enter through ``transient``.
     solver, solver_tol:
         Steady-state solver settings.
     kind:
-        Computation kind, ``"analytical"`` for single-cell CTMC solves and
-        ``"network"`` for joint multi-cell solves; simulation-backed runs use
-        a different kind so no two ever collide.
+        Computation kind, ``"analytical"`` for single-cell CTMC solves,
+        ``"network"`` for joint multi-cell solves and ``"transient"`` for
+        time-dependent trajectories; simulation-backed runs use a different
+        kind so no two ever collide.
     seed:
         Per-point seed for stochastic kinds (``None`` for analytical solves).
     network:
@@ -98,6 +102,12 @@ def result_key(
         (routing matrix and per-cell overrides), so networks that differ in
         any edge weight or override cache separately -- and never share
         entries with single-cell runs (``None``).
+    transient:
+        Workload-profile rendering for transient points: the full
+        :meth:`~repro.transient.schedule.WorkloadProfile.to_dict` form
+        (schedule segments, sampling grid, initial condition), so profiles
+        that differ in any segment or sample cache separately -- and never
+        share entries with steady-state runs (``None``).
     code_version:
         Version tag; defaults to :data:`CODE_VERSION`.
     """
@@ -108,6 +118,7 @@ def result_key(
         "solver_tol": solver_tol,
         "seed": seed,
         "network": network,
+        "transient": transient,
         "parameters": params_dict,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -397,6 +397,14 @@ def run_sweep(
     a joint multi-cell solve, ``jobs`` parallelises the cells within a point,
     and the returned values are the network-mean measures (use
     :func:`repro.network.sweep.run_network_sweep` for per-cell detail).
+
+    Transient scenarios (a workload profile attached to the spec) run through
+    :func:`repro.transient.sweep.transient_sweep_payloads`: each point is a
+    full time-dependent trajectory at that base arrival rate, ``jobs``
+    parallelises the independent trajectories, and the returned values are
+    the trajectory's *time-averaged* measures (use
+    :func:`repro.transient.sweep.run_transient_sweep` for the full
+    trajectories).
     """
     from repro.experiments.scale import ExperimentScale
 
@@ -426,6 +434,24 @@ def run_sweep(
             warm=effective_warm,
         )
         solved = [(payload["aggregates"], hit) for payload, hit in payloads]
+    elif spec.transient is not None:
+        from repro.transient.sweep import transient_sweep_payloads
+
+        if chunk_size is not None:
+            # Transient sweeps have no point-chunking (whole trajectories
+            # parallelise); rejecting the knob beats silently ignoring it.
+            raise ValueError(
+                "chunk_size applies only to single-cell scenarios; transient "
+                "sweeps parallelise across independent trajectories"
+            )
+        payloads = transient_sweep_payloads(
+            spec,
+            scale,
+            jobs=effective_jobs,
+            cache=effective_cache,
+            warm=effective_warm,
+        )
+        solved = [(payload["time_averages"], hit) for payload, hit in payloads]
     else:
         params = spec.parameters(scale)
         solved = sweep_measure_dicts(

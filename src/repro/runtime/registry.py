@@ -17,12 +17,25 @@ The network scenarios (tag ``"network"``, a
 whole multi-cell topology through :class:`~repro.network.model.NetworkModel`:
 the homogeneous seven-cell validation anchor, a hotspot cluster, a cluster
 with degraded-radio cells and a sixteen-cell ring.
+
+The transient scenarios (tag ``"transient"``, a
+:class:`~repro.transient.schedule.WorkloadProfile` attached to the spec)
+solve non-stationary workloads through
+:class:`~repro.transient.model.TransientModel`: the morning busy-hour ramp,
+a flash crowd, a partial-capacity outage with recovery, and a compressed
+24-hour diurnal cycle.
 """
 
 from __future__ import annotations
 
 from repro.network.topology import hexagonal_cluster, hotspot, ring
 from repro.runtime.spec import ScenarioSpec
+from repro.transient.schedule import (
+    busy_hour_ramp,
+    diurnal_cycle,
+    flash_crowd,
+    outage_recovery,
+)
 
 __all__ = ["SCENARIOS", "list_scenarios", "register", "scenario"]
 
@@ -48,25 +61,34 @@ def scenario(name: str) -> ScenarioSpec:
         ) from exc
 
 
+def _kind_of(spec: ScenarioSpec) -> str:
+    """One of ``"cell"``, ``"network"`` or ``"transient"`` (mutually exclusive)."""
+    if spec.network is not None:
+        return "network"
+    if spec.transient is not None:
+        return "transient"
+    return "cell"
+
+
 def list_scenarios(
     tag: str | None = None, *, kind: str | None = None
 ) -> tuple[ScenarioSpec, ...]:
     """Return all scenarios, sorted by name, optionally filtered.
 
     ``tag`` keeps scenarios carrying that tag; ``kind`` distinguishes
-    single-cell workloads (``"cell"``) from multi-cell ones (``"network"``,
-    i.e. specs with a topology attached).
+    single-cell steady-state workloads (``"cell"``), multi-cell ones
+    (``"network"``, a topology attached) and non-stationary ones
+    (``"transient"``, a workload profile attached).
     """
-    if kind not in (None, "cell", "network"):
-        raise ValueError(f"unknown scenario kind {kind!r}; use 'cell' or 'network'")
+    if kind not in (None, "cell", "network", "transient"):
+        raise ValueError(
+            f"unknown scenario kind {kind!r}; use 'cell', 'network' or 'transient'"
+        )
     specs = (
         spec
         for spec in SCENARIOS.values()
         if (tag is None or tag in spec.tags)
-        and (
-            kind is None
-            or (spec.network is not None) == (kind == "network")
-        )
+        and (kind is None or _kind_of(spec) == kind)
     )
     return tuple(sorted(specs, key=lambda spec: spec.name))
 
@@ -350,4 +372,68 @@ register(ScenarioSpec(
     ),
     tags=("network", "extension"),
     network=ring(16),
+))
+
+
+# ---------------------------------------------------------------------- #
+# Transient scenarios: non-stationary workloads solved over time
+# ---------------------------------------------------------------------- #
+register(ScenarioSpec(
+    name="busy-hour-ramp",
+    description="Morning busy hour: load staircases to 2x, holds, and falls back",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=(
+        "packet_loss_probability",
+        "queueing_delay",
+        "throughput_per_user_kbit_s",
+    ),
+    tags=("transient", "extension"),
+    transient=busy_hour_ramp(),
+))
+
+register(ScenarioSpec(
+    name="flash-crowd",
+    description="Flash crowd: an abrupt 3x arrival spike and the recovery after it",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=(
+        "packet_loss_probability",
+        "mean_queue_length",
+        "carried_data_traffic",
+    ),
+    tags=("transient", "extension"),
+    transient=flash_crowd(),
+))
+
+register(ScenarioSpec(
+    name="outage-recovery",
+    description="Partial outage: the cell drops to 12 of 20 channels, then recovers",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=(
+        "voice_blocking_probability",
+        "packet_loss_probability",
+        "carried_data_traffic",
+    ),
+    tags=("transient", "extension"),
+    transient=outage_recovery(outage_channels=12),
+))
+
+register(ScenarioSpec(
+    name="diurnal-24h",
+    description="Compressed 24-hour cycle: sinusoidal load, one segment per hour",
+    traffic_model=3,
+    gprs_fraction=0.05,
+    reserved_pdch=2,
+    metrics=(
+        "carried_data_traffic",
+        "packet_loss_probability",
+        "voice_blocking_probability",
+    ),
+    tags=("transient", "extension"),
+    transient=diurnal_cycle(),
 ))

@@ -27,6 +27,7 @@ from repro.traffic.session import PacketSessionModel
 if TYPE_CHECKING:  # imported lazily at runtime to keep runtime below experiments
     from repro.experiments.scale import ExperimentScale
     from repro.network.topology import CellTopology
+    from repro.transient.schedule import WorkloadProfile
 
 __all__ = [
     "DEFAULT_METRICS",
@@ -102,6 +103,13 @@ class ScenarioSpec:
         joint :class:`~repro.network.model.NetworkModel` solve (the scenario's
         cell configuration becomes the *base* cell, per-cell overrides live
         in the topology) instead of a single-cell solve.
+    transient:
+        Optional :class:`~repro.transient.schedule.WorkloadProfile`.  When
+        set the scenario describes a non-stationary workload: every sweep
+        point is a full :class:`~repro.transient.model.TransientModel`
+        trajectory at that base arrival rate (the scenario's cell
+        configuration is the unperturbed base; per-segment multipliers and
+        overrides live in the profile).  Mutually exclusive with ``network``.
     """
 
     name: str
@@ -122,6 +130,7 @@ class ScenarioSpec:
     seed: int = 20020527
     tags: tuple[str, ...] = ()
     network: "CellTopology | None" = None
+    transient: "WorkloadProfile | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -143,6 +152,16 @@ class ScenarioSpec:
 
             if not isinstance(self.network, CellTopology):
                 raise ValueError("network must be a CellTopology (or None)")
+        if self.transient is not None:
+            from repro.transient.schedule import WorkloadProfile
+
+            if not isinstance(self.transient, WorkloadProfile):
+                raise ValueError("transient must be a WorkloadProfile (or None)")
+            if self.network is not None:
+                raise ValueError(
+                    "a scenario cannot be both transient and network-wide; "
+                    "model one cell's schedule or one stationary topology"
+                )
 
     # ------------------------------------------------------------------ #
     # Serialisation
@@ -170,6 +189,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "tags": list(self.tags),
             "network": None if self.network is None else self.network.to_dict(),
+            "transient": None if self.transient is None else self.transient.to_dict(),
         }
 
     @classmethod
@@ -194,6 +214,12 @@ class ScenarioSpec:
             from repro.network.topology import CellTopology
 
             values["network"] = CellTopology.from_dict(values["network"])
+        if values.get("transient") is not None and not hasattr(
+            values["transient"], "to_dict"
+        ):
+            from repro.transient.schedule import WorkloadProfile
+
+            values["transient"] = WorkloadProfile.from_dict(values["transient"])
         return cls(**values)
 
     def replace(self, **overrides) -> "ScenarioSpec":

@@ -1,0 +1,260 @@
+"""Arrival-rate sweeps of transient trajectories, cached and parallel.
+
+A transient sweep point is one full :class:`~repro.transient.model.TransientModel`
+trajectory at one base arrival rate: the swept rate scales the whole schedule
+(each segment's multiplier composes with it), so a sweep answers "how does
+the busy-hour ramp look at light vs. heavy base load".  Unlike the warm
+chains of the steady-state sweeps, trajectories at different base rates share
+no state -- each starts from its own initial condition and walks its own
+schedule -- so the executor parallelises the *trajectories themselves*: one
+pool task per uncached rate, identical code on the serial path, results
+reassembled in sweep order (``jobs = N`` is bitwise identical to serial).
+
+Each solved trajectory is stored in the content-addressed result cache under
+a key that hashes the effective base-cell parameters *plus the profile
+rendering* (schedule, sampling grid, initial condition), with the computation
+kind set to ``"transient"`` -- two profiles never share entries, and a
+transient point can never collide with a steady-state or network point of
+the same parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.transient.model import TransientModel
+from repro.transient.schedule import WorkloadProfile
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.runtime reaches into this package for
+    # its scenario registry, so module-level imports here would make the
+    # dependency bidirectional (repro.transient stays importable standalone).
+    from repro.experiments.scale import ExperimentScale
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.spec import ScenarioSpec
+
+__all__ = [
+    "TransientSweepPoint",
+    "TransientSweepResult",
+    "run_transient_sweep",
+    "transient_sweep_payloads",
+]
+
+
+@dataclass(frozen=True)
+class TransientSweepPoint:
+    """One solved (or cache-served) trajectory of a transient sweep."""
+
+    index: int
+    arrival_rate: float
+    payload: dict
+    from_cache: bool = False
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        return tuple(self.payload["times"])
+
+    @property
+    def time_averages(self) -> dict[str, float]:
+        return self.payload["time_averages"]
+
+    def trajectory(self, metric: str) -> tuple[float, ...]:
+        """One measure over time at this base rate, aligned with :attr:`times`."""
+        return tuple(point["values"][metric] for point in self.payload["points"])
+
+
+@dataclass(frozen=True)
+class TransientSweepResult:
+    """All trajectories of one transient scenario sweep, in sweep order."""
+
+    spec: "ScenarioSpec"
+    scale: "ExperimentScale"
+    points: tuple[TransientSweepPoint, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def arrival_rates(self) -> tuple[float, ...]:
+        return tuple(point.arrival_rate for point in self.points)
+
+    def series(self, metric: str) -> tuple[float, ...]:
+        """The time-averaged ``metric`` across the sweep of base rates."""
+        return tuple(point.time_averages[metric] for point in self.points)
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.spec.to_dict(),
+            "scale": self.scale.to_dict(),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "points": [
+                {
+                    "index": point.index,
+                    "arrival_rate": point.arrival_rate,
+                    "from_cache": point.from_cache,
+                    **point.payload,
+                }
+                for point in self.points
+            ],
+        }
+
+
+def _solve_trajectory_task(job: tuple) -> dict:
+    """Solve one trajectory (worker entry point; top-level so it pickles).
+
+    The serial path calls the very same function, which is what keeps
+    ``jobs = N`` bitwise identical to serial execution.
+    """
+    params_dict, profile_dict, solver, solver_tol, warm = job
+    from repro.runtime.spec import parameters_from_dict
+
+    params = parameters_from_dict(params_dict)
+    profile = WorkloadProfile.from_dict(profile_dict)
+    model = TransientModel(
+        profile,
+        params,
+        solver_method=solver,
+        solver_tol=solver_tol,
+        share_templates=warm,
+    )
+    return model.solve().as_dict()
+
+
+def transient_sweep_payloads(
+    spec: "ScenarioSpec",
+    scale: "ExperimentScale",
+    *,
+    solver_tol: float = 1e-9,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+    warm: bool = True,
+    rates: tuple[float, ...] | None = None,
+) -> list[tuple[dict, bool]]:
+    """Solve every trajectory of a transient scenario sweep, cache-aware.
+
+    Returns one ``(payload, from_cache)`` pair per base arrival rate, in
+    sweep order; payloads are
+    :meth:`~repro.transient.model.TransientResult.as_dict` renderings.
+    ``warm=False`` (the ``--cold`` A/B knob) disables template sharing
+    across a trajectory's segments -- every segment re-enumerates its chain
+    -- which changes nothing numerically (templates are bitwise-faithful),
+    only construction time.  ``rates`` restricts the sweep axis (the CLI's
+    ``--rate``); the default is the scenario's axis under ``scale``.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.runtime.cache import result_key
+    from repro.runtime.spec import parameters_to_dict
+
+    if spec.transient is None:
+        raise ValueError(f"scenario {spec.name!r} has no transient workload profile")
+    profile = spec.transient
+    profile_dict = profile.to_dict()
+    base = spec.parameters(scale)
+    sweep_rates = spec.sweep_rates(scale) if rates is None else tuple(rates)
+
+    point_dicts = [
+        parameters_to_dict(base.with_arrival_rate(rate)) for rate in sweep_rates
+    ]
+    keys = (
+        [
+            result_key(
+                point,
+                solver=spec.solver,
+                solver_tol=solver_tol,
+                kind="transient",
+                transient=profile_dict,
+            )
+            for point in point_dicts
+        ]
+        if cache is not None
+        else None
+    )
+
+    results: dict[int, dict] = {}
+    from_cache: dict[int, bool] = {}
+    misses: list[int] = []
+    for index in range(len(point_dicts)):
+        payload = cache.get(keys[index]) if cache is not None else None
+        if payload is not None:
+            results[index] = payload
+            from_cache[index] = True
+        else:
+            misses.append(index)
+            from_cache[index] = False
+
+    if misses:
+        jobs_list = [
+            (point_dicts[index], profile_dict, spec.solver, solver_tol, warm)
+            for index in misses
+        ]
+        workers = max(1, int(jobs))
+        if workers > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+                for index, payload in zip(
+                    misses, pool.map(_solve_trajectory_task, jobs_list)
+                ):
+                    results[index] = payload
+        else:
+            for index, job in zip(misses, jobs_list):
+                results[index] = _solve_trajectory_task(job)
+        if cache is not None:
+            for index in misses:
+                try:
+                    cache.put(keys[index], results[index])
+                except OSError:
+                    # An unwritable cache degrades to a cold one: the solved
+                    # trajectories are still returned, nothing is persisted.
+                    break
+
+    return [(results[index], from_cache[index]) for index in range(len(sweep_rates))]
+
+
+def run_transient_sweep(
+    spec: "ScenarioSpec",
+    scale: "ExperimentScale | None" = None,
+    *,
+    jobs: int | None = None,
+    cache: "ResultCache | None | str" = "ambient",
+    warm: bool | None = None,
+    rates: tuple[float, ...] | None = None,
+) -> TransientSweepResult:
+    """Run one transient scenario sweep and return its trajectories.
+
+    The ``jobs`` / ``cache`` / ``warm`` arguments resolve against the ambient
+    :func:`~repro.runtime.executor.execution_options` exactly like
+    :func:`~repro.runtime.executor.run_sweep`; ``jobs`` parallelises the
+    independent trajectories across base arrival rates.
+    """
+    from repro.experiments.scale import ExperimentScale
+    from repro.runtime.executor import current_options
+
+    scale = scale or ExperimentScale.default()
+    options = current_options()
+    effective_jobs = options.jobs if jobs is None else jobs
+    effective_cache = options.cache if cache == "ambient" else cache
+    effective_warm = options.warm if warm is None else warm
+
+    sweep_rates = spec.sweep_rates(scale) if rates is None else tuple(rates)
+    solved = transient_sweep_payloads(
+        spec,
+        scale,
+        jobs=effective_jobs,
+        cache=effective_cache,
+        warm=effective_warm,
+        rates=sweep_rates,
+    )
+    points = tuple(
+        TransientSweepPoint(
+            index=index, arrival_rate=rate, payload=payload, from_cache=hit
+        )
+        for index, (rate, (payload, hit)) in enumerate(zip(sweep_rates, solved))
+    )
+    hits = sum(1 for point in points if point.from_cache)
+    return TransientSweepResult(
+        spec=spec,
+        scale=scale,
+        points=points,
+        cache_hits=hits,
+        cache_misses=len(points) - hits,
+    )

@@ -15,6 +15,9 @@ reusable, testable checks:
 * :mod:`repro.validation.network` -- the homogeneity anchor of the
   multi-cell layer: a uniform wrap-around network must reproduce the paper's
   single-cell fixed point in every cell.
+* :mod:`repro.validation.transient` -- the constant-schedule anchor of the
+  transient layer: a time-homogeneous trajectory must preserve (and, from
+  any start, converge to) the steady-state solver's measures.
 """
 
 from repro.validation.comparison import (
@@ -25,6 +28,10 @@ from repro.validation.comparison import (
     compare_series,
 )
 from repro.validation.network import HomogeneityCheck, check_network_homogeneity
+from repro.validation.transient import (
+    TransientAnchorCheck,
+    check_transient_steady_state,
+)
 from repro.validation.shapes import (
     crossover_points,
     curves_are_ordered,
@@ -39,7 +46,9 @@ __all__ = [
     "HomogeneityCheck",
     "check_network_homogeneity",
     "PointComparison",
+    "TransientAnchorCheck",
     "ValidationReport",
+    "check_transient_steady_state",
     "compare_model_with_simulation",
     "compare_series",
     "crossover_points",

@@ -1,0 +1,126 @@
+"""Transient-level validation: the constant-schedule anchor.
+
+The time-dependent model of :mod:`repro.transient` must collapse onto the
+paper's steady-state model whenever its premises collapse onto the paper's:
+under a *constant* schedule the chain is time-homogeneous, so a trajectory
+that starts in the stationary distribution must stay on the steady-state
+solver's measures at every sample, and a trajectory started anywhere else
+must converge to them as the horizon grows.  This check quantifies that
+agreement; the test suite and the transient CI smoke job assert it to 1e-8.
+
+Two regimes are covered by the ``initial`` knob:
+
+* ``"stationary"`` (the default) starts *on* the fixed point: the propagator
+  must preserve it exactly, and the early-stop detector should prove
+  stationarity after a single matrix-vector product -- this is cheap at any
+  state-space size, including the full paper preset.
+* ``"empty"`` starts from an idle cell and exercises genuine relaxation; the
+  horizon must then cover several multiples of the slowest time constant
+  (the GSM call duration, by default 120 s) for the 1e-8 agreement to be
+  reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import GprsMarkovModel
+from repro.core.parameters import GprsModelParameters
+from repro.transient.model import TransientModel
+from repro.transient.schedule import constant_workload
+
+__all__ = ["TransientAnchorCheck", "check_transient_steady_state"]
+
+
+@dataclass(frozen=True)
+class TransientAnchorCheck:
+    """Worst-case deviation of a constant-schedule trajectory from steady state."""
+
+    horizon_s: float
+    initial: str
+    tolerance: float
+    worst_measure_error: float
+    worst_measure: str
+    final_measure_error: float
+    early_stopped: bool
+    matvecs: int
+
+    @property
+    def passed(self) -> bool:
+        return self.final_measure_error <= self.tolerance
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"transient anchor (constant schedule, {self.initial} start, "
+            f"horizon {self.horizon_s:g}s): {status} -- final measure error "
+            f"{self.final_measure_error:.2e} vs. tolerance "
+            f"{self.tolerance:.0e}; worst along the trajectory "
+            f"{self.worst_measure_error:.2e} ({self.worst_measure}), "
+            f"{self.matvecs} matvec(s), early stop: {self.early_stopped}"
+        )
+
+
+def check_transient_steady_state(
+    params: GprsModelParameters,
+    *,
+    horizon_s: float = 600.0,
+    samples: int = 6,
+    initial: str = "stationary",
+    tolerance: float = 1e-8,
+    solver_method: str = "auto",
+    steady_state_tol: float | None = None,
+) -> TransientAnchorCheck:
+    """Compare a constant-schedule trajectory against the steady-state solver.
+
+    The trajectory runs ``params`` unchanged for ``horizon_s`` seconds and
+    its sampled measures are compared with a plain
+    :class:`~repro.core.model.GprsMarkovModel` solve.  With
+    ``initial="stationary"`` every sample must agree to ``tolerance``; with
+    ``initial="empty"`` only the final sample is asserted (the early samples
+    legitimately reflect the relaxation from the empty cell -- their worst
+    error is still reported).
+
+    ``steady_state_tol`` defaults by regime: the stationary start keeps the
+    early-stop detector on (that the one-matvec stationarity proof fires *is*
+    part of what the anchor validates), while the empty start disables it --
+    the residual threshold bounds ``||pi Q|| / Lambda``, not the distance to
+    stationarity, so a slow-mixing chain could otherwise freeze the
+    trajectory before the slow modes have decayed to ``tolerance``.
+    """
+    if steady_state_tol is None:
+        steady_state_tol = 1e-9 if initial == "stationary" else 0.0
+    steady = GprsMarkovModel(params, solver_method=solver_method).solve()
+    reference = steady.measures.as_dict()
+
+    result = TransientModel(
+        constant_workload(horizon_s, samples=samples, initial=initial),
+        params,
+        solver_method=solver_method,
+        steady_state_tol=steady_state_tol,
+    ).solve()
+
+    worst = 0.0
+    worst_key = "none"
+    final = 0.0
+    last_index = len(result.points) - 1
+    for index, point in enumerate(result.points):
+        for key, value in reference.items():
+            error = abs(point.values[key] - value)
+            if error > worst:
+                worst = error
+                worst_key = key
+            if index == last_index:
+                final = max(final, error)
+    if initial == "stationary":
+        final = worst
+    return TransientAnchorCheck(
+        horizon_s=horizon_s,
+        initial=initial,
+        tolerance=tolerance,
+        worst_measure_error=worst,
+        worst_measure=worst_key,
+        final_measure_error=final,
+        early_stopped=result.early_stopped_segments > 0,
+        matvecs=result.matvecs,
+    )

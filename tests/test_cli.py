@@ -53,6 +53,23 @@ class TestParser:
         assert args.jobs == 3
         assert args.json is True
 
+    def test_transient_command_arguments(self):
+        args = build_parser().parse_args(
+            ["transient", "busy-hour-ramp", "--preset", "smoke",
+             "--rate", "0.4", "--jobs", "2", "--no-cache", "--cold", "--json"]
+        )
+        assert args.command == "transient"
+        assert args.scenario == "busy-hour-ramp"
+        assert args.rate == 0.4
+        assert args.jobs == 2
+        assert args.no_cache is True
+        assert args.cold is True
+        assert args.json is True
+
+    def test_list_accepts_transient_kind(self):
+        args = build_parser().parse_args(["list", "--kind", "transient"])
+        assert args.kind == "transient"
+
 
 class TestCommands:
     def test_list_prints_all_experiments_and_scenarios(self, capsys):
@@ -145,6 +162,60 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "homogeneous-7" in output
         assert "voice_blocking_probability" in output
+
+    def test_list_kind_transient_prints_only_transient_scenarios(self, capsys):
+        assert main(["list", "--kind", "transient"]) == 0
+        output = capsys.readouterr().out
+        assert "busy-hour-ramp" in output
+        assert "flash-crowd" in output
+        assert "segments" in output
+        assert "table2" not in output
+        assert "hotspot-cluster" not in output
+
+    def test_transient_busy_hour_ramp_end_to_end_with_cache(self, capsys, tmp_path):
+        """Acceptance: the registered busy-hour-ramp scenario runs through
+        CLI + cache and reports a QoS trajectory; the rerun is served from
+        the cache with identical output."""
+        argv = [
+            "transient", "busy-hour-ramp", "--preset", "smoke",
+            "--rate", "0.3", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "busy-hour-ramp" in first
+        assert "time [s]" in first
+        assert "time avg" in first
+        assert "0 hit(s), 1 solved" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 hit(s), 0 solved" in second
+        # Identical trajectory table (header lines differ: cache accounting).
+        assert second.splitlines()[4:] == first.splitlines()[4:]
+
+    def test_transient_command_json_output(self, capsys, tmp_path):
+        exit_code = main([
+            "transient", "flash-crowd", "--preset", "smoke", "--rate", "0.4",
+            "--cache-dir", str(tmp_path), "--json",
+        ])
+        assert exit_code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"]["name"] == "flash-crowd"
+        assert len(data["points"]) == 1
+        trajectory = data["points"][0]
+        assert len(trajectory["points"]) == len(trajectory["times"])
+        assert "time_averages" in trajectory
+
+    def test_transient_command_rejects_stationary_scenarios(self, capsys):
+        assert main(["transient", "figure12", "--no-cache"]) == 2
+        assert "stationary" in capsys.readouterr().err
+
+    def test_sweep_rejects_chunk_size_for_transient_scenarios(self, capsys):
+        exit_code = main([
+            "sweep", "flash-crowd", "--preset", "smoke", "--no-cache",
+            "--chunk-size", "4",
+        ])
+        assert exit_code == 2
+        assert "single-cell" in capsys.readouterr().err
 
     def test_sweep_cold_flag_matches_warm_default(self, capsys):
         """--cold (A/B knob) must produce the same report shape and values

@@ -70,6 +70,14 @@ def test_network_hotspot_example(monkeypatch, capsys):
     assert "overflow absorbed" in output
 
 
+def test_busy_hour_ramp_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "busy_hour_ramp.py", ["0.4", "1.8"])
+    assert "transient anchor" in output
+    assert "PASS" in output
+    assert "busy-hour ramp" in output
+    assert "transient vs. stationary" in output
+
+
 def test_link_quality_and_arq_example(monkeypatch, capsys):
     output = run_example(monkeypatch, capsys, "link_quality_and_arq.py", ["0.4"])
     assert "Link level" in output

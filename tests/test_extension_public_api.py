@@ -18,6 +18,8 @@ import pytest
         "repro.radio",
         "repro.adaptive",
         "repro.validation",
+        "repro.network",
+        "repro.transient",
         "repro.traffic.applications",
         "repro.traffic.statistics",
         "repro.markov.phase_type",

@@ -37,6 +37,19 @@ class TestUniformize:
         assert rate > 0
 
 
+def _linear_scan_truncation(mean: float, tol: float) -> int:
+    """The historical linear scan (the small-mean reference implementation)."""
+    pmf = np.exp(-mean)
+    cdf = pmf
+    k = 0
+    guard = int(mean + 12.0 * np.sqrt(mean) + 30.0)
+    while cdf < 1.0 - tol and k < guard:
+        k += 1
+        pmf *= mean / k
+        cdf += pmf
+    return k
+
+
 class TestPoissonTruncation:
     def test_zero_mean(self):
         assert poisson_truncation_point(0.0, 1e-10) == 0
@@ -54,6 +67,38 @@ class TestPoissonTruncation:
 
     def test_truncation_grows_with_mean(self):
         assert poisson_truncation_point(100.0, 1e-9) > poisson_truncation_point(1.0, 1e-9)
+
+    def test_small_means_bitwise_match_the_linear_scan(self):
+        """Below the jump threshold the scan result is reproduced exactly."""
+        rng = np.random.default_rng(20020527)
+        means = list(rng.uniform(0.001, 32.0, 100)) + [1.0, 31.999, 32.0]
+        for mean in means:
+            for tol in (1e-6, 1e-9, 1e-12, 1e-15):
+                assert poisson_truncation_point(mean, tol) == _linear_scan_truncation(
+                    mean, tol
+                ), (mean, tol)
+
+    @pytest.mark.parametrize("mean", [50.0, 200.0, 1234.5, 2e4, 1e6])
+    @pytest.mark.parametrize("tol", [1e-6, 1e-9, 1e-12])
+    def test_large_mean_jump_is_certified_and_tight(self, mean, tol):
+        """The normal-approximation jump must cover the requested mass and
+        land within a fraction of a standard deviation of the exact quantile."""
+        from scipy.stats import poisson
+
+        point = poisson_truncation_point(mean, tol)
+        assert poisson.cdf(point, mean) >= 1 - tol
+        exact = int(poisson.ppf(1 - tol, mean))
+        assert exact <= point <= exact + 0.5 * np.sqrt(mean) + 10
+
+    def test_large_mean_jump_is_constant_cost(self):
+        """The jump must not degenerate into an O(mean) walk."""
+        import time
+
+        start = time.perf_counter()
+        for _ in range(100):
+            poisson_truncation_point(5e6, 1e-12)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.5  # the linear scan would need minutes
 
 
 class TestTransientDistribution:

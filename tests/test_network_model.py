@@ -135,6 +135,61 @@ class TestWarmStartAccounting:
             )
 
 
+class TestOuterLoopFreezing:
+    """freeze_tol skips re-solving cells whose incoming rates stopped moving."""
+
+    def _topology(self):
+        # The registered heterogeneous-radio layout at test size: two CS-1
+        # cells amid CS-2 neighbours, so cells converge unevenly.
+        return hexagonal_cluster(7, overrides={
+            3: {"coding_scheme": "CS-1", "block_error_rate": 0.10},
+            4: {"coding_scheme": "CS-1", "block_error_rate": 0.10},
+        })
+
+    def test_disabled_by_default(self):
+        result = NetworkModel(ring(3), _params()).solve()
+        assert result.frozen_solves == 0
+        assert result.as_dict()["frozen_solves"] == 0
+
+    def test_negative_freeze_tol_rejected(self):
+        with pytest.raises(ValueError, match="freeze_tol"):
+            NetworkModel(ring(3), _params(), freeze_tol=-1e-9)
+
+    def test_freezing_saves_converged_cell_solves_on_heterogeneous_radio(self):
+        topology = self._topology()
+        params = _params(0.6)
+        plain = NetworkModel(topology, params).solve()
+        frozen = NetworkModel(topology, params, freeze_tol=1e-8).solve()
+        assert plain.converged and frozen.converged
+        assert plain.frozen_solves == 0
+        # The final outer iteration re-solves only the cells still drifting:
+        # at least n - 1 solves are saved.
+        cells = topology.number_of_cells
+        assert frozen.frozen_solves >= cells - 1
+        assert frozen.solver_calls + frozen.frozen_solves == plain.solver_calls
+
+    def test_frozen_measures_match_unfrozen_within_tolerance(self):
+        topology = self._topology()
+        params = _params(0.6)
+        plain = NetworkModel(topology, params).solve()
+        frozen = NetworkModel(topology, params, freeze_tol=1e-8).solve()
+        worst = max(
+            abs(a.measures.as_dict()[key] - b.measures.as_dict()[key])
+            for a, b in zip(plain.cells, frozen.cells)
+            for key in a.measures.as_dict()
+        )
+        assert worst <= 1e-8
+
+    def test_freezing_is_deterministic_across_jobs(self):
+        topology = self._topology()
+        params = _params(0.6)
+        serial = NetworkModel(topology, params, freeze_tol=1e-8, jobs=1).solve()
+        parallel = NetworkModel(topology, params, freeze_tol=1e-8, jobs=2).solve()
+        assert serial.frozen_solves == parallel.frozen_solves
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.measures.as_dict() == b.measures.as_dict()
+
+
 class TestParallelExecution:
     def test_parallel_cells_bitwise_identical_to_serial(self):
         params = _params()

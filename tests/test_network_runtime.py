@@ -33,9 +33,10 @@ class TestRegistry:
     def test_kind_filter_partitions_the_registry(self):
         network = list_scenarios(kind="network")
         cell = list_scenarios(kind="cell")
+        transient = list_scenarios(kind="transient")
         assert {spec.name for spec in network} == set(NETWORK_SCENARIOS)
-        assert all(spec.network is None for spec in cell)
-        assert len(network) + len(cell) == len(list_scenarios())
+        assert all(spec.network is None for spec in cell + transient)
+        assert len(network) + len(cell) + len(transient) == len(list_scenarios())
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario kind"):

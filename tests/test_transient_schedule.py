@@ -1,0 +1,241 @@
+"""Tests of workload schedules and profiles (repro.transient.schedule)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro import GprsModelParameters, traffic_model
+from repro.transient.schedule import (
+    RateSchedule,
+    ScheduleSegment,
+    WorkloadProfile,
+    busy_hour_ramp,
+    constant_workload,
+    diurnal_cycle,
+    flash_crowd,
+    outage_recovery,
+)
+
+
+BASE = GprsModelParameters.from_traffic_model(
+    traffic_model(3), total_call_arrival_rate=0.5
+)
+
+
+class TestScheduleSegment:
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError, match="duration"):
+            ScheduleSegment(duration_s=0.0)
+        with pytest.raises(ValueError, match="duration"):
+            ScheduleSegment(duration_s=-1.0)
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="arrival_rate_multiplier"):
+            ScheduleSegment(duration_s=1.0, arrival_rate_multiplier=-0.5)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown segment override"):
+            ScheduleSegment(duration_s=1.0, overrides={"total_call_arrival_rate": 1.0})
+
+    def test_multiplier_composes_with_base_rate(self):
+        segment = ScheduleSegment(duration_s=10.0, arrival_rate_multiplier=2.5)
+        params = segment.parameters(BASE)
+        assert params.total_call_arrival_rate == pytest.approx(1.25)
+
+    def test_overrides_replace_fields(self):
+        segment = ScheduleSegment(
+            duration_s=10.0, overrides={"number_of_channels": 12, "tcp_threshold": 0.9}
+        )
+        params = segment.parameters(BASE)
+        assert params.number_of_channels == 12
+        assert params.tcp_threshold == 0.9
+        assert params.total_call_arrival_rate == BASE.total_call_arrival_rate
+
+    def test_round_trip(self):
+        segment = ScheduleSegment(
+            duration_s=7.5, arrival_rate_multiplier=1.5, overrides={"reserved_pdch": 3}
+        )
+        data = json.loads(json.dumps(segment.to_dict()))
+        assert ScheduleSegment.from_dict(data) == segment
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown segment field"):
+            ScheduleSegment.from_dict({"duration_s": 1.0, "typo": 2})
+
+
+class TestRateSchedule:
+    def schedule(self) -> RateSchedule:
+        return RateSchedule(
+            name="test",
+            segments=(
+                ScheduleSegment(duration_s=10.0),
+                ScheduleSegment(duration_s=20.0, arrival_rate_multiplier=2.0),
+                ScheduleSegment(duration_s=5.0),
+            ),
+        )
+
+    def test_needs_name_and_segments(self):
+        with pytest.raises(ValueError, match="name"):
+            RateSchedule(name="", segments=(ScheduleSegment(duration_s=1.0),))
+        with pytest.raises(ValueError, match="at least one segment"):
+            RateSchedule(name="x", segments=())
+
+    def test_total_duration_and_breakpoints(self):
+        schedule = self.schedule()
+        assert schedule.total_duration_s == pytest.approx(35.0)
+        assert schedule.breakpoints() == (0.0, 10.0, 30.0)
+
+    def test_segment_at_is_left_closed(self):
+        schedule = self.schedule()
+        assert schedule.segment_at(0.0) == 0
+        assert schedule.segment_at(9.999) == 0
+        assert schedule.segment_at(10.0) == 1
+        assert schedule.segment_at(30.0) == 2
+        assert schedule.segment_at(35.0) == 2  # the end maps to the last segment
+
+    def test_segment_at_rejects_times_outside_the_schedule(self):
+        with pytest.raises(ValueError, match="outside the schedule"):
+            self.schedule().segment_at(-1.0)
+        with pytest.raises(ValueError, match="outside the schedule"):
+            self.schedule().segment_at(35.1)
+
+    def test_is_constant(self):
+        assert not self.schedule().is_constant()
+        assert RateSchedule(
+            name="flat",
+            segments=(
+                ScheduleSegment(duration_s=1.0),
+                ScheduleSegment(duration_s=2.0),
+            ),
+        ).is_constant()
+
+    def test_round_trip_and_digest(self):
+        schedule = self.schedule()
+        data = json.loads(json.dumps(schedule.to_dict()))
+        rebuilt = RateSchedule.from_dict(data)
+        assert rebuilt == schedule
+        assert rebuilt.digest() == schedule.digest()
+        different = RateSchedule(
+            name="test", segments=schedule.segments[:2]
+        )
+        assert different.digest() != schedule.digest()
+
+
+class TestWorkloadProfile:
+    def test_requires_a_schedule(self):
+        with pytest.raises(ValueError, match="RateSchedule"):
+            WorkloadProfile(schedule={"not": "a schedule"})
+
+    def test_initial_must_be_known(self):
+        with pytest.raises(ValueError, match="initial"):
+            constant_workload(10.0, initial="warm")
+
+    def test_uniform_grid_covers_the_schedule(self):
+        profile = constant_workload(10.0, samples=4)
+        assert profile.sample_times() == (0.0, 2.5, 5.0, 7.5, 10.0)
+
+    def test_explicit_times_validated(self):
+        schedule = RateSchedule(name="x", segments=(ScheduleSegment(duration_s=10.0),))
+        profile = WorkloadProfile(schedule=schedule, times=(1.0, 4.0, 10.0))
+        assert profile.sample_times() == (1.0, 4.0, 10.0)
+        with pytest.raises(ValueError, match="within"):
+            WorkloadProfile(schedule=schedule, times=(1.0, 11.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            WorkloadProfile(schedule=schedule, times=(4.0, 4.0))
+        with pytest.raises(ValueError, match="non-empty"):
+            WorkloadProfile(schedule=schedule, times=())
+
+    def test_uniform_grid_never_exceeds_the_schedule(self):
+        """Non-representable segment durations must not push the last grid
+        point one ULP past the schedule end (segment_at would reject it)."""
+        schedule = RateSchedule(
+            name="ulp",
+            segments=(
+                ScheduleSegment(duration_s=0.1),
+                ScheduleSegment(duration_s=0.2),
+                ScheduleSegment(duration_s=0.3),
+            ),
+        )
+        profile = WorkloadProfile(schedule=schedule, samples=7)
+        total = schedule.total_duration_s
+        for time in profile.sample_times():
+            assert time <= total
+            schedule.segment_at(time)  # must not raise
+
+    def test_samples_must_be_positive(self):
+        schedule = RateSchedule(name="x", segments=(ScheduleSegment(duration_s=1.0),))
+        with pytest.raises(ValueError, match="samples"):
+            WorkloadProfile(schedule=schedule, samples=0)
+
+    def test_round_trip_digest_and_pickle(self):
+        for profile in (
+            busy_hour_ramp(),
+            flash_crowd(),
+            outage_recovery(outage_channels=12),
+            diurnal_cycle(),
+            constant_workload(60.0, initial="empty"),
+        ):
+            data = json.loads(json.dumps(profile.to_dict()))
+            rebuilt = WorkloadProfile.from_dict(data)
+            assert rebuilt == profile
+            assert rebuilt.digest() == profile.digest()
+            assert pickle.loads(pickle.dumps(profile)) == profile
+
+    def test_digest_distinguishes_sampling_and_initial(self):
+        base = constant_workload(60.0)
+        assert constant_workload(60.0, samples=16).digest() != base.digest()
+        assert constant_workload(60.0, initial="empty").digest() != base.digest()
+
+
+class TestConstructors:
+    def test_busy_hour_ramp_staircases_up_and_down(self):
+        profile = busy_hour_ramp(peak_multiplier=2.0, ramp_steps=4)
+        multipliers = [
+            segment.arrival_rate_multiplier for segment in profile.schedule.segments
+        ]
+        assert multipliers[0] == 1.0 and multipliers[-1] == 1.0
+        assert max(multipliers) == pytest.approx(2.0)
+        assert multipliers == multipliers[::-1]  # symmetric ramp
+        rising = multipliers[: len(multipliers) // 2 + 1]
+        assert all(b > a for a, b in zip(rising, rising[1:]))
+
+    def test_busy_hour_ramp_validation(self):
+        with pytest.raises(ValueError, match="peak_multiplier"):
+            busy_hour_ramp(peak_multiplier=1.0)
+        with pytest.raises(ValueError, match="ramp_steps"):
+            busy_hour_ramp(ramp_steps=0)
+
+    def test_flash_crowd_shape(self):
+        profile = flash_crowd(spike_multiplier=3.0)
+        multipliers = [
+            segment.arrival_rate_multiplier for segment in profile.schedule.segments
+        ]
+        assert multipliers == [1.0, 3.0, 1.0]
+        with pytest.raises(ValueError, match="spike_multiplier"):
+            flash_crowd(spike_multiplier=0.9)
+
+    def test_outage_recovery_overrides_channels(self):
+        profile = outage_recovery(outage_channels=12)
+        overrides = [
+            dict(segment.overrides) for segment in profile.schedule.segments
+        ]
+        assert overrides == [{}, {"number_of_channels": 12}, {}]
+        with pytest.raises(ValueError, match="at least 2 channels"):
+            outage_recovery(outage_channels=1)
+
+    def test_diurnal_cycle_peaks_at_peak_hour(self):
+        profile = diurnal_cycle(hours=24, amplitude=0.5, peak_hour=18.0)
+        multipliers = [
+            segment.arrival_rate_multiplier for segment in profile.schedule.segments
+        ]
+        assert len(multipliers) == 24
+        assert multipliers.index(max(multipliers)) in (17, 18)
+        assert max(multipliers) <= 1.5 + 1e-12
+        assert min(multipliers) >= 0.5 - 1e-12
+        with pytest.raises(ValueError, match="amplitude"):
+            diurnal_cycle(amplitude=1.0)
+        with pytest.raises(ValueError, match="hours"):
+            diurnal_cycle(hours=1)
