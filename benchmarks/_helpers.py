@@ -2,11 +2,58 @@
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 from repro.experiments.reporting import format_figure_result, format_scenario_result
 from repro.experiments.scale import ExperimentScale
 from repro.runtime import run_sweep, scenario
 
-__all__ = ["run_once", "report", "run_scenario_once", "report_scenario"]
+__all__ = [
+    "run_once",
+    "report",
+    "run_scenario_once",
+    "report_scenario",
+    "persist_timings",
+]
+
+#: Environment override for where :func:`persist_timings` accumulates records.
+BENCH_FILE_ENV = "GPRS_REPRO_BENCH_FILE"
+#: Default timing ledger, next to the benchmark modules.
+BENCH_FILE = Path(__file__).with_name("BENCH_repetition.json")
+
+
+def persist_timings(name: str, record: dict) -> Path | None:
+    """Append one timing record under ``name`` to the benchmark ledger.
+
+    The ledger (``benchmarks/BENCH_repetition.json``, override with the
+    ``GPRS_REPRO_BENCH_FILE`` environment variable) maps benchmark names to
+    lists of timestamped records, so repeated runs accumulate a perf
+    trajectory instead of overwriting each other.  Persistence is best
+    effort: an unwritable ledger (read-only checkout, sandboxed CI) returns
+    ``None`` and never fails the benchmark that produced the numbers.
+    """
+    path = Path(os.environ.get(BENCH_FILE_ENV) or BENCH_FILE)
+    try:
+        ledger = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(ledger, dict):
+            ledger = {}
+    except (OSError, ValueError):
+        ledger = {}
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())}
+    entry.update(record)
+    ledger.setdefault(name, []).append(entry)
+    try:
+        temporary = path.with_suffix(".tmp")
+        temporary.write_text(
+            json.dumps(ledger, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(temporary, path)
+    except OSError:
+        return None
+    return path
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -60,7 +60,11 @@ def test_transient_template_reuse_speedup():
 
     Both arms are timed twice, interleaved, and compared on their best runs
     so a load spike on a shared CI runner cannot fail the assertion by
-    hitting only one side.
+    hitting only one side.  Propagator memoisation is disabled in both arms:
+    the segments of the two arms are content-identical, so the shared cache
+    would otherwise replay every propagation after the first run and the
+    comparison would degenerate to construction cost alone (that reuse has
+    its own benchmark in ``test_bench_repetition.py``).
     """
     params = scenario("figure12").parameters(
         ExperimentScale.default()
@@ -71,10 +75,12 @@ def test_transient_template_reuse_speedup():
     cold = warm = None
     for _ in range(2):
         start = time.perf_counter()
-        cold = TransientModel(profile, params, share_templates=False).solve()
+        cold = TransientModel(
+            profile, params, share_templates=False, memoise_propagators=False
+        ).solve()
         cold_seconds.append(time.perf_counter() - start)
         start = time.perf_counter()
-        warm = TransientModel(profile, params).solve()
+        warm = TransientModel(profile, params, memoise_propagators=False).solve()
         warm_seconds.append(time.perf_counter() - start)
 
     speedup = min(cold_seconds) / min(warm_seconds)
@@ -106,8 +112,12 @@ def test_transient_template_reuse_smoke():
         recovery_duration_s=10.0,
         samples=4,
     )
-    warm = TransientModel(profile, params).solve()
-    cold = TransientModel(profile, params, share_templates=False).solve()
+    # Memoisation off for the same reason as the speedup benchmark above:
+    # the smoke check is about template accounting and real matvec work.
+    warm = TransientModel(profile, params, memoise_propagators=False).solve()
+    cold = TransientModel(
+        profile, params, share_templates=False, memoise_propagators=False
+    ).solve()
     print()
     print(
         f"smoke flash crowd ({params.state_space_size} states): shared "

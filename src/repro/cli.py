@@ -30,7 +30,11 @@ content-addressed result cache (default
 so repeated and incremental runs skip already-solved sweep points.  Sweeps
 are solved incrementally in chunks of adjacent arrival rates that share one
 generator template and warm-start each other (``--chunk-size`` sets the
-chunk length; ``--cold`` disables warm-starting for A/B timing).
+chunk length; ``--cold`` disables warm-starting for A/B timing).  Network
+sweeps can additionally pipeline points x cells through one shared job pool
+(``network <name> --pipelined --jobs N``), and transient trajectories serve
+repeated identical segments from the in-process propagator cache (reported
+as "propagator replay(s)").
 """
 
 from __future__ import annotations
@@ -125,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     network_parser.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"
+    )
+    network_parser.add_argument(
+        "--pipelined", action="store_true",
+        help="schedule points x cells through one shared job pool (points "
+        "solved independently; bitwise identical for any --jobs)",
     )
     # Network sweeps have no point-chunking (cells parallelise within a
     # point), so the --chunk-size knob would be a silent no-op here.
@@ -330,6 +339,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 jobs=args.jobs,
                 cache=_cache_from_args(args),
                 warm=not args.cold,
+                pipelined=args.pipelined,
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -371,6 +381,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         rows = solution.measures.as_dict()
         rows["states"] = solution.parameters.state_space_size
         rows["solver"] = solution.steady_state.method
+        rows["solver iterations"] = solution.steady_state.iterations
+        if solution.steady_state.coarse_corrections:
+            rows["coarse corrections"] = solution.steady_state.coarse_corrections
         print(format_table("Analytical model solution", rows))
         return 0
 

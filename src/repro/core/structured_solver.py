@@ -41,6 +41,28 @@ directly on the ``(K+1, B)`` grid, where it costs a few vector operations),
 so the result is the stationary distribution of the complete chain, not an
 approximation.
 
+On deep buffers a **two-level coarse-space correction** targets the
+slowly-diffusing buffer modes directly.  The phases are aggregated by the
+pair ``(n, m - r)`` -- the only coordinates the buffer rates depend on (the
+arrival rate of a fibre is a function of the active sessions ``m - r`` alone,
+the service rate of the free channels ``C - n`` alone), so the restricted
+birth/death rates of the coarse chain over ``(k, n, m - r)`` are *exact*, and
+no transition of the chain moves ``k`` and the phase at once, so the coarse
+operator keeps the fine operator's level structure.  The coarse system (a few
+hundred times smaller than the chain) is factorised once per engaged solve
+with a fill-reducing sparse LU; at each extrapolation-window boundary the
+balance residual is restricted, the coarse correction equation is solved
+exactly, and the prolongated correction -- least-squares-combined with a
+small *recycled subspace* of previous sweep-point directions (the differences
+of the warm-start stack) -- is applied.  Each correction is accepted only
+when it measurably lowers the true residual, so -- like the reduced-rank
+extrapolation -- it can never degrade the solution.  The machinery engages
+lazily (deep buffers only, and only once the iteration has proven slow), so
+short warm-started solves never pay the factorisation; with the correction
+disabled the iteration is bitwise identical to the plain path.  This is what
+stops the sweep count from scaling with the buffer size ``K`` (cf. multilevel
+aggregation for Markov chains and Krylov subspace recycling, PAPERS.md).
+
 Arrival-rate sweeps can reuse a :class:`StructuredSolveContext` across
 points: it caches everything that does not depend on the swept arrival rate
 (the rate grids, the fibre couplings and the frozen sparsity pattern of the
@@ -384,6 +406,43 @@ class StructuredSolveContext:
         exit_rates = np.asarray(matrix.sum(axis=1)).ravel()
         return matrix, exit_rates
 
+    def coarse_groups(self) -> tuple[np.ndarray, int]:
+        """Return the phase aggregation map of the two-level correction.
+
+        Phases are grouped by ``(n, m - r)`` -- the only coordinates the
+        buffer rates depend on, so the coarse birth/death rates are exact
+        under restriction.  When that grouping would be large (paper-size
+        session caps), it falls back to grouping by ``n`` alone, which keeps
+        the coarse factorisation trivially cheap at a modest loss of
+        correction quality.  The map depends only on the configuration, so it
+        is computed once per context and cached (the ``GeneratorTemplate``
+        pattern applied to the coarse level).
+        """
+        cached = self.__dict__.get("_coarse_groups")
+        if cached is None:
+            pair_m = np.empty(self.pair_count, dtype=np.int64)
+            pair_r = np.empty(self.pair_count, dtype=np.int64)
+            position = 0
+            for m in range(self.space.max_sessions + 1):
+                count = m + 1
+                pair_m[position : position + count] = m
+                pair_r[position : position + count] = np.arange(count)
+                position += count
+            active = pair_m - pair_r
+            n = np.repeat(
+                np.arange(self.phases // self.pair_count, dtype=np.int64),
+                self.pair_count,
+            )
+            bands = self.space.max_sessions + 1
+            gid = n * bands + np.tile(active, self.phases // self.pair_count)
+            groups = int(gid.max()) + 1
+            if groups > _COARSE_MAX_GROUPS:
+                gid = n
+                groups = self.phases // self.pair_count
+            cached = (gid, groups)
+            self.__dict__["_coarse_groups"] = cached
+        return cached
+
     # Grid <-> flat reordering (flat index = (n (K+1) + k) P + p).
     def to_flat(self, grid: np.ndarray) -> np.ndarray:
         cube = grid.reshape(self.levels, -1, self.pair_count)
@@ -444,6 +503,122 @@ def _thomas_solve(factors, rhs: np.ndarray, work: np.ndarray | None = None) -> n
     return x
 
 
+class _CoarseCorrector:
+    """Two-level correction plus recycled-subspace deflation for one solve.
+
+    Holds the per-engagement scaffolding of the repetition-reuse pass: the
+    sparse LU factorisation of the level-aggregated coarse operator (grounded
+    at its last unknown -- the coarse generator is singular, and the
+    acceptance gate makes the grounding choice harmless) and the recycled
+    directions -- differences of the warm-start stack, i.e. the residual
+    directions the previous sweep points moved along -- with their
+    precomputed balance images (the balance map is linear and fixed, so each
+    recycled direction costs one application for the whole solve).  Built
+    only from the solve's own inputs, so reuse never couples solves: the
+    parallel == serial and warm == cold contracts are untouched.
+    """
+
+    def __init__(
+        self,
+        context: StructuredSolveContext,
+        weights: np.ndarray,
+        phase_off: sp.csr_matrix,
+        phase_exit: np.ndarray,
+        diag: np.ndarray,
+        recycled: list[np.ndarray],
+    ) -> None:
+        import scipy.sparse.linalg as spla
+
+        self._sub = context.sub
+        self._sup = context.sup
+        self._diag = diag
+        self._phase_off = phase_off
+        levels, phases = context.levels, context.phases
+        self._levels = levels
+        gid, groups = context.coarse_groups()
+        self._gid = gid
+        self._groups = groups
+        group_mass = np.zeros(groups)
+        np.add.at(group_mass, gid, weights)
+        # Prolongation weights: the phase marginal conditioned within each
+        # group (the restriction itself is the plain group sum).
+        self._weights = weights / np.where(group_mass[gid] > 0, group_mass[gid], 1.0)
+        restrict = sp.csr_matrix(
+            (np.ones(phases), (np.arange(phases), gid)), shape=(phases, groups)
+        )
+        prolong = sp.csr_matrix(
+            (self._weights, (gid, np.arange(phases))), shape=(groups, phases)
+        )
+        coupling = (prolong @ phase_off @ restrict).tocoo()
+        exit_c = prolong @ phase_exit
+        birth = (prolong @ context.arrival.T).T  # (levels, groups); exact
+        death = (prolong @ context.service.T).T
+        # Assemble the Galerkin coarse operator over (k, group): birth/death
+        # move k within a group, the restricted phase coupling acts within a
+        # level -- exactly the structure of the fine chain, a few hundred
+        # times smaller.
+        ks = np.arange(levels)
+        level_up = np.repeat(ks[:-1] * groups, groups) + np.tile(
+            np.arange(groups), levels - 1
+        )
+        level_dn = np.repeat(ks[1:] * groups, groups) + np.tile(
+            np.arange(groups), levels - 1
+        )
+        off_mask = coupling.row != coupling.col
+        couple_a = np.tile(coupling.row[off_mask], levels)
+        couple_b = np.tile(coupling.col[off_mask], levels)
+        couple_v = np.tile(coupling.data[off_mask], levels)
+        couple_k = np.repeat(ks * groups, int(off_mask.sum()))
+        self_coupling = np.zeros(groups)
+        diag_mask = ~off_mask
+        np.add.at(self_coupling, coupling.row[diag_mask], coupling.data[diag_mask])
+        diag_v = (-(birth + death) - exit_c[None, :] + self_coupling[None, :]).ravel()
+        unknowns = levels * groups
+        rows = np.concatenate(
+            [level_up, level_dn, couple_k + couple_a, np.arange(unknowns)]
+        )
+        cols = np.concatenate(
+            [level_up + groups, level_dn - groups, couple_k + couple_b,
+             np.arange(unknowns)]
+        )
+        values = np.concatenate(
+            [birth[:-1, :].ravel(), death[1:, :].ravel(), couple_v, diag_v]
+        )
+        operator = sp.coo_matrix(
+            (values, (rows, cols)), shape=(unknowns, unknowns)
+        ).tocsc()
+        # Row-vector correction equation e A_c = -r_c.  The coarse generator
+        # is singular with solution family e + t nu (nu = its stationary
+        # distribution), so one unknown is grounded -- at level 0 of the
+        # heaviest group, where nu is largest: grounding where nu is
+        # negligible (e.g. the top buffer level) would admit an enormous
+        # near-null component that dumps mass into zero-probability states.
+        # MMD(A^T + A) keeps the LU fill far below the default ordering on
+        # this lattice-like pattern.
+        self._pin = int(np.argmax(group_mass))
+        self._keep = np.flatnonzero(np.arange(unknowns) != self._pin)
+        grounded = operator.T[self._keep][:, self._keep].tocsc()
+        self._lu = spla.splu(grounded, permc_spec="MMD_AT_PLUS_A")
+        self.recycled = [(direction, self.balance(direction)) for direction in recycled]
+
+    def balance(self, x: np.ndarray) -> np.ndarray:
+        """Apply the (linear) grid balance map ``x -> x Q`` in grid form."""
+        out = self._diag * x
+        out[1:] += self._sub[1:] * x[:-1]
+        out[:-1] += self._sup[:-1] * x[1:]
+        out += x @ self._phase_off
+        return out
+
+    def direction(self, residual_grid: np.ndarray) -> np.ndarray:
+        """Return the coarse correction direction for one residual grid."""
+        restricted = np.zeros((self._levels, self._groups))
+        np.add.at(restricted.T, self._gid, residual_grid.T)
+        correction = np.zeros(self._levels * self._groups)
+        correction[self._keep] = self._lu.solve(-restricted.ravel()[self._keep])
+        correction = correction.reshape(self._levels, self._groups)
+        return correction[:, self._gid] * self._weights[None, :]
+
+
 def _combine_seed_stack(stack: np.ndarray, generator: sp.csr_matrix) -> np.ndarray:
     """Return the affine combination of previous solutions minimising ``||x Q||``.
 
@@ -476,6 +651,28 @@ _RRE_WINDOW = 6
 #: State count above which the extrapolation window is shortened to bound
 #: the memory of the stored iterates.
 _RRE_LARGE_STATE_LIMIT = 1_000_000
+#: Most recycled (previous sweep-point) directions kept by the correction.
+_RECYCLE_LIMIT = 3
+#: Buffer levels below which the coarse correction never engages: shallow
+#: buffers converge in a handful of windows and their iteration stays
+#: bitwise identical to the plain path.
+_COARSE_MIN_LEVELS = 48
+#: Coarse-space size cap: beyond it the (n, m - r) grouping falls back to
+#: grouping by n alone so the coarse factorisation stays trivially cheap.
+_COARSE_MAX_GROUPS = 320
+#: Extrapolation window used while the correction pass is enabled on a deep
+#: buffer (slow diffusion modes reward a longer difference history).
+_COARSE_RRE_WINDOW = 10
+#: Completed windows before the coarse operator is factorised: a solve that
+#: converges quickly (every warm-started sweep point) never pays the setup.
+_COARSE_TRIGGER_WINDOWS = 2
+#: Residual (in units of ``tol``) below which a pending coarse engagement is
+#: skipped -- the iterate is about to converge anyway.
+_COARSE_TRIGGER_RESIDUAL = 100.0
+#: Scaled seed residual above which the coarse operator is factorised before
+#: the first sweep: a cold seed's smooth error is exactly what the coarse
+#: space removes (warm seeds start decades lower and skip the setup).
+_COARSE_SEED_RESIDUAL = 1e-4
 
 
 def solve_structured(
@@ -490,6 +687,7 @@ def solve_structured(
     damping: float = 1.0,
     initial: np.ndarray | None = None,
     context: StructuredSolveContext | None = None,
+    coarse_correction: bool = True,
 ) -> SteadyStateResult:
     """Compute the stationary distribution with the fibre/phase iteration.
 
@@ -527,6 +725,18 @@ def solve_structured(
     context:
         Optional :class:`StructuredSolveContext` shared across the points of
         an arrival-rate sweep; built on the fly when absent.
+    coarse_correction:
+        Enable the two-level coarse-space correction (plus the recycled
+        subspace built from the warm-start stack's difference directions).
+        On deep buffers (``K + 1 >= 48`` levels) the extrapolation window is
+        widened and, once the iteration has proven slow, the level-aggregated
+        coarse operator over ``(k, n, m - r)`` is factorised and a gated
+        correction is applied at every window boundary; the step is accepted
+        only when it lowers the true residual.  This removes most of the
+        sweep count's growth with the buffer size ``K`` while quick
+        (warm-started) solves never pay the factorisation.  ``False``
+        restores the plain iteration bitwise; shallow buffers are bitwise
+        identical either way.
     """
     if context is None or context.space is not space:
         context = StructuredSolveContext.build(params, space)
@@ -551,6 +761,7 @@ def solve_structured(
     # Initial guess: a supplied warm start (adjacent sweep points), otherwise
     # the phase marginal spread geometrically towards small k.
     pi = None
+    recycled: list[np.ndarray] = []
     if initial is not None:
         guess = np.asarray(initial, dtype=float)
         if guess.ndim == 2:
@@ -558,6 +769,18 @@ def solve_structured(
                 raise ValueError(
                     f"initial stack has shape {guess.shape}, expected (j, {space.size})"
                 )
+            if coarse_correction and guess.shape[0] >= 2:
+                # The stack's difference directions are the residual
+                # directions the previous sweep points converged along --
+                # the recycled subspace of the correction step (normalised
+                # for the conditioning of its least-squares system).
+                for row in range(
+                    max(0, guess.shape[0] - 1 - _RECYCLE_LIMIT), guess.shape[0] - 1
+                ):
+                    direction = context.from_flat(guess[row + 1] - guess[row])
+                    magnitude = float(np.max(np.abs(direction)))
+                    if magnitude > 0:
+                        recycled.append(direction / magnitude)
             guess = _combine_seed_stack(guess, generator)
         if guess.shape != (space.size,):
             raise ValueError(
@@ -567,6 +790,7 @@ def solve_structured(
         total = guess.sum()
         if total > 0 and np.isfinite(total):
             pi = guess / total
+    warm_seeded = pi is not None
     if pi is None:
         pi = np.tile(phase_marginal[None, :], (levels, 1))
         weights = np.exp(-np.arange(levels, dtype=float))[:, None]
@@ -603,11 +827,78 @@ def solve_structured(
         grid /= total
         return grid
 
+    coarse_enabled = coarse_correction and levels >= _COARSE_MIN_LEVELS
+    corrector: _CoarseCorrector | None = None
+    corrections = 0
+
+    def correction_step(pi, inflow, residual):
+        """One two-level + recycled-subspace correction, gated on improvement.
+
+        Two candidates compete against the current iterate: the full coarse
+        step (the exact solution of the coarse correction equation) and its
+        least-squares combination with the recycled directions.  A rejected
+        step hands the iterate back untouched, so the correction can never
+        regress.  Returns ``(pi, inflow, residual, accepted)``.
+        """
+        balance = diag * pi
+        balance[1:] += sub[1:] * pi[:-1]
+        balance[:-1] += sup[:-1] * pi[1:]
+        balance += inflow
+        directions = [corrector.direction(balance)]
+        balances = [corrector.balance(directions[0])]
+        for direction, image in corrector.recycled:
+            directions.append(direction)
+            balances.append(image)
+        candidates = [pi + directions[0]]
+        if len(directions) > 1:
+            gram = np.array(
+                [[float(np.vdot(a, b)) for b in balances] for a in balances]
+            )
+            moments = np.array([float(np.vdot(image, balance)) for image in balances])
+            try:
+                coefficients, *_ = np.linalg.lstsq(gram, -moments, rcond=None)
+            except np.linalg.LinAlgError:
+                coefficients = None
+            if coefficients is not None and np.isfinite(coefficients).all():
+                combined = pi.copy()
+                for coefficient, direction in zip(coefficients, directions):
+                    combined += coefficient * direction
+                candidates.append(combined)
+        best = (pi, inflow, residual, False)
+        for candidate in candidates:
+            candidate = rescale(candidate)
+            if candidate is None:
+                continue
+            candidate_inflow = candidate @ phase_off
+            candidate_residual = grid_residual(candidate, candidate_inflow)
+            if candidate_residual < best[2]:
+                best = (candidate, candidate_inflow, candidate_residual, True)
+        return best
+
     window = _RRE_WINDOW if space.size <= _RRE_LARGE_STATE_LIMIT else 4
+    if coarse_enabled and space.size <= _RRE_LARGE_STATE_LIMIT:
+        window = _COARSE_RRE_WINDOW
     inflow = pi @ phase_off
     residual = grid_residual(pi, inflow)
+    # A cold seed's smooth error is exactly what the coarse space removes, so
+    # the corrector engages immediately; warm-started solves converge in a
+    # couple of windows and only engage through the window trigger below if
+    # the iteration proves unexpectedly slow.
+    if (
+        coarse_enabled
+        and not warm_seeded
+        and tol <= residual
+        and residual > _COARSE_SEED_RESIDUAL
+    ):
+        corrector = _CoarseCorrector(
+            context, phase_marginal, phase_off, phase_exit, diag, recycled
+        )
+        pi, inflow, residual, accepted = correction_step(pi, inflow, residual)
+        if accepted:
+            corrections += 1
     best_pi, best_residual = pi, residual
     sweeps = 0
+    completed_windows = 0
     # Ring storage for the extrapolation: the window's base iterate plus one
     # difference vector per sweep, written in place (no per-sweep stacking).
     differences = np.empty((window, space.size))
@@ -660,6 +951,23 @@ def solve_structured(
                         pi = candidate
                         inflow = candidate_inflow
                         residual = candidate_residual
+            completed_windows += 1
+            if (
+                coarse_enabled
+                and completed_windows >= _COARSE_TRIGGER_WINDOWS
+                and residual >= tol
+                and (
+                    corrector is not None
+                    or residual > _COARSE_TRIGGER_RESIDUAL * tol
+                )
+            ):
+                if corrector is None:
+                    corrector = _CoarseCorrector(
+                        context, phase_marginal, phase_off, phase_exit, diag, recycled
+                    )
+                pi, inflow, residual, accepted = correction_step(pi, inflow, residual)
+                if accepted:
+                    corrections += 1
             window_base = pi.ravel().copy()
             previous_flat = window_base
             filled = 0
@@ -680,4 +988,4 @@ def solve_structured(
             f"structured solver did not converge: scaled residual {certified:.2e} "
             f"after {sweeps} sweeps"
         )
-    return SteadyStateResult(flat, "structured", sweeps, certified * scale)
+    return SteadyStateResult(flat, "structured", sweeps, certified * scale, corrections)

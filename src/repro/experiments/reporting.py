@@ -125,11 +125,13 @@ def format_network_result(result: "NetworkSweepResult", *, precision: int = 5) -
         payload = point.payload
         status = "converged" if payload["converged"] else "NOT converged"
         frozen = payload.get("frozen_solves", 0)
+        pipelined = payload.get("pipelined_jobs", 0)
         origin = "cache" if point.from_cache else (
             f"{payload['solver_calls']} solver call(s), "
             f"{payload['cold_solves']} cold / "
             f"{payload['solver_calls'] - payload['cold_solves']} warm"
             + (f", {frozen} frozen" if frozen else "")
+            + (f", {pipelined} pipelined" if pipelined else "")
         )
         lines.append("")
         lines.append(
@@ -179,10 +181,12 @@ def format_transient_result(result: "TransientSweepResult", *, precision: int = 
     header = ["time [s]", "seg", "load", *spec.metrics]
     for point in result.points:
         payload = point.payload
+        replays = payload.get("propagator_hits", 0)
         origin = "cache" if point.from_cache else (
             f"{payload['matvecs']} matvec(s), "
             f"{payload['templates_built']} template(s) built, "
             f"{payload['early_stopped_segments']} early stop(s)"
+            + (f", {replays} propagator replay(s)" if replays else "")
         )
         lines.append("")
         lines.append(f"[base arrival rate {point.arrival_rate:.3g}]  {origin}")

@@ -67,12 +67,17 @@ class SteadyStateResult:
         Number of iterations used (0 for direct methods).
     residual:
         Infinity norm of ``pi @ Q`` measured after normalisation.
+    coarse_corrections:
+        Accepted two-level (coarse-space) correction steps.  Only the
+        structured solver's repetition-reuse pass produces them; 0 for every
+        generic solver and for structured solves with the correction disabled.
     """
 
     distribution: np.ndarray
     method: str
     iterations: int
     residual: float
+    coarse_corrections: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "distribution", np.asarray(self.distribution, dtype=float))

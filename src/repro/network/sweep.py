@@ -9,6 +9,19 @@ one's Erlang pre-pass with its converged rates and warm-starts even the first
 CTMC outer iteration with the previous point's stationary vectors, while the
 cells *within* a point are solved in parallel (``jobs``).
 
+With ``pipelined=True`` the sweep switches to the **two-level scheduler**
+(:func:`repro.runtime.executor.drive_pipelined`): every uncached point
+becomes a :class:`~repro.network.model.NetworkSolveDriver` and all the
+points' cell solves share one worker pool -- the cells of point ``i + 1``
+start while point ``i``'s outer iteration drains, so the pool never idles at
+iteration barriers or between points.  Pipelined points are solved
+independently (each still warm-starts its *own* outer iterations, but the
+cross-point continuation is off -- it would serialise the pipeline), which
+is exactly what keeps the schedule bitwise identical to its own serial
+execution regardless of ``jobs`` and of how the points interleave; values
+differ from the warm-continued sequential path only within solver tolerance,
+like every other warm/cold provenance difference.
+
 Each solved point is stored in the content-addressed result cache under a key
 that hashes the effective base-cell parameters *plus the topology digest*
 (routing matrix and per-cell overrides), with the computation kind set to
@@ -78,6 +91,16 @@ class NetworkSweepResult:
     def arrival_rates(self) -> tuple[float, ...]:
         return tuple(point.arrival_rate for point in self.points)
 
+    @property
+    def pipelined_jobs(self) -> int:
+        """Cell-solve jobs routed through the two-level pipelined scheduler.
+
+        0 for sequential (per-point) sweeps and for fully cache-served runs;
+        cached payloads report the provenance of the run that produced them,
+        exactly like ``solver_calls``.
+        """
+        return sum(point.payload.get("pipelined_jobs", 0) for point in self.points)
+
     def series(self, metric: str) -> tuple[float, ...]:
         """The network-mean of ``metric`` across the sweep."""
         return tuple(point.aggregate(metric) for point in self.points)
@@ -107,6 +130,7 @@ def network_sweep_payloads(
     jobs: int = 1,
     cache: "ResultCache | None" = None,
     warm: bool = True,
+    pipelined: bool = False,
 ) -> list[tuple[dict, bool]]:
     """Solve every point of a network scenario sweep, cache-aware.
 
@@ -114,7 +138,11 @@ def network_sweep_payloads(
     order; payloads are :meth:`~repro.network.model.NetworkResult.as_dict`
     renderings.  ``warm=False`` disables both the point-to-point continuation
     and the within-point warm starts across outer iterations (the ``--cold``
-    A/B knob); values shift only within solver tolerance.
+    A/B knob); values shift only within solver tolerance.  ``pipelined=True``
+    schedules points x cells through one shared job pool (see the module
+    docstring): points solve independently, their payloads gain a
+    ``pipelined_jobs`` provenance counter, and results are bitwise identical
+    for any ``jobs`` (ordered reassembly, per-point state isolation).
     """
     from concurrent.futures import ProcessPoolExecutor
 
@@ -127,6 +155,56 @@ def network_sweep_payloads(
     base = spec.parameters(scale)
     rates = spec.sweep_rates(scale)
     topology_dict = topology.to_dict()
+
+    if pipelined:
+        from repro.network.model import NetworkSolveDriver, _solve_cell_task
+        from repro.runtime.executor import drive_pipelined
+
+        ordered: list[tuple[dict, bool] | None] = [None] * len(rates)
+        misses: list[tuple[int, str | None]] = []
+        drivers: list[NetworkSolveDriver] = []
+        for index, rate in enumerate(rates):
+            params = base.with_arrival_rate(rate)
+            key = (
+                result_key(
+                    parameters_to_dict(params),
+                    solver=spec.solver,
+                    solver_tol=solver_tol,
+                    kind="network",
+                    network=topology_dict,
+                )
+                if cache is not None
+                else None
+            )
+            payload = cache.get(key) if cache is not None else None
+            if payload is not None:
+                ordered[index] = (payload, True)
+                continue
+            misses.append((index, key))
+            drivers.append(
+                NetworkSolveDriver(
+                    NetworkModel(
+                        topology,
+                        params,
+                        solver_method=spec.solver,
+                        solver_tol=solver_tol,
+                        warm=warm,
+                    )
+                )
+            )
+        solved, _ = drive_pipelined(drivers, _solve_cell_task, jobs)
+        writable = True
+        for (index, key), network_result in zip(misses, solved):
+            payload = network_result.as_dict()
+            payload["pipelined_jobs"] = network_result.solver_calls
+            if cache is not None and writable:
+                try:
+                    cache.put(key, payload)
+                except OSError:
+                    # Same degradation as the sequential path below.
+                    writable = False
+            ordered[index] = (payload, False)
+        return ordered
 
     # One pool serves every point of the sweep: the workers stay alive, so
     # their per-process scaffold caches (templates, structured contexts)
@@ -199,13 +277,15 @@ def run_network_sweep(
     jobs: int | None = None,
     cache: "ResultCache | None | str" = "ambient",
     warm: bool | None = None,
+    pipelined: bool | None = None,
 ) -> NetworkSweepResult:
     """Run one network scenario sweep and return its per-cell points.
 
-    The ``jobs`` / ``cache`` / ``warm`` arguments resolve against the ambient
-    :func:`~repro.runtime.executor.execution_options` exactly like
-    :func:`~repro.runtime.executor.run_sweep`; ``jobs`` parallelises the
-    cells within each point.
+    The ``jobs`` / ``cache`` / ``warm`` / ``pipelined`` arguments resolve
+    against the ambient :func:`~repro.runtime.executor.execution_options`
+    exactly like :func:`~repro.runtime.executor.run_sweep`; ``jobs``
+    parallelises the cells within each point, or -- with ``pipelined`` --
+    all points' cells through one shared pool.
     """
     from repro.experiments.scale import ExperimentScale
     from repro.runtime.executor import current_options
@@ -215,6 +295,7 @@ def run_network_sweep(
     effective_jobs = options.jobs if jobs is None else jobs
     effective_cache = options.cache if cache == "ambient" else cache
     effective_warm = options.warm if warm is None else warm
+    effective_pipelined = options.pipelined if pipelined is None else pipelined
 
     solved = network_sweep_payloads(
         spec,
@@ -222,6 +303,7 @@ def run_network_sweep(
         jobs=effective_jobs,
         cache=effective_cache,
         warm=effective_warm,
+        pipelined=effective_pipelined,
     )
     rates = spec.sweep_rates(scale)
     points = tuple(

@@ -73,7 +73,7 @@ def result_key(
     kind: str = "analytical",
     seed: int | None = None,
     network: dict | None = None,
-    transient: dict | None = None,
+    transient: dict | str | None = None,
     code_version: str = CODE_VERSION,
 ) -> str:
     """Return the content hash of one sweep point.
@@ -103,11 +103,14 @@ def result_key(
         any edge weight or override cache separately -- and never share
         entries with single-cell runs (``None``).
     transient:
-        Workload-profile rendering for transient points: the full
-        :meth:`~repro.transient.schedule.WorkloadProfile.to_dict` form
-        (schedule segments, sampling grid, initial condition), so profiles
-        that differ in any segment or sample cache separately -- and never
-        share entries with steady-state runs (``None``).
+        Workload-profile identity for transient points: the profile's cached
+        content :meth:`~repro.transient.schedule.WorkloadProfile.digest`
+        (preferred -- computed once per profile, so per-point keys stop
+        re-rendering the whole schedule), or the full
+        :meth:`~repro.transient.schedule.WorkloadProfile.to_dict` rendering.
+        Either way profiles that differ in any segment or sample cache
+        separately -- and never share entries with steady-state runs
+        (``None``).
     code_version:
         Version tag; defaults to :data:`CODE_VERSION`.
     """

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -66,6 +66,7 @@ __all__ = [
     "ScenarioRunResult",
     "SweepPoint",
     "current_options",
+    "drive_pipelined",
     "execution_options",
     "run_sweep",
     "sweep_measure_dicts",
@@ -102,12 +103,19 @@ class ExecutionOptions:
         chunk of adjacent arrival rates.
     chunk_size:
         Points per warm-started chunk (also the parallel scheduling unit).
+    pipelined:
+        Network sweeps only: schedule points x cells through one shared job
+        pool (:func:`drive_pipelined`) instead of solving the points
+        sequentially.  Points are then solved independently (no cross-point
+        continuation), which keeps the pipeline bitwise identical to its own
+        serial execution; single-cell and transient sweeps ignore the flag.
     """
 
     jobs: int = 1
     cache: ResultCache | None = None
     warm: bool = True
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    pipelined: bool = False
 
 
 _OPTIONS: contextvars.ContextVar[ExecutionOptions] = contextvars.ContextVar(
@@ -126,15 +134,118 @@ def execution_options(
     cache: ResultCache | None = None,
     warm: bool = True,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    pipelined: bool = False,
 ):
     """Scope ambient execution options (used by ``run_experiment`` and the CLI)."""
     token = _OPTIONS.set(
-        ExecutionOptions(jobs=jobs, cache=cache, warm=warm, chunk_size=chunk_size)
+        ExecutionOptions(
+            jobs=jobs,
+            cache=cache,
+            warm=warm,
+            chunk_size=chunk_size,
+            pipelined=pipelined,
+        )
     )
     try:
         yield
     finally:
         _OPTIONS.reset(token)
+
+
+# ---------------------------------------------------------------------- #
+# Two-level pipelined scheduling of incremental solve drivers
+# ---------------------------------------------------------------------- #
+def drive_pipelined(drivers: list, worker, jobs: int) -> tuple[list, int]:
+    """Drive several incremental solve drivers through one shared job pool.
+
+    A *driver* is a solve broken into schedulable rounds: ``next_jobs()``
+    returns the picklable argument tuples of its next round (empty when
+    nothing needs solving this round), ``absorb(results)`` folds the round's
+    results back in and returns ``True`` once the solve is finished, and
+    ``result()`` assembles the final value
+    (:class:`repro.network.model.NetworkSolveDriver` is the canonical
+    implementation).  ``worker`` is the top-level function applied to each
+    job tuple.
+
+    With ``jobs > 1`` every driver's current round is in flight on one shared
+    :class:`ProcessPoolExecutor` simultaneously -- the two-level pipeline: as
+    one driver's round drains, the other drivers' jobs keep the workers busy,
+    and a finished round immediately submits its successor.  Reductions
+    (``absorb``) always run in this process, each driver's rounds stay
+    strictly ordered, and each job is built from its own driver's state
+    alone, so the computation is bitwise identical to the serial path
+    (``jobs <= 1``), which executes the very same rounds driver by driver in
+    list order.
+
+    Returns ``(results, dispatched)`` where ``results`` is in driver order
+    and ``dispatched`` counts the job tuples routed through the scheduler.
+    """
+    dispatched = 0
+
+    def advance(driver, round_results) -> list[tuple]:
+        """Absorb one round, then return the next round's jobs.
+
+        Skips through rounds that need no work (e.g. fully frozen outer
+        iterations) so the caller only ever sees non-empty rounds or
+        completion.
+        """
+        nonlocal dispatched
+        finished = driver.absorb(round_results)
+        while not finished:
+            round_jobs = driver.next_jobs()
+            if round_jobs:
+                dispatched += len(round_jobs)
+                return round_jobs
+            finished = driver.absorb([])
+        return []
+
+    def first_round(driver) -> list[tuple]:
+        nonlocal dispatched
+        round_jobs = driver.next_jobs()
+        if not round_jobs:
+            # A first round with nothing to solve: absorb it (advance counts
+            # any subsequent rounds itself).
+            return advance(driver, []) if not driver.done else []
+        dispatched += len(round_jobs)
+        return round_jobs
+
+    if jobs <= 1 or not drivers:
+        for driver in drivers:
+            round_jobs = first_round(driver)
+            while round_jobs:
+                round_jobs = advance(driver, [worker(job) for job in round_jobs])
+        return [driver.result() for driver in drivers], dispatched
+
+    pending: dict = {}
+    rounds: dict[int, list] = {}
+    outstanding: dict[int, int] = {}
+
+    def submit(pool, index: int, round_jobs: list[tuple]) -> None:
+        rounds[index] = [None] * len(round_jobs)
+        outstanding[index] = len(round_jobs)
+        for position, job in enumerate(round_jobs):
+            pending[pool.submit(worker, job)] = (index, position)
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for index, driver in enumerate(drivers):
+            round_jobs = first_round(driver)
+            if round_jobs:
+                submit(pool, index, round_jobs)
+        while pending:
+            completed, _ = wait(pending, return_when=FIRST_COMPLETED)
+            touched = set()
+            for future in completed:
+                index, position = pending.pop(future)
+                rounds[index][position] = future.result()
+                outstanding[index] -= 1
+                touched.add(index)
+            for index in touched:
+                if outstanding[index] == 0:
+                    next_jobs = advance(drivers[index], rounds.pop(index))
+                    outstanding.pop(index)
+                    if next_jobs:
+                        submit(pool, index, next_jobs)
+    return [driver.result() for driver in drivers], dispatched
 
 
 # ---------------------------------------------------------------------- #
@@ -371,6 +482,7 @@ def run_sweep(
     cache: ResultCache | None | str = "ambient",
     warm: bool | None = None,
     chunk_size: int | None = None,
+    pipelined: bool | None = None,
 ) -> ScenarioRunResult:
     """Run one scenario sweep and return its ordered points.
 
@@ -391,11 +503,16 @@ def run_sweep(
     warm, chunk_size:
         Sweep-aware incremental solving knobs (see :class:`ExecutionOptions`);
         ``None`` takes the ambient values.
+    pipelined:
+        Network scenarios only (see :class:`ExecutionOptions`); ``None``
+        takes the ambient value, and explicitly enabling it for a
+        single-cell or transient scenario is rejected.
 
     Network scenarios (a topology attached to the spec) run through
     :func:`repro.network.sweep.network_sweep_payloads` instead: each point is
-    a joint multi-cell solve, ``jobs`` parallelises the cells within a point,
-    and the returned values are the network-mean measures (use
+    a joint multi-cell solve, ``jobs`` parallelises the cells within a point
+    (or, with ``pipelined=True``, points x cells share one job pool), and
+    the returned values are the network-mean measures (use
     :func:`repro.network.sweep.run_network_sweep` for per-cell detail).
 
     Transient scenarios (a workload profile attached to the spec) run through
@@ -414,8 +531,16 @@ def run_sweep(
     effective_cache = options.cache if cache == "ambient" else cache
     effective_warm = options.warm if warm is None else warm
     effective_chunk = options.chunk_size if chunk_size is None else chunk_size
+    effective_pipelined = options.pipelined if pipelined is None else pipelined
 
     rates = spec.sweep_rates(scale)
+    if spec.network is None and pipelined:
+        # Pipelining schedules points x cells; without cells there is no
+        # second level, so rejecting the knob beats silently ignoring it.
+        raise ValueError(
+            "pipelined applies only to network scenarios; single-cell and "
+            "transient sweeps already parallelise across whole points"
+        )
     if spec.network is not None:
         from repro.network.sweep import network_sweep_payloads
 
@@ -432,6 +557,7 @@ def run_sweep(
             jobs=effective_jobs,
             cache=effective_cache,
             warm=effective_warm,
+            pipelined=effective_pipelined,
         )
         solved = [(payload["aggregates"], hit) for payload, hit in payloads]
     elif spec.transient is not None:

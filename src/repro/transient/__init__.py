@@ -17,6 +17,11 @@ handover balance) into a time-dependent model:
   carries the distribution across breakpoints (remapping it across
   state-space shape changes), detects steady state to stop early, and emits
   the QoS-measure trajectory.
+* :mod:`repro.transient.propagator` -- :class:`PropagatorCache`: memoised
+  segment propagators keyed by a content digest of everything a propagation
+  is a function of; repeated identical segments (diurnal cycles, staircase
+  sweeps, re-runs) are served by checkpointed replay at zero matvec cost,
+  bitwise identical to recomputation.
 * :mod:`repro.transient.sweep` -- arrival-rate sweeps of whole trajectories,
   cached under profile-aware keys with independent trajectories solved in
   parallel.
@@ -55,6 +60,11 @@ from repro.transient.model import (
     TransientModel,
     TransientResult,
 )
+from repro.transient.propagator import (
+    PropagatorCache,
+    SegmentReplay,
+    default_propagator_cache,
+)
 from repro.transient.sweep import (
     TransientSweepPoint,
     TransientSweepResult,
@@ -64,8 +74,10 @@ from repro.transient.sweep import (
 
 __all__ = [
     "SEGMENT_OVERRIDE_FIELDS",
+    "PropagatorCache",
     "RateSchedule",
     "ScheduleSegment",
+    "SegmentReplay",
     "SegmentTrace",
     "TrajectoryPoint",
     "TransientModel",
@@ -75,6 +87,7 @@ __all__ = [
     "WorkloadProfile",
     "busy_hour_ramp",
     "constant_workload",
+    "default_propagator_cache",
     "diurnal_cycle",
     "flash_crowd",
     "outage_recovery",

@@ -54,6 +54,12 @@ from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
 from repro.core.template import GeneratorTemplate
 from repro.markov.transient import poisson_truncation_point, uniformize
+from repro.transient.propagator import (
+    PropagatorCache,
+    SegmentReplay,
+    default_propagator_cache,
+    segment_key,
+)
 from repro.transient.schedule import WorkloadProfile
 
 __all__ = ["SegmentTrace", "TrajectoryPoint", "TransientModel", "TransientResult"]
@@ -185,6 +191,12 @@ class SegmentTrace:
     #: Time at which the stationarity residual fell below tolerance and the
     #: remaining propagation of the segment was skipped (``None`` = never).
     stationary_from_s: float | None
+    #: Achieved stationarity residual ``||pi P - pi||_inf`` at the early stop
+    #: (``None`` when the segment never early-stopped).
+    stationarity_residual: float | None = None
+    #: Whether this segment was served by a memoised propagator replay
+    #: (``matvecs`` is then 0; the recorded residual is reported unchanged).
+    replayed: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -199,6 +211,8 @@ class SegmentTrace:
             "remapped": self.remapped,
             "matvecs": self.matvecs,
             "stationary_from_s": self.stationary_from_s,
+            "stationarity_residual": self.stationarity_residual,
+            "replayed": self.replayed,
         }
 
 
@@ -219,6 +233,11 @@ class TransientResult:
         with the same fixed configuration only rewrite ``data`` arrays.
     early_stopped_segments:
         Segments whose propagation ended early on the stationarity residual.
+    propagator_hits:
+        Segments served by a memoised propagator replay instead of re-running
+        the matvec chain (see :mod:`repro.transient.propagator`); their
+        matvec cost is 0 and their sampled series are bitwise identical to a
+        recomputation.
     """
 
     profile: WorkloadProfile
@@ -228,6 +247,7 @@ class TransientResult:
     matvecs: int
     templates_built: int
     early_stopped_segments: int
+    propagator_hits: int
     final_distribution: np.ndarray = field(repr=False, compare=False)
 
     @property
@@ -286,6 +306,7 @@ class TransientResult:
             "matvecs": self.matvecs,
             "templates_built": self.templates_built,
             "early_stopped_segments": self.early_stopped_segments,
+            "propagator_hits": self.propagator_hits,
         }
 
 
@@ -327,6 +348,19 @@ class TransientModel:
         segment had the identical fixed configuration -- the A/B knob of the
         template-reuse benchmark.  Results are bitwise identical either way
         (templates are bitwise-faithful).
+    memoise_propagators:
+        Serve repeated identical segments -- same effective configuration,
+        handover rates, advance intervals, tolerances *and* starting
+        distribution -- by checkpointed replay from the propagator cache
+        instead of re-running the matvec chain (see
+        :mod:`repro.transient.propagator`).  Replays are bitwise identical to
+        recomputation by construction; ``False`` disables the cache entirely
+        (the A/B knob of the memoisation benchmark).
+    propagator_cache:
+        The :class:`~repro.transient.propagator.PropagatorCache` to use;
+        defaults to the process-wide shared cache, so repeated solves in one
+        process (re-runs, A/B arms, neighbouring sweep points) reuse each
+        other's segments.
     """
 
     def __init__(
@@ -340,6 +374,8 @@ class TransientModel:
         steady_state_tol: float = 1e-9,
         max_step_mean: float = 200.0,
         share_templates: bool = True,
+        memoise_propagators: bool = True,
+        propagator_cache: PropagatorCache | None = None,
     ) -> None:
         if not isinstance(profile, WorkloadProfile):
             raise ValueError("profile must be a WorkloadProfile")
@@ -359,6 +395,8 @@ class TransientModel:
         self._steady_tol = steady_state_tol
         self._max_step_mean = max_step_mean
         self._share_templates = share_templates
+        self._memoise = memoise_propagators
+        self._propagator_cache = propagator_cache
 
     @property
     def profile(self) -> WorkloadProfile:
@@ -441,19 +479,31 @@ class TransientModel:
             self._build_scaffolding(seg_params)
         )
 
-        # Quasi-stationary handover rates, each segment seeded by the last.
+        # Quasi-stationary handover rates, each *distinct* configuration
+        # balanced once (seeded by the previous segment's rates) and reused
+        # verbatim for every repetition.  The balance is a pure function of
+        # the segment parameters, so reuse is at least as accurate as
+        # re-balancing -- and it makes repeated segments bitwise-identical
+        # configurations, which is what lets the propagator cache serve them
+        # (a re-balance from a drifted seed moves the rates by ulps forever).
         balances: list[HandoverBalance] = []
+        balance_by_params: dict[GprsModelParameters, HandoverBalance] = {}
         previous: HandoverBalance | None = None
         for params in seg_params:
-            balance = balance_handover_rates(
-                params,
-                initial_gsm_handover_rate=(
-                    None if previous is None else previous.gsm_handover_arrival_rate
-                ),
-                initial_gprs_handover_rate=(
-                    None if previous is None else previous.gprs_handover_arrival_rate
-                ),
-            )
+            balance = balance_by_params.get(params)
+            if balance is None:
+                balance = balance_handover_rates(
+                    params,
+                    initial_gsm_handover_rate=(
+                        None if previous is None else previous.gsm_handover_arrival_rate
+                    ),
+                    initial_gprs_handover_rate=(
+                        None
+                        if previous is None
+                        else previous.gprs_handover_arrival_rate
+                    ),
+                )
+                balance_by_params[params] = balance
             balances.append(balance)
             previous = balance
 
@@ -462,10 +512,20 @@ class TransientModel:
 
         pi = self._initial_distribution(seg_params[0], seg_spaces[0], seg_templates[0])
 
+        cache = None
+        if self._memoise:
+            # Explicit None test: an empty PropagatorCache is falsy (__len__).
+            cache = (
+                self._propagator_cache
+                if self._propagator_cache is not None
+                else default_propagator_cache()
+            )
+
         points: list[TrajectoryPoint] = []
         traces: list[SegmentTrace] = []
         total_matvecs = 0
         early_stops = 0
+        propagator_hits = 0
         sample_cursor = 0
         current_time = 0.0
         segment_start = 0.0
@@ -482,54 +542,129 @@ class TransientModel:
                 pi = _remap_distribution(pi, seg_spaces[seg_index - 1], space)
                 remapped = True
 
-            generator = seg_templates[seg_index].generator(
-                params,
-                gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
-                gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
-            )
-            propagator = _SegmentPropagator(
-                generator,
-                truncation_tol=self._truncation_tol,
-                max_step_mean=self._max_step_mean,
-            )
-            stationary_from: float | None = None
-
-            def advance_to(target: float) -> None:
-                nonlocal pi, current_time, stationary_from
-                dt = max(0.0, target - current_time)
-                if dt > 0.0 and stationary_from is None:
-                    # One product decides whether any more are needed: once
-                    # the residual stalls the distribution is invariant for
-                    # the rest of this (time-homogeneous) segment.  A segment
-                    # that keeps evolving reuses the product as the first
-                    # series term, so the check itself costs nothing extra.
-                    stepped = propagator.step(pi)
-                    if float(np.max(np.abs(stepped - pi))) <= self._steady_tol:
-                        stationary_from = current_time
-                    else:
-                        pi = propagator.advance(pi, dt, first_step=stepped)
-                current_time = target
-
+            # The advance targets of this segment: every sample time falling
+            # inside it, plus the breakpoint carry (except after the final
+            # segment).  Their consecutive gaps are the exact dt sequence the
+            # propagation is a function of -- the replay key's time axis.
+            segment_samples: list[float] = []
             while (
                 sample_cursor < len(sample_times)
                 and sample_segments[sample_cursor] == seg_index
             ):
-                time = sample_times[sample_cursor]
-                advance_to(time)
-                points.append(
-                    TrajectoryPoint(
-                        time_s=time,
-                        segment=seg_index,
-                        arrival_rate=params.total_call_arrival_rate,
-                        values=compute_measures(params, space, pi, balance).as_dict(),
-                    )
-                )
+                segment_samples.append(sample_times[sample_cursor])
                 sample_cursor += 1
-
+            targets = list(segment_samples)
             if seg_index < last_segment:
                 # Carry the distribution to the breakpoint even when no
                 # sample touches the remainder of the segment.
-                advance_to(segment_end)
+                targets.append(segment_end)
+            intervals: list[float] = []
+            previous_time = current_time
+            for target in targets:
+                intervals.append(max(0.0, target - previous_time))
+                previous_time = target
+
+            key = None
+            replay = None
+            if cache is not None and targets:
+                key = segment_key(
+                    params,
+                    gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+                    gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+                    truncation_tol=self._truncation_tol,
+                    steady_state_tol=self._steady_tol,
+                    max_step_mean=self._max_step_mean,
+                    intervals=tuple(intervals),
+                    initial=pi,
+                )
+                replay = cache.get(key)
+
+            stationary_from: float | None = None
+            stationary_residual: float | None = None
+
+            if replay is not None:
+                # Checkpointed replay: the recorded distributions are what
+                # the matvec chain would reproduce, served at zero cost.
+                propagator_hits += 1
+                segment_matvecs = 0
+                for position, target in enumerate(targets):
+                    pi = replay.checkpoints[position]
+                    current_time = target
+                    if position < len(segment_samples):
+                        points.append(
+                            TrajectoryPoint(
+                                time_s=target,
+                                segment=seg_index,
+                                arrival_rate=params.total_call_arrival_rate,
+                                values=compute_measures(
+                                    params, space, pi, balance
+                                ).as_dict(),
+                            )
+                        )
+                if replay.stationary_offset_s is not None:
+                    stationary_from = segment_start + replay.stationary_offset_s
+                    stationary_residual = replay.stationary_residual
+            else:
+                generator = seg_templates[seg_index].generator(
+                    params,
+                    gsm_handover_arrival_rate=balance.gsm_handover_arrival_rate,
+                    gprs_handover_arrival_rate=balance.gprs_handover_arrival_rate,
+                )
+                propagator = _SegmentPropagator(
+                    generator,
+                    truncation_tol=self._truncation_tol,
+                    max_step_mean=self._max_step_mean,
+                )
+
+                def advance_to(target: float) -> None:
+                    nonlocal pi, current_time, stationary_from, stationary_residual
+                    dt = max(0.0, target - current_time)
+                    if dt > 0.0 and stationary_from is None:
+                        # One product decides whether any more are needed:
+                        # once the residual stalls the distribution is
+                        # invariant for the rest of this (time-homogeneous)
+                        # segment.  A segment that keeps evolving reuses the
+                        # product as the first series term, so the check
+                        # itself costs nothing extra.
+                        stepped = propagator.step(pi)
+                        residual = float(np.max(np.abs(stepped - pi)))
+                        if residual <= self._steady_tol:
+                            stationary_from = current_time
+                            stationary_residual = residual
+                        else:
+                            pi = propagator.advance(pi, dt, first_step=stepped)
+                    current_time = target
+
+                checkpoints: list[np.ndarray] = []
+                for position, target in enumerate(targets):
+                    advance_to(target)
+                    checkpoints.append(pi)
+                    if position < len(segment_samples):
+                        points.append(
+                            TrajectoryPoint(
+                                time_s=target,
+                                segment=seg_index,
+                                arrival_rate=params.total_call_arrival_rate,
+                                values=compute_measures(
+                                    params, space, pi, balance
+                                ).as_dict(),
+                            )
+                        )
+                segment_matvecs = propagator.matvecs
+                if key is not None:
+                    cache.put(
+                        key,
+                        SegmentReplay(
+                            checkpoints=tuple(checkpoints),
+                            matvecs=segment_matvecs,
+                            stationary_offset_s=(
+                                None
+                                if stationary_from is None
+                                else stationary_from - segment_start
+                            ),
+                            stationary_residual=stationary_residual,
+                        ),
+                    )
 
             if stationary_from is not None:
                 early_stops += 1
@@ -544,11 +679,13 @@ class TransientModel:
                     states=space.size,
                     template_reused=seg_reused[seg_index],
                     remapped=remapped,
-                    matvecs=propagator.matvecs,
+                    matvecs=segment_matvecs,
                     stationary_from_s=stationary_from,
+                    stationarity_residual=stationary_residual,
+                    replayed=replay is not None,
                 )
             )
-            total_matvecs += propagator.matvecs
+            total_matvecs += segment_matvecs
             segment_start = segment_end
 
         return TransientResult(
@@ -559,5 +696,9 @@ class TransientModel:
             matvecs=total_matvecs,
             templates_built=templates_built,
             early_stopped_segments=early_stops,
-            final_distribution=pi,
+            propagator_hits=propagator_hits,
+            # A replayed final segment hands out the cache's read-only copy;
+            # the result's distribution must stay writable (and detached from
+            # the cache) regardless of how it was produced.
+            final_distribution=pi if pi.flags.writeable else pi.copy(),
         )

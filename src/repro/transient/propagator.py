@@ -1,0 +1,204 @@
+"""Memoised segment propagators: checkpointed replay of repeated segments.
+
+Schedules repeat themselves: a diurnal cycle visits the same load twice a day
+(the cosine is symmetric around its peak), staircase sweeps walk the same
+multipliers up and down, and every re-run of a trajectory -- a warm cache
+miss on a neighbouring sweep point, an A/B comparison, the second day of a
+periodic schedule whose first day has settled -- re-solves propagations it
+has already performed.  The uniformisation matvec chain is by far the
+dominant cost of a transient solve, and it is a *pure function*: the
+distributions a segment produces are fully determined by the segment's
+generator (itself a pure function of the effective parameters and the
+balanced handover rates), the chain of advance intervals, the uniformisation
+tolerances, and the distribution the segment starts from.
+
+:class:`PropagatorCache` therefore keys a **content digest** of exactly those
+inputs to a :class:`SegmentReplay`: the distribution checkpoints at each
+advance target, the final distribution, the matvec count the original run
+spent, and the early-stop bookkeeping (whether the stationarity shortcut
+fired, at which offset, and at what achieved residual).  A repeated identical
+(configuration, durations, truncation, start) segment is then served by
+*checkpointed replay* -- the recorded distributions are handed back, bitwise
+identical to what re-running the matvec chain would produce, at zero matvec
+cost.  A near-miss (any input differing, even by one ulp in an interval)
+simply misses the cache and is recomputed, so memoisation can never change a
+trajectory -- only skip work that would reproduce known numbers.
+
+The cache is bounded by a byte budget (distribution checkpoints are the
+payload) with least-recently-used eviction, and is shared process-wide by
+default so consecutive :class:`~repro.transient.model.TransientModel` solves
+in one process -- cache-miss sweep points, repeated CLI runs, benchmark A/B
+arms -- reuse each other's segments.  Worker processes of a transient sweep
+each hold their own instance (the cache is deliberately not shipped across
+process boundaries), which keeps parallel sweeps bitwise identical to serial
+ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.parameters import GprsModelParameters
+
+__all__ = [
+    "PropagatorCache",
+    "SegmentReplay",
+    "default_propagator_cache",
+    "segment_key",
+]
+
+#: Default byte budget of the process-wide cache (checkpoint payload only).
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+def segment_key(
+    params: GprsModelParameters,
+    *,
+    gsm_handover_arrival_rate: float,
+    gprs_handover_arrival_rate: float,
+    truncation_tol: float,
+    steady_state_tol: float,
+    max_step_mean: float,
+    intervals: tuple[float, ...],
+    initial: np.ndarray,
+) -> str:
+    """Content digest of one segment propagation.
+
+    Hashes everything the propagation is a function of: the effective segment
+    parameters, the balanced handover rates (together they determine the
+    generator bitwise, through the bitwise-faithful template path), the
+    uniformisation tolerances, the exact advance intervals (the ``dt`` of each
+    :meth:`advance_to` call, which absorb the sampling grid and the segment
+    duration), and the raw bytes of the starting distribution.  Any
+    difference anywhere -- a parameter, an interval ulp, a single bit of the
+    start vector -- changes the key, so a hit guarantees a bitwise-faithful
+    replay.
+    """
+    rendering = json.dumps(
+        asdict(params), sort_keys=True, separators=(",", ":"), default=repr
+    )
+    digest = hashlib.sha256()
+    digest.update(rendering.encode("utf-8"))
+    digest.update(
+        np.array(
+            [
+                gsm_handover_arrival_rate,
+                gprs_handover_arrival_rate,
+                truncation_tol,
+                steady_state_tol,
+                max_step_mean,
+            ]
+        ).tobytes()
+    )
+    digest.update(np.asarray(intervals, dtype=float).tobytes())
+    digest.update(np.ascontiguousarray(initial).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SegmentReplay:
+    """The recorded outcome of one segment propagation.
+
+    Attributes
+    ----------
+    checkpoints:
+        The distribution after each advance target, in target order.  The
+        record stores its own read-only copies (one per distinct array -- a
+        segment that early-stops repeats the same vector across targets), so
+        neither the producing solve nor any consumer of a replayed result
+        can mutate cached data.
+    matvecs:
+        Matrix-vector products the original run spent (a replay spends 0).
+    stationary_offset_s:
+        Segment-relative time at which the stationarity shortcut fired
+        (``None`` = the segment never early-stopped).
+    stationary_residual:
+        The achieved stationarity residual ``||pi P - pi||_inf`` at the early
+        stop (``None`` when the segment never early-stopped).
+    """
+
+    checkpoints: tuple[np.ndarray, ...]
+    matvecs: int
+    stationary_offset_s: float | None
+    stationary_residual: float | None
+
+    def __post_init__(self) -> None:
+        # Snapshot the checkpoints: aliased entries (an early-stopped segment
+        # hands the same vector to every remaining target) stay aliased, so
+        # the copy -- like the byte accounting -- is per distinct array.
+        copies: dict[int, np.ndarray] = {}
+        frozen = []
+        for checkpoint in self.checkpoints:
+            copy = copies.get(id(checkpoint))
+            if copy is None:
+                copy = checkpoint.copy()
+                copy.setflags(write=False)
+                copies[id(checkpoint)] = copy
+            frozen.append(copy)
+        object.__setattr__(self, "checkpoints", tuple(frozen))
+
+    @property
+    def nbytes(self) -> int:
+        distinct = {id(checkpoint): checkpoint for checkpoint in self.checkpoints}
+        return sum(checkpoint.nbytes for checkpoint in distinct.values())
+
+
+@dataclass
+class PropagatorCache:
+    """Bounded, LRU-evicting store of :class:`SegmentReplay` records."""
+
+    max_bytes: int = DEFAULT_CACHE_BYTES
+    hits: int = 0
+    misses: int = 0
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _bytes: int = 0
+
+    def get(self, key: str) -> SegmentReplay | None:
+        """Return the replay stored under ``key`` (refreshing its LRU slot)."""
+        replay = self._entries.get(key)
+        if replay is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return replay
+
+    def put(self, key: str, replay: SegmentReplay) -> None:
+        """Store ``replay``, evicting least-recently-used entries over budget."""
+        if replay.nbytes > self.max_bytes:
+            return
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous.nbytes
+        self._entries[key] = replay
+        self._bytes += replay.nbytes
+        while self._bytes > self.max_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._bytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+
+_DEFAULT_CACHE: PropagatorCache | None = None
+
+
+def default_propagator_cache() -> PropagatorCache:
+    """Return the process-wide cache shared by default across solves."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = PropagatorCache()
+    return _DEFAULT_CACHE

@@ -223,9 +223,20 @@ class RateSchedule:
         )
 
     def digest(self) -> str:
-        """Stable content hash of the schedule (for cache keys and reports)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        """Stable content hash of the schedule (for cache keys and reports).
+
+        Computed once and cached on the instance: the dataclass is frozen
+        (every mutation path returns a new object), so the rendered content
+        can never change under a live digest.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            canonical = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -320,9 +331,19 @@ class WorkloadProfile:
         )
 
     def digest(self) -> str:
-        """Stable content hash of the profile (for cache keys and reports)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        """Stable content hash of the profile (for cache keys and reports).
+
+        Computed once and cached on the (frozen) instance, so sweep-point
+        cache keys that hash per point never re-render the full profile.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            canonical = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
 
 # ---------------------------------------------------------------------- #

@@ -156,6 +156,9 @@ def transient_sweep_payloads(
     point_dicts = [
         parameters_to_dict(base.with_arrival_rate(rate)) for rate in sweep_rates
     ]
+    # Keys carry the profile's cached content digest rather than the full
+    # rendering: the digest is computed once per profile, so per-point key
+    # hashing stops re-serialising the whole schedule at every sweep point.
     keys = (
         [
             result_key(
@@ -163,7 +166,7 @@ def transient_sweep_payloads(
                 solver=spec.solver,
                 solver_tol=solver_tol,
                 kind="transient",
-                transient=profile_dict,
+                transient=profile.digest(),
             )
             for point in point_dicts
         ]

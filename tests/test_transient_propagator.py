@@ -1,0 +1,185 @@
+"""Tests of the memoised segment propagators (checkpointed replay)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import GprsModelParameters
+from repro.experiments.scale import ExperimentScale
+from repro.runtime import scenario
+from repro.traffic.presets import TRAFFIC_MODEL_3
+from repro.transient import (
+    PropagatorCache,
+    RateSchedule,
+    ScheduleSegment,
+    SegmentReplay,
+    TransientModel,
+    WorkloadProfile,
+    constant_workload,
+    default_propagator_cache,
+    flash_crowd,
+)
+
+
+def _params(rate: float = 0.4) -> GprsModelParameters:
+    return GprsModelParameters.from_traffic_model(
+        TRAFFIC_MODEL_3, rate, buffer_size=6, max_gprs_sessions=3
+    )
+
+
+def _profile(samples: int = 4) -> WorkloadProfile:
+    return flash_crowd(
+        spike_multiplier=2.0,
+        lead_duration_s=4.0,
+        spike_duration_s=4.0,
+        recovery_duration_s=8.0,
+        samples=samples,
+    )
+
+
+class TestReplay:
+    def test_second_solve_replays_every_segment_bitwise(self):
+        cache = PropagatorCache()
+        params = _params()
+        profile = _profile()
+        cold = TransientModel(profile, params, propagator_cache=cache).solve()
+        warm = TransientModel(profile, params, propagator_cache=cache).solve()
+        assert cold.propagator_hits == 0
+        assert warm.propagator_hits == profile.schedule.number_of_segments
+        assert warm.matvecs == 0
+        assert all(trace.replayed for trace in warm.segments)
+        assert all(trace.matvecs == 0 for trace in warm.segments)
+        for metric in cold.points[0].values:
+            assert warm.series(metric) == cold.series(metric)
+        assert np.array_equal(warm.final_distribution, cold.final_distribution)
+
+    def test_replay_reports_the_same_early_stop_residual(self):
+        """Satellite contract: the achieved residual survives memoised replay."""
+        cache = PropagatorCache()
+        params = _params()
+        profile = constant_workload(60.0, samples=3, initial="stationary")
+        cold = TransientModel(profile, params, propagator_cache=cache).solve()
+        warm = TransientModel(profile, params, propagator_cache=cache).solve()
+        assert cold.early_stopped_segments == 1
+        trace = cold.segments[0]
+        assert trace.stationarity_residual is not None
+        assert trace.stationarity_residual <= 1e-9
+        replay = warm.segments[0]
+        assert replay.replayed
+        assert replay.stationary_from_s == trace.stationary_from_s
+        assert replay.stationarity_residual == trace.stationarity_residual
+        assert warm.early_stopped_segments == cold.early_stopped_segments
+
+    def test_memoisation_off_never_touches_a_cache(self):
+        cache = PropagatorCache()
+        params = _params()
+        profile = _profile()
+        TransientModel(profile, params, propagator_cache=cache).solve()
+        off = TransientModel(
+            profile, params, memoise_propagators=False, propagator_cache=cache
+        ).solve()
+        assert off.propagator_hits == 0
+        assert off.matvecs > 0
+        assert not any(trace.replayed for trace in off.segments)
+
+    def test_memoised_and_unmemoised_trajectories_are_bitwise_equal(self):
+        params = _params()
+        profile = _profile()
+        cache = PropagatorCache()
+        first = TransientModel(profile, params, propagator_cache=cache).solve()
+        replayed = TransientModel(profile, params, propagator_cache=cache).solve()
+        plain = TransientModel(profile, params, memoise_propagators=False).solve()
+        for metric in plain.points[0].values:
+            assert replayed.series(metric) == plain.series(metric)
+            assert first.series(metric) == plain.series(metric)
+        assert np.array_equal(replayed.final_distribution, plain.final_distribution)
+
+    def test_different_base_rate_misses_the_cache(self):
+        cache = PropagatorCache()
+        profile = _profile()
+        TransientModel(profile, _params(0.4), propagator_cache=cache).solve()
+        other = TransientModel(profile, _params(0.5), propagator_cache=cache).solve()
+        assert other.propagator_hits == 0
+
+    def test_repeated_segments_hit_within_one_trajectory(self):
+        """An alternating schedule whose pattern repeats exactly replays.
+
+        With a stationary start and long enough segments every segment
+        early-stops immediately (the distribution never changes), so the
+        repeated (configuration, intervals, start) triples are bitwise
+        identical from the second cycle on.
+        """
+        cache = PropagatorCache()
+        params = _params()
+        segments = tuple(
+            ScheduleSegment(duration_s=30.0, arrival_rate_multiplier=1.0)
+            for _ in range(4)
+        )
+        profile = WorkloadProfile(
+            schedule=RateSchedule(name="repeat", segments=segments),
+            samples=4,
+            initial="stationary",
+        )
+        result = TransientModel(profile, params, propagator_cache=cache).solve()
+        assert result.propagator_hits >= 1
+
+
+class TestCache:
+    def _replay(self, size: int = 64) -> SegmentReplay:
+        return SegmentReplay(
+            checkpoints=(np.zeros(size),),
+            matvecs=1,
+            stationary_offset_s=None,
+            stationary_residual=None,
+        )
+
+    def test_lru_eviction_respects_the_byte_budget(self):
+        replay = self._replay()
+        cache = PropagatorCache(max_bytes=3 * replay.nbytes)
+        for index in range(4):
+            cache.put(f"key-{index}", self._replay())
+        assert len(cache) == 3
+        assert cache.get("key-0") is None  # evicted (oldest)
+        assert cache.get("key-3") is not None
+
+    def test_get_refreshes_recency(self):
+        replay = self._replay()
+        cache = PropagatorCache(max_bytes=2 * replay.nbytes)
+        cache.put("a", self._replay())
+        cache.put("b", self._replay())
+        assert cache.get("a") is not None  # refresh "a"
+        cache.put("c", self._replay())  # evicts "b", not "a"
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_oversized_entry_is_not_stored(self):
+        replay = self._replay(1024)
+        cache = PropagatorCache(max_bytes=replay.nbytes - 1)
+        cache.put("big", replay)
+        assert len(cache) == 0
+
+    def test_checkpoints_are_frozen_read_only(self):
+        replay = self._replay()
+        with pytest.raises(ValueError):
+            replay.checkpoints[0][0] = 1.0
+
+    def test_default_cache_is_shared_process_wide(self):
+        assert default_propagator_cache() is default_propagator_cache()
+
+
+class TestRegisteredScenario:
+    def test_diurnal_smoke_replays_end_to_end(self):
+        spec = scenario("diurnal-24h")
+        params = spec.parameters(ExperimentScale.smoke()).with_arrival_rate(0.3)
+        profile = spec.transient
+        cache = PropagatorCache()
+        cold = TransientModel(profile, params, propagator_cache=cache).solve()
+        warm = TransientModel(profile, params, propagator_cache=cache).solve()
+        assert warm.propagator_hits == profile.schedule.number_of_segments
+        assert warm.matvecs == 0
+        for metric in cold.points[0].values:
+            assert warm.series(metric) == cold.series(metric)
+        payload = warm.as_dict()
+        assert payload["propagator_hits"] == warm.propagator_hits
+        assert payload["segments"][0]["replayed"] is True
