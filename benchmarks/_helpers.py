@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import json
 import os
-import time
 from pathlib import Path
 
+from repro import obs
 from repro.experiments.reporting import format_figure_result, format_scenario_result
 from repro.experiments.scale import ExperimentScale
 from repro.runtime import run_sweep, scenario
@@ -21,38 +20,64 @@ __all__ = [
 
 #: Environment override for where :func:`persist_timings` accumulates records.
 BENCH_FILE_ENV = "GPRS_REPRO_BENCH_FILE"
-#: Default timing ledger, next to the benchmark modules.
-BENCH_FILE = Path(__file__).with_name("BENCH_repetition.json")
+#: Default timing ledger, next to the benchmark modules.  Records are the
+#: same schema-versioned JSONL format the CLI's ``--ledger`` emits, so
+#: benchmark telemetry and production telemetry share one format (and one
+#: ``gprs-repro report`` / :func:`repro.obs.compare` toolchain).
+BENCH_FILE = Path(__file__).with_name("BENCH_repetition.jsonl")
 
 
-def persist_timings(name: str, record: dict) -> Path | None:
-    """Append one timing record under ``name`` to the benchmark ledger.
+def persist_timings(name: str, record: dict, *, wall_s: float = 0.0) -> Path | None:
+    """Append one run-ledger record for benchmark ``name``.
 
-    The ledger (``benchmarks/BENCH_repetition.json``, override with the
-    ``GPRS_REPRO_BENCH_FILE`` environment variable) maps benchmark names to
-    lists of timestamped records, so repeated runs accumulate a perf
-    trajectory instead of overwriting each other.  Persistence is best
-    effort: an unwritable ledger (read-only checkout, sandboxed CI) returns
-    ``None`` and never fails the benchmark that produced the numbers.
+    ``record``'s integer values become ledger counters and its float values
+    ledger gauges, so two records of the same benchmark diff through
+    :func:`repro.obs.compare` exactly like two production runs; the raw
+    record is also kept verbatim under ``args``.  When the ledger already
+    holds an earlier record of this benchmark, the delta against the latest
+    one is printed (visible with ``pytest -s`` and in CI logs) -- repeated
+    runs accumulate a perf trajectory with built-in regression diffs.
+
+    Persistence is best effort: an unwritable ledger (read-only checkout,
+    sandboxed CI) returns ``None`` and never fails the benchmark that
+    produced the numbers.  Override the path with the
+    ``GPRS_REPRO_BENCH_FILE`` environment variable.
     """
     path = Path(os.environ.get(BENCH_FILE_ENV) or BENCH_FILE)
+    counters = {
+        key: value
+        for key, value in record.items()
+        if isinstance(value, int) and not isinstance(value, bool)
+    }
+    gauges = {
+        key: float(value) for key, value in record.items() if isinstance(value, float)
+    }
+    entry = obs.make_record(
+        command="benchmark",
+        target=name,
+        args=dict(record),
+        wall_s=wall_s,
+        metrics={"counters": counters, "gauges": gauges, "histograms": {}},
+    )
+    previous = None
     try:
-        ledger = json.loads(path.read_text(encoding="utf-8"))
-        if not isinstance(ledger, dict):
-            ledger = {}
+        if path.exists():
+            candidates = [
+                existing
+                for existing in obs.read_ledger(str(path))
+                if existing.get("target") == name
+            ]
+            previous = candidates[-1] if candidates else None
     except (OSError, ValueError):
-        ledger = {}
-    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())}
-    entry.update(record)
-    ledger.setdefault(name, []).append(entry)
+        previous = None
     try:
-        temporary = path.with_suffix(".tmp")
-        temporary.write_text(
-            json.dumps(ledger, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
-        os.replace(temporary, path)
+        obs.append_record(str(path), entry)
     except OSError:
         return None
+    if previous is not None:
+        print()
+        print(f"[{name}] vs previous run:")
+        print(obs.render_compare(obs.compare(previous, entry)))
     return path
 
 

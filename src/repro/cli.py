@@ -35,6 +35,15 @@ sweeps can additionally pipeline points x cells through one shared job pool
 (``network <name> --pipelined --jobs N``), and transient trajectories serve
 repeated identical segments from the in-process propagator cache (reported
 as "propagator replay(s)").
+
+Observability (:mod:`repro.obs`): ``run``, ``sweep``, ``network``,
+``transient`` and ``solve`` accept ``--trace`` (print hierarchical span
+totals), ``--metrics`` (print the run's counter/gauge/histogram deltas) and
+``--ledger PATH`` (append one schema-versioned JSONL record to PATH);
+``gprs-repro report PATH`` renders a ledger record (top spans plus
+counters) and ``report PATH --compare OTHER`` diffs the latest records of
+two ledgers.  Instrumentation never changes numbers: results are bitwise
+identical with and without these flags.
 """
 
 from __future__ import annotations
@@ -176,6 +185,23 @@ def build_parser() -> argparse.ArgumentParser:
     solve_parser.add_argument(
         "--solver", default="auto", help="steady-state solver (auto, structured, direct, ...)"
     )
+    _add_obs_arguments(solve_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a run-ledger record (top spans and counters)"
+    )
+    report_parser.add_argument("ledger", type=Path, help="run-ledger JSONL file")
+    report_parser.add_argument(
+        "--index", type=int, default=-1,
+        help="record to render (default -1 = the latest)",
+    )
+    report_parser.add_argument(
+        "--top", type=int, default=10, help="span names to show (default 10)"
+    )
+    report_parser.add_argument(
+        "--compare", type=Path, default=None,
+        help="second ledger: diff its latest record against this one's",
+    )
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="run the network-level simulator for one configuration"
@@ -211,6 +237,19 @@ def _add_runtime_arguments(
         parser.add_argument("--chunk-size", type=int, default=None,
                             help="adjacent sweep points per warm-started chunk "
                             "(also the parallel scheduling unit; default 8)")
+    _add_obs_arguments(parser)
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="collect hierarchical spans and print their "
+                        "per-name totals after the run (results are bitwise "
+                        "identical with or without tracing)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the run's counter/gauge/histogram deltas")
+    parser.add_argument("--ledger", type=Path, default=None,
+                        help="append one schema-versioned JSONL run record "
+                        "(spans, metrics, spec digest, environment) to this file")
 
 
 def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
@@ -250,11 +289,142 @@ def _parameters_from_args(args: argparse.Namespace) -> GprsModelParameters:
     )
 
 
+def _report_command(args: argparse.Namespace) -> int:
+    """Render (or diff) run-ledger records for ``gprs-repro report``."""
+    from repro import obs
+
+    try:
+        if args.compare is not None:
+            diff = obs.compare(str(args.ledger), str(args.compare))
+            print(obs.render_compare(diff, top=args.top))
+            return 0
+        records = obs.read_ledger(str(args.ledger))
+        if not records:
+            print(f"error: {args.ledger}: ledger holds no records", file=sys.stderr)
+            return 2
+        try:
+            record = records[args.index]
+        except IndexError:
+            print(
+                f"error: {args.ledger}: no record at index {args.index} "
+                f"({len(records)} available)",
+                file=sys.stderr,
+            )
+            return 2
+        print(obs.render_report(record, top=args.top))
+        return 0
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _spec_payload(args: argparse.Namespace):
+    """The resolved spec a ledger record's digest is computed over."""
+    if args.command in ("sweep", "network", "transient"):
+        try:
+            return scenario(args.scenario).to_dict()
+        except (KeyError, ValueError):
+            return {"scenario": args.scenario}
+    if args.command == "run":
+        return {"experiment": args.experiment, "preset": args.preset}
+    if args.command == "solve":
+        from repro.runtime.spec import parameters_to_dict
+
+        return parameters_to_dict(_parameters_from_args(args))
+    return None
+
+
+def _obs_args_summary(args: argparse.Namespace) -> dict:
+    """The invocation knobs worth persisting in a ledger record."""
+    summary = {}
+    for name in ("jobs", "cold", "chunk_size", "pipelined", "rate", "solver",
+                 "no_cache", "json"):
+        value = getattr(args, name, None)
+        if value not in (None, False):
+            summary[name] = value if not isinstance(value, Path) else str(value)
+    return summary
+
+
+def _execute_with_obs(args: argparse.Namespace) -> int:
+    """Run one command inside an observability session.
+
+    Installs a live tracer with a root ``cli.<command>`` span (so span
+    totals account for the whole command's wall time), snapshots the metrics
+    registry around the run, then prints and/or persists what the flags
+    asked for.  The solve itself is the very same :func:`_execute` path an
+    uninstrumented invocation takes -- tracing changes no numbers.
+    """
+    import time
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    registry = obs.current_registry()
+    baseline = registry.snapshot()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    with obs.activate_tracer(tracer):
+        with tracer.span(f"cli.{args.command}"):
+            code = _execute(args)
+    wall_s = time.perf_counter() - wall_start
+    cpu_s = time.process_time() - cpu_start
+
+    record = obs.make_record(
+        command=args.command,
+        target=getattr(args, "scenario", None) or getattr(args, "experiment", None),
+        preset=getattr(args, "preset", None),
+        args=_obs_args_summary(args),
+        spec=_spec_payload(args),
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+        span_totals=tracer.span_totals(),
+        metrics=registry.delta_since(baseline),
+    )
+    if args.trace:
+        totals = sorted(
+            record["spans"].items(), key=lambda item: item[1]["wall_s"], reverse=True
+        )
+        print()
+        print(f"spans (wall {wall_s:.3f} s):")
+        width = max(len(name) for name, _ in totals) if totals else 0
+        for name, entry in totals:
+            share = 100.0 * entry["wall_s"] / wall_s if wall_s else 0.0
+            print(
+                f"  {name:<{width}}  {entry['wall_s']:>9.3f} s  "
+                f"{share:>5.1f}%  x{entry['count']}"
+            )
+    if args.metrics:
+        print()
+        print("metrics:")
+        counters = record["metrics"].get("counters", {})
+        gauges = record["metrics"].get("gauges", {})
+        names = sorted(counters) + sorted(gauges)
+        width = max(len(name) for name in names) if names else 0
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {counters[name]}")
+        for name in sorted(gauges):
+            print(f"  {name:<{width}}  {gauges[name]:g}")
+    if args.ledger is not None:
+        obs.append_record(str(args.ledger), record)
+        print(f"\nledger: appended 1 record to {args.ledger}", file=sys.stderr)
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``gprs-repro`` command; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "report":
+        return _report_command(args)
+    if getattr(args, "trace", False) or getattr(args, "metrics", False) or (
+        getattr(args, "ledger", None) is not None
+    ):
+        return _execute_with_obs(args)
+    return _execute(args)
 
+
+def _execute(args: argparse.Namespace) -> int:
+    """Dispatch one parsed command (shared by plain and instrumented runs)."""
     if args.command == "list":
         sections = []
         if args.kind in (None, "figures"):
@@ -407,8 +577,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_table("Simulation results (mid cell, 95% confidence)", rows))
         return 0
 
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

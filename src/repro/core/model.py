@@ -28,6 +28,8 @@ from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
 from repro.core.template import GeneratorTemplate
 from repro.markov.solvers import SolverError, SteadyStateResult, solve_steady_state
+from repro.obs.metrics import current_registry
+from repro.obs.trace import current_tracer
 
 __all__ = ["GprsMarkovModel", "GprsModelSolution", "build_solver_scaffold"]
 
@@ -277,7 +279,19 @@ class GprsMarkovModel:
     def _solve_steady_state(self) -> SteadyStateResult:
         if self._steady_state is not None:
             return self._steady_state
+        with current_tracer().span(
+            "model.steady_state", states=self.state_space.size
+        ):
+            result = self._solve_steady_state_uncached()
+        registry = current_registry()
+        registry.count("model.solves")
+        registry.count(
+            "model.warm_solves" if self._warm_start_used else "model.cold_solves"
+        )
+        registry.count("solver.iterations", result.iterations)
+        return result
 
+    def _solve_steady_state_uncached(self) -> SteadyStateResult:
         method = self._solver_method
         if method == "auto":
             method = (

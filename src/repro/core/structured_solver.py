@@ -79,6 +79,8 @@ import scipy.sparse as sp
 
 from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
+from repro.obs.metrics import current_registry
+from repro.obs.trace import current_tracer
 from repro.markov.solvers import (
     SolverError,
     SteadyStateResult,
@@ -738,6 +740,46 @@ def solve_structured(
         restores the plain iteration bitwise; shallow buffers are bitwise
         identical either way.
     """
+    registry = current_registry()
+    registry.count("solver.structured.solves")
+    registry.count(
+        "solver.structured.warm_seeded"
+        if initial is not None
+        else "solver.structured.cold_seeded"
+    )
+    with current_tracer().span("solver.structured", states=space.size):
+        result = _solve_structured_impl(
+            params,
+            space,
+            generator,
+            gsm_handover_arrival_rate=gsm_handover_arrival_rate,
+            gprs_handover_arrival_rate=gprs_handover_arrival_rate,
+            tol=tol,
+            max_sweeps=max_sweeps,
+            damping=damping,
+            initial=initial,
+            context=context,
+            coarse_correction=coarse_correction,
+        )
+    registry.count("solver.structured.sweeps", result.iterations)
+    registry.count("solver.structured.coarse_corrections", result.coarse_corrections)
+    return result
+
+
+def _solve_structured_impl(
+    params: GprsModelParameters,
+    space: GprsStateSpace,
+    generator: sp.csr_matrix,
+    *,
+    gsm_handover_arrival_rate: float,
+    gprs_handover_arrival_rate: float,
+    tol: float,
+    max_sweeps: int,
+    damping: float,
+    initial: np.ndarray | None,
+    context: StructuredSolveContext | None,
+    coarse_correction: bool,
+) -> SteadyStateResult:
     if context is None or context.space is not space:
         context = StructuredSolveContext.build(params, space)
     levels, phases = context.levels, context.phases

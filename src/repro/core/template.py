@@ -54,6 +54,8 @@ from repro.core.generator import assemble_generator
 from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
 from repro.core.transitions import enumerate_transitions
+from repro.obs.metrics import current_registry
+from repro.obs.trace import current_tracer
 
 __all__ = ["GeneratorTemplate"]
 
@@ -136,6 +138,14 @@ class GeneratorTemplate:
         arrival rate is irrelevant (a strictly positive reference rate is used
         so that every arrival transition is present in the pattern).
         """
+        current_registry().count("template.builds")
+        with current_tracer().span("template.build"):
+            return cls._build(params, space)
+
+    @classmethod
+    def _build(
+        cls, params: GprsModelParameters, space: GprsStateSpace | None
+    ) -> "GeneratorTemplate":
         if space is None:
             space = GprsStateSpace(
                 gsm_channels=params.gsm_channels,
@@ -269,6 +279,7 @@ class GeneratorTemplate:
             )
         if gsm_handover_arrival_rate < 0 or gprs_handover_arrival_rate < 0:
             raise ValueError("handover arrival rates must be non-negative")
+        current_registry().count("template.rewrites")
 
         # Identical arithmetic to enumerate_transitions, so the scalars are
         # bitwise-equal to the rates a fresh enumeration would produce.

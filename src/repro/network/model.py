@@ -57,6 +57,8 @@ from repro.core.model import GprsMarkovModel, build_solver_scaffold
 from repro.core.parameters import GprsModelParameters
 from repro.core.template import GeneratorTemplate
 from repro.network.topology import CellTopology
+from repro.obs.metrics import absorb_export, current_registry, export_delta
+from repro.obs.trace import current_tracer
 from repro.queueing.fixed_point import fixed_point_iteration
 
 __all__ = [
@@ -107,13 +109,18 @@ class _CellSolve:
     iterations: int
 
 
-def _solve_cell_task(job: tuple) -> _CellSolve:
+def _solve_cell_task(job: tuple) -> tuple[_CellSolve, dict]:
     """Solve one cell's CTMC with pinned incoming handover rates.
 
     Top-level so the process pool can pickle it; the serial path calls the
     very same function, which is what keeps ``jobs = N`` bitwise identical to
-    serial execution.
+    serial execution.  Returns ``(solve, metrics_export)``: the export ships
+    a worker registry's delta home, and
+    :meth:`NetworkSolveDriver.absorb` merges it only when it actually
+    crossed a process boundary (the PID guard), so the serial path -- whose
+    counts already landed in the parent registry -- is never double-counted.
     """
+    baseline = current_registry().snapshot()
     params, solver, solver_tol, gsm_incoming, gprs_incoming, initial = job
     space, template, context = _scaffold_for(params, solver)
     model = GprsMarkovModel(
@@ -135,7 +142,7 @@ def _solve_cell_task(job: tuple) -> _CellSolve:
     gprs_outgoing = params.gprs_handover_departure_rate * float(
         np.dot(distribution, states.gprs_sessions)
     )
-    return _CellSolve(
+    solve = _CellSolve(
         measures=solution.measures,
         gsm_outgoing_rate=gsm_outgoing,
         gprs_outgoing_rate=gprs_outgoing,
@@ -145,6 +152,7 @@ def _solve_cell_task(job: tuple) -> _CellSolve:
         warm=model.warm_start_used,
         iterations=solution.steady_state.iterations,
     )
+    return solve, export_delta(baseline)
 
 
 # ---------------------------------------------------------------------- #
@@ -455,15 +463,19 @@ class NetworkModel:
             if pool is None:
                 own_pool = ProcessPoolExecutor(max_workers=min(self._jobs, cells))
                 pool = own_pool
+        tracer = current_tracer()
         try:
             while True:
                 jobs = driver.next_jobs()
-                if pool is not None and len(jobs) > 1:
-                    new_solves = list(pool.map(_solve_cell_task, jobs))
-                else:
-                    new_solves = [_solve_cell_task(job) for job in jobs]
-                if driver.absorb(new_solves):
-                    break
+                with tracer.span(
+                    "network.outer_iteration", cells=len(jobs)
+                ):
+                    if pool is not None and len(jobs) > 1:
+                        new_solves = list(pool.map(_solve_cell_task, jobs))
+                    else:
+                        new_solves = [_solve_cell_task(job) for job in jobs]
+                    if driver.absorb(new_solves):
+                        break
         finally:
             if own_pool is not None:
                 own_pool.shutdown()
@@ -570,17 +582,32 @@ class NetworkSolveDriver:
             for index in active
         ]
 
-    def absorb(self, new_solves: list[_CellSolve]) -> bool:
+    def absorb(self, new_solves: list) -> bool:
         """Fold one outer iteration's cell solves back into the fixed point.
 
         ``new_solves`` must align with the job list of the latest
-        :meth:`next_jobs` call.  Returns ``True`` when the solve is finished
-        (converged past ``min_outer`` iterations, or budget exhausted -- in
-        which case the rates are left at the values the final solves actually
-        used, so the reported incoming rates and measures stay mutually
-        consistent even unconverged).
+        :meth:`next_jobs` call; each element is the ``(solve, export)`` pair
+        :func:`_solve_cell_task` returns (bare :class:`_CellSolve` values are
+        also accepted).  Worker metric exports are merged into this process's
+        registry here -- the single seam both :meth:`NetworkModel.solve` and
+        the pipelined scheduler flow through -- with same-PID exports skipped
+        (the serial path already counted in-process).  Returns ``True`` when
+        the solve is finished (converged past ``min_outer`` iterations, or
+        budget exhausted -- in which case the rates are left at the values
+        the final solves actually used, so the reported incoming rates and
+        measures stay mutually consistent even unconverged).
         """
         model = self._model
+        registry = current_registry()
+        unwrapped = []
+        for item in new_solves:
+            if isinstance(item, tuple):
+                solve, export = item
+                absorb_export(export, registry)
+            else:
+                solve = item
+            unwrapped.append(solve)
+        new_solves = unwrapped
         for index, solve in zip(self._active, new_solves):
             self._solves[index] = solve
             self._solved_gsm[index] = float(self._gsm_in[index])
@@ -590,6 +617,13 @@ class NetworkSolveDriver:
         self._cold_solves += sum(1 for solve in new_solves if not solve.warm)
         self._solver_iterations += sum(solve.iterations for solve in new_solves)
         self._distributions = [solve.distribution for solve in self._solves]
+        registry.count("network.outer_iterations")
+        registry.count("network.cell_solves", len(self._active))
+        registry.count("network.frozen_solves", self._cells - len(self._active))
+        registry.count(
+            "network.cold_solves",
+            sum(1 for solve in new_solves if not solve.warm),
+        )
 
         gsm_out = np.array([solve.gsm_outgoing_rate for solve in self._solves])
         gprs_out = np.array([solve.gprs_outgoing_rate for solve in self._solves])

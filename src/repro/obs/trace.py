@@ -1,0 +1,185 @@
+"""Hierarchical spans with zero cost when tracing is disabled.
+
+The tracer answers "where did the time go" for any run without perturbing
+it.  A :class:`Tracer` hands out context-managed spans::
+
+    with tracer.span("network.outer_iteration", cell=i):
+        ...
+
+Each span records monotonic wall time (``time.perf_counter``) and process
+CPU time (``time.process_time``), nests under whichever span is open on the
+same tracer, and carries arbitrary keyword attributes.  Closing the root
+spans leaves two aggregate views behind: the span *tree* (every recorded
+span with its children, in start order) and flat per-name *totals* (count,
+wall, CPU per span name) -- the totals are what the run ledger persists and
+what ``gprs-repro report`` renders.
+
+Disabled tracing must cost nothing: the hot paths of the structured solver
+and the uniformisation loop enter spans thousands of times per run, and the
+standing contract of this repo is that instrumentation never changes
+numbers *or* measurably changes timings.  When no tracer is active,
+:func:`current_tracer` returns the module-level :data:`NULL_TRACER`, whose
+``span()`` returns one shared, reusable no-op context manager -- no
+allocation, no clock reads, no state.  Activation is ambient through a
+:class:`contextvars.ContextVar` (the same pattern as
+:func:`repro.runtime.executor.execution_options`), so library code never
+threads a tracer argument through call chains: it asks for the current one
+at the instant it opens a span.
+
+This module is intentionally stdlib-only: it is imported by the innermost
+core/runtime modules and must never create an import cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanNode",
+    "Tracer",
+    "activate_tracer",
+    "current_tracer",
+]
+
+
+@dataclass
+class SpanNode:
+    """One recorded span: a named, timed, attributed node of the span tree."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    children: list["SpanNode"] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.children:
+            record["children"] = [child.as_dict() for child in self.children]
+        return record
+
+
+class _NullSpan:
+    """The shared no-op span context manager (one instance per process)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is a constant-time no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span_totals(self) -> dict:
+        return {}
+
+    def tree(self) -> list:
+        return []
+
+
+#: The process-wide disabled tracer returned whenever none is active.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects hierarchical spans into a tree plus flat per-name totals."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._roots: list[SpanNode] = []
+        self._stack: list[SpanNode] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open one span; times it and files it under the enclosing span."""
+        node = SpanNode(name=name, attributes=attributes)
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            self._roots.append(node)
+        else:
+            parent.children.append(node)
+        self._stack.append(node)
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield node
+        finally:
+            node.wall_s = time.perf_counter() - wall_start
+            node.cpu_s = time.process_time() - cpu_start
+            self._stack.pop()
+
+    def tree(self) -> list[SpanNode]:
+        """Every recorded root span (with children), in start order."""
+        return list(self._roots)
+
+    def span_totals(self) -> dict[str, dict]:
+        """Flat per-name aggregates: ``{name: {count, wall_s, cpu_s}}``.
+
+        ``wall_s``/``cpu_s`` sum the *self-inclusive* durations of every span
+        with that name; nested same-name spans therefore overlap, which is
+        the conventional flat-profile reading (a name's total is the time
+        during which at least that many spans of the name were open).
+        """
+        totals: dict[str, dict] = {}
+        stack = list(self._roots)
+        while stack:
+            node = stack.pop()
+            entry = totals.setdefault(
+                node.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["wall_s"] += node.wall_s
+            entry["cpu_s"] += node.cpu_s
+            stack.extend(node.children)
+        return totals
+
+    def as_dict(self) -> dict:
+        return {
+            "totals": self.span_totals(),
+            "tree": [root.as_dict() for root in self._roots],
+        }
+
+
+_ACTIVE_TRACER: ContextVar["Tracer | NullTracer"] = ContextVar(
+    "repro_active_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The ambient tracer: :data:`NULL_TRACER` unless one was activated."""
+    return _ACTIVE_TRACER.get()
+
+
+@contextmanager
+def activate_tracer(tracer: "Tracer | NullTracer"):
+    """Install ``tracer`` as the ambient tracer for the enclosed block."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)

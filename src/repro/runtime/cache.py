@@ -28,15 +28,26 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro
+from repro.obs.metrics import current_registry
 
 __all__ = ["CODE_VERSION", "CacheStats", "ResultCache", "default_cache_dir", "result_key"]
+
+_SOURCE_DIGEST: str | None = None
+
 
 def _source_digest() -> str:
     """Digest of every ``.py`` file of the installed ``repro`` package.
 
-    Computed once per process; makes the cache self-invalidating under local
-    code edits, which matters in a repository whose product is the numbers.
+    Memoised behind a module-level cache so each process hashes the package
+    source at most once, no matter how many callers ask -- the run ledger
+    reuses it (via :data:`CODE_VERSION`) for its code-version field, and
+    worker processes recompute it only on their own first use.  It makes the
+    cache self-invalidating under local code edits, which matters in a
+    repository whose product is the numbers.
     """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is not None:
+        return _SOURCE_DIGEST
     digest = hashlib.sha256()
     try:
         root = Path(repro.__file__).resolve().parent
@@ -45,8 +56,10 @@ def _source_digest() -> str:
             digest.update(b"\0")
             digest.update(path.read_bytes())
     except OSError:
-        return "unhashable"
-    return digest.hexdigest()[:12]
+        _SOURCE_DIGEST = "unhashable"
+        return _SOURCE_DIGEST
+    _SOURCE_DIGEST = digest.hexdigest()[:12]
+    return _SOURCE_DIGEST
 
 
 #: Tag mixed into every cache key: package version plus a source digest, so
@@ -139,6 +152,14 @@ class CacheStats:
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
 
+    def merge(self, other: "CacheStats | dict") -> None:
+        """Fold another instance's counts in (worker stats joining a parent's)."""
+        if isinstance(other, CacheStats):
+            other = other.as_dict()
+        self.hits += other.get("hits", 0)
+        self.misses += other.get("misses", 0)
+        self.writes += other.get("writes", 0)
+
 
 @dataclass
 class ResultCache:
@@ -167,8 +188,10 @@ class ResultCache:
                 payload = json.load(handle)
         except (OSError, ValueError):
             self.stats.misses += 1
+            current_registry().count("cache.result.misses")
             return None
         self.stats.hits += 1
+        current_registry().count("cache.result.hits")
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -194,6 +217,7 @@ class ResultCache:
                 pass
             raise
         self.stats.writes += 1
+        current_registry().count("cache.result.writes")
 
     def __len__(self) -> int:
         """Number of entries currently stored (walks the shard directories)."""

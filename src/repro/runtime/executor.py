@@ -54,6 +54,8 @@ import numpy as np
 from repro.core.measures import GprsPerformanceMeasures
 from repro.core.model import GprsMarkovModel
 from repro.core.parameters import GprsModelParameters
+from repro.obs.metrics import absorb_export, current_registry, export_delta
+from repro.obs.trace import current_tracer
 from repro.runtime.cache import ResultCache, result_key
 from repro.runtime.spec import ScenarioSpec, parameters_from_dict, parameters_to_dict
 
@@ -214,6 +216,7 @@ def drive_pipelined(drivers: list, worker, jobs: int) -> tuple[list, int]:
             round_jobs = first_round(driver)
             while round_jobs:
                 round_jobs = advance(driver, [worker(job) for job in round_jobs])
+        current_registry().count("executor.pipeline.dispatched", dispatched)
         return [driver.result() for driver in drivers], dispatched
 
     pending: dict = {}
@@ -226,13 +229,18 @@ def drive_pipelined(drivers: list, worker, jobs: int) -> tuple[list, int]:
         for position, job in enumerate(round_jobs):
             pending[pool.submit(worker, job)] = (index, position)
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    registry = current_registry()
+    registry.gauge("executor.pool_width", jobs)
+    with current_tracer().span(
+        "executor.pipeline", drivers=len(drivers), jobs=jobs
+    ), ProcessPoolExecutor(max_workers=jobs) as pool:
         for index, driver in enumerate(drivers):
             round_jobs = first_round(driver)
             if round_jobs:
                 submit(pool, index, round_jobs)
         while pending:
             completed, _ = wait(pending, return_when=FIRST_COMPLETED)
+            registry.observe("executor.pipeline.in_flight", len(pending))
             touched = set()
             for future in completed:
                 index, position = pending.pop(future)
@@ -245,6 +253,7 @@ def drive_pipelined(drivers: list, worker, jobs: int) -> tuple[list, int]:
                     outstanding.pop(index)
                     if next_jobs:
                         submit(pool, index, next_jobs)
+    registry.count("executor.pipeline.dispatched", dispatched)
     return [driver.result() for driver in drivers], dispatched
 
 
@@ -308,9 +317,16 @@ def _solve_chunk_points(
 
 def _solve_chunk_task(
     point_dicts: list[dict], solver: str, solver_tol: float, warm: bool
-) -> list[dict]:
-    """Worker entry point: solve one chunk in a fresh process."""
-    return _solve_chunk_points(point_dicts, solver, solver_tol, warm)[0]
+) -> tuple[list[dict], dict]:
+    """Worker entry point: solve one chunk in a fresh process.
+
+    Returns ``(measure_dicts, metrics_export)``: the export piggybacks the
+    worker registry's delta (stamped with the worker PID) back to the parent,
+    which merges it only when it really crossed a process boundary.
+    """
+    baseline = current_registry().snapshot()
+    results = _solve_chunk_points(point_dicts, solver, solver_tol, warm)[0]
+    return results, export_delta(baseline)
 
 
 def _chunked(indices: list[int], count: int, chunk_size: int) -> list[list[int]]:
@@ -373,9 +389,17 @@ def sweep_measure_dicts(
 
     workers = max(1, int(jobs))
     if misses:
+        registry = current_registry()
         chunks = _chunked(misses, len(point_dicts), chunk_size if warm else 1)
+        registry.count("executor.chunks", len(chunks))
+        for chunk in chunks:
+            registry.observe("executor.chunk_points", len(chunk))
         if workers > 1 and len(chunks) > 1:
-            with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            pool_width = min(workers, len(chunks))
+            registry.gauge("executor.pool_width", pool_width)
+            with current_tracer().span(
+                "executor.parallel_chunks", chunks=len(chunks), jobs=pool_width
+            ), ProcessPoolExecutor(max_workers=pool_width) as pool:
                 futures = [
                     (
                         chunk,
@@ -390,18 +414,23 @@ def sweep_measure_dicts(
                     for chunk in chunks
                 ]
                 for chunk, future in futures:
-                    for index, values in zip(chunk, future.result()):
+                    solved, export = future.result()
+                    absorb_export(export, registry)
+                    for index, values in zip(chunk, solved):
                         results[index] = values
         else:
             shared = None
             for chunk in chunks:
-                solved, shared = _solve_chunk_points(
-                    [point_dicts[index] for index in chunk],
-                    solver,
-                    solver_tol,
-                    warm,
-                    shared,
-                )
+                with current_tracer().span(
+                    "executor.chunk", points=len(chunk)
+                ):
+                    solved, shared = _solve_chunk_points(
+                        [point_dicts[index] for index in chunk],
+                        solver,
+                        solver_tol,
+                        warm,
+                        shared,
+                    )
                 for index, values in zip(chunk, solved):
                     results[index] = values
         if cache is not None:

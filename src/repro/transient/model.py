@@ -54,6 +54,8 @@ from repro.core.parameters import GprsModelParameters
 from repro.core.state_space import GprsStateSpace
 from repro.core.template import GeneratorTemplate
 from repro.markov.transient import poisson_truncation_point, uniformize
+from repro.obs.metrics import current_registry
+from repro.obs.trace import current_tracer
 from repro.transient.propagator import (
     PropagatorCache,
     SegmentReplay,
@@ -473,11 +475,27 @@ class TransientModel:
     # ------------------------------------------------------------------ #
     def solve(self) -> TransientResult:
         """Walk the schedule and return the sampled QoS trajectory."""
+        with current_tracer().span(
+            "transient.solve", segments=self._profile.schedule.number_of_segments
+        ):
+            result = self._solve_impl()
+        registry = current_registry()
+        registry.count("transient.solves")
+        registry.count("transient.segments", len(result.segments))
+        registry.count("transient.matvecs", result.matvecs)
+        registry.count("transient.templates_built", result.templates_built)
+        registry.count("transient.early_stopped_segments", result.early_stopped_segments)
+        registry.count("transient.replayed_segments", result.propagator_hits)
+        return result
+
+    def _solve_impl(self) -> TransientResult:
         schedule = self._profile.schedule
+        tracer = current_tracer()
         seg_params = self.segment_parameters()
-        seg_spaces, seg_templates, seg_reused, templates_built = (
-            self._build_scaffolding(seg_params)
-        )
+        with tracer.span("transient.scaffolding"):
+            seg_spaces, seg_templates, seg_reused, templates_built = (
+                self._build_scaffolding(seg_params)
+            )
 
         # Quasi-stationary handover rates, each *distinct* configuration
         # balanced once (seeded by the previous segment's rates) and reused
@@ -489,28 +507,34 @@ class TransientModel:
         balances: list[HandoverBalance] = []
         balance_by_params: dict[GprsModelParameters, HandoverBalance] = {}
         previous: HandoverBalance | None = None
-        for params in seg_params:
-            balance = balance_by_params.get(params)
-            if balance is None:
-                balance = balance_handover_rates(
-                    params,
-                    initial_gsm_handover_rate=(
-                        None if previous is None else previous.gsm_handover_arrival_rate
-                    ),
-                    initial_gprs_handover_rate=(
-                        None
-                        if previous is None
-                        else previous.gprs_handover_arrival_rate
-                    ),
-                )
-                balance_by_params[params] = balance
-            balances.append(balance)
-            previous = balance
+        with tracer.span("transient.handover_balance"):
+            for params in seg_params:
+                balance = balance_by_params.get(params)
+                if balance is None:
+                    balance = balance_handover_rates(
+                        params,
+                        initial_gsm_handover_rate=(
+                            None
+                            if previous is None
+                            else previous.gsm_handover_arrival_rate
+                        ),
+                        initial_gprs_handover_rate=(
+                            None
+                            if previous is None
+                            else previous.gprs_handover_arrival_rate
+                        ),
+                    )
+                    balance_by_params[params] = balance
+                balances.append(balance)
+                previous = balance
 
         sample_times = self._profile.sample_times()
         sample_segments = [schedule.segment_at(t) for t in sample_times]
 
-        pi = self._initial_distribution(seg_params[0], seg_spaces[0], seg_templates[0])
+        with tracer.span("transient.initial_distribution"):
+            pi = self._initial_distribution(
+                seg_params[0], seg_spaces[0], seg_templates[0]
+            )
 
         cache = None
         if self._memoise:

@@ -44,6 +44,7 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from repro.core.parameters import GprsModelParameters
+from repro.obs.metrics import current_registry
 
 __all__ = [
     "PropagatorCache",
@@ -163,9 +164,11 @@ class PropagatorCache:
         replay = self._entries.get(key)
         if replay is None:
             self.misses += 1
+            current_registry().count("cache.propagator.misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        current_registry().count("cache.propagator.hits")
         return replay
 
     def put(self, key: str, replay: SegmentReplay) -> None:
@@ -180,6 +183,8 @@ class PropagatorCache:
         while self._bytes > self.max_bytes and self._entries:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
+            current_registry().count("cache.propagator.evictions")
+        current_registry().gauge("cache.propagator.bytes", self._bytes)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -99,15 +99,20 @@ class TransientSweepResult:
         }
 
 
-def _solve_trajectory_task(job: tuple) -> dict:
+def _solve_trajectory_task(job: tuple) -> tuple[dict, dict]:
     """Solve one trajectory (worker entry point; top-level so it pickles).
 
     The serial path calls the very same function, which is what keeps
-    ``jobs = N`` bitwise identical to serial execution.
+    ``jobs = N`` bitwise identical to serial execution.  Returns
+    ``(payload, metrics_export)``; the export piggybacks the worker
+    registry's delta home, and the parent merges it only when it crossed a
+    process boundary (PID guard), so the serial path never double-counts.
     """
-    params_dict, profile_dict, solver, solver_tol, warm = job
+    from repro.obs.metrics import current_registry, export_delta
     from repro.runtime.spec import parameters_from_dict
 
+    baseline = current_registry().snapshot()
+    params_dict, profile_dict, solver, solver_tol, warm = job
     params = parameters_from_dict(params_dict)
     profile = WorkloadProfile.from_dict(profile_dict)
     model = TransientModel(
@@ -117,7 +122,7 @@ def _solve_trajectory_task(job: tuple) -> dict:
         solver_tol=solver_tol,
         share_templates=warm,
     )
-    return model.solve().as_dict()
+    return model.solve().as_dict(), export_delta(baseline)
 
 
 def transient_sweep_payloads(
@@ -187,6 +192,9 @@ def transient_sweep_payloads(
             from_cache[index] = False
 
     if misses:
+        from repro.obs.metrics import absorb_export, current_registry
+
+        registry = current_registry()
         jobs_list = [
             (point_dicts[index], profile_dict, spec.solver, solver_tol, warm)
             for index in misses
@@ -194,13 +202,16 @@ def transient_sweep_payloads(
         workers = max(1, int(jobs))
         if workers > 1 and len(misses) > 1:
             with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
-                for index, payload in zip(
+                for index, (payload, export) in zip(
                     misses, pool.map(_solve_trajectory_task, jobs_list)
                 ):
+                    absorb_export(export, registry)
                     results[index] = payload
         else:
             for index, job in zip(misses, jobs_list):
-                results[index] = _solve_trajectory_task(job)
+                payload, export = _solve_trajectory_task(job)
+                absorb_export(export, registry)
+                results[index] = payload
         if cache is not None:
             for index in misses:
                 try:
