@@ -42,6 +42,13 @@ def persist_timings(name: str, record: dict, *, wall_s: float = 0.0) -> Path | N
     sandboxed CI) returns ``None`` and never fails the benchmark that
     produced the numbers.  Override the path with the
     ``GPRS_REPRO_BENCH_FILE`` environment variable.
+
+    Every record carries the process's cumulative resilience counters
+    (retries, timeouts, pool respawns, degradation to serial) in its
+    ``resilience`` block: a benchmark run that silently degraded to
+    in-process execution times something other than the parallel path it
+    claims to, so the record keeps the evidence a perf comparison needs to
+    disqualify itself.
     """
     path = Path(os.environ.get(BENCH_FILE_ENV) or BENCH_FILE)
     counters = {
@@ -52,12 +59,15 @@ def persist_timings(name: str, record: dict, *, wall_s: float = 0.0) -> Path | N
     gauges = {
         key: float(value) for key, value in record.items() if isinstance(value, float)
     }
+    totals = obs.current_registry().snapshot().get("counters", {})
+    resilience = obs.resilience_block({"counters": totals})
     entry = obs.make_record(
         command="benchmark",
         target=name,
         args=dict(record),
         wall_s=wall_s,
         metrics={"counters": counters, "gauges": gauges, "histograms": {}},
+        resilience=resilience,
     )
     previous = None
     try:

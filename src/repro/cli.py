@@ -44,6 +44,15 @@ totals), ``--metrics`` (print the run's counter/gauge/histogram deltas) and
 counters) and ``report PATH --compare OTHER`` diffs the latest records of
 two ledgers.  Instrumentation never changes numbers: results are bitwise
 identical with and without these flags.
+
+Fault tolerance (:mod:`repro.runtime.resilience`): parallel tasks are
+retried with backoff on worker death and OS errors (``--max-attempts``),
+bounded by per-task deadlines (``--task-timeout``); a task that exhausts
+its budget becomes a per-point failure warning and exit code 3 (``--strict``
+restores fail-fast).  ``--checkpoint PATH`` journals completed points so an
+interrupted sweep resumes from cache, and ``--inject-faults SPEC`` (or
+``$REPRO_FAULTS``) deterministically injects worker kills, timeouts, raised
+errors and cache corruption for testing the recovery paths.
 """
 
 from __future__ import annotations
@@ -237,6 +246,26 @@ def _add_runtime_arguments(
         parser.add_argument("--chunk-size", type=int, default=None,
                             help="adjacent sweep points per warm-started chunk "
                             "(also the parallel scheduling unit; default 8)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        help="attempts per task before it is recorded as a "
+                        "failure (default 3; retried tasks re-run the "
+                        "identical payload)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task deadline in seconds (parallel runs "
+                        "only); timed-out tasks are retried, then recorded "
+                        "as failures")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail fast: abort on the first task that "
+                        "exhausts its retries instead of recording a "
+                        "per-point failure")
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        help="JSONL sweep checkpoint: completed points are "
+                        "journaled so an interrupted run resumes from cache "
+                        "(requires the result cache)")
+    parser.add_argument("--inject-faults", default=None, metavar="SPEC",
+                        help="deterministic fault injection, e.g. "
+                        "'chunk@1=kill,cell@2=timeout:5,cache@0=corrupt' "
+                        "(testing; also via $REPRO_FAULTS)")
     _add_obs_arguments(parser)
 
 
@@ -256,6 +285,48 @@ def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir if args.cache_dir is not None else default_cache_dir())
+
+
+def _resilience_from_args(args: argparse.Namespace) -> dict:
+    """The retry/timeout/strict/checkpoint kwargs of one runtime command."""
+    from repro.runtime.resilience import RetryPolicy, SweepCheckpoint
+
+    retry = None
+    if getattr(args, "max_attempts", None) is not None:
+        if args.max_attempts < 1:
+            raise ValueError("--max-attempts must be at least 1")
+        retry = RetryPolicy(max_attempts=args.max_attempts)
+    checkpoint = None
+    if getattr(args, "checkpoint", None) is not None:
+        if args.no_cache:
+            raise ValueError(
+                "--checkpoint needs the result cache (drop --no-cache): "
+                "resumption serves checkpointed points from cache"
+            )
+        checkpoint = SweepCheckpoint.load(args.checkpoint)
+    return {
+        "retry": retry,
+        "task_timeout": getattr(args, "task_timeout", None),
+        "strict": bool(getattr(args, "strict", False)),
+        "checkpoint": checkpoint,
+    }
+
+
+def _report_failures(failures) -> int:
+    """Print per-point failure warnings; exit code 3 marks a partial result."""
+    for failure in failures:
+        points = (
+            f" (sweep point(s) {', '.join(str(p) for p in failure.points)})"
+            if failure.points
+            else ""
+        )
+        print(
+            f"warning: {failure.site} task {failure.index} failed after "
+            f"{failure.attempts} attempt(s): {failure.error_type}: "
+            f"{failure.message}{points}",
+            file=sys.stderr,
+        )
+    return 3 if failures else 0
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -338,7 +409,8 @@ def _obs_args_summary(args: argparse.Namespace) -> dict:
     """The invocation knobs worth persisting in a ledger record."""
     summary = {}
     for name in ("jobs", "cold", "chunk_size", "pipelined", "rate", "solver",
-                 "no_cache", "json"):
+                 "no_cache", "json", "max_attempts", "task_timeout", "strict",
+                 "checkpoint", "inject_faults"):
         value = getattr(args, name, None)
         if value not in (None, False):
             summary[name] = value if not isinstance(value, Path) else str(value)
@@ -416,11 +488,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "report":
         return _report_command(args)
-    if getattr(args, "trace", False) or getattr(args, "metrics", False) or (
-        getattr(args, "ledger", None) is not None
-    ):
-        return _execute_with_obs(args)
-    return _execute(args)
+    instrumented = getattr(args, "trace", False) or getattr(
+        args, "metrics", False
+    ) or (getattr(args, "ledger", None) is not None)
+    runner = _execute_with_obs if instrumented else _execute
+    fault_spec = getattr(args, "inject_faults", None)
+    if fault_spec:
+        from repro.runtime.faults import FaultPlan, inject_faults
+
+        try:
+            plan = FaultPlan.parse(fault_spec)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        with inject_faults(plan):
+            return runner(args)
+    return runner(args)
 
 
 def _execute(args: argparse.Namespace) -> int:
@@ -461,6 +544,8 @@ def _execute(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "run":
+        from repro.runtime.resilience import SweepFailureError
+
         try:
             report = run_experiment(
                 args.experiment,
@@ -469,14 +554,20 @@ def _execute(args: argparse.Namespace) -> int:
                 cache=_cache_from_args(args),
                 warm=not args.cold,
                 chunk_size=args.chunk_size,
+                **_resilience_from_args(args),
             )
-        except ValueError as error:
+        except SweepFailureError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3
+        except (RuntimeError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         print(report)
         return 0
 
     if args.command == "sweep":
+        from repro.runtime.resilience import SweepFailureError
+
         try:
             result = run_sweep(
                 scenario(args.scenario),
@@ -485,7 +576,11 @@ def _execute(args: argparse.Namespace) -> int:
                 cache=_cache_from_args(args),
                 warm=not args.cold,
                 chunk_size=args.chunk_size,
+                **_resilience_from_args(args),
             )
+        except SweepFailureError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -493,9 +588,11 @@ def _execute(args: argparse.Namespace) -> int:
             print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         else:
             print(format_scenario_result(result))
-        return 0
+        return _report_failures(result.failures)
 
     if args.command == "network":
+        from repro.runtime.resilience import SweepFailureError
+
         try:
             spec = scenario(args.scenario)
             if spec.network is None:
@@ -510,7 +607,11 @@ def _execute(args: argparse.Namespace) -> int:
                 cache=_cache_from_args(args),
                 warm=not args.cold,
                 pipelined=args.pipelined,
+                **_resilience_from_args(args),
             )
+        except SweepFailureError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -518,9 +619,11 @@ def _execute(args: argparse.Namespace) -> int:
             print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         else:
             print(format_network_result(result))
-        return 0
+        return _report_failures(result.failures)
 
     if args.command == "transient":
+        from repro.runtime.resilience import SweepFailureError
+
         try:
             spec = scenario(args.scenario)
             if spec.transient is None:
@@ -535,7 +638,11 @@ def _execute(args: argparse.Namespace) -> int:
                 cache=_cache_from_args(args),
                 warm=not args.cold,
                 rates=None if args.rate is None else (args.rate,),
+                **_resilience_from_args(args),
             )
+        except SweepFailureError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -543,7 +650,7 @@ def _execute(args: argparse.Namespace) -> int:
             print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         else:
             print(format_transient_result(result))
-        return 0
+        return _report_failures(result.failures)
 
     if args.command == "solve":
         params = _parameters_from_args(args)

@@ -82,9 +82,15 @@ def format_scenario_result(result: "ScenarioRunResult", *, precision: int = 5) -
         f"solver={spec.solver}  points={len(result.points)}  "
         f"cache: {result.cache_hits} hit(s), {result.cache_misses} solved",
     ]
+    failed = sum(1 for point in result.points if getattr(point, "failed", False))
+    if failed:
+        lines.append(f"WARNING: {failed} point(s) failed; rows marked FAILED")
     header = ["arrival rate", *spec.metrics]
     rows = []
     for point in result.points:
+        if getattr(point, "failed", False):
+            rows.append([f"{point.arrival_rate:.3g}"] + ["FAILED"] * len(spec.metrics))
+            continue
         rows.append(
             [f"{point.arrival_rate:.3g}"]
             + [f"{point.values[metric]:.{precision}g}" for metric in spec.metrics]
@@ -123,6 +129,10 @@ def format_network_result(result: "NetworkSweepResult", *, precision: int = 5) -
     header = ["cell", *spec.metrics, "gsm handover in", "gprs handover in"]
     for point in result.points:
         payload = point.payload
+        if payload is None:
+            lines.append("")
+            lines.append(f"[arrival rate {point.arrival_rate:.3g}]  FAILED")
+            continue
         status = "converged" if payload["converged"] else "NOT converged"
         frozen = payload.get("frozen_solves", 0)
         pipelined = payload.get("pipelined_jobs", 0)
@@ -181,6 +191,10 @@ def format_transient_result(result: "TransientSweepResult", *, precision: int = 
     header = ["time [s]", "seg", "load", *spec.metrics]
     for point in result.points:
         payload = point.payload
+        if payload is None:
+            lines.append("")
+            lines.append(f"[base arrival rate {point.arrival_rate:.3g}]  FAILED")
+            continue
         replays = payload.get("propagator_hits", 0)
         origin = "cache" if point.from_cache else (
             f"{payload['matvecs']} matvec(s), "

@@ -69,6 +69,10 @@ def run_experiment(
     cache: ResultCache | None = None,
     warm: bool = True,
     chunk_size: int | None = None,
+    retry=None,
+    task_timeout: float | None = None,
+    strict: bool = False,
+    checkpoint=None,
 ) -> str:
     """Run one registered experiment by name and return its textual report.
 
@@ -87,6 +91,11 @@ def run_experiment(
         arrival rates (``False`` = independent per-point solves).
     chunk_size:
         Points per warm-started chunk; ``None`` keeps the executor default.
+    retry, task_timeout, strict, checkpoint:
+        Resilience knobs installed as ambient execution options (see
+        :mod:`repro.runtime.resilience`); a figure run treats any terminal
+        per-point failure as fatal regardless of ``strict``, because its
+        columns cannot carry holes.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -101,5 +110,9 @@ def run_experiment(
         cache=cache,
         warm=warm,
         chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        retry=retry,
+        task_timeout=task_timeout,
+        strict=strict,
+        checkpoint=checkpoint,
     ):
         return runner(scale or ExperimentScale.default())

@@ -121,7 +121,20 @@ def sweep_arrival_rates(
         cache=options.cache if cache == "ambient" else cache,
         warm=options.warm if warm is None else warm,
         chunk_size=options.chunk_size if chunk_size is None else chunk_size,
+        retry=options.retry,
+        task_timeout=options.task_timeout,
+        strict=options.strict,
+        checkpoint=options.checkpoint,
     )
+    failed = [index for index, (values, _) in enumerate(solved) if values is None]
+    if failed:
+        # A figure column cannot carry holes: any terminal per-point failure
+        # (non-strict mode) aborts the figure with the indices named.
+        raise RuntimeError(
+            "sweep failed at arrival-rate point(s) "
+            + ", ".join(str(index) for index in failed)
+            + "; re-run (failed tasks are retried) or raise --max-attempts"
+        )
     measures = [GprsPerformanceMeasures(**values) for values, _ in solved]
     return SweepResult(
         base_parameters=base_parameters,

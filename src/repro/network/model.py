@@ -372,10 +372,13 @@ class NetworkModel:
         Worker processes for the per-iteration cell solves (1 = serial,
         in-process).  Results are bitwise independent of ``jobs``.
     pool:
-        Optional externally managed :class:`ProcessPoolExecutor` reused for
-        the cell solves (the sweep loop passes one pool across all points so
-        workers keep their scaffold caches warm); the caller owns its
-        lifetime.  When given, ``jobs`` only decides *whether* to use it.
+        Optional externally managed pool reused for the cell solves (the
+        sweep loop passes one pool across all points so workers keep their
+        scaffold caches warm); the caller owns its lifetime.  Preferably a
+        :class:`~repro.runtime.resilience.ResilientPool` (retries, deadlines
+        and degradation apply); a plain :class:`ProcessPoolExecutor` is still
+        accepted for compatibility and runs without recovery.  When given,
+        ``jobs`` only decides *whether* to use it.
     warm:
         When ``False`` every cell solve of every outer iteration starts cold
         (no stationary-vector continuation) -- the A/B knob of the network
@@ -412,7 +415,7 @@ class NetworkModel:
         jobs: int = 1,
         warm: bool = True,
         freeze_tol: float | None = None,
-        pool: ProcessPoolExecutor | None = None,
+        pool: "ProcessPoolExecutor | object | None" = None,
         initial_rates: tuple[np.ndarray, np.ndarray] | None = None,
         initial_distributions: tuple[np.ndarray, ...] | None = None,
     ) -> None:
@@ -453,27 +456,65 @@ class NetworkModel:
         ]
 
     def solve(self) -> NetworkResult:
-        """Run both fixed-point stages and return the joint solution."""
+        """Run both fixed-point stages and return the joint solution.
+
+        Parallel cell solves go through a
+        :class:`~repro.runtime.resilience.ResilientPool` (configured from the
+        ambient :class:`~repro.runtime.executor.ExecutionOptions`), so a
+        crashed or timed-out worker is retried rather than aborting the
+        solve.  A cell that exhausts its retry budget raises
+        :class:`~repro.runtime.resilience.SweepFailureError` regardless of
+        ``strict`` -- the fixed point needs every cell, so a network solve
+        cannot partially complete; sweep callers catch it and record the
+        whole point as failed.  Cell-task fault indices are dispatch ordinals
+        within this solve.
+        """
+        from repro.runtime.executor import current_options
+        from repro.runtime.resilience import (
+            ResilientPool,
+            SweepFailure,
+            SweepFailureError,
+        )
+
         driver = NetworkSolveDriver(self)
         cells = self._topology.number_of_cells
-        own_pool = None
-        pool = None
-        if self._jobs > 1 and cells > 1:
-            pool = self._external_pool
-            if pool is None:
-                own_pool = ProcessPoolExecutor(max_workers=min(self._jobs, cells))
-                pool = own_pool
+        own_pool: ResilientPool | None = None
+        pool = self._external_pool
+        if pool is None and self._jobs > 1 and cells > 1:
+            options = current_options()
+            own_pool = ResilientPool(
+                min(self._jobs, cells),
+                policy=options.retry,
+                task_timeout=options.task_timeout,
+                strict=options.strict,
+            )
+            pool = own_pool
         tracer = current_tracer()
+        dispatched = 0
         try:
             while True:
                 jobs = driver.next_jobs()
                 with tracer.span(
                     "network.outer_iteration", cells=len(jobs)
                 ):
-                    if pool is not None and len(jobs) > 1:
+                    if isinstance(pool, ResilientPool) and jobs:
+                        outcomes = pool.run(
+                            _solve_cell_task,
+                            jobs,
+                            site="cell",
+                            indices=range(dispatched, dispatched + len(jobs)),
+                        )
+                        new_solves = []
+                        for outcome in outcomes:
+                            if isinstance(outcome, SweepFailure):
+                                raise SweepFailureError(outcome)
+                            new_solves.append(outcome)
+                    elif pool is not None and len(jobs) > 1:
+                        # Legacy externally managed ProcessPoolExecutor.
                         new_solves = list(pool.map(_solve_cell_task, jobs))
                     else:
                         new_solves = [_solve_cell_task(job) for job in jobs]
+                    dispatched += len(jobs)
                     if driver.absorb(new_solves):
                         break
         finally:

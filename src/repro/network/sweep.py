@@ -54,27 +54,46 @@ __all__ = [
 
 @dataclass(frozen=True)
 class NetworkSweepPoint:
-    """One solved (or cache-served) network sweep point."""
+    """One solved (or cache-served) network sweep point.
+
+    ``payload`` is ``None`` for a point whose solve failed terminally in a
+    non-strict run (see :class:`~repro.runtime.resilience.SweepFailure`).
+    """
 
     index: int
     arrival_rate: float
-    payload: dict
+    payload: dict | None
     from_cache: bool = False
 
     @property
+    def failed(self) -> bool:
+        return self.payload is None
+
+    @property
     def aggregates(self) -> dict[str, float]:
+        self._require_payload()
         return self.payload["aggregates"]
 
     @property
     def cells(self) -> list[dict]:
+        self._require_payload()
         return self.payload["cells"]
 
     def aggregate(self, metric: str) -> float:
+        self._require_payload()
         return self.payload["aggregates"][metric]
 
     def cell_series(self, metric: str) -> tuple[float, ...]:
         """One measure across cells at this point, in cell order."""
+        self._require_payload()
         return tuple(cell["values"][metric] for cell in self.payload["cells"])
+
+    def _require_payload(self) -> None:
+        if self.payload is None:
+            raise RuntimeError(
+                f"network sweep point {self.index} (rate {self.arrival_rate:g}) "
+                "failed; no measures are available"
+            )
 
 
 @dataclass(frozen=True)
@@ -86,6 +105,7 @@ class NetworkSweepResult:
     points: tuple[NetworkSweepPoint, ...]
     cache_hits: int = 0
     cache_misses: int = 0
+    failures: tuple = ()
 
     @property
     def arrival_rates(self) -> tuple[float, ...]:
@@ -99,7 +119,11 @@ class NetworkSweepResult:
         cached payloads report the provenance of the run that produced them,
         exactly like ``solver_calls``.
         """
-        return sum(point.payload.get("pipelined_jobs", 0) for point in self.points)
+        return sum(
+            point.payload.get("pipelined_jobs", 0)
+            for point in self.points
+            if point.payload is not None
+        )
 
     def series(self, metric: str) -> tuple[float, ...]:
         """The network-mean of ``metric`` across the sweep."""
@@ -110,12 +134,14 @@ class NetworkSweepResult:
             "scenario": self.spec.to_dict(),
             "scale": self.scale.to_dict(),
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "failures": [failure.as_dict() for failure in self.failures],
             "points": [
                 {
                     "index": point.index,
                     "arrival_rate": point.arrival_rate,
                     "from_cache": point.from_cache,
-                    **point.payload,
+                    "failed": point.failed,
+                    **(point.payload or {}),
                 }
                 for point in self.points
             ],
@@ -131,7 +157,11 @@ def network_sweep_payloads(
     cache: "ResultCache | None" = None,
     warm: bool = True,
     pipelined: bool = False,
-) -> list[tuple[dict, bool]]:
+    retry=None,
+    task_timeout: float | None = None,
+    strict: bool = False,
+    checkpoint=None,
+) -> list[tuple[dict | None, bool]]:
     """Solve every point of a network scenario sweep, cache-aware.
 
     Returns one ``(payload, from_cache)`` pair per arrival rate, in sweep
@@ -143,10 +173,25 @@ def network_sweep_payloads(
     docstring): points solve independently, their payloads gain a
     ``pipelined_jobs`` provenance counter, and results are bitwise identical
     for any ``jobs`` (ordered reassembly, per-point state isolation).
+
+    Cell solves run under ``retry`` / ``task_timeout``
+    (:mod:`repro.runtime.resilience`); a point whose solve fails terminally
+    is reported through :func:`~repro.runtime.resilience.report_failure` and
+    returned as ``(None, False)`` unless ``strict`` re-raises.  ``checkpoint``
+    journals each completed point's cache key so an interrupted sweep resumes
+    from cache.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from dataclasses import replace as dc_replace
 
     from repro.runtime.cache import result_key
+    from repro.runtime.resilience import (
+        ResilientPool,
+        SweepFailure,
+        SweepFailureError,
+        checkpointed_get,
+        payload_digest,
+        report_failure,
+    )
     from repro.runtime.spec import parameters_to_dict
 
     if spec.network is None:
@@ -156,27 +201,45 @@ def network_sweep_payloads(
     rates = spec.sweep_rates(scale)
     topology_dict = topology.to_dict()
 
+    def key_for(params) -> str | None:
+        if cache is None:
+            return None
+        return result_key(
+            parameters_to_dict(params),
+            solver=spec.solver,
+            solver_tol=solver_tol,
+            kind="network",
+            network=topology_dict,
+        )
+
+    def store(index: int, key: str | None, payload: dict, writable: bool) -> bool:
+        if cache is not None and writable and key is not None:
+            try:
+                cache.put(key, payload)
+            except OSError:
+                # An unwritable cache stops persisting but keeps serving
+                # reads -- same degradation as the single-cell executor.
+                return False
+            if checkpoint is not None:
+                checkpoint.record(
+                    site="network",
+                    index=index,
+                    key=key,
+                    digest=payload_digest(payload),
+                )
+        return writable
+
     if pipelined:
         from repro.network.model import NetworkSolveDriver, _solve_cell_task
         from repro.runtime.executor import drive_pipelined
 
-        ordered: list[tuple[dict, bool] | None] = [None] * len(rates)
+        ordered: list[tuple[dict | None, bool] | None] = [None] * len(rates)
         misses: list[tuple[int, str | None]] = []
         drivers: list[NetworkSolveDriver] = []
         for index, rate in enumerate(rates):
             params = base.with_arrival_rate(rate)
-            key = (
-                result_key(
-                    parameters_to_dict(params),
-                    solver=spec.solver,
-                    solver_tol=solver_tol,
-                    kind="network",
-                    network=topology_dict,
-                )
-                if cache is not None
-                else None
-            )
-            payload = cache.get(key) if cache is not None else None
+            key = key_for(params)
+            payload = checkpointed_get(cache, key, checkpoint)
             if payload is not None:
                 ordered[index] = (payload, True)
                 continue
@@ -192,47 +255,59 @@ def network_sweep_payloads(
                     )
                 )
             )
-        solved, _ = drive_pipelined(drivers, _solve_cell_task, jobs)
         writable = True
-        for (index, key), network_result in zip(misses, solved):
-            payload = network_result.as_dict()
-            payload["pipelined_jobs"] = network_result.solver_calls
-            if cache is not None and writable:
-                try:
-                    cache.put(key, payload)
-                except OSError:
-                    # Same degradation as the sequential path below.
-                    writable = False
-            ordered[index] = (payload, False)
+        payloads: dict[int, dict] = {}
+
+        def persist(position: int, result) -> None:
+            # Fires as each driver finishes, so completed points are stored
+            # and checkpointed before a later strict failure aborts the run.
+            nonlocal writable
+            index, key = misses[position]
+            payload = result.as_dict()
+            payload["pipelined_jobs"] = result.solver_calls
+            payloads[position] = payload
+            writable = store(index, key, payload, writable)
+
+        solved, _ = drive_pipelined(
+            drivers,
+            _solve_cell_task,
+            jobs,
+            site="cell",
+            retry=retry,
+            task_timeout=task_timeout,
+            strict=strict,
+            on_complete=persist,
+        )
+        for position, ((index, _key), outcome) in enumerate(zip(misses, solved)):
+            if isinstance(outcome, SweepFailure):
+                report_failure(dc_replace(outcome, points=(index,)))
+                ordered[index] = (None, False)
+                continue
+            ordered[index] = (payloads[position], False)
         return ordered
 
     # One pool serves every point of the sweep: the workers stay alive, so
     # their per-process scaffold caches (templates, structured contexts)
     # survive from point to point exactly like the serial path's do.
     pool = (
-        ProcessPoolExecutor(max_workers=min(jobs, topology.number_of_cells))
+        ResilientPool(
+            min(jobs, topology.number_of_cells),
+            policy=retry,
+            task_timeout=task_timeout,
+            strict=strict,
+        )
         if jobs > 1 and topology.number_of_cells > 1
         else None
     )
-    results: list[tuple[dict, bool]] = []
+    results: list[tuple[dict | None, bool]] = []
     seed_rates = None
     seed_distributions = None
     writable = True
     try:
-        for rate in rates:
+        for index, rate in enumerate(rates):
             params = base.with_arrival_rate(rate)
-            key = (
-                result_key(
-                    parameters_to_dict(params),
-                    solver=spec.solver,
-                    solver_tol=solver_tol,
-                    kind="network",
-                    network=topology_dict,
-                )
-                if cache is not None
-                else None
-            )
-            payload = cache.get(key) if cache is not None else None
+            key = key_for(params)
+            payload = checkpointed_get(cache, key, checkpoint)
             if payload is not None:
                 # A cache hit carries no stationary vectors, so the warm
                 # continuation restarts at the next solved point.
@@ -241,25 +316,29 @@ def network_sweep_payloads(
                 results.append((payload, True))
                 continue
 
-            result = NetworkModel(
-                topology,
-                params,
-                solver_method=spec.solver,
-                solver_tol=solver_tol,
-                jobs=jobs,
-                warm=warm,
-                pool=pool,
-                initial_rates=seed_rates if warm else None,
-                initial_distributions=seed_distributions if warm else None,
-            ).solve()
+            try:
+                result = NetworkModel(
+                    topology,
+                    params,
+                    solver_method=spec.solver,
+                    solver_tol=solver_tol,
+                    jobs=jobs,
+                    warm=warm,
+                    pool=pool,
+                    initial_rates=seed_rates if warm else None,
+                    initial_distributions=seed_distributions if warm else None,
+                ).solve()
+            except SweepFailureError as error:
+                if strict:
+                    raise
+                report_failure(dc_replace(error.failure, points=(index,)))
+                # The failed point leaves no continuation state behind.
+                seed_rates = None
+                seed_distributions = None
+                results.append((None, False))
+                continue
             payload = result.as_dict()
-            if cache is not None and writable:
-                try:
-                    cache.put(key, payload)
-                except OSError:
-                    # An unwritable cache stops persisting but keeps serving
-                    # reads -- same degradation as the single-cell executor.
-                    writable = False
+            writable = store(index, key, payload, writable)
             if warm:
                 seed_rates = result.incoming_rates()
                 seed_distributions = result.distributions
@@ -278,17 +357,26 @@ def run_network_sweep(
     cache: "ResultCache | None | str" = "ambient",
     warm: bool | None = None,
     pipelined: bool | None = None,
+    retry=None,
+    task_timeout: float | None = None,
+    strict: bool | None = None,
+    checkpoint=None,
 ) -> NetworkSweepResult:
     """Run one network scenario sweep and return its per-cell points.
 
-    The ``jobs`` / ``cache`` / ``warm`` / ``pipelined`` arguments resolve
-    against the ambient :func:`~repro.runtime.executor.execution_options`
-    exactly like :func:`~repro.runtime.executor.run_sweep`; ``jobs``
-    parallelises the cells within each point, or -- with ``pipelined`` --
-    all points' cells through one shared pool.
+    The ``jobs`` / ``cache`` / ``warm`` / ``pipelined`` arguments -- and the
+    resilience knobs ``retry`` / ``task_timeout`` / ``strict`` /
+    ``checkpoint`` -- resolve against the ambient
+    :func:`~repro.runtime.executor.execution_options` exactly like
+    :func:`~repro.runtime.executor.run_sweep`; ``jobs`` parallelises the
+    cells within each point, or -- with ``pipelined`` -- all points' cells
+    through one shared pool.  Terminal per-point failures land in
+    :attr:`NetworkSweepResult.failures` (their points carry
+    ``payload=None``) unless ``strict``.
     """
     from repro.experiments.scale import ExperimentScale
     from repro.runtime.executor import current_options
+    from repro.runtime.resilience import collect_failures
 
     scale = scale or ExperimentScale.default()
     options = current_options()
@@ -296,15 +384,24 @@ def run_network_sweep(
     effective_cache = options.cache if cache == "ambient" else cache
     effective_warm = options.warm if warm is None else warm
     effective_pipelined = options.pipelined if pipelined is None else pipelined
+    effective_retry = options.retry if retry is None else retry
+    effective_timeout = options.task_timeout if task_timeout is None else task_timeout
+    effective_strict = options.strict if strict is None else strict
+    effective_checkpoint = options.checkpoint if checkpoint is None else checkpoint
 
-    solved = network_sweep_payloads(
-        spec,
-        scale,
-        jobs=effective_jobs,
-        cache=effective_cache,
-        warm=effective_warm,
-        pipelined=effective_pipelined,
-    )
+    with collect_failures() as failures:
+        solved = network_sweep_payloads(
+            spec,
+            scale,
+            jobs=effective_jobs,
+            cache=effective_cache,
+            warm=effective_warm,
+            pipelined=effective_pipelined,
+            retry=effective_retry,
+            task_timeout=effective_timeout,
+            strict=effective_strict,
+            checkpoint=effective_checkpoint,
+        )
     rates = spec.sweep_rates(scale)
     points = tuple(
         NetworkSweepPoint(
@@ -319,4 +416,5 @@ def run_network_sweep(
         points=points,
         cache_hits=hits,
         cache_misses=len(points) - hits,
+        failures=tuple(failures),
     )

@@ -26,6 +26,7 @@ from repro.obs.ledger import (
     read_ledger,
     render_compare,
     render_report,
+    resilience_block,
     spec_digest,
     validate_record,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "read_ledger",
     "render_compare",
     "render_report",
+    "resilience_block",
     "spec_digest",
     "validate_record",
 ]

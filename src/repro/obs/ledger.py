@@ -40,6 +40,7 @@ __all__ = [
     "read_ledger",
     "render_compare",
     "render_report",
+    "resilience_block",
     "spec_digest",
     "validate_record",
 ]
@@ -87,6 +88,29 @@ def environment_fingerprint() -> dict:
     return env
 
 
+#: Counter-to-field mapping behind a record's ``resilience`` block.
+_RESILIENCE_COUNTERS = (
+    ("attempts", "resilience.attempts"),
+    ("retries", "resilience.retries"),
+    ("timeouts", "resilience.timeouts"),
+    ("pool_respawns", "resilience.pool_respawns"),
+    ("degraded", "resilience.degraded"),
+    ("failures", "resilience.task_failures"),
+    ("resumed_points", "resilience.resumed_points"),
+    ("checkpointed_points", "resilience.checkpointed_points"),
+    ("checkpoint_mismatches", "resilience.checkpoint_mismatches"),
+    ("faults_injected", "faults.injected"),
+)
+
+
+def resilience_block(metrics: dict | None) -> dict:
+    """Derive a record's ``resilience`` block from its metric counters."""
+    counters = (metrics or {}).get("counters", {})
+    return {
+        field: counters.get(counter, 0) for field, counter in _RESILIENCE_COUNTERS
+    }
+
+
 def make_record(
     *,
     command: str,
@@ -99,8 +123,14 @@ def make_record(
     span_totals: dict | None = None,
     metrics: dict | None = None,
     created_utc: str | None = None,
+    resilience: dict | None = None,
 ) -> dict:
-    """Assemble one schema-v1 ledger record (pure data, JSON-ready)."""
+    """Assemble one schema-v1 ledger record (pure data, JSON-ready).
+
+    The ``resilience`` block (retries, timeouts, degradation, resumed
+    points) is derived from the run's metric counters when not given
+    explicitly -- an additive field, so the schema version stays 1.
+    """
     from repro.runtime.cache import CODE_VERSION
 
     if created_utc is None:
@@ -127,6 +157,9 @@ def make_record(
         "spans": dict(span_totals or {}),
         "metrics": metrics
         or {"counters": {}, "gauges": {}, "histograms": {}},
+        "resilience": (
+            dict(resilience) if resilience is not None else resilience_block(metrics)
+        ),
         "environment": environment_fingerprint(),
     }
     return record
@@ -286,6 +319,15 @@ def render_report(record: dict, *, top: int = 10) -> str:
                 f"{share:>5.1f}%  "
                 f"x{totals.get('count', 0)}"
             )
+
+    resilience = record.get("resilience") or {}
+    if any(resilience.values()):
+        lines.append("")
+        lines.append("resilience:")
+        name_width = max(len(name) for name in resilience)
+        for name in sorted(resilience):
+            if resilience[name]:
+                lines.append(f"  {name:<{name_width}}  {resilience[name]}")
 
     counters = record["metrics"].get("counters", {})
     if counters:

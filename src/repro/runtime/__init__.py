@@ -58,7 +58,25 @@ from repro.runtime.executor import (
     run_sweep,
     sweep_measure_dicts,
 )
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    current_fault_plan,
+    inject_faults,
+    parse_fault_spec,
+)
 from repro.runtime.registry import SCENARIOS, list_scenarios, register, scenario
+from repro.runtime.resilience import (
+    DEFAULT_RETRY_POLICY,
+    ResilientPool,
+    RetryPolicy,
+    SweepCheckpoint,
+    SweepFailure,
+    SweepFailureError,
+    collect_failures,
+    payload_digest,
+)
 from repro.runtime.spec import (
     DEFAULT_METRICS,
     ScenarioSpec,
@@ -71,18 +89,32 @@ __all__ = [
     "CacheStats",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_METRICS",
+    "DEFAULT_RETRY_POLICY",
     "ExecutionOptions",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "ResilientPool",
     "ResultCache",
+    "RetryPolicy",
     "SCENARIOS",
     "ScenarioRunResult",
     "ScenarioSpec",
+    "SweepCheckpoint",
+    "SweepFailure",
+    "SweepFailureError",
     "SweepPoint",
+    "collect_failures",
+    "current_fault_plan",
     "current_options",
     "default_cache_dir",
     "execution_options",
+    "inject_faults",
     "list_scenarios",
     "parameters_from_dict",
     "parameters_to_dict",
+    "parse_fault_spec",
+    "payload_digest",
     "register",
     "result_key",
     "run_sweep",

@@ -15,13 +15,19 @@ settings, the kind of computation, and a code-version tag.  Consequences:
   never serve stale results.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent workers and
-interrupted runs can never leave a torn JSON file behind.
+interrupted runs can never leave a torn JSON file behind.  An entry that is
+damaged anyway (an external writer, a dying disk, an injected fault) is
+**quarantined** on first read: the file is renamed to ``<key>.corrupt`` --
+preserving the evidence while guaranteeing the next read of that key is a
+clean miss -- a ``cache.corrupt`` counter ticks, and the quarantine is
+logged once per key.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass, field
@@ -29,6 +35,9 @@ from pathlib import Path
 
 import repro
 from repro.obs.metrics import current_registry
+from repro.runtime.faults import current_fault_plan
+
+_logger = logging.getLogger(__name__)
 
 __all__ = ["CODE_VERSION", "CacheStats", "ResultCache", "default_cache_dir", "result_key"]
 
@@ -143,14 +152,20 @@ def result_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write counters of one :class:`ResultCache` instance."""
+    """Hit/miss/write/corrupt counters of one :class:`ResultCache` instance."""
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
 
     def merge(self, other: "CacheStats | dict") -> None:
         """Fold another instance's counts in (worker stats joining a parent's)."""
@@ -159,6 +174,7 @@ class CacheStats:
         self.hits += other.get("hits", 0)
         self.misses += other.get("misses", 0)
         self.writes += other.get("writes", 0)
+        self.corrupt += other.get("corrupt", 0)
 
 
 @dataclass
@@ -166,12 +182,16 @@ class ResultCache:
     """JSON-file result cache under ``root`` (sharded by key prefix).
 
     ``get``/``put`` speak plain dictionaries; callers decide what a payload
-    means.  A corrupt or unreadable entry counts as a miss and is ignored --
-    the worst a broken cache can do is recompute.
+    means.  An unreadable entry counts as a miss; a *corrupt* entry (present
+    but not valid JSON) is additionally quarantined -- renamed to
+    ``<key>.corrupt`` so it can never be re-read, counted under
+    ``cache.corrupt``, and logged once per key.  The worst a broken cache
+    can do is recompute.
     """
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
+    _quarantine_logged: set = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -186,7 +206,12 @@ class ResultCache:
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            self.stats.misses += 1
+            current_registry().count("cache.result.misses")
+            return None
+        except ValueError:
+            self._quarantine(key, path)
             self.stats.misses += 1
             current_registry().count("cache.result.misses")
             return None
@@ -194,8 +219,27 @@ class ResultCache:
         current_registry().count("cache.result.hits")
         return payload
 
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a corrupt entry aside so the key reads as a clean miss."""
+        self.stats.corrupt += 1
+        current_registry().count("cache.corrupt")
+        try:
+            os.replace(path, path.with_name(f"{key}.corrupt"))
+        except OSError:
+            pass  # unmovable (e.g. read-only cache): the miss still recomputes
+        if key not in self._quarantine_logged:
+            self._quarantine_logged.add(key)
+            _logger.warning(
+                "quarantined corrupt cache entry %s -> %s.corrupt", key, key
+            )
+
     def put(self, key: str, payload: dict) -> None:
-        """Atomically store ``payload`` under ``key``."""
+        """Atomically store ``payload`` under ``key``.
+
+        Interruptions never leave a torn entry: any failure (including
+        ``KeyboardInterrupt``, which is re-raised, never swallowed) removes
+        the temp file and the target is only ever replaced whole.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -218,6 +262,12 @@ class ResultCache:
             raise
         self.stats.writes += 1
         current_registry().count("cache.result.writes")
+        plan = current_fault_plan()
+        if plan is not None and plan.take_cache_corruption():
+            # Injected corruption (the ``cache`` fault site): truncate the
+            # just-written entry so the next read exercises quarantine.
+            path.write_text('{"corrupt', encoding="utf-8")
+            current_registry().count("faults.injected")
 
     def __len__(self) -> int:
         """Number of entries currently stored (walks the shard directories)."""

@@ -45,8 +45,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -57,6 +56,16 @@ from repro.core.parameters import GprsModelParameters
 from repro.obs.metrics import absorb_export, current_registry, export_delta
 from repro.obs.trace import current_tracer
 from repro.runtime.cache import ResultCache, result_key
+from repro.runtime.resilience import (
+    ResilientPool,
+    RetryPolicy,
+    SweepCheckpoint,
+    SweepFailure,
+    checkpointed_get,
+    collect_failures,
+    payload_digest,
+    report_failure,
+)
 from repro.runtime.spec import ScenarioSpec, parameters_from_dict, parameters_to_dict
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep runtime below experiments
@@ -111,6 +120,22 @@ class ExecutionOptions:
         sequentially.  Points are then solved independently (no cross-point
         continuation), which keeps the pipeline bitwise identical to its own
         serial execution; single-cell and transient sweeps ignore the flag.
+    retry:
+        The :class:`~repro.runtime.resilience.RetryPolicy` applied to every
+        chunk/cell/trajectory task (``None`` = the default policy).
+    task_timeout:
+        Per-task deadline in seconds, enforced through future timeouts on
+        the parallel paths (``None`` disables; serial execution cannot
+        interrupt itself, so the knob is ignored in-process).
+    strict:
+        Fail fast on the first exhausted task
+        (:class:`~repro.runtime.resilience.SweepFailureError`) instead of
+        recording a structured :class:`~repro.runtime.resilience.SweepFailure`
+        per affected point and finishing the sweep.
+    checkpoint:
+        A :class:`~repro.runtime.resilience.SweepCheckpoint` journal of
+        completed points; requires a cache (resuming serves checkpointed
+        points from it).
     """
 
     jobs: int = 1
@@ -118,6 +143,10 @@ class ExecutionOptions:
     warm: bool = True
     chunk_size: int = DEFAULT_CHUNK_SIZE
     pipelined: bool = False
+    retry: RetryPolicy | None = None
+    task_timeout: float | None = None
+    strict: bool = False
+    checkpoint: SweepCheckpoint | None = None
 
 
 _OPTIONS: contextvars.ContextVar[ExecutionOptions] = contextvars.ContextVar(
@@ -137,6 +166,10 @@ def execution_options(
     warm: bool = True,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     pipelined: bool = False,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    strict: bool = False,
+    checkpoint: SweepCheckpoint | None = None,
 ):
     """Scope ambient execution options (used by ``run_experiment`` and the CLI)."""
     token = _OPTIONS.set(
@@ -146,6 +179,10 @@ def execution_options(
             warm=warm,
             chunk_size=chunk_size,
             pipelined=pipelined,
+            retry=retry,
+            task_timeout=task_timeout,
+            strict=strict,
+            checkpoint=checkpoint,
         )
     )
     try:
@@ -157,7 +194,17 @@ def execution_options(
 # ---------------------------------------------------------------------- #
 # Two-level pipelined scheduling of incremental solve drivers
 # ---------------------------------------------------------------------- #
-def drive_pipelined(drivers: list, worker, jobs: int) -> tuple[list, int]:
+def drive_pipelined(
+    drivers: list,
+    worker,
+    jobs: int,
+    *,
+    site: str = "cell",
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    strict: bool = False,
+    on_complete=None,
+) -> tuple[list, int]:
     """Drive several incremental solve drivers through one shared job pool.
 
     A *driver* is a solve broken into schedulable rounds: ``next_jobs()``
@@ -181,8 +228,26 @@ def drive_pipelined(drivers: list, worker, jobs: int) -> tuple[list, int]:
 
     Returns ``(results, dispatched)`` where ``results`` is in driver order
     and ``dispatched`` counts the job tuples routed through the scheduler.
+
+    Execution is fault tolerant: each job runs under ``retry`` (and, in
+    parallel mode, ``task_timeout``) through a
+    :class:`~repro.runtime.resilience.ResilientPool`, with jobs indexed by
+    their global dispatch ordinal for deterministic fault injection.  A
+    driver whose job exhausts its attempts yields its
+    :class:`~repro.runtime.resilience.SweepFailure` in place of a result
+    (``strict`` raises instead); the other drivers still complete.
+
+    ``on_complete(index, result)`` -- when given -- fires the moment driver
+    ``index`` finishes (never for a failed driver), so callers can persist
+    completed work *before* a later strict failure aborts the run.
     """
     dispatched = 0
+    completed: dict[int, object] = {}
+
+    def finish(index: int, driver) -> None:
+        completed[index] = driver.result()
+        if on_complete is not None:
+            on_complete(index, completed[index])
 
     def advance(driver, round_results) -> list[tuple]:
         """Absorb one round, then return the next round's jobs.
@@ -211,50 +276,94 @@ def drive_pipelined(drivers: list, worker, jobs: int) -> tuple[list, int]:
         dispatched += len(round_jobs)
         return round_jobs
 
+    failed: dict[int, SweepFailure] = {}
+
     if jobs <= 1 or not drivers:
-        for driver in drivers:
+        runner = ResilientPool(1, policy=retry, strict=strict)
+        for index, driver in enumerate(drivers):
             round_jobs = first_round(driver)
             while round_jobs:
-                round_jobs = advance(driver, [worker(job) for job in round_jobs])
+                base = dispatched - len(round_jobs)
+                outcomes = runner.run(
+                    worker,
+                    round_jobs,
+                    site=site,
+                    indices=range(base, dispatched),
+                )
+                failure = next(
+                    (o for o in outcomes if isinstance(o, SweepFailure)), None
+                )
+                if failure is not None:
+                    failed[index] = failure
+                    break
+                round_jobs = advance(driver, outcomes)
+            if index not in failed:
+                finish(index, driver)
         current_registry().count("executor.pipeline.dispatched", dispatched)
-        return [driver.result() for driver in drivers], dispatched
+        return [
+            failed[index] if index in failed else completed[index]
+            for index in range(len(drivers))
+        ], dispatched
 
-    pending: dict = {}
     rounds: dict[int, list] = {}
     outstanding: dict[int, int] = {}
-
-    def submit(pool, index: int, round_jobs: list[tuple]) -> None:
-        rounds[index] = [None] * len(round_jobs)
-        outstanding[index] = len(round_jobs)
-        for position, job in enumerate(round_jobs):
-            pending[pool.submit(worker, job)] = (index, position)
+    inflight = 0
 
     registry = current_registry()
     registry.gauge("executor.pool_width", jobs)
+    runner = ResilientPool(
+        jobs, policy=retry, task_timeout=task_timeout, strict=strict
+    )
+
+    def submit_round(index: int, round_jobs: list[tuple]) -> None:
+        nonlocal inflight
+        base = dispatched - len(round_jobs)
+        rounds[index] = [None] * len(round_jobs)
+        outstanding[index] = len(round_jobs)
+        for position, job in enumerate(round_jobs):
+            runner.submit(
+                worker, job, site=site, index=base + position, tag=(index, position)
+            )
+        inflight += len(round_jobs)
+
     with current_tracer().span(
         "executor.pipeline", drivers=len(drivers), jobs=jobs
-    ), ProcessPoolExecutor(max_workers=jobs) as pool:
+    ), runner:
         for index, driver in enumerate(drivers):
             round_jobs = first_round(driver)
             if round_jobs:
-                submit(pool, index, round_jobs)
-        while pending:
-            completed, _ = wait(pending, return_when=FIRST_COMPLETED)
-            registry.observe("executor.pipeline.in_flight", len(pending))
+                submit_round(index, round_jobs)
+            else:
+                finish(index, driver)
+        while inflight:
+            batch = runner.poll()
+            inflight -= len(batch)
+            registry.observe("executor.pipeline.in_flight", inflight)
             touched = set()
-            for future in completed:
-                index, position = pending.pop(future)
-                rounds[index][position] = future.result()
+            for (index, position), outcome in batch:
+                if index in failed:
+                    continue  # late results of a driver that already failed
+                if isinstance(outcome, SweepFailure):
+                    failed[index] = outcome
+                    rounds.pop(index, None)
+                    outstanding.pop(index, None)
+                    continue
+                rounds[index][position] = outcome
                 outstanding[index] -= 1
                 touched.add(index)
             for index in touched:
-                if outstanding[index] == 0:
+                if index not in failed and outstanding.get(index) == 0:
                     next_jobs = advance(drivers[index], rounds.pop(index))
                     outstanding.pop(index)
                     if next_jobs:
-                        submit(pool, index, next_jobs)
+                        submit_round(index, next_jobs)
+                    else:
+                        finish(index, drivers[index])
     registry.count("executor.pipeline.dispatched", dispatched)
-    return [driver.result() for driver in drivers], dispatched
+    return [
+        failed[index] if index in failed else completed[index]
+        for index in range(len(drivers))
+    ], dispatched
 
 
 # ---------------------------------------------------------------------- #
@@ -315,15 +424,17 @@ def _solve_chunk_points(
     return results, (space, template, context)
 
 
-def _solve_chunk_task(
-    point_dicts: list[dict], solver: str, solver_tol: float, warm: bool
-) -> tuple[list[dict], dict]:
+def _solve_chunk_task(job: tuple) -> tuple[list[dict], dict]:
     """Worker entry point: solve one chunk in a fresh process.
 
-    Returns ``(measure_dicts, metrics_export)``: the export piggybacks the
-    worker registry's delta (stamped with the worker PID) back to the parent,
-    which merges it only when it really crossed a process boundary.
+    ``job`` is the ``(point_dicts, solver, solver_tol, warm)`` payload --
+    one picklable tuple, the :class:`~repro.runtime.resilience.ResilientPool`
+    task shape.  Returns ``(measure_dicts, metrics_export)``: the export
+    piggybacks the worker registry's delta (stamped with the worker PID) back
+    to the parent, which merges it only when it really crossed a process
+    boundary.
     """
+    point_dicts, solver, solver_tol, warm = job
     baseline = current_registry().snapshot()
     results = _solve_chunk_points(point_dicts, solver, solver_tol, warm)[0]
     return results, export_delta(baseline)
@@ -356,7 +467,11 @@ def sweep_measure_dicts(
     cache: ResultCache | None = None,
     warm: bool = True,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
-) -> list[tuple[dict, bool]]:
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    strict: bool = False,
+    checkpoint: SweepCheckpoint | None = None,
+) -> list[tuple[dict | None, bool]]:
     """Solve every sweep point, cache-aware and optionally in parallel.
 
     Returns one ``(measures_dict, from_cache)`` pair per arrival rate, in
@@ -364,6 +479,15 @@ def sweep_measure_dicts(
     runtime and the figure sweeps, so both enjoy the same cache, the same
     parallelism and the same warm-started chunking (``warm``/``chunk_size``,
     see the module docstring).
+
+    Chunk tasks execute under ``retry``/``task_timeout`` through a
+    :class:`~repro.runtime.resilience.ResilientPool` (chunks are indexed by
+    their ordinal for deterministic fault injection).  A chunk that exhausts
+    its attempts leaves ``None`` in place of its points' measure dicts and
+    reports one :class:`~repro.runtime.resilience.SweepFailure` naming them
+    (``strict`` raises instead).  ``checkpoint`` journals every completed
+    point's cache key and payload digest; on a later run, checkpointed
+    points are served from the cache (digest-verified) without a solve.
     """
     point_dicts = [
         parameters_to_dict(base_parameters.with_arrival_rate(rate))
@@ -379,7 +503,11 @@ def sweep_measure_dicts(
     from_cache: dict[int, bool] = {}
     misses: list[int] = []
     for index in range(len(point_dicts)):
-        payload = cache.get(keys[index]) if cache is not None else None
+        payload = (
+            checkpointed_get(cache, keys[index], checkpoint)
+            if cache is not None
+            else None
+        )
         if payload is not None:
             results[index] = payload
             from_cache[index] = True
@@ -388,6 +516,36 @@ def sweep_measure_dicts(
             from_cache[index] = False
 
     workers = max(1, int(jobs))
+    writable = True
+
+    def persist(chunk: list[int]) -> None:
+        """Store and journal one completed chunk's points *immediately*.
+
+        Persistence is per chunk, as outcomes arrive, so a later abort (a
+        strict failure, a kill) loses at most the in-flight work -- a
+        ``--checkpoint`` resume re-solves only the unfinished chunks.
+        """
+        nonlocal writable
+        if cache is None or not writable:
+            return
+        for index in chunk:
+            if index not in results:
+                continue  # the point's chunk failed; nothing to persist
+            try:
+                cache.put(keys[index], results[index])
+            except OSError:
+                # An unwritable cache degrades to a cold one: the solved
+                # results are still returned, nothing is persisted.
+                writable = False
+                return
+            if checkpoint is not None:
+                checkpoint.record(
+                    site="chunk",
+                    index=index,
+                    key=keys[index],
+                    digest=payload_digest(results[index]),
+                )
+
     if misses:
         registry = current_registry()
         chunks = _chunked(misses, len(point_dicts), chunk_size if warm else 1)
@@ -399,50 +557,61 @@ def sweep_measure_dicts(
             registry.gauge("executor.pool_width", pool_width)
             with current_tracer().span(
                 "executor.parallel_chunks", chunks=len(chunks), jobs=pool_width
-            ), ProcessPoolExecutor(max_workers=pool_width) as pool:
-                futures = [
-                    (
-                        chunk,
-                        pool.submit(
-                            _solve_chunk_task,
-                            [point_dicts[index] for index in chunk],
-                            solver,
-                            solver_tol,
-                            warm,
-                        ),
+            ), ResilientPool(
+                pool_width, policy=retry, task_timeout=task_timeout, strict=strict
+            ) as pool:
+                for ordinal, chunk in enumerate(chunks):
+                    pool.submit(
+                        _solve_chunk_task,
+                        ([point_dicts[index] for index in chunk], solver, solver_tol, warm),
+                        site="chunk",
+                        index=ordinal,
+                        tag=ordinal,
                     )
-                    for chunk in chunks
-                ]
-                for chunk, future in futures:
-                    solved, export = future.result()
-                    absorb_export(export, registry)
-                    for index, values in zip(chunk, solved):
-                        results[index] = values
+                pending = len(chunks)
+                while pending:
+                    for tag, outcome in pool.poll():
+                        pending -= 1
+                        chunk = chunks[tag]
+                        if isinstance(outcome, SweepFailure):
+                            report_failure(replace(outcome, points=tuple(chunk)))
+                            continue
+                        solved, export = outcome
+                        absorb_export(export, registry)
+                        for index, values in zip(chunk, solved):
+                            results[index] = values
+                        persist(chunk)
         else:
             shared = None
-            for chunk in chunks:
+            runner = ResilientPool(1, policy=retry, strict=strict)
+            for ordinal, chunk in enumerate(chunks):
                 with current_tracer().span(
                     "executor.chunk", points=len(chunk)
                 ):
-                    solved, shared = _solve_chunk_points(
+                    job = (
                         [point_dicts[index] for index in chunk],
                         solver,
                         solver_tol,
                         warm,
                         shared,
                     )
+                    outcome = runner.run(
+                        lambda args: _solve_chunk_points(*args),
+                        [job],
+                        site="chunk",
+                        indices=[ordinal],
+                    )[0]
+                if isinstance(outcome, SweepFailure):
+                    report_failure(replace(outcome, points=tuple(chunk)))
+                    continue
+                solved, shared = outcome
                 for index, values in zip(chunk, solved):
                     results[index] = values
-        if cache is not None:
-            for index in misses:
-                try:
-                    cache.put(keys[index], results[index])
-                except OSError:
-                    # An unwritable cache degrades to a cold one: the solved
-                    # results are still returned, nothing is persisted.
-                    break
+                persist(chunk)
 
-    return [(results[index], from_cache[index]) for index in range(len(arrival_rates))]
+    return [
+        (results.get(index), from_cache[index]) for index in range(len(arrival_rates))
+    ]
 
 
 # ---------------------------------------------------------------------- #
@@ -457,6 +626,7 @@ class SweepPoint:
     seed: int
     values: dict[str, float]
     from_cache: bool = False
+    failed: bool = False
 
     def metric(self, name: str) -> float:
         return self.values[name]
@@ -464,24 +634,41 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class ScenarioRunResult:
-    """All points of one scenario run, in sweep order, plus cache accounting."""
+    """All points of one scenario run, in sweep order, plus cache accounting.
+
+    ``failures`` holds the structured
+    :class:`~repro.runtime.resilience.SweepFailure` records of any points
+    that could not be solved (their :class:`SweepPoint` is marked ``failed``
+    with empty values); metric accessors refuse a partial result rather than
+    silently returning a shorter series.
+    """
 
     spec: ScenarioSpec
     scale: ExperimentScale
     points: tuple[SweepPoint, ...]
     cache_hits: int = 0
     cache_misses: int = 0
+    failures: tuple[SweepFailure, ...] = ()
 
     @property
     def arrival_rates(self) -> tuple[float, ...]:
         return tuple(point.arrival_rate for point in self.points)
 
+    def _check_complete(self) -> None:
+        bad = [point.index for point in self.points if point.failed]
+        if bad:
+            raise RuntimeError(
+                f"sweep point(s) {bad} failed; see result.failures for details"
+            )
+
     def series(self, metric: str) -> tuple[float, ...]:
         """Return one metric across the sweep, aligned with ``arrival_rates``."""
+        self._check_complete()
         return tuple(point.values[metric] for point in self.points)
 
     def measures(self) -> tuple[GprsPerformanceMeasures, ...]:
         """Return the full measure objects (one per point)."""
+        self._check_complete()
         return tuple(GprsPerformanceMeasures(**point.values) for point in self.points)
 
     def as_dict(self) -> dict:
@@ -490,12 +677,14 @@ class ScenarioRunResult:
             "scenario": self.spec.to_dict(),
             "scale": self.scale.to_dict(),
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "failures": [failure.as_dict() for failure in self.failures],
             "points": [
                 {
                     "index": point.index,
                     "arrival_rate": point.arrival_rate,
                     "seed": point.seed,
                     "from_cache": point.from_cache,
+                    "failed": point.failed,
                     "values": dict(point.values),
                 }
                 for point in self.points
@@ -512,6 +701,10 @@ def run_sweep(
     warm: bool | None = None,
     chunk_size: int | None = None,
     pipelined: bool | None = None,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    strict: bool | None = None,
+    checkpoint: SweepCheckpoint | None = None,
 ) -> ScenarioRunResult:
     """Run one scenario sweep and return its ordered points.
 
@@ -536,6 +729,14 @@ def run_sweep(
         Network scenarios only (see :class:`ExecutionOptions`); ``None``
         takes the ambient value, and explicitly enabling it for a
         single-cell or transient scenario is rejected.
+    retry, task_timeout, strict, checkpoint:
+        Fault-tolerance knobs (see :class:`ExecutionOptions`); ``None``
+        takes the ambient values.  Failed points come back marked
+        ``failed`` with their
+        :class:`~repro.runtime.resilience.SweepFailure` records attached to
+        the result; ``strict`` raises
+        :class:`~repro.runtime.resilience.SweepFailureError` at the first
+        exhausted task instead.
 
     Network scenarios (a topology attached to the spec) run through
     :func:`repro.network.sweep.network_sweep_payloads` instead: each point is
@@ -561,6 +762,10 @@ def run_sweep(
     effective_warm = options.warm if warm is None else warm
     effective_chunk = options.chunk_size if chunk_size is None else chunk_size
     effective_pipelined = options.pipelined if pipelined is None else pipelined
+    effective_retry = options.retry if retry is None else retry
+    effective_timeout = options.task_timeout if task_timeout is None else task_timeout
+    effective_strict = options.strict if strict is None else strict
+    effective_checkpoint = options.checkpoint if checkpoint is None else checkpoint
 
     rates = spec.sweep_rates(scale)
     if spec.network is None and pipelined:
@@ -570,61 +775,83 @@ def run_sweep(
             "pipelined applies only to network scenarios; single-cell and "
             "transient sweeps already parallelise across whole points"
         )
-    if spec.network is not None:
-        from repro.network.sweep import network_sweep_payloads
+    with collect_failures() as failures:
+        if spec.network is not None:
+            from repro.network.sweep import network_sweep_payloads
 
-        if chunk_size is not None:
-            # Network sweeps have no point-chunking (cells parallelise within
-            # a point); rejecting the knob beats silently ignoring it.
-            raise ValueError(
-                "chunk_size applies only to single-cell scenarios; network "
-                "sweeps parallelise across cells within each point"
+            if chunk_size is not None:
+                # Network sweeps have no point-chunking (cells parallelise
+                # within a point); rejecting the knob beats silently
+                # ignoring it.
+                raise ValueError(
+                    "chunk_size applies only to single-cell scenarios; network "
+                    "sweeps parallelise across cells within each point"
+                )
+            payloads = network_sweep_payloads(
+                spec,
+                scale,
+                jobs=effective_jobs,
+                cache=effective_cache,
+                warm=effective_warm,
+                pipelined=effective_pipelined,
+                retry=effective_retry,
+                task_timeout=effective_timeout,
+                strict=effective_strict,
+                checkpoint=effective_checkpoint,
             )
-        payloads = network_sweep_payloads(
-            spec,
-            scale,
-            jobs=effective_jobs,
-            cache=effective_cache,
-            warm=effective_warm,
-            pipelined=effective_pipelined,
-        )
-        solved = [(payload["aggregates"], hit) for payload, hit in payloads]
-    elif spec.transient is not None:
-        from repro.transient.sweep import transient_sweep_payloads
+            solved = [
+                (payload["aggregates"] if payload is not None else None, hit)
+                for payload, hit in payloads
+            ]
+        elif spec.transient is not None:
+            from repro.transient.sweep import transient_sweep_payloads
 
-        if chunk_size is not None:
-            # Transient sweeps have no point-chunking (whole trajectories
-            # parallelise); rejecting the knob beats silently ignoring it.
-            raise ValueError(
-                "chunk_size applies only to single-cell scenarios; transient "
-                "sweeps parallelise across independent trajectories"
+            if chunk_size is not None:
+                # Transient sweeps have no point-chunking (whole trajectories
+                # parallelise); rejecting the knob beats silently ignoring it.
+                raise ValueError(
+                    "chunk_size applies only to single-cell scenarios; "
+                    "transient sweeps parallelise across independent "
+                    "trajectories"
+                )
+            payloads = transient_sweep_payloads(
+                spec,
+                scale,
+                jobs=effective_jobs,
+                cache=effective_cache,
+                warm=effective_warm,
+                retry=effective_retry,
+                task_timeout=effective_timeout,
+                strict=effective_strict,
+                checkpoint=effective_checkpoint,
             )
-        payloads = transient_sweep_payloads(
-            spec,
-            scale,
-            jobs=effective_jobs,
-            cache=effective_cache,
-            warm=effective_warm,
-        )
-        solved = [(payload["time_averages"], hit) for payload, hit in payloads]
-    else:
-        params = spec.parameters(scale)
-        solved = sweep_measure_dicts(
-            params,
-            rates,
-            solver=spec.solver,
-            jobs=effective_jobs,
-            cache=effective_cache,
-            warm=effective_warm,
-            chunk_size=effective_chunk,
-        )
+            solved = [
+                (payload["time_averages"] if payload is not None else None, hit)
+                for payload, hit in payloads
+            ]
+        else:
+            params = spec.parameters(scale)
+            solved = sweep_measure_dicts(
+                params,
+                rates,
+                solver=spec.solver,
+                jobs=effective_jobs,
+                cache=effective_cache,
+                warm=effective_warm,
+                chunk_size=effective_chunk,
+                retry=effective_retry,
+                task_timeout=effective_timeout,
+                strict=effective_strict,
+                checkpoint=effective_checkpoint,
+            )
     points = tuple(
         SweepPoint(
             index=index,
             arrival_rate=rate,
             seed=spec.point_seed(index),
-            values=values,
+            values=values if values is not None else {},
             from_cache=hit,
+            failed=values is None,
         )
         for index, (rate, (values, hit)) in enumerate(zip(rates, solved))
     )
@@ -635,4 +862,5 @@ def run_sweep(
         points=points,
         cache_hits=hits,
         cache_misses=len(points) - hits,
+        failures=tuple(failures),
     )

@@ -1,0 +1,605 @@
+"""Fault-tolerant task execution: retries, deadlines, respawn, checkpoints.
+
+The execution seams (:func:`repro.runtime.executor.sweep_measure_dicts`,
+:func:`repro.runtime.executor.drive_pipelined`, the network and transient
+sweeps) all reduce to the same shape: a list of *pure* task payloads whose
+results are reassembled in order.  Purity is what makes resilience cheap --
+a retried task re-runs the identical payload and produces the identical
+bytes, so recovering from a crashed worker can never change numbers, only
+wall time.  This module supplies that recovery:
+
+* :class:`RetryPolicy` -- bounded attempts with exponential backoff and
+  deterministic seeded jitter; classifies worker death
+  (``BrokenProcessPool``), deadline timeouts and ``OSError`` as retryable,
+  everything else (a ``ValueError``, a solver bug) as fatal, because a
+  deterministic payload that failed "honestly" will fail identically again.
+* :class:`ResilientPool` -- a retrying, deadline-enforcing wrapper around one
+  ``ProcessPoolExecutor``.  A broken pool is respawned (every in-flight task
+  counts one attempt -- the culprit is indistinguishable from its victims);
+  after ``max_pool_respawns`` respawns the pool **degrades to in-process
+  serial execution** and the sweep still finishes.  A task past its deadline
+  (``ExecutionOptions.task_timeout``) cannot be cancelled mid-run, so the
+  pool is recycled and the survivors resubmitted.
+* :class:`SweepFailure` -- the structured record a task that exhausted its
+  attempts leaves behind instead of aborting the sweep; ``strict`` restores
+  fail-fast by raising :class:`SweepFailureError` at the first one.
+  :func:`collect_failures` scopes an ambient sink the sweep entry points use
+  to attach failures to their results.
+* :class:`SweepCheckpoint` -- a JSONL journal of completed sweep points
+  (cache key + payload digest, schema-versioned like the run ledger) so an
+  interrupted invocation resumes by serving checkpointed points from the
+  result cache and solving only the remainder; a digest mismatch (a corrupt
+  cache entry) demotes the point back to a miss.
+
+Injected faults (:mod:`repro.runtime.faults`) are resolved parent-side at
+submission and shipped inside the submitted call, so every path above is
+provable in tests; with no plan active, submission cost is one contextvar
+read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import current_registry
+from repro.runtime.faults import current_fault_plan, run_with_faults
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "DEFAULT_RETRY_POLICY",
+    "ResilientPool",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "SweepFailure",
+    "SweepFailureError",
+    "checkpointed_get",
+    "collect_failures",
+    "payload_digest",
+    "report_failure",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Retry policy and failure records
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, how patiently, and for which errors a task is retried."""
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter_fraction: float = 0.25
+    seed: int = 0
+    max_pool_respawns: int = 2
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Worker death, deadline timeouts and OS-level errors are transient;
+        everything else fails identically on a pure payload."""
+        if isinstance(error, (KeyboardInterrupt, SystemExit)):
+            return False
+        return isinstance(error, (BrokenProcessPool, TimeoutError, OSError))
+
+    def backoff_s(self, site: str, index: int, attempt: int) -> float:
+        """Delay before ``attempt`` (1-based), with deterministic jitter.
+
+        The jitter is a pure function of ``(seed, site, index, attempt)`` so
+        two runs of the same failing sweep back off identically -- reproducing
+        a flaky-looking run reproduces its timing too.
+        """
+        if attempt <= 0:
+            return 0.0
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+        token = f"{self.seed}:{site}:{index}:{attempt}".encode("utf-8")
+        unit = int.from_bytes(hashlib.sha256(token).digest()[:8], "big") / 2.0**64
+        return base * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """One task that exhausted its retry budget (or failed fatally).
+
+    ``points`` names the sweep-point indices the failed task covered (a chunk
+    task covers several); the seam that knows the mapping fills it in before
+    reporting.
+    """
+
+    site: str
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool = False
+    points: tuple = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+            "points": list(self.points),
+        }
+
+
+class SweepFailureError(RuntimeError):
+    """Raised instead of recording a :class:`SweepFailure` under ``strict``."""
+
+    def __init__(self, failure: SweepFailure) -> None:
+        super().__init__(
+            f"{failure.site} task {failure.index} failed after "
+            f"{failure.attempts} attempt(s): {failure.error_type}: {failure.message}"
+        )
+        self.failure = failure
+
+
+_FAILURES: contextvars.ContextVar[list | None] = contextvars.ContextVar(
+    "repro_runtime_sweep_failures", default=None
+)
+
+
+@contextlib.contextmanager
+def collect_failures():
+    """Scope an ambient failure sink; yields the list failures append to."""
+    sink: list[SweepFailure] = []
+    token = _FAILURES.set(sink)
+    try:
+        yield sink
+    finally:
+        _FAILURES.reset(token)
+
+
+def report_failure(failure: SweepFailure) -> None:
+    """Count a failure and deliver it to the innermost ambient sink (if any)."""
+    current_registry().count("resilience.task_failures")
+    sink = _FAILURES.get()
+    if sink is not None:
+        sink.append(failure)
+
+
+# ---------------------------------------------------------------------- #
+# The resilient pool
+# ---------------------------------------------------------------------- #
+@dataclass
+class _Task:
+    """Parent-side state of one submitted payload."""
+
+    tag: object
+    worker: object
+    job: object
+    site: str
+    index: int
+    attempt: int = 0
+    deadline: float | None = None
+
+
+class ResilientPool:
+    """Retrying, deadline-enforcing executor over pure task payloads.
+
+    ``submit``/``poll`` expose the streaming interface the pipelined
+    scheduler needs; :meth:`run` is the ordered batch helper the chunk and
+    trajectory seams use.  Outcomes are either the worker's return value or
+    a :class:`SweepFailure`; under ``strict`` the first failure raises
+    :class:`SweepFailureError` instead.
+
+    ``jobs <= 1`` executes in-process (no pool is ever created), through the
+    very same retry loop.  Deadlines are enforceable only under a pool --
+    in-process execution cannot interrupt itself -- so ``task_timeout`` is
+    ignored serially.  Parallel tasks that survive a pool recycle are
+    resubmitted at their current attempt: payloads are pure, so re-running
+    them is free of side effects and keeps ``jobs=N`` bitwise equal to
+    serial.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        policy: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        strict: bool = False,
+    ) -> None:
+        self._jobs = max(1, int(jobs))
+        self._policy = policy if policy is not None else DEFAULT_RETRY_POLICY
+        self._timeout = task_timeout
+        self._strict = strict
+        self._pool: ProcessPoolExecutor | None = None
+        self._respawns = 0
+        self._degraded = False
+        self._pending: dict[Future, _Task] = {}
+        self._ready: list[tuple[object, object]] = []
+
+    @property
+    def degraded(self) -> bool:
+        """True once repeated pool failures forced in-process execution."""
+        return self._degraded
+
+    @property
+    def serial(self) -> bool:
+        return self._jobs <= 1 or self._degraded
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, worker, job, *, site: str, index: int, tag=None) -> None:
+        """Queue one payload; its outcome arrives through :meth:`poll`."""
+        task = _Task(
+            tag=tag if tag is not None else (site, index),
+            worker=worker,
+            job=job,
+            site=site,
+            index=index,
+        )
+        if self.serial:
+            self._ready.append((task.tag, self._run_in_process(task)))
+        else:
+            self._submit_task(task)
+
+    def _submit_task(self, task: _Task) -> None:
+        registry = current_registry()
+        plan = current_fault_plan()
+        actions = (
+            plan.actions_for(task.site, task.index, task.attempt)
+            if plan is not None
+            else ()
+        )
+        registry.count("resilience.attempts")
+        if actions:
+            registry.count("faults.injected", len(actions))
+        while True:
+            pool = self._ensure_pool()
+            try:
+                if actions:
+                    future = pool.submit(
+                        run_with_faults, actions, task.worker, task.job, True
+                    )
+                else:
+                    future = pool.submit(task.worker, task.job)
+            except BrokenProcessPool:
+                # Broken before this task even entered it: recycle and retry
+                # the submission (degradation falls back to in-process).
+                self._recycle_pool()
+                if self._degraded:
+                    self._ready.append((task.tag, self._run_in_process(task)))
+                    return
+                continue
+            if self._timeout is not None:
+                task.deadline = time.monotonic() + self._timeout
+            self._pending[future] = task
+            return
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._jobs)
+        return self._pool
+
+    # -- in-process execution (serial mode and degraded mode) ----------------
+
+    def _run_in_process(self, task: _Task):
+        registry = current_registry()
+        while True:
+            plan = current_fault_plan()
+            actions = (
+                plan.actions_for(task.site, task.index, task.attempt)
+                if plan is not None
+                else ()
+            )
+            registry.count("resilience.attempts")
+            if actions:
+                registry.count("faults.injected", len(actions))
+            try:
+                if actions:
+                    return run_with_faults(actions, task.worker, task.job, False)
+                return task.worker(task.job)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001 - classified below
+                failure = self._fail_or_retry(task, error)
+                if failure is not None:
+                    return failure
+
+    # -- shared retry bookkeeping --------------------------------------------
+
+    def _fail_or_retry(
+        self, task: _Task, error: BaseException
+    ) -> SweepFailure | None:
+        """Either schedule another attempt (returns ``None``, after backing
+        off) or mint the task's terminal :class:`SweepFailure`."""
+        retryable = self._policy.is_retryable(error)
+        if retryable and task.attempt + 1 < self._policy.max_attempts:
+            task.attempt += 1
+            task.deadline = None
+            current_registry().count("resilience.retries")
+            delay = self._policy.backoff_s(task.site, task.index, task.attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            return None
+        failure = SweepFailure(
+            site=task.site,
+            index=task.index,
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=task.attempt + 1,
+            timed_out=isinstance(error, TimeoutError),
+        )
+        if self._strict:
+            raise SweepFailureError(failure) from error
+        return failure
+
+    # -- completion ----------------------------------------------------------
+
+    def poll(self) -> list[tuple[object, object]]:
+        """Drain ready ``(tag, outcome)`` pairs, blocking until at least one
+        is available (or nothing is pending)."""
+        while not self._ready and self._pending:
+            self._wait_once()
+        drained, self._ready = self._ready, []
+        return drained
+
+    def _wait_once(self) -> None:
+        timeout = None
+        if self._timeout is not None:
+            deadlines = [
+                task.deadline
+                for task in self._pending.values()
+                if task.deadline is not None
+            ]
+            if deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+        done, _ = wait(set(self._pending), timeout=timeout, return_when=FIRST_COMPLETED)
+
+        broken = False
+        orphans: list[_Task] = []
+        for future in done:
+            task = self._pending.pop(future)
+            try:
+                outcome = future.result()
+            except BrokenProcessPool:
+                broken = True
+                orphans.append(task)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001 - classified below
+                failure = self._fail_or_retry(task, error)
+                if failure is not None:
+                    self._ready.append((task.tag, failure))
+                elif broken or self._pool is None:
+                    orphans.append(task)
+                else:
+                    self._submit_task(task)
+            else:
+                self._ready.append((task.tag, outcome))
+
+        if broken:
+            # The culprit is indistinguishable from its victims: every task
+            # that was in flight counts one attempt against a BrokenProcessPool
+            # (safe -- payloads are pure), then rides into the respawned pool.
+            orphans.extend(self._pending.values())
+            self._pending.clear()
+            self._recycle_pool()
+            for task in orphans:
+                failure = self._fail_or_retry(task, BrokenProcessPool("worker died"))
+                if failure is not None:
+                    self._ready.append((task.tag, failure))
+                elif self._degraded:
+                    self._ready.append((task.tag, self._run_in_process(task)))
+                else:
+                    self._submit_task(task)
+            return
+
+        if self._timeout is not None and self._pending:
+            now = time.monotonic()
+            overdue = [
+                task
+                for task in self._pending.values()
+                if task.deadline is not None and task.deadline <= now
+            ]
+            if overdue:
+                # A running future cannot be cancelled, so enforcement means
+                # recycling the whole pool; the punctual survivors resubmit at
+                # their current attempt (they did nothing wrong).
+                current_registry().count("resilience.timeouts", len(overdue))
+                overdue_set = {id(task) for task in overdue}
+                survivors = [
+                    task
+                    for task in self._pending.values()
+                    if id(task) not in overdue_set
+                ]
+                self._pending.clear()
+                self._recycle_pool()
+                for task in overdue:
+                    failure = self._fail_or_retry(
+                        task,
+                        TimeoutError(
+                            f"{task.site} task {task.index} exceeded its "
+                            f"{self._timeout:g}s deadline"
+                        ),
+                    )
+                    if failure is not None:
+                        self._ready.append((task.tag, failure))
+                    elif self._degraded:
+                        self._ready.append((task.tag, self._run_in_process(task)))
+                    else:
+                        self._submit_task(task)
+                for task in survivors:
+                    if self._degraded:
+                        self._ready.append((task.tag, self._run_in_process(task)))
+                    else:
+                        self._submit_task(task)
+
+    def _recycle_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._respawns += 1
+        registry = current_registry()
+        registry.count("resilience.pool_respawns")
+        if self._respawns > self._policy.max_pool_respawns and not self._degraded:
+            self._degraded = True
+            registry.count("resilience.degraded")
+
+    # -- batch helper --------------------------------------------------------
+
+    def run(self, worker, jobs_list, *, site: str, indices=None) -> list:
+        """Run every payload and return outcomes in submission order."""
+        jobs_list = list(jobs_list)
+        indices = list(indices) if indices is not None else list(range(len(jobs_list)))
+        if len(indices) != len(jobs_list):
+            raise ValueError("indices must align with jobs_list")
+        for position, (index, job) in enumerate(zip(indices, jobs_list)):
+            self.submit(worker, job, site=site, index=index, tag=position)
+        outcomes: dict[int, object] = {}
+        while len(outcomes) < len(jobs_list):
+            for tag, outcome in self.poll():
+                outcomes[tag] = outcome
+        return [outcomes[position] for position in range(len(jobs_list))]
+
+    def shutdown(self, wait_: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait_)
+            self._pool = None
+
+    def __enter__(self) -> "ResilientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# Sweep checkpoints
+# ---------------------------------------------------------------------- #
+#: Identifies checkpoint files among arbitrary JSONL (ledger-style header).
+CHECKPOINT_SCHEMA = "gprs-repro/sweep-checkpoint"
+
+#: Bump on any backwards-incompatible entry change.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def payload_digest(payload: dict) -> str:
+    """Content digest of one cached sweep-point payload (canonical JSON)."""
+    rendering = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(rendering.encode("utf-8")).hexdigest()[:16]
+
+
+class SweepCheckpoint:
+    """JSONL journal of completed sweep points: ``{key, digest, site, index}``.
+
+    The first line is a schema-versioned header (the run-ledger pattern);
+    every later line records one completed point's cache key and payload
+    digest.  :meth:`load` tolerates a missing file and a torn final line (an
+    interrupted append), but refuses a future schema version outright --
+    silently misreading a checkpoint would "resume" the wrong work.
+    """
+
+    def __init__(self, path, entries: dict | None = None) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, str] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path) -> "SweepCheckpoint":
+        path = Path(path)
+        entries: dict[str, str] = {}
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return cls(path)
+        for number, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) - 1:
+                    continue  # torn final line from an interrupted append
+                raise ValueError(f"{path}:{number + 1}: not JSON") from None
+            if number == 0:
+                if record.get("schema") != CHECKPOINT_SCHEMA:
+                    raise ValueError(
+                        f"{path}: not a {CHECKPOINT_SCHEMA} file "
+                        f"(schema={record.get('schema')!r})"
+                    )
+                version = record.get("schema_version")
+                if not isinstance(version, int) or version < 1:
+                    raise ValueError(f"{path}: invalid schema_version {version!r}")
+                if version > CHECKPOINT_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: checkpoint schema_version {version} is newer "
+                        f"than supported {CHECKPOINT_SCHEMA_VERSION}; refusing "
+                        "to misread it"
+                    )
+                continue
+            key = record.get("key")
+            digest = record.get("digest")
+            if isinstance(key, str) and isinstance(digest, str):
+                entries[key] = digest
+        return cls(path, entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def has(self, key: str) -> bool:
+        return key in self._entries
+
+    def matches(self, key: str, digest: str) -> bool:
+        return self._entries.get(key) == digest
+
+    def record(self, *, site: str, index: int, key: str, digest: str) -> None:
+        """Journal one completed point (appended and flushed immediately)."""
+        from repro.runtime.cache import CODE_VERSION
+
+        new_file = not self.path.exists()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            if new_file:
+                header = {
+                    "schema": CHECKPOINT_SCHEMA,
+                    "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                    "code_version": CODE_VERSION,
+                }
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
+            entry = {"key": key, "digest": digest, "site": site, "index": index}
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+        self._entries[key] = digest
+        current_registry().count("resilience.checkpointed_points")
+
+
+def checkpointed_get(cache, key, checkpoint: SweepCheckpoint | None):
+    """Cache lookup verified against the checkpoint journal.
+
+    A hit whose payload digest matches its checkpointed digest counts as a
+    *resumed* point; a mismatch (someone corrupted or replaced the cached
+    bytes since the checkpoint was written) demotes the hit to a miss so the
+    point is re-solved rather than silently served wrong.
+    """
+    if cache is None or key is None:
+        return None
+    payload = cache.get(key)
+    if payload is None:
+        return None
+    if checkpoint is not None and checkpoint.has(key):
+        if checkpoint.matches(key, payload_digest(payload)):
+            current_registry().count("resilience.resumed_points")
+        else:
+            current_registry().count("resilience.checkpoint_mismatches")
+            return None
+    return payload

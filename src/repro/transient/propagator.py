@@ -149,21 +149,51 @@ class SegmentReplay:
         return sum(checkpoint.nbytes for checkpoint in distinct.values())
 
 
+def _replay_digest(replay: SegmentReplay) -> str:
+    """Content digest of a replay's checkpoint payload.
+
+    Recorded at ``put`` time and re-verified on every hit, so a cached replay
+    whose arrays were corrupted in place (a stray writer defeating the
+    read-only flags, a buggy consumer, an injected fault) is detected and
+    recomputed instead of silently replayed into a trajectory.
+    """
+    digest = hashlib.sha256()
+    for checkpoint in replay.checkpoints:
+        digest.update(np.ascontiguousarray(checkpoint).tobytes())
+    return digest.hexdigest()[:16]
+
+
 @dataclass
 class PropagatorCache:
-    """Bounded, LRU-evicting store of :class:`SegmentReplay` records."""
+    """Bounded, LRU-evicting store of :class:`SegmentReplay` records.
+
+    Entries carry the digest of their checkpoint bytes; a hit whose stored
+    distributions no longer match that digest is dropped (counted under
+    ``cache.propagator.corrupt``) and served as a miss, so corrupt state is
+    re-solved rather than replayed.
+    """
 
     max_bytes: int = DEFAULT_CACHE_BYTES
     hits: int = 0
     misses: int = 0
+    corrupt: int = 0
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _bytes: int = 0
 
     def get(self, key: str) -> SegmentReplay | None:
         """Return the replay stored under ``key`` (refreshing its LRU slot)."""
-        replay = self._entries.get(key)
-        if replay is None:
+        entry = self._entries.get(key)
+        if entry is None:
             self.misses += 1
+            current_registry().count("cache.propagator.misses")
+            return None
+        replay, digest = entry
+        if _replay_digest(replay) != digest:
+            self._entries.pop(key)
+            self._bytes -= replay.nbytes
+            self.corrupt += 1
+            self.misses += 1
+            current_registry().count("cache.propagator.corrupt")
             current_registry().count("cache.propagator.misses")
             return None
         self._entries.move_to_end(key)
@@ -177,11 +207,11 @@ class PropagatorCache:
             return
         previous = self._entries.pop(key, None)
         if previous is not None:
-            self._bytes -= previous.nbytes
-        self._entries[key] = replay
+            self._bytes -= previous[0].nbytes
+        self._entries[key] = (replay, _replay_digest(replay))
         self._bytes += replay.nbytes
         while self._bytes > self.max_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
+            _, (evicted, _) = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
             current_registry().count("cache.propagator.evictions")
         current_registry().gauge("cache.propagator.bytes", self._bytes)

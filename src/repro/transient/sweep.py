@@ -44,24 +44,42 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TransientSweepPoint:
-    """One solved (or cache-served) trajectory of a transient sweep."""
+    """One solved (or cache-served) trajectory of a transient sweep.
+
+    ``payload`` is ``None`` for a trajectory whose solve failed terminally in
+    a non-strict run (see :class:`~repro.runtime.resilience.SweepFailure`).
+    """
 
     index: int
     arrival_rate: float
-    payload: dict
+    payload: dict | None
     from_cache: bool = False
 
     @property
+    def failed(self) -> bool:
+        return self.payload is None
+
+    @property
     def times(self) -> tuple[float, ...]:
+        self._require_payload()
         return tuple(self.payload["times"])
 
     @property
     def time_averages(self) -> dict[str, float]:
+        self._require_payload()
         return self.payload["time_averages"]
 
     def trajectory(self, metric: str) -> tuple[float, ...]:
         """One measure over time at this base rate, aligned with :attr:`times`."""
+        self._require_payload()
         return tuple(point["values"][metric] for point in self.payload["points"])
+
+    def _require_payload(self) -> None:
+        if self.payload is None:
+            raise RuntimeError(
+                f"transient sweep point {self.index} (rate {self.arrival_rate:g}) "
+                "failed; no trajectory is available"
+            )
 
 
 @dataclass(frozen=True)
@@ -73,6 +91,7 @@ class TransientSweepResult:
     points: tuple[TransientSweepPoint, ...]
     cache_hits: int = 0
     cache_misses: int = 0
+    failures: tuple = ()
 
     @property
     def arrival_rates(self) -> tuple[float, ...]:
@@ -87,12 +106,14 @@ class TransientSweepResult:
             "scenario": self.spec.to_dict(),
             "scale": self.scale.to_dict(),
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "failures": [failure.as_dict() for failure in self.failures],
             "points": [
                 {
                     "index": point.index,
                     "arrival_rate": point.arrival_rate,
                     "from_cache": point.from_cache,
-                    **point.payload,
+                    "failed": point.failed,
+                    **(point.payload or {}),
                 }
                 for point in self.points
             ],
@@ -134,7 +155,11 @@ def transient_sweep_payloads(
     cache: "ResultCache | None" = None,
     warm: bool = True,
     rates: tuple[float, ...] | None = None,
-) -> list[tuple[dict, bool]]:
+    retry=None,
+    task_timeout: float | None = None,
+    strict: bool = False,
+    checkpoint=None,
+) -> list[tuple[dict | None, bool]]:
     """Solve every trajectory of a transient scenario sweep, cache-aware.
 
     Returns one ``(payload, from_cache)`` pair per base arrival rate, in
@@ -145,10 +170,24 @@ def transient_sweep_payloads(
     -- which changes nothing numerically (templates are bitwise-faithful),
     only construction time.  ``rates`` restricts the sweep axis (the CLI's
     ``--rate``); the default is the scenario's axis under ``scale``.
+
+    Trajectory tasks run under ``retry`` / ``task_timeout``
+    (:mod:`repro.runtime.resilience`; fault site ``trajectory``, indexed by
+    sweep-point index).  A trajectory that fails terminally is reported
+    through :func:`~repro.runtime.resilience.report_failure` and returned as
+    ``(None, False)`` unless ``strict`` re-raises; ``checkpoint`` journals
+    completed trajectories for resumption.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from dataclasses import replace as dc_replace
 
     from repro.runtime.cache import result_key
+    from repro.runtime.resilience import (
+        ResilientPool,
+        SweepFailure,
+        checkpointed_get,
+        payload_digest,
+        report_failure,
+    )
     from repro.runtime.spec import parameters_to_dict
 
     if spec.transient is None:
@@ -183,7 +222,11 @@ def transient_sweep_payloads(
     from_cache: dict[int, bool] = {}
     misses: list[int] = []
     for index in range(len(point_dicts)):
-        payload = cache.get(keys[index]) if cache is not None else None
+        payload = (
+            checkpointed_get(cache, keys[index], checkpoint)
+            if cache is not None
+            else None
+        )
         if payload is not None:
             results[index] = payload
             from_cache[index] = True
@@ -191,37 +234,75 @@ def transient_sweep_payloads(
             misses.append(index)
             from_cache[index] = False
 
+    writable = True
+
+    def persist(index: int) -> None:
+        """Store and journal one completed trajectory *immediately*.
+
+        Per-trajectory persistence means a later abort (a strict failure, a
+        kill) loses at most the in-flight work -- a ``--checkpoint`` resume
+        re-solves only the unfinished trajectories.
+        """
+        nonlocal writable
+        if cache is None or not writable:
+            return
+        try:
+            cache.put(keys[index], results[index])
+        except OSError:
+            # An unwritable cache degrades to a cold one: the solved
+            # trajectories are still returned, nothing is persisted.
+            writable = False
+            return
+        if checkpoint is not None:
+            checkpoint.record(
+                site="trajectory",
+                index=index,
+                key=keys[index],
+                digest=payload_digest(results[index]),
+            )
+
     if misses:
         from repro.obs.metrics import absorb_export, current_registry
 
         registry = current_registry()
-        jobs_list = [
-            (point_dicts[index], profile_dict, spec.solver, solver_tol, warm)
-            for index in misses
-        ]
         workers = max(1, int(jobs))
-        if workers > 1 and len(misses) > 1:
-            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
-                for index, (payload, export) in zip(
-                    misses, pool.map(_solve_trajectory_task, jobs_list)
-                ):
-                    absorb_export(export, registry)
-                    results[index] = payload
-        else:
-            for index, job in zip(misses, jobs_list):
-                payload, export = _solve_trajectory_task(job)
-                absorb_export(export, registry)
-                results[index] = payload
-        if cache is not None:
-            for index in misses:
-                try:
-                    cache.put(keys[index], results[index])
-                except OSError:
-                    # An unwritable cache degrades to a cold one: the solved
-                    # trajectories are still returned, nothing is persisted.
-                    break
+        pool_width = min(workers, len(misses)) if len(misses) > 1 else 1
+        def settle(index: int, outcome) -> None:
+            if isinstance(outcome, SweepFailure):
+                report_failure(dc_replace(outcome, points=(index,)))
+                return
+            payload, export = outcome
+            absorb_export(export, registry)
+            results[index] = payload
+            persist(index)
 
-    return [(results[index], from_cache[index]) for index in range(len(sweep_rates))]
+        with ResilientPool(
+            pool_width, policy=retry, task_timeout=task_timeout, strict=strict
+        ) as pool:
+            pending = 0
+            for index in misses:
+                pool.submit(
+                    _solve_trajectory_task,
+                    (point_dicts[index], profile_dict, spec.solver, solver_tol, warm),
+                    site="trajectory",
+                    index=index,
+                    tag=index,
+                )
+                pending += 1
+                if pool.serial:
+                    # In-process submission executes inline: drain (and
+                    # persist) each trajectory before the next one can fail.
+                    for tag, outcome in pool.poll():
+                        pending -= 1
+                        settle(tag, outcome)
+            while pending:
+                for tag, outcome in pool.poll():
+                    pending -= 1
+                    settle(tag, outcome)
+
+    return [
+        (results.get(index), from_cache[index]) for index in range(len(sweep_rates))
+    ]
 
 
 def run_transient_sweep(
@@ -232,32 +313,50 @@ def run_transient_sweep(
     cache: "ResultCache | None | str" = "ambient",
     warm: bool | None = None,
     rates: tuple[float, ...] | None = None,
+    retry=None,
+    task_timeout: float | None = None,
+    strict: bool | None = None,
+    checkpoint=None,
 ) -> TransientSweepResult:
     """Run one transient scenario sweep and return its trajectories.
 
-    The ``jobs`` / ``cache`` / ``warm`` arguments resolve against the ambient
-    :func:`~repro.runtime.executor.execution_options` exactly like
-    :func:`~repro.runtime.executor.run_sweep`; ``jobs`` parallelises the
-    independent trajectories across base arrival rates.
+    The ``jobs`` / ``cache`` / ``warm`` arguments -- and the resilience knobs
+    ``retry`` / ``task_timeout`` / ``strict`` / ``checkpoint`` -- resolve
+    against the ambient :func:`~repro.runtime.executor.execution_options`
+    exactly like :func:`~repro.runtime.executor.run_sweep`; ``jobs``
+    parallelises the independent trajectories across base arrival rates.
+    Terminal per-trajectory failures land in
+    :attr:`TransientSweepResult.failures` (their points carry
+    ``payload=None``) unless ``strict``.
     """
     from repro.experiments.scale import ExperimentScale
     from repro.runtime.executor import current_options
+    from repro.runtime.resilience import collect_failures
 
     scale = scale or ExperimentScale.default()
     options = current_options()
     effective_jobs = options.jobs if jobs is None else jobs
     effective_cache = options.cache if cache == "ambient" else cache
     effective_warm = options.warm if warm is None else warm
+    effective_retry = options.retry if retry is None else retry
+    effective_timeout = options.task_timeout if task_timeout is None else task_timeout
+    effective_strict = options.strict if strict is None else strict
+    effective_checkpoint = options.checkpoint if checkpoint is None else checkpoint
 
     sweep_rates = spec.sweep_rates(scale) if rates is None else tuple(rates)
-    solved = transient_sweep_payloads(
-        spec,
-        scale,
-        jobs=effective_jobs,
-        cache=effective_cache,
-        warm=effective_warm,
-        rates=sweep_rates,
-    )
+    with collect_failures() as failures:
+        solved = transient_sweep_payloads(
+            spec,
+            scale,
+            jobs=effective_jobs,
+            cache=effective_cache,
+            warm=effective_warm,
+            rates=sweep_rates,
+            retry=effective_retry,
+            task_timeout=effective_timeout,
+            strict=effective_strict,
+            checkpoint=effective_checkpoint,
+        )
     points = tuple(
         TransientSweepPoint(
             index=index, arrival_rate=rate, payload=payload, from_cache=hit
@@ -271,4 +370,5 @@ def run_transient_sweep(
         points=points,
         cache_hits=hits,
         cache_misses=len(points) - hits,
+        failures=tuple(failures),
     )

@@ -224,3 +224,71 @@ class TestQualitativeBehaviour:
         assert measures.carried_data_traffic == pytest.approx(0.0, abs=1e-9)
         assert measures.average_gprs_sessions == pytest.approx(0.0)
         assert measures.packet_loss_probability == pytest.approx(0.0)
+
+
+class TestWarmStartColdRetry:
+    """The warm-solve cold-retry seam: a degraded seed may cost time, never
+    correctness."""
+
+    def test_structured_warm_failure_retries_cold(self, small_parameters, monkeypatch):
+        from repro.markov.solvers import SolverError
+
+        reference = GprsMarkovModel(
+            small_parameters, solver_method="structured"
+        ).solve()
+
+        original = GprsMarkovModel._solve_structured
+        warm_attempts = []
+
+        def _poisoned(self, initial):
+            if initial is not None:
+                warm_attempts.append(1)
+                raise SolverError("warm seed diverged (injected)")
+            return original(self, initial)
+
+        monkeypatch.setattr(GprsMarkovModel, "_solve_structured", _poisoned)
+        seeded = GprsMarkovModel(
+            small_parameters,
+            solver_method="structured",
+            initial_distribution=np.full(
+                reference.steady_state.distribution.shape,
+                1.0 / reference.steady_state.distribution.size,
+            ),
+        )
+        result = seeded.solve()
+        assert warm_attempts == [1]  # the warm attempt ran and failed
+        assert not seeded.warm_start_used  # the cold retry produced the result
+        np.testing.assert_array_equal(
+            result.steady_state.distribution, reference.steady_state.distribution
+        )
+
+    def test_generic_warm_failure_retries_cold(self, small_parameters, monkeypatch):
+        import repro.core.model as core_model
+        from repro.markov.solvers import SolverError
+
+        reference = GprsMarkovModel(small_parameters, solver_method="power").solve()
+
+        original = core_model.solve_steady_state
+        calls = []
+
+        def _poisoned(generator, *, method, tol, initial=None):
+            calls.append(initial is not None)
+            if initial is not None:
+                raise SolverError("warm seed diverged (injected)")
+            return original(generator, method=method, tol=tol, initial=initial)
+
+        monkeypatch.setattr(core_model, "solve_steady_state", _poisoned)
+        seeded = GprsMarkovModel(
+            small_parameters,
+            solver_method="power",
+            initial_distribution=np.full(
+                reference.steady_state.distribution.shape,
+                1.0 / reference.steady_state.distribution.size,
+            ),
+        )
+        result = seeded.solve()
+        assert calls == [True, False]  # warm attempt, then the cold retry
+        assert not seeded.warm_start_used
+        np.testing.assert_array_equal(
+            result.steady_state.distribution, reference.steady_state.distribution
+        )

@@ -197,6 +197,35 @@ class TestLedger:
         with pytest.raises(ValueError, match="spans"):
             obs.validate_record(broken)
 
+    def test_resilience_block_derives_from_counters(self):
+        metrics = {
+            "counters": {
+                "resilience.attempts": 5,
+                "resilience.retries": 2,
+                "resilience.pool_respawns": 1,
+                "faults.injected": 1,
+            }
+        }
+        block = obs.resilience_block(metrics)
+        assert block["attempts"] == 5
+        assert block["retries"] == 2
+        assert block["pool_respawns"] == 1
+        assert block["faults_injected"] == 1
+        assert block["degraded"] == 0  # absent counters read as zero
+        record = self._record()  # default metrics carry no resilience counters
+        assert set(record["resilience"]) == set(block)
+        assert not any(record["resilience"].values())
+        eventful = obs.make_record(
+            command="sweep",
+            target="unit-test",
+            wall_s=1.0,
+            metrics=metrics,
+        )
+        assert eventful["resilience"] == block
+        obs.validate_record(eventful)
+        report = obs.render_report(eventful)
+        assert "resilience" in report and "retries" in report
+
     def test_compare_and_renderings(self, tmp_path):
         fast = self._record()
         slow = self._record(wall_s=2.5)

@@ -81,7 +81,9 @@ class TestResultCache:
         assert cache.get("ab" * 32) is None
         cache.put("ab" * 32, {"value": 1.25})
         assert cache.get("ab" * 32) == {"value": 1.25}
-        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "writes": 1}
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "writes": 1, "corrupt": 0,
+        }
         assert len(cache) == 1
 
     def test_corrupt_entry_counts_as_miss(self, tmp_path):
@@ -91,6 +93,57 @@ class TestResultCache:
         cache.path_for(key).write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
         assert cache.stats.misses == 1
+
+    def test_corrupt_entry_is_quarantined(self, tmp_path, caplog):
+        """A damaged entry is renamed aside, counted, and logged once."""
+        import logging
+
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"value": 3.0})
+        path = cache.path_for(key)
+        path.write_text("{torn", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.cache"):
+            assert cache.get(key) is None
+            assert cache.get(key) is None  # second read: plain miss
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+        quarantined = path.with_name(f"{key}.corrupt")
+        assert quarantined.read_text(encoding="utf-8") == "{torn"
+        logged = [r for r in caplog.records if "quarantined" in r.message]
+        assert len(logged) == 1  # once per key, however often it is re-read
+
+    def test_quarantined_key_is_rewritable(self, tmp_path):
+        """After quarantine the key accepts a fresh put and serves it."""
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"value": 1.0})
+        cache.path_for(key).write_text("junk", encoding="utf-8")
+        assert cache.get(key) is None
+        cache.put(key, {"value": 4.0})
+        assert cache.get(key) == {"value": 4.0}
+
+    def test_keyboard_interrupt_in_put_propagates_and_cleans_up(
+        self, tmp_path, monkeypatch
+    ):
+        """An interrupt mid-write re-raises and leaves no torn entry behind."""
+        import os as os_module
+
+        cache = ResultCache(tmp_path)
+        key = "12" * 32
+
+        def _interrupted(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.runtime.cache.os.replace", _interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(key, {"value": 5.0})
+        monkeypatch.undo()
+        assert cache.get(key) is None  # nothing stored
+        shard = cache.path_for(key).parent
+        leftovers = [p for p in shard.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []  # temp file removed on the way out
+        assert os_module.path.isdir(shard)
 
     def test_unwritable_cache_degrades_gracefully(self, tmp_path, monkeypatch):
         """A cache that cannot persist must not fail the sweep."""

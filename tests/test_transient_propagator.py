@@ -164,6 +164,32 @@ class TestCache:
         with pytest.raises(ValueError):
             replay.checkpoints[0][0] = 1.0
 
+    def test_corrupted_entry_is_dropped_on_hit(self):
+        """A replay whose bytes changed since ``put`` is served as a miss."""
+        replay = self._replay()
+        cache = PropagatorCache(max_bytes=4 * replay.nbytes)
+        cache.put("key", replay)
+        stored = cache.get("key")
+        assert stored is not None
+        # Defeat the read-only freeze the way a stray writer would.
+        stored.checkpoints[0].setflags(write=True)
+        stored.checkpoints[0][0] = 123.0
+        assert cache.get("key") is None
+        assert cache.corrupt == 1
+        assert len(cache) == 0  # the entry is gone, not just skipped
+        assert cache.stored_bytes == 0
+
+    def test_corruption_only_affects_the_damaged_key(self):
+        first, second = self._replay(), self._replay()
+        cache = PropagatorCache(max_bytes=4 * first.nbytes)
+        cache.put("good", first)
+        cache.put("bad", second)
+        second.checkpoints[0].setflags(write=True)
+        second.checkpoints[0][:] = 9.0
+        assert cache.get("bad") is None
+        assert cache.get("good") is not None
+        assert cache.corrupt == 1
+
     def test_default_cache_is_shared_process_wide(self):
         assert default_propagator_cache() is default_propagator_cache()
 
