@@ -48,7 +48,9 @@ def persist_timings(name: str, record: dict, *, wall_s: float = 0.0) -> Path | N
     ``resilience`` block: a benchmark run that silently degraded to
     in-process execution times something other than the parallel path it
     claims to, so the record keeps the evidence a perf comparison needs to
-    disqualify itself.
+    disqualify itself.  The ``store`` block does the same for the artifact
+    store: a benchmark that unknowingly replayed warm store entries times
+    the replay path, not the solve it claims to measure.
     """
     path = Path(os.environ.get(BENCH_FILE_ENV) or BENCH_FILE)
     counters = {
@@ -61,6 +63,7 @@ def persist_timings(name: str, record: dict, *, wall_s: float = 0.0) -> Path | N
     }
     totals = obs.current_registry().snapshot().get("counters", {})
     resilience = obs.resilience_block({"counters": totals})
+    store = obs.store_block({"counters": totals})
     entry = obs.make_record(
         command="benchmark",
         target=name,
@@ -68,6 +71,7 @@ def persist_timings(name: str, record: dict, *, wall_s: float = 0.0) -> Path | N
         wall_s=wall_s,
         metrics={"counters": counters, "gauges": gauges, "histograms": {}},
         resilience=resilience,
+        store=store,
     )
     previous = None
     try:

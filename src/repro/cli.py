@@ -53,12 +53,25 @@ restores fail-fast).  ``--checkpoint PATH`` journals completed points so an
 interrupted sweep resumes from cache, and ``--inject-faults SPEC`` (or
 ``$REPRO_FAULTS``) deterministically injects worker kills, timeouts, raised
 errors and cache corruption for testing the recovery paths.
+
+Artifact store and service mode (:mod:`repro.store`, :mod:`repro.service`):
+binary intermediates (propagator replay checkpoints, generator templates,
+coarse solver operators) persist across *processes* in a content-addressed
+store (``--store-dir`` or ``$REPRO_STORE_DIR``; off by default for one-shot
+commands, ``--no-store`` forces it off).  ``gprs-repro serve`` keeps the
+store's memory tier, the result cache and a worker pool hot in one
+long-lived process and answers JSON scenario requests over HTTP;
+``gprs-repro client`` talks to it.  ``--canonical`` prints the
+provenance-free rendering of a result -- byte-identical across cold, warm
+and served runs -- and ``--warm-seeds`` opts into store-seeded solver
+starts (tolerance-level, not bitwise, hence opt-in).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -129,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"
     )
+    sweep_parser.add_argument(
+        "--canonical", action="store_true",
+        help="emit the provenance-free canonical JSON (byte-identical "
+        "across cold, warm and served runs)",
+    )
     _add_runtime_arguments(sweep_parser)
 
     network_parser = subparsers.add_parser(
@@ -147,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     network_parser.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"
+    )
+    network_parser.add_argument(
+        "--canonical", action="store_true",
+        help="emit the provenance-free canonical JSON (byte-identical "
+        "across cold, warm and served runs)",
     )
     network_parser.add_argument(
         "--pipelined", action="store_true",
@@ -182,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
     transient_parser.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"
     )
+    transient_parser.add_argument(
+        "--canonical", action="store_true",
+        help="emit the provenance-free canonical JSON (byte-identical "
+        "across cold, warm and served runs)",
+    )
     # Transient sweeps have no point-chunking (whole trajectories
     # parallelise); --cold maps to per-segment template rebuilds (a pure
     # construction-cost A/B -- trajectories are bitwise identical).
@@ -211,6 +239,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", type=Path, default=None,
         help="second ledger: diff its latest record against this one's",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived scenario service (warm store, cache and "
+        "worker pool; JSON over HTTP)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8754,
+                              help="TCP port (default 8754; 0 = ephemeral)")
+    serve_parser.add_argument("--jobs", type=int, default=1,
+                              help="persistent worker processes shared by "
+                              "network-sweep requests (1 = serial)")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="serve without the result cache")
+    serve_parser.add_argument("--cache-dir", type=Path, default=None,
+                              help="result cache directory (default: "
+                              "~/.cache/gprs-repro or $GPRS_REPRO_CACHE_DIR/"
+                              "$REPRO_CACHE_DIR)")
+    serve_parser.add_argument("--store-dir", type=Path, default=None,
+                              help="artifact store directory (default: "
+                              "<cache-dir>/store or $REPRO_STORE_DIR)")
+    serve_parser.add_argument("--no-store", action="store_true",
+                              help="serve without the artifact store "
+                              "(result cache only)")
+
+    client_parser = subparsers.add_parser(
+        "client", help="talk to a running 'gprs-repro serve' instance"
+    )
+    client_parser.add_argument(
+        "action", choices=("run", "batch", "stats", "health", "shutdown"),
+        help="run one request, post a batch file, or inspect/stop the server",
+    )
+    client_parser.add_argument(
+        "kind", nargs="?", choices=("sweep", "network", "transient"),
+        help="for 'run': which sweep kind to request",
+    )
+    client_parser.add_argument(
+        "scenario", nargs="?", help="for 'run': the scenario name"
+    )
+    client_parser.add_argument("--url", default=None,
+                               help="service URL (overrides --host/--port)")
+    client_parser.add_argument("--host", default="127.0.0.1",
+                               help="service host (default 127.0.0.1)")
+    client_parser.add_argument("--port", type=int, default=8754,
+                               help="service port (default 8754)")
+    client_parser.add_argument("--preset",
+                               choices=("smoke", "default", "paper"),
+                               default="default",
+                               help="experiment scale of the request")
+    client_parser.add_argument("--rate", type=float, default=None,
+                               help="transient requests: solve only this "
+                               "base arrival rate")
+    client_parser.add_argument("--pipelined", action="store_true",
+                               help="network requests: schedule points x "
+                               "cells through the shared pool")
+    client_parser.add_argument("--no-request-cache", action="store_true",
+                               help="ask the server to bypass its result "
+                               "cache for this request (the warm artifact "
+                               "store still applies)")
+    client_parser.add_argument("--canonical", action="store_true",
+                               help="print the provenance-free canonical "
+                               "JSON (byte-identical to CLI --canonical)")
+    client_parser.add_argument("--json", action="store_true",
+                               help="print the server's full JSON response "
+                               "(payload, metrics delta, timing)")
+    client_parser.add_argument("--batch-file", type=Path, default=None,
+                               help="for 'batch': JSON file holding the "
+                               "request list ('-' = stdin)")
+    client_parser.add_argument("--timeout", type=float, default=600.0,
+                               help="per-request HTTP timeout in seconds")
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="run the network-level simulator for one configuration"
@@ -242,10 +341,20 @@ def _add_runtime_arguments(
     parser.add_argument("--cold", action="store_true",
                         help="disable sweep-aware warm-starting (solver and "
                         "handover continuation) for A/B timing")
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        help="enable the cross-process artifact store at this "
+                        "directory (also via $REPRO_STORE_DIR)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="disable the artifact store even if "
+                        "$REPRO_STORE_DIR is set")
     if chunking:
         parser.add_argument("--chunk-size", type=int, default=None,
                             help="adjacent sweep points per warm-started chunk "
                             "(also the parallel scheduling unit; default 8)")
+        parser.add_argument("--warm-seeds", action="store_true",
+                            help="seed each chunk's first solve from the "
+                            "store's persisted distribution stack (opt-in: "
+                            "tolerance-level, not bitwise)")
     parser.add_argument("--max-attempts", type=int, default=None,
                         help="attempts per task before it is recorded as a "
                         "failure (default 3; retried tasks re-run the "
@@ -285,6 +394,24 @@ def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir if args.cache_dir is not None else default_cache_dir())
+
+
+def _store_from_args(args: argparse.Namespace):
+    """Resolve the artifact store of one runtime command.
+
+    ``--no-store`` wins, then ``--store-dir`` (exported to
+    ``$REPRO_STORE_DIR`` so worker processes inherit it), then the ambient
+    environment-derived store.  One-shot commands default to *no* store --
+    the cross-process tier is opt-in outside ``serve``.
+    """
+    from repro.store import STORE_DIR_ENV, ArtifactStore, current_store
+
+    if getattr(args, "no_store", False):
+        return None
+    if getattr(args, "store_dir", None) is not None:
+        os.environ[STORE_DIR_ENV] = str(args.store_dir)
+        return ArtifactStore(Path(args.store_dir))
+    return current_store()
 
 
 def _resilience_from_args(args: argparse.Namespace) -> dict:
@@ -360,6 +487,102 @@ def _parameters_from_args(args: argparse.Namespace) -> GprsModelParameters:
     )
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    """Start the long-lived scenario service (``gprs-repro serve``)."""
+    from repro.service import ScenarioService, serve
+    from repro.store import STORE_DIR_ENV, ArtifactStore, default_store_dir
+
+    cache = _cache_from_args(args)
+    store = None
+    if not args.no_store:
+        # The store is the point of serve mode, so it defaults ON here
+        # (one-shot commands default OFF).  Exporting the directory lets
+        # pool workers read and write the same store.
+        store_dir = args.store_dir if args.store_dir is not None else default_store_dir()
+        os.environ[STORE_DIR_ENV] = str(store_dir)
+        store = ArtifactStore(Path(store_dir))
+    service = ScenarioService(jobs=args.jobs, cache=cache, store=store)
+    return serve(service, args.host, args.port)
+
+
+def _print_client_response(args: argparse.Namespace, response: dict) -> int:
+    """Render one /run response the way the flags ask; returns exit code."""
+    if not response.get("ok"):
+        print(f"error: {response.get('error', 'request failed')}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    elif args.canonical:
+        print(response["canonical"])
+    else:
+        print(response["output"])
+    return 3 if response.get("failures") else 0
+
+
+def _client_command(args: argparse.Namespace) -> int:
+    """Talk to a running service (``gprs-repro client``)."""
+    from repro.service import ServiceClient, ServiceError
+
+    url = args.url if args.url is not None else f"http://{args.host}:{args.port}"
+    client = ServiceClient(url, timeout=args.timeout)
+    try:
+        if args.action == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "shutdown":
+            print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "run":
+            if args.kind is None or args.scenario is None:
+                print(
+                    "error: 'client run' needs a kind and a scenario, e.g. "
+                    "'client run transient diurnal-24h'",
+                    file=sys.stderr,
+                )
+                return 2
+            response = client.run(
+                {
+                    "command": args.kind,
+                    "scenario": args.scenario,
+                    "preset": args.preset,
+                    "rate": args.rate,
+                    "pipelined": args.pipelined,
+                    "cache": not args.no_request_cache,
+                }
+            )
+            return _print_client_response(args, response)
+        # batch
+        if args.batch_file is None:
+            print("error: 'client batch' needs --batch-file", file=sys.stderr)
+            return 2
+        text = (
+            sys.stdin.read()
+            if str(args.batch_file) == "-"
+            else args.batch_file.read_text(encoding="utf-8")
+        )
+        requests = json.loads(text)
+        if not isinstance(requests, list):
+            print("error: batch file must hold a JSON list", file=sys.stderr)
+            return 2
+        reply = client.batch(requests)
+        if args.json:
+            print(json.dumps(reply, indent=2, sort_keys=True))
+            return 0 if reply.get("ok") else 2
+        code = 0
+        for response in reply.get("responses", ()):
+            code = max(code, _print_client_response(args, response))
+        return code
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _report_command(args: argparse.Namespace) -> int:
     """Render (or diff) run-ledger records for ``gprs-repro report``."""
     from repro import obs
@@ -409,8 +632,9 @@ def _obs_args_summary(args: argparse.Namespace) -> dict:
     """The invocation knobs worth persisting in a ledger record."""
     summary = {}
     for name in ("jobs", "cold", "chunk_size", "pipelined", "rate", "solver",
-                 "no_cache", "json", "max_attempts", "task_timeout", "strict",
-                 "checkpoint", "inject_faults"):
+                 "no_cache", "json", "canonical", "max_attempts",
+                 "task_timeout", "strict", "checkpoint", "inject_faults",
+                 "store_dir", "no_store", "warm_seeds"):
         value = getattr(args, name, None)
         if value not in (None, False):
             summary[name] = value if not isinstance(value, Path) else str(value)
@@ -488,22 +712,39 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "report":
         return _report_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "client":
+        return _client_command(args)
     instrumented = getattr(args, "trace", False) or getattr(
         args, "metrics", False
     ) or (getattr(args, "ledger", None) is not None)
     runner = _execute_with_obs if instrumented else _execute
+    plan = None
     fault_spec = getattr(args, "inject_faults", None)
     if fault_spec:
-        from repro.runtime.faults import FaultPlan, inject_faults
+        from repro.runtime.faults import FaultPlan
 
         try:
             plan = FaultPlan.parse(fault_spec)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        with inject_faults(plan):
-            return runner(args)
-    return runner(args)
+
+    def invoke() -> int:
+        if plan is not None:
+            from repro.runtime.faults import inject_faults
+
+            with inject_faults(plan):
+                return runner(args)
+        return runner(args)
+
+    if hasattr(args, "no_store"):
+        from repro.store import store_context
+
+        with store_context(_store_from_args(args)):
+            return invoke()
+    return invoke()
 
 
 def _execute(args: argparse.Namespace) -> int:
@@ -544,18 +785,22 @@ def _execute(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "run":
+        from repro.runtime import execution_options
         from repro.runtime.resilience import SweepFailureError
 
         try:
-            report = run_experiment(
-                args.experiment,
-                ExperimentScale.from_name(args.preset),
-                jobs=args.jobs,
-                cache=_cache_from_args(args),
-                warm=not args.cold,
-                chunk_size=args.chunk_size,
-                **_resilience_from_args(args),
-            )
+            # run_experiment passes every knob explicitly except the
+            # warm-seed opt-in, which flows through the ambient options.
+            with execution_options(seed_from_store=bool(args.warm_seeds)):
+                report = run_experiment(
+                    args.experiment,
+                    ExperimentScale.from_name(args.preset),
+                    jobs=args.jobs,
+                    cache=_cache_from_args(args),
+                    warm=not args.cold,
+                    chunk_size=args.chunk_size,
+                    **_resilience_from_args(args),
+                )
         except SweepFailureError as error:
             print(f"error: {error}", file=sys.stderr)
             return 3
@@ -576,6 +821,7 @@ def _execute(args: argparse.Namespace) -> int:
                 cache=_cache_from_args(args),
                 warm=not args.cold,
                 chunk_size=args.chunk_size,
+                seed_from_store=bool(args.warm_seeds),
                 **_resilience_from_args(args),
             )
         except SweepFailureError as error:
@@ -584,7 +830,11 @@ def _execute(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        if args.json:
+        if args.canonical:
+            from repro.service.protocol import canonical_text
+
+            print(canonical_text(result.as_dict()))
+        elif args.json:
             print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         else:
             print(format_scenario_result(result))
@@ -615,7 +865,11 @@ def _execute(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        if args.json:
+        if args.canonical:
+            from repro.service.protocol import canonical_text
+
+            print(canonical_text(result.as_dict()))
+        elif args.json:
             print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         else:
             print(format_network_result(result))
@@ -646,7 +900,11 @@ def _execute(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        if args.json:
+        if args.canonical:
+            from repro.service.protocol import canonical_text
+
+            print(canonical_text(result.as_dict()))
+        elif args.json:
             print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         else:
             print(format_transient_result(result))

@@ -545,63 +545,140 @@ class _CoarseCorrector:
         # Prolongation weights: the phase marginal conditioned within each
         # group (the restriction itself is the plain group sum).
         self._weights = weights / np.where(group_mass[gid] > 0, group_mass[gid], 1.0)
-        restrict = sp.csr_matrix(
-            (np.ones(phases), (np.arange(phases), gid)), shape=(phases, groups)
-        )
-        prolong = sp.csr_matrix(
-            (self._weights, (gid, np.arange(phases))), shape=(groups, phases)
-        )
-        coupling = (prolong @ phase_off @ restrict).tocoo()
-        exit_c = prolong @ phase_exit
-        birth = (prolong @ context.arrival.T).T  # (levels, groups); exact
-        death = (prolong @ context.service.T).T
-        # Assemble the Galerkin coarse operator over (k, group): birth/death
-        # move k within a group, the restricted phase coupling acts within a
-        # level -- exactly the structure of the fine chain, a few hundred
-        # times smaller.
-        ks = np.arange(levels)
-        level_up = np.repeat(ks[:-1] * groups, groups) + np.tile(
-            np.arange(groups), levels - 1
-        )
-        level_dn = np.repeat(ks[1:] * groups, groups) + np.tile(
-            np.arange(groups), levels - 1
-        )
-        off_mask = coupling.row != coupling.col
-        couple_a = np.tile(coupling.row[off_mask], levels)
-        couple_b = np.tile(coupling.col[off_mask], levels)
-        couple_v = np.tile(coupling.data[off_mask], levels)
-        couple_k = np.repeat(ks * groups, int(off_mask.sum()))
-        self_coupling = np.zeros(groups)
-        diag_mask = ~off_mask
-        np.add.at(self_coupling, coupling.row[diag_mask], coupling.data[diag_mask])
-        diag_v = (-(birth + death) - exit_c[None, :] + self_coupling[None, :]).ravel()
         unknowns = levels * groups
-        rows = np.concatenate(
-            [level_up, level_dn, couple_k + couple_a, np.arange(unknowns)]
-        )
-        cols = np.concatenate(
-            [level_up + groups, level_dn - groups, couple_k + couple_b,
-             np.arange(unknowns)]
-        )
-        values = np.concatenate(
-            [birth[:-1, :].ravel(), death[1:, :].ravel(), couple_v, diag_v]
-        )
-        operator = sp.coo_matrix(
-            (values, (rows, cols)), shape=(unknowns, unknowns)
-        ).tocsc()
-        # Row-vector correction equation e A_c = -r_c.  The coarse generator
-        # is singular with solution family e + t nu (nu = its stationary
-        # distribution), so one unknown is grounded -- at level 0 of the
-        # heaviest group, where nu is largest: grounding where nu is
-        # negligible (e.g. the top buffer level) would admit an enormous
-        # near-null component that dumps mass into zero-probability states.
-        # MMD(A^T + A) keeps the LU fill far below the default ordering on
-        # this lattice-like pattern.
         self._pin = int(np.argmax(group_mass))
         self._keep = np.flatnonzero(np.arange(unknowns) != self._pin)
-        grounded = operator.T[self._keep][:, self._keep].tocsc()
+        # Cross-process reuse: the assembled, grounded coarse operator is a
+        # pure function of its construction inputs, so it can be served from
+        # the artifact store instead of re-assembled.  The LU factorisation
+        # itself is refactorised from the stored matrix (SuperLU objects do
+        # not round-trip), which is deterministic -- a store-served corrector
+        # produces bitwise-identical correction directions.
+        store, key = self._store_key(
+            gid, weights, phase_off, phase_exit, context, levels, groups
+        )
+        grounded = self._load_grounded(store, key, unknowns)
+        if grounded is None:
+            restrict = sp.csr_matrix(
+                (np.ones(phases), (np.arange(phases), gid)), shape=(phases, groups)
+            )
+            prolong = sp.csr_matrix(
+                (self._weights, (gid, np.arange(phases))), shape=(groups, phases)
+            )
+            coupling = (prolong @ phase_off @ restrict).tocoo()
+            exit_c = prolong @ phase_exit
+            birth = (prolong @ context.arrival.T).T  # (levels, groups); exact
+            death = (prolong @ context.service.T).T
+            # Assemble the Galerkin coarse operator over (k, group): birth/death
+            # move k within a group, the restricted phase coupling acts within a
+            # level -- exactly the structure of the fine chain, a few hundred
+            # times smaller.
+            ks = np.arange(levels)
+            level_up = np.repeat(ks[:-1] * groups, groups) + np.tile(
+                np.arange(groups), levels - 1
+            )
+            level_dn = np.repeat(ks[1:] * groups, groups) + np.tile(
+                np.arange(groups), levels - 1
+            )
+            off_mask = coupling.row != coupling.col
+            couple_a = np.tile(coupling.row[off_mask], levels)
+            couple_b = np.tile(coupling.col[off_mask], levels)
+            couple_v = np.tile(coupling.data[off_mask], levels)
+            couple_k = np.repeat(ks * groups, int(off_mask.sum()))
+            self_coupling = np.zeros(groups)
+            diag_mask = ~off_mask
+            np.add.at(self_coupling, coupling.row[diag_mask], coupling.data[diag_mask])
+            diag_v = (-(birth + death) - exit_c[None, :] + self_coupling[None, :]).ravel()
+            rows = np.concatenate(
+                [level_up, level_dn, couple_k + couple_a, np.arange(unknowns)]
+            )
+            cols = np.concatenate(
+                [level_up + groups, level_dn - groups, couple_k + couple_b,
+                 np.arange(unknowns)]
+            )
+            values = np.concatenate(
+                [birth[:-1, :].ravel(), death[1:, :].ravel(), couple_v, diag_v]
+            )
+            operator = sp.coo_matrix(
+                (values, (rows, cols)), shape=(unknowns, unknowns)
+            ).tocsc()
+            # Row-vector correction equation e A_c = -r_c.  The coarse generator
+            # is singular with solution family e + t nu (nu = its stationary
+            # distribution), so one unknown is grounded -- at level 0 of the
+            # heaviest group, where nu is largest: grounding where nu is
+            # negligible (e.g. the top buffer level) would admit an enormous
+            # near-null component that dumps mass into zero-probability states.
+            # MMD(A^T + A) keeps the LU fill far below the default ordering on
+            # this lattice-like pattern.
+            grounded = operator.T[self._keep][:, self._keep].tocsc()
+            if store is not None:
+                try:
+                    store.put(
+                        key,
+                        {
+                            "data": grounded.data,
+                            "indices": grounded.indices,
+                            "indptr": grounded.indptr,
+                        },
+                        {"pin": self._pin},
+                    )
+                except OSError:
+                    pass  # an unwritable store never blocks a solve
         self._lu = spla.splu(grounded, permc_spec="MMD_AT_PLUS_A")
         self.recycled = [(direction, self.balance(direction)) for direction in recycled]
+
+    @staticmethod
+    def _store_key(gid, weights, phase_off, phase_exit, context, levels, groups):
+        """Resolve the ambient store and this corrector's artifact key."""
+        from repro.store.artifacts import artifact_key, current_store
+
+        store = current_store()
+        if store is None:
+            return None, None
+        import hashlib
+
+        digest = hashlib.sha256()
+        for array in (
+            gid,
+            weights,
+            phase_off.data,
+            phase_off.indices,
+            phase_off.indptr,
+            phase_exit,
+            context.arrival,
+            context.service,
+        ):
+            digest.update(np.ascontiguousarray(array).tobytes())
+        key = artifact_key(
+            "coarse-operator",
+            {"inputs": digest.hexdigest(), "levels": levels, "groups": groups},
+        )
+        return store, key
+
+    def _load_grounded(self, store, key, unknowns):
+        """Return the stored grounded coarse operator, or ``None`` to assemble."""
+        if store is None:
+            return None
+        loaded = store.get(key)
+        if loaded is None:
+            return None
+        arrays, meta = loaded
+        try:
+            if int(meta["pin"]) != self._pin:
+                return None  # stale artifact: identities collided, re-assemble
+            side = unknowns - 1
+            grounded = sp.csc_matrix(
+                (
+                    arrays["data"].copy(),
+                    arrays["indices"].copy(),
+                    arrays["indptr"].copy(),
+                ),
+                shape=(side, side),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        current_registry().count("solver.structured.coarse_store_hits")
+        return grounded
 
     def balance(self, x: np.ndarray) -> np.ndarray:
         """Apply the (linear) grid balance map ``x -> x Q`` in grid form."""

@@ -125,6 +125,22 @@ class GeneratorTemplate:
     _diag_slots: np.ndarray = field(repr=False)
     _diag_rows: np.ndarray = field(repr=False)
 
+    #: Frozen array fields, in construction order -- also the payload layout
+    #: of a template artifact in the cross-process store.
+    _ARRAY_FIELDS = (
+        "_indptr",
+        "_indices",
+        "_off_indptr",
+        "_off_indices",
+        "_off_base_data",
+        "_off_gsm_slots",
+        "_off_gprs_on_slots",
+        "_off_gprs_off_slots",
+        "_offdiag_slots",
+        "_diag_slots",
+        "_diag_rows",
+    )
+
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
@@ -137,10 +153,67 @@ class GeneratorTemplate:
         ``params`` supplies the fixed part of the configuration; its own
         arrival rate is irrelevant (a strictly positive reference rate is used
         so that every arrival transition is present in the pattern).
+
+        When an ambient artifact store is active the enumeration is skipped
+        entirely on a hit: the frozen CSR arrays are loaded bytes-for-bytes
+        (counted under ``template.store_hits`` instead of
+        ``template.builds``), so a fresh process pays one archive read where
+        a cold one pays the full state-space enumeration.  The rewrite path
+        is a pure function of these arrays, so a store-served template
+        produces bitwise-identical generators.
         """
+        if space is None:
+            space = GprsStateSpace(
+                gsm_channels=params.gsm_channels,
+                buffer_size=params.buffer_size,
+                max_sessions=params.max_gprs_sessions,
+            )
+        # Lazy import: this module loads during ``import repro`` (via
+        # core.model), before the package finishes initialising.
+        from repro.store.artifacts import artifact_key, current_store
+
+        store = current_store()
+        key = None
+        if store is not None:
+            key = artifact_key(
+                "template",
+                {
+                    "fingerprint": [repr(part) for part in _fixed_fingerprint(params)],
+                    "shape": [space.gsm_channels, space.buffer_size, space.max_sessions],
+                },
+            )
+            loaded = store.get(key)
+            if loaded is not None:
+                template = cls._from_arrays(params, space, loaded[0])
+                if template is not None:
+                    current_registry().count("template.store_hits")
+                    return template
         current_registry().count("template.builds")
         with current_tracer().span("template.build"):
-            return cls._build(params, space)
+            template = cls._build(params, space)
+        if store is not None:
+            try:
+                store.put(
+                    key,
+                    {name: getattr(template, name) for name in cls._ARRAY_FIELDS},
+                )
+            except OSError:
+                pass  # an unwritable store never blocks a solve
+        return template
+
+    @classmethod
+    def _from_arrays(
+        cls,
+        params: GprsModelParameters,
+        space: GprsStateSpace,
+        arrays: dict,
+    ) -> "GeneratorTemplate | None":
+        """Rebuild a template from stored arrays (``None`` if incomplete)."""
+        try:
+            fields = {name: arrays[name] for name in cls._ARRAY_FIELDS}
+        except KeyError:
+            return None
+        return cls(space=space, _fingerprint=_fixed_fingerprint(params), **fields)
 
     @classmethod
     def _build(

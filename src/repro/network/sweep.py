@@ -161,8 +161,16 @@ def network_sweep_payloads(
     task_timeout: float | None = None,
     strict: bool = False,
     checkpoint=None,
+    pool=None,
 ) -> list[tuple[dict | None, bool]]:
     """Solve every point of a network scenario sweep, cache-aware.
+
+    ``pool`` injects an externally owned
+    :class:`~repro.runtime.resilience.ResilientPool` for the sequential
+    (non-pipelined) path -- the long-lived service uses it so its workers
+    (and their per-process scaffold caches) survive across requests.  An
+    injected pool is never shut down here; without one, the sweep creates
+    and owns its own pool as before.
 
     Returns one ``(payload, from_cache)`` pair per arrival rate, in sweep
     order; payloads are :meth:`~repro.network.model.NetworkResult.as_dict`
@@ -289,16 +297,18 @@ def network_sweep_payloads(
     # One pool serves every point of the sweep: the workers stay alive, so
     # their per-process scaffold caches (templates, structured contexts)
     # survive from point to point exactly like the serial path's do.
-    pool = (
-        ResilientPool(
-            min(jobs, topology.number_of_cells),
-            policy=retry,
-            task_timeout=task_timeout,
-            strict=strict,
+    owned = pool is None
+    if pool is None:
+        pool = (
+            ResilientPool(
+                min(jobs, topology.number_of_cells),
+                policy=retry,
+                task_timeout=task_timeout,
+                strict=strict,
+            )
+            if jobs > 1 and topology.number_of_cells > 1
+            else None
         )
-        if jobs > 1 and topology.number_of_cells > 1
-        else None
-    )
     results: list[tuple[dict | None, bool]] = []
     seed_rates = None
     seed_distributions = None
@@ -344,7 +354,7 @@ def network_sweep_payloads(
                 seed_distributions = result.distributions
             results.append((payload, False))
     finally:
-        if pool is not None:
+        if pool is not None and owned:
             pool.shutdown()
     return results
 
@@ -361,6 +371,7 @@ def run_network_sweep(
     task_timeout: float | None = None,
     strict: bool | None = None,
     checkpoint=None,
+    pool=None,
 ) -> NetworkSweepResult:
     """Run one network scenario sweep and return its per-cell points.
 
@@ -401,6 +412,7 @@ def run_network_sweep(
             task_timeout=effective_timeout,
             strict=effective_strict,
             checkpoint=effective_checkpoint,
+            pool=pool,
         )
     rates = spec.sweep_rates(scale)
     points = tuple(

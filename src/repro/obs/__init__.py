@@ -28,6 +28,7 @@ from repro.obs.ledger import (
     render_report,
     resilience_block,
     spec_digest,
+    store_block,
     validate_record,
 )
 from repro.obs.metrics import (
@@ -67,6 +68,7 @@ __all__ = [
     "render_compare",
     "render_report",
     "resilience_block",
+    "store_block",
     "spec_digest",
     "validate_record",
 ]

@@ -42,6 +42,7 @@ __all__ = [
     "render_report",
     "resilience_block",
     "spec_digest",
+    "store_block",
     "validate_record",
 ]
 
@@ -111,6 +112,26 @@ def resilience_block(metrics: dict | None) -> dict:
     }
 
 
+#: Counter-to-field mapping behind a record's ``store`` block (the
+#: cross-process artifact store of :mod:`repro.store`).
+_STORE_COUNTERS = (
+    ("hits", "store.hits"),
+    ("memory_hits", "store.memory_hits"),
+    ("misses", "store.misses"),
+    ("writes", "store.writes"),
+    ("evictions", "store.evictions"),
+    ("corrupt", "store.corrupt"),
+    ("bytes_read", "store.bytes_read"),
+    ("bytes_written", "store.bytes_written"),
+)
+
+
+def store_block(metrics: dict | None) -> dict:
+    """Derive a record's ``store`` block from its metric counters."""
+    counters = (metrics or {}).get("counters", {})
+    return {field: counters.get(counter, 0) for field, counter in _STORE_COUNTERS}
+
+
 def make_record(
     *,
     command: str,
@@ -124,12 +145,14 @@ def make_record(
     metrics: dict | None = None,
     created_utc: str | None = None,
     resilience: dict | None = None,
+    store: dict | None = None,
 ) -> dict:
     """Assemble one schema-v1 ledger record (pure data, JSON-ready).
 
     The ``resilience`` block (retries, timeouts, degradation, resumed
-    points) is derived from the run's metric counters when not given
-    explicitly -- an additive field, so the schema version stays 1.
+    points) and the ``store`` block (artifact-store hits, writes,
+    evictions, quarantines) are derived from the run's metric counters when
+    not given explicitly -- additive fields, so the schema version stays 1.
     """
     from repro.runtime.cache import CODE_VERSION
 
@@ -160,6 +183,7 @@ def make_record(
         "resilience": (
             dict(resilience) if resilience is not None else resilience_block(metrics)
         ),
+        "store": dict(store) if store is not None else store_block(metrics),
         "environment": environment_fingerprint(),
     }
     return record
@@ -328,6 +352,15 @@ def render_report(record: dict, *, top: int = 10) -> str:
         for name in sorted(resilience):
             if resilience[name]:
                 lines.append(f"  {name:<{name_width}}  {resilience[name]}")
+
+    store = record.get("store") or {}
+    if any(store.values()):
+        lines.append("")
+        lines.append("store:")
+        name_width = max(len(name) for name in store)
+        for name in sorted(store):
+            if store[name]:
+                lines.append(f"  {name:<{name_width}}  {store[name]}")
 
     counters = record["metrics"].get("counters", {})
     if counters:

@@ -78,10 +78,15 @@ CODE_VERSION: str = f"repro-{repro.__version__}-{_source_digest()}"
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "GPRS_REPRO_CACHE_DIR"
 
+#: Shorter alias honoured when :data:`CACHE_DIR_ENV` is unset, mirroring the
+#: artifact store's ``REPRO_STORE_DIR`` -- service deployments and CI pin
+#: both warm tiers with one naming scheme, no flag threading required.
+CACHE_DIR_FALLBACK_ENV = "REPRO_CACHE_DIR"
+
 
 def default_cache_dir() -> Path:
-    """Return the default cache directory (env override or ``~/.cache/gprs-repro``)."""
-    override = os.environ.get(CACHE_DIR_ENV)
+    """Return the default cache directory (env overrides or ``~/.cache/gprs-repro``)."""
+    override = os.environ.get(CACHE_DIR_ENV) or os.environ.get(CACHE_DIR_FALLBACK_ENV)
     if override:
         return Path(override)
     return Path.home() / ".cache" / "gprs-repro"

@@ -147,6 +147,12 @@ class ExecutionOptions:
     task_timeout: float | None = None
     strict: bool = False
     checkpoint: SweepCheckpoint | None = None
+    #: Start each chunk's first point from the persisted warm-seed stack of
+    #: the previous run over this configuration (artifact store required).
+    #: Off by default: a seeded start converges to the same measures only
+    #: within solver tolerance, not bitwise, so it is strictly opt-in --
+    #: unlike every other store seam, which is bitwise-faithful.
+    seed_from_store: bool = False
 
 
 _OPTIONS: contextvars.ContextVar[ExecutionOptions] = contextvars.ContextVar(
@@ -170,6 +176,7 @@ def execution_options(
     task_timeout: float | None = None,
     strict: bool = False,
     checkpoint: SweepCheckpoint | None = None,
+    seed_from_store: bool = False,
 ):
     """Scope ambient execution options (used by ``run_experiment`` and the CLI)."""
     token = _OPTIONS.set(
@@ -183,6 +190,7 @@ def execution_options(
             task_timeout=task_timeout,
             strict=strict,
             checkpoint=checkpoint,
+            seed_from_store=seed_from_store,
         )
     )
     try:
@@ -369,12 +377,28 @@ def drive_pipelined(
 # ---------------------------------------------------------------------- #
 # Chunk solving (the worker entry point must stay top-level: it is pickled)
 # ---------------------------------------------------------------------- #
+def _seed_store_key(params, solver: str, solver_tol: float) -> str:
+    """Artifact key of one configuration's warm-seed distribution stack."""
+    from repro.core.template import _fixed_fingerprint
+    from repro.store.artifacts import artifact_key
+
+    return artifact_key(
+        "warm-seed",
+        {
+            "fingerprint": [repr(part) for part in _fixed_fingerprint(params)],
+            "solver": solver,
+            "solver_tol": solver_tol,
+        },
+    )
+
+
 def _solve_chunk_points(
     point_dicts: list[dict],
     solver: str,
     solver_tol: float,
     warm: bool,
     shared: tuple | None = None,
+    seed_from_store: bool = False,
 ) -> tuple[list[dict], tuple | None]:
     """Solve adjacent sweep points in order, warm-starting each from the last.
 
@@ -383,6 +407,14 @@ def _solve_chunk_points(
     warm-start *state* -- previous distributions and handover rates -- is
     deliberately not shared: it resets at every chunk boundary, which is what
     keeps chunked parallel runs bitwise identical to serial ones).
+
+    When an ambient artifact store is active, the chunk's final warm-start
+    stack is persisted as a ``warm-seed`` artifact for the configuration --
+    a later run over the same configuration (a denser sweep, a re-run after
+    a cache invalidation) can start its cold first point from it, but only
+    behind the explicit ``seed_from_store`` opt-in: a seeded start converges
+    to the same answer within solver tolerance, not bitwise (the solver's
+    acceptance gates discard a seed that does not actually help).
     """
     if not warm:
         results = []
@@ -393,10 +425,24 @@ def _solve_chunk_points(
         return results, None
 
     from repro.core.model import build_solver_scaffold
+    from repro.store.artifacts import current_store
 
+    store = current_store()
     space = template = context = None
     if shared is not None:
         space, template, context = shared
+
+    seed_stack = None
+    seed_key = None
+    if store is not None and point_dicts:
+        first_params = parameters_from_dict(point_dicts[0])
+        seed_key = _seed_store_key(first_params, solver, solver_tol)
+        if seed_from_store:
+            loaded = store.get(seed_key)
+            if loaded is not None:
+                stack = loaded[0].get("stack")
+                if stack is not None and stack.ndim == 2:
+                    seed_stack = np.asarray(stack, dtype=float)
 
     results = []
     history: list[np.ndarray] = []
@@ -405,11 +451,17 @@ def _solve_chunk_points(
         params = parameters_from_dict(point)
         if space is None:
             space, template, context = build_solver_scaffold(params, solver)
+        initial = np.stack(history, axis=0) if history else None
+        if initial is None and seed_stack is not None:
+            if seed_stack.shape[1] == space.size:
+                initial = seed_stack
+                current_registry().count("executor.store_seeded")
+            seed_stack = None  # only ever seeds the chunk's first solve
         model = GprsMarkovModel(
             params,
             solver_method=solver,
             solver_tol=solver_tol,
-            initial_distribution=np.stack(history, axis=0) if history else None,
+            initial_distribution=initial,
             initial_handover_rates=previous_handover,
             generator_template=template,
             state_space=space,
@@ -421,22 +473,37 @@ def _solve_chunk_points(
         if len(history) > _WARM_HISTORY:
             history.pop(0)
         results.append(solution.measures.as_dict())
+    if store is not None and seed_key is not None and history:
+        rates = [
+            parameters_from_dict(point).total_call_arrival_rate
+            for point in point_dicts
+        ]
+        try:
+            store.put(
+                seed_key,
+                {"stack": np.stack(history, axis=0)},
+                {"rates": rates[-len(history):]},
+            )
+        except OSError:
+            pass  # an unwritable store never blocks a solve
     return results, (space, template, context)
 
 
 def _solve_chunk_task(job: tuple) -> tuple[list[dict], dict]:
     """Worker entry point: solve one chunk in a fresh process.
 
-    ``job`` is the ``(point_dicts, solver, solver_tol, warm)`` payload --
-    one picklable tuple, the :class:`~repro.runtime.resilience.ResilientPool`
-    task shape.  Returns ``(measure_dicts, metrics_export)``: the export
-    piggybacks the worker registry's delta (stamped with the worker PID) back
-    to the parent, which merges it only when it really crossed a process
-    boundary.
+    ``job`` is the ``(point_dicts, solver, solver_tol, warm,
+    seed_from_store)`` payload -- one picklable tuple, the
+    :class:`~repro.runtime.resilience.ResilientPool` task shape.  Returns
+    ``(measure_dicts, metrics_export)``: the export piggybacks the worker
+    registry's delta (stamped with the worker PID) back to the parent, which
+    merges it only when it really crossed a process boundary.
     """
-    point_dicts, solver, solver_tol, warm = job
+    point_dicts, solver, solver_tol, warm, seed_from_store = job
     baseline = current_registry().snapshot()
-    results = _solve_chunk_points(point_dicts, solver, solver_tol, warm)[0]
+    results = _solve_chunk_points(
+        point_dicts, solver, solver_tol, warm, None, seed_from_store
+    )[0]
     return results, export_delta(baseline)
 
 
@@ -471,6 +538,7 @@ def sweep_measure_dicts(
     task_timeout: float | None = None,
     strict: bool = False,
     checkpoint: SweepCheckpoint | None = None,
+    seed_from_store: bool = False,
 ) -> list[tuple[dict | None, bool]]:
     """Solve every sweep point, cache-aware and optionally in parallel.
 
@@ -563,7 +631,13 @@ def sweep_measure_dicts(
                 for ordinal, chunk in enumerate(chunks):
                     pool.submit(
                         _solve_chunk_task,
-                        ([point_dicts[index] for index in chunk], solver, solver_tol, warm),
+                        (
+                            [point_dicts[index] for index in chunk],
+                            solver,
+                            solver_tol,
+                            warm,
+                            seed_from_store,
+                        ),
                         site="chunk",
                         index=ordinal,
                         tag=ordinal,
@@ -594,6 +668,7 @@ def sweep_measure_dicts(
                         solver_tol,
                         warm,
                         shared,
+                        seed_from_store,
                     )
                     outcome = runner.run(
                         lambda args: _solve_chunk_points(*args),
@@ -705,6 +780,7 @@ def run_sweep(
     task_timeout: float | None = None,
     strict: bool | None = None,
     checkpoint: SweepCheckpoint | None = None,
+    seed_from_store: bool | None = None,
 ) -> ScenarioRunResult:
     """Run one scenario sweep and return its ordered points.
 
@@ -737,6 +813,10 @@ def run_sweep(
         the result; ``strict`` raises
         :class:`~repro.runtime.resilience.SweepFailureError` at the first
         exhausted task instead.
+    seed_from_store:
+        Opt-in warm-seed start from the artifact store (single-cell sweeps
+        only; see :class:`ExecutionOptions`); ``None`` takes the ambient
+        value.
 
     Network scenarios (a topology attached to the spec) run through
     :func:`repro.network.sweep.network_sweep_payloads` instead: each point is
@@ -766,6 +846,9 @@ def run_sweep(
     effective_timeout = options.task_timeout if task_timeout is None else task_timeout
     effective_strict = options.strict if strict is None else strict
     effective_checkpoint = options.checkpoint if checkpoint is None else checkpoint
+    effective_seed = (
+        options.seed_from_store if seed_from_store is None else seed_from_store
+    )
 
     rates = spec.sweep_rates(scale)
     if spec.network is None and pipelined:
@@ -843,6 +926,7 @@ def run_sweep(
                 task_timeout=effective_timeout,
                 strict=effective_strict,
                 checkpoint=effective_checkpoint,
+                seed_from_store=effective_seed,
             )
     points = tuple(
         SweepPoint(

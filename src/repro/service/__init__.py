@@ -1,0 +1,34 @@
+"""Warm scenario service: a long-lived process answering scenario requests.
+
+The service (``gprs-repro serve``) keeps the expensive per-process state of
+a scenario solve -- generator templates, the artifact store's memory tier,
+the result cache and a persistent worker pool -- alive across requests, so
+repeat and near-repeat requests replay instead of resolving.  The client
+(``gprs-repro client``) and protocol helpers live here too.
+
+Served answers are bitwise identical to the cold CLI path after stripping
+run provenance; :func:`~repro.service.protocol.canonical_text` defines
+exactly that comparison.
+"""
+
+from repro.service.client import DEFAULT_URL, ServiceClient, ServiceError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    canonical_payload,
+    canonical_text,
+    normalise_request,
+)
+from repro.service.server import ScenarioService, create_server, serve
+
+__all__ = [
+    "DEFAULT_URL",
+    "PROTOCOL_VERSION",
+    "ScenarioService",
+    "ServiceClient",
+    "ServiceError",
+    "canonical_payload",
+    "canonical_text",
+    "create_server",
+    "normalise_request",
+    "serve",
+]

@@ -1,0 +1,103 @@
+"""Thin stdlib HTTP client of the warm scenario service.
+
+Used by ``gprs-repro client`` and by the tests/CI smoke job; speaks the
+JSON protocol of :mod:`repro.service.server` over ``urllib`` (no new
+dependencies).  The client never interprets results -- it hands back the
+server's response dictionaries verbatim, and the CLI decides whether to
+print the human-formatted ``output``, the provenance-free ``canonical``
+text (byte-identical to CLI ``--canonical``), or the raw response JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+DEFAULT_URL = "http://127.0.0.1:8754"
+
+
+class ServiceError(RuntimeError):
+    """A transport failure or an error response from the service."""
+
+
+class ServiceClient:
+    """Client of one ``gprs-repro serve`` endpoint.
+
+    ``timeout`` bounds each HTTP call; solves can legitimately take a
+    while, so the default is generous.  All methods raise
+    :class:`ServiceError` on connection failures and non-JSON replies --
+    *protocol*-level errors (unknown scenario, bad request) come back as
+    ``{"ok": false, "error": ...}`` responses instead, mirroring the
+    server's own behaviour.
+    """
+
+    def __init__(self, url: str = DEFAULT_URL, *, timeout: float = 600.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = self.url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                raw = reply.read()
+        except urllib.error.HTTPError as error:
+            # 4xx replies still carry a JSON error body worth surfacing.
+            raw = error.read()
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                raise ServiceError(f"{url}: HTTP {error.code}") from error
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            raise ServiceError(f"{url}: {error}") from error
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServiceError(f"{url}: non-JSON response") from error
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats``."""
+        return self._request("/stats")
+
+    def run(self, request: dict) -> dict:
+        """``POST /run`` one scenario request."""
+        return self._request("/run", request)
+
+    def batch(self, requests: list[dict]) -> dict:
+        """``POST /batch`` a list of scenario requests (answered in order)."""
+        return self._request("/batch", {"requests": list(requests)})
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown``; the server acknowledges, then stops."""
+        return self._request("/shutdown", {})
+
+    def wait_ready(self, *, attempts: int = 50, delay_s: float = 0.1) -> bool:
+        """Poll ``/healthz`` until the server answers (startup helper)."""
+        import time
+
+        for _ in range(attempts):
+            try:
+                if self.health().get("ok"):
+                    return True
+            except ServiceError:
+                pass
+            time.sleep(delay_s)
+        return False

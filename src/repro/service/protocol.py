@@ -1,0 +1,136 @@
+"""Request/response protocol of the warm scenario service.
+
+The service answers scenario requests with the very same payloads the CLI
+prints under ``--json`` -- but a served answer may come from the result
+cache or recompute through the warm artifact store, while the comparison
+baseline is a cold CLI run.  Provenance fields (cache hit flags, replay
+counters, scheduling counters) legitimately differ between those paths even
+though every *numeric* field is bitwise identical.
+
+:func:`canonical_payload` strips exactly that provenance, so two runs of
+the same scenario through any execution path -- cold CLI, warm CLI,
+served, store-warm across processes -- render to byte-identical
+:func:`canonical_text`.  The stripping is structure-aware, not recursive
+key-matching: a transient payload's ``segments`` *trace list* is
+provenance (replay flags, per-segment matvec counts) and is dropped, while
+the scalar ``segments`` count inside the ``profile`` sub-dict is part of
+the workload description and survives.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "canonical_payload",
+    "canonical_text",
+    "normalise_request",
+]
+
+#: Bumped whenever request or response shapes change incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Commands a service request may dispatch (mirrors the CLI subcommands).
+COMMANDS = ("sweep", "network", "transient")
+
+# Result-level provenance: cache bookkeeping of the run itself.
+_RESULT_STRIP = ("cache",)
+# Point-level provenance: whether this point was served from the cache.
+_POINT_STRIP = ("from_cache",)
+# Transient-trajectory provenance: replay/build counters that depend on
+# which caches were warm, not on the trajectory itself.
+_TRANSIENT_STRIP = (
+    "matvecs",
+    "templates_built",
+    "early_stopped_segments",
+    "propagator_hits",
+)
+# Network-solve provenance: how the per-cell solves were scheduled and
+# warm-started.  The answers (aggregates, cells, iteration traces) stay.
+_NETWORK_STRIP = (
+    "solver_calls",
+    "cold_solves",
+    "frozen_solves",
+    "pipelined_jobs",
+)
+
+
+def _strip_payload(payload: dict) -> dict:
+    """Drop provenance keys from one result payload (point or whole run)."""
+    drop = set(_TRANSIENT_STRIP) | set(_NETWORK_STRIP)
+    out = {key: value for key, value in payload.items() if key not in drop}
+    # The transient trace list -- NOT the profile's scalar segment count,
+    # which lives one level down inside the "profile" sub-dict.
+    if isinstance(out.get("segments"), list):
+        del out["segments"]
+    return out
+
+
+def canonical_payload(payload: dict) -> dict:
+    """The provenance-free rendering of one ``as_dict()`` result payload.
+
+    Accepts sweep, network-sweep, transient-sweep and single-trajectory
+    payloads; unknown keys pass through untouched, so the function is safe
+    to apply to future result shapes.
+    """
+    out = {
+        key: value for key, value in payload.items() if key not in _RESULT_STRIP
+    }
+    out = _strip_payload(out)
+    points = out.get("points")
+    if isinstance(points, list):
+        out["points"] = [
+            _strip_payload(
+                {k: v for k, v in point.items() if k not in _POINT_STRIP}
+            )
+            if isinstance(point, dict)
+            else point
+            for point in points
+        ]
+    return out
+
+
+def canonical_text(payload: dict) -> str:
+    """Deterministic JSON text of :func:`canonical_payload` (no trailing \\n).
+
+    This is the byte string the acceptance checks compare: CLI
+    ``--canonical`` output and served responses both print exactly this.
+    """
+    return json.dumps(canonical_payload(payload), indent=2, sort_keys=True)
+
+
+def normalise_request(request: dict) -> dict:
+    """Validate one ``/run`` request and fill in its defaults.
+
+    Raises ``ValueError`` with a message suitable for a 400 response.
+    """
+    if not isinstance(request, dict):
+        raise ValueError("request must be a JSON object")
+    command = request.get("command")
+    if command not in COMMANDS:
+        raise ValueError(
+            f"unknown command {command!r}; expected one of {', '.join(COMMANDS)}"
+        )
+    scenario = request.get("scenario")
+    if not isinstance(scenario, str) or not scenario:
+        raise ValueError("request needs a non-empty 'scenario' name")
+    preset = request.get("preset", "default")
+    if preset not in ("smoke", "default", "paper"):
+        raise ValueError(f"unknown preset {preset!r}")
+    rate = request.get("rate")
+    if rate is not None:
+        rate = float(rate)
+        if command != "transient":
+            raise ValueError("'rate' applies only to transient requests")
+    pipelined = bool(request.get("pipelined", False))
+    if pipelined and command != "network":
+        raise ValueError("'pipelined' applies only to network requests")
+    return {
+        "command": command,
+        "scenario": scenario,
+        "preset": preset,
+        "rate": rate,
+        "pipelined": pipelined,
+        "cache": bool(request.get("cache", True)),
+    }

@@ -1,0 +1,313 @@
+"""Long-lived scenario service: warm templates, store tier and worker pool.
+
+``gprs-repro serve`` keeps a single :class:`ScenarioService` process alive
+so that everything a cold CLI invocation rebuilds per run stays hot across
+requests:
+
+- the **artifact store memory tier** (propagator replay checkpoints,
+  generator templates, coarse LU operand matrices) -- a repeated request
+  replays instead of resolving;
+- the **result cache**, answering repeat requests without touching a
+  solver at all;
+- a persistent :class:`~repro.runtime.resilience.ResilientPool` whose
+  worker processes (and their per-process scaffold caches) survive across
+  network-sweep requests.
+
+The HTTP layer is stdlib only (:class:`http.server.ThreadingHTTPServer`),
+speaks JSON, and exposes::
+
+    GET  /healthz    liveness probe
+    GET  /stats      request counters, store/cache state, metrics snapshot
+    POST /run        one scenario request  -> one response
+    POST /batch      {"requests": [...]}   -> {"responses": [...]}
+    POST /shutdown   acknowledge, then stop the server
+
+Solves are serialised under one lock: the service exists to keep state
+warm, not to multiplex CPU-bound sweeps, and serialising keeps the
+warm-tier bookkeeping (metrics deltas per request) exact.  Served answers
+are bitwise identical to the cold CLI path after provenance stripping --
+see :mod:`repro.service.protocol`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    canonical_text,
+    normalise_request,
+)
+
+__all__ = ["ScenarioService", "create_server", "serve"]
+
+
+class ScenarioService:
+    """Dispatches scenario requests against long-lived warm state.
+
+    Parameters mirror the CLI runtime flags: ``jobs`` sizes the persistent
+    worker pool (1 = serial, no pool), ``cache`` is a
+    :class:`~repro.runtime.cache.ResultCache` or ``None``, ``store`` an
+    :class:`~repro.store.ArtifactStore` or ``None`` (the serve CLI defaults
+    the store ON -- it is the whole point of the warm service).
+    """
+
+    def __init__(self, *, jobs: int = 1, cache=None, store=None) -> None:
+        self._jobs = max(1, int(jobs))
+        self._cache = cache
+        self._store = store
+        self._lock = threading.Lock()
+        self._pool = None
+        self._requests = 0
+        self._errors = 0
+        self._started = time.monotonic()
+        if self._jobs > 1:
+            from repro.runtime.resilience import ResilientPool
+
+            self._pool = ResilientPool(self._jobs)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def handle(self, request: dict) -> dict:
+        """Answer one ``/run`` request; raises ``ValueError`` on bad input."""
+        from repro.obs.metrics import current_registry
+        from repro.runtime import scenario
+        from repro.store import store_context
+
+        request = normalise_request(request)
+        try:
+            spec = scenario(request["scenario"])
+        except (KeyError, ValueError) as error:
+            raise ValueError(str(error)) from error
+
+        registry = current_registry()
+        start = time.perf_counter()
+        with self._lock:
+            self._requests += 1
+            baseline = registry.snapshot()
+            with store_context(self._store):
+                result, output = self._dispatch(spec, request)
+            metrics = registry.delta_since(baseline)
+        elapsed = time.perf_counter() - start
+
+        payload = result.as_dict()
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "command": request["command"],
+            "scenario": request["scenario"],
+            "preset": request["preset"],
+            "cache": dict(payload.get("cache", {})),
+            "failures": len(result.failures),
+            "elapsed_s": elapsed,
+            "metrics": metrics,
+            "payload": payload,
+            "canonical": canonical_text(payload),
+            "output": output,
+        }
+
+    def _dispatch(self, spec, request: dict):
+        """Run one request; returns ``(result, formatted_text)``."""
+        from repro.experiments.reporting import (
+            format_network_result,
+            format_scenario_result,
+            format_transient_result,
+        )
+        from repro.experiments.scale import ExperimentScale
+        from repro.network.sweep import run_network_sweep
+        from repro.runtime import run_sweep
+        from repro.transient.sweep import run_transient_sweep
+
+        command = request["command"]
+        scale = ExperimentScale.from_name(request["preset"])
+        cache = self._cache if request["cache"] else None
+        if command == "network":
+            if spec.network is None:
+                raise ValueError(f"scenario {spec.name!r} is not a network scenario")
+            result = run_network_sweep(
+                spec,
+                scale,
+                jobs=self._jobs,
+                cache=cache,
+                warm=True,
+                pipelined=request["pipelined"],
+                pool=self._pool,
+            )
+            return result, format_network_result(result)
+        if command == "transient":
+            if spec.transient is None:
+                raise ValueError(f"scenario {spec.name!r} is not transient")
+            rate = request["rate"]
+            result = run_transient_sweep(
+                spec,
+                scale,
+                jobs=self._jobs,
+                cache=cache,
+                warm=True,
+                rates=None if rate is None else (rate,),
+            )
+            return result, format_transient_result(result)
+        result = run_sweep(spec, scale, jobs=self._jobs, cache=cache, warm=True)
+        return result, format_scenario_result(result)
+
+    def safe_handle(self, request: dict) -> dict:
+        """:meth:`handle` that renders failures as error responses."""
+        try:
+            return self.handle(request)
+        except ValueError as error:
+            self._errors += 1
+            return {"ok": False, "protocol": PROTOCOL_VERSION, "error": str(error)}
+        except Exception as error:  # noqa: BLE001 -- a request must not kill the server
+            self._errors += 1
+            return {
+                "ok": False,
+                "protocol": PROTOCOL_VERSION,
+                "error": f"{type(error).__name__}: {error}",
+            }
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Service state for ``GET /stats`` (store/cache tiers, metrics)."""
+        from repro.obs.metrics import current_registry
+
+        store = None
+        if self._store is not None:
+            store = {
+                "dir": str(self._store.root),
+                "entries": len(self._store),
+                "disk_bytes": self._store.disk_bytes,
+                **self._store.stats.as_dict(),
+            }
+        cache = None
+        if self._cache is not None:
+            cache = {"dir": str(self._cache.root), **self._cache.stats.as_dict()}
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "requests": self._requests,
+            "errors": self._errors,
+            "jobs": self._jobs,
+            "uptime_s": time.monotonic() - self._started,
+            "store": store,
+            "cache": cache,
+            "metrics": current_registry().snapshot(),
+        }
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP front of one :class:`ScenarioService`."""
+
+    service: ScenarioService  # bound by create_server()
+    server_version = "gprs-repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 -- stdlib signature
+        pass  # request logging is the metrics registry's job
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            return {}
+        parsed = json.loads(raw.decode("utf-8"))
+        if not isinstance(parsed, dict):
+            raise ValueError("request body must be a JSON object")
+        return parsed
+
+    def do_GET(self) -> None:  # noqa: N802 -- stdlib naming
+        if self.path in ("/healthz", "/health"):
+            self._send(
+                200, {"ok": True, "status": "ready", "protocol": PROTOCOL_VERSION}
+            )
+        elif self.path == "/stats":
+            self._send(200, self.service.stats())
+        else:
+            self._send(404, {"ok": False, "error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
+        try:
+            body = self._read_json()
+        except (ValueError, json.JSONDecodeError):
+            self._send(400, {"ok": False, "error": "invalid JSON request body"})
+            return
+        if self.path == "/run":
+            response = self.service.safe_handle(body)
+            self._send(200 if response["ok"] else 400, response)
+        elif self.path == "/batch":
+            requests = body.get("requests")
+            if not isinstance(requests, list):
+                self._send(
+                    400, {"ok": False, "error": "batch body needs a 'requests' list"}
+                )
+                return
+            responses = [self.service.safe_handle(item) for item in requests]
+            self._send(
+                200,
+                {
+                    "ok": all(item["ok"] for item in responses),
+                    "protocol": PROTOCOL_VERSION,
+                    "responses": responses,
+                },
+            )
+        elif self.path == "/shutdown":
+            self._send(200, {"ok": True, "stopping": True})
+            # Respond first, then stop: shutdown() blocks until the serve
+            # loop exits, so it must run outside this handler thread.
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+        else:
+            self._send(404, {"ok": False, "error": f"unknown path {self.path!r}"})
+
+
+def create_server(
+    service: ScenarioService, host: str = "127.0.0.1", port: int = 8754
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for ``service`` (port 0 = ephemeral)."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    service: ScenarioService, host: str = "127.0.0.1", port: int = 8754
+) -> int:
+    """Run the service until ``POST /shutdown`` or SIGINT; returns exit code."""
+    server = create_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"gprs-repro serve: listening on http://{bound_host}:{bound_port} "
+        f"(jobs={service._jobs}, store="
+        f"{'on' if service._store is not None else 'off'}, cache="
+        f"{'on' if service._cache is not None else 'off'})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0

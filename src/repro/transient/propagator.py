@@ -47,6 +47,7 @@ from repro.core.parameters import GprsModelParameters
 from repro.obs.metrics import current_registry
 
 __all__ = [
+    "ENTRY_OVERHEAD_BYTES",
     "PropagatorCache",
     "SegmentReplay",
     "default_propagator_cache",
@@ -149,6 +150,17 @@ class SegmentReplay:
         return sum(checkpoint.nbytes for checkpoint in distinct.values())
 
 
+def _store_key(key: str) -> str:
+    """Artifact-store key of one segment digest (lazy import: see module)."""
+    from repro.store.artifacts import artifact_key
+
+    return artifact_key("propagator", {"segment": key})
+
+
+def _maybe_float(value) -> float | None:
+    return None if value is None else float(value)
+
+
 def _replay_digest(replay: SegmentReplay) -> str:
     """Content digest of a replay's checkpoint payload.
 
@@ -163,6 +175,15 @@ def _replay_digest(replay: SegmentReplay) -> str:
     return digest.hexdigest()[:16]
 
 
+#: Per-entry bookkeeping bytes beyond the checkpoint payload: the 16-hex
+#: verification digest, the scalar metadata (matvec count, early-stop offset
+#: and residual) and the OrderedDict slot itself.  Budgets and the
+#: ``cache.propagator.bytes`` gauge include it so the in-memory accounting
+#: reports consistently with the artifact store's on-disk sizes (which pay
+#: the same metadata inside each archive).
+ENTRY_OVERHEAD_BYTES = 160
+
+
 @dataclass
 class PropagatorCache:
     """Bounded, LRU-evicting store of :class:`SegmentReplay` records.
@@ -171,30 +192,62 @@ class PropagatorCache:
     distributions no longer match that digest is dropped (counted under
     ``cache.propagator.corrupt``) and served as a miss, so corrupt state is
     re-solved rather than replayed.
+
+    When an ambient :class:`~repro.store.artifacts.ArtifactStore` is active
+    (or one is passed as ``store``), the cache reads and writes through it:
+    every ``put`` also persists the replay as a binary artifact, and an
+    in-memory miss falls back to the store before reporting a true miss --
+    so parallel trajectory workers and entirely fresh processes replay
+    segments their siblings or predecessors solved.  Store artifacts are the
+    exact checkpoint bytes, so a store hit preserves the bitwise-replay
+    guarantee.  ``store=None`` disables the tier (per-process behaviour,
+    exactly as before).
     """
 
     max_bytes: int = DEFAULT_CACHE_BYTES
+    store: object = "ambient"
     hits: int = 0
     misses: int = 0
     corrupt: int = 0
+    store_hits: int = 0
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _bytes: int = 0
+
+    @staticmethod
+    def entry_bytes(replay: SegmentReplay) -> int:
+        """Bytes one stored entry accounts for (payload + bookkeeping)."""
+        return replay.nbytes + ENTRY_OVERHEAD_BYTES
+
+    def _resolve_store(self):
+        if self.store == "ambient":
+            from repro.store.artifacts import current_store
+
+            return current_store()
+        return self.store
 
     def get(self, key: str) -> SegmentReplay | None:
         """Return the replay stored under ``key`` (refreshing its LRU slot)."""
         entry = self._entries.get(key)
         if entry is None:
+            replay = self._load_from_store(key)
+            if replay is not None:
+                self.hits += 1
+                self.store_hits += 1
+                current_registry().count("cache.propagator.hits")
+                current_registry().count("cache.propagator.store_hits")
+                return replay
             self.misses += 1
             current_registry().count("cache.propagator.misses")
             return None
         replay, digest = entry
         if _replay_digest(replay) != digest:
             self._entries.pop(key)
-            self._bytes -= replay.nbytes
+            self._bytes -= self.entry_bytes(replay)
             self.corrupt += 1
             self.misses += 1
             current_registry().count("cache.propagator.corrupt")
             current_registry().count("cache.propagator.misses")
+            current_registry().gauge("cache.propagator.bytes", self._bytes)
             return None
         self._entries.move_to_end(key)
         self.hits += 1
@@ -203,18 +256,70 @@ class PropagatorCache:
 
     def put(self, key: str, replay: SegmentReplay) -> None:
         """Store ``replay``, evicting least-recently-used entries over budget."""
-        if replay.nbytes > self.max_bytes:
-            return
+        if self.entry_bytes(replay) <= self.max_bytes:
+            self._insert(key, replay)
+        self._persist_to_store(key, replay)
+
+    def _insert(self, key: str, replay: SegmentReplay) -> None:
         previous = self._entries.pop(key, None)
         if previous is not None:
-            self._bytes -= previous[0].nbytes
+            self._bytes -= self.entry_bytes(previous[0])
         self._entries[key] = (replay, _replay_digest(replay))
-        self._bytes += replay.nbytes
+        self._bytes += self.entry_bytes(replay)
         while self._bytes > self.max_bytes and self._entries:
             _, (evicted, _) = self._entries.popitem(last=False)
-            self._bytes -= evicted.nbytes
+            self._bytes -= self.entry_bytes(evicted)
             current_registry().count("cache.propagator.evictions")
         current_registry().gauge("cache.propagator.bytes", self._bytes)
+
+    def _load_from_store(self, key: str) -> SegmentReplay | None:
+        store = self._resolve_store()
+        if store is None:
+            return None
+        loaded = store.get(_store_key(key))
+        if loaded is None:
+            return None
+        arrays, meta = loaded
+        try:
+            alias = [int(position) for position in meta["alias"]]
+            distinct = [arrays[f"c{index}"] for index in range(len(set(alias)))]
+            checkpoints = tuple(distinct[position] for position in alias)
+            replay = SegmentReplay(
+                checkpoints=checkpoints,
+                matvecs=int(meta["matvecs"]),
+                stationary_offset_s=_maybe_float(meta.get("stationary_offset_s")),
+                stationary_residual=_maybe_float(meta.get("stationary_residual")),
+            )
+        except (KeyError, IndexError, TypeError, ValueError):
+            return None  # malformed artifact: treat as a plain miss
+        if self.entry_bytes(replay) <= self.max_bytes:
+            self._insert(key, replay)
+        return replay
+
+    def _persist_to_store(self, key: str, replay: SegmentReplay) -> None:
+        store = self._resolve_store()
+        if store is None:
+            return
+        positions: dict[int, int] = {}
+        arrays: dict[str, np.ndarray] = {}
+        alias: list[int] = []
+        for checkpoint in replay.checkpoints:
+            position = positions.get(id(checkpoint))
+            if position is None:
+                position = len(positions)
+                positions[id(checkpoint)] = position
+                arrays[f"c{position}"] = checkpoint
+            alias.append(position)
+        meta = {
+            "alias": alias,
+            "matvecs": replay.matvecs,
+            "stationary_offset_s": replay.stationary_offset_s,
+            "stationary_residual": replay.stationary_residual,
+        }
+        try:
+            store.put(_store_key(key), arrays, meta)
+        except OSError:
+            pass  # an unwritable store degrades to per-process caching
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -226,6 +331,7 @@ class PropagatorCache:
     def clear(self) -> None:
         self._entries.clear()
         self._bytes = 0
+        current_registry().gauge("cache.propagator.bytes", 0.0)
 
 
 _DEFAULT_CACHE: PropagatorCache | None = None

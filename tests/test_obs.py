@@ -226,6 +226,35 @@ class TestLedger:
         report = obs.render_report(eventful)
         assert "resilience" in report and "retries" in report
 
+    def test_store_block_derives_from_counters(self):
+        metrics = {
+            "counters": {
+                "store.hits": 7,
+                "store.memory_hits": 4,
+                "store.writes": 3,
+                "store.bytes_written": 4096,
+            }
+        }
+        block = obs.store_block(metrics)
+        assert block["hits"] == 7
+        assert block["memory_hits"] == 4
+        assert block["writes"] == 3
+        assert block["bytes_written"] == 4096
+        assert block["evictions"] == 0  # absent counters read as zero
+        record = self._record()  # default metrics carry no store counters
+        assert set(record["store"]) == set(block)
+        assert not any(record["store"].values())
+        eventful = obs.make_record(
+            command="transient",
+            target="unit-test",
+            wall_s=1.0,
+            metrics=metrics,
+        )
+        assert eventful["store"] == block
+        obs.validate_record(eventful)
+        report = obs.render_report(eventful)
+        assert "store" in report and "memory_hits" in report
+
     def test_compare_and_renderings(self, tmp_path):
         fast = self._record()
         slow = self._record(wall_s=2.5)

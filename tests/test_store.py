@@ -1,0 +1,283 @@
+"""Tests of the cross-process artifact store (repro.store)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import CODE_VERSION, default_cache_dir
+from repro.runtime.faults import FaultPlan, inject_faults
+from repro.store import (
+    STORE_DIR_ENV,
+    ArtifactStore,
+    artifact_key,
+    current_store,
+    default_store_dir,
+    store_context,
+)
+
+
+def _arrays(seed: int = 7, size: int = 256) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "values": rng.standard_normal(size),
+        "indices": np.arange(size, dtype=np.int32),
+        "matrix": rng.standard_normal((8, 8)),
+    }
+
+
+class TestKeys:
+    def test_key_is_stable_and_order_insensitive(self):
+        a = artifact_key("propagator", {"x": 1, "y": [2.0, 3.0]})
+        b = artifact_key("propagator", {"y": [2.0, 3.0], "x": 1})
+        assert a == b
+        assert len(a) == 64  # full sha256 hex
+
+    def test_key_separates_kinds_and_identities(self):
+        base = artifact_key("template", {"x": 1})
+        assert artifact_key("propagator", {"x": 1}) != base
+        assert artifact_key("template", {"x": 2}) != base
+
+    def test_code_version_is_mixed_in(self):
+        """A code edit must invalidate every stored artifact at once."""
+        current = artifact_key("template", {"x": 1})
+        assert current == artifact_key("template", {"x": 1}, code_version=CODE_VERSION)
+        assert current != artifact_key("template", {"x": 1}, code_version="other")
+
+
+class TestRoundTrip:
+    def test_round_trip_is_bitwise_with_meta(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        arrays = _arrays()
+        store.put("a" * 64, arrays, {"alias": [0, 1], "tol": 1e-9})
+        loaded = store.get("a" * 64)
+        assert loaded is not None
+        got, meta = loaded
+        assert meta == {"alias": [0, 1], "tol": 1e-9}
+        assert set(got) == set(arrays)
+        for name in arrays:
+            assert got[name].dtype == arrays[name].dtype
+            assert np.array_equal(got[name], arrays[name])
+        assert store.stats.writes == 1 and store.stats.hits == 1
+
+    def test_returned_arrays_are_read_only(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("b" * 64, _arrays())
+        got, _ = store.get("b" * 64)
+        with pytest.raises(ValueError):
+            got["values"][0] = 1.0
+
+    def test_absent_key_is_a_clean_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get("c" * 64) is None
+        assert store.stats.misses == 1
+
+    def test_reserved_array_names_are_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError, match="reserved"):
+            store.put("d" * 64, {"__meta__": np.zeros(2)})
+
+    def test_memory_tier_serves_repeat_reads(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("e" * 64, _arrays())
+        path = store.path_for("e" * 64)
+        assert store.get("e" * 64) is not None  # put already remembered it
+        assert store.stats.memory_hits == 1
+        path.unlink()  # prove the next read never touches the disk
+        assert store.get("e" * 64) is not None
+        assert store.stats.memory_hits == 2
+        store.clear_memory()
+        assert store.get("e" * 64) is None  # now it really is gone
+
+    def test_fresh_instance_reads_what_another_wrote(self, tmp_path):
+        """The cross-process contract, single-process edition."""
+        writer = ArtifactStore(tmp_path)
+        arrays = _arrays()
+        writer.put("f" * 64, arrays, {"origin": "writer"})
+        reader = ArtifactStore(tmp_path)
+        loaded = reader.get("f" * 64)
+        assert loaded is not None
+        got, meta = loaded
+        assert meta["origin"] == "writer"
+        assert np.array_equal(got["values"], arrays["values"])
+        assert reader.stats.memory_hits == 0  # came from disk, not memory
+
+
+class TestCorruption:
+    def test_truncated_archive_is_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "1" * 64
+        store.put(key, _arrays())
+        store.clear_memory()
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[:40])
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()
+        assert path.with_name(f"{key}.corrupt").exists()
+        assert store.get(key) is None  # quarantined: stays a clean miss
+
+    def test_bitflip_fails_the_digest_check(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "2" * 64
+        store.put(key, _arrays())
+        store.clear_memory()
+        path = store.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one payload byte, zip still parses
+        path.write_bytes(bytes(blob))
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert path.with_name(f"{key}.corrupt").exists()
+
+    def test_injected_cache_corruption_exercises_quarantine(self, tmp_path):
+        """`--inject-faults cache@0=corrupt` hits the store's put site too."""
+        store = ArtifactStore(tmp_path)
+        key = "3" * 64
+        with inject_faults(FaultPlan.parse("cache@0=corrupt")):
+            store.put(key, _arrays())
+        assert store.get(key) is None  # truncated archive -> quarantine
+        assert store.stats.corrupt == 1
+        assert store.path_for(key).with_name(f"{key}.corrupt").exists()
+        # The next write of the same key heals the entry.
+        arrays = _arrays()
+        store.put(key, arrays)
+        loaded = store.get(key)
+        assert loaded is not None
+        assert np.array_equal(loaded[0]["values"], arrays["values"])
+
+
+class TestEviction:
+    def test_tiny_budget_evicts_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=1)  # everything over budget
+        for index in range(3):
+            store.put(f"{index}" * 64, {"x": np.full(64, float(index))})
+        assert store.stats.evictions == 3  # each put evicts its own entry
+        assert len(store) == 0
+        assert store.disk_bytes == 0
+
+    def test_budget_keeps_newest_entries(self, tmp_path):
+        probe = ArtifactStore(tmp_path / "probe")
+        probe.put("a" * 64, {"x": np.zeros(64)})
+        entry_size = probe.path_for("a" * 64).stat().st_size
+        store = ArtifactStore(tmp_path / "real", max_bytes=2 * entry_size)
+        now = 1_700_000_000.0
+        for index in range(4):
+            key = f"{index}" * 64
+            store.put(key, {"x": np.zeros(64)})
+            os.utime(store.path_for(key), (now + index, now + index))
+            store._evict_over_budget()
+        assert not store.path_for("0" * 64).exists()
+        assert store.path_for("3" * 64).exists()
+        assert store.disk_bytes <= 2 * entry_size
+
+
+def _concurrent_writer(root: str, key: str, seed: int, rounds: int) -> None:
+    store = ArtifactStore(root)
+    rng = np.random.default_rng(seed)
+    for _ in range(rounds):
+        value = rng.standard_normal(512)
+        store.put(key, {"value": value}, {"seed": seed})
+
+
+class TestConcurrency:
+    def test_two_processes_same_key_last_writer_wins_no_torn_reads(self, tmp_path):
+        """Writers race on one key; every read is a valid artifact or a miss."""
+        key = "9" * 64
+        ctx = multiprocessing.get_context("spawn")
+        workers = [
+            ctx.Process(
+                target=_concurrent_writer, args=(str(tmp_path), key, seed, 20)
+            )
+            for seed in (1, 2)
+        ]
+        for worker in workers:
+            worker.start()
+        reader = ArtifactStore(tmp_path)
+        observed = 0
+        try:
+            while any(worker.is_alive() for worker in workers):
+                reader.clear_memory()
+                loaded = reader.get(key)
+                if loaded is not None:
+                    arrays, meta = loaded
+                    # A torn file would fail the digest check (-> corrupt);
+                    # a valid read must be one writer's complete payload.
+                    assert arrays["value"].shape == (512,)
+                    assert meta["seed"] in (1, 2)
+                    observed += 1
+        finally:
+            for worker in workers:
+                worker.join(timeout=60)
+        assert reader.stats.corrupt == 0
+        for worker in workers:
+            assert worker.exitcode == 0
+        reader.clear_memory()
+        final = reader.get(key)
+        assert final is not None  # last complete write won
+        assert observed >= 1
+
+
+class TestAmbientResolution:
+    def test_store_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        assert current_store() is None
+
+    def test_env_var_enables_a_process_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "env-store"))
+        store = current_store()
+        assert store is not None
+        assert store.root == tmp_path / "env-store"
+        assert current_store() is store  # process-wide singleton per value
+
+    def test_store_context_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "env-store"))
+        explicit = ArtifactStore(tmp_path / "explicit")
+        with store_context(explicit):
+            assert current_store() is explicit
+        with store_context(None):  # --no-store: disables even the env store
+            assert current_store() is None
+        assert current_store() is not None
+
+    def test_default_store_dir_honours_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_store_dir() == tmp_path / "elsewhere"
+        monkeypatch.delenv(STORE_DIR_ENV)
+        assert default_store_dir() == default_cache_dir() / "store"
+
+    def test_cache_dir_fallback_env(self, tmp_path, monkeypatch):
+        """$REPRO_CACHE_DIR is honoured when the historical name is unset."""
+        monkeypatch.delenv("GPRS_REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt-cache"))
+        assert default_cache_dir() == tmp_path / "alt-cache"
+        monkeypatch.setenv("GPRS_REPRO_CACHE_DIR", str(tmp_path / "old-cache"))
+        assert default_cache_dir() == tmp_path / "old-cache"  # historical wins
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        monkeypatch.delenv("GPRS_REPRO_CACHE_DIR")
+        assert default_store_dir() == tmp_path / "alt-cache" / "store"
+
+
+class TestMetrics:
+    def test_traffic_lands_in_the_registry(self, tmp_path):
+        from repro.obs.metrics import current_registry
+
+        registry = current_registry()
+        baseline = registry.snapshot()
+        store = ArtifactStore(tmp_path)
+        store.put("a" * 64, _arrays())
+        store.clear_memory()
+        assert store.get("a" * 64) is not None
+        assert store.get("b" * 64) is None
+        delta = registry.delta_since(baseline)["counters"]
+        assert delta["store.writes"] == 1
+        assert delta["store.hits"] == 1
+        assert delta["store.misses"] == 1
+        assert delta["store.bytes_written"] > 0
+        assert delta["store.bytes_read"] > 0
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["store.bytes"] == float(store.disk_bytes)

@@ -136,7 +136,7 @@ class TestCache:
 
     def test_lru_eviction_respects_the_byte_budget(self):
         replay = self._replay()
-        cache = PropagatorCache(max_bytes=3 * replay.nbytes)
+        cache = PropagatorCache(max_bytes=3 * PropagatorCache.entry_bytes(replay))
         for index in range(4):
             cache.put(f"key-{index}", self._replay())
         assert len(cache) == 3
@@ -145,7 +145,7 @@ class TestCache:
 
     def test_get_refreshes_recency(self):
         replay = self._replay()
-        cache = PropagatorCache(max_bytes=2 * replay.nbytes)
+        cache = PropagatorCache(max_bytes=2 * PropagatorCache.entry_bytes(replay))
         cache.put("a", self._replay())
         cache.put("b", self._replay())
         assert cache.get("a") is not None  # refresh "a"
@@ -158,6 +158,34 @@ class TestCache:
         cache = PropagatorCache(max_bytes=replay.nbytes - 1)
         cache.put("big", replay)
         assert len(cache) == 0
+
+    def test_stored_bytes_include_metadata_overhead(self):
+        """The budget accounts for digest/metadata bookkeeping, not just payload."""
+        from repro.transient.propagator import ENTRY_OVERHEAD_BYTES
+
+        replay = self._replay()
+        cache = PropagatorCache()
+        cache.put("key", self._replay())
+        assert cache.stored_bytes == replay.nbytes + ENTRY_OVERHEAD_BYTES
+        assert cache.stored_bytes == PropagatorCache.entry_bytes(replay)
+        cache.clear()
+        assert cache.stored_bytes == 0
+
+    def test_bytes_gauge_tracks_drops_and_clears(self):
+        from repro.obs.metrics import current_registry
+
+        replay = self._replay()
+        cache = PropagatorCache(max_bytes=4 * PropagatorCache.entry_bytes(replay))
+        cache.put("key", replay)
+        registry = current_registry()
+        assert registry.snapshot()["gauges"]["cache.propagator.bytes"] == float(
+            cache.stored_bytes
+        )
+        stored = cache.get("key")
+        stored.checkpoints[0].setflags(write=True)
+        stored.checkpoints[0][0] = 7.0
+        assert cache.get("key") is None  # corrupt drop
+        assert registry.snapshot()["gauges"]["cache.propagator.bytes"] == 0.0
 
     def test_checkpoints_are_frozen_read_only(self):
         replay = self._replay()
