@@ -264,6 +264,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-store", action="store_true",
                               help="serve without the artifact store "
                               "(result cache only)")
+    serve_parser.add_argument("--service-workers", type=int, default=1,
+                              help="concurrent solver threads consuming the "
+                              "admission queue (default 1)")
+    serve_parser.add_argument("--max-queue", type=int, default=32,
+                              help="waiting requests admitted before the "
+                              "service answers 429 (default 32)")
+    serve_parser.add_argument("--max-inflight", type=int, default=None,
+                              help="cap on queued + running requests "
+                              "(default: workers + max-queue)")
+    serve_parser.add_argument("--request-timeout", type=float, default=None,
+                              help="per-request deadline in seconds; expired "
+                              "waiters get 504 (also bounds pool task time)")
+    serve_parser.add_argument("--drain-timeout", type=float, default=30.0,
+                              help="seconds graceful shutdown waits for "
+                              "in-flight solves (default 30)")
+    serve_parser.add_argument("--journal", type=Path, default=None,
+                              help="crash-consistent request journal (JSONL); "
+                              "admitted-but-unanswered requests are replayed "
+                              "into the cache on restart")
 
     client_parser = subparsers.add_parser(
         "client", help="talk to a running 'gprs-repro serve' instance"
@@ -310,6 +329,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "request list ('-' = stdin)")
     client_parser.add_argument("--timeout", type=float, default=600.0,
                                help="per-request HTTP timeout in seconds")
+    client_parser.add_argument("--retries", type=int, default=0,
+                               help="extra attempts after a retryable "
+                               "failure (connection error, 429 honouring "
+                               "Retry-After, 503); shutdown is never "
+                               "retried")
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="run the network-level simulator for one configuration"
@@ -501,7 +525,17 @@ def _serve_command(args: argparse.Namespace) -> int:
         store_dir = args.store_dir if args.store_dir is not None else default_store_dir()
         os.environ[STORE_DIR_ENV] = str(store_dir)
         store = ArtifactStore(Path(store_dir))
-    service = ScenarioService(jobs=args.jobs, cache=cache, store=store)
+    service = ScenarioService(
+        jobs=args.jobs,
+        cache=cache,
+        store=store,
+        workers=args.service_workers,
+        max_queue=args.max_queue,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+        journal_path=args.journal,
+    )
     return serve(service, args.host, args.port)
 
 
@@ -524,7 +558,7 @@ def _client_command(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient, ServiceError
 
     url = args.url if args.url is not None else f"http://{args.host}:{args.port}"
-    client = ServiceClient(url, timeout=args.timeout)
+    client = ServiceClient(url, timeout=args.timeout, retries=args.retries)
     try:
         if args.action == "health":
             print(json.dumps(client.health(), indent=2, sort_keys=True))

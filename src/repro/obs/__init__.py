@@ -27,6 +27,7 @@ from repro.obs.ledger import (
     render_compare,
     render_report,
     resilience_block,
+    service_block,
     spec_digest,
     store_block,
     validate_record,
@@ -68,6 +69,7 @@ __all__ = [
     "render_compare",
     "render_report",
     "resilience_block",
+    "service_block",
     "store_block",
     "spec_digest",
     "validate_record",

@@ -41,6 +41,7 @@ __all__ = [
     "render_compare",
     "render_report",
     "resilience_block",
+    "service_block",
     "spec_digest",
     "store_block",
     "validate_record",
@@ -132,6 +133,30 @@ def store_block(metrics: dict | None) -> dict:
     return {field: counters.get(counter, 0) for field, counter in _STORE_COUNTERS}
 
 
+#: Counter-to-field mapping behind a record's ``service`` block (the
+#: admission-controlled scenario service of :mod:`repro.service`).
+_SERVICE_COUNTERS = (
+    ("requests", "service.requests"),
+    ("accepted", "service.accepted"),
+    ("coalesced", "service.coalesced"),
+    ("rejected", "service.rejected"),
+    ("timed_out", "service.timed_out"),
+    ("cancelled", "service.cancelled"),
+    ("completed", "service.completed"),
+    ("errors", "service.errors"),
+    ("drained", "service.drained"),
+    ("abandoned", "service.abandoned"),
+    ("replayed", "service.replayed"),
+    ("journal_corrupt", "service.journal_corrupt"),
+)
+
+
+def service_block(metrics: dict | None) -> dict:
+    """Derive a record's ``service`` block from its metric counters."""
+    counters = (metrics or {}).get("counters", {})
+    return {field: counters.get(counter, 0) for field, counter in _SERVICE_COUNTERS}
+
+
 def make_record(
     *,
     command: str,
@@ -146,13 +171,16 @@ def make_record(
     created_utc: str | None = None,
     resilience: dict | None = None,
     store: dict | None = None,
+    service: dict | None = None,
 ) -> dict:
     """Assemble one schema-v1 ledger record (pure data, JSON-ready).
 
     The ``resilience`` block (retries, timeouts, degradation, resumed
-    points) and the ``store`` block (artifact-store hits, writes,
-    evictions, quarantines) are derived from the run's metric counters when
-    not given explicitly -- additive fields, so the schema version stays 1.
+    points), the ``store`` block (artifact-store hits, writes, evictions,
+    quarantines) and the ``service`` block (admission, coalescing,
+    backpressure, drain and journal counters) are derived from the run's
+    metric counters when not given explicitly -- additive fields, so the
+    schema version stays 1.
     """
     from repro.runtime.cache import CODE_VERSION
 
@@ -184,6 +212,9 @@ def make_record(
             dict(resilience) if resilience is not None else resilience_block(metrics)
         ),
         "store": dict(store) if store is not None else store_block(metrics),
+        "service": (
+            dict(service) if service is not None else service_block(metrics)
+        ),
         "environment": environment_fingerprint(),
     }
     return record
@@ -361,6 +392,15 @@ def render_report(record: dict, *, top: int = 10) -> str:
         for name in sorted(store):
             if store[name]:
                 lines.append(f"  {name:<{name_width}}  {store[name]}")
+
+    service = record.get("service") or {}
+    if any(service.values()):
+        lines.append("")
+        lines.append("service:")
+        name_width = max(len(name) for name in service)
+        for name in sorted(service):
+            if service[name]:
+                lines.append(f"  {name:<{name_width}}  {service[name]}")
 
     counters = record["metrics"].get("counters", {})
     if counters:

@@ -28,12 +28,20 @@ That PID guard is what lets one code path serve both execution modes while
 keeping ``jobs = N`` metric totals identical to serial for all solver-work
 counters.
 
+Registries are **thread-safe**: every mutation and every snapshot runs
+under one re-entrant lock per registry.  The service tier reads and writes
+the global registry from concurrent handler threads, and a ``/stats``
+snapshot taken mid-request must never observe a torn histogram or a
+half-applied merge.  The lock is uncontended on the single-threaded paths,
+so the solver hot loops pay only an uncontended acquire.
+
 Stdlib-only on purpose: imported by the innermost core/runtime modules.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
@@ -87,36 +95,43 @@ class MetricsRegistry:
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
     histograms: dict = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     # -- recording -----------------------------------------------------------
 
     def count(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to the counter ``name`` (creating it at zero)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` to its latest ``value``."""
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """File ``value`` into the histogram ``name``."""
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = _Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = _Histogram()
+            histogram.observe(value)
 
     # -- snapshots and merges ------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A plain-data copy of every metric (JSON-ready)."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "histograms": {
-                name: histogram.as_dict()
-                for name, histogram in self.histograms.items()
-            },
-        }
+        """A plain-data copy of every metric (JSON-ready, never torn)."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in self.histograms.items()
+                },
+            }
 
     def delta_since(self, baseline: dict) -> dict:
         """The change from ``baseline`` (an earlier :meth:`snapshot`).
@@ -124,6 +139,10 @@ class MetricsRegistry:
         Counters subtract (zero-change counters are dropped); gauges and
         histograms report their current state whenever it moved.
         """
+        with self._lock:
+            return self._delta_since_locked(baseline)
+
+    def _delta_since_locked(self, baseline: dict) -> dict:
         base_counters = baseline.get("counters", {})
         counters = {
             name: value - base_counters.get(name, 0)
@@ -163,31 +182,41 @@ class MetricsRegistry:
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def merge(self, snapshot: dict) -> None:
-        """Fold a snapshot/delta from another registry into this one."""
-        for name, value in snapshot.get("counters", {}).items():
-            self.count(name, value)
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name, value)
-        for name, summary in snapshot.get("histograms", {}).items():
-            histogram = self.histograms.get(name)
-            if histogram is None:
-                histogram = self.histograms[name] = _Histogram()
-            histogram.combine(summary)
+        """Fold a snapshot/delta from another registry into this one.
+
+        Atomic: a concurrent :meth:`snapshot` sees either none or all of the
+        merged values (the lock is re-entrant, so the nested ``count`` and
+        ``gauge`` calls stay on this thread's acquisition).
+        """
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.count(name, value)
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauge(name, value)
+            for name, summary in snapshot.get("histograms", {}).items():
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = self.histograms[name] = _Histogram()
+                histogram.combine(summary)
 
     def clear(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
 
 _GLOBAL_REGISTRY: MetricsRegistry | None = None
+_GLOBAL_LOCK = threading.Lock()
 
 
 def global_registry() -> MetricsRegistry:
-    """This process's shared registry (created on first use)."""
+    """This process's shared registry (created on first use, race-free)."""
     global _GLOBAL_REGISTRY
     if _GLOBAL_REGISTRY is None:
-        _GLOBAL_REGISTRY = MetricsRegistry()
+        with _GLOBAL_LOCK:
+            if _GLOBAL_REGISTRY is None:
+                _GLOBAL_REGISTRY = MetricsRegistry()
     return _GLOBAL_REGISTRY
 
 

@@ -69,12 +69,16 @@ from repro.runtime.faults import (
 from repro.runtime.registry import SCENARIOS, list_scenarios, register, scenario
 from repro.runtime.resilience import (
     DEFAULT_RETRY_POLICY,
+    CancelToken,
     ResilientPool,
     RetryPolicy,
     SweepCheckpoint,
     SweepFailure,
     SweepFailureError,
+    TaskCancelledError,
+    cancel_scope,
     collect_failures,
+    current_cancel_token,
     payload_digest,
 )
 from repro.runtime.spec import (
@@ -87,6 +91,7 @@ from repro.runtime.spec import (
 __all__ = [
     "CODE_VERSION",
     "CacheStats",
+    "CancelToken",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_METRICS",
     "DEFAULT_RETRY_POLICY",
@@ -104,7 +109,10 @@ __all__ = [
     "SweepFailure",
     "SweepFailureError",
     "SweepPoint",
+    "TaskCancelledError",
+    "cancel_scope",
     "collect_failures",
+    "current_cancel_token",
     "current_fault_plan",
     "current_options",
     "default_cache_dir",

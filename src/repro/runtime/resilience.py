@@ -35,6 +35,22 @@ Injected faults (:mod:`repro.runtime.faults`) are resolved parent-side at
 submission and shipped inside the submitted call, so every path above is
 provable in tests; with no plan active, submission cost is one contextvar
 read.
+
+Worker processes are started through a **forkserver** context rather than
+bare ``fork``.  The service tier (and ``drive_pipelined``) submit from a
+multithreaded parent, and forking a multithreaded CPython process is
+unsound: the child can deadlock inside ``threading._after_fork`` before it
+ever reaches the executor's work loop -- an alive-but-wedged worker that
+never raises ``BrokenProcessPool``, so its future pends forever.  The
+forkserver is a single-threaded fork parent, which removes the race
+entirely; preloading the solver modules into it keeps per-worker startup
+as cheap as fork after the one-time server spawn.  Two fork behaviours do
+not carry over: workers no longer inherit the parent's *current*
+environment (each pool ships its repro env knobs through an initializer
+instead) or its warm in-process caches (cross-process warmth flows
+through the artifact store, which is the seam built for it).  Set
+``REPRO_POOL_START_METHOD`` to override (e.g. ``fork`` to compare, or
+``spawn`` where forkserver is unavailable).
 """
 
 from __future__ import annotations
@@ -43,6 +59,10 @@ import contextlib
 import contextvars
 import hashlib
 import json
+import multiprocessing
+import os
+import sys
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -56,16 +76,175 @@ __all__ = [
     "CHECKPOINT_SCHEMA",
     "CHECKPOINT_SCHEMA_VERSION",
     "DEFAULT_RETRY_POLICY",
+    "CancelToken",
     "ResilientPool",
     "RetryPolicy",
     "SweepCheckpoint",
     "SweepFailure",
     "SweepFailureError",
+    "TaskCancelledError",
+    "cancel_scope",
     "checkpointed_get",
     "collect_failures",
+    "current_cancel_token",
     "payload_digest",
     "report_failure",
 ]
+
+
+# ---------------------------------------------------------------------- #
+# Fork-safe worker start method
+# ---------------------------------------------------------------------- #
+# Modules imported into the forkserver before it starts forking workers:
+# every function a ResilientPool ever submits lives in one of these, so a
+# forked worker starts with the whole solver stack (numpy, scipy, the
+# generator/propagator machinery) already imported -- fork-cheap startup
+# without fork's multithreaded-parent deadlock.
+_PRELOAD_MODULES = (
+    "repro.runtime.faults",
+    "repro.runtime.executor",
+    "repro.transient.sweep",
+    "repro.network.model",
+)
+
+_mp_context = None
+_mp_context_lock = threading.Lock()
+
+# Workers fork from the forkserver's environment *snapshot*, taken when the
+# server first starts -- not from the submitting process.  Anything exported
+# for workers to inherit after that point (``--store-dir`` sets
+# ``$REPRO_STORE_DIR`` exactly so pool workers resolve the same store) would
+# silently read the snapshot value.  Each pool therefore ships the parent's
+# current repro knobs through an initializer, restoring fork semantics.
+_WORKER_ENV_PREFIXES = ("REPRO_", "GPRS_REPRO_")
+
+
+def _worker_env_snapshot() -> dict:
+    """The parent's current repro env knobs, captured at pool creation."""
+    return {
+        key: value
+        for key, value in os.environ.items()
+        if key.startswith(_WORKER_ENV_PREFIXES)
+    }
+
+
+def _init_worker_env(snapshot: dict) -> None:
+    """Worker initializer: mirror the parent's repro env knobs exactly."""
+    for key in list(os.environ):
+        if key.startswith(_WORKER_ENV_PREFIXES) and key not in snapshot:
+            del os.environ[key]
+    os.environ.update(snapshot)
+
+
+def _noop() -> None:
+    """Target of the forkserver warm-up probe (must be module-level)."""
+
+
+def _pool_mp_context():
+    """The shared multiprocessing context worker pools start from.
+
+    ``forkserver`` (the default here) forks workers from a dedicated
+    single-threaded server process, so pool creation -- including respawns
+    after a worker kill -- is safe no matter how many service/solver
+    threads the submitting process runs.  Bare ``fork`` from a
+    multithreaded parent can wedge the child in ``threading._after_fork``
+    before it reaches the work loop: the worker stays alive but never
+    executes, the future pends forever, and ``BrokenProcessPool`` never
+    fires.  ``REPRO_POOL_START_METHOD`` overrides the method; an
+    unsupported choice falls back to the platform default.
+    """
+    global _mp_context
+    if _mp_context is None:
+        with _mp_context_lock:
+            if _mp_context is None:
+                method = os.environ.get("REPRO_POOL_START_METHOD", "forkserver")
+                try:
+                    context = multiprocessing.get_context(method)
+                except ValueError:
+                    context = multiprocessing.get_context()
+                if getattr(context, "_name", None) == "forkserver":
+                    # Replaces the default ['__main__'] preload: entry
+                    # scripts are not re-run inside the server, and worker
+                    # forks inherit the whole solver stack instead.
+                    preload = list(_PRELOAD_MODULES)
+                    if "pytest" in sys.modules:
+                        # Workers unpickle test-module functions, and test
+                        # modules import pytest -- preload it so that cost
+                        # is paid once in the server, not against the
+                        # first task's deadline in every fresh worker.
+                        preload.append("pytest")
+                    context.set_forkserver_preload(preload)
+                    # Warm the server (spawn + preload imports) *now*, so
+                    # task deadlines armed at submission never race the
+                    # one-time startup cost.
+                    probe = context.Process(target=_noop, daemon=True)
+                    probe.start()
+                    probe.join()
+                _mp_context = context
+    return _mp_context
+
+
+# ---------------------------------------------------------------------- #
+# Pool-aware cancellation
+# ---------------------------------------------------------------------- #
+class CancelToken:
+    """A one-shot, thread-safe cancellation flag shared across threads.
+
+    The token is *pool-aware* through :class:`ResilientPool`: a pool that
+    runs under :func:`cancel_scope` checks the ambient token before every
+    submission and around every wait, and a set token makes it drop all
+    pending work, recycle the worker pool (killing in-flight subprocess
+    tasks) and raise :class:`TaskCancelledError`.  In-process (serial)
+    execution cannot preempt a running solve, so serial tasks check the
+    token only *between* tasks -- the documented best the GIL allows.
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        self._event = threading.Event()
+        self._reason = reason
+
+    def cancel(self, reason: str | None = None) -> None:
+        """Trip the token (idempotent); later ``reason`` updates are kept."""
+        if reason is not None:
+            self._reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+
+class TaskCancelledError(RuntimeError):
+    """Raised by :class:`ResilientPool` when the ambient token trips."""
+
+    def __init__(self, token: CancelToken) -> None:
+        reason = token.reason or "cancelled"
+        super().__init__(f"task execution cancelled: {reason}")
+        self.token = token
+
+
+_CANCEL: contextvars.ContextVar[CancelToken | None] = contextvars.ContextVar(
+    "repro_runtime_cancel_token", default=None
+)
+
+
+def current_cancel_token() -> CancelToken | None:
+    """The innermost ambient cancellation token, or ``None``."""
+    return _CANCEL.get()
+
+
+@contextlib.contextmanager
+def cancel_scope(token: CancelToken):
+    """Make ``token`` the ambient cancellation token for a ``with`` block."""
+    previous = _CANCEL.set(token)
+    try:
+        yield token
+    finally:
+        _CANCEL.reset(previous)
 
 
 # ---------------------------------------------------------------------- #
@@ -238,8 +417,28 @@ class ResilientPool:
 
     # -- submission ----------------------------------------------------------
 
+    def _check_cancelled(self) -> None:
+        """Abort everything if the ambient cancellation token tripped.
+
+        Pending outcomes are dropped and the worker pool is torn down with
+        its in-flight futures cancelled -- a cancelled sweep must stop
+        consuming CPU, not merely stop being waited for.  Does not count as
+        a respawn: cancellation is a caller decision, not a pool failure.
+        """
+        token = current_cancel_token()
+        if token is None or not token.cancelled:
+            return
+        self._pending.clear()
+        self._ready.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        current_registry().count("resilience.cancelled")
+        raise TaskCancelledError(token)
+
     def submit(self, worker, job, *, site: str, index: int, tag=None) -> None:
         """Queue one payload; its outcome arrives through :meth:`poll`."""
+        self._check_cancelled()
         task = _Task(
             tag=tag if tag is not None else (site, index),
             worker=worker,
@@ -287,7 +486,24 @@ class ResilientPool:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self._jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._jobs,
+                mp_context=_pool_mp_context(),
+                initializer=_init_worker_env,
+                initargs=(_worker_env_snapshot(),),
+            )
+            # Prime every worker before any deadline-bearing submission:
+            # a deadline measures queue + run time, and must not be eaten
+            # by worker startup (which can reach hundreds of ms right
+            # after pool churn).  A pool too broken to run no-ops is left
+            # for the real submission path, which recycles it.
+            try:
+                wait(
+                    [self._pool.submit(_noop) for _ in range(self._jobs)],
+                    timeout=60.0,
+                )
+            except BrokenProcessPool:
+                pass
         return self._pool
 
     # -- in-process execution (serial mode and degraded mode) ----------------
@@ -295,6 +511,7 @@ class ResilientPool:
     def _run_in_process(self, task: _Task):
         registry = current_registry()
         while True:
+            self._check_cancelled()
             plan = current_fault_plan()
             actions = (
                 plan.actions_for(task.site, task.index, task.attempt)
@@ -348,12 +565,14 @@ class ResilientPool:
     def poll(self) -> list[tuple[object, object]]:
         """Drain ready ``(tag, outcome)`` pairs, blocking until at least one
         is available (or nothing is pending)."""
+        self._check_cancelled()
         while not self._ready and self._pending:
             self._wait_once()
         drained, self._ready = self._ready, []
         return drained
 
     def _wait_once(self) -> None:
+        self._check_cancelled()
         timeout = None
         if self._timeout is not None:
             deadlines = [
@@ -363,6 +582,11 @@ class ResilientPool:
             ]
             if deadlines:
                 timeout = max(0.0, min(deadlines) - time.monotonic())
+        if current_cancel_token() is not None:
+            # A token can trip from another thread mid-wait; bound the block
+            # so cancellation is noticed promptly instead of after the next
+            # task completes.
+            timeout = min(timeout, 0.05) if timeout is not None else 0.05
         done, _ = wait(set(self._pending), timeout=timeout, return_when=FIRST_COMPLETED)
 
         broken = False

@@ -2,27 +2,43 @@
 
 The service (``gprs-repro serve``) keeps the expensive per-process state of
 a scenario solve -- generator templates, the artifact store's memory tier,
-the result cache and a persistent worker pool -- alive across requests, so
-repeat and near-repeat requests replay instead of resolving.  The client
-(``gprs-repro client``) and protocol helpers live here too.
+the result cache and persistent worker pools -- alive across requests, so
+repeat and near-repeat requests replay instead of resolving.  Requests pass
+through a hardened admission layer (:mod:`repro.service.admission`):
+bounded concurrency, request coalescing, backpressure, per-request
+deadlines, graceful drain and a crash-consistent request journal.  The
+client (``gprs-repro client``) and protocol helpers live here too.
 
 Served answers are bitwise identical to the cold CLI path after stripping
 run provenance; :func:`~repro.service.protocol.canonical_text` defines
 exactly that comparison.
 """
 
+from repro.service.admission import (
+    AdmissionQueue,
+    Draining,
+    Overloaded,
+    RequestJournal,
+    RequestTimeout,
+)
 from repro.service.client import DEFAULT_URL, ServiceClient, ServiceError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     canonical_payload,
     canonical_text,
     normalise_request,
+    request_key,
 )
 from repro.service.server import ScenarioService, create_server, serve
 
 __all__ = [
+    "AdmissionQueue",
     "DEFAULT_URL",
+    "Draining",
+    "Overloaded",
     "PROTOCOL_VERSION",
+    "RequestJournal",
+    "RequestTimeout",
     "ScenarioService",
     "ServiceClient",
     "ServiceError",
@@ -30,5 +46,6 @@ __all__ = [
     "canonical_text",
     "create_server",
     "normalise_request",
+    "request_key",
     "serve",
 ]

@@ -6,42 +6,111 @@ dependencies).  The client never interprets results -- it hands back the
 server's response dictionaries verbatim, and the CLI decides whether to
 print the human-formatted ``output``, the provenance-free ``canonical``
 text (byte-identical to CLI ``--canonical``), or the raw response JSON.
+
+Transient failures can be retried (``retries=N``): connection errors, HTTP
+429 (over-budget admission -- the server's ``Retry-After`` hint is
+honoured) and HTTP 503 (draining) back off deterministically through
+:class:`~repro.runtime.resilience.RetryPolicy`, so a flaky-looking client
+run reproduces its timing exactly.  ``POST /shutdown`` is never retried:
+it is not idempotent, and a lost acknowledgement must not stop a second
+server.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
+
+from repro.runtime.resilience import RetryPolicy
 
 __all__ = ["ServiceClient", "ServiceError"]
 
 DEFAULT_URL = "http://127.0.0.1:8754"
+
+#: Cap on how long a server-provided ``Retry-After`` hint is honoured.
+_MAX_RETRY_AFTER_S = 30.0
+
+#: Backoff shape for client retries (attempts come from ``retries``).
+_CLIENT_RETRY_POLICY = RetryPolicy(
+    backoff_base_s=0.2, backoff_factor=2.0, backoff_max_s=5.0
+)
 
 
 class ServiceError(RuntimeError):
     """A transport failure or an error response from the service."""
 
 
+class _Retryable(Exception):
+    """One retryable failure: holds the would-be result and backoff hint."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        response: dict | None = None,
+        retry_after_s: float | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.response = response
+        self.retry_after_s = retry_after_s
+        self.cause = cause
+
+
 class ServiceClient:
     """Client of one ``gprs-repro serve`` endpoint.
 
     ``timeout`` bounds each HTTP call; solves can legitimately take a
-    while, so the default is generous.  All methods raise
+    while, so the default is generous.  ``retries`` allows that many
+    *additional* attempts after a retryable failure (connection refused,
+    429, 503) on idempotent calls.  All methods raise
     :class:`ServiceError` on connection failures and non-JSON replies --
     *protocol*-level errors (unknown scenario, bad request) come back as
     ``{"ok": false, "error": ...}`` responses instead, mirroring the
     server's own behaviour.
     """
 
-    def __init__(self, url: str = DEFAULT_URL, *, timeout: float = 600.0) -> None:
+    def __init__(
+        self,
+        url: str = DEFAULT_URL,
+        *,
+        timeout: float = 600.0,
+        retries: int = 0,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
-    def _request(self, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self, path: str, payload: dict | None = None, *, idempotent: bool = True
+    ) -> dict:
+        attempts = 1 + (self.retries if idempotent else 0)
+        last: _Retryable | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._delay_s(path, attempt, last))
+            try:
+                return self._request_once(path, payload)
+            except _Retryable as failure:
+                last = failure
+        # Retry budget exhausted: surface the structured error body when the
+        # server sent one (429/503), else fail like a plain transport error.
+        if last is not None and last.response is not None:
+            return last.response
+        raise ServiceError(last.message) from last.cause
+
+    def _delay_s(self, path: str, attempt: int, last: _Retryable | None) -> float:
+        if last is not None and last.retry_after_s is not None:
+            return min(_MAX_RETRY_AFTER_S, max(0.0, last.retry_after_s))
+        return _CLIENT_RETRY_POLICY.backoff_s(f"client:{path}", 0, attempt)
+
+    def _request_once(self, path: str, payload: dict | None) -> dict:
         url = self.url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -56,11 +125,32 @@ class ServiceClient:
             # 4xx replies still carry a JSON error body worth surfacing.
             raw = error.read()
             try:
-                return json.loads(raw.decode("utf-8"))
+                body = json.loads(raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
-                raise ServiceError(f"{url}: HTTP {error.code}") from error
+                body = None
+            if error.code in (429, 503):
+                retry_after = None
+                header = error.headers.get("Retry-After")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+                elif isinstance(body, dict):
+                    value = body.get("retry_after_s")
+                    if isinstance(value, (int, float)):
+                        retry_after = float(value)
+                raise _Retryable(
+                    f"{url}: HTTP {error.code}",
+                    response=body if isinstance(body, dict) else None,
+                    retry_after_s=retry_after,
+                    cause=error,
+                ) from error
+            if isinstance(body, dict):
+                return body
+            raise ServiceError(f"{url}: HTTP {error.code}") from error
         except (urllib.error.URLError, OSError, TimeoutError) as error:
-            raise ServiceError(f"{url}: {error}") from error
+            raise _Retryable(f"{url}: {error}", cause=error) from error
         try:
             return json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as error:
@@ -86,13 +176,15 @@ class ServiceClient:
         return self._request("/batch", {"requests": list(requests)})
 
     def shutdown(self) -> dict:
-        """``POST /shutdown``; the server acknowledges, then stops."""
-        return self._request("/shutdown", {})
+        """``POST /shutdown``; the server acknowledges, then stops.
+
+        Never retried: a lost acknowledgement must not shut down whatever
+        next binds the port.
+        """
+        return self._request("/shutdown", {}, idempotent=False)
 
     def wait_ready(self, *, attempts: int = 50, delay_s: float = 0.1) -> bool:
         """Poll ``/healthz`` until the server answers (startup helper)."""
-        import time
-
         for _ in range(attempts):
             try:
                 if self.health().get("ok"):

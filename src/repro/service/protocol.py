@@ -26,6 +26,7 @@ __all__ = [
     "canonical_payload",
     "canonical_text",
     "normalise_request",
+    "request_key",
 ]
 
 #: Bumped whenever request or response shapes change incompatibly.
@@ -134,3 +135,17 @@ def normalise_request(request: dict) -> dict:
         "pipelined": pipelined,
         "cache": bool(request.get("cache", True)),
     }
+
+
+def request_key(request: dict) -> str:
+    """The canonical identity of one *normalised* request.
+
+    Two requests with the same key ask for byte-identical work: the key is
+    the deterministic JSON rendering of every field of
+    :func:`normalise_request`'s output, so it distinguishes ``cache: false``
+    re-solve requests from cacheable ones and a rate-pinned transient
+    request from the full sweep.  The admission queue coalesces in-flight
+    requests on this key, and the request journal uses it to pair accepted
+    entries with their completions across a crash.
+    """
+    return json.dumps(request, sort_keys=True, separators=(",", ":"))

@@ -42,6 +42,7 @@ import json
 import logging
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -167,6 +168,12 @@ class ArtifactStore:
     read-only views of the stored bytes; callers that need to mutate must
     copy.  A miss (absent, unreadable, corrupt, or digest-mismatched entry)
     returns ``None`` -- the worst a broken store can do is recompute.
+
+    Instances are **thread-safe**: one re-entrant lock serialises the
+    memory-tier LRU, the stats counters and the disk accounting, so the
+    service tier's concurrent handler threads can share a single store.
+    Cross-*process* safety was already guaranteed by the atomic-rename
+    write protocol; the lock adds the in-process half.
     """
 
     root: Path
@@ -179,6 +186,9 @@ class ArtifactStore:
     _memory_used: int = field(default=0, repr=False)
     _disk_bytes: int | None = field(default=None, repr=False)
     _quarantine_logged: set = field(default_factory=set, repr=False)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -231,8 +241,9 @@ class ArtifactStore:
 
     def clear_memory(self) -> None:
         """Drop the memory tier (disk entries stay)."""
-        self._memory.clear()
-        self._memory_used = 0
+        with self._lock:
+            self._memory.clear()
+            self._memory_used = 0
         current_registry().gauge("store.memory_bytes", 0.0)
 
     # ------------------------------------------------------------------ #
@@ -240,6 +251,10 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     def get(self, key: str) -> tuple[dict[str, np.ndarray], dict] | None:
         """Return ``(arrays, meta)`` for ``key`` or ``None`` on a miss."""
+        with self._lock:
+            return self._get_locked(key)
+
+    def _get_locked(self, key: str) -> tuple[dict[str, np.ndarray], dict] | None:
         registry = current_registry()
         entry = self._memory.get(key)
         if entry is not None:
@@ -330,6 +345,12 @@ class ArtifactStore:
         the new one, never a mixture; concurrent writers of the same key are
         last-writer-wins.
         """
+        with self._lock:
+            self._put_locked(key, arrays, meta)
+
+    def _put_locked(
+        self, key: str, arrays: dict[str, np.ndarray], meta: dict | None
+    ) -> None:
         for name in arrays:
             if name in _RESERVED:
                 raise ValueError(f"array name {name!r} is reserved")

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 
@@ -202,6 +203,10 @@ class PropagatorCache:
     exact checkpoint bytes, so a store hit preserves the bitwise-replay
     guarantee.  ``store=None`` disables the tier (per-process behaviour,
     exactly as before).
+
+    Thread-safe: the LRU dict, byte accounting and hit/miss counters all
+    mutate under one re-entrant lock, so the service tier's concurrent
+    solve threads can share the process-wide default cache.
     """
 
     max_bytes: int = DEFAULT_CACHE_BYTES
@@ -212,6 +217,9 @@ class PropagatorCache:
     store_hits: int = 0
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _bytes: int = 0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @staticmethod
     def entry_bytes(replay: SegmentReplay) -> int:
@@ -227,6 +235,10 @@ class PropagatorCache:
 
     def get(self, key: str) -> SegmentReplay | None:
         """Return the replay stored under ``key`` (refreshing its LRU slot)."""
+        with self._lock:
+            return self._get_locked(key)
+
+    def _get_locked(self, key: str) -> SegmentReplay | None:
         entry = self._entries.get(key)
         if entry is None:
             replay = self._load_from_store(key)
@@ -256,9 +268,10 @@ class PropagatorCache:
 
     def put(self, key: str, replay: SegmentReplay) -> None:
         """Store ``replay``, evicting least-recently-used entries over budget."""
-        if self.entry_bytes(replay) <= self.max_bytes:
-            self._insert(key, replay)
-        self._persist_to_store(key, replay)
+        with self._lock:
+            if self.entry_bytes(replay) <= self.max_bytes:
+                self._insert(key, replay)
+            self._persist_to_store(key, replay)
 
     def _insert(self, key: str, replay: SegmentReplay) -> None:
         previous = self._entries.pop(key, None)
@@ -329,17 +342,21 @@ class PropagatorCache:
         return self._bytes
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
         current_registry().gauge("cache.propagator.bytes", 0.0)
 
 
 _DEFAULT_CACHE: PropagatorCache | None = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
 
 
 def default_propagator_cache() -> PropagatorCache:
     """Return the process-wide cache shared by default across solves."""
     global _DEFAULT_CACHE
     if _DEFAULT_CACHE is None:
-        _DEFAULT_CACHE = PropagatorCache()
+        with _DEFAULT_CACHE_LOCK:
+            if _DEFAULT_CACHE is None:
+                _DEFAULT_CACHE = PropagatorCache()
     return _DEFAULT_CACHE

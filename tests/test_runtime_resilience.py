@@ -8,6 +8,7 @@ seam exists, so these tests exercise the same machinery production does.
 from __future__ import annotations
 
 import json
+import os
 import time
 from concurrent.futures.process import BrokenProcessPool
 
@@ -42,6 +43,11 @@ def _nap(job):
     """Worker that sleeps ``job`` seconds then returns (deadline tests)."""
     time.sleep(job)
     return job
+
+
+def _read_env(key):
+    """Worker that reports one environment variable (env-parity tests)."""
+    return os.environ.get(key)
 
 
 class TestRetryPolicy:
@@ -155,6 +161,35 @@ class TestParallelRecovery:
         assert failure.attempts == 2
         after = registry.snapshot()["counters"].get("resilience.timeouts", 0)
         assert after - before == 2  # one timeout per attempt
+
+
+class TestWorkerEnvParity:
+    """Workers must see the parent's *current* repro env knobs.
+
+    The forkserver snapshots the environment when it first starts, so a
+    variable exported afterwards (``--store-dir`` sets ``$REPRO_STORE_DIR``
+    precisely so pool workers resolve the same store) would silently read
+    the stale snapshot without the per-pool initializer.
+    """
+
+    PROBE = "REPRO_TEST_ENV_PARITY_PROBE"
+
+    def test_env_set_after_forkserver_start_reaches_new_pools(self, monkeypatch):
+        with ResilientPool(1) as warmup:  # forkserver is running after this
+            assert warmup.run(_double, [1], site="cell") == [2]
+        monkeypatch.setenv(self.PROBE, "set-after-start")
+        with ResilientPool(1) as pool:
+            assert pool.run(_read_env, [self.PROBE], site="cell") == [
+                "set-after-start"
+            ]
+
+    def test_env_deleted_in_parent_is_deleted_in_workers(self, monkeypatch):
+        monkeypatch.setenv(self.PROBE, "doomed")
+        with ResilientPool(1) as warmup:
+            assert warmup.run(_read_env, [self.PROBE], site="cell") == ["doomed"]
+        monkeypatch.delenv(self.PROBE)
+        with ResilientPool(1) as pool:
+            assert pool.run(_read_env, [self.PROBE], site="cell") == [None]
 
 
 class TestFailureSink:
@@ -282,3 +317,72 @@ class TestPayloadDigest:
         assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
         assert payload_digest({"a": 1}) != payload_digest({"a": 2})
         assert len(payload_digest({})) == 16
+
+
+class TestCancelToken:
+    def test_scope_installs_and_restores_the_ambient_token(self):
+        from repro.runtime.resilience import (
+            CancelToken,
+            cancel_scope,
+            current_cancel_token,
+        )
+
+        assert current_cancel_token() is None
+        token = CancelToken("test")
+        with cancel_scope(token):
+            assert current_cancel_token() is token
+        assert current_cancel_token() is None
+
+    def test_cancel_is_sticky_and_carries_a_reason(self):
+        from repro.runtime.resilience import CancelToken
+
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel("drain deadline")
+        assert token.cancelled
+        assert token.reason == "drain deadline"
+
+    def test_tripped_token_aborts_serial_submission(self):
+        from repro.runtime.resilience import (
+            CancelToken,
+            TaskCancelledError,
+            cancel_scope,
+        )
+
+        token = CancelToken()
+        token.cancel("stop")
+        pool = ResilientPool(1, policy=FAST)
+        with cancel_scope(token), pytest.raises(TaskCancelledError):
+            pool.submit(_double, 2, site="t", index=0)
+
+    def test_tripped_token_aborts_pool_poll_and_counts_cancelled(self):
+        from repro.runtime.resilience import (
+            CancelToken,
+            TaskCancelledError,
+            cancel_scope,
+        )
+
+        registry = current_registry()
+        before = registry.snapshot()["counters"].get("resilience.cancelled", 0)
+        token = CancelToken()
+        pool = ResilientPool(2, policy=FAST)
+        try:
+            with cancel_scope(token):
+                pool.submit(_nap, 5, site="t", index=0)
+                token.cancel("mid-flight")
+                with pytest.raises(TaskCancelledError):
+                    pool.poll()  # any further interaction must abort
+        finally:
+            pool.shutdown()
+        after = registry.snapshot()["counters"].get("resilience.cancelled", 0)
+        assert after == before + 1
+
+    def test_untripped_token_is_free(self):
+        from repro.runtime.resilience import CancelToken, cancel_scope
+
+        token = CancelToken()
+        pool = ResilientPool(1, policy=FAST)
+        with cancel_scope(token):
+            pool.submit(_double, 21, site="t", index=0)
+            outcomes = list(pool.poll())
+        assert outcomes == [(("t", 0), 42)]

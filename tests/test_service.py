@@ -230,3 +230,39 @@ class TestService:
         assert not thread.is_alive()
         server.server_close()
         service.close()
+
+    def test_shutdown_drains_a_slow_inflight_request(self):
+        """Regression: /shutdown used to tear the server down while in-flight
+        requests were still solving.  A slow request admitted before the
+        shutdown must complete -- drained, not dropped."""
+        import time
+
+        started = threading.Event()
+
+        class _SlowService(ScenarioService):
+            def _solve_request(self, request):
+                started.set()
+                time.sleep(0.8)
+                return {"ok": True, "slow": True}
+
+        service = _SlowService(jobs=1, drain_timeout=30.0)
+        server = create_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+        assert client.wait_ready()
+        responses = []
+        runner = threading.Thread(
+            target=lambda: responses.append(client.run(_REQUEST)), daemon=True
+        )
+        runner.start()
+        assert started.wait(10)  # the solve is genuinely in flight
+        ack = client.shutdown()
+        assert ack["ok"] and ack["stopping"]
+        runner.join(timeout=30)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert responses and responses[0]["ok"] and responses[0]["slow"]
+        assert service.stats()["admission"]["drained"] == 1
+        server.server_close()
+        service.close()

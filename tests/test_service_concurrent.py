@@ -1,0 +1,398 @@
+"""Concurrency tests of the hardened service tier.
+
+One half hammers a *live* HTTP service from many threads with identical and
+distinct requests and checks the bitwise contract (every answer equals the
+cold CLI bytes; exactly one solve per distinct canonical key; no torn
+``/stats`` reads).  The other half uses an event-gated stub solve to pin
+down the HTTP status mapping -- 429 + ``Retry-After`` under backpressure,
+504 on deadline, client retries -- deterministically.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+import urllib.error
+import urllib.request
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro import cli
+from repro.obs.metrics import global_registry
+from repro.runtime import ResultCache
+from repro.service import (
+    RequestJournal,
+    ScenarioService,
+    ServiceClient,
+    create_server,
+    normalise_request,
+)
+from repro.store import ArtifactStore
+
+_REQUEST = {"command": "transient", "scenario": "diurnal-24h", "preset": "smoke"}
+
+
+def _cold_cli_canonical(extra_args: list[str] | None = None) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = cli.main(
+            [
+                "transient", "diurnal-24h", "--preset", "smoke",
+                "--no-cache", "--no-store", "--canonical",
+                *(extra_args or []),
+            ]
+        )
+    assert code == 0
+    return buffer.getvalue().rstrip("\n")
+
+
+def _serve(service):
+    server = create_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    assert client.wait_ready()
+    return server, thread, client
+
+
+class _StubService(ScenarioService):
+    """A service whose solve is a test-supplied function (no real solver)."""
+
+    def __init__(self, solve_fn, **kwargs) -> None:
+        self._solve_fn = solve_fn
+        super().__init__(**kwargs)
+
+    def _solve_request(self, request: dict) -> dict:
+        return self._solve_fn(request)
+
+
+class TestConcurrentHammer:
+    def test_hammered_service_stays_bitwise_and_solves_once_per_key(
+        self, tmp_path
+    ):
+        service = ScenarioService(
+            jobs=1,
+            workers=2,
+            max_queue=32,
+            cache=ResultCache(tmp_path / "cache"),
+            store=ArtifactStore(tmp_path / "store"),
+        )
+        server, thread, client = _serve(service)
+        try:
+            # Three request groups: 4 identical cacheable, 2 identical
+            # cache-bypassing (a distinct canonical key), 2 identical
+            # rate-pinned (another distinct key).
+            groups = {
+                "full": dict(_REQUEST),
+                "nocache": dict(_REQUEST, cache=False),
+                "pinned": dict(_REQUEST, rate=33.3),
+            }
+            plan = ["full"] * 4 + ["nocache"] * 2 + ["pinned"] * 2
+            responses: dict[int, dict] = {}
+            stats_ok = []
+
+            def _run(index: int, group: str) -> None:
+                responses[index] = client.run(groups[group])
+
+            def _poll_stats() -> None:
+                for _ in range(20):
+                    stats = client.stats()
+                    admission = stats["admission"]
+                    consistent = stats["requests"] == (
+                        admission["accepted"]
+                        + admission["coalesced"]
+                        + admission["rejected"]
+                    )
+                    stats_ok.append(bool(stats["ok"]) and consistent)
+                    time.sleep(0.05)
+
+            threads = [
+                threading.Thread(target=_run, args=(i, group), daemon=True)
+                for i, group in enumerate(plan)
+            ]
+            threads += [
+                threading.Thread(target=_poll_stats, daemon=True)
+                for _ in range(2)
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=300)
+            assert len(responses) == len(plan)
+            assert all(response["ok"] for response in responses.values())
+            assert all(stats_ok), "a /stats read was torn or inconsistent"
+
+            # Bitwise: every served answer equals the cold CLI bytes.
+            cold_full = _cold_cli_canonical()
+            cold_pinned = _cold_cli_canonical(["--rate", "33.3"])
+            for index, group in enumerate(plan):
+                expected = cold_pinned if group == "pinned" else cold_full
+                assert responses[index]["canonical"] == expected, (
+                    f"request {index} ({group}) diverged from the cold CLI"
+                )
+
+            # Exactly one solve per distinct canonical key: within each
+            # group, every request either carried the solve (nonzero
+            # transient.solves), coalesced onto it (empty metrics delta), or
+            # was answered by the result cache (zero transient.solves).
+            for group in groups:
+                members = [
+                    responses[i] for i, name in enumerate(plan) if name == group
+                ]
+                solved = sum(
+                    1
+                    for response in members
+                    if response["metrics"]
+                    .get("counters", {})
+                    .get("transient.solves", 0)
+                    > 0
+                )
+                coalesced = sum(
+                    1 for response in members if response.get("coalesced")
+                )
+                if group == "full":
+                    # Cacheable: one solve, the rest coalesced or cache hits.
+                    assert solved == 1, f"{group}: {solved} solves"
+                else:
+                    # Cache-bypassing / pinned keys cannot be answered by the
+                    # result cache, so every non-coalesced member solves.
+                    assert solved + coalesced == len(members)
+                    assert solved >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=10)
+
+    def test_counters_identical_serial_vs_concurrent(self, tmp_path):
+        """N identical requests account the same solver work whether they
+        arrive one at a time or all at once (satellite: exact stats under
+        concurrency)."""
+        registry = global_registry()
+
+        def _solver_counters(delta: dict) -> dict:
+            return {
+                name: value
+                for name, value in delta.get("counters", {}).items()
+                if not name.startswith(("cache.", "service.", "store."))
+            }
+
+        serial = ScenarioService(
+            jobs=1, workers=1, cache=ResultCache(tmp_path / "serial-cache")
+        )
+        serial.start()
+        baseline = registry.snapshot()
+        for _ in range(4):
+            assert serial.handle(_REQUEST)["ok"]
+        serial_delta = registry.delta_since(baseline)
+        serial_requests = serial.stats()["requests"]
+        serial.close()
+
+        concurrent = ScenarioService(
+            jobs=1, workers=4, cache=ResultCache(tmp_path / "conc-cache")
+        )
+        concurrent.start()
+        baseline = registry.snapshot()
+        results: list[dict] = []
+
+        def _run() -> None:
+            results.append(concurrent.handle(_REQUEST))
+
+        threads = [threading.Thread(target=_run, daemon=True) for _ in range(4)]
+        for worker in threads:
+            worker.start()
+        for worker in threads:
+            worker.join(timeout=300)
+        concurrent_delta = registry.delta_since(baseline)
+        concurrent_requests = concurrent.stats()["requests"]
+        concurrent.close()
+
+        assert all(response["ok"] for response in results)
+        assert serial_requests == concurrent_requests == 4
+        assert _solver_counters(serial_delta) == _solver_counters(
+            concurrent_delta
+        )
+
+
+class TestHttpStatusMapping:
+    def test_backpressure_answers_429_with_retry_after_header(self):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def _solve(request):
+            started.set()
+            gate.wait(timeout=30)
+            return {"ok": True}
+
+        service = _StubService(_solve, workers=1, max_queue=1)
+        server, thread, client = _serve(service)
+        try:
+            background = [
+                threading.Thread(
+                    target=client.run, args=(_REQUEST,), daemon=True
+                )
+                for _ in range(2)
+            ]
+            background[0].start()
+            assert started.wait(10)
+            # Distinct key so it queues instead of coalescing.
+            distinct = dict(_REQUEST, cache=False)
+            background[1] = threading.Thread(
+                target=client.run, args=(distinct,), daemon=True
+            )
+            background[1].start()
+            deadline = time.monotonic() + 10
+            while (
+                service.stats()["admission"]["queued"] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+
+            overflow = urllib.request.Request(
+                client.url + "/run",
+                data=b'{"command": "transient", "scenario": "diurnal-24h",'
+                b' "preset": "smoke", "rate": 1.5}',
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as http_error:
+                urllib.request.urlopen(overflow, timeout=10)
+            assert http_error.value.code == 429
+            assert int(http_error.value.headers["Retry-After"]) >= 1
+
+            # The structured body reaches ServiceClient users too.
+            rejected = client.run(dict(_REQUEST, rate=2.5))
+            assert rejected["ok"] is False and rejected["status"] == 429
+            assert rejected["retry_after_s"] >= 1.0
+        finally:
+            gate.set()
+            for worker in background:
+                worker.join(timeout=30)
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=10)
+
+    def test_client_retries_429_until_capacity_frees(self):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def _solve(request):
+            started.set()
+            gate.wait(timeout=30)
+            return {"ok": True, "scenario": request["scenario"]}
+
+        service = _StubService(_solve, workers=1, max_queue=1)
+        server, thread, client = _serve(service)
+        try:
+            blocker = threading.Thread(
+                target=client.run, args=(_REQUEST,), daemon=True
+            )
+            blocker.start()
+            assert started.wait(10)
+            filler = threading.Thread(
+                target=client.run, args=(dict(_REQUEST, cache=False),), daemon=True
+            )
+            filler.start()
+            deadline = time.monotonic() + 10
+            while (
+                service.stats()["admission"]["queued"] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+
+            retrying = ServiceClient(client.url, retries=5)
+            releaser = threading.Timer(0.5, gate.set)
+            releaser.start()
+            response = retrying.run(dict(_REQUEST, rate=7.0))
+            assert response["ok"], response
+            assert service.stats()["admission"]["rejected"] >= 1
+            blocker.join(timeout=30)
+            filler.join(timeout=30)
+        finally:
+            gate.set()
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=10)
+
+    def test_deadline_answers_504_with_structured_body(self):
+        gate = threading.Event()
+
+        def _solve(request):
+            gate.wait(timeout=30)
+            return {"ok": True}
+
+        service = _StubService(_solve, workers=1, request_timeout=0.2)
+        server, thread, client = _serve(service)
+        try:
+            response = client.run(_REQUEST)
+            assert response["ok"] is False
+            assert response["status"] == 504 and response["timed_out"]
+            assert "deadline" in response["error"]
+        finally:
+            gate.set()
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=10)
+
+    def test_shutdown_is_never_retried(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.2, retries=3)
+        attempts = []
+        original = ServiceClient._request_once
+
+        def _counting(self, path, payload):
+            attempts.append(path)
+            return original(self, path, payload)
+
+        ServiceClient._request_once = _counting
+        try:
+            with pytest.raises(Exception):
+                client.shutdown()
+        finally:
+            ServiceClient._request_once = original
+        assert attempts == ["/shutdown"]
+
+
+class TestJournalReplay:
+    def test_journalled_backlog_is_replayed_into_the_cache(self, tmp_path):
+        """A request accepted (journalled) but never answered -- a crash --
+        is solved on the next start, so the repeat request is a cache hit
+        with the cold CLI's exact bytes."""
+        journal_path = tmp_path / "journal.jsonl"
+        RequestJournal(journal_path).accept(normalise_request(_REQUEST))
+
+        service = ScenarioService(
+            jobs=1,
+            workers=1,
+            cache=ResultCache(tmp_path / "cache"),
+            store=ArtifactStore(tmp_path / "store"),
+            journal_path=journal_path,
+        )
+        server, thread, client = _serve(service)
+        try:
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                admission = client.stats()["admission"]
+                if (
+                    admission["replayed"] == 1
+                    and admission["journal"]["pending"] == 0
+                ):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("journal backlog was not replayed")
+
+            response = client.run(_REQUEST)
+            assert response["ok"]
+            counters = response["metrics"]["counters"]
+            assert counters.get("transient.solves", 0) == 0  # cache answered
+            assert response["canonical"] == _cold_cli_canonical()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=10)
+        assert RequestJournal(journal_path).pending() == []

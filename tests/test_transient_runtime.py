@@ -17,7 +17,7 @@ from repro.runtime import (
     scenario,
 )
 from repro.runtime.spec import parameters_to_dict
-from repro.transient import flash_crowd
+from repro.transient import default_propagator_cache, flash_crowd
 from repro.transient.sweep import run_transient_sweep, transient_sweep_payloads
 
 
@@ -133,6 +133,11 @@ class TestTransientSweep:
     def test_parallel_trajectories_match_serial_bitwise(self):
         scale = ExperimentScale.smoke()
         spec = _fast_spec()
+        # Earlier tests warm the process-wide propagator cache with this
+        # very spec.  Pool workers always start cold (they no longer fork
+        # from the warm parent), so replay provenance would differ; level
+        # the field so both sides compute cold.
+        default_propagator_cache().clear()
         serial = transient_sweep_payloads(spec, scale, jobs=1)
         parallel = transient_sweep_payloads(spec, scale, jobs=2)
         assert serial == parallel
